@@ -1,0 +1,309 @@
+//! Example 4: a recurring exclusive reservation on a machine without
+//! time sharing.
+//!
+//! "Assume a machine that does not support time sharing. The scheduling
+//! policy includes the rule: *Every weekday at 10am the entire machine
+//! must be available to a theoretical chemistry class for 1 hour.* …
+//! as users are not able to provide accurate execution time estimates for
+//! their jobs no scheduling algorithm can generate good schedules."
+//!
+//! [`DrainingFcfs`] implements the only valid strategy on such a machine:
+//! never start a job whose *estimated* completion crosses the next window
+//! (so the machine is provably empty when the class begins), and backfill
+//! shorter jobs into the draining tail. The §2.4 dependence the example
+//! illustrates — policy rules whose cost explodes with estimate
+//! inaccuracy — is measured by `core::extensions::drain_window_cost`.
+//!
+//! Jobs whose estimate exceeds the longest window-free gap
+//! ([`RecurringWindow::max_gap`]) can never comply; the two policy rules
+//! conflict, and per §2.1 ("a good policy contains rules to resolve
+//! conflicts") we resolve explicitly in favour of progress: such jobs are
+//! exempt from the drain rule and may overlap the class window.
+
+use crate::scheduler::Waiting;
+use jobsched_sim::{JobRequest, Machine, Scheduler};
+use jobsched_workload::job::{DAY, HOUR, WEEK};
+use jobsched_workload::{JobId, Time};
+
+/// A recurring exclusive window (weekdays only, as in Example 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecurringWindow {
+    /// Hour of day the window opens (0..24).
+    pub start_hour: u8,
+    /// Window length in seconds.
+    pub duration: Time,
+}
+
+impl RecurringWindow {
+    /// Example 4's window: weekdays, 10:00–11:00.
+    pub fn example4() -> Self {
+        RecurringWindow {
+            start_hour: 10,
+            duration: HOUR,
+        }
+    }
+
+    fn start_in_day(&self, day_origin: Time) -> Time {
+        day_origin + self.start_hour as Time * HOUR
+    }
+
+    fn is_weekday(day_index: Time) -> bool {
+        day_index % 7 < 5
+    }
+
+    /// Whether `t` lies inside a window occurrence.
+    pub fn contains(&self, t: Time) -> bool {
+        let day = t / DAY;
+        if !Self::is_weekday(day) {
+            return false;
+        }
+        let start = self.start_in_day(day * DAY);
+        (start..start + self.duration).contains(&t)
+    }
+
+    /// Start of the next window occurrence at or after `t`.
+    pub fn next_start(&self, t: Time) -> Time {
+        let mut day = t / DAY;
+        loop {
+            if Self::is_weekday(day) {
+                let start = self.start_in_day(day * DAY);
+                if start >= t {
+                    return start;
+                }
+            }
+            day += 1;
+            debug_assert!(day * DAY < t + 2 * WEEK, "window search runaway");
+        }
+    }
+
+    /// End of the window occurrence containing `t` (undefined results if
+    /// `t` is outside every window).
+    pub fn end_of(&self, t: Time) -> Time {
+        let day = t / DAY;
+        self.start_in_day(day * DAY) + self.duration
+    }
+
+    /// The longest window-free gap in the weekly calendar (for
+    /// Example 4's weekday 10–11 window: Friday 11:00 → Monday 10:00,
+    /// 71 hours). A job whose estimate exceeds this can never comply with
+    /// the drain rule.
+    pub fn max_gap(&self) -> Time {
+        let mut starts: Vec<Time> = (0..14)
+            .filter(|d| Self::is_weekday(*d))
+            .map(|d| self.start_in_day(d * DAY))
+            .collect();
+        starts.sort_unstable();
+        starts
+            .windows(2)
+            .map(|p| p[1] - (p[0] + self.duration))
+            .max()
+            .expect("at least two weekday windows in two weeks")
+    }
+}
+
+/// FCFS that drains the machine ahead of every window occurrence: a job
+/// starts only if its *estimate* completes before the next window, and
+/// jobs behind a window-blocked head may backfill under the same rule
+/// (they cannot delay the head — it is waiting for the window, not for
+/// nodes).
+#[derive(Debug)]
+pub struct DrainingFcfs {
+    window: RecurringWindow,
+    waiting: Waiting,
+}
+
+impl DrainingFcfs {
+    /// New scheduler with the given recurring window.
+    pub fn new(window: RecurringWindow) -> Self {
+        DrainingFcfs {
+            window,
+            waiting: Waiting::new(),
+        }
+    }
+}
+
+impl Scheduler for DrainingFcfs {
+    fn name(&self) -> String {
+        format!(
+            "FCFS+drain[{}:00+{}s weekdays]",
+            self.window.start_hour, self.window.duration
+        )
+    }
+
+    fn submit(&mut self, job: JobRequest, _now: Time) {
+        self.waiting.insert(job);
+    }
+
+    fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
+        if machine.free_nodes() == 0 || self.waiting.is_empty() {
+            return Vec::new();
+        }
+        if self.window.contains(now) {
+            // The class owns the machine; nothing starts.
+            return Vec::new();
+        }
+        let window_start = self.window.next_start(now);
+        let max_gap = self.window.max_gap();
+        let mut free = machine.free_nodes();
+        let mut picks = Vec::new();
+        let mut head_passed = false;
+        for id in self.waiting.ids() {
+            if free == 0 {
+                break;
+            }
+            let job = self.waiting.get(id);
+            // A job whose estimate exceeds the widest window-free gap can
+            // never comply: the policy rules conflict (§2.1 demands such
+            // conflicts be resolved) and we resolve in favour of progress —
+            // the job is exempt from the drain rule.
+            let clears_window = now + job.requested_time.max(1) <= window_start
+                || job.requested_time > max_gap;
+            let fits = job.nodes <= free;
+            if fits && clears_window {
+                free -= job.nodes;
+                picks.push(id);
+            } else if !head_passed && fits && !clears_window {
+                // Head is blocked purely by the window: later jobs may
+                // backfill (they cannot postpone it — it starts after the
+                // class regardless).
+                head_passed = true;
+            } else if !head_passed && !fits {
+                // Head blocked by nodes: plain FCFS semantics, stop.
+                break;
+            }
+        }
+        for &id in &picks {
+            self.waiting.remove(id);
+        }
+        picks
+    }
+
+    fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    fn next_wakeup(&self, now: Time) -> Option<Time> {
+        if self.waiting.is_empty() {
+            return None;
+        }
+        // Jobs blocked by the drain rule become startable when the next
+        // window closes.
+        Some(if self.window.contains(now) {
+            self.window.end_of(now)
+        } else {
+            self.window.next_start(now) + self.window.duration
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_sim::simulate;
+    use jobsched_workload::{JobBuilder, Workload};
+
+    #[test]
+    fn window_calendar() {
+        let w = RecurringWindow::example4();
+        // Monday 10:30 is inside; Monday 11:00 is not; Saturday 10:30 is not.
+        assert!(w.contains(10 * HOUR + 1800));
+        assert!(!w.contains(11 * HOUR));
+        assert!(!w.contains(5 * DAY + 10 * HOUR + 1800));
+        // Next start from Monday noon is Tuesday 10am.
+        assert_eq!(w.next_start(12 * HOUR), DAY + 10 * HOUR);
+        // Next start from Friday noon is Monday 10am.
+        assert_eq!(w.next_start(4 * DAY + 12 * HOUR), 7 * DAY + 10 * HOUR);
+        // From Monday 9am it is Monday 10am.
+        assert_eq!(w.next_start(9 * HOUR), 10 * HOUR);
+        assert_eq!(w.end_of(10 * HOUR + 10), 11 * HOUR);
+    }
+
+    #[test]
+    fn machine_is_empty_during_every_window() {
+        // Jobs with exact 2 h estimates submitted all morning: whatever
+        // the scheduler does, nothing may overlap 10:00–11:00.
+        let jobs: Vec<_> = (0..40)
+            .map(|i| {
+                JobBuilder::new(JobId(0))
+                    .submit(i * 600)
+                    .nodes(16)
+                    .exact_runtime(2 * HOUR)
+                    .build()
+            })
+            .collect();
+        let w = Workload::new("drain", 64, jobs);
+        let mut s = DrainingFcfs::new(RecurringWindow::example4());
+        let out = simulate(&w, &mut s);
+        assert!(out.schedule.validate(&w).is_empty());
+        let win = RecurringWindow::example4();
+        for j in w.jobs() {
+            let p = out.schedule.placement(j.id).unwrap();
+            for t in [p.start, p.completion - 1] {
+                assert!(!win.contains(t), "{:?} touches the window: {p:?}", j.id);
+            }
+            // Entire execution clear of windows: starts after previous end
+            // or ends before next start.
+            let next = win.next_start(p.start);
+            assert!(
+                p.completion <= next || p.start >= win.end_of(next),
+                "{:?} spans a window: {p:?}",
+                j.id
+            );
+        }
+    }
+
+    #[test]
+    fn short_jobs_backfill_into_the_draining_tail() {
+        // At 9:00 a 2 h job blocks on the 10:00 window; a 30 min job
+        // behind it must still start immediately.
+        let jobs = vec![
+            JobBuilder::new(JobId(0)).submit(9 * HOUR).nodes(32).exact_runtime(2 * HOUR).build(),
+            JobBuilder::new(JobId(0)).submit(9 * HOUR + 60).nodes(32).exact_runtime(1800).build(),
+        ];
+        let w = Workload::new("drain", 64, jobs);
+        let mut s = DrainingFcfs::new(RecurringWindow::example4());
+        let out = simulate(&w, &mut s);
+        assert_eq!(out.schedule.placement(JobId(1)).unwrap().start, 9 * HOUR + 60);
+        // The long head waits for the class to end.
+        assert_eq!(out.schedule.placement(JobId(0)).unwrap().start, 11 * HOUR);
+    }
+
+    #[test]
+    fn max_gap_is_the_weekend() {
+        // Friday 11:00 → Monday 10:00 = 71 h.
+        assert_eq!(RecurringWindow::example4().max_gap(), 71 * HOUR);
+    }
+
+    #[test]
+    fn uncompliable_jobs_are_exempt_and_simulation_terminates() {
+        // A 100 h estimate can never clear the 71 h max gap: the job is
+        // exempt from the drain rule and starts immediately.
+        let jobs = vec![JobBuilder::new(JobId(0))
+            .submit(9 * HOUR)
+            .nodes(8)
+            .requested(100 * HOUR)
+            .runtime(30 * HOUR)
+            .build()];
+        let w = Workload::new("drain", 64, jobs);
+        let mut s = DrainingFcfs::new(RecurringWindow::example4());
+        let out = simulate(&w, &mut s);
+        assert_eq!(out.schedule.placement(JobId(0)).unwrap().start, 9 * HOUR);
+    }
+
+    #[test]
+    fn overestimates_widen_the_drain_shadow() {
+        // The Example 4 phenomenon: a job that actually runs 30 min but is
+        // estimated at 4 h cannot start at 9:30 even though it would have
+        // finished in time.
+        let jobs = vec![JobBuilder::new(JobId(0))
+            .submit(9 * HOUR + 1800)
+            .nodes(8)
+            .requested(4 * HOUR)
+            .runtime(1800)
+            .build()];
+        let w = Workload::new("drain", 64, jobs);
+        let mut s = DrainingFcfs::new(RecurringWindow::example4());
+        let out = simulate(&w, &mut s);
+        assert_eq!(out.schedule.placement(JobId(0)).unwrap().start, 11 * HOUR);
+    }
+}

@@ -1,0 +1,41 @@
+//! The paper's scheduling algorithms (§5) and backfilling variants.
+//!
+//! All five algorithms are realised as *list schedulers*: an ordering
+//! policy produces a priority order over the waiting jobs, and a selection
+//! strategy decides which ordered jobs start now:
+//!
+//! | paper algorithm | ordering ([`order::OrderPolicy`]) | selection |
+//! |---|---|---|
+//! | FCFS (§5.1) | submission order | head-blocking greedy |
+//! | Garey & Graham (§5.3) | submission order | start anything that fits |
+//! | SMART-FFIA / SMART-NFIW (§5.4) | shelf order recomputed online | head-blocking greedy |
+//! | PSRS (§5.5) | preemptive-schedule bin order recomputed online | head-blocking greedy |
+//!
+//! and any head-blocking selection can be upgraded with conservative or
+//! EASY backfilling (§5.2, [`backfill::BackfillMode`]). Backfilling brings
+//! no benefit to Garey & Graham (§5.3) because it already starts every
+//! fitting job.
+//!
+//! The offline algorithms are adapted to the online setting exactly as
+//! §5.4/§5.5 describe: they only *order* the wait queue; user estimates
+//! stand in for execution times; the order is recomputed when the
+//! unordered fraction of the queue passes the paper's ⅓ threshold
+//! ([`order::ReorderTrigger`]).
+
+pub mod backfill;
+pub mod drain;
+pub mod garey_graham;
+pub mod order;
+pub mod psrs;
+pub mod scheduler;
+pub mod smart;
+pub mod spec;
+pub mod switching;
+pub mod view;
+
+pub use backfill::BackfillMode;
+pub use order::OrderPolicy;
+pub use scheduler::ListScheduler;
+pub use smart::SmartVariant;
+pub use spec::AlgorithmSpec;
+pub use view::JobView;

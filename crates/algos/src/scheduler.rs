@@ -1,0 +1,686 @@
+//! The unified list scheduler: ordering policy × selection strategy.
+//!
+//! Every algorithm of §5 is an instance of this scheduler: FCFS and
+//! Garey & Graham use the submission order directly; SMART and PSRS keep a
+//! priority order produced by their offline algorithm over the current
+//! wait queue, re-run per the §5.4 trigger; jobs that arrived since the
+//! last run are appended in submission order until the next run covers
+//! them. Selection is head-blocking greedy, optionally upgraded with
+//! conservative or EASY backfilling (§5.2); Garey & Graham instead starts
+//! anything that fits (§5.3).
+
+use crate::backfill::{scan_conservative, scan_easy, select_head_blocking, BackfillMode};
+use crate::garey_graham::select_greedy_any;
+use crate::order::{OrderPolicy, ReorderTrigger};
+use crate::view::JobView;
+use jobsched_sim::{JobRequest, Machine, Scheduler};
+use jobsched_workload::{JobId, Time};
+use std::collections::HashSet;
+
+/// The wait queue: requests keyed by job id. Ids are assigned in
+/// submission order by the workload, so ascending-id iteration *is*
+/// submission order. Lookups are O(1) (dense-id slot vector); ordered
+/// iteration uses a BTreeSet of the waiting ids.
+#[derive(Clone, Debug, Default)]
+pub struct Waiting {
+    slots: Vec<Option<JobRequest>>,
+    ids: std::collections::BTreeSet<JobId>,
+}
+
+impl Waiting {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Waiting::default()
+    }
+
+    /// Add a request.
+    pub fn insert(&mut self, job: JobRequest) {
+        let idx = job.id.index();
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        assert!(self.slots[idx].is_none(), "job {} submitted twice", job.id);
+        self.slots[idx] = Some(job);
+        self.ids.insert(job.id);
+    }
+
+    /// Remove a request (when it starts).
+    pub fn remove(&mut self, id: JobId) -> JobRequest {
+        self.ids.remove(&id);
+        self.slots[id.index()].take().expect("removing unknown job")
+    }
+
+    /// Look up a waiting request. Panics on unknown ids (scheduler bug).
+    #[inline]
+    pub fn get(&self, id: JobId) -> &JobRequest {
+        self.slots[id.index()].as_ref().expect("unknown waiting job")
+    }
+
+    /// Whether the job is waiting.
+    #[inline]
+    pub fn contains(&self, id: JobId) -> bool {
+        self.slots.get(id.index()).is_some_and(|s| s.is_some())
+    }
+
+    /// Number of waiting jobs.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Waiting ids in submission order.
+    pub fn ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Waiting requests in submission order.
+    pub fn requests(&self) -> impl Iterator<Item = &JobRequest> + '_ {
+        self.ids.iter().map(|id| self.get(*id))
+    }
+}
+
+/// The "nothing can start" state remembered between events so that a new
+/// submission is tested in O(1) instead of re-scanning the whole queue.
+///
+/// Soundness: between two finish events the free-node count only shrinks
+/// (starts) and absolute-time projections (the EASY shadow, conservative
+/// reservations) stay valid, so a job rejected once stays rejected and a
+/// later arrival can be judged against the remembered state alone. Any
+/// finish event or priority re-computation invalidates the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockedCache {
+    /// Head-blocking list schedule: the head does not fit, so nothing
+    /// behind it may start either.
+    HeadBlocked,
+    /// Head-blocking list schedule with *no* blocked head (the whole queue
+    /// started): arrivals start in order while they fit; the first misfit
+    /// becomes the new blocked head.
+    OpenList {
+        /// Free nodes remaining.
+        leftover: u32,
+    },
+    /// Garey & Graham: `leftover` free nodes remained after starting
+    /// everything that fits; a new arrival starts iff it fits those.
+    GreedyAny {
+        /// Free nodes remaining.
+        leftover: u32,
+    },
+    /// EASY: the blocked head's projected start and the spare capacity a
+    /// new arrival may consume without postponing it.
+    Easy {
+        /// The head's projected start.
+        shadow: Time,
+        /// Nodes spare at the shadow instant.
+        extra: u32,
+        /// Free nodes now.
+        free: u32,
+    },
+    /// Conservative: free nodes left *now* after the reservation
+    /// calendar; an arrival needing more cannot start, one that fits
+    /// forces a full re-scan (its reservation interacts with the chain).
+    Conservative {
+        /// Free nodes remaining now.
+        leftover: u32,
+    },
+}
+
+/// A complete scheduling algorithm: ordering policy + backfilling mode.
+#[derive(Debug)]
+pub struct ListScheduler {
+    policy: OrderPolicy,
+    backfill: BackfillMode,
+    trigger: ReorderTrigger,
+    waiting: Waiting,
+    /// Priority order from the last offline run (dynamic policies only).
+    /// May contain ids that have since started; filtered lazily.
+    priority: Vec<JobId>,
+    /// Jobs covered by `priority`.
+    covered: HashSet<JobId>,
+    /// Number of offline re-computations performed (diagnostics; the §5.4
+    /// trigger exists to keep this low).
+    recomputations: u64,
+    /// Whether the incremental blocked-state cache is enabled (it is by
+    /// default; differential tests run with it off).
+    caching: bool,
+    cache: Option<BlockedCache>,
+    /// Jobs submitted since the cache was established.
+    arrivals: Vec<JobId>,
+    /// The §5.4 trigger fired at a submission; the next ordering must
+    /// re-run the offline algorithm. Evaluating the trigger only at
+    /// submissions (as the paper describes) keeps re-computation points
+    /// identical whether or not the cache is enabled.
+    reorder_pending: bool,
+}
+
+impl ListScheduler {
+    /// Build a scheduler from policy and backfill mode.
+    pub fn new(policy: OrderPolicy, backfill: BackfillMode) -> Self {
+        ListScheduler {
+            policy,
+            backfill,
+            trigger: ReorderTrigger::default(),
+            waiting: Waiting::new(),
+            priority: Vec::new(),
+            covered: HashSet::new(),
+            recomputations: 0,
+            caching: true,
+            cache: None,
+            arrivals: Vec::new(),
+            reorder_pending: false,
+        }
+    }
+
+    /// Override the re-computation trigger (ablation benches).
+    pub fn with_trigger(mut self, trigger: ReorderTrigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Enable or disable the incremental blocked-state cache. Disabling
+    /// forces a full queue scan on every decision — semantically
+    /// identical, asymptotically slower; used as the oracle in
+    /// differential tests.
+    pub fn with_caching(mut self, caching: bool) -> Self {
+        self.caching = caching;
+        if !caching {
+            self.cache = None;
+            self.arrivals.clear();
+        }
+        self
+    }
+
+    /// The ordering policy.
+    pub fn policy(&self) -> &OrderPolicy {
+        &self.policy
+    }
+
+    /// The backfilling mode.
+    pub fn backfill(&self) -> BackfillMode {
+        self.backfill
+    }
+
+    /// How many times the offline order was recomputed.
+    pub fn recomputations(&self) -> u64 {
+        self.recomputations
+    }
+
+    fn invalidate_cache(&mut self) {
+        self.cache = None;
+        self.arrivals.clear();
+    }
+
+    /// Current priority order over the waiting queue.
+    fn effective_order(&mut self, machine_nodes: u32) -> Vec<JobId> {
+        if !self.policy.is_dynamic() {
+            return self.waiting.ids().collect();
+        }
+        if self.reorder_pending {
+            self.reorder_pending = false;
+            let views: Vec<JobView> = self
+                .waiting
+                .requests()
+                .map(|r| JobView::of(r, self.policy.scheme()))
+                .collect();
+            self.priority = self.policy.compute(&views, machine_nodes);
+            self.covered = self.priority.iter().copied().collect();
+            self.recomputations += 1;
+            return self.priority.clone();
+        }
+        // Keep the existing order, appending uncovered arrivals at the
+        // tail in submission order.
+        self.priority.retain(|id| self.waiting.contains(*id));
+        let mut order = self.priority.clone();
+        order.extend(self.waiting.ids().filter(|id| !self.covered.contains(id)));
+        order
+    }
+
+    /// O(new arrivals) decision against the remembered blocked state.
+    /// Returns the picks and writes the updated cache back.
+    fn incremental_starts(&mut self, now: Time, cache: BlockedCache) -> Vec<JobId> {
+        let mut picks = Vec::new();
+        let updated = match cache {
+            BlockedCache::HeadBlocked => {
+                // Arrivals queue behind the blocked head; nothing starts.
+                self.arrivals.clear();
+                BlockedCache::HeadBlocked
+            }
+            BlockedCache::OpenList { mut leftover } => {
+                let mut blocked = false;
+                for &id in &self.arrivals {
+                    if blocked {
+                        break;
+                    }
+                    let nodes = self.waiting.get(id).nodes;
+                    if nodes <= leftover {
+                        leftover -= nodes;
+                        picks.push(id);
+                    } else {
+                        blocked = true;
+                    }
+                }
+                self.arrivals.clear();
+                if blocked {
+                    BlockedCache::HeadBlocked
+                } else {
+                    BlockedCache::OpenList { leftover }
+                }
+            }
+            BlockedCache::GreedyAny { mut leftover } => {
+                for &id in &self.arrivals {
+                    let nodes = self.waiting.get(id).nodes;
+                    if nodes <= leftover {
+                        leftover -= nodes;
+                        picks.push(id);
+                    }
+                    // Rejected arrivals stay rejected: leftover only
+                    // shrinks until the next invalidation.
+                }
+                self.arrivals.clear();
+                BlockedCache::GreedyAny { leftover }
+            }
+            BlockedCache::Easy {
+                shadow,
+                mut extra,
+                mut free,
+            } => {
+                let open = shadow >= jobsched_sim::profile::HORIZON;
+                for &id in &self.arrivals {
+                    let job = *self.waiting.get(id);
+                    let fits_now = job.nodes <= free;
+                    let passes = fits_now
+                        && (now + job.requested_time.max(1) <= shadow || job.nodes <= extra);
+                    if passes {
+                        free -= job.nodes;
+                        if now + job.requested_time.max(1) > shadow {
+                            extra -= job.nodes;
+                        }
+                        picks.push(id);
+                    } else if open {
+                        // No head was blocked when this state was taken;
+                        // this rejection creates a new blocked head whose
+                        // shadow the cache cannot know. The queue in this
+                        // state holds only recent arrivals, so a full
+                        // re-scan is cheap.
+                        self.invalidate_cache();
+                        return Vec::new(); // caller falls through to full scan
+                    }
+                    // With a real blocked head (shadow < HORIZON) a
+                    // rejection is final: free and extra only shrink until
+                    // the next invalidation.
+                }
+                self.arrivals.clear();
+                BlockedCache::Easy { shadow, extra, free }
+            }
+            BlockedCache::Conservative { leftover } => {
+                if self
+                    .arrivals
+                    .iter()
+                    .any(|&id| self.waiting.get(id).nodes <= leftover)
+                {
+                    // The arrival might start now; its reservation
+                    // interacts with the calendar — full re-scan.
+                    self.invalidate_cache();
+                    return Vec::new(); // caller falls through to full scan
+                }
+                self.arrivals.clear();
+                BlockedCache::Conservative { leftover }
+            }
+        };
+        self.cache = Some(updated);
+        picks
+    }
+}
+
+/// One full decision scan: dispatch the order to the selection strategy
+/// and describe the blocked state it leaves behind.
+fn full_scan<I: IntoIterator<Item = JobId>>(
+    greedy_any: bool,
+    backfill: BackfillMode,
+    order: I,
+    waiting: &Waiting,
+    machine: &Machine,
+    now: Time,
+) -> (Vec<JobId>, BlockedCache) {
+    if greedy_any {
+        let picks = select_greedy_any(order, waiting, machine);
+        let used: u32 = picks.iter().map(|&id| waiting.get(id).nodes).sum();
+        return (
+            picks,
+            BlockedCache::GreedyAny {
+                leftover: machine.free_nodes() - used,
+            },
+        );
+    }
+    match backfill {
+        BackfillMode::None => {
+            let picks = select_head_blocking(order, waiting, machine);
+            let blocked = if picks.len() < waiting.len() {
+                BlockedCache::HeadBlocked
+            } else {
+                let used: u32 = picks.iter().map(|&id| waiting.get(id).nodes).sum();
+                BlockedCache::OpenList {
+                    leftover: machine.free_nodes() - used,
+                }
+            };
+            (picks, blocked)
+        }
+        BackfillMode::Easy => {
+            let scan = scan_easy(order, waiting, machine, now);
+            (
+                scan.picks,
+                BlockedCache::Easy {
+                    shadow: scan.shadow,
+                    extra: scan.extra,
+                    free: scan.free,
+                },
+            )
+        }
+        BackfillMode::Conservative => {
+            let scan = scan_conservative(order, waiting.len(), waiting, machine, now);
+            (
+                scan.picks,
+                BlockedCache::Conservative {
+                    leftover: scan.leftover,
+                },
+            )
+        }
+    }
+}
+
+impl Scheduler for ListScheduler {
+    fn name(&self) -> String {
+        format!("{}+{}", self.policy.label(), self.backfill.label())
+    }
+
+    fn submit(&mut self, job: JobRequest, _now: Time) {
+        self.waiting.insert(job);
+        // §5.4: the trigger is evaluated as jobs are submitted. `covered`
+        // only ever holds still-waiting jobs (started ones are removed),
+        // so the unordered count is a subtraction.
+        if self.policy.is_dynamic() && !self.reorder_pending {
+            let unordered = self.waiting.len() - self.covered.len();
+            if self.trigger.fires(unordered, self.waiting.len()) {
+                self.reorder_pending = true;
+            }
+        }
+        if self.cache.is_some() {
+            if self.reorder_pending {
+                // A pending re-computation reorders the queue and thereby
+                // invalidates every blocked-state conclusion.
+                self.invalidate_cache();
+            } else {
+                self.arrivals.push(job.id);
+            }
+        }
+    }
+
+    fn job_finished(&mut self, _id: JobId, _now: Time) {
+        // Freed nodes enable starts the cache has ruled out.
+        self.invalidate_cache();
+    }
+
+    fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
+        if machine.free_nodes() == 0 || self.waiting.is_empty() {
+            return Vec::new();
+        }
+
+        if self.caching {
+            if let Some(cache) = self.cache {
+                let picks = self.incremental_starts(now, cache);
+                if self.cache.is_some() {
+                    for &id in &picks {
+                        self.waiting.remove(id);
+                        self.covered.remove(&id);
+                    }
+                    return picks;
+                }
+                // Cache invalidated inside: fall through to a full scan.
+            }
+        }
+
+        // Static policies iterate the wait queue lazily (plain FCFS pays
+        // O(started + 1) per decision); dynamic policies materialise their
+        // priority order first.
+        let greedy_any = matches!(self.policy, OrderPolicy::GareyGraham);
+        let (picks, blocked) = if self.policy.is_dynamic() {
+            let order = self.effective_order(machine.total_nodes());
+            full_scan(greedy_any, self.backfill, order, &self.waiting, machine, now)
+        } else {
+            full_scan(
+                greedy_any,
+                self.backfill,
+                self.waiting.ids(),
+                &self.waiting,
+                machine,
+                now,
+            )
+        };
+        for &id in &picks {
+            self.waiting.remove(id);
+            self.covered.remove(&id);
+        }
+        if self.caching {
+            // Every full scan is complete: no further job can start until
+            // an arrival (judged incrementally against this state) or a
+            // finish (which invalidates it). Caching here also makes the
+            // engine's confirm-empty round O(1).
+            self.cache = Some(blocked);
+            self.arrivals.clear();
+        }
+        picks
+    }
+
+    fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smart::SmartVariant;
+    use crate::view::WeightScheme;
+    use jobsched_sim::simulate;
+    use jobsched_workload::{JobBuilder, Workload};
+
+    fn workload_convoy() -> Workload {
+        // Classic convoy: a running job leaves 156 free nodes; a 200-node
+        // job blocks the FCFS head; many small short jobs queue behind it.
+        let mut jobs = vec![
+            JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(100)
+                .requested(10_000)
+                .runtime(10_000)
+                .build(),
+            JobBuilder::new(JobId(0))
+                .submit(1)
+                .nodes(200)
+                .requested(10_000)
+                .runtime(10_000)
+                .build(),
+        ];
+        for i in 0..20 {
+            jobs.push(
+                JobBuilder::new(JobId(0))
+                    .submit(2 + i)
+                    .nodes(8)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+            );
+        }
+        Workload::new("convoy", 256, jobs)
+    }
+
+    fn art(w: &Workload, s: &jobsched_sim::ScheduleRecord) -> f64 {
+        w.jobs()
+            .iter()
+            .map(|j| (s.placement(j.id).unwrap().completion - j.submit) as f64)
+            .sum::<f64>()
+            / w.len() as f64
+    }
+
+    #[test]
+    fn all_paper_algorithms_produce_valid_schedules() {
+        let w = workload_convoy();
+        let policies = vec![
+            OrderPolicy::Fcfs,
+            OrderPolicy::GareyGraham,
+            OrderPolicy::smart(SmartVariant::Ffia, WeightScheme::Unweighted),
+            OrderPolicy::smart(SmartVariant::Nfiw, WeightScheme::ProjectedArea),
+            OrderPolicy::psrs(WeightScheme::Unweighted),
+        ];
+        for policy in policies {
+            for mode in [BackfillMode::None, BackfillMode::Conservative, BackfillMode::Easy] {
+                let mut s = ListScheduler::new(policy, mode);
+                let out = simulate(&w, &mut s);
+                assert!(
+                    out.schedule.validate(&w).is_empty(),
+                    "invalid schedule from {}",
+                    ListScheduler::new(policy, mode).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fcfs_convoy_blocks_small_jobs() {
+        let w = workload_convoy();
+        let plain = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None));
+        // 156 nodes sit free behind the blocked 200-node head job, but
+        // plain FCFS never skips it: the small jobs wait 10 000 s.
+        let small_start = plain.schedule.placement(JobId(2)).unwrap().start;
+        assert!(small_start >= 10_000, "FCFS must not skip the head");
+    }
+
+    #[test]
+    fn easy_backfill_beats_plain_fcfs_on_convoy() {
+        let w = workload_convoy();
+        let plain = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None));
+        let easy = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::Easy));
+        assert!(
+            art(&w, &easy.schedule) < art(&w, &plain.schedule) / 2.0,
+            "EASY {} vs plain {}",
+            art(&w, &easy.schedule),
+            art(&w, &plain.schedule)
+        );
+    }
+
+    #[test]
+    fn conservative_backfill_beats_plain_fcfs_on_convoy() {
+        let w = workload_convoy();
+        let plain = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None));
+        let cons = simulate(
+            &w,
+            &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::Conservative),
+        );
+        assert!(art(&w, &cons.schedule) < art(&w, &plain.schedule) / 2.0);
+    }
+
+    #[test]
+    fn garey_graham_ignores_backfill_mode() {
+        let w = workload_convoy();
+        let a = simulate(
+            &w,
+            &mut ListScheduler::new(OrderPolicy::GareyGraham, BackfillMode::None),
+        );
+        let b = simulate(
+            &w,
+            &mut ListScheduler::new(OrderPolicy::GareyGraham, BackfillMode::Easy),
+        );
+        for j in w.jobs() {
+            assert_eq!(a.schedule.placement(j.id), b.schedule.placement(j.id));
+        }
+    }
+
+    #[test]
+    fn smart_prefers_small_jobs_unweighted() {
+        let w = workload_convoy();
+        let smart = simulate(
+            &w,
+            &mut ListScheduler::new(
+                OrderPolicy::smart(SmartVariant::Ffia, WeightScheme::Unweighted),
+                BackfillMode::Easy,
+            ),
+        );
+        let fcfs = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::Easy));
+        assert!(art(&w, &smart.schedule) <= art(&w, &fcfs.schedule));
+    }
+
+    #[test]
+    fn dynamic_policies_recompute_sparingly() {
+        // A burst of same-instant submissions arrives as one event batch:
+        // the trigger recomputes once for the batch, then the covered
+        // order drains without further recomputation.
+        let jobs: Vec<_> = (0..100)
+            .map(|i| {
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(64)
+                    .requested(100 + i)
+                    .runtime(100 + i)
+                    .build()
+            })
+            .collect();
+        let w = Workload::new("burst", 256, jobs);
+        let mut s = ListScheduler::new(
+            OrderPolicy::smart(SmartVariant::Ffia, WeightScheme::Unweighted),
+            BackfillMode::None,
+        );
+        simulate(&w, &mut s);
+        assert!(s.recomputations() >= 1);
+        assert!(
+            s.recomputations() <= 2,
+            "trigger must throttle recomputations: {}",
+            s.recomputations()
+        );
+    }
+
+    #[test]
+    fn names_follow_paper_labels() {
+        let s = ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::Easy);
+        assert_eq!(s.name(), "FCFS+EASY-Backfilling");
+        let s = ListScheduler::new(
+            OrderPolicy::smart(SmartVariant::Nfiw, WeightScheme::ProjectedArea),
+            BackfillMode::Conservative,
+        );
+        assert_eq!(s.name(), "SMART-NFIW+Backfilling");
+    }
+
+    #[test]
+    fn waiting_queue_bookkeeping() {
+        let mut w = Waiting::new();
+        let r = JobRequest {
+            id: JobId(3),
+            submit: 0,
+            nodes: 1,
+            requested_time: 10,
+            user: 0,
+        };
+        w.insert(r);
+        assert!(w.contains(JobId(3)));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.remove(JobId(3)).id, JobId(3));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "submitted twice")]
+    fn duplicate_submission_panics() {
+        let mut w = Waiting::new();
+        let r = JobRequest {
+            id: JobId(3),
+            submit: 0,
+            nodes: 1,
+            requested_time: 10,
+            user: 0,
+        };
+        w.insert(r);
+        w.insert(r);
+    }
+}

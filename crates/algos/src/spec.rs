@@ -1,0 +1,169 @@
+//! Algorithm specifications and the paper's evaluation matrix.
+//!
+//! Tables 3–6 evaluate five row algorithms against three column variants
+//! (plain list scheduler, conservative backfilling, EASY backfilling),
+//! with Garey & Graham appearing only in the list column because
+//! "application of backfilling will be of no benefit for this method"
+//! (§5.3). [`AlgorithmSpec::paper_matrix`] enumerates exactly those 13
+//! combinations; [`AlgorithmSpec::reference`] is the FCFS + EASY baseline
+//! the paper normalises against (§7: "the administrator selects the
+//! simulation of FCFS with EASY backfilling to be a reference value as
+//! this algorithm is used by the CTC").
+
+use crate::backfill::BackfillMode;
+use crate::order::OrderPolicy;
+use crate::psrs::PsrsParams;
+use crate::scheduler::ListScheduler;
+use crate::smart::SmartVariant;
+use crate::view::WeightScheme;
+
+/// Row algorithm of the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// First-Come-First-Serve (§5.1).
+    Fcfs,
+    /// Preemptive Smith-Ratio Scheduling, adapted (§5.5).
+    Psrs,
+    /// SMART, First Fit Increasing Area (§5.4).
+    SmartFfia,
+    /// SMART, Next Fit Increasing Width-to-Weight (§5.4).
+    SmartNfiw,
+    /// Classical list scheduling (§5.3).
+    GareyGraham,
+}
+
+impl PolicyKind {
+    /// All rows in the paper's table order.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Fcfs,
+        PolicyKind::Psrs,
+        PolicyKind::SmartFfia,
+        PolicyKind::SmartNfiw,
+        PolicyKind::GareyGraham,
+    ];
+
+    /// Row label as printed in the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::Psrs => "PSRS",
+            PolicyKind::SmartFfia => "SMART-FFIA",
+            PolicyKind::SmartNfiw => "SMART-NFIW",
+            PolicyKind::GareyGraham => "Garey&Graham",
+        }
+    }
+
+    /// Materialise the ordering policy under a weight scheme.
+    pub fn policy(&self, scheme: WeightScheme) -> OrderPolicy {
+        match self {
+            PolicyKind::Fcfs => OrderPolicy::Fcfs,
+            PolicyKind::GareyGraham => OrderPolicy::GareyGraham,
+            PolicyKind::SmartFfia => OrderPolicy::smart(SmartVariant::Ffia, scheme),
+            PolicyKind::SmartNfiw => OrderPolicy::smart(SmartVariant::Nfiw, scheme),
+            PolicyKind::Psrs => OrderPolicy::Psrs {
+                params: PsrsParams::default(),
+                scheme,
+            },
+        }
+    }
+}
+
+/// One cell of the evaluation matrix: a row algorithm and a backfill
+/// column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AlgorithmSpec {
+    /// Row algorithm.
+    pub kind: PolicyKind,
+    /// Column variant.
+    pub backfill: BackfillMode,
+}
+
+impl AlgorithmSpec {
+    /// New spec.
+    pub fn new(kind: PolicyKind, backfill: BackfillMode) -> Self {
+        AlgorithmSpec { kind, backfill }
+    }
+
+    /// The paper's FCFS + EASY reference configuration.
+    pub fn reference() -> Self {
+        AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::Easy)
+    }
+
+    /// The 13 combinations of Tables 3–6: 4 algorithms × 3 columns, plus
+    /// Garey & Graham in the list column only.
+    pub fn paper_matrix() -> Vec<AlgorithmSpec> {
+        let mut out = Vec::with_capacity(13);
+        for kind in [
+            PolicyKind::Fcfs,
+            PolicyKind::Psrs,
+            PolicyKind::SmartFfia,
+            PolicyKind::SmartNfiw,
+        ] {
+            for backfill in [
+                BackfillMode::None,
+                BackfillMode::Conservative,
+                BackfillMode::Easy,
+            ] {
+                out.push(AlgorithmSpec::new(kind, backfill));
+            }
+        }
+        out.push(AlgorithmSpec::new(PolicyKind::GareyGraham, BackfillMode::None));
+        out
+    }
+
+    /// Build a runnable scheduler under the given weight scheme.
+    pub fn build(&self, scheme: WeightScheme) -> ListScheduler {
+        ListScheduler::new(self.kind.policy(scheme), self.backfill)
+    }
+
+    /// Full display name ("PSRS+EASY-Backfilling").
+    pub fn name(&self) -> String {
+        format!("{}+{}", self.kind.label(), self.backfill.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_thirteen_cells() {
+        let m = AlgorithmSpec::paper_matrix();
+        assert_eq!(m.len(), 13);
+        let gg: Vec<_> = m.iter().filter(|s| s.kind == PolicyKind::GareyGraham).collect();
+        assert_eq!(gg.len(), 1);
+        assert_eq!(gg[0].backfill, BackfillMode::None);
+    }
+
+    #[test]
+    fn matrix_is_unique() {
+        let m = AlgorithmSpec::paper_matrix();
+        let set: std::collections::HashSet<_> = m.iter().collect();
+        assert_eq!(set.len(), m.len());
+    }
+
+    #[test]
+    fn reference_is_fcfs_easy() {
+        let r = AlgorithmSpec::reference();
+        assert_eq!(r.name(), "FCFS+EASY-Backfilling");
+        assert!(AlgorithmSpec::paper_matrix().contains(&r));
+    }
+
+    #[test]
+    fn build_respects_scheme() {
+        let s = AlgorithmSpec::new(PolicyKind::SmartFfia, BackfillMode::Easy);
+        let sched = s.build(WeightScheme::ProjectedArea);
+        assert_eq!(sched.policy().scheme(), WeightScheme::ProjectedArea);
+        let sched = s.build(WeightScheme::Unweighted);
+        assert_eq!(sched.policy().scheme(), WeightScheme::Unweighted);
+    }
+
+    #[test]
+    fn labels_cover_all_rows() {
+        let labels: Vec<_> = PolicyKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["FCFS", "PSRS", "SMART-FFIA", "SMART-NFIW", "Garey&Graham"]
+        );
+    }
+}

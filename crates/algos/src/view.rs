@@ -1,0 +1,121 @@
+//! The job view the offline ordering algorithms operate on.
+//!
+//! SMART and PSRS are defined over jobs with a known execution time and a
+//! weight. Online, "instead of the actual execution time of a job the
+//! value provided by the user at job submission is used" (§5.4), and the
+//! weight is 1 (unweighted / Rule 5 objective) or the projected resource
+//! consumption (weighted / Rule 6 objective, §4).
+
+use jobsched_sim::JobRequest;
+use jobsched_workload::{JobId, Time};
+
+/// Weight regime for the ordering algorithms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WeightScheme {
+    /// Every job weighs 1 — optimises average response time (Rule 5).
+    #[default]
+    Unweighted,
+    /// Weight = projected resource consumption `requested_time × nodes`
+    /// — optimises average weighted response time (Rule 6).
+    ProjectedArea,
+}
+
+impl WeightScheme {
+    /// Weight of a request under this scheme.
+    #[inline]
+    pub fn weight(self, job: &JobRequest) -> f64 {
+        match self {
+            WeightScheme::Unweighted => 1.0,
+            WeightScheme::ProjectedArea => job.projected_area(),
+        }
+    }
+
+    /// Short label used in algorithm names.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightScheme::Unweighted => "unw",
+            WeightScheme::ProjectedArea => "w",
+        }
+    }
+}
+
+/// A waiting job as seen by the offline ordering algorithms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobView {
+    /// Identity.
+    pub id: JobId,
+    /// Rigid node requirement.
+    pub nodes: u32,
+    /// Execution time as known to the algorithm (the user estimate).
+    pub time: Time,
+    /// Weight under the active [`WeightScheme`].
+    pub weight: f64,
+}
+
+impl JobView {
+    /// Build a view from a request under the given weight scheme.
+    pub fn of(job: &JobRequest, scheme: WeightScheme) -> Self {
+        JobView {
+            id: job.id,
+            nodes: job.nodes,
+            time: job.requested_time.max(1),
+            weight: scheme.weight(job),
+        }
+    }
+
+    /// Area under the algorithm's knowledge: `time × nodes`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.time as f64 * self.nodes as f64
+    }
+
+    /// Modified Smith ratio (§5.5): weight / (nodes × time). Larger =
+    /// more urgent.
+    #[inline]
+    pub fn smith_ratio(&self) -> f64 {
+        self.weight / self.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(nodes: u32, requested: Time) -> JobRequest {
+        JobRequest {
+            id: JobId(1),
+            submit: 0,
+            nodes,
+            requested_time: requested,
+            user: 0,
+        }
+    }
+
+    #[test]
+    fn unweighted_view() {
+        let v = JobView::of(&req(8, 100), WeightScheme::Unweighted);
+        assert_eq!(v.weight, 1.0);
+        assert_eq!(v.area(), 800.0);
+        assert!((v.smith_ratio() - 1.0 / 800.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_view_uses_projected_area() {
+        let v = JobView::of(&req(8, 100), WeightScheme::ProjectedArea);
+        assert_eq!(v.weight, 800.0);
+        // Weight = area ⇒ modified Smith ratio ≡ 1 for every job.
+        assert_eq!(v.smith_ratio(), 1.0);
+    }
+
+    #[test]
+    fn zero_requested_time_clamped() {
+        let v = JobView::of(&req(1, 0), WeightScheme::Unweighted);
+        assert_eq!(v.time, 1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(WeightScheme::Unweighted.label(), "unw");
+        assert_eq!(WeightScheme::ProjectedArea.label(), "w");
+    }
+}

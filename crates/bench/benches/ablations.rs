@@ -1,0 +1,96 @@
+//! Ablation benches: compute cost of the tunable design choices the paper
+//! defers to "parametric fine tuning" (§7). Schedule-quality sweeps come
+//! from `repro ablations`; these benches measure how the parameters move
+//! the *computation* cost of the ordering algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jobsched_algos::psrs::{psrs_order, PsrsParams};
+use jobsched_algos::smart::{smart_order, SmartVariant};
+use jobsched_algos::view::{JobView, WeightScheme};
+use jobsched_algos::order::ReorderTrigger;
+use jobsched_algos::{ListScheduler, OrderPolicy, BackfillMode};
+use jobsched_sim::simulate;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use jobsched_workload::JobId;
+use std::hint::black_box;
+
+/// A queue snapshot of `n` synthetic waiting jobs.
+fn views(n: usize) -> Vec<JobView> {
+    (0..n as u32)
+        .map(|i| JobView {
+            id: JobId(i),
+            nodes: 1 + (i * 29) % 192,
+            time: 30 + ((i as u64) * 977) % 50_000,
+            weight: 1.0,
+        })
+        .collect()
+}
+
+fn bench_gamma(c: &mut Criterion) {
+    let queue = views(2_000);
+    let mut group = c.benchmark_group("ablation/smart_gamma");
+    for gamma in [1.25, 1.5, 2.0, 4.0, 8.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &g| {
+            b.iter(|| black_box(smart_order(&queue, 256, g, SmartVariant::Ffia)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wide_wait(c: &mut Criterion) {
+    let queue = views(1_000);
+    let mut group = c.benchmark_group("ablation/psrs_wide_wait");
+    for factor in [0.25, 1.0, 4.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            b.iter(|| {
+                black_box(psrs_order(
+                    &queue,
+                    256,
+                    PsrsParams {
+                        wide_wait_factor: f,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reorder_threshold(c: &mut Criterion) {
+    // Full simulations: the threshold trades scheduler CPU for schedule
+    // quality (quality side printed by `repro ablations`).
+    let workload = prepared_ctc_workload(1_000, 1999);
+    let mut group = c.benchmark_group("ablation/reorder_threshold");
+    group.sample_size(10);
+    for threshold in [0.0, 1.0 / 3.0, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &th| {
+                b.iter(|| {
+                    let mut sched = ListScheduler::new(
+                        OrderPolicy::smart(SmartVariant::Ffia, WeightScheme::Unweighted),
+                        BackfillMode::Easy,
+                    )
+                    .with_trigger(ReorderTrigger {
+                        max_unordered_fraction: th,
+                    });
+                    black_box(simulate(&workload, &mut sched))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full multi-table suite tractable on one core;
+    // pass --measurement-time to Criterion for higher-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_gamma, bench_wide_wait, bench_reorder_threshold
+}
+criterion_main!(benches);

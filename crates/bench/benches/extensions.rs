@@ -1,0 +1,58 @@
+//! Benches for the extension substrates: gang scheduling, the combined
+//! day/night scheduler, the Example 4 drain scheduler and the typed
+//! (heterogeneous) machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jobsched_algos::drain::{DrainingFcfs, RecurringWindow};
+use jobsched_algos::switching::SwitchingScheduler;
+use jobsched_sim::gang::{simulate_gang_fcfs, GangConfig};
+use jobsched_sim::simulate;
+use jobsched_sim::typed::{simulate_typed_fcfs, TypedMachine};
+use jobsched_workload::ctc::{prepared_ctc_workload, CtcModel};
+use std::hint::black_box;
+
+const JOBS: usize = 1_200;
+
+fn bench_extensions(c: &mut Criterion) {
+    let workload = prepared_ctc_workload(JOBS, 1999);
+    let raw = CtcModel::with_jobs(JOBS).generate(1999);
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("gang_fcfs", |b| {
+        b.iter(|| black_box(simulate_gang_fcfs(&workload, GangConfig::default())))
+    });
+    group.bench_function("switching_day_night", |b| {
+        b.iter(|| {
+            let mut s = SwitchingScheduler::paper_combination();
+            black_box(simulate(&workload, &mut s))
+        })
+    });
+    group.bench_function("draining_fcfs", |b| {
+        b.iter(|| {
+            let mut s = DrainingFcfs::new(RecurringWindow::example4());
+            black_box(simulate(&workload, &mut s))
+        })
+    });
+    group.bench_function("typed_machine_fcfs", |b| {
+        b.iter(|| {
+            black_box(simulate_typed_fcfs(
+                &raw,
+                &mut TypedMachine::ctc_batch_partition(),
+                false,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full multi-table suite tractable on one core;
+    // pass --measurement-time to Criterion for higher-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the substrates the tables sit on: the availability
+//! profile driving both backfilling variants, the event queue, workload
+//! generation and the ordering algorithms at varying queue depths. These
+//! establish the per-component scaling behind Tables 7–8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jobsched_algos::psrs::{psrs_order, PsrsParams};
+use jobsched_algos::smart::{smart_order, SmartVariant};
+use jobsched_algos::view::JobView;
+use jobsched_sim::event::{Event, EventQueue};
+use jobsched_sim::{Machine, Profile};
+use jobsched_workload::ctc::CtcModel;
+use jobsched_workload::JobId;
+use std::hint::black_box;
+
+fn views(n: usize) -> Vec<JobView> {
+    (0..n as u32)
+        .map(|i| JobView {
+            id: JobId(i),
+            nodes: 1 + (i * 29) % 192,
+            time: 30 + ((i as u64) * 977) % 50_000,
+            weight: 1.0 + (i % 11) as f64,
+        })
+        .collect()
+}
+
+fn busy_machine(running: usize) -> Machine {
+    let mut m = Machine::new(256);
+    for i in 0..running {
+        let nodes = 1 + (i as u32 * 13) % 8;
+        if m.fits(nodes) {
+            m.start(JobId(i as u32), nodes, 0, 100 + (i as u64 * 379) % 50_000)
+                .unwrap();
+        }
+    }
+    m
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let machine = busy_machine(80);
+    let mut group = c.benchmark_group("substrate/profile");
+    group.bench_function("from_machine_80_running", |b| {
+        b.iter(|| black_box(Profile::from_machine(&machine, 0)))
+    });
+    let profile = Profile::from_machine(&machine, 0);
+    group.bench_function("earliest_start", |b| {
+        b.iter(|| black_box(profile.earliest_start(128, 3_600, 0)))
+    });
+    group.bench_function("reserve_chain_64", |b| {
+        b.iter(|| {
+            let mut p = profile.clone();
+            for i in 0..64u64 {
+                let start = p.earliest_start(32, 600, i);
+                p.reserve(32, start, 600);
+            }
+            black_box(p)
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("substrate/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push((i * 7919) % 100_000, Event::Submit(JobId(i as u32)));
+            }
+            let mut n = 0;
+            while let Some((_, batch)) = q.pop_batch() {
+                n += batch.len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/generators");
+    group.sample_size(10);
+    group.bench_function("ctc_10k", |b| {
+        b.iter(|| black_box(CtcModel::with_jobs(10_000).generate(1)))
+    });
+    group.finish();
+}
+
+fn bench_order_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/order_scaling");
+    for n in [100usize, 1_000, 4_000] {
+        let queue = views(n);
+        group.bench_with_input(BenchmarkId::new("smart_ffia", n), &queue, |b, q| {
+            b.iter(|| black_box(smart_order(q, 256, 2.0, SmartVariant::Ffia)))
+        });
+        group.bench_with_input(BenchmarkId::new("smart_nfiw", n), &queue, |b, q| {
+            b.iter(|| black_box(smart_order(q, 256, 2.0, SmartVariant::Nfiw)))
+        });
+        group.bench_with_input(BenchmarkId::new("psrs", n), &queue, |b, q| {
+            b.iter(|| black_box(psrs_order(q, 256, PsrsParams::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full multi-table suite tractable on one core;
+    // pass --measurement-time to Criterion for higher-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_profile, bench_event_queue, bench_generators, bench_order_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 3 / Figures 3–4 bench: simulate every (algorithm × backfill)
+//! cell of the paper's matrix on the CTC-like workload, unweighted and
+//! weighted. Wall-clock per cell corresponds to the end-to-end cost of
+//! regenerating one table entry; the printed table itself comes from
+//! `repro table3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::AlgorithmSpec;
+use jobsched_sim::simulate;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use std::hint::black_box;
+
+const JOBS: usize = 1_200;
+
+fn bench_table3(c: &mut Criterion) {
+    let workload = prepared_ctc_workload(JOBS, 1999);
+    for (scheme, label) in [
+        (WeightScheme::Unweighted, "unweighted"),
+        (WeightScheme::ProjectedArea, "weighted"),
+    ] {
+        let mut group = c.benchmark_group(format!("table3/{label}"));
+        group.sample_size(10);
+        for spec in AlgorithmSpec::paper_matrix() {
+            group.bench_function(spec.name(), |b| {
+                b.iter(|| {
+                    let mut sched = spec.build(scheme);
+                    black_box(simulate(black_box(&workload), &mut sched))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full multi-table suite tractable on one core;
+    // pass --measurement-time to Criterion for higher-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_table3
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Table 4 / Figure 5 bench: the §6.2 probability-distribution workload —
+//! fitting the binned model plus simulating the matrix cells on the
+//! resampled workload. The printed table comes from `repro table4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::AlgorithmSpec;
+use jobsched_sim::simulate;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use jobsched_workload::probabilistic::{probabilistic_workload, BinnedModel};
+use std::hint::black_box;
+
+const JOBS: usize = 1_200;
+
+fn bench_model_fit(c: &mut Criterion) {
+    let base = prepared_ctc_workload(4_000, 1999);
+    c.bench_function("table4/fit_binned_model", |b| {
+        b.iter(|| black_box(BinnedModel::fit(black_box(&base))))
+    });
+    let model = BinnedModel::fit(&base);
+    c.bench_function("table4/resample_10k", |b| {
+        b.iter(|| black_box(model.generate(10_000, 7)))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let base = prepared_ctc_workload(2_000, 1999);
+    let workload = probabilistic_workload(&base, JOBS, 2000);
+    for (scheme, label) in [
+        (WeightScheme::Unweighted, "unweighted"),
+        (WeightScheme::ProjectedArea, "weighted"),
+    ] {
+        let mut group = c.benchmark_group(format!("table4/{label}"));
+        group.sample_size(10);
+        for spec in AlgorithmSpec::paper_matrix() {
+            group.bench_function(spec.name(), |b| {
+                b.iter(|| {
+                    let mut sched = spec.build(scheme);
+                    black_box(simulate(black_box(&workload), &mut sched))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full multi-table suite tractable on one core;
+    // pass --measurement-time to Criterion for higher-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_model_fit, bench_table4
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table 5 bench: the §6.3 totally randomized workload (Table 2
+//! parameters). Hopelessly overloaded by design — "the performance of
+//! scheduling algorithms even in case of unusual job combinations". The
+//! printed table comes from `repro table5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::AlgorithmSpec;
+use jobsched_sim::simulate;
+use jobsched_workload::randomized::randomized_workload;
+use std::hint::black_box;
+
+// The randomized workload queues almost everything (offered load ≫ 1), so
+// keep the bench size small: queue work grows superlinearly here.
+const JOBS: usize = 600;
+
+fn bench_table5(c: &mut Criterion) {
+    let workload = randomized_workload(JOBS, 2001);
+    for (scheme, label) in [
+        (WeightScheme::Unweighted, "unweighted"),
+        (WeightScheme::ProjectedArea, "weighted"),
+    ] {
+        let mut group = c.benchmark_group(format!("table5/{label}"));
+        group.sample_size(10);
+        for spec in AlgorithmSpec::paper_matrix() {
+            group.bench_function(spec.name(), |b| {
+                b.iter(|| {
+                    let mut sched = spec.build(scheme);
+                    black_box(simulate(black_box(&workload), &mut sched))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full multi-table suite tractable on one core;
+    // pass --measurement-time to Criterion for higher-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_table5
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 6 / Figure 6 bench: the CTC workload with exact execution times
+//! (§6.1's second simulation — perfect user estimates). Paired with the
+//! `table3` bench this measures how estimate quality changes scheduler
+//! work; the cost comparison comes from `repro table6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::AlgorithmSpec;
+use jobsched_sim::simulate;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use jobsched_workload::exact::with_exact_estimates;
+use std::hint::black_box;
+
+const JOBS: usize = 1_200;
+
+fn bench_table6(c: &mut Criterion) {
+    let workload = with_exact_estimates(&prepared_ctc_workload(JOBS, 1999));
+    for (scheme, label) in [
+        (WeightScheme::Unweighted, "unweighted"),
+        (WeightScheme::ProjectedArea, "weighted"),
+    ] {
+        let mut group = c.benchmark_group(format!("table6/{label}"));
+        group.sample_size(10);
+        for spec in AlgorithmSpec::paper_matrix() {
+            group.bench_function(spec.name(), |b| {
+                b.iter(|| {
+                    let mut sched = spec.build(scheme);
+                    black_box(simulate(black_box(&workload), &mut sched))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full multi-table suite tractable on one core;
+    // pass --measurement-time to Criterion for higher-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_table6
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Table 7: scheduler computation time on the CTC workload.
+//!
+//! The paper compares the time the *scheduling algorithm itself* consumes
+//! (not the simulated clock). `iter_custom` reports exactly the metered
+//! time inside scheduler callbacks (`SimOutcome::scheduler_cpu`), so the
+//! engine's own bookkeeping does not pollute the comparison — this is the
+//! measurement behind the paper's percentage columns, which `repro
+//! table7` prints.
+//!
+//! Rows: the paper's Table 7 layout — Listscheduler and EASY columns for
+//! FCFS, PSRS, SMART and Garey&Graham, unweighted and weighted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jobsched_algos::spec::PolicyKind;
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::{AlgorithmSpec, BackfillMode};
+use jobsched_sim::simulate;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use std::time::Duration;
+
+const JOBS: usize = 1_500;
+
+fn bench_table7(c: &mut Criterion) {
+    let workload = prepared_ctc_workload(JOBS, 1999);
+    let cells: Vec<AlgorithmSpec> = [
+        PolicyKind::Fcfs,
+        PolicyKind::Psrs,
+        PolicyKind::SmartFfia,
+        PolicyKind::SmartNfiw,
+        PolicyKind::GareyGraham,
+    ]
+    .into_iter()
+    .flat_map(|kind| {
+        let modes: &[BackfillMode] = if kind == PolicyKind::GareyGraham {
+            &[BackfillMode::None]
+        } else {
+            &[BackfillMode::None, BackfillMode::Easy]
+        };
+        modes.iter().map(move |&m| AlgorithmSpec::new(kind, m))
+    })
+    .collect();
+
+    for (scheme, label) in [
+        (WeightScheme::Unweighted, "unweighted"),
+        (WeightScheme::ProjectedArea, "weighted"),
+    ] {
+        let mut group = c.benchmark_group(format!("table7/{label}"));
+        group.sample_size(10);
+        for &spec in &cells {
+            group.bench_function(spec.name(), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let mut sched = spec.build(scheme);
+                        total += simulate(&workload, &mut sched).scheduler_cpu;
+                    }
+                    total.max(Duration::from_nanos(1))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full multi-table suite tractable on one core;
+    // pass --measurement-time to Criterion for higher-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_table7
+}
+criterion_main!(benches);

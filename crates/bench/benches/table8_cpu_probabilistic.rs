@@ -1,0 +1,70 @@
+//! Table 8: scheduler computation time on the probability-distributed
+//! workload (§6.2). Same measurement as the Table 7 bench, different
+//! workload — the paper's point being that the comparison is stable
+//! across workloads. `repro table8` prints the percentage table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jobsched_algos::spec::PolicyKind;
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::{AlgorithmSpec, BackfillMode};
+use jobsched_sim::simulate;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use jobsched_workload::probabilistic::probabilistic_workload;
+use std::time::Duration;
+
+const JOBS: usize = 1_500;
+
+fn bench_table8(c: &mut Criterion) {
+    let base = prepared_ctc_workload(2_000, 1999);
+    let workload = probabilistic_workload(&base, JOBS, 2000);
+    let cells: Vec<AlgorithmSpec> = [
+        PolicyKind::Fcfs,
+        PolicyKind::Psrs,
+        PolicyKind::SmartFfia,
+        PolicyKind::SmartNfiw,
+        PolicyKind::GareyGraham,
+    ]
+    .into_iter()
+    .flat_map(|kind| {
+        let modes: &[BackfillMode] = if kind == PolicyKind::GareyGraham {
+            &[BackfillMode::None]
+        } else {
+            &[BackfillMode::None, BackfillMode::Easy]
+        };
+        modes.iter().map(move |&m| AlgorithmSpec::new(kind, m))
+    })
+    .collect();
+
+    for (scheme, label) in [
+        (WeightScheme::Unweighted, "unweighted"),
+        (WeightScheme::ProjectedArea, "weighted"),
+    ] {
+        let mut group = c.benchmark_group(format!("table8/{label}"));
+        group.sample_size(10);
+        for &spec in &cells {
+            group.bench_function(spec.name(), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let mut sched = spec.build(scheme);
+                        total += simulate(&workload, &mut sched).scheduler_cpu;
+                    }
+                    total.max(Duration::from_nanos(1))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full multi-table suite tractable on one core;
+    // pass --measurement-time to Criterion for higher-precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_table8
+}
+criterion_main!(benches);

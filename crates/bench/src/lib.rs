@@ -1,0 +1,46 @@
+//! Shared helpers for the Criterion benchmarks and the `repro` binary.
+//!
+//! The benchmark suite regenerates every table and figure of the paper's
+//! evaluation section (see DESIGN.md §4 for the index). The `repro`
+//! binary prints them in the paper's layout; the Criterion benches in
+//! `benches/` measure the scheduler computation-time comparisons of
+//! Tables 7–8 and the ablations.
+
+use jobsched_core::experiment::Scale;
+
+/// Parse a scale name from the CLI (`quick`, `standard`, `paper`).
+pub fn parse_scale(name: &str) -> Option<Scale> {
+    match name {
+        "quick" => Some(Scale::quick()),
+        "standard" => Some(Scale::standard()),
+        "paper" | "full" => Some(Scale::paper()),
+        _ => None,
+    }
+}
+
+/// The workload sizes a scale produces, for display.
+pub fn describe(scale: Scale) -> String {
+    format!(
+        "{} CTC-like jobs, {} synthetic jobs, seed {}",
+        scale.ctc_jobs, scale.synthetic_jobs, scale.seed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_names_parse() {
+        assert_eq!(parse_scale("quick"), Some(Scale::quick()));
+        assert_eq!(parse_scale("standard"), Some(Scale::standard()));
+        assert_eq!(parse_scale("paper"), Some(Scale::paper()));
+        assert_eq!(parse_scale("full"), Some(Scale::paper()));
+        assert_eq!(parse_scale("bogus"), None);
+    }
+
+    #[test]
+    fn describe_mentions_sizes() {
+        assert!(describe(Scale::paper()).contains("79164"));
+    }
+}

@@ -1,0 +1,288 @@
+//! The evaluation harness: run the §5 algorithm matrix over a workload
+//! under an objective function and tabulate costs against the paper's
+//! FCFS + EASY reference.
+
+use crate::objective_select::ObjectiveKind;
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::AlgorithmSpec;
+use jobsched_sim::simulate;
+use jobsched_workload::{Time, Workload};
+use serde::Serialize;
+use std::time::Duration;
+
+/// Workload scale. The paper simulates 79,164 CTC jobs and 50,000
+/// synthetic jobs; scaled-down runs keep the same distributions with
+/// fewer jobs so tests and quick reproductions finish fast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of CTC-like jobs (paper: 79,164).
+    pub ctc_jobs: usize,
+    /// Number of synthetic jobs (paper: 50,000).
+    pub synthetic_jobs: usize,
+    /// Base RNG seed for all generators.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's full workload sizes (Table 1).
+    pub fn paper() -> Self {
+        Scale {
+            ctc_jobs: jobsched_workload::CTC_JOB_COUNT,
+            synthetic_jobs: jobsched_workload::SYNTHETIC_JOB_COUNT,
+            seed: 1999,
+        }
+    }
+
+    /// A reduced scale for interactive runs (~minutes on one core).
+    pub fn standard() -> Self {
+        Scale {
+            ctc_jobs: 16_000,
+            synthetic_jobs: 10_000,
+            seed: 1999,
+        }
+    }
+
+    /// A small scale for integration tests and Criterion benches.
+    pub fn quick() -> Self {
+        Scale {
+            ctc_jobs: 2_500,
+            synthetic_jobs: 1_600,
+            seed: 1999,
+        }
+    }
+}
+
+/// Result of one (algorithm × backfill) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct EvalCell {
+    /// Row algorithm label.
+    pub algorithm: String,
+    /// Column label.
+    pub backfill: String,
+    /// Schedule cost under the table's objective (simulated seconds).
+    pub cost: f64,
+    /// Percentage difference against the reference cell (0 for it).
+    pub pct: f64,
+    /// Wall-clock spent inside the scheduler (Tables 7–8).
+    #[serde(skip)]
+    pub scheduler_cpu: Duration,
+    /// Percentage difference of scheduler CPU against the reference.
+    pub cpu_pct: f64,
+    /// Schedule makespan.
+    pub makespan: Time,
+    /// Machine utilization over the makespan.
+    pub utilization: f64,
+    #[serde(skip)]
+    spec: AlgorithmSpec,
+}
+
+impl EvalCell {
+    /// The spec that produced this cell.
+    pub fn spec(&self) -> AlgorithmSpec {
+        self.spec
+    }
+}
+
+/// One table: the 13-cell matrix under a single objective.
+#[derive(Clone, Debug, Serialize)]
+pub struct EvalTable {
+    /// Table title ("Table 3, unweighted case", ...).
+    pub title: String,
+    /// Workload the table was computed on.
+    pub workload: String,
+    /// The objective used.
+    pub objective: ObjectiveKind,
+    /// All cells, in `AlgorithmSpec::paper_matrix` order.
+    pub cells: Vec<EvalCell>,
+}
+
+impl EvalTable {
+    /// Cost of the FCFS + EASY reference cell.
+    pub fn reference_cost(&self) -> f64 {
+        self.cell(AlgorithmSpec::reference())
+            .expect("matrix contains the reference")
+            .cost
+    }
+
+    /// Find a cell by spec.
+    pub fn cell(&self, spec: AlgorithmSpec) -> Option<&EvalCell> {
+        self.cells.iter().find(|c| c.spec == spec)
+    }
+
+    /// The cell with the smallest cost.
+    pub fn best(&self) -> &EvalCell {
+        self.cells
+            .iter()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .expect("non-empty table")
+    }
+}
+
+/// Percentage difference of `x` against `reference`, as printed in the
+/// paper's `pct` columns.
+pub fn pct_vs(x: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        return 0.0;
+    }
+    (x - reference) / reference * 100.0
+}
+
+/// Run the full 13-cell matrix (Tables 3–6 layout) over one workload and
+/// objective. Sequential by design: scheduler CPU times (Tables 7–8) come
+/// from the same runs and must not be distorted by core contention.
+pub fn evaluate_matrix(workload: &Workload, objective: ObjectiveKind, title: &str) -> EvalTable {
+    evaluate_specs_with(
+        workload,
+        objective,
+        title,
+        &AlgorithmSpec::paper_matrix(),
+        true,
+    )
+}
+
+/// As [`evaluate_matrix`] but with the schedulers' incremental cache
+/// disabled (full queue scan at every decision). Schedules are identical;
+/// only the *computation-time* columns change — this is the measurement
+/// condition of the paper's Tables 7–8, where scheduler cost tracks the
+/// queue depth each algorithm's own schedule produces.
+pub fn evaluate_matrix_naive(
+    workload: &Workload,
+    objective: ObjectiveKind,
+    title: &str,
+) -> EvalTable {
+    evaluate_specs_with(
+        workload,
+        objective,
+        title,
+        &AlgorithmSpec::paper_matrix(),
+        false,
+    )
+}
+
+/// Run an arbitrary set of specs (used by the ablation benches).
+pub fn evaluate_specs(
+    workload: &Workload,
+    objective: ObjectiveKind,
+    title: &str,
+    specs: &[AlgorithmSpec],
+) -> EvalTable {
+    evaluate_specs_with(workload, objective, title, specs, true)
+}
+
+/// Full-control variant: `caching` toggles the schedulers' incremental
+/// blocked-state cache.
+pub fn evaluate_specs_with(
+    workload: &Workload,
+    objective: ObjectiveKind,
+    title: &str,
+    specs: &[AlgorithmSpec],
+    caching: bool,
+) -> EvalTable {
+    let scheme = if objective.weighted() {
+        WeightScheme::ProjectedArea
+    } else {
+        WeightScheme::Unweighted
+    };
+    let metric = objective.build();
+    let mut cells: Vec<EvalCell> = specs
+        .iter()
+        .map(|&spec| {
+            let mut scheduler = spec.build(scheme).with_caching(caching);
+            let out = simulate(workload, &mut scheduler);
+            debug_assert!(out.schedule.validate(workload).is_empty());
+            EvalCell {
+                algorithm: spec.kind.label().to_string(),
+                backfill: spec.backfill.label().to_string(),
+                cost: metric.cost(workload, &out.schedule),
+                pct: 0.0,
+                scheduler_cpu: out.scheduler_cpu,
+                cpu_pct: 0.0,
+                makespan: out.schedule.makespan(),
+                utilization: out.schedule.utilization(workload),
+                spec,
+            }
+        })
+        .collect();
+
+    // Normalise against FCFS+EASY when present, else the first cell.
+    let reference = cells
+        .iter()
+        .find(|c| c.spec == AlgorithmSpec::reference())
+        .unwrap_or(&cells[0]);
+    let (ref_cost, ref_cpu) = (reference.cost, reference.scheduler_cpu.as_secs_f64());
+    for c in &mut cells {
+        c.pct = pct_vs(c.cost, ref_cost);
+        c.cpu_pct = pct_vs(c.scheduler_cpu.as_secs_f64(), ref_cpu.max(f64::MIN_POSITIVE));
+    }
+
+    EvalTable {
+        title: title.to_string(),
+        workload: workload.name().to_string(),
+        objective,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_algos::spec::PolicyKind;
+    use jobsched_algos::BackfillMode;
+    use jobsched_workload::ctc::prepared_ctc_workload;
+
+    fn small_table() -> EvalTable {
+        let w = prepared_ctc_workload(400, 7);
+        evaluate_matrix(&w, ObjectiveKind::AvgResponseTime, "test")
+    }
+
+    #[test]
+    fn matrix_produces_thirteen_cells() {
+        let t = small_table();
+        assert_eq!(t.cells.len(), 13);
+        assert!(t.cells.iter().all(|c| c.cost.is_finite() && c.cost > 0.0));
+    }
+
+    #[test]
+    fn reference_cell_has_zero_pct() {
+        let t = small_table();
+        let r = t.cell(AlgorithmSpec::reference()).unwrap();
+        assert_eq!(r.pct, 0.0);
+        assert_eq!(r.cpu_pct, 0.0);
+        assert_eq!(t.reference_cost(), r.cost);
+    }
+
+    #[test]
+    fn best_cell_minimises_cost() {
+        let t = small_table();
+        let best = t.best();
+        assert!(t.cells.iter().all(|c| c.cost >= best.cost));
+    }
+
+    #[test]
+    fn pct_helper() {
+        assert_eq!(pct_vs(150.0, 100.0), 50.0);
+        assert_eq!(pct_vs(50.0, 100.0), -50.0);
+        assert_eq!(pct_vs(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn evaluate_specs_subset() {
+        let w = prepared_ctc_workload(200, 8);
+        let specs = vec![
+            AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None),
+            AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::Easy),
+        ];
+        let t = evaluate_specs(&w, ObjectiveKind::AvgWeightedResponseTime, "sub", &specs);
+        assert_eq!(t.cells.len(), 2);
+        // Reference present → second cell has pct 0.
+        assert_eq!(t.cells[1].pct, 0.0);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::quick().ctc_jobs < Scale::standard().ctc_jobs);
+        assert!(Scale::standard().ctc_jobs < Scale::paper().ctc_jobs);
+        assert_eq!(Scale::paper().ctc_jobs, 79_164);
+        assert_eq!(Scale::paper().synthetic_jobs, 50_000);
+    }
+}

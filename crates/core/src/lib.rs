@@ -1,0 +1,35 @@
+//! The scheduling-system design framework of the paper, plus the complete
+//! §6–§7 experiment suite.
+//!
+//! §2 splits a scheduling system into three components and this crate
+//! mirrors that split:
+//!
+//! 1. **Scheduling policy** ([`policy`]) — the owner's rules (Examples 1
+//!    and 5 are provided as ready-made [`policy::Policy`] values), with
+//!    the conflict analysis §2.1 calls for.
+//! 2. **Objective function** ([`objective_select`]) — the §4 derivation
+//!    from policy rules to schedule costs, including the rejected
+//!    intermediate candidates (total idle time, makespan) and the
+//!    Pareto-based methodology of §2.2.
+//! 3. **Scheduling algorithm** — provided by `jobsched-algos`; selected by
+//!    evaluation ([`experiment`], [`system`]).
+//!
+//! [`paper`] defines every table and figure of the evaluation example:
+//! Tables 3–6 (ART/AWRT across three workloads plus the exact-runtime
+//! study), Tables 7–8 (scheduler computation time), and Figures 1–6.
+//! [`report`] renders results in the paper's layout (scientific-notation
+//! cost plus percentage against the FCFS+EASY reference).
+
+pub mod ablation;
+pub mod experiment;
+pub mod extensions;
+pub mod objective_select;
+pub mod paper;
+pub mod policy;
+pub mod replication;
+pub mod report;
+pub mod system;
+
+pub use experiment::{evaluate_matrix, EvalCell, EvalTable, Scale};
+pub use policy::{Policy, Rule};
+pub use system::SchedulingSystem;

@@ -1,0 +1,161 @@
+//! §4: deriving objective functions from the policy rules.
+//!
+//! The paper's administrator walks each schedule-shaping goal through a
+//! selection argument:
+//!
+//! * *Minimise response time* (Rule 5): "Rule 4 indicates that all jobs
+//!   should be treated equally independent of their resource consumption.
+//!   Therefore, the administrator uses the average response time."
+//! * *Maximise load* (Rule 6): total idle time "is based on a time frame —
+//!   therefore it does not support on-line scheduling"; makespan "is
+//!   mainly an off-line criterion"; hence the **average weighted response
+//!   time** with weight = resource consumption.
+//!
+//! [`derive_objectives`] reproduces this reasoning mechanically, keeping
+//! the rejected candidates and the reason each was rejected, so the
+//! decision trail of §4 is inspectable (and testable).
+
+use crate::policy::{DailyWindow, Policy, Rule, SchedulingGoal};
+use jobsched_metrics::{AvgResponseTime, AvgWeightedResponseTime, Objective};
+use serde::{Deserialize, Serialize};
+
+/// The objective functions this derivation can produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectiveKind {
+    /// Average response time.
+    AvgResponseTime,
+    /// Average weighted response time, weight = resource consumption.
+    AvgWeightedResponseTime,
+}
+
+impl ObjectiveKind {
+    /// Materialise the metric.
+    pub fn build(&self) -> Box<dyn Objective + Send + Sync> {
+        match self {
+            ObjectiveKind::AvgResponseTime => Box::new(AvgResponseTime),
+            ObjectiveKind::AvgWeightedResponseTime => Box::new(AvgWeightedResponseTime),
+        }
+    }
+
+    /// Whether the ordering algorithms should weight jobs by projected
+    /// resource consumption when optimising for this objective.
+    pub fn weighted(&self) -> bool {
+        matches!(self, ObjectiveKind::AvgWeightedResponseTime)
+    }
+}
+
+/// A candidate considered and rejected during the derivation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectedCandidate {
+    /// Candidate name.
+    pub candidate: String,
+    /// The §4 rejection reason.
+    pub reason: String,
+}
+
+/// An objective derived for one time regime.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DerivedObjective {
+    /// Window the goal is active in (`None` = remaining time).
+    pub window: Option<DailyWindow>,
+    /// The selected objective.
+    pub objective: ObjectiveKind,
+    /// Why it was selected.
+    pub rationale: String,
+    /// Candidates considered first and rejected.
+    pub rejected: Vec<RejectedCandidate>,
+}
+
+/// Derive one objective per `GoalInWindow` rule, following §4.
+pub fn derive_objectives(policy: &Policy) -> Vec<DerivedObjective> {
+    let equal_treatment = policy
+        .rules
+        .iter()
+        .any(|r| matches!(r, Rule::MaxJobsPerUser(_)));
+    policy
+        .rules
+        .iter()
+        .filter_map(|rule| {
+            let Rule::GoalInWindow { window, goal } = rule else {
+                return None;
+            };
+            Some(match goal {
+                SchedulingGoal::MinimizeResponseTime => DerivedObjective {
+                    window: *window,
+                    objective: ObjectiveKind::AvgResponseTime,
+                    rationale: if equal_treatment {
+                        "per-user job limits indicate all jobs are treated equally \
+                         independent of resource consumption ⇒ unweighted average \
+                         response time"
+                            .into()
+                    } else {
+                        "response-time goal with no equality hint ⇒ average response time".into()
+                    },
+                    rejected: Vec::new(),
+                },
+                SchedulingGoal::MaximizeSystemLoad => DerivedObjective {
+                    window: *window,
+                    objective: ObjectiveKind::AvgWeightedResponseTime,
+                    rationale: "weight each job by its resource consumption \
+                                (runtime × nodes): minimising weighted response time \
+                                keeps resources busy, and the job order does not \
+                                matter if no resources are left idle [16]"
+                        .into(),
+                    rejected: vec![
+                        RejectedCandidate {
+                            candidate: "total idle time".into(),
+                            reason: "based on a time frame; does not support on-line \
+                                     scheduling"
+                                .into(),
+                        },
+                        RejectedCandidate {
+                            candidate: "makespan".into(),
+                            reason: "mainly an off-line criterion".into(),
+                        },
+                    ],
+                },
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example5_derives_two_objectives() {
+        let d = derive_objectives(&Policy::example5());
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].objective, ObjectiveKind::AvgResponseTime);
+        assert_eq!(d[0].window, Some(DailyWindow::WEEKDAY_DAYTIME));
+        assert_eq!(d[1].objective, ObjectiveKind::AvgWeightedResponseTime);
+        assert_eq!(d[1].window, None);
+    }
+
+    #[test]
+    fn rule4_drives_equal_treatment_rationale() {
+        let d = derive_objectives(&Policy::example5());
+        assert!(d[0].rationale.contains("treated equally"));
+    }
+
+    #[test]
+    fn load_goal_records_rejected_candidates() {
+        let d = derive_objectives(&Policy::example5());
+        let rejected: Vec<&str> = d[1].rejected.iter().map(|r| r.candidate.as_str()).collect();
+        assert_eq!(rejected, vec!["total idle time", "makespan"]);
+    }
+
+    #[test]
+    fn example1_has_no_goal_rules() {
+        assert!(derive_objectives(&Policy::example1()).is_empty());
+    }
+
+    #[test]
+    fn kinds_build_metrics() {
+        assert_eq!(ObjectiveKind::AvgResponseTime.build().name(), "ART");
+        assert_eq!(ObjectiveKind::AvgWeightedResponseTime.build().name(), "AWRT");
+        assert!(!ObjectiveKind::AvgResponseTime.weighted());
+        assert!(ObjectiveKind::AvgWeightedResponseTime.weighted());
+    }
+}

@@ -1,0 +1,115 @@
+//! Multi-seed replication: statistical stability of the evaluation.
+//!
+//! §6.2's consistency check and §7's caution against reading too much
+//! into absolute numbers both call for replication: a single workload
+//! realisation can favour one algorithm by luck. [`replicate`] re-runs a
+//! table over several generator seeds and reports the mean and standard
+//! deviation of each cell's percentage against the per-seed FCFS+EASY
+//! reference — if an ordering claim survives the spread, it is a property
+//! of the workload *model*, not of one sample.
+
+use crate::experiment::{evaluate_matrix, Scale};
+use crate::objective_select::ObjectiveKind;
+use jobsched_algos::AlgorithmSpec;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use jobsched_workload::stats::Summary;
+
+/// Aggregated result of one matrix cell across seeds.
+#[derive(Clone, Debug)]
+pub struct ReplicatedCell {
+    /// The configuration.
+    pub spec: AlgorithmSpec,
+    /// Mean percentage versus the per-seed reference.
+    pub mean_pct: f64,
+    /// Standard deviation of that percentage.
+    pub std_pct: f64,
+    /// Number of seeds.
+    pub seeds: usize,
+}
+
+impl ReplicatedCell {
+    /// Whether this cell is distinguishable from the reference at roughly
+    /// two standard deviations.
+    pub fn significant(&self) -> bool {
+        self.mean_pct.abs() > 2.0 * self.std_pct.max(1e-9)
+    }
+}
+
+/// Run the full matrix over `seeds` CTC-like workload realisations.
+pub fn replicate(base: Scale, objective: ObjectiveKind, seeds: &[u64]) -> Vec<ReplicatedCell> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut per_spec: Vec<(AlgorithmSpec, Summary)> = AlgorithmSpec::paper_matrix()
+        .into_iter()
+        .map(|s| (s, Summary::new()))
+        .collect();
+    for &seed in seeds {
+        let w = prepared_ctc_workload(base.ctc_jobs, seed);
+        let table = evaluate_matrix(&w, objective, "replicate");
+        for (spec, summary) in &mut per_spec {
+            summary.push(table.cell(*spec).expect("matrix cell").pct);
+        }
+    }
+    per_spec
+        .into_iter()
+        .map(|(spec, s)| ReplicatedCell {
+            spec,
+            mean_pct: s.mean(),
+            std_pct: s.std_dev(),
+            seeds: seeds.len(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_algos::spec::PolicyKind;
+    use jobsched_algos::BackfillMode;
+
+    #[test]
+    fn replication_aggregates_across_seeds() {
+        let scale = Scale {
+            ctc_jobs: 600,
+            synthetic_jobs: 200,
+            seed: 0,
+        };
+        let cells = replicate(scale, ObjectiveKind::AvgResponseTime, &[1, 2, 3]);
+        assert_eq!(cells.len(), 13);
+        let reference = cells
+            .iter()
+            .find(|c| c.spec == AlgorithmSpec::reference())
+            .unwrap();
+        assert_eq!(reference.mean_pct, 0.0);
+        assert_eq!(reference.std_pct, 0.0);
+        assert!(cells.iter().all(|c| c.seeds == 3));
+    }
+
+    #[test]
+    fn fcfs_plain_consistently_worst_across_seeds() {
+        let scale = Scale {
+            ctc_jobs: 900,
+            synthetic_jobs: 200,
+            seed: 0,
+        };
+        let cells = replicate(scale, ObjectiveKind::AvgResponseTime, &[11, 12, 13]);
+        let fcfs_plain = cells
+            .iter()
+            .find(|c| c.spec == AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None))
+            .unwrap();
+        // The headline claim must be a model property: large positive mean,
+        // clear of the spread.
+        assert!(fcfs_plain.mean_pct > 50.0, "mean {}", fcfs_plain.mean_pct);
+        assert!(fcfs_plain.significant());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_rejected() {
+        let scale = Scale {
+            ctc_jobs: 100,
+            synthetic_jobs: 100,
+            seed: 0,
+        };
+        let _ = replicate(scale, ObjectiveKind::AvgResponseTime, &[]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Rendering results in the paper's table layout and as CSV.
+//!
+//! The paper prints each table as rows (FCFS, PSRS, SMART-FFIA,
+//! SMART-NFIW, Garey&Graham) × columns (Listscheduler, Backfilling,
+//! EASY-Backfilling), each cell holding the cost in scientific notation
+//! and the percentage against the FCFS+EASY reference.
+
+use crate::experiment::EvalTable;
+use jobsched_algos::spec::PolicyKind;
+use jobsched_algos::{AlgorithmSpec, BackfillMode};
+use std::fmt::Write as _;
+
+const COLUMNS: [BackfillMode; 3] = [
+    BackfillMode::None,
+    BackfillMode::Conservative,
+    BackfillMode::Easy,
+];
+
+/// Format a cost the way the paper does ("4.91E+06").
+pub fn sci(cost: f64) -> String {
+    format!("{cost:.2E}")
+}
+
+/// Format a percentage the way the paper does ("+1143.0%" / "-69.6%").
+pub fn pct(p: f64) -> String {
+    format!("{p:+.1}%")
+}
+
+/// Render one matrix table in the paper's layout.
+pub fn render_table(table: &EvalTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — workload: {}, objective: {:?}", table.title, table.workload, table.objective);
+    let _ = writeln!(
+        out,
+        "{:14} {:>10} {:>9} | {:>10} {:>9} | {:>10} {:>9}",
+        "", "Listsched", "pct", "Backfill", "pct", "EASY", "pct"
+    );
+    for kind in PolicyKind::ALL {
+        let mut row = format!("{:14}", kind.label());
+        for (i, mode) in COLUMNS.iter().enumerate() {
+            let sep = if i == 0 { " " } else { " | " };
+            match table.cell(AlgorithmSpec::new(kind, *mode)) {
+                Some(c) => {
+                    let _ = write!(row, "{sep}{:>10} {:>9}", sci(c.cost), pct(c.pct));
+                }
+                None => {
+                    let _ = write!(row, "{sep}{:>10} {:>9}", "-", "-");
+                }
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Render the scheduler computation-time view of a table (Tables 7–8):
+/// percentages of scheduler CPU against the FCFS+EASY reference, for the
+/// Listscheduler and EASY columns as in the paper.
+pub fn render_cpu_table(table: &EvalTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — scheduler computation time (pct vs FCFS+EASY)", table.title);
+    let _ = writeln!(out, "{:14} {:>14} {:>18}", "", "Listscheduler", "EASY-Backfilling");
+    for kind in PolicyKind::ALL {
+        let list = table.cell(AlgorithmSpec::new(kind, BackfillMode::None));
+        let easy = table.cell(AlgorithmSpec::new(kind, BackfillMode::Easy));
+        let fmt_cell = |c: Option<&crate::experiment::EvalCell>| {
+            c.map_or_else(|| "-".to_string(), |c| pct(c.cpu_pct))
+        };
+        let _ = writeln!(
+            out,
+            "{:14} {:>14} {:>18}",
+            kind.label(),
+            fmt_cell(list),
+            fmt_cell(easy)
+        );
+    }
+    out
+}
+
+/// CSV export of a table (one line per cell) for plotting the figures.
+pub fn to_csv(table: &EvalTable) -> String {
+    let mut out = String::from("workload,objective,algorithm,backfill,cost,pct,cpu_seconds,cpu_pct,makespan,utilization\n");
+    for c in &table.cells {
+        let _ = writeln!(
+            out,
+            "{},{:?},{},{},{:.6e},{:.2},{:.6},{:.2},{},{:.4}",
+            table.workload,
+            table.objective,
+            c.algorithm,
+            c.backfill,
+            c.cost,
+            c.pct,
+            c.scheduler_cpu.as_secs_f64(),
+            c.cpu_pct,
+            c.makespan,
+            c.utilization
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::evaluate_matrix;
+    use crate::objective_select::ObjectiveKind;
+    use jobsched_workload::ctc::prepared_ctc_workload;
+
+    fn table() -> EvalTable {
+        let w = prepared_ctc_workload(300, 3);
+        evaluate_matrix(&w, ObjectiveKind::AvgResponseTime, "Table T")
+    }
+
+    #[test]
+    fn sci_and_pct_match_paper_style() {
+        assert_eq!(sci(4.91e6), "4.91E6");
+        assert_eq!(pct(-69.6), "-69.6%");
+        assert_eq!(pct(1143.0), "+1143.0%");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = render_table(&table());
+        for row in ["FCFS", "PSRS", "SMART-FFIA", "SMART-NFIW", "Garey&Graham"] {
+            assert!(text.contains(row), "missing {row}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn garey_graham_row_has_empty_backfill_columns() {
+        let text = render_table(&table());
+        let gg = text.lines().find(|l| l.starts_with("Garey&Graham")).unwrap();
+        assert!(gg.contains('-'));
+    }
+
+    #[test]
+    fn cpu_table_renders() {
+        let text = render_cpu_table(&table());
+        assert!(text.contains("Listscheduler"));
+        assert!(text.contains("EASY"));
+        assert!(text.contains("FCFS"));
+    }
+
+    #[test]
+    fn csv_has_header_and_13_rows() {
+        let csv = to_csv(&table());
+        assert_eq!(csv.lines().count(), 14);
+        assert!(csv.starts_with("workload,"));
+    }
+}

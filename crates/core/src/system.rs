@@ -1,0 +1,112 @@
+//! The assembled scheduling system: policy + objective(s) + algorithm(s),
+//! and the §3–§7 design loop that picks algorithms by evaluation.
+
+use crate::experiment::{evaluate_matrix, EvalTable};
+use crate::objective_select::{derive_objectives, DerivedObjective};
+use crate::policy::Policy;
+use jobsched_algos::AlgorithmSpec;
+use jobsched_workload::Workload;
+
+/// One objective regime with its selected algorithm and the evaluation
+/// that justified the choice.
+#[derive(Debug)]
+pub struct RegimeDecision {
+    /// The derived objective (window + metric + rationale).
+    pub objective: DerivedObjective,
+    /// The algorithm chosen for this regime.
+    pub algorithm: AlgorithmSpec,
+    /// The full evaluation table behind the decision.
+    pub evaluation: EvalTable,
+}
+
+/// A complete scheduling system in the paper's sense (§2): the policy,
+/// the objective function(s) derived from it, and the scheduling
+/// algorithm(s) selected by evaluation.
+#[derive(Debug)]
+pub struct SchedulingSystem {
+    /// The owner's policy.
+    pub policy: Policy,
+    /// One decision per objective regime (Example 5: daytime and
+    /// night/weekend).
+    pub regimes: Vec<RegimeDecision>,
+}
+
+impl SchedulingSystem {
+    /// Run the full design methodology: derive objectives from the policy
+    /// (§4), evaluate the candidate algorithms on the reference workload
+    /// (§6–§7), and pick the cheapest algorithm per regime.
+    ///
+    /// This is exactly the paper's §7 conclusion procedure: the
+    /// administrator "decides to use the classical list scheduling
+    /// algorithm for the weighted case; in the unweighted case she intends
+    /// to use either SMART or PSRS together with some form of
+    /// backfilling".
+    pub fn design(policy: Policy, reference_workload: &Workload) -> SchedulingSystem {
+        let regimes = derive_objectives(&policy)
+            .into_iter()
+            .map(|objective| {
+                let evaluation = evaluate_matrix(
+                    reference_workload,
+                    objective.objective,
+                    &format!("design evaluation ({:?})", objective.objective),
+                );
+                let algorithm = evaluation.best().spec();
+                RegimeDecision {
+                    objective,
+                    algorithm,
+                    evaluation,
+                }
+            })
+            .collect();
+        SchedulingSystem { policy, regimes }
+    }
+
+    /// Human-readable design summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("Scheduling system for: {}\n", self.policy.name);
+        for r in &self.regimes {
+            let window = r
+                .objective
+                .window
+                .map_or("remaining time".to_string(), |w| w.to_string());
+            let _ = writeln!(
+                out,
+                "  {window}: {:?} → {} (cost {:.3E}, {:+.1}% vs FCFS+EASY)",
+                r.objective.objective,
+                r.algorithm.name(),
+                r.evaluation.best().cost,
+                r.evaluation.best().pct,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_workload::ctc::prepared_ctc_workload;
+
+    #[test]
+    fn design_produces_a_decision_per_regime() {
+        let w = prepared_ctc_workload(500, 11);
+        let sys = SchedulingSystem::design(Policy::example5(), &w);
+        assert_eq!(sys.regimes.len(), 2);
+        for r in &sys.regimes {
+            // The chosen algorithm is the evaluation's argmin.
+            assert_eq!(r.algorithm, r.evaluation.best().spec());
+            assert!(r.evaluation.best().pct <= 0.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_mentions_both_regimes() {
+        let w = prepared_ctc_workload(300, 12);
+        let sys = SchedulingSystem::design(Policy::example5(), &w);
+        let s = sys.summary();
+        assert!(s.contains("Institution B"));
+        assert!(s.contains("07:00–20:00"));
+        assert!(s.contains("remaining time"));
+    }
+}

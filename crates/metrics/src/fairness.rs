@@ -1,0 +1,151 @@
+//! Per-user fairness metrics.
+//!
+//! Example 5's Rule 4 ("every user is allowed at most two batch jobs on
+//! the machine at any time") is read by the paper's administrator as "all
+//! jobs should be treated equally independent of their resource
+//! consumption" — the justification for the unweighted average response
+//! time. These metrics check the *outcome* side of that reading: whether
+//! a schedule actually treats users comparably.
+//!
+//! * [`per_user_response`] — each user's mean response time;
+//! * [`jain_index`] — Jain's fairness index over those means (1 = all
+//!   users equal, 1/n = one user gets everything);
+//! * [`worst_to_mean`] — how much worse the unluckiest user fares than
+//!   the average.
+
+use jobsched_sim::ScheduleRecord;
+use jobsched_workload::Workload;
+use std::collections::HashMap;
+
+/// Mean response time per user id, for users with at least one job.
+pub fn per_user_response(workload: &Workload, schedule: &ScheduleRecord) -> HashMap<u32, f64> {
+    let mut totals: HashMap<u32, (f64, u32)> = HashMap::new();
+    for j in workload.jobs() {
+        let p = schedule
+            .placement(j.id)
+            .unwrap_or_else(|| panic!("job {} has no placement", j.id));
+        let e = totals.entry(j.user).or_insert((0.0, 0));
+        e.0 += p.response_time(j.submit) as f64;
+        e.1 += 1;
+    }
+    totals
+        .into_iter()
+        .map(|(user, (sum, n))| (user, sum / n as f64))
+        .collect()
+}
+
+/// Jain's fairness index over a set of non-negative allocations:
+/// `(Σx)² / (n·Σx²)`. 1 = perfectly equal; 1/n = maximally unequal.
+/// Empty input yields 1 (nothing to be unfair about).
+pub fn jain_index(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v >= 0.0 && v.is_finite(), "allocations must be finite, ≥ 0");
+        sum += v;
+        sum_sq += v * v;
+        n += 1;
+    }
+    if n == 0 || sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+/// Jain index over per-user mean *response times*. Note the inversion:
+/// response time is a cost, so this measures whether the *suffering* is
+/// evenly spread — which is the natural reading of "treated equally".
+pub fn user_fairness(workload: &Workload, schedule: &ScheduleRecord) -> f64 {
+    jain_index(per_user_response(workload, schedule).into_values())
+}
+
+/// Ratio of the worst user's mean response to the mean over users
+/// (≥ 1; 1 = perfectly even). Empty workloads yield 1.
+pub fn worst_to_mean(workload: &Workload, schedule: &ScheduleRecord) -> f64 {
+    let per_user = per_user_response(workload, schedule);
+    if per_user.is_empty() {
+        return 1.0;
+    }
+    let worst = per_user.values().cloned().fold(0.0, f64::max);
+    let mean = per_user.values().sum::<f64>() / per_user.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        worst / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_workload::{JobBuilder, JobId};
+
+    fn fixture(users: &[u32], waits: &[u64]) -> (Workload, ScheduleRecord) {
+        assert_eq!(users.len(), waits.len());
+        let jobs: Vec<_> = users
+            .iter()
+            .map(|&u| {
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(1)
+                    .requested(100)
+                    .runtime(100)
+                    .user(u)
+                    .build()
+            })
+            .collect();
+        let w = Workload::new("f", 64, jobs);
+        let mut s = ScheduleRecord::new(64, w.len());
+        for (j, &wait) in w.jobs().iter().zip(waits) {
+            s.place(j.id, wait, wait + 100);
+        }
+        (w, s)
+    }
+
+    #[test]
+    fn per_user_means() {
+        let (w, s) = fixture(&[0, 0, 1], &[0, 200, 100]);
+        let m = per_user_response(&w, &s);
+        // user 0: responses 100 and 300 → 200; user 1: 200.
+        assert_eq!(m[&0], 200.0);
+        assert_eq!(m[&1], 200.0);
+    }
+
+    #[test]
+    fn jain_equal_is_one() {
+        assert!((jain_index([5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_single_hog_is_one_over_n() {
+        let idx = jain_index([1.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_empty_and_zero() {
+        assert_eq!(jain_index(std::iter::empty()), 1.0);
+        assert_eq!(jain_index([0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn user_fairness_of_even_schedule() {
+        let (w, s) = fixture(&[0, 1, 2], &[50, 50, 50]);
+        assert!((user_fairness(&w, &s) - 1.0).abs() < 1e-12);
+        assert!((worst_to_mean(&w, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starved_user_detected() {
+        let (w, s) = fixture(&[0, 1], &[0, 10_000]);
+        assert!(user_fairness(&w, &s) < 0.6);
+        assert!(worst_to_mean(&w, &s) > 1.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn jain_rejects_negative() {
+        let _ = jain_index([-1.0]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Pareto-front tools for deriving objective functions (§2.2, Figure 1).
+//!
+//! The paper's recipe for turning policy rules into an objective function:
+//!
+//! 1. "For a typical set of jobs determine the Pareto-optimal schedules
+//!    based on the scheduling policy."
+//! 2. "Define a partial order of these schedules."
+//! 3. "Derive an objective function that generates this order."
+//!
+//! [`pareto_front`] implements step 1 for schedules evaluated under k cost
+//! criteria (all minimised); [`pareto_ranks`] produces the layered partial
+//! order of Figure 1 (rank 0 = dominated interior, higher ranks closer to
+//! the ideal point — the paper labels its Pareto points 0, 1, 2 by
+//! desirability). [`scalarize`] is step 3's simplest instance: a weighted
+//! sum consistent with a given preference.
+
+use serde::{Deserialize, Serialize};
+
+/// A schedule evaluated under k cost criteria (smaller = better), tagged
+/// with an arbitrary label (algorithm name, schedule id, ...).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Label identifying the schedule.
+    pub label: String,
+    /// Cost under each criterion.
+    pub costs: Vec<f64>,
+}
+
+impl Point {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, costs: Vec<f64>) -> Self {
+        Point {
+            label: label.into(),
+            costs,
+        }
+    }
+}
+
+/// `a` dominates `b` iff `a` is no worse on every criterion and strictly
+/// better on at least one.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "criterion count mismatch");
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the Pareto-optimal points (not dominated by any other).
+pub fn pareto_front(points: &[Point]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| j != i && dominates(&p.costs, &points[i].costs))
+        })
+        .collect()
+}
+
+/// Layered non-domination ranks: rank 1 = the Pareto front, rank 2 = the
+/// front after removing rank 1, and so on (NSGA-style peeling). Every
+/// point gets a rank ≥ 1; lower rank = closer to optimal.
+pub fn pareto_ranks(points: &[Point]) -> Vec<usize> {
+    let mut ranks = vec![0usize; points.len()];
+    let mut remaining: Vec<usize> = (0..points.len()).collect();
+    let mut rank = 1;
+    while !remaining.is_empty() {
+        let layer: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !remaining
+                    .iter()
+                    .any(|&j| j != i && dominates(&points[j].costs, &points[i].costs))
+            })
+            .collect();
+        assert!(!layer.is_empty(), "non-domination layer cannot be empty");
+        for &i in &layer {
+            ranks[i] = rank;
+        }
+        remaining.retain(|i| !layer.contains(i));
+        rank += 1;
+    }
+    ranks
+}
+
+/// Weighted-sum scalarization (step 3): cost = Σ wᵢ·cᵢ. Weights must be
+/// non-negative with at least one positive entry. A schedule minimising
+/// this is always Pareto-optimal for positive weights.
+pub fn scalarize(point: &Point, weights: &[f64]) -> f64 {
+    assert_eq!(point.costs.len(), weights.len(), "weight count mismatch");
+    assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+    assert!(weights.iter().any(|&w| w > 0.0), "all-zero weights");
+    point.costs.iter().zip(weights).map(|(c, w)| c * w).sum()
+}
+
+/// Check that an objective function (given as precomputed scalar costs) is
+/// *consistent* with the dominance order: whenever point i dominates
+/// point j, `costs[i] < costs[j]`. Returns the first violating pair.
+///
+/// This is the §2.2 sanity check that a derived objective "generates this
+/// order".
+pub fn order_violations(points: &[Point], scalar_costs: &[f64]) -> Option<(usize, usize)> {
+    assert_eq!(points.len(), scalar_costs.len());
+    for i in 0..points.len() {
+        for j in 0..points.len() {
+            if i != j
+                && dominates(&points[i].costs, &points[j].costs)
+                && scalar_costs[i] >= scalar_costs[j]
+            {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_points() -> Vec<Point> {
+        // Figure 1 style: x = availability shortfall for the chemistry
+        // course, y = average response time of drug-design jobs.
+        vec![
+            Point::new("s0", vec![0.0, 600.0]),
+            Point::new("s1", vec![100.0, 300.0]),
+            Point::new("s2", vec![50.0, 400.0]),
+            Point::new("dominated", vec![120.0, 650.0]),
+            Point::new("also-dominated", vec![60.0, 500.0]),
+        ]
+    }
+
+    #[test]
+    fn dominance_basic() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal: no strict gain
+    }
+
+    #[test]
+    fn front_excludes_dominated() {
+        let pts = fig1_points();
+        let front = pareto_front(&pts);
+        let labels: Vec<&str> = front.iter().map(|&i| pts[i].label.as_str()).collect();
+        assert_eq!(labels, vec!["s0", "s1", "s2"]);
+    }
+
+    #[test]
+    fn ranks_peel_layers() {
+        let pts = fig1_points();
+        let ranks = pareto_ranks(&pts);
+        assert_eq!(ranks[0], 1);
+        assert_eq!(ranks[1], 1);
+        assert_eq!(ranks[2], 1);
+        assert_eq!(ranks[3], 3); // dominated by "also-dominated" too
+        assert_eq!(ranks[4], 2);
+    }
+
+    #[test]
+    fn ranks_of_identical_points_equal() {
+        let pts = vec![
+            Point::new("a", vec![1.0, 1.0]),
+            Point::new("b", vec![1.0, 1.0]),
+        ];
+        assert_eq!(pareto_ranks(&pts), vec![1, 1]);
+    }
+
+    #[test]
+    fn scalarize_weighted_sum() {
+        let p = Point::new("x", vec![2.0, 10.0]);
+        assert_eq!(scalarize(&p, &[1.0, 0.5]), 7.0);
+    }
+
+    #[test]
+    fn scalarization_minimiser_is_pareto_optimal() {
+        let pts = fig1_points();
+        let weights = [1.0, 0.4];
+        let best = (0..pts.len())
+            .min_by(|&a, &b| {
+                scalarize(&pts[a], &weights)
+                    .partial_cmp(&scalarize(&pts[b], &weights))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(pareto_front(&pts).contains(&best));
+    }
+
+    #[test]
+    fn positive_weighted_sum_respects_dominance() {
+        let pts = fig1_points();
+        let costs: Vec<f64> = pts.iter().map(|p| scalarize(p, &[1.0, 0.4])).collect();
+        assert_eq!(order_violations(&pts, &costs), None);
+    }
+
+    #[test]
+    fn order_violations_detects_inconsistency() {
+        let pts = vec![
+            Point::new("good", vec![1.0, 1.0]),
+            Point::new("bad", vec![2.0, 2.0]),
+        ];
+        // An objective ranking the dominated point better is inconsistent.
+        assert_eq!(order_violations(&pts, &[5.0, 1.0]), Some((0, 1)));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(pareto_front(&[]).is_empty());
+        assert!(pareto_ranks(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn zero_weights_rejected() {
+        let _ = scalarize(&Point::new("x", vec![1.0]), &[0.0]);
+    }
+}

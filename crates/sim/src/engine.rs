@@ -1,0 +1,379 @@
+//! The online simulation engine.
+//!
+//! Drives a [`Scheduler`] with the event stream of a workload: submissions
+//! arrive unannounced (the "on-line behaviour" of §2), completions free
+//! resources — possibly earlier than projected — and after every event
+//! batch the scheduler may start queued jobs. The engine:
+//!
+//! * validates every start against machine capacity (schedulers cannot
+//!   produce invalid schedules, per §2's validity requirement);
+//! * schedules the completion event at `start + min(runtime, limit)`
+//!   (Rule 2 cancellation);
+//! * meters wall-clock time inside scheduler callbacks for Tables 7–8.
+
+use crate::event::{Event, EventQueue};
+use crate::machine::Machine;
+use crate::schedule::ScheduleRecord;
+use jobsched_workload::{Job, JobId, Time, Workload};
+use std::time::{Duration, Instant};
+
+/// The submission data an online scheduler is allowed to see (§2: user
+/// data, resource requests; *not* the actual runtime).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Job identity.
+    pub id: JobId,
+    /// Submission time.
+    pub submit: Time,
+    /// Rigid node requirement.
+    pub nodes: u32,
+    /// User-provided upper limit for the execution time.
+    pub requested_time: Time,
+    /// Submitting user.
+    pub user: u32,
+}
+
+impl From<&Job> for JobRequest {
+    fn from(j: &Job) -> Self {
+        JobRequest {
+            id: j.id,
+            submit: j.submit,
+            nodes: j.nodes,
+            requested_time: j.requested_time,
+            user: j.user,
+        }
+    }
+}
+
+impl JobRequest {
+    /// Projected resource consumption `requested_time × nodes` — the only
+    /// weight available online (§5.4).
+    #[inline]
+    pub fn projected_area(&self) -> f64 {
+        self.requested_time as f64 * self.nodes as f64
+    }
+
+    /// Projected end if started at `now`.
+    #[inline]
+    pub fn projected_end(&self, now: Time) -> Time {
+        now + self.requested_time
+    }
+}
+
+/// An online scheduling algorithm.
+///
+/// Contract: jobs handed in via [`Scheduler::submit`] are owned by the
+/// scheduler's wait queue until it returns them from
+/// [`Scheduler::select_starts`]; a returned job counts as started and must
+/// leave the queue. Returned jobs must fit the free capacity *sequentially
+/// in the returned order*. The engine calls `select_starts` repeatedly
+/// until it returns an empty vector, so multi-round decisions are allowed.
+pub trait Scheduler {
+    /// Human-readable name used in reports.
+    fn name(&self) -> String;
+
+    /// A job entered the system.
+    fn submit(&mut self, job: JobRequest, now: Time);
+
+    /// A running job completed (possibly earlier than projected).
+    fn job_finished(&mut self, _id: JobId, _now: Time) {}
+
+    /// Decide which queued jobs to start at `now`, given machine state.
+    fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId>;
+
+    /// Number of jobs currently waiting (diagnostics).
+    fn queue_len(&self) -> usize;
+
+    /// The next instant (strictly after `now`) at which this scheduler
+    /// wants a decision round even without a job event — e.g. a policy
+    /// window boundary (Example 4's class reservation, the day/night
+    /// regime switch). `None` (the default) means events suffice.
+    fn next_wakeup(&self, _now: Time) -> Option<Time> {
+        None
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// The completed schedule.
+    pub schedule: ScheduleRecord,
+    /// Wall-clock time spent inside scheduler callbacks — the paper's
+    /// "computation time to execute the various algorithms" (Tables 7–8).
+    pub scheduler_cpu: Duration,
+    /// Number of processed events.
+    pub events: u64,
+    /// Number of `select_starts` invocations.
+    pub decision_rounds: u64,
+    /// Peak wait-queue length observed (backlog indicator, §6.1).
+    pub peak_queue: usize,
+}
+
+/// Run `scheduler` against `workload` until every job has completed.
+///
+/// Panics if the scheduler violates its contract (starting an unknown or
+/// oversubscribed job, or deadlocking with a non-empty queue on an idle
+/// machine) — these are algorithm bugs, not recoverable conditions.
+pub fn simulate(workload: &Workload, scheduler: &mut dyn Scheduler) -> SimOutcome {
+    let mut machine = Machine::new(workload.machine_nodes());
+    let mut events = EventQueue::new();
+    let mut record = ScheduleRecord::new(workload.machine_nodes(), workload.len());
+    for job in workload.jobs() {
+        events.push(job.submit, Event::Submit(job.id));
+    }
+
+    let mut scheduler_cpu = Duration::ZERO;
+    let mut n_events = 0u64;
+    let mut rounds = 0u64;
+    let mut peak_queue = 0usize;
+
+    while let Some((now, batch)) = events.pop_batch() {
+        for ev in batch {
+            n_events += 1;
+            match ev {
+                Event::Submit(id) => {
+                    let job = workload.job(id);
+                    let t0 = Instant::now();
+                    scheduler.submit(JobRequest::from(job), now);
+                    scheduler_cpu += t0.elapsed();
+                }
+                Event::Finish(id) => {
+                    machine.finish(id).expect("finish event for running job");
+                    let t0 = Instant::now();
+                    scheduler.job_finished(id, now);
+                    scheduler_cpu += t0.elapsed();
+                }
+                Event::Wakeup => {} // decision round below is the effect
+            }
+        }
+        peak_queue = peak_queue.max(scheduler.queue_len());
+
+        // Let the scheduler start jobs until it has nothing more to start.
+        loop {
+            let t0 = Instant::now();
+            let starts = scheduler.select_starts(now, &machine);
+            scheduler_cpu += t0.elapsed();
+            rounds += 1;
+            if starts.is_empty() {
+                break;
+            }
+            for id in starts {
+                let job = workload.job(id);
+                machine
+                    .start(id, job.nodes, now, now + job.requested_time)
+                    .unwrap_or_else(|e| panic!("scheduler {} broke validity: {e}", scheduler.name()));
+                let completion = now + job.effective_runtime();
+                record.place(id, now, completion);
+                events.push(completion, Event::Finish(id));
+            }
+        }
+
+        // Schedule a wakeup if the scheduler asks for one (dedup: skip if
+        // an event at or before that instant already exists).
+        if scheduler.queue_len() > 0 {
+            if let Some(t) = scheduler.next_wakeup(now) {
+                assert!(t > now, "wakeup must be in the future");
+                if events.peek_time().is_none_or(|next| t < next) {
+                    events.push(t, Event::Wakeup);
+                }
+            }
+        }
+
+        // Deadlock check: idle machine, empty event horizon, jobs waiting.
+        if events.is_empty() && scheduler.queue_len() > 0 {
+            assert!(
+                machine.running().is_empty(),
+                "event queue empty with jobs still running"
+            );
+            panic!(
+                "scheduler {} deadlocked: {} jobs waiting on an idle machine",
+                scheduler.name(),
+                scheduler.queue_len()
+            );
+        }
+    }
+
+    SimOutcome {
+        schedule: record,
+        scheduler_cpu,
+        events: n_events,
+        decision_rounds: rounds,
+        peak_queue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_workload::JobBuilder;
+
+    /// Minimal FCFS used to exercise the engine (the real algorithms live
+    /// in `jobsched-algos`).
+    struct TestFcfs {
+        queue: std::collections::VecDeque<JobRequest>,
+    }
+
+    impl TestFcfs {
+        fn new() -> Self {
+            TestFcfs {
+                queue: std::collections::VecDeque::new(),
+            }
+        }
+    }
+
+    impl Scheduler for TestFcfs {
+        fn name(&self) -> String {
+            "test-fcfs".into()
+        }
+        fn submit(&mut self, job: JobRequest, _now: Time) {
+            self.queue.push_back(job);
+        }
+        fn select_starts(&mut self, _now: Time, machine: &Machine) -> Vec<JobId> {
+            let mut free = machine.free_nodes();
+            let mut out = Vec::new();
+            while let Some(head) = self.queue.front() {
+                if head.nodes <= free {
+                    free -= head.nodes;
+                    out.push(self.queue.pop_front().unwrap().id);
+                } else {
+                    break;
+                }
+            }
+            out
+        }
+        fn queue_len(&self) -> usize {
+            self.queue.len()
+        }
+    }
+
+    fn workload() -> Workload {
+        Workload::new(
+            "t",
+            10,
+            vec![
+                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(100).build(),
+                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(50).build(),
+                JobBuilder::new(JobId(0)).submit(10).nodes(4).requested(100).runtime(100).build(),
+            ],
+        )
+    }
+
+    #[test]
+    fn fcfs_blocks_head_until_space() {
+        let w = workload();
+        let out = simulate(&w, &mut TestFcfs::new());
+        let s = &out.schedule;
+        // Job 0 starts immediately; job 1 (6 nodes) must wait for job 0.
+        assert_eq!(s.placement(JobId(0)).unwrap().start, 0);
+        assert_eq!(s.placement(JobId(1)).unwrap().start, 100);
+        // Job 2 (4 nodes) would fit at t=10 but FCFS does not skip.
+        assert_eq!(s.placement(JobId(2)).unwrap().start, 100);
+        assert!(s.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn early_finish_triggers_rescheduling() {
+        // Job 1 has runtime 50 < requested 100: its early completion must
+        // let the next job start at 150, not at its 100-projection... here
+        // job order: 0 (0-100), 1 starts at 100 runs 50 → finishes 150.
+        let w = workload();
+        let out = simulate(&w, &mut TestFcfs::new());
+        assert_eq!(out.schedule.placement(JobId(1)).unwrap().completion, 150);
+    }
+
+    #[test]
+    fn limit_truncation_schedules_kill() {
+        let w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0)).submit(0).nodes(1).requested(60).runtime(500).build()],
+        );
+        let out = simulate(&w, &mut TestFcfs::new());
+        assert_eq!(out.schedule.placement(JobId(0)).unwrap().completion, 60);
+        assert!(out.schedule.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn outcome_counters_populated() {
+        let out = simulate(&workload(), &mut TestFcfs::new());
+        assert_eq!(out.events, 6); // 3 submits + 3 finishes
+        assert!(out.decision_rounds >= 3);
+        assert!(out.peak_queue >= 1);
+        assert_eq!(out.schedule.completion_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        let w = Workload::new("e", 10, vec![]);
+        let out = simulate(&w, &mut TestFcfs::new());
+        assert_eq!(out.events, 0);
+        assert!(out.schedule.is_empty());
+    }
+
+    struct NeverStarts(Vec<JobRequest>);
+    impl Scheduler for NeverStarts {
+        fn name(&self) -> String {
+            "never".into()
+        }
+        fn submit(&mut self, job: JobRequest, _now: Time) {
+            self.0.push(job);
+        }
+        fn select_starts(&mut self, _now: Time, _machine: &Machine) -> Vec<JobId> {
+            Vec::new()
+        }
+        fn queue_len(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn deadlocking_scheduler_detected() {
+        let w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0)).submit(0).nodes(1).build()],
+        );
+        simulate(&w, &mut NeverStarts(Vec::new()));
+    }
+
+    struct Overcommitter(Vec<JobRequest>);
+    impl Scheduler for Overcommitter {
+        fn name(&self) -> String {
+            "overcommit".into()
+        }
+        fn submit(&mut self, job: JobRequest, _now: Time) {
+            self.0.push(job);
+        }
+        fn select_starts(&mut self, _now: Time, _machine: &Machine) -> Vec<JobId> {
+            self.0.drain(..).map(|j| j.id).collect()
+        }
+        fn queue_len(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "broke validity")]
+    fn overcommitting_scheduler_detected() {
+        let w = Workload::new(
+            "t",
+            10,
+            vec![
+                JobBuilder::new(JobId(0)).submit(0).nodes(8).build(),
+                JobBuilder::new(JobId(0)).submit(0).nodes(8).build(),
+            ],
+        );
+        simulate(&w, &mut Overcommitter(Vec::new()));
+    }
+
+    #[test]
+    fn job_request_hides_actual_runtime() {
+        // Compile-time guarantee by construction; assert the projection
+        // uses the estimate.
+        let j = JobBuilder::new(JobId(1)).nodes(4).requested(100).runtime(7).build();
+        let r = JobRequest::from(&j);
+        assert_eq!(r.projected_end(10), 110);
+        assert_eq!(r.projected_area(), 400.0);
+    }
+}

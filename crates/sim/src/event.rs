@@ -1,0 +1,117 @@
+//! The simulation event queue.
+//!
+//! Two event kinds drive the §3 scheduling loop: job submissions (the
+//! "stream of job submission data" of §2) and job completions. Events are
+//! processed in timestamp order; all events sharing a timestamp are applied
+//! as one batch before the scheduler is consulted, so the outcome does not
+//! depend on heap tie-breaking.
+
+use jobsched_workload::{JobId, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// A job finished (its resources are released *before* submissions at
+    /// the same instant are considered — hence the variant order).
+    Finish(JobId),
+    /// A job was submitted.
+    Submit(JobId),
+    /// A scheduler-requested wakeup (e.g. a policy window boundary): no
+    /// state change, but a decision round runs at this instant.
+    Wakeup,
+}
+
+/// Min-heap of timestamped events with stable FIFO order for ties.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Time, Event, u64)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule an event at `time`.
+    pub fn push(&mut self, time: Time, event: Event) {
+        self.heap.push(Reverse((time, event, self.seq)));
+        self.seq += 1;
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pop *all* events at the earliest pending timestamp. Finishes sort
+    /// before submissions within the batch.
+    pub fn pop_batch(&mut self) -> Option<(Time, Vec<Event>)> {
+        let t = self.peek_time()?;
+        let mut batch = Vec::new();
+        while self.peek_time() == Some(t) {
+            let Reverse((_, ev, _)) = self.heap.pop().expect("peeked");
+            batch.push(ev);
+        }
+        Some((t, batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::Submit(JobId(3)));
+        q.push(10, Event::Submit(JobId(1)));
+        q.push(20, Event::Submit(JobId(2)));
+        let times: Vec<Time> = std::iter::from_fn(|| q.pop_batch().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn batches_equal_timestamps() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::Submit(JobId(1)));
+        q.push(10, Event::Finish(JobId(0)));
+        q.push(10, Event::Submit(JobId(2)));
+        q.push(20, Event::Submit(JobId(3)));
+        let (t, batch) = q.pop_batch().unwrap();
+        assert_eq!(t, 10);
+        assert_eq!(batch.len(), 3);
+        // Finish events lead the batch.
+        assert_eq!(batch[0], Event::Finish(JobId(0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop_batch(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::Finish(JobId(9)));
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete-event simulator for space-shared parallel machines.
+//!
+//! This is the substrate on which the paper's evaluation (§3, §6, §7) runs:
+//! Institution B's machine supports **variable partitioning, no time
+//! sharing, exclusive access** for batch jobs (Example 5). The simulator
+//! plays a stream of job submissions against a [`engine::Scheduler`]
+//! implementation and records the resulting schedule.
+//!
+//! Design points:
+//!
+//! * **Online information hiding.** Schedulers receive [`engine::JobRequest`]
+//!   views carrying only submission data (nodes, user estimate, submit
+//!   time) — never the actual runtime. The machine exposes *projected*
+//!   ends (`start + requested_time`); actual completions surface only as
+//!   finish events. Because execution is truncated at the user limit
+//!   (Rule 2), projections are upper bounds: resources can free earlier
+//!   than projected but never later — exactly the situation §5.2 discusses
+//!   for backfilling.
+//! * **Validity by construction and by audit.** The [`machine::Machine`]
+//!   refuses over-allocation at run time, and [`schedule::ScheduleRecord`]
+//!   can re-audit a finished schedule against its workload (capacity sweep,
+//!   start-after-submit, runtime truncation) — used heavily by the property
+//!   tests.
+//! * **Scheduler cost accounting.** The engine meters wall-clock time spent
+//!   inside scheduler callbacks, which is what Tables 7 and 8 compare.
+
+pub mod engine;
+pub mod event;
+pub mod gang;
+pub mod machine;
+pub mod profile;
+pub mod schedule;
+pub mod typed;
+
+pub use engine::{simulate, JobRequest, Scheduler, SimOutcome};
+pub use machine::{Machine, RunningSlot};
+pub use profile::Profile;
+pub use schedule::{JobPlacement, ScheduleRecord};

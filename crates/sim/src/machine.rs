@@ -1,0 +1,219 @@
+//! The machine model of Example 5: a fixed pool of identical nodes with
+//! variable partitioning, exclusive access and no time sharing.
+//!
+//! A running job occupies exactly `nodes` nodes from its start until its
+//! completion. The machine tracks the *projected* end of every running job
+//! (`start + requested_time`) because that is all an online scheduler may
+//! know; actual completions arrive from the engine.
+
+use jobsched_workload::{JobId, Time};
+
+/// A job currently holding nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunningSlot {
+    /// The running job.
+    pub id: JobId,
+    /// Nodes held.
+    pub nodes: u32,
+    /// When it started.
+    pub start: Time,
+    /// Upper bound on its end: `start + requested_time`. Execution is
+    /// truncated at the user limit (Rule 2), so the real end never exceeds
+    /// this but may come earlier.
+    pub projected_end: Time,
+}
+
+/// Errors raised on inconsistent machine operations — these indicate
+/// scheduler bugs, so the engine converts them into panics with context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// Start would exceed free capacity.
+    Overcommit {
+        /// Job attempting to start.
+        id: JobId,
+        /// Nodes requested.
+        nodes: u32,
+        /// Nodes free.
+        free: u32,
+    },
+    /// Finish for a job that is not running.
+    NotRunning(JobId),
+    /// Start for a job that is already running.
+    AlreadyRunning(JobId),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Overcommit { id, nodes, free } => {
+                write!(f, "job {id} needs {nodes} nodes but only {free} are free")
+            }
+            MachineError::NotRunning(id) => write!(f, "job {id} is not running"),
+            MachineError::AlreadyRunning(id) => write!(f, "job {id} is already running"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Space-shared machine state.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    total: u32,
+    free: u32,
+    running: Vec<RunningSlot>,
+}
+
+impl Machine {
+    /// New machine with `total` identical nodes, all free.
+    pub fn new(total: u32) -> Self {
+        assert!(total > 0, "machine needs at least one node");
+        Machine {
+            total,
+            free: total,
+            running: Vec::new(),
+        }
+    }
+
+    /// Total node count.
+    #[inline]
+    pub fn total_nodes(&self) -> u32 {
+        self.total
+    }
+
+    /// Currently free node count.
+    #[inline]
+    pub fn free_nodes(&self) -> u32 {
+        self.free
+    }
+
+    /// Currently busy node count.
+    #[inline]
+    pub fn busy_nodes(&self) -> u32 {
+        self.total - self.free
+    }
+
+    /// Jobs currently running (arbitrary order).
+    #[inline]
+    pub fn running(&self) -> &[RunningSlot] {
+        &self.running
+    }
+
+    /// Whether a partition of `nodes` nodes is available right now.
+    #[inline]
+    pub fn fits(&self, nodes: u32) -> bool {
+        nodes <= self.free
+    }
+
+    /// Allocate a partition for a job. `projected_end` must be
+    /// `now + requested_time` (the engine checks nothing further).
+    pub fn start(
+        &mut self,
+        id: JobId,
+        nodes: u32,
+        now: Time,
+        projected_end: Time,
+    ) -> Result<(), MachineError> {
+        if self.running.iter().any(|s| s.id == id) {
+            return Err(MachineError::AlreadyRunning(id));
+        }
+        if nodes > self.free {
+            return Err(MachineError::Overcommit {
+                id,
+                nodes,
+                free: self.free,
+            });
+        }
+        self.free -= nodes;
+        self.running.push(RunningSlot {
+            id,
+            nodes,
+            start: now,
+            projected_end,
+        });
+        Ok(())
+    }
+
+    /// Release the partition of a finishing job, returning its slot.
+    pub fn finish(&mut self, id: JobId) -> Result<RunningSlot, MachineError> {
+        let idx = self
+            .running
+            .iter()
+            .position(|s| s.id == id)
+            .ok_or(MachineError::NotRunning(id))?;
+        let slot = self.running.swap_remove(idx);
+        self.free += slot.nodes;
+        Ok(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_and_finish_track_capacity() {
+        let mut m = Machine::new(256);
+        m.start(JobId(0), 100, 0, 50).unwrap();
+        m.start(JobId(1), 156, 0, 70).unwrap();
+        assert_eq!(m.free_nodes(), 0);
+        assert_eq!(m.busy_nodes(), 256);
+        assert!(!m.fits(1));
+        let slot = m.finish(JobId(0)).unwrap();
+        assert_eq!(slot.nodes, 100);
+        assert_eq!(m.free_nodes(), 100);
+        assert!(m.fits(100));
+        assert!(!m.fits(101));
+    }
+
+    #[test]
+    fn overcommit_rejected() {
+        let mut m = Machine::new(10);
+        m.start(JobId(0), 8, 0, 5).unwrap();
+        let err = m.start(JobId(1), 3, 0, 5).unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::Overcommit {
+                id: JobId(1),
+                nodes: 3,
+                free: 2
+            }
+        );
+        // Failed start must not leak capacity.
+        assert_eq!(m.free_nodes(), 2);
+        assert_eq!(m.running().len(), 1);
+    }
+
+    #[test]
+    fn double_start_rejected() {
+        let mut m = Machine::new(10);
+        m.start(JobId(0), 2, 0, 5).unwrap();
+        assert_eq!(m.start(JobId(0), 2, 1, 6), Err(MachineError::AlreadyRunning(JobId(0))));
+    }
+
+    #[test]
+    fn finish_unknown_rejected() {
+        let mut m = Machine::new(10);
+        assert_eq!(m.finish(JobId(7)), Err(MachineError::NotRunning(JobId(7))));
+    }
+
+    #[test]
+    fn running_slots_expose_projection() {
+        let mut m = Machine::new(16);
+        m.start(JobId(3), 4, 100, 400).unwrap();
+        let s = m.running()[0];
+        assert_eq!(s.start, 100);
+        assert_eq!(s.projected_end, 400);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(MachineError::NotRunning(JobId(1)).to_string().contains("not running"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_machine_rejected() {
+        let _ = Machine::new(0);
+    }
+}

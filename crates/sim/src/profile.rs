@@ -1,0 +1,339 @@
+//! Future-availability profile.
+//!
+//! Both backfilling variants of §5.2 reason about when nodes will become
+//! free: EASY needs the head job's *shadow time*; conservative backfilling
+//! needs a full reservation calendar. The [`Profile`] is the shared data
+//! structure: a step function `t ↦ free nodes` from "now" to infinity,
+//! built from the projected ends of running jobs and refined by
+//! reservations.
+//!
+//! All times here are *projections* based on user estimates; the paper
+//! (§5.2) stresses that reality can only free resources earlier, never
+//! later, so a feasible reservation stays feasible.
+
+use crate::machine::Machine;
+use jobsched_workload::Time;
+
+/// Sentinel for "never" / unbounded horizon.
+pub const HORIZON: Time = Time::MAX / 4;
+
+/// Step function of free nodes over future time.
+///
+/// `steps` is a sorted list of `(time, free)` breakpoints; `free` holds from
+/// that time until the next breakpoint. The first breakpoint is "now"; the
+/// last extends to infinity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Profile {
+    steps: Vec<(Time, u32)>,
+    total: u32,
+}
+
+impl Profile {
+    /// Build from the machine's running set at time `now`, using projected
+    /// ends. Jobs whose projection already passed (they must end at any
+    /// moment) are treated as ending at `now + 1`.
+    pub fn from_machine(machine: &Machine, now: Time) -> Self {
+        let mut ends: Vec<(Time, u32)> = machine
+            .running()
+            .iter()
+            .map(|s| (s.projected_end.max(now + 1), s.nodes))
+            .collect();
+        ends.sort_unstable();
+        let mut steps = Vec::with_capacity(ends.len() + 1);
+        let mut free = machine.free_nodes();
+        steps.push((now, free));
+        for (t, nodes) in ends {
+            free += nodes;
+            match steps.last_mut() {
+                Some((lt, lf)) if *lt == t => *lf = free,
+                _ => steps.push((t, free)),
+            }
+        }
+        Profile {
+            steps,
+            total: machine.total_nodes(),
+        }
+    }
+
+    /// An all-free profile (empty machine) — useful for offline planning.
+    pub fn empty(total: u32, now: Time) -> Self {
+        Profile {
+            steps: vec![(now, total)],
+            total,
+        }
+    }
+
+    /// Machine size.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Free nodes at time `t` (clamped to the profile's start).
+    pub fn free_at(&self, t: Time) -> u32 {
+        match self.steps.binary_search_by_key(&t, |&(time, _)| time) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => self.steps[0].1,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// Index of the step governing time `t` (clamped to the first step).
+    #[inline]
+    fn step_index(&self, t: Time) -> usize {
+        match self.steps.binary_search_by_key(&t, |&(time, _)| time) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Minimum free nodes over `[from, to)`.
+    pub fn min_free(&self, from: Time, to: Time) -> u32 {
+        if from >= to {
+            return self.total;
+        }
+        let mut min = self.free_at(from);
+        let mut i = self.step_index(from) + 1;
+        while i < self.steps.len() && self.steps[i].0 < to {
+            min = min.min(self.steps[i].1);
+            i += 1;
+        }
+        min
+    }
+
+    /// Earliest time ≥ `from` at which `nodes` nodes are continuously free
+    /// for `duration` seconds.
+    ///
+    /// Single left-to-right sweep over the breakpoints (amortised O(P)):
+    /// a window is feasible when every step inside it offers `nodes` free;
+    /// on a violation the candidate jumps past the violating step, which
+    /// never moves the scan backwards. Because projections only ever
+    /// *over*-state occupancy, the returned time is a safe (conservative)
+    /// start for a reservation.
+    pub fn earliest_start(&self, nodes: u32, duration: Time, from: Time) -> Time {
+        assert!(nodes <= self.total, "request exceeds machine size");
+        let duration = duration.max(1);
+        let mut candidate = from;
+        // Index of the first breakpoint strictly after `candidate`.
+        let mut i = self.step_index(from);
+        if self.free_at(candidate) < nodes {
+            // Advance to the first step at/after `from` with enough room.
+            loop {
+                i += 1;
+                match self.steps.get(i) {
+                    Some(&(t, f)) => {
+                        if f >= nodes {
+                            candidate = t.max(from);
+                            break;
+                        }
+                    }
+                    None => return HORIZON, // never frees up (full reservation tail)
+                }
+            }
+        }
+        // Scan forward: `candidate` is feasible at its own instant; check
+        // the window [candidate, candidate+duration).
+        let mut j = i + 1;
+        loop {
+            let end = candidate.saturating_add(duration);
+            match self.steps.get(j) {
+                Some(&(t, f)) if t < end => {
+                    if f < nodes {
+                        // Violation: jump past it to the next step with
+                        // room and restart the window there.
+                        let mut k = j + 1;
+                        loop {
+                            match self.steps.get(k) {
+                                Some(&(t2, f2)) => {
+                                    if f2 >= nodes {
+                                        candidate = t2;
+                                        break;
+                                    }
+                                    k += 1;
+                                }
+                                None => return HORIZON,
+                            }
+                        }
+                        j = k + 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+                _ => return candidate, // window clear (or profile exhausted)
+            }
+        }
+    }
+
+    /// Subtract `nodes` from the profile over `[start, start + duration)`
+    /// — i.e. book a reservation. Panics if the interval lacks capacity
+    /// (callers must use [`Profile::earliest_start`] first).
+    pub fn reserve(&mut self, nodes: u32, start: Time, duration: Time) {
+        let duration = duration.max(1);
+        let end = start.saturating_add(duration);
+        self.ensure_breakpoint(start);
+        self.ensure_breakpoint(end);
+        let lo = self
+            .steps
+            .binary_search_by_key(&start, |&(time, _)| time)
+            .unwrap_or_else(|i| i);
+        for (t, f) in &mut self.steps[lo..] {
+            if *t >= end {
+                break;
+            }
+            debug_assert!(*t >= start);
+            assert!(
+                *f >= nodes,
+                "reservation overcommit at t={t}: {f} free, {nodes} wanted"
+            );
+            *f -= nodes;
+        }
+    }
+
+    fn ensure_breakpoint(&mut self, t: Time) {
+        match self.steps.binary_search_by_key(&t, |&(time, _)| time) {
+            Ok(_) => {}
+            Err(0) => {} // before profile start: nothing to split
+            Err(i) => {
+                let f = self.steps[i - 1].1;
+                self.steps.insert(i, (t, f));
+            }
+        }
+    }
+
+    /// Largest free-node level at any instant before `to` (including the
+    /// segment active at the profile's start).
+    pub fn max_free_before(&self, to: Time) -> u32 {
+        let mut max = 0;
+        for &(t, f) in &self.steps {
+            if t >= to {
+                break;
+            }
+            max = max.max(f);
+        }
+        max
+    }
+
+    /// Number of breakpoints (diagnostics).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the profile has no breakpoints (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_workload::JobId;
+
+    fn machine_with(slots: &[(u32, Time)], total: u32, now: Time) -> Machine {
+        let mut m = Machine::new(total);
+        for (i, &(nodes, end)) in slots.iter().enumerate() {
+            m.start(JobId(i as u32), nodes, now, end).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn profile_from_machine_steps_up() {
+        let m = machine_with(&[(100, 50), (56, 80)], 256, 0);
+        let p = Profile::from_machine(&m, 0);
+        assert_eq!(p.free_at(0), 100);
+        assert_eq!(p.free_at(49), 100);
+        assert_eq!(p.free_at(50), 200);
+        assert_eq!(p.free_at(80), 256);
+        assert_eq!(p.free_at(10_000), 256);
+    }
+
+    #[test]
+    fn past_projections_treated_as_imminent() {
+        // A job that overran its projection is modelled as ending at now+1.
+        let mut m = Machine::new(10);
+        m.start(JobId(0), 10, 0, 5).unwrap();
+        let p = Profile::from_machine(&m, 100);
+        assert_eq!(p.free_at(100), 0);
+        assert_eq!(p.free_at(101), 10);
+    }
+
+    #[test]
+    fn min_free_over_window() {
+        let m = machine_with(&[(100, 50), (56, 80)], 256, 0);
+        let p = Profile::from_machine(&m, 0);
+        assert_eq!(p.min_free(0, 50), 100);
+        assert_eq!(p.min_free(0, 81), 100);
+        assert_eq!(p.min_free(50, 80), 200);
+        assert_eq!(p.min_free(90, 90), 256); // empty window
+    }
+
+    #[test]
+    fn earliest_start_now_when_free() {
+        let m = machine_with(&[(100, 50)], 256, 0);
+        let p = Profile::from_machine(&m, 0);
+        assert_eq!(p.earliest_start(156, 1000, 0), 0);
+    }
+
+    #[test]
+    fn earliest_start_waits_for_release() {
+        let m = machine_with(&[(200, 50)], 256, 0);
+        let p = Profile::from_machine(&m, 0);
+        assert_eq!(p.earliest_start(100, 1000, 0), 50);
+        assert_eq!(p.earliest_start(56, 1000, 0), 0);
+    }
+
+    #[test]
+    fn earliest_start_respects_reservations() {
+        let m = machine_with(&[(200, 50)], 256, 0);
+        let mut p = Profile::from_machine(&m, 0);
+        // Reserve the whole machine for [50, 150).
+        p.reserve(256, 50, 100);
+        assert_eq!(p.earliest_start(100, 10, 0), 150);
+        // 56 nodes are still free before t=50 for a short job.
+        assert_eq!(p.earliest_start(56, 50, 0), 0);
+        // ... but not for a job that would overlap the full reservation.
+        assert_eq!(p.earliest_start(56, 51, 0), 150);
+    }
+
+    #[test]
+    fn reserve_splits_intervals_exactly() {
+        let mut p = Profile::empty(100, 0);
+        p.reserve(40, 10, 20);
+        assert_eq!(p.free_at(9), 100);
+        assert_eq!(p.free_at(10), 60);
+        assert_eq!(p.free_at(29), 60);
+        assert_eq!(p.free_at(30), 100);
+    }
+
+    #[test]
+    fn stacked_reservations_accumulate() {
+        let mut p = Profile::empty(100, 0);
+        p.reserve(40, 0, 100);
+        p.reserve(40, 50, 100);
+        assert_eq!(p.free_at(0), 60);
+        assert_eq!(p.free_at(50), 20);
+        assert_eq!(p.free_at(100), 60);
+        assert_eq!(p.free_at(150), 100);
+        // A short job fits before the stacked window...
+        assert_eq!(p.earliest_start(50, 10, 0), 0);
+        // ...but one spanning t=50 must wait for the 100-breakpoint.
+        assert_eq!(p.earliest_start(50, 60, 0), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "overcommit")]
+    fn reserve_overcommit_panics() {
+        let mut p = Profile::empty(10, 0);
+        p.reserve(8, 0, 10);
+        p.reserve(8, 5, 10);
+    }
+
+    #[test]
+    fn earliest_start_from_future_time() {
+        let m = machine_with(&[(200, 50)], 256, 0);
+        let p = Profile::from_machine(&m, 0);
+        assert_eq!(p.earliest_start(100, 10, 60), 60);
+        assert_eq!(p.earliest_start(100, 10, 20), 50);
+    }
+}

@@ -1,0 +1,329 @@
+//! Finished-schedule records and the §2 validity audit.
+//!
+//! "A schedule is an allocation of system resources to individual jobs for
+//! certain time periods … the validity constraints of a schedule are
+//! defined by the target machine." For Example 5's machine, validity means:
+//! no more than 256 busy nodes at any instant, exclusive partitions, no job
+//! starting before its submission, execution truncated at the user limit.
+//! [`ScheduleRecord::validate`] re-checks all of that after the fact.
+
+use jobsched_workload::{JobId, Time, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Placement of one job in a finished schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobPlacement {
+    /// Start time.
+    pub start: Time,
+    /// Completion time (`start + effective runtime`).
+    pub completion: Time,
+}
+
+impl JobPlacement {
+    /// Response time given the job's submission instant.
+    #[inline]
+    pub fn response_time(&self, submit: Time) -> Time {
+        self.completion - submit
+    }
+
+    /// Waiting time given the job's submission instant.
+    #[inline]
+    pub fn wait_time(&self, submit: Time) -> Time {
+        self.start - submit
+    }
+}
+
+/// Violations detected by the schedule audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// A job never completed.
+    Unfinished(JobId),
+    /// A job started before it was submitted.
+    StartsBeforeSubmit(JobId),
+    /// A job's completion is inconsistent with its effective runtime.
+    WrongRuntime(JobId),
+    /// Busy nodes exceed the machine at some instant.
+    Overcommit {
+        /// The violating instant.
+        time: Time,
+        /// Busy nodes at that instant.
+        busy: u64,
+        /// Machine capacity.
+        capacity: u32,
+    },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::Unfinished(id) => write!(f, "job {id} never completed"),
+            ScheduleViolation::StartsBeforeSubmit(id) => {
+                write!(f, "job {id} starts before its submission")
+            }
+            ScheduleViolation::WrongRuntime(id) => {
+                write!(f, "job {id} ran for a wrong duration")
+            }
+            ScheduleViolation::Overcommit { time, busy, capacity } => {
+                write!(f, "{busy} busy nodes exceed capacity {capacity} at t={time}")
+            }
+        }
+    }
+}
+
+/// A completed schedule: start/completion per job, indexed by job id.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScheduleRecord {
+    machine_nodes: u32,
+    placements: Vec<Option<JobPlacement>>,
+}
+
+impl ScheduleRecord {
+    /// Empty record for `jobs` jobs on a machine of `machine_nodes`.
+    pub fn new(machine_nodes: u32, jobs: usize) -> Self {
+        ScheduleRecord {
+            machine_nodes,
+            placements: vec![None; jobs],
+        }
+    }
+
+    /// Machine size the schedule ran on.
+    pub fn machine_nodes(&self) -> u32 {
+        self.machine_nodes
+    }
+
+    /// Number of jobs the record covers.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether the record covers no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Record a placement. Panics if the job already has one (a job runs
+    /// exactly once on this machine — no time sharing).
+    pub fn place(&mut self, id: JobId, start: Time, completion: Time) {
+        let slot = &mut self.placements[id.index()];
+        assert!(slot.is_none(), "job {id} placed twice");
+        assert!(completion >= start, "negative duration for job {id}");
+        *slot = Some(JobPlacement { start, completion });
+    }
+
+    /// Placement of one job, if it completed.
+    pub fn placement(&self, id: JobId) -> Option<JobPlacement> {
+        self.placements[id.index()]
+    }
+
+    /// Iterate over `(JobId, JobPlacement)` for all completed jobs.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, JobPlacement)> + '_ {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (JobId(i as u32), p)))
+    }
+
+    /// Latest completion time (0 for an empty schedule).
+    pub fn makespan(&self) -> Time {
+        self.iter().map(|(_, p)| p.completion).max().unwrap_or(0)
+    }
+
+    /// Fraction of completed jobs.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.placements.is_empty() {
+            return 1.0;
+        }
+        self.iter().count() as f64 / self.placements.len() as f64
+    }
+
+    /// Full §2 validity audit against the workload that produced this
+    /// schedule. Returns every violation found.
+    pub fn validate(&self, workload: &Workload) -> Vec<ScheduleViolation> {
+        let mut violations = Vec::new();
+        assert_eq!(
+            self.placements.len(),
+            workload.len(),
+            "schedule and workload sizes differ"
+        );
+        // Per-job checks.
+        for job in workload.jobs() {
+            match self.placement(job.id) {
+                None => violations.push(ScheduleViolation::Unfinished(job.id)),
+                Some(p) => {
+                    if p.start < job.submit {
+                        violations.push(ScheduleViolation::StartsBeforeSubmit(job.id));
+                    }
+                    if p.completion - p.start != job.effective_runtime() {
+                        violations.push(ScheduleViolation::WrongRuntime(job.id));
+                    }
+                }
+            }
+        }
+        // Capacity sweep: +nodes at start, −nodes at completion.
+        let mut deltas: Vec<(Time, i64)> = Vec::with_capacity(2 * workload.len());
+        for job in workload.jobs() {
+            if let Some(p) = self.placement(job.id) {
+                deltas.push((p.start, job.nodes as i64));
+                deltas.push((p.completion, -(job.nodes as i64)));
+            }
+        }
+        deltas.sort_unstable();
+        let mut busy: i64 = 0;
+        for (time, d) in deltas {
+            busy += d;
+            if busy > self.machine_nodes as i64 {
+                violations.push(ScheduleViolation::Overcommit {
+                    time,
+                    busy: busy as u64,
+                    capacity: self.machine_nodes,
+                });
+                break; // one capacity violation is enough evidence
+            }
+        }
+        violations
+    }
+
+    /// Total busy node-seconds over the schedule.
+    pub fn busy_area(&self, workload: &Workload) -> f64 {
+        workload
+            .jobs()
+            .iter()
+            .filter_map(|j| {
+                self.placement(j.id)
+                    .map(|p| (p.completion - p.start) as f64 * j.nodes as f64)
+            })
+            .sum()
+    }
+
+    /// Machine utilization over `[0, makespan]`.
+    pub fn utilization(&self, workload: &Workload) -> f64 {
+        let span = self.makespan().max(1) as f64;
+        self.busy_area(workload) / (span * self.machine_nodes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_workload::{JobBuilder, Workload};
+
+    fn workload() -> Workload {
+        Workload::new(
+            "t",
+            10,
+            vec![
+                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(100).build(),
+                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(100).build(),
+            ],
+        )
+    }
+
+    fn valid_record() -> ScheduleRecord {
+        let mut r = ScheduleRecord::new(10, 2);
+        r.place(JobId(0), 0, 100);
+        r.place(JobId(1), 100, 200);
+        r
+    }
+
+    #[test]
+    fn valid_schedule_passes_audit() {
+        assert!(valid_record().validate(&workload()).is_empty());
+    }
+
+    #[test]
+    fn audit_catches_overcommit() {
+        let mut r = ScheduleRecord::new(10, 2);
+        r.place(JobId(0), 0, 100);
+        r.place(JobId(1), 50, 150);
+        let v = r.validate(&workload());
+        assert!(v.iter().any(|x| matches!(x, ScheduleViolation::Overcommit { busy: 12, .. })), "{v:?}");
+    }
+
+    #[test]
+    fn audit_catches_early_start() {
+        let w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0)).submit(50).nodes(1).requested(10).runtime(10).build()],
+        );
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place(JobId(0), 40, 50);
+        assert_eq!(
+            r.validate(&w),
+            vec![ScheduleViolation::StartsBeforeSubmit(JobId(0))]
+        );
+    }
+
+    #[test]
+    fn audit_catches_wrong_runtime() {
+        let mut r = ScheduleRecord::new(10, 2);
+        r.place(JobId(0), 0, 99);
+        r.place(JobId(1), 100, 200);
+        let v = r.validate(&workload());
+        assert_eq!(v, vec![ScheduleViolation::WrongRuntime(JobId(0))]);
+    }
+
+    #[test]
+    fn audit_catches_unfinished() {
+        let mut r = ScheduleRecord::new(10, 2);
+        r.place(JobId(0), 0, 100);
+        let v = r.validate(&workload());
+        assert_eq!(v, vec![ScheduleViolation::Unfinished(JobId(1))]);
+        assert_eq!(r.completion_ratio(), 0.5);
+    }
+
+    #[test]
+    fn audit_respects_limit_truncation() {
+        // Job killed at its 60 s limit must occupy exactly 60 s.
+        let w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0)).submit(0).nodes(1).requested(60).runtime(500).build()],
+        );
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place(JobId(0), 0, 60);
+        assert!(r.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn makespan_and_utilization() {
+        let r = valid_record();
+        let w = workload();
+        assert_eq!(r.makespan(), 200);
+        // 2 jobs × 6 nodes × 100 s on 10 nodes × 200 s = 0.6.
+        assert!((r.utilization(&w) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn back_to_back_jobs_do_not_overlap() {
+        // completion at t and start at t must not double-count capacity:
+        // the −delta sorts before the +delta at equal time.
+        let w = Workload::new(
+            "t",
+            10,
+            vec![
+                JobBuilder::new(JobId(0)).submit(0).nodes(10).requested(10).runtime(10).build(),
+                JobBuilder::new(JobId(0)).submit(0).nodes(10).requested(10).runtime(10).build(),
+            ],
+        );
+        let mut r = ScheduleRecord::new(10, 2);
+        r.place(JobId(0), 0, 10);
+        r.place(JobId(1), 10, 20);
+        assert!(r.validate(&w).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_placement_panics() {
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place(JobId(0), 0, 10);
+        r.place(JobId(0), 20, 30);
+    }
+
+    #[test]
+    fn response_and_wait_times() {
+        let p = JobPlacement { start: 100, completion: 300 };
+        assert_eq!(p.response_time(50), 250);
+        assert_eq!(p.wait_time(50), 50);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the availability profile: the optimized sweep in
+//! `Profile::earliest_start` is checked against a brute-force oracle that
+//! tries every candidate instant.
+
+use jobsched_sim::Profile;
+use jobsched_workload::Time;
+use proptest::prelude::*;
+
+/// Brute force: test each instant in `[from, limit]` directly via
+/// `min_free` (itself trivially correct by definition).
+fn brute_earliest_start(p: &Profile, nodes: u32, duration: Time, from: Time, limit: Time) -> Option<Time> {
+    (from..=limit).find(|&t| p.min_free(t, t + duration.max(1)) >= nodes)
+}
+
+fn arb_reservations() -> impl Strategy<Value = Vec<(u32, Time, Time)>> {
+    prop::collection::vec(
+        (1u32..=16, 0u64..200, 1u64..100), // nodes, start, duration
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn earliest_start_matches_brute_force(
+        reservations in arb_reservations(),
+        nodes in 1u32..=64,
+        duration in 1u64..150,
+        from in 0u64..250,
+    ) {
+        const TOTAL: u32 = 64;
+        let mut p = Profile::empty(TOTAL, 0);
+        for (n, start, dur) in reservations {
+            // Only book feasible reservations, like real callers do.
+            let s = p.earliest_start(n, dur, start);
+            if s < 1_000_000 {
+                p.reserve(n, s, dur);
+            }
+        }
+        let fast = p.earliest_start(nodes, duration, from);
+        // All reservations end before ~1100, so search a hair past that.
+        let brute = brute_earliest_start(&p, nodes, duration, from, 1_200);
+        prop_assert_eq!(Some(fast), brute, "profile: {:?}", p);
+    }
+
+    #[test]
+    fn reserve_never_goes_negative_when_guided(
+        reservations in arb_reservations(),
+    ) {
+        const TOTAL: u32 = 64;
+        let mut p = Profile::empty(TOTAL, 0);
+        for (n, start, dur) in reservations {
+            let s = p.earliest_start(n, dur, start);
+            p.reserve(n, s, dur); // must not panic: earliest_start vouched
+            prop_assert!(p.free_at(s) <= TOTAL);
+        }
+    }
+
+    #[test]
+    fn free_at_is_step_constant_between_breakpoints(
+        reservations in arb_reservations(),
+        t in 0u64..400,
+    ) {
+        const TOTAL: u32 = 64;
+        let mut p = Profile::empty(TOTAL, 0);
+        for (n, start, dur) in reservations {
+            let s = p.earliest_start(n, dur, start);
+            p.reserve(n, s, dur);
+        }
+        // min_free over a unit window equals free_at.
+        prop_assert_eq!(p.min_free(t, t + 1), p.free_at(t));
+    }
+
+    #[test]
+    fn max_free_before_bounds_free_at(
+        reservations in arb_reservations(),
+        horizon in 1u64..400,
+        t in 0u64..400,
+    ) {
+        const TOTAL: u32 = 64;
+        let mut p = Profile::empty(TOTAL, 0);
+        for (n, start, dur) in reservations {
+            let s = p.earliest_start(n, dur, start);
+            p.reserve(n, s, dur);
+        }
+        if t < horizon {
+            prop_assert!(p.max_free_before(horizon) >= p.free_at(t));
+        }
+    }
+}

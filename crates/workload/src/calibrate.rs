@@ -1,0 +1,136 @@
+//! Calibrating the workload model from a trace.
+//!
+//! §3: "the administrator … believes that the user community at the CTC
+//! and at Institution B will be very similar", and §6.2 extracts
+//! statistical data from the trace. This module closes the loop for other
+//! installations: given *any* workload (e.g. a site's own SWF trace),
+//! [`fit_ctc_model`] estimates the parameters of [`crate::ctc::CtcModel`]
+//! so synthetic workloads with the site's first-order statistics can be
+//! generated at any size — the same role the §6.2 binned model plays,
+//! but parametric (and therefore extrapolatable to what-if studies, §2.4:
+//! "the workload model must be modified as the number of users and/or the
+//! types and sizes of submitted jobs change over time").
+
+use crate::ctc::CtcModel;
+use crate::stats::Summary;
+use crate::trace::Workload;
+
+/// Parameters estimated from a trace, with the evidence behind them.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// The fitted generator model.
+    pub model: CtcModel,
+    /// Observed inter-arrival summary.
+    pub interarrival: Summary,
+    /// Observed runtime summary (log-domain mean/σ drive the fit).
+    pub runtime: Summary,
+    /// Observed fraction of jobs killed at their limit.
+    pub killed_fraction: f64,
+    /// Distinct submitting users.
+    pub users: u32,
+}
+
+/// Weibull shape from the coefficient of variation (same moment
+/// approximation as [`crate::distr::Weibull::fit`]).
+fn weibull_shape(cv: f64) -> f64 {
+    cv.max(0.05).powf(-1.086).clamp(0.1, 20.0)
+}
+
+/// Fit a [`CtcModel`] to a workload. Requires ≥ 2 jobs.
+pub fn fit_ctc_model(trace: &Workload) -> Calibration {
+    assert!(trace.len() >= 2, "need at least two jobs to calibrate");
+    let jobs = trace.jobs();
+
+    let interarrival = Summary::from_iter(
+        jobs.windows(2).map(|p| (p[1].submit - p[0].submit) as f64),
+    );
+    // Log-domain moments of the effective runtime give the log-normal fit
+    // directly: μ = E[ln x], σ = std[ln x].
+    let log_runtime = Summary::from_iter(
+        jobs.iter()
+            .map(|j| (j.effective_runtime().max(1) as f64).ln()),
+    );
+    let runtime = Summary::from_iter(jobs.iter().map(|j| j.effective_runtime() as f64));
+    let killed = jobs.iter().filter(|j| j.killed_at_limit()).count() as f64 / jobs.len() as f64;
+    let users = jobs
+        .iter()
+        .map(|j| j.user)
+        .collect::<std::collections::HashSet<_>>()
+        .len() as u32;
+    let max_nodes = jobs.iter().map(|j| j.nodes).max().unwrap_or(1);
+
+    let model = CtcModel {
+        jobs: trace.len(),
+        machine_nodes: trace.machine_nodes(),
+        mean_interarrival: interarrival.mean().max(1.0),
+        interarrival_shape: weibull_shape(interarrival.cv()),
+        runtime_mu: log_runtime.mean(),
+        runtime_sigma: log_runtime.std_dev().max(0.1),
+        killed_fraction: killed.clamp(0.0, 0.5),
+        users: users.max(1),
+        max_regular_nodes: max_nodes.min(trace.machine_nodes()),
+    };
+    Calibration {
+        model,
+        interarrival,
+        runtime,
+        killed_fraction: killed,
+        users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctc::prepared_ctc_workload;
+    use crate::stats::WorkloadStats;
+
+    #[test]
+    fn self_calibration_recovers_first_order_statistics() {
+        // Fit on a generated trace, regenerate, compare: the round trip
+        // must approximately preserve means (the §6.2 consistency check,
+        // parametric edition).
+        let base = prepared_ctc_workload(8_000, 77);
+        let cal = fit_ctc_model(&base);
+        let regen = cal.model.generate(78);
+        let sb = WorkloadStats::of(&base);
+        let sr = WorkloadStats::of(&regen);
+        let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1e-9);
+        assert!(
+            rel(sb.interarrival.mean(), sr.interarrival.mean()) < 0.25,
+            "interarrival {} vs {}",
+            sb.interarrival.mean(),
+            sr.interarrival.mean()
+        );
+        assert!(
+            rel(sb.runtime.mean(), sr.runtime.mean()) < 0.35,
+            "runtime {} vs {}",
+            sb.runtime.mean(),
+            sr.runtime.mean()
+        );
+    }
+
+    #[test]
+    fn calibration_reports_evidence() {
+        let base = prepared_ctc_workload(3_000, 9);
+        let cal = fit_ctc_model(&base);
+        assert!(cal.users > 100, "users {}", cal.users);
+        assert!((0.02..0.2).contains(&cal.killed_fraction), "{}", cal.killed_fraction);
+        assert!(cal.model.interarrival_shape < 1.0, "bursty traces fit shape < 1");
+        assert_eq!(cal.model.machine_nodes, 256);
+    }
+
+    #[test]
+    fn weibull_shape_monotone_in_cv() {
+        assert!(weibull_shape(0.5) > weibull_shape(1.0));
+        assert!(weibull_shape(1.0) > weibull_shape(2.0));
+        assert!((weibull_shape(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two jobs")]
+    fn tiny_trace_rejected() {
+        let w = Workload::new("t", 16, vec![]);
+        let _ = fit_ctc_model(&w);
+    }
+}

@@ -1,0 +1,353 @@
+//! Random-variate samplers used by the workload generators.
+//!
+//! Only `rand`'s uniform primitives are assumed; Weibull, exponential and
+//! log-normal variates are produced by inverse-CDF / Box–Muller transforms
+//! so no extra distribution crate is needed.
+//!
+//! The paper's §6.2 finds that "a Weibull distribution matches best the
+//! submission times of the jobs in the trace" — [`Weibull`] drives the
+//! probabilistic workload's inter-arrival times. The empirical binned
+//! distribution of §6.2 ("bins are created for every possible requested
+//! resource number … probability values are calculated for each bin") is
+//! [`Empirical`].
+
+use rand::{Rng, RngExt};
+
+/// A distribution over `f64` that can be sampled with any RNG.
+pub trait Sample {
+    /// Draw one variate.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Theoretical mean, if known in closed form (used by tests).
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// New uniform distribution; requires `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.random_range(self.lo..self.hi)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(0.5 * (self.lo + self.hi))
+    }
+}
+
+/// Exponential distribution with the given rate λ (mean 1/λ).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// New exponential distribution; requires `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        Exponential { rate }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on u ∈ (0, 1]; 1-random_range(0..1) avoids ln(0).
+        let u: f64 = 1.0 - rng.random_range(0.0..1.0);
+        -u.ln() / self.rate
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.rate)
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+///
+/// CDF `F(x) = 1 - exp(-(x/λ)^k)`; inverse `λ(-ln(1-u))^(1/k)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// New Weibull distribution; requires positive shape and scale.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+        Weibull { shape, scale }
+    }
+
+    /// Fit shape and scale from a sample's mean and coefficient of
+    /// variation using the method-of-moments approximation
+    /// `k ≈ cv^(-1.086)` (Justus), then `λ = mean / Γ(1 + 1/k)`.
+    ///
+    /// Good enough for workload modelling; exactness is asserted loosely in
+    /// tests.
+    pub fn fit(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv > 0.0);
+        let shape = cv.powf(-1.086).clamp(0.1, 20.0);
+        let scale = mean / gamma(1.0 + 1.0 / shape);
+        Weibull::new(shape, scale)
+    }
+
+    /// The shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter λ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Sample for Weibull {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random_range(0.0..1.0);
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.scale * gamma(1.0 + 1.0 / self.shape))
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Runtime distributions of production MPP traces are famously heavy-tailed;
+/// a log-normal body is the standard model (Feitelson's workload book).
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// New log-normal with the location/scale of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "log-normal sigma must be positive");
+        LogNormal { mu, sigma }
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + 0.5 * self.sigma * self.sigma).exp())
+    }
+}
+
+/// One standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random_range(0.0..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Discrete empirical distribution over arbitrary items, sampled by
+/// cumulative-weight binary search (§6.2: "randomized values are used and
+/// associated to the bins according to their probability").
+#[derive(Clone, Debug)]
+pub struct Empirical<T> {
+    items: Vec<T>,
+    cumulative: Vec<f64>,
+}
+
+impl<T: Clone> Empirical<T> {
+    /// Build from `(item, weight)` pairs; weights need not be normalised.
+    /// Zero-weight items are dropped. Panics if no positive weight remains.
+    pub fn new(weighted: impl IntoIterator<Item = (T, f64)>) -> Self {
+        let mut items = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut total = 0.0;
+        for (item, w) in weighted {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            if w > 0.0 {
+                total += w;
+                items.push(item);
+                cumulative.push(total);
+            }
+        }
+        assert!(total > 0.0, "empirical distribution needs positive total weight");
+        Empirical { items, cumulative }
+    }
+
+    /// Number of distinct items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the distribution has no items (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Draw one item.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.random_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        self.items[idx.min(self.items.len() - 1)].clone()
+    }
+}
+
+/// Lanczos approximation of the gamma function (g = 7, n = 9), accurate to
+/// ~15 significant digits for positive real arguments.
+pub fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (std::f64::consts::TAU).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_mean<D: Sample>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn gamma_matches_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn uniform_mean_converges() {
+        let d = Uniform::new(2.0, 6.0);
+        let m = sample_mean(&d, 100_000, 1);
+        assert!((m - 4.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::new(0.25);
+        let m = sample_mean(&d, 100_000, 2);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn weibull_mean_matches_closed_form() {
+        let d = Weibull::new(1.5, 10.0);
+        let expected = d.mean().unwrap();
+        let m = sample_mean(&d, 200_000, 3);
+        assert!((m - expected).abs() / expected < 0.02, "mean {m} vs {expected}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let d = Weibull::new(1.0, 5.0);
+        assert!((d.mean().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_fit_recovers_mean() {
+        let d = Weibull::fit(120.0, 1.8);
+        let m = sample_mean(&d, 200_000, 4);
+        assert!((m - 120.0).abs() / 120.0 < 0.03, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_closed_form() {
+        let d = LogNormal::new(2.0, 0.5);
+        let expected = d.mean().unwrap();
+        let m = sample_mean(&d, 300_000, 5);
+        assert!((m - expected).abs() / expected < 0.03, "mean {m} vs {expected}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let w = Weibull::new(0.6, 100.0);
+        let l = LogNormal::new(0.0, 2.0);
+        for _ in 0..10_000 {
+            assert!(w.sample(&mut rng) >= 0.0);
+            assert!(l.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_respects_weights() {
+        let d = Empirical::new(vec![("a", 1.0), ("b", 3.0), ("zero", 0.0)]);
+        assert_eq!(d.len(), 2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..40_000 {
+            *counts.entry(d.draw(&mut rng)).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.get("zero"), None);
+        let a = counts["a"] as f64;
+        let b = counts["b"] as f64;
+        assert!((b / a - 3.0).abs() < 0.2, "ratio {}", b / a);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empirical_rejects_all_zero() {
+        let _ = Empirical::new(vec![("a", 0.0)]);
+    }
+
+    #[test]
+    fn empirical_single_item_always_drawn() {
+        let d = Empirical::new(vec![(42u32, 0.5)]);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..100 {
+            assert_eq!(d.draw(&mut rng), 42);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+}

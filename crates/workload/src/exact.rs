@@ -1,0 +1,116 @@
+//! The §6.1 exact-runtime variant.
+//!
+//! "The administrator also wants to test her algorithms under the
+//! assumption that precise job execution times are available at job
+//! submission. … For this study the estimated execution times of the trace
+//! were simply replaced by the actual execution times."
+//!
+//! Table 6 / Figure 6 compare schedules under this transform against the
+//! estimated-runtime originals; the extension benches additionally degrade
+//! estimate quality continuously via [`with_estimate_factor`].
+
+use crate::job::{CompletionStatus, Time};
+use crate::trace::Workload;
+
+/// Replace every job's requested-time limit by its actual runtime
+/// (perfect estimates). Jobs previously killed at their limit keep their
+/// truncated runtime as both limit and runtime — the schedule-visible
+/// behaviour of the original trace is preserved exactly.
+pub fn with_exact_estimates(w: &Workload) -> Workload {
+    let mut jobs = w.jobs().to_vec();
+    for j in &mut jobs {
+        let effective = j.effective_runtime();
+        j.requested_time = effective;
+        j.runtime = effective;
+        j.status = CompletionStatus::Completed;
+    }
+    Workload::new(format!("{}-exact", w.name()), w.machine_nodes(), jobs)
+}
+
+/// Scale every estimate to `actual × factor` (factor ≥ 1), modelling a
+/// uniform over-estimation level. `factor = 1` is [`with_exact_estimates`].
+/// Used by the estimate-accuracy ablation bench.
+pub fn with_estimate_factor(w: &Workload, factor: f64) -> Workload {
+    assert!(factor >= 1.0, "estimate factor must be ≥ 1, got {factor}");
+    let mut jobs = w.jobs().to_vec();
+    for j in &mut jobs {
+        let effective = j.effective_runtime();
+        j.runtime = effective;
+        j.requested_time = ((effective as f64 * factor).ceil() as Time).max(1);
+        j.status = CompletionStatus::Completed;
+    }
+    Workload::new(
+        format!("{}-est{factor:.1}", w.name()),
+        w.machine_nodes(),
+        jobs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobBuilder, JobId};
+
+    fn base() -> Workload {
+        Workload::new(
+            "b",
+            256,
+            vec![
+                JobBuilder::new(JobId(0)).submit(0).requested(7200).runtime(3600).build(),
+                // killed at limit: effective runtime is the 100 s limit
+                JobBuilder::new(JobId(0)).submit(10).requested(100).runtime(500).build(),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_sets_estimates_to_actual() {
+        let w = with_exact_estimates(&base());
+        assert_eq!(w.jobs()[0].requested_time, 3600);
+        assert_eq!(w.jobs()[0].runtime, 3600);
+    }
+
+    #[test]
+    fn exact_preserves_killed_jobs_effective_runtime() {
+        let w = with_exact_estimates(&base());
+        assert_eq!(w.jobs()[1].requested_time, 100);
+        assert_eq!(w.jobs()[1].runtime, 100);
+        assert!(!w.jobs()[1].killed_at_limit());
+    }
+
+    #[test]
+    fn exact_preserves_everything_else() {
+        let orig = base();
+        let w = with_exact_estimates(&orig);
+        for (a, b) in orig.jobs().iter().zip(w.jobs()) {
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.user, b.user);
+        }
+        assert!(w.name().ends_with("-exact"));
+    }
+
+    #[test]
+    fn factor_scales_estimates() {
+        let w = with_estimate_factor(&base(), 3.0);
+        assert_eq!(w.jobs()[0].requested_time, 3 * 3600);
+        assert_eq!(w.jobs()[0].runtime, 3600);
+        assert_eq!(w.jobs()[1].requested_time, 300);
+    }
+
+    #[test]
+    fn factor_one_equals_exact() {
+        let a = with_exact_estimates(&base());
+        let b = with_estimate_factor(&base(), 1.0);
+        for (x, y) in a.jobs().iter().zip(b.jobs()) {
+            assert_eq!(x.requested_time, y.requested_time);
+            assert_eq!(x.runtime, y.runtime);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn factor_below_one_rejected() {
+        let _ = with_estimate_factor(&base(), 0.5);
+    }
+}

@@ -1,0 +1,378 @@
+//! The rigid-job model of the paper's Example 5.
+//!
+//! A job is described by its *submission data* (§2): the exact number of
+//! nodes (rigid job model, Rule 2), an upper limit for the execution time
+//! (Rule 2; jobs exceeding it may be cancelled), and the submission time.
+//! The *actual* runtime only becomes known when the job completes — online
+//! schedulers must never look at it, which the simulator enforces by
+//! handing schedulers a redacted view (see `jobsched-sim`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulated time in seconds since the start of the trace.
+///
+/// The paper reports response times in seconds; an integer type keeps the
+/// event queue total-ordered without floating-point tie-break headaches.
+pub type Time = u64;
+
+/// Seconds per hour, used throughout the generators.
+pub const HOUR: Time = 3600;
+/// Seconds per day.
+pub const DAY: Time = 24 * HOUR;
+/// Seconds per week.
+pub const WEEK: Time = 7 * DAY;
+
+/// Dense job identifier; index into the owning [`crate::Workload`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Node classes of the CTC SP2 batch partition (§6.1: "the nodes of the CTC
+/// computer are not all identical — they differ in type and memory").
+///
+/// The paper's administrator *discards* this information (382 of 430 nodes
+/// are identical); we keep it on the job record so the discarding step is an
+/// explicit, testable transformation rather than an omission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeType {
+    /// Standard thin node (the 382-node majority class).
+    #[default]
+    Thin,
+    /// Wide node with more memory.
+    Wide,
+    /// Special I/O / mass-storage attached node.
+    Storage,
+}
+
+/// Terminal state of a job in a finished schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompletionStatus {
+    /// Ran to normal completion within its requested limit.
+    #[default]
+    Completed,
+    /// Hit its requested-time limit and was cancelled (Rule 2).
+    KilledAtLimit,
+    /// Failed on its own (recorded in real traces; generators may emit it).
+    Failed,
+}
+
+/// A single rigid batch job.
+///
+/// Fields mirror the CTC trace columns listed in §6.1 of the paper. The
+/// scheduling-relevant core is `(submit, nodes, requested_time)`;
+/// `runtime` is ground truth that only the simulator and the objective
+/// functions may consult.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Identifier, equal to the job's index in its workload.
+    pub id: JobId,
+    /// Submission time (seconds from trace start).
+    pub submit: Time,
+    /// Number of nodes allocated to the job (rigid: exact requirement).
+    pub nodes: u32,
+    /// User-provided upper limit for the execution time (seconds).
+    pub requested_time: Time,
+    /// Actual execution time (seconds). The simulator truncates execution
+    /// at `requested_time`, so effective runtime is
+    /// `min(runtime, requested_time)`.
+    pub runtime: Time,
+    /// Submitting user (for Rule 4 style per-user limits).
+    pub user: u32,
+    /// Requested memory per node in MB (ignored after the §6.1 filtering,
+    /// kept so the filter is explicit).
+    pub memory_mb: u32,
+    /// Requested node type (ignored after the §6.1 filtering).
+    pub node_type: NodeType,
+    /// Completion status recorded in the trace.
+    pub status: CompletionStatus,
+}
+
+impl Job {
+    /// Effective execution time once started: actual runtime truncated at
+    /// the user-provided limit (Rule 2 cancellation).
+    #[inline]
+    pub fn effective_runtime(&self) -> Time {
+        self.runtime.min(self.requested_time)
+    }
+
+    /// Whether the job would be killed at its limit.
+    #[inline]
+    pub fn killed_at_limit(&self) -> bool {
+        self.runtime > self.requested_time
+    }
+
+    /// Resource consumption ("area") based on the *actual* runtime:
+    /// `effective_runtime × nodes`. This is the AWRT weight of §4.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.effective_runtime() as f64 * self.nodes as f64
+    }
+
+    /// Projected resource consumption based on the *user estimate*:
+    /// `requested_time × nodes`. This is the only weight an online
+    /// scheduler may use (§5.4 modification 2).
+    #[inline]
+    pub fn projected_area(&self) -> f64 {
+        self.requested_time as f64 * self.nodes as f64
+    }
+
+    /// Ratio of estimated to actual runtime (≥ 1 for a well-formed job).
+    #[inline]
+    pub fn overestimation(&self) -> f64 {
+        self.requested_time as f64 / self.effective_runtime().max(1) as f64
+    }
+
+    /// Check structural validity: positive node count and runtimes.
+    pub fn validate(&self, machine_nodes: u32) -> Result<(), JobError> {
+        if self.nodes == 0 {
+            return Err(JobError::ZeroNodes(self.id));
+        }
+        if self.nodes > machine_nodes {
+            return Err(JobError::TooWide {
+                id: self.id,
+                nodes: self.nodes,
+                machine: machine_nodes,
+            });
+        }
+        if self.requested_time == 0 {
+            return Err(JobError::ZeroRequestedTime(self.id));
+        }
+        if self.runtime == 0 {
+            return Err(JobError::ZeroRuntime(self.id));
+        }
+        Ok(())
+    }
+}
+
+/// Structural problems a job record can exhibit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// Node request of zero.
+    ZeroNodes(JobId),
+    /// Node request exceeding the machine.
+    TooWide {
+        /// Offending job.
+        id: JobId,
+        /// Requested nodes.
+        nodes: u32,
+        /// Machine size.
+        machine: u32,
+    },
+    /// Requested-time limit of zero.
+    ZeroRequestedTime(JobId),
+    /// Actual runtime of zero.
+    ZeroRuntime(JobId),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::ZeroNodes(id) => write!(f, "job {id} requests zero nodes"),
+            JobError::TooWide { id, nodes, machine } => {
+                write!(f, "job {id} requests {nodes} nodes on a {machine}-node machine")
+            }
+            JobError::ZeroRequestedTime(id) => {
+                write!(f, "job {id} has a zero requested-time limit")
+            }
+            JobError::ZeroRuntime(id) => write!(f, "job {id} has zero runtime"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Builder for [`Job`], used by generators and tests.
+///
+/// Defaults: 1 node, 1 h requested, 30 min actual, user 0, thin node,
+/// 128 MB, submitted at 0.
+#[derive(Clone, Debug)]
+pub struct JobBuilder {
+    job: Job,
+}
+
+impl Default for JobBuilder {
+    fn default() -> Self {
+        Self::new(JobId(0))
+    }
+}
+
+impl JobBuilder {
+    /// Start a builder for the given id.
+    pub fn new(id: JobId) -> Self {
+        JobBuilder {
+            job: Job {
+                id,
+                submit: 0,
+                nodes: 1,
+                requested_time: HOUR,
+                runtime: HOUR / 2,
+                user: 0,
+                memory_mb: 128,
+                node_type: NodeType::Thin,
+                status: CompletionStatus::Completed,
+            },
+        }
+    }
+
+    /// Set the submission time.
+    pub fn submit(mut self, t: Time) -> Self {
+        self.job.submit = t;
+        self
+    }
+
+    /// Set the node request.
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.job.nodes = n;
+        self
+    }
+
+    /// Set the user-provided runtime limit.
+    pub fn requested(mut self, t: Time) -> Self {
+        self.job.requested_time = t;
+        self
+    }
+
+    /// Set the actual runtime.
+    pub fn runtime(mut self, t: Time) -> Self {
+        self.job.runtime = t;
+        self
+    }
+
+    /// Set both requested and actual runtime to the same value
+    /// (exact-estimate jobs, §6.1 second simulation).
+    pub fn exact_runtime(mut self, t: Time) -> Self {
+        self.job.requested_time = t;
+        self.job.runtime = t;
+        self
+    }
+
+    /// Set the submitting user.
+    pub fn user(mut self, u: u32) -> Self {
+        self.job.user = u;
+        self
+    }
+
+    /// Set the per-node memory request.
+    pub fn memory_mb(mut self, m: u32) -> Self {
+        self.job.memory_mb = m;
+        self
+    }
+
+    /// Set the node-type request.
+    pub fn node_type(mut self, t: NodeType) -> Self {
+        self.job.node_type = t;
+        self
+    }
+
+    /// Set the recorded completion status.
+    pub fn status(mut self, s: CompletionStatus) -> Self {
+        self.job.status = s;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Job {
+        self.job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        JobBuilder::new(JobId(7))
+            .submit(100)
+            .nodes(16)
+            .requested(7200)
+            .runtime(3600)
+            .build()
+    }
+
+    #[test]
+    fn effective_runtime_is_actual_when_below_limit() {
+        assert_eq!(job().effective_runtime(), 3600);
+        assert!(!job().killed_at_limit());
+    }
+
+    #[test]
+    fn effective_runtime_truncates_at_limit() {
+        let j = JobBuilder::new(JobId(1)).requested(100).runtime(500).build();
+        assert_eq!(j.effective_runtime(), 100);
+        assert!(j.killed_at_limit());
+    }
+
+    #[test]
+    fn area_uses_actual_runtime() {
+        assert_eq!(job().area(), 3600.0 * 16.0);
+    }
+
+    #[test]
+    fn projected_area_uses_estimate() {
+        assert_eq!(job().projected_area(), 7200.0 * 16.0);
+    }
+
+    #[test]
+    fn overestimation_factor() {
+        assert_eq!(job().overestimation(), 2.0);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_job() {
+        assert_eq!(job().validate(256), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_nodes() {
+        let j = JobBuilder::new(JobId(2)).nodes(0).build();
+        assert_eq!(j.validate(256), Err(JobError::ZeroNodes(JobId(2))));
+    }
+
+    #[test]
+    fn validate_rejects_too_wide() {
+        let j = JobBuilder::new(JobId(3)).nodes(300).build();
+        assert!(matches!(j.validate(256), Err(JobError::TooWide { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_zero_times() {
+        let j = JobBuilder::new(JobId(4)).requested(0).build();
+        assert_eq!(j.validate(256), Err(JobError::ZeroRequestedTime(JobId(4))));
+        let j = JobBuilder::new(JobId(5)).runtime(0).build();
+        assert_eq!(j.validate(256), Err(JobError::ZeroRuntime(JobId(5))));
+    }
+
+    #[test]
+    fn job_error_display_is_informative() {
+        let j = JobBuilder::new(JobId(3)).nodes(300).build();
+        let msg = j.validate(256).unwrap_err().to_string();
+        assert!(msg.contains("300"));
+        assert!(msg.contains("256"));
+    }
+
+    #[test]
+    fn jobid_debug_and_index() {
+        assert_eq!(format!("{:?}", JobId(12)), "J12");
+        assert_eq!(JobId(12).index(), 12);
+    }
+}

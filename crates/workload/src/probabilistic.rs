@@ -1,0 +1,225 @@
+//! The §6.2 probability-distribution workload.
+//!
+//! "In order to overcome some of the difficulties mentioned in Section 6.1
+//! the administrator decides to extract statistical data from the CTC
+//! workload trace. These data are then used to generate an artificial
+//! workload with the same distribution as the workload trace. An analysis
+//! of the CTC workload trace yields that a Weibull distribution matches
+//! best the submission times of the jobs … bins are created for every
+//! possible requested resource number (between 1 and 256), various ranges
+//! of requested time and of actual execution length. Then probability
+//! values are calculated for each bin from the CTC trace."
+//!
+//! [`BinnedModel::fit`] builds exactly that: a joint empirical table over
+//! (node count, requested-time range, actual-runtime range) plus a Weibull
+//! fit of the inter-arrival process; [`BinnedModel::generate`] resamples a
+//! new workload from it.
+
+use crate::distr::{Empirical, Sample, Weibull};
+use crate::job::{CompletionStatus, Job, JobId, NodeType, Time};
+use crate::stats::Summary;
+use crate::trace::Workload;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Logarithmic time bins: bin k covers `[2^k, 2^(k+1))` seconds, bin 0
+/// covers `[0, 2)`. 32 bins cover every representable runtime.
+fn time_bin(t: Time) -> u8 {
+    (63 - t.max(1).leading_zeros()) as u8
+}
+
+/// Inclusive-exclusive bounds of a time bin.
+fn bin_bounds(bin: u8) -> (Time, Time) {
+    if bin == 0 {
+        (1, 2)
+    } else {
+        (1 << bin, 1 << (bin + 1))
+    }
+}
+
+/// One cell of the joint (nodes × requested-range × actual-range) table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Cell {
+    nodes: u32,
+    req_bin: u8,
+    act_bin: u8,
+}
+
+/// Statistical model fitted from a base trace per §6.2.
+#[derive(Clone, Debug)]
+pub struct BinnedModel {
+    cells: Empirical<(u32, u8, u8)>,
+    interarrival: Weibull,
+    machine_nodes: u32,
+}
+
+impl BinnedModel {
+    /// Fit the model to a base workload: joint bin probabilities for
+    /// (nodes, requested-time range, actual-runtime range) and a
+    /// method-of-moments Weibull fit for the inter-arrival gaps.
+    ///
+    /// Panics if the base workload has fewer than 2 jobs (no gap data).
+    pub fn fit(base: &Workload) -> Self {
+        assert!(base.len() >= 2, "need at least two jobs to fit a model");
+        let mut counts: std::collections::HashMap<Cell, f64> = std::collections::HashMap::new();
+        for j in base.jobs() {
+            let cell = Cell {
+                nodes: j.nodes,
+                req_bin: time_bin(j.requested_time),
+                act_bin: time_bin(j.runtime),
+            };
+            *counts.entry(cell).or_insert(0.0) += 1.0;
+        }
+        let mut entries: Vec<(Cell, f64)> = counts.into_iter().collect();
+        // HashMap iteration order is nondeterministic; sort so that equal
+        // seeds give equal workloads.
+        entries.sort_by_key(|(c, _)| (c.nodes, c.req_bin, c.act_bin));
+        let cells = Empirical::new(
+            entries
+                .into_iter()
+                .map(|(c, w)| ((c.nodes, c.req_bin, c.act_bin), w)),
+        );
+        let gaps = Summary::from_iter(
+            base.jobs()
+                .windows(2)
+                .map(|p| (p[1].submit - p[0].submit) as f64),
+        );
+        let mean = gaps.mean().max(1.0);
+        let cv = gaps.cv().max(0.05);
+        BinnedModel {
+            cells,
+            interarrival: Weibull::fit(mean, cv),
+            machine_nodes: base.machine_nodes(),
+        }
+    }
+
+    /// The fitted inter-arrival distribution.
+    pub fn interarrival(&self) -> &Weibull {
+        &self.interarrival
+    }
+
+    /// Number of populated joint bins.
+    pub fn populated_bins(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Resample `n` jobs from the fitted distributions ("randomized values
+    /// are used and associated to the bins according to their
+    /// probability").
+    pub fn generate(&self, n: usize, seed: u64) -> Workload {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut jobs = Vec::with_capacity(n);
+        let mut clock = 0.0f64;
+        for i in 0..n {
+            clock += self.interarrival.sample(&mut rng).max(1.0);
+            let (nodes, req_bin, act_bin) = self.cells.draw(&mut rng);
+            let (rlo, rhi) = bin_bounds(req_bin);
+            let (alo, ahi) = bin_bounds(act_bin);
+            let requested = rng.random_range(rlo..rhi);
+            let runtime = rng.random_range(alo..ahi);
+            let status = if runtime > requested {
+                CompletionStatus::KilledAtLimit
+            } else {
+                CompletionStatus::Completed
+            };
+            jobs.push(Job {
+                id: JobId(i as u32),
+                submit: clock as Time,
+                nodes,
+                requested_time: requested,
+                runtime,
+                user: rng.random_range(0..680),
+                memory_mb: 0,
+                node_type: NodeType::Thin,
+                status,
+            });
+        }
+        Workload::new("probabilistic", self.machine_nodes, jobs)
+    }
+}
+
+/// The paper's §6.2 workload in one call: fit on the prepared CTC-like
+/// trace, resample `n` jobs.
+pub fn probabilistic_workload(base: &Workload, n: usize, seed: u64) -> Workload {
+    BinnedModel::fit(base).generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctc::prepared_ctc_workload;
+    use crate::stats::WorkloadStats;
+
+    #[test]
+    fn time_bins_are_log2() {
+        assert_eq!(time_bin(1), 0);
+        assert_eq!(time_bin(2), 1);
+        assert_eq!(time_bin(3), 1);
+        assert_eq!(time_bin(4), 2);
+        assert_eq!(time_bin(4095), 11);
+        assert_eq!(time_bin(4096), 12);
+    }
+
+    #[test]
+    fn bin_bounds_invert_time_bin() {
+        for t in [1u64, 2, 3, 7, 100, 3600, 86_400] {
+            let (lo, hi) = bin_bounds(time_bin(t));
+            assert!((lo..hi).contains(&t), "t={t} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn generated_workload_has_requested_size() {
+        let base = prepared_ctc_workload(3_000, 5);
+        let w = probabilistic_workload(&base, 1_000, 6);
+        assert_eq!(w.len(), 1_000);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn resample_preserves_first_order_statistics() {
+        // §6.2's consistency check: the artificial workload must look like
+        // the trace it was fitted on.
+        let base = prepared_ctc_workload(8_000, 7);
+        let w = probabilistic_workload(&base, 8_000, 8);
+        let sb = WorkloadStats::of(&base);
+        let sw = WorkloadStats::of(&w);
+        let d = sb.distance(&sw);
+        assert!(d < 0.25, "distance {d}\nbase:\n{sb}\nresampled:\n{sw}");
+    }
+
+    #[test]
+    fn node_counts_only_from_base_support() {
+        let base = prepared_ctc_workload(2_000, 9);
+        let support: std::collections::HashSet<u32> =
+            base.jobs().iter().map(|j| j.nodes).collect();
+        let w = probabilistic_workload(&base, 2_000, 10);
+        for j in w.jobs() {
+            assert!(support.contains(&j.nodes), "nodes {} not in base", j.nodes);
+        }
+    }
+
+    #[test]
+    fn killed_status_consistent_with_times() {
+        let base = prepared_ctc_workload(2_000, 11);
+        let w = probabilistic_workload(&base, 2_000, 12);
+        for j in w.jobs() {
+            assert_eq!(j.killed_at_limit(), j.status == CompletionStatus::KilledAtLimit);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let base = prepared_ctc_workload(1_000, 13);
+        let a = probabilistic_workload(&base, 500, 14);
+        let b = probabilistic_workload(&base, 500, 14);
+        assert_eq!(a.jobs(), b.jobs());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two jobs")]
+    fn fit_rejects_tiny_base() {
+        let base = Workload::new("tiny", 256, vec![]);
+        let _ = BinnedModel::fit(&base);
+    }
+}

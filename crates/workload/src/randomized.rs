@@ -1,0 +1,133 @@
+//! The §6.3 totally randomized workload (Table 2).
+//!
+//! "Finally, totally randomized data are used as a third input data set.
+//! The administrator is aware of the fact that this workload will not
+//! represent any real workload on her machine. But she wants to determine
+//! the performance of scheduling algorithms even in case of unusual job
+//! combinations."
+//!
+//! Table 2 parameters, all equally (uniformly) distributed:
+//!
+//! | parameter                         | range            |
+//! |-----------------------------------|------------------|
+//! | submission of jobs                | ≥ 1 job per hour |
+//! | requested number of nodes         | 1 – 256          |
+//! | upper limit for the execution time| 5 min – 24 h     |
+//! | actual execution time             | 1 s – upper limit|
+
+use crate::job::{CompletionStatus, Job, JobId, NodeType, Time, HOUR};
+use crate::trace::Workload;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Table 2 generator parameters (defaults = the paper's values).
+#[derive(Clone, Copy, Debug)]
+pub struct RandomizedModel {
+    /// Maximum inter-arrival gap in seconds ("≥ 1 job per hour" ⇒ 3600).
+    pub max_gap: Time,
+    /// Maximum node request (machine size, 256).
+    pub max_nodes: u32,
+    /// Minimum requested-time limit (5 min).
+    pub min_limit: Time,
+    /// Maximum requested-time limit (24 h).
+    pub max_limit: Time,
+}
+
+impl Default for RandomizedModel {
+    fn default() -> Self {
+        RandomizedModel {
+            max_gap: HOUR,
+            max_nodes: crate::TARGET_NODES,
+            min_limit: 300,
+            max_limit: 24 * HOUR,
+        }
+    }
+}
+
+impl RandomizedModel {
+    /// Generate `n` uniformly random jobs.
+    pub fn generate(&self, n: usize, seed: u64) -> Workload {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut clock: Time = 0;
+        let mut jobs = Vec::with_capacity(n);
+        for i in 0..n {
+            clock += rng.random_range(1..=self.max_gap);
+            let requested = rng.random_range(self.min_limit..=self.max_limit);
+            let runtime = rng.random_range(1..=requested);
+            jobs.push(Job {
+                id: JobId(i as u32),
+                submit: clock,
+                nodes: rng.random_range(1..=self.max_nodes),
+                requested_time: requested,
+                runtime,
+                user: rng.random_range(0..1000),
+                memory_mb: 0,
+                node_type: NodeType::Thin,
+                status: CompletionStatus::Completed,
+            });
+        }
+        Workload::new("randomized", self.max_nodes, jobs)
+    }
+}
+
+/// The paper's randomized workload with default Table 2 parameters.
+pub fn randomized_workload(n: usize, seed: u64) -> Workload {
+    RandomizedModel::default().generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::WorkloadStats;
+
+    #[test]
+    fn respects_table2_ranges() {
+        let w = randomized_workload(5_000, 21);
+        for j in w.jobs() {
+            assert!((1..=256).contains(&j.nodes));
+            assert!((300..=24 * HOUR).contains(&j.requested_time));
+            assert!(j.runtime >= 1 && j.runtime <= j.requested_time);
+        }
+    }
+
+    #[test]
+    fn gaps_at_least_one_job_per_hour() {
+        let w = randomized_workload(5_000, 22);
+        for p in w.jobs().windows(2) {
+            assert!(p[1].submit - p[0].submit <= HOUR);
+        }
+    }
+
+    #[test]
+    fn uniform_nodes_mean_near_midpoint() {
+        let w = randomized_workload(20_000, 23);
+        let s = WorkloadStats::of(&w);
+        assert!((s.nodes.mean() - 128.5).abs() < 4.0, "mean {}", s.nodes.mean());
+    }
+
+    #[test]
+    fn never_killed_at_limit() {
+        // Table 2 draws the actual runtime from [1, limit], so limit kills
+        // cannot occur in this workload.
+        let w = randomized_workload(5_000, 24);
+        assert!(w.jobs().iter().all(|j| !j.killed_at_limit()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(
+            randomized_workload(100, 25).jobs(),
+            randomized_workload(100, 25).jobs()
+        );
+    }
+
+    #[test]
+    fn extreme_load_as_paper_intends() {
+        // Mean nodes 128.5 × mean runtime (~limit/2 ≈ 12.2 h/2... actually
+        // uniform over [1, limit] with limit uniform: E≈limit_mean/2) over
+        // mean gap 30 min: the machine is hopelessly overloaded — the
+        // paper's "unusual job combinations" stress case.
+        let w = randomized_workload(10_000, 26);
+        assert!(w.offered_load() > 5.0, "load {}", w.offered_load());
+    }
+}

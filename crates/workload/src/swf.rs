@@ -1,0 +1,252 @@
+//! Standard Workload Format (SWF) reader/writer.
+//!
+//! The CTC trace the paper uses is distributed through Feitelson's Parallel
+//! Workloads Archive ([1] in the paper) in SWF: one job per line, 18
+//! whitespace-separated fields, `;` comment lines carrying header metadata.
+//! Implementing the full format means a real archive trace can be swapped in
+//! for the synthetic CTC model with `Workload::from_swf(&text)` and nothing
+//! else changes.
+//!
+//! Field map (1-based, per the archive definition):
+//!  1 job number          7 requested memory (KB/node; we store MB)
+//!  2 submit time         8 requested number of processors
+//!  3 wait time           9 requested time
+//!  4 run time           10 status
+//!  5 allocated procs    11 user id
+//!  6 avg cpu time       12 group id       13 executable
+//! 14 queue              15 partition      16 preceding job
+//! 17 think time         18 (unused here)
+
+use crate::job::{CompletionStatus, Job, JobId, NodeType, Time};
+use crate::trace::Workload;
+use std::fmt::Write as _;
+
+/// Error from SWF parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwfError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+fn field(fields: &[&str], idx: usize, line: usize) -> Result<i64, SwfError> {
+    fields
+        .get(idx)
+        .ok_or_else(|| SwfError {
+            line,
+            message: format!("missing field {}", idx + 1),
+        })?
+        .parse::<f64>()
+        .map(|v| v as i64)
+        .map_err(|e| SwfError {
+            line,
+            message: format!("field {}: {e}", idx + 1),
+        })
+}
+
+/// Parse SWF text into a workload.
+///
+/// * Jobs with unknown (−1) processor counts or runtimes are skipped, as the
+///   archive recommends for simulation studies.
+/// * `requested time = −1` falls back to the actual runtime (the job then
+///   has perfect information, which is what traces without estimates give).
+/// * `MaxNodes` from the header comment, when present, sets the machine
+///   size; otherwise the widest job does.
+pub fn parse(text: &str, name: &str) -> Result<Workload, SwfError> {
+    let mut jobs = Vec::new();
+    let mut max_nodes: Option<u32> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix(';') {
+            if let Some((key, value)) = comment.split_once(':') {
+                if key.trim().eq_ignore_ascii_case("MaxNodes")
+                    || key.trim().eq_ignore_ascii_case("MaxProcs")
+                {
+                    if let Ok(v) = value.trim().parse::<u32>() {
+                        max_nodes = Some(max_nodes.map_or(v, |m: u32| m.max(v)));
+                    }
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 10 {
+            return Err(SwfError {
+                line,
+                message: format!("expected ≥10 fields, got {}", fields.len()),
+            });
+        }
+        let submit = field(&fields, 1, line)?;
+        let run_time = field(&fields, 3, line)?;
+        let procs = field(&fields, 4, line)?;
+        let req_procs = field(&fields, 7, line)?;
+        let req_time = field(&fields, 8, line)?;
+        let status = field(&fields, 9, line)?;
+        let user = field(&fields, 10, line).unwrap_or(0).max(0) as u32;
+        let mem = field(&fields, 6, line).unwrap_or(-1);
+
+        let nodes = if procs > 0 { procs } else { req_procs };
+        if nodes <= 0 || run_time <= 0 {
+            continue; // unknown size or runtime: unusable for simulation
+        }
+        let runtime = run_time as Time;
+        let requested = if req_time > 0 { req_time as Time } else { runtime };
+        jobs.push(Job {
+            id: JobId(0),
+            submit: submit.max(0) as Time,
+            nodes: nodes as u32,
+            requested_time: requested,
+            runtime,
+            user,
+            memory_mb: if mem > 0 { (mem / 1024).max(1) as u32 } else { 0 },
+            node_type: NodeType::Thin,
+            status: match status {
+                1 => CompletionStatus::Completed,
+                5 => CompletionStatus::KilledAtLimit,
+                _ => CompletionStatus::Failed,
+            },
+        });
+    }
+    let machine = max_nodes.unwrap_or_else(|| jobs.iter().map(|j| j.nodes).max().unwrap_or(1));
+    Ok(Workload::new(name, machine, jobs))
+}
+
+/// Serialise a workload to SWF text (header comment + one line per job).
+pub fn write(w: &Workload) -> String {
+    let mut out = String::with_capacity(w.len() * 64 + 128);
+    let _ = writeln!(out, "; Workload: {}", w.name());
+    let _ = writeln!(out, "; MaxNodes: {}", w.machine_nodes());
+    let _ = writeln!(out, "; Generated by jobsched-workload");
+    for j in w.jobs() {
+        let status = match j.status {
+            CompletionStatus::Completed => 1,
+            CompletionStatus::KilledAtLimit => 5,
+            CompletionStatus::Failed => 0,
+        };
+        let _ = writeln!(
+            out,
+            "{} {} -1 {} {} {} {} {} {} {} {} -1 -1 -1 -1 -1 -1 -1",
+            j.id.0 + 1,
+            j.submit,
+            j.runtime,
+            j.nodes,
+            j.memory_mb as i64 * 1024,
+            (j.memory_mb as i64) * 1024,
+            j.nodes,
+            j.requested_time,
+            status,
+            j.user,
+        );
+    }
+    out
+}
+
+/// Round-trip helper on [`Workload`].
+impl Workload {
+    /// Parse an SWF document (see [`parse`]).
+    pub fn from_swf(text: &str, name: &str) -> Result<Workload, SwfError> {
+        parse(text, name)
+    }
+
+    /// Serialise to SWF (see [`write`]).
+    pub fn to_swf(&self) -> String {
+        write(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBuilder;
+
+    const SAMPLE: &str = "\
+; MaxNodes: 430
+; UnixStartTime: 836000000
+1 0 10 3600 32 -1 262144 32 7200 1 17 5 -1 -1 -1 -1 -1 -1
+2 100 -1 120 1 -1 -1 1 300 5 18 5 -1 -1 -1 -1 -1 -1
+3 200 -1 -1 -1 -1 -1 16 600 0 19 5 -1 -1 -1 -1 -1 -1
+";
+
+    #[test]
+    fn parse_reads_jobs_and_header() {
+        let w = parse(SAMPLE, "ctc").unwrap();
+        assert_eq!(w.machine_nodes(), 430);
+        // Job 3 has unknown runtime/procs and is skipped.
+        assert_eq!(w.len(), 2);
+        let j = &w.jobs()[0];
+        assert_eq!(j.submit, 0);
+        assert_eq!(j.nodes, 32);
+        assert_eq!(j.runtime, 3600);
+        assert_eq!(j.requested_time, 7200);
+        assert_eq!(j.status, CompletionStatus::Completed);
+        assert_eq!(j.user, 17);
+    }
+
+    #[test]
+    fn parse_killed_status_mapped() {
+        let w = parse(SAMPLE, "ctc").unwrap();
+        assert_eq!(w.jobs()[1].status, CompletionStatus::KilledAtLimit);
+    }
+
+    #[test]
+    fn parse_rejects_short_lines() {
+        let err = parse("1 2 3\n", "bad").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("fields"));
+    }
+
+    #[test]
+    fn parse_without_header_uses_widest_job() {
+        let text = "1 0 -1 100 64 -1 -1 64 200 1 0 0 -1 -1 -1 -1 -1 -1\n";
+        let w = parse(text, "x").unwrap();
+        assert_eq!(w.machine_nodes(), 64);
+    }
+
+    #[test]
+    fn roundtrip_preserves_schedule_relevant_fields() {
+        let jobs = vec![
+            JobBuilder::new(JobId(0)).submit(5).nodes(8).requested(600).runtime(300).build(),
+            JobBuilder::new(JobId(0))
+                .submit(50)
+                .nodes(128)
+                .requested(1200)
+                .runtime(2400)
+                .status(CompletionStatus::KilledAtLimit)
+                .user(3)
+                .build(),
+        ];
+        let w = Workload::new("orig", 256, jobs);
+        let text = w.to_swf();
+        let back = Workload::from_swf(&text, "copy").unwrap();
+        assert_eq!(back.machine_nodes(), 256);
+        assert_eq!(back.len(), w.len());
+        for (a, b) in w.jobs().iter().zip(back.jobs()) {
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.requested_time, b.requested_time);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.user, b.user);
+        }
+    }
+
+    #[test]
+    fn missing_requested_time_falls_back_to_runtime() {
+        let text = "1 0 -1 100 4 -1 -1 4 -1 1 0 0 -1 -1 -1 -1 -1 -1\n";
+        let w = parse(text, "x").unwrap();
+        assert_eq!(w.jobs()[0].requested_time, 100);
+    }
+}

@@ -1,0 +1,276 @@
+//! Workloads: ordered job streams plus the trace-preparation operations
+//! the paper's administrator performs in §6.1.
+
+use crate::job::{Job, JobError, JobId, NodeType, Time};
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection of jobs plus the machine context it was recorded
+/// (or generated) for.
+///
+/// Jobs are kept sorted by submission time; ids are re-densified after every
+/// structural modification so that `jobs[id.index()].id == id` always holds
+/// — the simulator and the metrics rely on this for O(1) lookups.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    machine_nodes: u32,
+    jobs: Vec<Job>,
+}
+
+impl Workload {
+    /// Build a workload from a job list. Jobs are sorted by submission time
+    /// (stable, so equal-time jobs keep their given order — FCFS tie-break)
+    /// and re-numbered densely.
+    pub fn new(name: impl Into<String>, machine_nodes: u32, mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by_key(|j| j.submit);
+        let mut w = Workload {
+            name: name.into(),
+            machine_nodes,
+            jobs,
+        };
+        w.renumber();
+        w
+    }
+
+    fn renumber(&mut self) {
+        for (i, j) in self.jobs.iter_mut().enumerate() {
+            j.id = JobId(i as u32);
+        }
+    }
+
+    /// Descriptive name ("CTC", "probabilistic", ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size of the machine this workload targets.
+    pub fn machine_nodes(&self) -> u32 {
+        self.machine_nodes
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// All jobs, ordered by submission time.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Look up a job by id.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.index()]
+    }
+
+    /// Validate every job against the machine size.
+    pub fn validate(&self) -> Result<(), JobError> {
+        self.jobs.iter().try_for_each(|j| j.validate(self.machine_nodes))
+    }
+
+    /// §6.1 step 1: retarget the workload to a smaller machine by deleting
+    /// every job that requests more than `nodes` nodes ("less than 0.2 % of
+    /// all jobs require more than 256 nodes — the administrator modifies
+    /// the trace by simply deleting all those highly parallel jobs").
+    ///
+    /// Returns the number of deleted jobs.
+    pub fn retarget(&mut self, nodes: u32) -> usize {
+        let before = self.jobs.len();
+        self.jobs.retain(|j| j.nodes <= nodes);
+        self.machine_nodes = nodes;
+        self.renumber();
+        before - self.jobs.len()
+    }
+
+    /// §6.1 step 2: ignore the additional hardware requests (node type,
+    /// memory) because "most nodes of the CTC batch partition are
+    /// identical". All jobs are mapped onto the default thin node class.
+    pub fn homogenize(&mut self) {
+        for j in &mut self.jobs {
+            j.node_type = NodeType::Thin;
+            j.memory_mb = 0;
+        }
+    }
+
+    /// Shift all submission times so the first job arrives at `origin`.
+    pub fn rebase(&mut self, origin: Time) {
+        let Some(first) = self.jobs.first().map(|j| j.submit) else {
+            return;
+        };
+        for j in &mut self.jobs {
+            j.submit = j.submit - first + origin;
+        }
+    }
+
+    /// Keep only jobs submitted in `[from, to)`.
+    pub fn window(&mut self, from: Time, to: Time) {
+        self.jobs.retain(|j| j.submit >= from && j.submit < to);
+        self.renumber();
+    }
+
+    /// Keep only the first `n` jobs (used by reduced-scale benchmarks).
+    pub fn truncate(&mut self, n: usize) {
+        self.jobs.truncate(n);
+    }
+
+    /// Total resource consumption (sum of actual areas), in node-seconds.
+    pub fn total_area(&self) -> f64 {
+        self.jobs.iter().map(Job::area).sum()
+    }
+
+    /// Time of the last submission.
+    pub fn last_submit(&self) -> Time {
+        self.jobs.last().map_or(0, |j| j.submit)
+    }
+
+    /// Lower bound on any schedule's makespan: `max(total_area / nodes,
+    /// longest job runtime, last submit + its runtime)`.
+    pub fn makespan_lower_bound(&self) -> f64 {
+        let area_bound = self.total_area() / self.machine_nodes as f64;
+        let runtime_bound = self
+            .jobs
+            .iter()
+            .map(|j| j.effective_runtime())
+            .max()
+            .unwrap_or(0) as f64;
+        let tail_bound = self
+            .jobs
+            .iter()
+            .map(|j| j.submit + j.effective_runtime())
+            .max()
+            .unwrap_or(0) as f64;
+        area_bound.max(runtime_bound).max(tail_bound)
+    }
+
+    /// Offered load relative to machine capacity over the submission span:
+    /// values near (or above) 1 indicate the growing backlog the paper
+    /// discusses for the 430→256-node retargeting.
+    pub fn offered_load(&self) -> f64 {
+        let span = self.last_submit().max(1) as f64;
+        self.total_area() / (span * self.machine_nodes as f64)
+    }
+
+    /// Consume the workload, returning its jobs.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+}
+
+impl<'a> IntoIterator for &'a Workload {
+    type Item = &'a Job;
+    type IntoIter = std::slice::Iter<'a, Job>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobBuilder, HOUR};
+
+    fn wl() -> Workload {
+        let jobs = vec![
+            JobBuilder::new(JobId(0)).submit(50).nodes(300).build(),
+            JobBuilder::new(JobId(0)).submit(10).nodes(4).build(),
+            JobBuilder::new(JobId(0)).submit(30).nodes(256).build(),
+        ];
+        Workload::new("t", 430, jobs)
+    }
+
+    #[test]
+    fn new_sorts_by_submit_and_renumbers() {
+        let w = wl();
+        let submits: Vec<_> = w.jobs().iter().map(|j| j.submit).collect();
+        assert_eq!(submits, vec![10, 30, 50]);
+        for (i, j) in w.jobs().iter().enumerate() {
+            assert_eq!(j.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn job_lookup_by_id_matches_index() {
+        let w = wl();
+        for j in w.jobs() {
+            assert_eq!(w.job(j.id), j);
+        }
+    }
+
+    #[test]
+    fn retarget_drops_wide_jobs_and_renumbers() {
+        let mut w = wl();
+        let dropped = w.retarget(256);
+        assert_eq!(dropped, 1);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.machine_nodes(), 256);
+        assert!(w.jobs().iter().all(|j| j.nodes <= 256));
+        assert!(w.validate().is_ok());
+        for (i, j) in w.jobs().iter().enumerate() {
+            assert_eq!(j.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn homogenize_clears_hardware_requests() {
+        let mut w = wl();
+        w.homogenize();
+        assert!(w
+            .jobs()
+            .iter()
+            .all(|j| j.node_type == NodeType::Thin && j.memory_mb == 0));
+    }
+
+    #[test]
+    fn rebase_shifts_to_origin() {
+        let mut w = wl();
+        w.rebase(0);
+        assert_eq!(w.jobs()[0].submit, 0);
+        assert_eq!(w.jobs()[1].submit, 20);
+        assert_eq!(w.jobs()[2].submit, 40);
+    }
+
+    #[test]
+    fn window_keeps_half_open_range() {
+        let mut w = wl();
+        w.window(10, 50);
+        assert_eq!(w.len(), 2);
+        assert!(w.jobs().iter().all(|j| (10..50).contains(&j.submit)));
+    }
+
+    #[test]
+    fn makespan_lower_bound_dominated_by_long_job() {
+        let jobs = vec![JobBuilder::new(JobId(0))
+            .submit(0)
+            .nodes(1)
+            .requested(100 * HOUR)
+            .runtime(100 * HOUR)
+            .build()];
+        let w = Workload::new("t", 256, jobs);
+        assert_eq!(w.makespan_lower_bound(), (100 * HOUR) as f64);
+    }
+
+    #[test]
+    fn total_area_sums_effective_areas() {
+        let jobs = vec![
+            JobBuilder::new(JobId(0)).nodes(2).requested(10).runtime(10).build(),
+            JobBuilder::new(JobId(0)).nodes(3).requested(5).runtime(9).build(),
+        ];
+        let w = Workload::new("t", 256, jobs);
+        // Second job is killed at its 5 s limit: area = 3 × 5.
+        assert_eq!(w.total_area(), 20.0 + 15.0);
+    }
+
+    #[test]
+    fn empty_workload_is_safe() {
+        let w = Workload::new("empty", 256, vec![]);
+        assert!(w.is_empty());
+        assert_eq!(w.makespan_lower_bound(), 0.0);
+        assert_eq!(w.last_submit(), 0);
+        assert!(w.validate().is_ok());
+    }
+}

@@ -1,0 +1,61 @@
+//! Anatomy of backfilling (§5.2): watch the three variants treat the same
+//! convoy differently, including the EASY risk the paper describes.
+//!
+//! ```text
+//! cargo run --release --example backfill_anatomy
+//! ```
+//!
+//! Scenario: a 100-node job is running; a 200-node job blocks the queue;
+//! short and long small jobs queue behind it. Plain FCFS idles 156 nodes;
+//! EASY and conservative backfilling fill them — and when the running job
+//! finishes *earlier than its estimate*, the backfilled jobs delay the
+//! wide job relative to plain FCFS, exactly the §5.2 caveat ("backfilling
+//! may still increase the completion time of some jobs compared to FCFS").
+
+use jobsched::algos::spec::PolicyKind;
+use jobsched::algos::view::WeightScheme;
+use jobsched::algos::{AlgorithmSpec, BackfillMode};
+use jobsched::sim::simulate;
+use jobsched::workload::{JobBuilder, JobId, Workload};
+
+fn scenario() -> Workload {
+    let jobs = vec![
+        // Running head: estimates 10 h, actually finishes after 2 h.
+        JobBuilder::new(JobId(0)).submit(0).nodes(100).requested(36_000).runtime(7_200).build(),
+        // The wide job that blocks the queue.
+        JobBuilder::new(JobId(0)).submit(60).nodes(200).requested(7_200).runtime(7_200).build(),
+        // Backfill candidates: one short, one long (60 nodes: together with J1 it overflows the machine), one long-and-wide.
+        JobBuilder::new(JobId(0)).submit(120).nodes(50).requested(3_000).runtime(3_000).build(),
+        JobBuilder::new(JobId(0)).submit(180).nodes(60).requested(30_000).runtime(30_000).build(),
+        JobBuilder::new(JobId(0)).submit(240).nodes(120).requested(30_000).runtime(30_000).build(),
+    ];
+    Workload::new("anatomy", 256, jobs)
+}
+
+fn main() {
+    let w = scenario();
+    println!("machine: 256 nodes; J0 runs 100 nodes (estimate 10 h, real 2 h);");
+    println!("J1 (200 nodes) blocks; J2 short/50n, J3 long/60n, J4 long/120n wait.\n");
+
+    for mode in [BackfillMode::None, BackfillMode::Easy, BackfillMode::Conservative] {
+        let spec = AlgorithmSpec::new(PolicyKind::Fcfs, mode);
+        let mut sched = spec.build(WeightScheme::Unweighted);
+        let out = simulate(&w, &mut sched);
+        println!("{}:", spec.name());
+        for j in w.jobs() {
+            let p = out.schedule.placement(j.id).unwrap();
+            println!(
+                "  J{} ({:>3} nodes, est {:>6} s): start {:>6}  complete {:>6}",
+                j.id, j.nodes, j.requested_time, p.start, p.completion
+            );
+        }
+        let wide = out.schedule.placement(JobId(1)).unwrap();
+        println!("  → wide job J1 starts at {}\n", wide.start);
+    }
+
+    println!("J0's early exit at t=7200 lets plain FCFS start the wide J1 right away;");
+    println!("under both backfilling variants the long J3 (backfilled against J0's");
+    println!("10-hour *estimate*) still holds 60 nodes, so J1 waits until t=30180 —");
+    println!("the §5.2 caveat: backfilling can delay the next job in the list");
+    println!("relative to FCFS when running jobs finish earlier than projected.");
+}

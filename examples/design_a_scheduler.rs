@@ -1,0 +1,58 @@
+//! The paper's full design methodology, end to end (Example 5).
+//!
+//! ```text
+//! cargo run --release --example design_a_scheduler
+//! ```
+//!
+//! 1. State Institution B's policy rules (§3).
+//! 2. Check the policy for internal conflicts (§2.1).
+//! 3. Derive one objective function per time regime (§4), including the
+//!    candidates that were considered and rejected.
+//! 4. Evaluate the §5 algorithm matrix on a CTC-like reference workload
+//!    and pick the best algorithm per regime (§6–§7).
+
+use jobsched::core::objective_select::derive_objectives;
+use jobsched::core::report::render_table;
+use jobsched::core::{Policy, SchedulingSystem};
+use jobsched::workload::ctc::prepared_ctc_workload;
+
+fn main() {
+    // Step 1: the owner's policy (Example 5).
+    let policy = Policy::example5();
+    println!("Policy: {}", policy.name);
+    for (i, rule) in policy.rules.iter().enumerate() {
+        println!("  rule {}: {:?}", i + 1, rule);
+    }
+
+    // Step 2: §2.1 — "a good scheduling policy contains rules to resolve
+    // conflicts between other rules if those conflicts may occur".
+    let conflicts = policy.conflicts();
+    if conflicts.is_empty() {
+        println!("\nNo rule conflicts detected.");
+    } else {
+        println!("\nPotential conflicts:");
+        for c in &conflicts {
+            println!("  rules {} & {}: {}", c.a + 1, c.b + 1, c.reason);
+        }
+    }
+
+    // Step 3: §4 — derive the objective functions, with the audit trail.
+    println!("\nDerived objective functions:");
+    for d in derive_objectives(&policy) {
+        let window = d.window.map_or("remaining time".to_string(), |w| w.to_string());
+        println!("  {window}: {:?}", d.objective);
+        println!("    rationale: {}", d.rationale);
+        for r in &d.rejected {
+            println!("    rejected {}: {}", r.candidate, r.reason);
+        }
+    }
+
+    // Step 4: §6–§7 — evaluate on a reference workload and decide.
+    println!("\nEvaluating the §5 algorithm matrix on a CTC-like workload…");
+    let reference = prepared_ctc_workload(4_000, 1999);
+    let system = SchedulingSystem::design(policy, &reference);
+    for regime in &system.regimes {
+        println!("\n{}", render_table(&regime.evaluation));
+    }
+    println!("{}", system.summary());
+}

@@ -1,0 +1,144 @@
+//! Integration tests for the extension systems: the combined day/night
+//! scheduler (§7's open item), gang scheduling ([15]), the heterogeneous
+//! machine (§6.1), replication, and the ablation sweeps.
+
+use jobsched::algos::spec::PolicyKind;
+use jobsched::algos::switching::SwitchingScheduler;
+use jobsched::algos::{AlgorithmSpec, BackfillMode};
+use jobsched::core::ablation;
+use jobsched::core::experiment::Scale;
+use jobsched::core::extensions::{combined_comparison, gang_comparison, heterogeneity_comparison};
+use jobsched::core::objective_select::ObjectiveKind;
+use jobsched::core::replication::replicate;
+use jobsched::sim::gang::{simulate_gang_fcfs, GangConfig};
+use jobsched::sim::simulate;
+use jobsched::workload::ctc::prepared_ctc_workload;
+
+fn scale(jobs: usize) -> Scale {
+    Scale {
+        ctc_jobs: jobs,
+        synthetic_jobs: 300,
+        seed: 1999,
+    }
+}
+
+#[test]
+fn combined_scheduler_balances_both_regimes() {
+    // The §7 combination must not be dominated: at least as good as the
+    // worse single algorithm on each regime's own objective.
+    let rows = combined_comparison(
+        scale(2_000),
+        &[
+            AlgorithmSpec::new(PolicyKind::SmartFfia, BackfillMode::Easy),
+            AlgorithmSpec::new(PolicyKind::GareyGraham, BackfillMode::None),
+        ],
+    );
+    let combined = &rows[0];
+    let smart = &rows[1];
+    let gg = &rows[2];
+    assert!(
+        combined.day_art <= gg.day_art,
+        "combined day ART {} should beat the load-oriented algorithm's {}",
+        combined.day_art,
+        gg.day_art
+    );
+    // At this reduced scale the night-regime advantage is small; the
+    // robust claim is that the combination stays within a whisker of the
+    // better single algorithm on the night objective while clearly
+    // beating the load-oriented algorithm by day (at paper scale —
+    // `repro combined` — it beats SMART's night AWRT outright).
+    assert!(
+        combined.night_awrt <= smart.night_awrt * 1.15,
+        "combined night AWRT {} strays from the response-oriented algorithm's {}",
+        combined.night_awrt,
+        smart.night_awrt
+    );
+}
+
+#[test]
+fn switching_scheduler_schedule_is_valid_at_scale() {
+    let w = prepared_ctc_workload(2_000, 3);
+    let mut s = SwitchingScheduler::paper_combination();
+    let out = simulate(&w, &mut s);
+    assert!(out.schedule.validate(&w).is_empty());
+}
+
+#[test]
+fn gang_scheduling_conserves_work() {
+    let w = prepared_ctc_workload(800, 5);
+    let out = simulate_gang_fcfs(&w, GangConfig::default());
+    for j in w.jobs() {
+        let first = out.first_start[j.id.index()];
+        let done = out.completion[j.id.index()];
+        assert!(first >= j.submit, "{:?} started before submission", j.id);
+        // A job needs at least its runtime of wall-clock between first
+        // start and completion (slices only stretch it).
+        assert!(done >= first + j.effective_runtime() - 1, "{:?}", j.id);
+    }
+}
+
+#[test]
+fn gang_short_slices_help_ctc_workload() {
+    let rows = gang_comparison(scale(6_000), &[60]);
+    assert!(
+        rows[1].art < rows[0].art,
+        "gang@60s {} should beat space-FCFS {}",
+        rows[1].art,
+        rows[0].art
+    );
+}
+
+#[test]
+fn heterogeneity_error_is_small() {
+    // §6.1's justification: the hardware-request simplification barely
+    // moves FCFS response times on a CTC-like trace.
+    let c = heterogeneity_comparison(scale(2_000));
+    assert_eq!(c.rejected, 0);
+    assert!(
+        c.relative_error() < 0.25,
+        "simplification error {:.1}% unexpectedly large",
+        100.0 * c.relative_error()
+    );
+}
+
+#[test]
+fn replication_keeps_headline_orderings() {
+    let cells = replicate(scale(1_200), ObjectiveKind::AvgWeightedResponseTime, &[31, 32, 33]);
+    let gg = cells
+        .iter()
+        .find(|c| c.spec == AlgorithmSpec::new(PolicyKind::GareyGraham, BackfillMode::None))
+        .unwrap();
+    let fcfs_list = cells
+        .iter()
+        .find(|c| c.spec == AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None))
+        .unwrap();
+    // Weighted case across seeds: G&G below the reference, plain FCFS far
+    // above it.
+    assert!(gg.mean_pct < 0.0, "G&G mean pct {}", gg.mean_pct);
+    assert!(fcfs_list.mean_pct > 10.0, "FCFS list mean pct {}", fcfs_list.mean_pct);
+}
+
+#[test]
+fn gamma_sweep_is_low_stakes() {
+    // §5.4 presents γ as a free parameter; the sweep should show no
+    // cliff: all values within a modest band of each other.
+    let rows = ablation::gamma_sweep(scale(1_500), ObjectiveKind::AvgResponseTime, &[1.5, 2.0, 4.0]);
+    let min = rows.iter().map(|r| r.cost).fold(f64::INFINITY, f64::min);
+    let max = rows.iter().map(|r| r.cost).fold(0.0, f64::max);
+    assert!(max / min < 1.5, "γ cliff detected: {min} … {max}");
+}
+
+#[test]
+fn reorder_threshold_trades_cost_for_recomputations() {
+    let rows = ablation::reorder_sweep(
+        scale(1_500),
+        ObjectiveKind::AvgResponseTime,
+        &[0.0, 1.0 / 3.0, 0.95],
+    );
+    // Recomputation counts must fall monotonically with the threshold.
+    assert!(rows[0].1 > rows[1].1);
+    assert!(rows[1].1 >= rows[2].1);
+    // Never reordering must not be better than the paper's 1/3 setting by
+    // a wide margin (the order matters!).
+    assert!(rows[2].0.cost > rows[1].0.cost * 0.8);
+}

@@ -1,0 +1,194 @@
+//! Property-based tests: invariants that must hold for *every* workload,
+//! not just the calibrated ones.
+
+use jobsched::algos::spec::PolicyKind;
+use jobsched::algos::view::WeightScheme;
+use jobsched::algos::{AlgorithmSpec, BackfillMode};
+use jobsched::sim::simulate;
+use jobsched::workload::{Job, JobBuilder, JobId, Workload};
+use proptest::prelude::*;
+
+const MACHINE: u32 = 64;
+
+/// Arbitrary job stream for a 64-node machine.
+fn arb_jobs(max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (
+            0u64..50_000,  // submit
+            1u32..=MACHINE, // nodes
+            1u64..5_000,   // requested
+            1u64..8_000,   // runtime (may exceed requested: killed at limit)
+        ),
+        1..max_jobs,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(submit, nodes, requested, runtime)| {
+                JobBuilder::new(JobId(0))
+                    .submit(submit)
+                    .nodes(nodes)
+                    .requested(requested)
+                    .runtime(runtime)
+                    .build()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm × backfill combination produces a complete, valid
+    /// schedule on arbitrary workloads (§2's validity requirement).
+    #[test]
+    fn all_algorithms_valid_on_arbitrary_workloads(jobs in arb_jobs(40)) {
+        let w = Workload::new("prop", MACHINE, jobs);
+        for spec in AlgorithmSpec::paper_matrix() {
+            for scheme in [WeightScheme::Unweighted, WeightScheme::ProjectedArea] {
+                let mut sched = spec.build(scheme);
+                let out = simulate(&w, &mut sched);
+                prop_assert_eq!(out.schedule.completion_ratio(), 1.0);
+                let violations = out.schedule.validate(&w);
+                prop_assert!(violations.is_empty(), "{}: {:?}", spec.name(), violations);
+            }
+        }
+    }
+
+    /// FCFS fairness (§5.1: "the completion time of each job is
+    /// independent of any job submitted later"): under plain FCFS, start
+    /// times follow submission order.
+    #[test]
+    fn fcfs_starts_in_submission_order(jobs in arb_jobs(60)) {
+        let w = Workload::new("prop", MACHINE, jobs);
+        let spec = AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None);
+        let out = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
+        let mut last_start = 0;
+        for j in w.jobs() {
+            let s = out.schedule.placement(j.id).unwrap().start;
+            prop_assert!(s >= last_start, "job {} started at {s} before its predecessor at {last_start}", j.id);
+            last_start = s;
+        }
+    }
+
+    /// FCFS prefix property: the schedule of the first k jobs is
+    /// unaffected by deleting all later submissions.
+    #[test]
+    fn fcfs_prefix_independent_of_future(jobs in arb_jobs(40), split in 1usize..39) {
+        let w = Workload::new("prop", MACHINE, jobs);
+        let k = split.min(w.len());
+        let prefix = Workload::new("prefix", MACHINE, w.jobs()[..k].to_vec());
+        let spec = AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None);
+        let full = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
+        let part = simulate(&prefix, &mut spec.build(WeightScheme::Unweighted));
+        for j in prefix.jobs() {
+            prop_assert_eq!(
+                full.schedule.placement(j.id),
+                part.schedule.placement(j.id),
+                "placement of {} changed when later jobs were removed", j.id
+            );
+        }
+    }
+
+    /// Garey & Graham non-idling: whenever a job waits under G&G, the
+    /// machine cannot fit the smallest waiting job at that moment. We
+    /// check the weaker consequence: no instant has every job waiting and
+    /// the machine empty (deadlock-freedom is enforced by the engine, so
+    /// simulate() returning at all proves progress).
+    #[test]
+    fn garey_graham_always_progresses(jobs in arb_jobs(50)) {
+        let w = Workload::new("prop", MACHINE, jobs);
+        let spec = AlgorithmSpec::new(PolicyKind::GareyGraham, BackfillMode::None);
+        let out = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
+        prop_assert_eq!(out.schedule.completion_ratio(), 1.0);
+    }
+
+    /// EASY's defining guarantee (§5.2): with *exact* estimates, the first
+    /// blocked job starts exactly when it would under plain FCFS — its
+    /// projected start (shadow time) is never postponed by backfilled
+    /// jobs. (With inaccurate estimates this fails — the §5.2 caveat —
+    /// which `examples/backfill_anatomy.rs` demonstrates.)
+    #[test]
+    fn easy_protects_the_head_job_on_exact_batch(jobs in arb_jobs(30)) {
+        let batch: Vec<Job> = jobs
+            .into_iter()
+            .map(|j| {
+                let exact = j.effective_runtime().max(1);
+                JobBuilder::new(j.id).submit(0).nodes(j.nodes).exact_runtime(exact).build()
+            })
+            .collect();
+        let w = Workload::new("batch", MACHINE, batch);
+        let plain = simulate(
+            &w,
+            &mut AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None).build(WeightScheme::Unweighted),
+        );
+        let easy = simulate(
+            &w,
+            &mut AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::Easy).build(WeightScheme::Unweighted),
+        );
+        // The head job = the first (in submission order) that cannot start
+        // at t = 0 under FCFS. Jobs before it run identically in both.
+        if let Some(head) = w.jobs().iter().find(|j| plain.schedule.placement(j.id).unwrap().start > 0) {
+            let fcfs_start = plain.schedule.placement(head.id).unwrap().start;
+            let easy_start = easy.schedule.placement(head.id).unwrap().start;
+            prop_assert!(
+                easy_start <= fcfs_start,
+                "EASY delayed the protected head {}: {easy_start} > {fcfs_start}",
+                head.id
+            );
+        }
+    }
+
+    /// Differential test of the incremental blocked-state cache: with the
+    /// cache enabled (production default) and disabled (naive full scan
+    /// every round) every algorithm must produce the *identical* schedule.
+    #[test]
+    fn cache_is_semantically_transparent(jobs in arb_jobs(50)) {
+        let w = Workload::new("prop", MACHINE, jobs);
+        for spec in AlgorithmSpec::paper_matrix() {
+            for scheme in [WeightScheme::Unweighted, WeightScheme::ProjectedArea] {
+                let mut cached = spec.build(scheme);
+                let mut naive = jobsched::algos::ListScheduler::new(
+                    spec.kind.policy(scheme),
+                    spec.backfill,
+                )
+                .with_caching(false);
+                let a = simulate(&w, &mut cached);
+                let b = simulate(&w, &mut naive);
+                for j in w.jobs() {
+                    prop_assert_eq!(
+                        a.schedule.placement(j.id),
+                        b.schedule.placement(j.id),
+                        "{}: cache changed placement of {}", spec.name(), j.id
+                    );
+                }
+            }
+        }
+    }
+
+    /// Schedule-record audit and machine bookkeeping agree: busy area of
+    /// the schedule equals the workload's effective area.
+    #[test]
+    fn busy_area_conserved(jobs in arb_jobs(40)) {
+        let w = Workload::new("prop", MACHINE, jobs);
+        let spec = AlgorithmSpec::reference();
+        let out = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
+        let expected: f64 = w.total_area();
+        prop_assert!((out.schedule.busy_area(&w) - expected).abs() < 1e-6);
+    }
+
+    /// SWF round-trip preserves scheduling behaviour: the re-parsed
+    /// workload schedules identically.
+    #[test]
+    fn swf_roundtrip_preserves_schedules(jobs in arb_jobs(30)) {
+        let w = Workload::new("orig", MACHINE, jobs);
+        let back = Workload::from_swf(&w.to_swf(), "copy").unwrap();
+        prop_assert_eq!(w.len(), back.len());
+        let spec = AlgorithmSpec::reference();
+        let a = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
+        let b = simulate(&back, &mut spec.build(WeightScheme::Unweighted));
+        for j in w.jobs() {
+            prop_assert_eq!(a.schedule.placement(j.id), b.schedule.placement(j.id));
+        }
+    }
+}
