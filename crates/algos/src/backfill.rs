@@ -316,17 +316,23 @@ mod tests {
         let m = Machine::new(10);
         let (w, order) = waiting(&[req(0, 4, 10), req(1, 8, 10), req(2, 1, 10)]);
         // J1 does not fit after J0; J2 would, but head-blocking stops.
-        assert_eq!(select_head_blocking(order.iter().copied(), &w, &m), vec![JobId(0)]);
+        assert_eq!(
+            select_head_blocking(order.iter().copied(), &w, &m),
+            vec![JobId(0)]
+        );
     }
 
     #[test]
     fn easy_backfills_short_job_behind_blocked_head() {
         let mut m = Machine::new(10);
-        m.start(JobId(9), 6, 0, 100).unwrap(); // running until 100
-        // Head needs 8 nodes → shadow = 100. A 4-node job with estimate
-        // 50 ends by the shadow and is backfilled.
+        // Running job until 100. Head needs 8 nodes → shadow = 100. A
+        // 4-node job with estimate 50 ends by the shadow and is backfilled.
+        m.start(JobId(9), 6, 0, 100).unwrap();
         let (w, order) = waiting(&[req(0, 8, 1000), req(1, 4, 50)]);
-        assert_eq!(select_easy(order.iter().copied(), &w, &m, 0), vec![JobId(1)]);
+        assert_eq!(
+            select_easy(order.iter().copied(), &w, &m, 0),
+            vec![JobId(1)]
+        );
     }
 
     #[test]
@@ -346,7 +352,10 @@ mod tests {
         m.start(JobId(9), 6, 0, 100).unwrap();
         // 2-node long job ≤ extra (2): cannot delay the 8-node head.
         let (w, order) = waiting(&[req(0, 8, 1000), req(1, 2, 10_000)]);
-        assert_eq!(select_easy(order.iter().copied(), &w, &m, 0), vec![JobId(1)]);
+        assert_eq!(
+            select_easy(order.iter().copied(), &w, &m, 0),
+            vec![JobId(1)]
+        );
     }
 
     #[test]
@@ -361,7 +370,10 @@ mod tests {
             req(2, 4, 5000),
             req(3, 2, 5000),
         ]);
-        assert_eq!(select_easy(order.iter().copied(), &w, &m, 0), vec![JobId(0), JobId(3)]);
+        assert_eq!(
+            select_easy(order.iter().copied(), &w, &m, 0),
+            vec![JobId(0), JobId(3)]
+        );
     }
 
     #[test]
@@ -372,14 +384,17 @@ mod tests {
         // before the reservation → starts now. J2 (4 nodes, est 200) would
         // collide with J0's reservation → reserves later, does not start.
         let (w, order) = waiting(&[req(0, 8, 1000), req(1, 4, 50), req(2, 4, 200)]);
-        assert_eq!(select_conservative(order.iter().copied(), &w, &m, 0), vec![JobId(1)]);
+        assert_eq!(
+            select_conservative(order.iter().copied(), &w, &m, 0),
+            vec![JobId(1)]
+        );
     }
 
     #[test]
     fn conservative_respects_earlier_reservations() {
         let mut m = Machine::new(10);
-        m.start(JobId(9), 10, 0, 100).unwrap(); // machine full until 100
-        // Nothing can start now regardless of order.
+        // Machine full until 100: nothing can start now regardless of order.
+        m.start(JobId(9), 10, 0, 100).unwrap();
         let (w, order) = waiting(&[req(0, 1, 10), req(1, 1, 10)]);
         assert!(select_conservative(order.iter().copied(), &w, &m, 0).is_empty());
     }
@@ -392,14 +407,19 @@ mod tests {
         // earliest window inside [0,100) is gone (J0 holds 10), so it can
         // only start at 200 — J1's full-machine reservation blocks it.
         let (w, order) = waiting(&[req(0, 10, 100), req(1, 10, 100), req(2, 1, 50)]);
-        assert_eq!(select_conservative(order.iter().copied(), &w, &m, 0), vec![JobId(0)]);
+        assert_eq!(
+            select_conservative(order.iter().copied(), &w, &m, 0),
+            vec![JobId(0)]
+        );
     }
 
     #[test]
     fn all_strategies_return_feasible_sets() {
         let mut m = Machine::new(20);
         m.start(JobId(99), 7, 0, 500).unwrap();
-        let reqs: Vec<JobRequest> = (0..12).map(|i| req(i, 1 + (i * 5) % 16, 50 + 100 * i as Time)).collect();
+        let reqs: Vec<JobRequest> = (0..12)
+            .map(|i| req(i, 1 + (i * 5) % 16, 50 + 100 * i as Time))
+            .collect();
         let (w, order) = waiting(&reqs);
         for picks in [
             select_head_blocking(order.iter().copied(), &w, &m),

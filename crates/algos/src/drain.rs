@@ -156,8 +156,8 @@ impl Scheduler for DrainingFcfs {
             // never comply: the policy rules conflict (§2.1 demands such
             // conflicts be resolved) and we resolve in favour of progress —
             // the job is exempt from the drain rule.
-            let clears_window = now + job.requested_time.max(1) <= window_start
-                || job.requested_time > max_gap;
+            let clears_window =
+                now + job.requested_time.max(1) <= window_start || job.requested_time > max_gap;
             let fits = job.nodes <= free;
             if fits && clears_window {
                 free -= job.nodes;
@@ -257,13 +257,24 @@ mod tests {
         // At 9:00 a 2 h job blocks on the 10:00 window; a 30 min job
         // behind it must still start immediately.
         let jobs = vec![
-            JobBuilder::new(JobId(0)).submit(9 * HOUR).nodes(32).exact_runtime(2 * HOUR).build(),
-            JobBuilder::new(JobId(0)).submit(9 * HOUR + 60).nodes(32).exact_runtime(1800).build(),
+            JobBuilder::new(JobId(0))
+                .submit(9 * HOUR)
+                .nodes(32)
+                .exact_runtime(2 * HOUR)
+                .build(),
+            JobBuilder::new(JobId(0))
+                .submit(9 * HOUR + 60)
+                .nodes(32)
+                .exact_runtime(1800)
+                .build(),
         ];
         let w = Workload::new("drain", 64, jobs);
         let mut s = DrainingFcfs::new(RecurringWindow::example4());
         let out = simulate(&w, &mut s);
-        assert_eq!(out.schedule.placement(JobId(1)).unwrap().start, 9 * HOUR + 60);
+        assert_eq!(
+            out.schedule.placement(JobId(1)).unwrap().start,
+            9 * HOUR + 60
+        );
         // The long head waits for the class to end.
         assert_eq!(out.schedule.placement(JobId(0)).unwrap().start, 11 * HOUR);
     }

@@ -62,7 +62,7 @@ mod tests {
         for r in [req(0, 4, 10), req(1, 8, 10), req(2, 5, 10), req(3, 1, 10)] {
             w.insert(r);
         }
-        let order = vec![JobId(0), JobId(1), JobId(2), JobId(3)];
+        let order = [JobId(0), JobId(1), JobId(2), JobId(3)];
         // 4 fits (6 left), 8 skipped, 5 fits (1 left), 1 fits (0 left).
         assert_eq!(
             select_greedy_any(order.iter().copied(), &w, &m),
@@ -75,8 +75,8 @@ mod tests {
         // Greedy property: if any waiting job fits, something starts.
         let m = Machine::new(10);
         let mut w = Waiting::new();
-        w.insert(req(0, 11, 10)); // cannot ever... (invalid for machine, but
-                                  // select just skips it)
+        // Job 0 can never fit (invalid for machine); select just skips it.
+        w.insert(req(0, 11, 10));
         w.insert(req(1, 10, 10));
         let picks = select_greedy_any([JobId(0), JobId(1)], &w, &m);
         assert_eq!(picks, vec![JobId(1)]);
@@ -90,6 +90,9 @@ mod tests {
             w.insert(req(i, 4, 10));
         }
         let order: Vec<JobId> = (0..100).map(JobId).collect();
-        assert_eq!(select_greedy_any(order.iter().copied(), &w, &m), vec![JobId(0)]);
+        assert_eq!(
+            select_greedy_any(order.iter().copied(), &w, &m),
+            vec![JobId(0)]
+        );
     }
 }

@@ -154,8 +154,18 @@ mod tests {
     #[test]
     fn fcfs_compute_sorts_by_id() {
         let views = vec![
-            JobView { id: JobId(5), nodes: 1, time: 10, weight: 1.0 },
-            JobView { id: JobId(2), nodes: 1, time: 10, weight: 1.0 },
+            JobView {
+                id: JobId(5),
+                nodes: 1,
+                time: 10,
+                weight: 1.0,
+            },
+            JobView {
+                id: JobId(2),
+                nodes: 1,
+                time: 10,
+                weight: 1.0,
+            },
         ];
         assert_eq!(
             OrderPolicy::Fcfs.compute(&views, 10),

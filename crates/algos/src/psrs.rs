@@ -199,7 +199,7 @@ pub fn psrs_order(jobs: &[JobView], machine_nodes: u32, params: PsrsParams) -> V
     debug_assert_eq!(completions.len(), jobs.len());
 
     // Smith-ratio rank for the in-bin order.
-    let mut rank: std::collections::HashMap<JobId, usize> = std::collections::HashMap::new();
+    let mut rank: std::collections::BTreeMap<JobId, usize> = std::collections::BTreeMap::new();
     let mut by_ratio: Vec<&JobView> = jobs.iter().collect();
     by_ratio.sort_by(|a, b| {
         b.smith_ratio()
@@ -217,7 +217,10 @@ pub fn psrs_order(jobs: &[JobView], machine_nodes: u32, params: PsrsParams) -> V
         if wide {
             wide_bins.entry(wide_bin(completion)).or_default().push(id);
         } else {
-            small_bins.entry(small_bin(completion)).or_default().push(id);
+            small_bins
+                .entry(small_bin(completion))
+                .or_default()
+                .push(id);
         }
     }
     for bin in small_bins.values_mut().chain(wide_bins.values_mut()) {

@@ -15,7 +15,7 @@ use crate::order::{OrderPolicy, ReorderTrigger};
 use crate::view::JobView;
 use jobsched_sim::{JobRequest, Machine, Scheduler};
 use jobsched_workload::{JobId, Time};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The wait queue: requests keyed by job id. Ids are assigned in
 /// submission order by the workload, so ascending-id iteration *is*
@@ -53,7 +53,9 @@ impl Waiting {
     /// Look up a waiting request. Panics on unknown ids (scheduler bug).
     #[inline]
     pub fn get(&self, id: JobId) -> &JobRequest {
-        self.slots[id.index()].as_ref().expect("unknown waiting job")
+        self.slots[id.index()]
+            .as_ref()
+            .expect("unknown waiting job")
     }
 
     /// Whether the job is waiting.
@@ -138,8 +140,9 @@ pub struct ListScheduler {
     /// Priority order from the last offline run (dynamic policies only).
     /// May contain ids that have since started; filtered lazily.
     priority: Vec<JobId>,
-    /// Jobs covered by `priority`.
-    covered: HashSet<JobId>,
+    /// Jobs covered by `priority`. Ordered container: scheduling state
+    /// must never depend on hash-iteration order.
+    covered: BTreeSet<JobId>,
     /// Number of offline re-computations performed (diagnostics; the §5.4
     /// trigger exists to keep this low).
     recomputations: u64,
@@ -165,7 +168,7 @@ impl ListScheduler {
             trigger: ReorderTrigger::default(),
             waiting: Waiting::new(),
             priority: Vec::new(),
-            covered: HashSet::new(),
+            covered: BTreeSet::new(),
             recomputations: 0,
             caching: true,
             cache: None,
@@ -313,7 +316,11 @@ impl ListScheduler {
                     // the next invalidation.
                 }
                 self.arrivals.clear();
-                BlockedCache::Easy { shadow, extra, free }
+                BlockedCache::Easy {
+                    shadow,
+                    extra,
+                    free,
+                }
             }
             BlockedCache::Conservative { leftover } => {
                 if self
@@ -448,7 +455,14 @@ impl Scheduler for ListScheduler {
         let greedy_any = matches!(self.policy, OrderPolicy::GareyGraham);
         let (picks, blocked) = if self.policy.is_dynamic() {
             let order = self.effective_order(machine.total_nodes());
-            full_scan(greedy_any, self.backfill, order, &self.waiting, machine, now)
+            full_scan(
+                greedy_any,
+                self.backfill,
+                order,
+                &self.waiting,
+                machine,
+                now,
+            )
         } else {
             full_scan(
                 greedy_any,
@@ -536,7 +550,11 @@ mod tests {
             OrderPolicy::psrs(WeightScheme::Unweighted),
         ];
         for policy in policies {
-            for mode in [BackfillMode::None, BackfillMode::Conservative, BackfillMode::Easy] {
+            for mode in [
+                BackfillMode::None,
+                BackfillMode::Conservative,
+                BackfillMode::Easy,
+            ] {
                 let mut s = ListScheduler::new(policy, mode);
                 let out = simulate(&w, &mut s);
                 assert!(
@@ -551,7 +569,10 @@ mod tests {
     #[test]
     fn fcfs_convoy_blocks_small_jobs() {
         let w = workload_convoy();
-        let plain = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None));
+        let plain = simulate(
+            &w,
+            &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None),
+        );
         // 156 nodes sit free behind the blocked 200-node head job, but
         // plain FCFS never skips it: the small jobs wait 10 000 s.
         let small_start = plain.schedule.placement(JobId(2)).unwrap().start;
@@ -561,8 +582,14 @@ mod tests {
     #[test]
     fn easy_backfill_beats_plain_fcfs_on_convoy() {
         let w = workload_convoy();
-        let plain = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None));
-        let easy = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::Easy));
+        let plain = simulate(
+            &w,
+            &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None),
+        );
+        let easy = simulate(
+            &w,
+            &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::Easy),
+        );
         assert!(
             art(&w, &easy.schedule) < art(&w, &plain.schedule) / 2.0,
             "EASY {} vs plain {}",
@@ -574,7 +601,10 @@ mod tests {
     #[test]
     fn conservative_backfill_beats_plain_fcfs_on_convoy() {
         let w = workload_convoy();
-        let plain = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None));
+        let plain = simulate(
+            &w,
+            &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None),
+        );
         let cons = simulate(
             &w,
             &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::Conservative),
@@ -608,7 +638,10 @@ mod tests {
                 BackfillMode::Easy,
             ),
         );
-        let fcfs = simulate(&w, &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::Easy));
+        let fcfs = simulate(
+            &w,
+            &mut ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::Easy),
+        );
         assert!(art(&w, &smart.schedule) <= art(&w, &fcfs.schedule));
     }
 

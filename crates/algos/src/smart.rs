@@ -116,7 +116,9 @@ pub fn smart_order(
     // Step 1: binning by execution time.
     let mut bins: std::collections::BTreeMap<u32, Vec<JobView>> = std::collections::BTreeMap::new();
     for &job in jobs {
-        bins.entry(bin_index(job.time, gamma)).or_default().push(job);
+        bins.entry(bin_index(job.time, gamma))
+            .or_default()
+            .push(job);
     }
 
     // Step 2: shelving within each bin.
@@ -132,10 +134,7 @@ pub fn smart_order(
                 });
                 let mut bin_shelves: Vec<Shelf> = Vec::new();
                 for job in members {
-                    match bin_shelves
-                        .iter_mut()
-                        .find(|s| s.fits(&job, machine_nodes))
-                    {
+                    match bin_shelves.iter_mut().find(|s| s.fits(&job, machine_nodes)) {
                         Some(shelf) => shelf.push(job),
                         None => {
                             let mut s = Shelf::new();
@@ -152,7 +151,9 @@ pub fn smart_order(
                 members.sort_by(|a, b| {
                     let ka = a.nodes as f64 / a.weight;
                     let kb = b.nodes as f64 / b.weight;
-                    ka.partial_cmp(&kb).expect("finite keys").then(a.id.cmp(&b.id))
+                    ka.partial_cmp(&kb)
+                        .expect("finite keys")
+                        .then(a.id.cmp(&b.id))
                 });
                 let mut bin_shelves: Vec<Shelf> = vec![Shelf::new()];
                 for job in members {
@@ -251,7 +252,11 @@ mod tests {
             jobs.push(view(i, 10, 10, 1.0));
         }
         let order = smart_order(&jobs, 64, 2.0, SmartVariant::Ffia);
-        assert_eq!(order.last(), Some(&JobId(0)), "long job scheduled last: {order:?}");
+        assert_eq!(
+            order.last(),
+            Some(&JobId(0)),
+            "long job scheduled last: {order:?}"
+        );
     }
 
     #[test]
@@ -298,7 +303,14 @@ mod tests {
     #[test]
     fn deterministic_under_permutation() {
         let jobs: Vec<JobView> = (0..30)
-            .map(|i| view(i, 1 + i % 9, 1 + (i as Time * 13) % 300, 1.0 + (i % 4) as f64))
+            .map(|i| {
+                view(
+                    i,
+                    1 + i % 9,
+                    1 + (i as Time * 13) % 300,
+                    1.0 + (i % 4) as f64,
+                )
+            })
             .collect();
         let mut shuffled = jobs.clone();
         shuffled.reverse();

@@ -107,7 +107,10 @@ impl AlgorithmSpec {
                 out.push(AlgorithmSpec::new(kind, backfill));
             }
         }
-        out.push(AlgorithmSpec::new(PolicyKind::GareyGraham, BackfillMode::None));
+        out.push(AlgorithmSpec::new(
+            PolicyKind::GareyGraham,
+            BackfillMode::None,
+        ));
         out
     }
 
@@ -130,7 +133,10 @@ mod tests {
     fn matrix_has_thirteen_cells() {
         let m = AlgorithmSpec::paper_matrix();
         assert_eq!(m.len(), 13);
-        let gg: Vec<_> = m.iter().filter(|s| s.kind == PolicyKind::GareyGraham).collect();
+        let gg: Vec<_> = m
+            .iter()
+            .filter(|s| s.kind == PolicyKind::GareyGraham)
+            .collect();
         assert_eq!(gg.len(), 1);
         assert_eq!(gg[0].backfill, BackfillMode::None);
     }

@@ -58,7 +58,7 @@ struct Regime {
     policy: OrderPolicy,
     backfill: BackfillMode,
     priority: Vec<JobId>,
-    covered: std::collections::HashSet<JobId>,
+    covered: std::collections::BTreeSet<JobId>,
 }
 
 impl Regime {
@@ -67,7 +67,7 @@ impl Regime {
             policy,
             backfill,
             priority: Vec::new(),
-            covered: std::collections::HashSet::new(),
+            covered: std::collections::BTreeSet::new(),
         }
     }
 
@@ -170,12 +170,22 @@ impl Scheduler for SwitchingScheduler {
             return Vec::new();
         }
         let daytime = self.window.is_daytime(now);
-        let regime = if daytime { &mut self.day } else { &mut self.night };
+        let regime = if daytime {
+            &mut self.day
+        } else {
+            &mut self.night
+        };
         let order = regime.order(&self.waiting, machine.total_nodes());
         let picks = match (&regime.policy, regime.backfill) {
-            (OrderPolicy::GareyGraham, _) => select_greedy_any(order.iter().copied(), &self.waiting, machine),
-            (_, BackfillMode::None) => select_head_blocking(order.iter().copied(), &self.waiting, machine),
-            (_, BackfillMode::Easy) => select_easy(order.iter().copied(), &self.waiting, machine, now),
+            (OrderPolicy::GareyGraham, _) => {
+                select_greedy_any(order.iter().copied(), &self.waiting, machine)
+            }
+            (_, BackfillMode::None) => {
+                select_head_blocking(order.iter().copied(), &self.waiting, machine)
+            }
+            (_, BackfillMode::Easy) => {
+                select_easy(order.iter().copied(), &self.waiting, machine, now)
+            }
             (_, BackfillMode::Conservative) => {
                 select_conservative(order.iter().copied(), &self.waiting, machine, now)
             }

@@ -4,11 +4,11 @@
 //! the *computation* cost of the ordering algorithms.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jobsched_algos::order::ReorderTrigger;
 use jobsched_algos::psrs::{psrs_order, PsrsParams};
 use jobsched_algos::smart::{smart_order, SmartVariant};
 use jobsched_algos::view::{JobView, WeightScheme};
-use jobsched_algos::order::ReorderTrigger;
-use jobsched_algos::{ListScheduler, OrderPolicy, BackfillMode};
+use jobsched_algos::{BackfillMode, ListScheduler, OrderPolicy};
 use jobsched_sim::simulate;
 use jobsched_workload::ctc::prepared_ctc_workload;
 use jobsched_workload::JobId;

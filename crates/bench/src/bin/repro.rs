@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--scale quick|standard|paper] [item ...]
+//! repro [--scale quick|standard|paper] [--jobs N] [--out DIR] [--resume] [item ...]
 //! ```
 //!
 //! Items: `workloads` (Table 1), `table3` … `table8`, `fig1`, `fig2`,
@@ -15,26 +15,40 @@
 //! (default, everything except `replicate`). Output is printed in the
 //! paper's layout; CSV files for the figures are written when
 //! `--csv DIR` is given.
+//!
+//! Tables 3–8 run as one `jobsched-sweep` campaign: `--jobs N` simulates
+//! cells on N worker threads (results are bit-identical to `--jobs 1`),
+//! `--out DIR` persists per-run JSON records into a content-addressed
+//! cache plus a `manifest.json`, and `--resume` serves already-cached
+//! cells from DIR instead of re-simulating them.
 
 use jobsched_bench::{describe, parse_scale};
 use jobsched_core::ablation;
-use jobsched_core::experiment::Scale;
+use jobsched_core::experiment::{EvalTable, Scale};
 use jobsched_core::objective_select::ObjectiveKind;
-use jobsched_core::paper::{self, TablePair};
+use jobsched_core::paper;
 use jobsched_core::report::{render_cpu_table, render_table, to_csv};
+use jobsched_sweep::{run_campaign, Campaign, SweepOptions};
 use jobsched_workload::stats::WorkloadStats;
+use std::path::PathBuf;
 use std::time::Instant;
 
 struct Options {
     scale: Scale,
     items: Vec<String>,
     csv_dir: Option<String>,
+    jobs: usize,
+    out: Option<PathBuf>,
+    resume: bool,
 }
 
 fn parse_args() -> Options {
     let mut scale = Scale::standard();
     let mut items = Vec::new();
     let mut csv_dir = None;
+    let mut jobs = 1;
+    let mut out = None;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,9 +60,23 @@ fn parse_args() -> Options {
                 });
             }
             "--csv" => csv_dir = args.next(),
+            "--jobs" => {
+                let n = args.next().unwrap_or_default();
+                jobs = n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    eprintln!("--jobs wants a positive integer, got '{n}'");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => out = args.next().map(PathBuf::from),
+            "--resume" => resume = true,
             "--help" | "-h" => {
-                println!("repro [--scale quick|standard|paper] [--csv DIR] [item ...]");
+                println!("repro [--scale quick|standard|paper] [--csv DIR] [--jobs N] [--out DIR] [--resume] [item ...]");
                 println!("items: workloads table3 table4 table5 table6 table7 table8 fig1 fig2 ablations combined drain gang heterogeneity replicate all");
+                println!("  --jobs N    simulate campaign cells on N worker threads (default 1)");
+                println!("  --out DIR   persist RunRecords + manifest.json under DIR");
+                println!(
+                    "  --resume    serve cells already in DIR's cache instead of re-simulating"
+                );
                 std::process::exit(0);
             }
             other => items.push(other.to_string()),
@@ -57,34 +85,52 @@ fn parse_args() -> Options {
     if items.is_empty() {
         items.push("all".into());
     }
+    if resume && out.is_none() {
+        eprintln!("--resume needs --out DIR (the cache to resume from)");
+        std::process::exit(2);
+    }
     Options {
         scale,
         items,
         csv_dir,
+        jobs,
+        out,
+        resume,
     }
 }
 
-fn print_pair(pair: &TablePair, cpu: bool, csv_dir: &Option<String>, stem: &str) {
+fn print_table(table: &EvalTable, cpu: bool, csv_dir: &Option<String>, stem: &str) {
     if cpu {
-        println!("{}", render_cpu_table(&pair.unweighted));
-        println!("{}", render_cpu_table(&pair.weighted));
+        println!("{}", render_cpu_table(table));
     } else {
-        println!("{}", render_table(&pair.unweighted));
-        println!("{}", render_table(&pair.weighted));
+        println!("{}", render_table(table));
     }
     if let Some(dir) = csv_dir {
         let _ = std::fs::create_dir_all(dir);
-        let _ = std::fs::write(format!("{dir}/{stem}_unweighted.csv"), to_csv(&pair.unweighted));
-        let _ = std::fs::write(format!("{dir}/{stem}_weighted.csv"), to_csv(&pair.weighted));
+        let _ = std::fs::write(format!("{dir}/{stem}.csv"), to_csv(table));
+    }
+}
+
+/// Heading the repro output prints above each paper table.
+fn table_heading(id: &str) -> &'static str {
+    match id {
+        "table3" => "## Table 3 / Figures 3–4: CTC workload",
+        "table4" => "## Table 4 / Figure 5: probability-distributed workload",
+        "table5" => "## Table 5: randomized workload",
+        "table6" => "## Table 6 / Figure 6: CTC workload with exact execution times",
+        "table7" => "## Table 7: computation time, CTC workload",
+        "table8" => "## Table 8: computation time, probabilistic workload",
+        other => panic!("no heading for '{other}'"),
     }
 }
 
 fn main() {
     let opts = parse_args();
-    let wants = |name: &str| {
-        opts.items.iter().any(|i| i == name || i == "all")
-    };
-    println!("# IPPS'99 scheduling-algorithm evaluation — {}", describe(opts.scale));
+    let wants = |name: &str| opts.items.iter().any(|i| i == name || i == "all");
+    println!(
+        "# IPPS'99 scheduling-algorithm evaluation — {}",
+        describe(opts.scale)
+    );
     println!();
 
     if wants("workloads") {
@@ -97,42 +143,43 @@ fn main() {
         println!("(generated in {:.1?})\n", t0.elapsed());
     }
 
-    let timed = |label: &str, f: &dyn Fn() -> TablePair| -> TablePair {
+    // Tables 3–8 run as one sweep campaign: shared workloads generated
+    // once, cells distributed over --jobs workers, records cached under
+    // --out, cached cells skipped with --resume.
+    let wanted_tables: Vec<&str> = ["table3", "table4", "table5", "table6", "table7", "table8"]
+        .into_iter()
+        .filter(|t| wants(t))
+        .collect();
+    if !wanted_tables.is_empty() {
+        let campaign = Campaign::paper_tables(opts.scale, &wanted_tables);
+        let sweep = SweepOptions {
+            jobs: opts.jobs,
+            out: opts.out.clone(),
+            resume: opts.resume,
+            progress: true,
+        };
         let t0 = Instant::now();
-        let pair = f();
-        eprintln!("[{label} computed in {:.1?}]", t0.elapsed());
-        pair
-    };
-
-    if wants("table3") {
-        let pair = timed("table3", &|| paper::table3(opts.scale));
-        println!("## Table 3 / Figures 3–4: CTC workload");
-        print_pair(&pair, false, &opts.csv_dir, "table3");
-    }
-    if wants("table4") {
-        let pair = timed("table4", &|| paper::table4(opts.scale));
-        println!("## Table 4 / Figure 5: probability-distributed workload");
-        print_pair(&pair, false, &opts.csv_dir, "table4");
-    }
-    if wants("table5") {
-        let pair = timed("table5", &|| paper::table5(opts.scale));
-        println!("## Table 5: randomized workload");
-        print_pair(&pair, false, &opts.csv_dir, "table5");
-    }
-    if wants("table6") {
-        let pair = timed("table6", &|| paper::table6(opts.scale));
-        println!("## Table 6 / Figure 6: CTC workload with exact execution times");
-        print_pair(&pair, false, &opts.csv_dir, "table6");
-    }
-    if wants("table7") {
-        let pair = timed("table7", &|| paper::table7(opts.scale));
-        println!("## Table 7: computation time, CTC workload");
-        print_pair(&pair, true, &opts.csv_dir, "table7");
-    }
-    if wants("table8") {
-        let pair = timed("table8", &|| paper::table8(opts.scale));
-        println!("## Table 8: computation time, probabilistic workload");
-        print_pair(&pair, true, &opts.csv_dir, "table8");
+        let outcome = run_campaign(&campaign, &sweep).unwrap_or_else(|e| {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[campaign: {} cells ({} simulated, {} cached) in {:.1?} on {} worker(s)]",
+            outcome.records.len(),
+            outcome.simulated,
+            outcome.cached,
+            t0.elapsed(),
+            opts.jobs
+        );
+        // Each paper table contributes an adjacent (unweighted, weighted)
+        // pair of campaign tables.
+        for (defs, tables) in campaign.tables.chunks(2).zip(outcome.tables.chunks(2)) {
+            let base = defs[0].id.trim_end_matches("-unweighted");
+            println!("{}", table_heading(base));
+            for (def, table) in defs.iter().zip(tables) {
+                print_table(table, def.cpu_table, &opts.csv_dir, &def.id);
+            }
+        }
     }
     if wants("fig1") {
         println!("## Figure 1: Pareto-optimal schedules");
@@ -161,7 +208,11 @@ fn main() {
         println!("## Ablations (CTC-like workload, {} jobs)", scale.ctc_jobs);
 
         println!("\nSMART γ sweep (FFIA + EASY, unweighted ART):");
-        for r in ablation::gamma_sweep(scale, ObjectiveKind::AvgResponseTime, &[1.25, 1.5, 2.0, 3.0, 4.0, 8.0]) {
+        for r in ablation::gamma_sweep(
+            scale,
+            ObjectiveKind::AvgResponseTime,
+            &[1.25, 1.5, 2.0, 3.0, 4.0, 8.0],
+        ) {
             println!("  γ = {:>5.2}  ART = {:.4E}", r.value, r.cost);
         }
 
@@ -179,7 +230,11 @@ fn main() {
         }
 
         println!("\nPSRS wide-job patience sweep (PSRS + EASY, unweighted ART):");
-        for r in ablation::wide_wait_sweep(scale, ObjectiveKind::AvgResponseTime, &[0.25, 0.5, 1.0, 2.0, 4.0]) {
+        for r in ablation::wide_wait_sweep(
+            scale,
+            ObjectiveKind::AvgResponseTime,
+            &[0.25, 0.5, 1.0, 2.0, 4.0],
+        ) {
             println!("  factor = {:>5.2}  ART = {:.4E}", r.value, r.cost);
         }
 
@@ -201,7 +256,10 @@ fn main() {
         println!("\nmax job-width sweep (G&G weighted pct vs FCFS+EASY):");
         println!("  (shows when the paper's 'G&G wins the weighted case' holds)");
         for r in ablation::max_width_sweep(scale, &[96, 128, 160, 192, 224, 256]) {
-            println!("  max width = {:>3}  G&G = {:+.1}% vs FCFS+EASY", r.value, r.cost);
+            println!(
+                "  max width = {:>3}  G&G = {:+.1}% vs FCFS+EASY",
+                r.value, r.cost
+            );
         }
         println!();
     }
@@ -268,7 +326,10 @@ fn main() {
         let mut scale = opts.scale;
         scale.ctc_jobs = scale.ctc_jobs.min(16_000);
         let rows = jobsched_core::extensions::gang_comparison(scale, &[60, 300, 600, 1800, 3600]);
-        println!("{:>12} {:>14} {:>14}", "slice [s]", "ART [s]", "makespan [d]");
+        println!(
+            "{:>12} {:>14} {:>14}",
+            "slice [s]", "ART [s]", "makespan [d]"
+        );
         for r in &rows {
             let label = if r.time_slice == 0 {
                 "space-FCFS".to_string()
@@ -295,18 +356,19 @@ fn main() {
             ObjectiveKind::AvgWeightedResponseTime,
         ] {
             println!("\n{objective:?}:");
-            let cells = jobsched_core::replication::replicate(
-                scale,
-                objective,
-                &[101, 102, 103, 104, 105],
-            );
+            let cells =
+                jobsched_core::replication::replicate(scale, objective, &[101, 102, 103, 104, 105]);
             for c in &cells {
                 println!(
                     "  {:36} {:>+8.1}% ± {:>5.1}%{}",
                     c.spec.name(),
                     c.mean_pct,
                     c.std_pct,
-                    if c.significant() { "" } else { "   (not significant)" }
+                    if c.significant() {
+                        ""
+                    } else {
+                        "   (not significant)"
+                    }
                 );
             }
         }
@@ -317,8 +379,14 @@ fn main() {
         let f = paper::figure2();
         let on = paper::ideal(&f.online);
         let off = paper::ideal(&f.offline);
-        println!("online  ideal point: ART {:>10.1} s, unavailability {:.4}", on[0], on[1]);
-        println!("offline ideal point: ART {:>10.1} s, unavailability {:.4}", off[0], off[1]);
+        println!(
+            "online  ideal point: ART {:>10.1} s, unavailability {:.4}",
+            on[0], on[1]
+        );
+        println!(
+            "offline ideal point: ART {:>10.1} s, unavailability {:.4}",
+            off[0], off[1]
+        );
         println!(
             "offline knowledge widens the achievable region by {:.1}% in ART",
             (on[0] - off[0]) / on[0] * 100.0

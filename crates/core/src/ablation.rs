@@ -224,12 +224,8 @@ mod tests {
         // Exact estimates (1.0) should not be worse than wild 20× padding
         // for the estimate-driven SMART+EASY configuration.
         let spec = AlgorithmSpec::new(PolicyKind::SmartFfia, BackfillMode::Easy);
-        let rows = estimate_quality_sweep(
-            tiny(),
-            ObjectiveKind::AvgResponseTime,
-            spec,
-            &[1.0, 20.0],
-        );
+        let rows =
+            estimate_quality_sweep(tiny(), ObjectiveKind::AvgResponseTime, spec, &[1.0, 20.0]);
         assert!(
             rows[0].cost <= rows[1].cost * 1.1,
             "exact {} vs padded {}",

@@ -7,7 +7,6 @@ use jobsched_algos::view::WeightScheme;
 use jobsched_algos::AlgorithmSpec;
 use jobsched_sim::simulate;
 use jobsched_workload::{Time, Workload};
-use serde::Serialize;
 use std::time::Duration;
 
 /// Workload scale. The paper simulates 79,164 CTC jobs and 50,000
@@ -53,7 +52,7 @@ impl Scale {
 }
 
 /// Result of one (algorithm × backfill) cell.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct EvalCell {
     /// Row algorithm label.
     pub algorithm: String,
@@ -64,7 +63,6 @@ pub struct EvalCell {
     /// Percentage difference against the reference cell (0 for it).
     pub pct: f64,
     /// Wall-clock spent inside the scheduler (Tables 7–8).
-    #[serde(skip)]
     pub scheduler_cpu: Duration,
     /// Percentage difference of scheduler CPU against the reference.
     pub cpu_pct: f64,
@@ -72,7 +70,12 @@ pub struct EvalCell {
     pub makespan: Time,
     /// Machine utilization over the makespan.
     pub utilization: f64,
-    #[serde(skip)]
+    /// Number of simulator events processed during the run.
+    pub events: u64,
+    /// Number of scheduling decision rounds the engine invoked.
+    pub decision_rounds: u64,
+    /// Peak wait-queue length observed (backlog indicator, §6.1).
+    pub peak_queue: usize,
     spec: AlgorithmSpec,
 }
 
@@ -81,10 +84,50 @@ impl EvalCell {
     pub fn spec(&self) -> AlgorithmSpec {
         self.spec
     }
+
+    /// Rebuild a cell from already-computed measurements (the sweep
+    /// subsystem re-hydrates tables from cached `RunRecord`s through
+    /// this). `pct`/`cpu_pct` start at 0 and are normalised by
+    /// [`assemble_table`].
+    pub fn from_parts(
+        spec: AlgorithmSpec,
+        cost: f64,
+        scheduler_cpu: Duration,
+        makespan: Time,
+        utilization: f64,
+        counts: EngineCounts,
+    ) -> Self {
+        EvalCell {
+            algorithm: spec.kind.label().to_string(),
+            backfill: spec.backfill.label().to_string(),
+            cost,
+            pct: 0.0,
+            scheduler_cpu,
+            cpu_pct: 0.0,
+            makespan,
+            utilization,
+            events: counts.events,
+            decision_rounds: counts.decision_rounds,
+            peak_queue: counts.peak_queue,
+            spec,
+        }
+    }
+}
+
+/// Engine-side counters of one simulation run, carried into
+/// [`EvalCell`]s and the sweep subsystem's `RunRecord`s.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounts {
+    /// Number of processed simulator events.
+    pub events: u64,
+    /// Number of `select_starts` invocations.
+    pub decision_rounds: u64,
+    /// Peak wait-queue length observed.
+    pub peak_queue: usize,
 }
 
 /// One table: the 13-cell matrix under a single objective.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct EvalTable {
     /// Table title ("Table 3, unweighted case", ...).
     pub title: String,
@@ -178,33 +221,56 @@ pub fn evaluate_specs_with(
     specs: &[AlgorithmSpec],
     caching: bool,
 ) -> EvalTable {
+    let cells = specs
+        .iter()
+        .map(|&spec| run_cell(workload, objective, spec, caching))
+        .collect();
+    assemble_table(title, workload.name(), objective, cells)
+}
+
+/// Run a single (algorithm × backfill) cell: one full simulation of the
+/// workload under the spec, measured under `objective`. This is the unit
+/// of work the sweep subsystem distributes across worker threads; the
+/// serial `evaluate_*` drivers are thin loops over it.
+pub fn run_cell(
+    workload: &Workload,
+    objective: ObjectiveKind,
+    spec: AlgorithmSpec,
+    caching: bool,
+) -> EvalCell {
     let scheme = if objective.weighted() {
         WeightScheme::ProjectedArea
     } else {
         WeightScheme::Unweighted
     };
     let metric = objective.build();
-    let mut cells: Vec<EvalCell> = specs
-        .iter()
-        .map(|&spec| {
-            let mut scheduler = spec.build(scheme).with_caching(caching);
-            let out = simulate(workload, &mut scheduler);
-            debug_assert!(out.schedule.validate(workload).is_empty());
-            EvalCell {
-                algorithm: spec.kind.label().to_string(),
-                backfill: spec.backfill.label().to_string(),
-                cost: metric.cost(workload, &out.schedule),
-                pct: 0.0,
-                scheduler_cpu: out.scheduler_cpu,
-                cpu_pct: 0.0,
-                makespan: out.schedule.makespan(),
-                utilization: out.schedule.utilization(workload),
-                spec,
-            }
-        })
-        .collect();
+    let mut scheduler = spec.build(scheme).with_caching(caching);
+    let out = simulate(workload, &mut scheduler);
+    debug_assert!(out.schedule.validate(workload).is_empty());
+    EvalCell::from_parts(
+        spec,
+        metric.cost(workload, &out.schedule),
+        out.scheduler_cpu,
+        out.schedule.makespan(),
+        out.schedule.utilization(workload),
+        EngineCounts {
+            events: out.events,
+            decision_rounds: out.decision_rounds,
+            peak_queue: out.peak_queue,
+        },
+    )
+}
 
-    // Normalise against FCFS+EASY when present, else the first cell.
+/// Assemble cells into a table, normalising the `pct`/`cpu_pct` columns
+/// against FCFS+EASY when present (else the first cell), as the paper
+/// does in every table.
+pub fn assemble_table(
+    title: &str,
+    workload_name: &str,
+    objective: ObjectiveKind,
+    mut cells: Vec<EvalCell>,
+) -> EvalTable {
+    assert!(!cells.is_empty(), "a table needs at least one cell");
     let reference = cells
         .iter()
         .find(|c| c.spec == AlgorithmSpec::reference())
@@ -212,12 +278,15 @@ pub fn evaluate_specs_with(
     let (ref_cost, ref_cpu) = (reference.cost, reference.scheduler_cpu.as_secs_f64());
     for c in &mut cells {
         c.pct = pct_vs(c.cost, ref_cost);
-        c.cpu_pct = pct_vs(c.scheduler_cpu.as_secs_f64(), ref_cpu.max(f64::MIN_POSITIVE));
+        c.cpu_pct = pct_vs(
+            c.scheduler_cpu.as_secs_f64(),
+            ref_cpu.max(f64::MIN_POSITIVE),
+        );
     }
 
     EvalTable {
         title: title.to_string(),
-        workload: workload.name().to_string(),
+        workload: workload_name.to_string(),
         objective,
         cells,
     }

@@ -209,7 +209,12 @@ pub fn gang_comparison(scale: Scale, slices: &[Time]) -> Vec<GangRow> {
     let art = w
         .jobs()
         .iter()
-        .map(|j| out.schedule.placement(j.id).unwrap().response_time(j.submit) as f64)
+        .map(|j| {
+            out.schedule
+                .placement(j.id)
+                .unwrap()
+                .response_time(j.submit) as f64
+        })
         .sum::<f64>()
         / w.len().max(1) as f64;
     rows.push(GangRow {
@@ -261,7 +266,9 @@ mod tests {
         );
         assert_eq!(rows.len(), 3);
         assert!(rows[0].name.starts_with("switch["));
-        assert!(rows.iter().all(|r| r.day_art.is_finite() && r.night_awrt.is_finite()));
+        assert!(rows
+            .iter()
+            .all(|r| r.day_art.is_finite() && r.night_awrt.is_finite()));
         assert!(rows.iter().all(|r| r.day_art > 0.0));
     }
 

@@ -17,10 +17,9 @@
 
 use crate::policy::{DailyWindow, Policy, Rule, SchedulingGoal};
 use jobsched_metrics::{AvgResponseTime, AvgWeightedResponseTime, Objective};
-use serde::{Deserialize, Serialize};
 
 /// The objective functions this derivation can produce.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ObjectiveKind {
     /// Average response time.
     AvgResponseTime,
@@ -45,7 +44,7 @@ impl ObjectiveKind {
 }
 
 /// A candidate considered and rejected during the derivation.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RejectedCandidate {
     /// Candidate name.
     pub candidate: String,
@@ -54,7 +53,7 @@ pub struct RejectedCandidate {
 }
 
 /// An objective derived for one time regime.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DerivedObjective {
     /// Window the goal is active in (`None` = remaining time).
     pub window: Option<DailyWindow>,
@@ -154,7 +153,10 @@ mod tests {
     #[test]
     fn kinds_build_metrics() {
         assert_eq!(ObjectiveKind::AvgResponseTime.build().name(), "ART");
-        assert_eq!(ObjectiveKind::AvgWeightedResponseTime.build().name(), "AWRT");
+        assert_eq!(
+            ObjectiveKind::AvgWeightedResponseTime.build().name(),
+            "AWRT"
+        );
         assert!(!ObjectiveKind::AvgResponseTime.weighted());
         assert!(ObjectiveKind::AvgWeightedResponseTime.weighted());
     }

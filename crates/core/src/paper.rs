@@ -330,11 +330,13 @@ pub fn table1(scale: Scale) -> Vec<(String, usize)> {
     let w = workloads(scale);
     vec![
         ("CTC".to_string(), w.ctc.len()),
-        ("Probability distribution".to_string(), w.probabilistic.len()),
+        (
+            "Probability distribution".to_string(),
+            w.probabilistic.len(),
+        ),
         ("Randomized".to_string(), w.randomized.len()),
     ]
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -377,7 +379,7 @@ mod tests {
         let f = figure1();
         assert_eq!(f.points.len(), 26);
         assert_eq!(f.ranks.len(), 26);
-        assert!(f.ranks.iter().any(|&r| r == 1), "a Pareto front exists");
+        assert!(f.ranks.contains(&1), "a Pareto front exists");
         for p in &f.points {
             assert_eq!(p.costs.len(), 2);
             assert!(p.costs.iter().all(|c| c.is_finite()));

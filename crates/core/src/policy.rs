@@ -11,12 +11,11 @@
 //! rule kinds modelled here; Example 1 (the chemistry department) and
 //! Example 5 (Institution B) ship as constructors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A daily time window, optionally restricted to weekdays
 /// (hours in 0..24, `start < end`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DailyWindow {
     /// First hour of the window (inclusive).
     pub start_hour: u8,
@@ -48,13 +47,17 @@ impl fmt::Display for DailyWindow {
             "{:02}:00–{:02}:00{}",
             self.start_hour,
             self.end_hour,
-            if self.weekdays_only { " (weekdays)" } else { "" }
+            if self.weekdays_only {
+                " (weekdays)"
+            } else {
+                ""
+            }
         )
     }
 }
 
 /// Scheduling goal attached to a time window.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SchedulingGoal {
     /// "The response time for all jobs should be as small as possible"
     /// (Example 5, Rule 5).
@@ -65,7 +68,7 @@ pub enum SchedulingGoal {
 
 /// One policy rule. The variants cover Examples 1 and 5; unknown owner
 /// rules can be carried verbatim in [`Rule::FreeForm`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Rule {
     /// A user group receives priority service (Example 1, Rule 1).
     PriorityGroup {
@@ -137,7 +140,7 @@ impl Rule {
 }
 
 /// A potential conflict between two rules, with an explanation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Conflict {
     /// Index of the first rule.
     pub a: usize,
@@ -148,7 +151,7 @@ pub struct Conflict {
 }
 
 /// An owner's scheduling policy: a named collection of rules.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Policy {
     /// Name of the installation.
     pub name: String,
@@ -230,8 +233,14 @@ impl Policy {
         for (i, a) in self.rules.iter().enumerate() {
             for (j, b) in self.rules.iter().enumerate().skip(i + 1) {
                 match (a, b) {
-                    (Rule::PriorityGroup { group, .. }, Rule::ExclusiveWindow { group: g2, window })
-                    | (Rule::ExclusiveWindow { group: g2, window }, Rule::PriorityGroup { group, .. }) => {
+                    (
+                        Rule::PriorityGroup { group, .. },
+                        Rule::ExclusiveWindow { group: g2, window },
+                    )
+                    | (
+                        Rule::ExclusiveWindow { group: g2, window },
+                        Rule::PriorityGroup { group, .. },
+                    ) => {
                         out.push(Conflict {
                             a: i,
                             b: j,
@@ -241,18 +250,32 @@ impl Policy {
                         });
                     }
                     (
-                        Rule::GoalInWindow { window: Some(w1), goal: g1 },
-                        Rule::GoalInWindow { window: Some(w2), goal: g2 },
+                        Rule::GoalInWindow {
+                            window: Some(w1),
+                            goal: g1,
+                        },
+                        Rule::GoalInWindow {
+                            window: Some(w2),
+                            goal: g2,
+                        },
                     ) if w1.overlaps(w2) && g1 != g2 => {
                         out.push(Conflict {
                             a: i,
                             b: j,
-                            reason: format!("conflicting goals in overlapping windows {w1} and {w2}"),
+                            reason: format!(
+                                "conflicting goals in overlapping windows {w1} and {w2}"
+                            ),
                         });
                     }
                     (
-                        Rule::ExclusiveWindow { window: w1, group: g1 },
-                        Rule::ExclusiveWindow { window: w2, group: g2 },
+                        Rule::ExclusiveWindow {
+                            window: w1,
+                            group: g1,
+                        },
+                        Rule::ExclusiveWindow {
+                            window: w2,
+                            group: g2,
+                        },
                     ) if w1.overlaps(w2) => {
                         out.push(Conflict {
                             a: i,
@@ -314,11 +337,19 @@ mod tests {
             name: "bad".into(),
             rules: vec![
                 Rule::GoalInWindow {
-                    window: Some(DailyWindow { start_hour: 7, end_hour: 20, weekdays_only: true }),
+                    window: Some(DailyWindow {
+                        start_hour: 7,
+                        end_hour: 20,
+                        weekdays_only: true,
+                    }),
                     goal: SchedulingGoal::MinimizeResponseTime,
                 },
                 Rule::GoalInWindow {
-                    window: Some(DailyWindow { start_hour: 18, end_hour: 23, weekdays_only: true }),
+                    window: Some(DailyWindow {
+                        start_hour: 18,
+                        end_hour: 23,
+                        weekdays_only: true,
+                    }),
                     goal: SchedulingGoal::MaximizeSystemLoad,
                 },
             ],
@@ -328,15 +359,30 @@ mod tests {
 
     #[test]
     fn window_overlap_logic() {
-        let day = DailyWindow { start_hour: 7, end_hour: 20, weekdays_only: true };
-        let evening = DailyWindow { start_hour: 20, end_hour: 23, weekdays_only: true };
+        let day = DailyWindow {
+            start_hour: 7,
+            end_hour: 20,
+            weekdays_only: true,
+        };
+        let evening = DailyWindow {
+            start_hour: 20,
+            end_hour: 23,
+            weekdays_only: true,
+        };
         assert!(!day.overlaps(&evening));
-        assert!(day.overlaps(&DailyWindow { start_hour: 19, end_hour: 21, weekdays_only: false }));
+        assert!(day.overlaps(&DailyWindow {
+            start_hour: 19,
+            end_hour: 21,
+            weekdays_only: false
+        }));
     }
 
     #[test]
     fn window_display() {
-        assert_eq!(DailyWindow::WEEKDAY_DAYTIME.to_string(), "07:00–20:00 (weekdays)");
+        assert_eq!(
+            DailyWindow::WEEKDAY_DAYTIME.to_string(),
+            "07:00–20:00 (weekdays)"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub fn pct(p: f64) -> String {
 /// Render one matrix table in the paper's layout.
 pub fn render_table(table: &EvalTable) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{} — workload: {}, objective: {:?}", table.title, table.workload, table.objective);
+    let _ = writeln!(
+        out,
+        "{} — workload: {}, objective: {:?}",
+        table.title, table.workload, table.objective
+    );
     let _ = writeln!(
         out,
         "{:14} {:>10} {:>9} | {:>10} {:>9} | {:>10} {:>9}",
@@ -58,8 +62,16 @@ pub fn render_table(table: &EvalTable) -> String {
 /// Listscheduler and EASY columns as in the paper.
 pub fn render_cpu_table(table: &EvalTable) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{} — scheduler computation time (pct vs FCFS+EASY)", table.title);
-    let _ = writeln!(out, "{:14} {:>14} {:>18}", "", "Listscheduler", "EASY-Backfilling");
+    let _ = writeln!(
+        out,
+        "{} — scheduler computation time (pct vs FCFS+EASY)",
+        table.title
+    );
+    let _ = writeln!(
+        out,
+        "{:14} {:>14} {:>18}",
+        "", "Listscheduler", "EASY-Backfilling"
+    );
     for kind in PolicyKind::ALL {
         let list = table.cell(AlgorithmSpec::new(kind, BackfillMode::None));
         let easy = table.cell(AlgorithmSpec::new(kind, BackfillMode::Easy));
@@ -79,7 +91,9 @@ pub fn render_cpu_table(table: &EvalTable) -> String {
 
 /// CSV export of a table (one line per cell) for plotting the figures.
 pub fn to_csv(table: &EvalTable) -> String {
-    let mut out = String::from("workload,objective,algorithm,backfill,cost,pct,cpu_seconds,cpu_pct,makespan,utilization\n");
+    let mut out = String::from(
+        "workload,objective,algorithm,backfill,cost,pct,cpu_seconds,cpu_pct,makespan,utilization\n",
+    );
     for c in &table.cells {
         let _ = writeln!(
             out,
@@ -129,7 +143,10 @@ mod tests {
     #[test]
     fn garey_graham_row_has_empty_backfill_columns() {
         let text = render_table(&table());
-        let gg = text.lines().find(|l| l.starts_with("Garey&Graham")).unwrap();
+        let gg = text
+            .lines()
+            .find(|l| l.starts_with("Garey&Graham"))
+            .unwrap();
         assert!(gg.contains('-'));
     }
 

@@ -15,11 +15,13 @@
 
 use jobsched_sim::ScheduleRecord;
 use jobsched_workload::Workload;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Mean response time per user id, for users with at least one job.
-pub fn per_user_response(workload: &Workload, schedule: &ScheduleRecord) -> HashMap<u32, f64> {
-    let mut totals: HashMap<u32, (f64, u32)> = HashMap::new();
+/// Returned ordered by user id so downstream float reductions (Jain
+/// index sums) are bit-reproducible.
+pub fn per_user_response(workload: &Workload, schedule: &ScheduleRecord) -> BTreeMap<u32, f64> {
+    let mut totals: BTreeMap<u32, (f64, u32)> = BTreeMap::new();
     for j in workload.jobs() {
         let p = schedule
             .placement(j.id)

@@ -79,9 +79,7 @@ impl Objective for AvgWeightedResponseTime {
         let total: f64 = workload
             .jobs()
             .iter()
-            .map(|j| {
-                j.area() * placement(workload, schedule, j.id).response_time(j.submit) as f64
-            })
+            .map(|j| j.area() * placement(workload, schedule, j.id).response_time(j.submit) as f64)
             .sum();
         total / workload.len() as f64
     }
@@ -215,8 +213,18 @@ mod tests {
             "t",
             10,
             vec![
-                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(100).build(),
-                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(50).build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(6)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(6)
+                    .requested(100)
+                    .runtime(50)
+                    .build(),
             ],
         );
         let mut s = ScheduleRecord::new(10, 2);

@@ -14,11 +14,9 @@
 //! desirability). [`scalarize`] is step 3's simplest instance: a weighted
 //! sum consistent with a given preference.
 
-use serde::{Deserialize, Serialize};
-
 /// A schedule evaluated under k cost criteria (smaller = better), tagged
 /// with an arbitrary label (algorithm name, schedule id, ...).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Point {
     /// Label identifying the schedule.
     pub label: String,

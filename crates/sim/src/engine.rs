@@ -161,7 +161,9 @@ pub fn simulate(workload: &Workload, scheduler: &mut dyn Scheduler) -> SimOutcom
                 let job = workload.job(id);
                 machine
                     .start(id, job.nodes, now, now + job.requested_time)
-                    .unwrap_or_else(|e| panic!("scheduler {} broke validity: {e}", scheduler.name()));
+                    .unwrap_or_else(|e| {
+                        panic!("scheduler {} broke validity: {e}", scheduler.name())
+                    });
                 let completion = now + job.effective_runtime();
                 record.place(id, now, completion);
                 events.push(completion, Event::Finish(id));
@@ -251,9 +253,24 @@ mod tests {
             "t",
             10,
             vec![
-                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(100).build(),
-                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(50).build(),
-                JobBuilder::new(JobId(0)).submit(10).nodes(4).requested(100).runtime(100).build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(6)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(6)
+                    .requested(100)
+                    .runtime(50)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(10)
+                    .nodes(4)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
             ],
         )
     }
@@ -286,7 +303,12 @@ mod tests {
         let w = Workload::new(
             "t",
             10,
-            vec![JobBuilder::new(JobId(0)).submit(0).nodes(1).requested(60).runtime(500).build()],
+            vec![JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(1)
+                .requested(60)
+                .runtime(500)
+                .build()],
         );
         let out = simulate(&w, &mut TestFcfs::new());
         assert_eq!(out.schedule.placement(JobId(0)).unwrap().completion, 60);
@@ -371,7 +393,11 @@ mod tests {
     fn job_request_hides_actual_runtime() {
         // Compile-time guarantee by construction; assert the projection
         // uses the estimate.
-        let j = JobBuilder::new(JobId(1)).nodes(4).requested(100).runtime(7).build();
+        let j = JobBuilder::new(JobId(1))
+            .nodes(4)
+            .requested(100)
+            .runtime(7)
+            .build();
         let r = JobRequest::from(&j);
         assert_eq!(r.projected_end(10), 110);
         assert_eq!(r.projected_area(), 400.0);

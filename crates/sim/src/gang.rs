@@ -321,7 +321,13 @@ mod tests {
     #[test]
     fn all_jobs_complete() {
         let jobs: Vec<_> = (0..200)
-            .map(|i| job((i * 97) % 5_000, 1 + (i as u32 * 13) % 10, 50 + (i * 31) % 2_000))
+            .map(|i| {
+                job(
+                    (i * 97) % 5_000,
+                    1 + (i as u32 * 13) % 10,
+                    50 + (i * 31) % 2_000,
+                )
+            })
             .collect();
         let w = Workload::new("g", 10, jobs);
         let out = simulate_gang_fcfs(&w, GangConfig::default());

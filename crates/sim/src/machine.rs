@@ -188,7 +188,10 @@ mod tests {
     fn double_start_rejected() {
         let mut m = Machine::new(10);
         m.start(JobId(0), 2, 0, 5).unwrap();
-        assert_eq!(m.start(JobId(0), 2, 1, 6), Err(MachineError::AlreadyRunning(JobId(0))));
+        assert_eq!(
+            m.start(JobId(0), 2, 1, 6),
+            Err(MachineError::AlreadyRunning(JobId(0)))
+        );
     }
 
     #[test]
@@ -208,7 +211,9 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(MachineError::NotRunning(JobId(1)).to_string().contains("not running"));
+        assert!(MachineError::NotRunning(JobId(1))
+            .to_string()
+            .contains("not running"));
     }
 
     #[test]

@@ -8,10 +8,9 @@
 //! [`ScheduleRecord::validate`] re-checks all of that after the fact.
 
 use jobsched_workload::{JobId, Time, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Placement of one job in a finished schedule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct JobPlacement {
     /// Start time.
     pub start: Time,
@@ -63,15 +62,22 @@ impl std::fmt::Display for ScheduleViolation {
             ScheduleViolation::WrongRuntime(id) => {
                 write!(f, "job {id} ran for a wrong duration")
             }
-            ScheduleViolation::Overcommit { time, busy, capacity } => {
-                write!(f, "{busy} busy nodes exceed capacity {capacity} at t={time}")
+            ScheduleViolation::Overcommit {
+                time,
+                busy,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "{busy} busy nodes exceed capacity {capacity} at t={time}"
+                )
             }
         }
     }
 }
 
 /// A completed schedule: start/completion per job, indexed by job id.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ScheduleRecord {
     machine_nodes: u32,
     placements: Vec<Option<JobPlacement>>,
@@ -212,8 +218,18 @@ mod tests {
             "t",
             10,
             vec![
-                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(100).build(),
-                JobBuilder::new(JobId(0)).submit(0).nodes(6).requested(100).runtime(100).build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(6)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(6)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
             ],
         )
     }
@@ -236,7 +252,11 @@ mod tests {
         r.place(JobId(0), 0, 100);
         r.place(JobId(1), 50, 150);
         let v = r.validate(&workload());
-        assert!(v.iter().any(|x| matches!(x, ScheduleViolation::Overcommit { busy: 12, .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, ScheduleViolation::Overcommit { busy: 12, .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -244,7 +264,12 @@ mod tests {
         let w = Workload::new(
             "t",
             10,
-            vec![JobBuilder::new(JobId(0)).submit(50).nodes(1).requested(10).runtime(10).build()],
+            vec![JobBuilder::new(JobId(0))
+                .submit(50)
+                .nodes(1)
+                .requested(10)
+                .runtime(10)
+                .build()],
         );
         let mut r = ScheduleRecord::new(10, 1);
         r.place(JobId(0), 40, 50);
@@ -278,7 +303,12 @@ mod tests {
         let w = Workload::new(
             "t",
             10,
-            vec![JobBuilder::new(JobId(0)).submit(0).nodes(1).requested(60).runtime(500).build()],
+            vec![JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(1)
+                .requested(60)
+                .runtime(500)
+                .build()],
         );
         let mut r = ScheduleRecord::new(10, 1);
         r.place(JobId(0), 0, 60);
@@ -302,8 +332,18 @@ mod tests {
             "t",
             10,
             vec![
-                JobBuilder::new(JobId(0)).submit(0).nodes(10).requested(10).runtime(10).build(),
-                JobBuilder::new(JobId(0)).submit(0).nodes(10).requested(10).runtime(10).build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(10)
+                    .requested(10)
+                    .runtime(10)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(10)
+                    .requested(10)
+                    .runtime(10)
+                    .build(),
             ],
         );
         let mut r = ScheduleRecord::new(10, 2);
@@ -322,7 +362,10 @@ mod tests {
 
     #[test]
     fn response_and_wait_times() {
-        let p = JobPlacement { start: 100, completion: 300 };
+        let p = JobPlacement {
+            start: 100,
+            completion: 300,
+        };
         assert_eq!(p.response_time(50), 250);
         assert_eq!(p.wait_time(50), 50);
     }

@@ -122,13 +122,13 @@ impl TypedMachine {
             }
         }
         // Pass 2: any compatible class.
-        for i in 0..self.classes.len() {
+        for (i, a) in alloc.iter_mut().enumerate() {
             if needed == 0 {
                 break;
             }
-            if alloc[i] == 0 && self.class_compatible(i, job) {
+            if *a == 0 && self.class_compatible(i, job) {
                 let take = needed.min(self.free[i]);
-                alloc[i] = take;
+                *a = take;
                 needed -= take;
             }
         }
@@ -161,7 +161,10 @@ impl TypedMachine {
     pub fn finish(&mut self, alloc: &Allocation) {
         for (i, &take) in alloc.iter().enumerate() {
             self.free[i] += take;
-            assert!(self.free[i] <= self.classes[i].count, "double free in class {i}");
+            assert!(
+                self.free[i] <= self.classes[i].count,
+                "double free in class {i}"
+            );
         }
     }
 }
@@ -173,7 +176,11 @@ impl TypedMachine {
 /// Jobs that are infeasible even on an idle machine are rejected: they
 /// complete instantly at submission (the paper: such jobs "may be
 /// immediately rejected", §2) and are reported separately.
-pub fn simulate_typed_fcfs(workload: &Workload, machine: &mut TypedMachine, type_blind: bool) -> TypedOutcome {
+pub fn simulate_typed_fcfs(
+    workload: &Workload,
+    machine: &mut TypedMachine,
+    type_blind: bool,
+) -> TypedOutcome {
     let mut record = ScheduleRecord::new(machine.total_nodes(), workload.len());
     let mut rejected = Vec::new();
     let mut queue: std::collections::VecDeque<&Job> = std::collections::VecDeque::new();
@@ -273,8 +280,16 @@ mod tests {
 
     fn machine() -> TypedMachine {
         TypedMachine::new(vec![
-            NodeClass { node_type: NodeType::Thin, memory_mb: 256, count: 8 },
-            NodeClass { node_type: NodeType::Wide, memory_mb: 1024, count: 2 },
+            NodeClass {
+                node_type: NodeType::Thin,
+                memory_mb: 256,
+                count: 8,
+            },
+            NodeClass {
+                node_type: NodeType::Wide,
+                memory_mb: 1024,
+                count: 2,
+            },
         ])
     }
 
@@ -341,8 +356,18 @@ mod tests {
         // Two 512 MB jobs need the 2 wide nodes: they serialise even
         // though thin nodes idle. Type-blind, they run concurrently.
         let jobs = vec![
-            JobBuilder::new(JobId(0)).submit(0).nodes(2).memory_mb(512).exact_runtime(100).build(),
-            JobBuilder::new(JobId(0)).submit(0).nodes(2).memory_mb(512).exact_runtime(100).build(),
+            JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(2)
+                .memory_mb(512)
+                .exact_runtime(100)
+                .build(),
+            JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(2)
+                .memory_mb(512)
+                .exact_runtime(100)
+                .build(),
         ];
         let w = Workload::new("t", 10, jobs);
         let typed = simulate_typed_fcfs(&w, &mut machine(), false);
@@ -355,8 +380,17 @@ mod tests {
     #[test]
     fn infeasible_jobs_rejected_not_deadlocked() {
         let jobs = vec![
-            JobBuilder::new(JobId(0)).submit(0).nodes(5).node_type(NodeType::Wide).exact_runtime(50).build(),
-            JobBuilder::new(JobId(0)).submit(10).nodes(1).exact_runtime(50).build(),
+            JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(5)
+                .node_type(NodeType::Wide)
+                .exact_runtime(50)
+                .build(),
+            JobBuilder::new(JobId(0))
+                .submit(10)
+                .nodes(1)
+                .exact_runtime(50)
+                .build(),
         ];
         let w = Workload::new("t", 10, jobs);
         let out = simulate_typed_fcfs(&w, &mut machine(), false);

@@ -8,7 +8,13 @@ use proptest::prelude::*;
 
 /// Brute force: test each instant in `[from, limit]` directly via
 /// `min_free` (itself trivially correct by definition).
-fn brute_earliest_start(p: &Profile, nodes: u32, duration: Time, from: Time, limit: Time) -> Option<Time> {
+fn brute_earliest_start(
+    p: &Profile,
+    nodes: u32,
+    duration: Time,
+    from: Time,
+    limit: Time,
+) -> Option<Time> {
     (from..=limit).find(|&t| p.min_free(t, t + duration.max(1)) >= nodes)
 }
 

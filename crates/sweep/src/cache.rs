@@ -1,0 +1,184 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Layout under the campaign output directory:
+//!
+//! ```text
+//! <out>/cache/<k₀k₁>/<k₀…k₁₅>.json      one RunRecord per cell
+//! ```
+//!
+//! where `k` is the 16-hex-digit cache key from
+//! [`crate::grid::CellSpec::cache_key`] and the two-digit prefix fans
+//! files out over 256 subdirectories. Because the key hashes *every*
+//! input that can influence a run (schema version, workload content
+//! fingerprint, algorithm, objective, cache toggle, derived seed),
+//! re-running a campaign after changing anything re-simulates exactly
+//! the affected cells and serves the rest from disk.
+//!
+//! Robustness rules: a malformed, truncated or schema-stale file is a
+//! *miss* (and is overwritten on the next store), never an error; writes
+//! go through a temp file + rename so a crash mid-write cannot corrupt
+//! an entry; entries whose embedded key disagrees with their file name
+//! are rejected.
+
+use crate::record::RunRecord;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Handle on a cache root directory.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (and create, if needed) the cache under `out/cache`.
+    pub fn open(out_dir: &Path) -> io::Result<Self> {
+        let root = out_dir.join("cache");
+        std::fs::create_dir_all(&root)?;
+        Ok(ResultCache { root })
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path an entry for `key` lives at.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        debug_assert_eq!(key.len(), 16, "cache keys are 16 hex digits");
+        self.root.join(&key[..2]).join(format!("{key}.json"))
+    }
+
+    /// Look a record up. Any unreadable or inconsistent entry is a miss.
+    pub fn get(&self, key: &str) -> Option<RunRecord> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let record = RunRecord::from_json_str(&text)?;
+        (record.key == key).then_some(record)
+    }
+
+    /// Persist a record under its own key (atomic via temp + rename).
+    pub fn put(&self, record: &RunRecord) -> io::Result<()> {
+        let path = self.entry_path(&record.key);
+        let dir = path.parent().expect("entry paths have a parent");
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(".{}.tmp", record.key));
+        std::fs::write(&tmp, record.to_json().to_string_compact())?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Number of entries on disk (diagnostics; walks the fan-out dirs).
+    pub fn len(&self) -> usize {
+        let Ok(prefixes) = std::fs::read_dir(&self.root) else {
+            return 0;
+        };
+        prefixes
+            .flatten()
+            .filter_map(|p| std::fs::read_dir(p.path()).ok())
+            .flat_map(|entries| entries.flatten())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{CellSpec, WorkloadSpec};
+    use jobsched_algos::AlgorithmSpec;
+    use jobsched_core::experiment::{EngineCounts, EvalCell};
+    use jobsched_core::objective_select::ObjectiveKind;
+    use std::time::Duration;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("jobsched-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn record(seed: u64) -> RunRecord {
+        let spec = CellSpec {
+            table: 0,
+            workload: WorkloadSpec::Randomized { jobs: 5, seed },
+            objective: ObjectiveKind::AvgResponseTime,
+            algorithm: AlgorithmSpec::reference(),
+            caching: true,
+            seed,
+        };
+        let cell = EvalCell::from_parts(
+            spec.algorithm,
+            123.0,
+            Duration::from_nanos(10),
+            500,
+            0.8,
+            EngineCounts::default(),
+        );
+        RunRecord::from_cell(
+            &spec,
+            spec.cache_key(seed),
+            "r",
+            seed,
+            5,
+            16,
+            &cell,
+            Duration::ZERO,
+        )
+    }
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        let r = record(1);
+        cache.put(&r).unwrap();
+        assert_eq!(cache.get(&r.key), Some(r.clone()));
+        assert_eq!(cache.len(), 1);
+        // Fan-out: entry sits under the two-hex-digit prefix dir.
+        assert!(cache
+            .entry_path(&r.key)
+            .starts_with(dir.join("cache").join(&r.key[..2])));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_are_misses() {
+        let dir = tmpdir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        let r = record(2);
+        cache.put(&r).unwrap();
+        // Truncate the entry: miss, not error.
+        std::fs::write(cache.entry_path(&r.key), "{\"schema\":1,").unwrap();
+        assert_eq!(cache.get(&r.key), None);
+        // Store a valid record under a *wrong* file name: key check rejects.
+        let other = record(3);
+        std::fs::write(
+            cache.entry_path(&r.key),
+            other.to_json().to_string_compact(),
+        )
+        .unwrap();
+        assert_eq!(cache.get(&r.key), None);
+        // Missing entry: miss.
+        assert_eq!(cache.get("deadbeefdeadbeef"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let dir = tmpdir("overwrite");
+        let cache = ResultCache::open(&dir).unwrap();
+        let mut r = record(4);
+        cache.put(&r).unwrap();
+        r.cost = 999.0;
+        cache.put(&r).unwrap();
+        assert_eq!(cache.get(&r.key).unwrap().cost, 999.0);
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

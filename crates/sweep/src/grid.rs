@@ -1,0 +1,489 @@
+//! The campaign grid: declarative descriptions of every cell of the
+//! evaluation matrix.
+//!
+//! A *campaign* is a set of (workload × objective × algorithm × seed)
+//! cells plus the table layouts that consume them. Workloads are
+//! described declaratively ([`WorkloadSpec`]) rather than by value so
+//! that a campaign definition is cheap to build, hashable, and
+//! serialisable into the manifest; the runner materialises each distinct
+//! spec exactly once and shares it across cells.
+
+use crate::hash::StableHasher;
+use crate::json::Json;
+use jobsched_algos::spec::PolicyKind;
+use jobsched_algos::{AlgorithmSpec, BackfillMode};
+use jobsched_core::experiment::Scale;
+use jobsched_core::objective_select::ObjectiveKind;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use jobsched_workload::exact::with_exact_estimates;
+use jobsched_workload::probabilistic::probabilistic_workload;
+use jobsched_workload::randomized::randomized_workload;
+use jobsched_workload::rng::derive_seed;
+use jobsched_workload::Workload;
+
+/// Declarative description of one evaluation workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WorkloadSpec {
+    /// The §6.1 prepared CTC-like trace.
+    Ctc {
+        /// Number of jobs to generate.
+        jobs: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The §6.1 trace with exact execution times (Table 6).
+    CtcExact {
+        /// Number of jobs to generate.
+        jobs: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The §6.2 probability-distribution workload, fitted on a CTC base.
+    Probabilistic {
+        /// Jobs in the CTC base trace the model is fitted on.
+        base_jobs: usize,
+        /// Seed of the base trace.
+        base_seed: u64,
+        /// Number of jobs to resample.
+        jobs: usize,
+        /// Resampling seed.
+        seed: u64,
+    },
+    /// The §6.3 totally randomized workload (Table 2).
+    Randomized {
+        /// Number of jobs to generate.
+        jobs: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materialise the workload this spec describes.
+    pub fn generate(&self) -> Workload {
+        match *self {
+            WorkloadSpec::Ctc { jobs, seed } => prepared_ctc_workload(jobs, seed),
+            WorkloadSpec::CtcExact { jobs, seed } => {
+                with_exact_estimates(&prepared_ctc_workload(jobs, seed))
+            }
+            WorkloadSpec::Probabilistic {
+                base_jobs,
+                base_seed,
+                jobs,
+                seed,
+            } => {
+                let base = prepared_ctc_workload(base_jobs, base_seed);
+                probabilistic_workload(&base, jobs, seed)
+            }
+            WorkloadSpec::Randomized { jobs, seed } => randomized_workload(jobs, seed),
+        }
+    }
+
+    /// Stable kind tag used in JSON artifacts and cache keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Ctc { .. } => "ctc",
+            WorkloadSpec::CtcExact { .. } => "ctc-exact",
+            WorkloadSpec::Probabilistic { .. } => "probabilistic",
+            WorkloadSpec::Randomized { .. } => "randomized",
+        }
+    }
+
+    /// The generator seed of the final sampling stage.
+    pub fn seed(&self) -> u64 {
+        match *self {
+            WorkloadSpec::Ctc { seed, .. }
+            | WorkloadSpec::CtcExact { seed, .. }
+            | WorkloadSpec::Probabilistic { seed, .. }
+            | WorkloadSpec::Randomized { seed, .. } => seed,
+        }
+    }
+
+    /// JSON form used in the manifest.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("kind", Json::Str(self.kind().into())),
+            ("seed", Json::UInt(self.seed())),
+        ];
+        match *self {
+            WorkloadSpec::Ctc { jobs, .. }
+            | WorkloadSpec::CtcExact { jobs, .. }
+            | WorkloadSpec::Randomized { jobs, .. } => {
+                pairs.push(("jobs", Json::UInt(jobs as u64)));
+            }
+            WorkloadSpec::Probabilistic {
+                base_jobs,
+                base_seed,
+                jobs,
+                ..
+            } => {
+                pairs.push(("jobs", Json::UInt(jobs as u64)));
+                pairs.push(("base_jobs", Json::UInt(base_jobs as u64)));
+                pairs.push(("base_seed", Json::UInt(base_seed)));
+            }
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// Stable tag for a policy kind (cache keys, JSON).
+pub fn policy_tag(kind: PolicyKind) -> &'static str {
+    match kind {
+        PolicyKind::Fcfs => "fcfs",
+        PolicyKind::Psrs => "psrs",
+        PolicyKind::SmartFfia => "smart-ffia",
+        PolicyKind::SmartNfiw => "smart-nfiw",
+        PolicyKind::GareyGraham => "garey-graham",
+    }
+}
+
+/// Parse a [`policy_tag`] back.
+pub fn parse_policy_tag(tag: &str) -> Option<PolicyKind> {
+    PolicyKind::ALL.into_iter().find(|&k| policy_tag(k) == tag)
+}
+
+/// Stable tag for a backfill mode (cache keys, JSON).
+pub fn backfill_tag(mode: BackfillMode) -> &'static str {
+    match mode {
+        BackfillMode::None => "none",
+        BackfillMode::Conservative => "conservative",
+        BackfillMode::Easy => "easy",
+    }
+}
+
+/// Parse a [`backfill_tag`] back.
+pub fn parse_backfill_tag(tag: &str) -> Option<BackfillMode> {
+    [
+        BackfillMode::None,
+        BackfillMode::Conservative,
+        BackfillMode::Easy,
+    ]
+    .into_iter()
+    .find(|&m| backfill_tag(m) == tag)
+}
+
+/// Stable tag for an objective (cache keys, JSON).
+pub fn objective_tag(objective: ObjectiveKind) -> &'static str {
+    match objective {
+        ObjectiveKind::AvgResponseTime => "art",
+        ObjectiveKind::AvgWeightedResponseTime => "awrt",
+    }
+}
+
+/// Parse an [`objective_tag`] back.
+pub fn parse_objective_tag(tag: &str) -> Option<ObjectiveKind> {
+    match tag {
+        "art" => Some(ObjectiveKind::AvgResponseTime),
+        "awrt" => Some(ObjectiveKind::AvgWeightedResponseTime),
+        _ => None,
+    }
+}
+
+/// One cell of a campaign: a single simulation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Index of the table this cell belongs to (into `Campaign::tables`).
+    pub table: usize,
+    /// Workload to simulate.
+    pub workload: WorkloadSpec,
+    /// Objective the cost is measured under.
+    pub objective: ObjectiveKind,
+    /// Algorithm configuration.
+    pub algorithm: AlgorithmSpec,
+    /// Whether the schedulers' incremental cache is enabled (off for the
+    /// paper's computation-time Tables 7–8).
+    pub caching: bool,
+    /// Cell-specific RNG seed, derived from the workload seed and the
+    /// cell's position so every cell owns an independent stream no
+    /// matter which worker thread executes it. (The current schedulers
+    /// are deterministic and do not consume it; it is part of the cache
+    /// key so future randomized algorithms stay correctly keyed.)
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// The content-addressed cache key of this cell given the
+    /// fingerprint of its materialised workload.
+    ///
+    /// Everything that can influence the simulation result is hashed:
+    /// schema version, workload content, algorithm, objective, cache
+    /// toggle and the derived seed. Table membership deliberately is
+    /// *not* — two tables referencing an identical run share one cache
+    /// entry.
+    pub fn cache_key(&self, workload_fingerprint: u64) -> String {
+        let mut h = StableHasher::new();
+        h.write_u64(crate::record::SCHEMA_VERSION as u64)
+            .write_u64(workload_fingerprint)
+            .write_str(policy_tag(self.algorithm.kind))
+            .write_str(backfill_tag(self.algorithm.backfill))
+            .write_str(objective_tag(self.objective))
+            .write_u64(self.caching as u64)
+            .write_u64(self.seed);
+        h.finish_hex()
+    }
+}
+
+/// Layout of one rendered table: which cells belong to it and how the
+/// repro driver should print it.
+#[derive(Clone, Debug)]
+pub struct TableDef {
+    /// Stable identifier ("table3-unweighted").
+    pub id: String,
+    /// Human title, printed above the table.
+    pub title: String,
+    /// The workload all cells of this table share.
+    pub workload: WorkloadSpec,
+    /// The objective all cells share.
+    pub objective: ObjectiveKind,
+    /// Whether this is a computation-time table (Tables 7–8 rendering).
+    pub cpu_table: bool,
+}
+
+/// A full campaign: table definitions plus the flat cell list.
+#[derive(Clone, Debug, Default)]
+pub struct Campaign {
+    /// Campaign name, recorded in the manifest.
+    pub name: String,
+    /// Table layouts, in print order.
+    pub tables: Vec<TableDef>,
+    /// All cells, in deterministic definition order.
+    pub cells: Vec<CellSpec>,
+}
+
+impl Campaign {
+    /// Empty campaign.
+    pub fn new(name: impl Into<String>) -> Self {
+        Campaign {
+            name: name.into(),
+            tables: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append one 13-cell paper matrix as a table.
+    pub fn push_matrix(
+        &mut self,
+        id: impl Into<String>,
+        title: impl Into<String>,
+        workload: WorkloadSpec,
+        objective: ObjectiveKind,
+        caching: bool,
+        cpu_table: bool,
+    ) {
+        let table = self.tables.len();
+        self.tables.push(TableDef {
+            id: id.into(),
+            title: title.into(),
+            workload,
+            objective,
+            cpu_table,
+        });
+        for (i, algorithm) in AlgorithmSpec::paper_matrix().into_iter().enumerate() {
+            self.cells.push(CellSpec {
+                table,
+                workload,
+                objective,
+                algorithm,
+                caching,
+                // Stream index = stable position of the cell within its
+                // table; identical for every thread count and campaign
+                // composition.
+                seed: derive_seed(workload.seed(), i as u64),
+            });
+        }
+    }
+
+    /// The paper's Tables 3–8 for the ids in `wanted` (e.g. `"table3"`),
+    /// at the given scale. Each of Tables 3–6 contributes an unweighted
+    /// (ART) and a weighted (AWRT) section; Tables 7–8 re-run the CTC and
+    /// probabilistic matrices with the schedulers' incremental cache
+    /// disabled, which is the paper's computation-time measurement
+    /// condition.
+    pub fn paper_tables(scale: Scale, wanted: &[&str]) -> Campaign {
+        let ctc = WorkloadSpec::Ctc {
+            jobs: scale.ctc_jobs,
+            seed: scale.seed,
+        };
+        let prob = WorkloadSpec::Probabilistic {
+            base_jobs: scale.ctc_jobs,
+            base_seed: scale.seed,
+            jobs: scale.synthetic_jobs,
+            seed: scale.seed + 1,
+        };
+        let rand = WorkloadSpec::Randomized {
+            jobs: scale.synthetic_jobs,
+            seed: scale.seed + 2,
+        };
+        let exact = WorkloadSpec::CtcExact {
+            jobs: scale.ctc_jobs,
+            seed: scale.seed,
+        };
+
+        let mut c = Campaign::new("paper-tables");
+        let pair = |c: &mut Campaign, id: &str, title: &str, w, caching, cpu| {
+            for (suffix, obj, case) in [
+                (
+                    "unweighted",
+                    ObjectiveKind::AvgResponseTime,
+                    "unweighted case",
+                ),
+                (
+                    "weighted",
+                    ObjectiveKind::AvgWeightedResponseTime,
+                    "weighted case",
+                ),
+            ] {
+                c.push_matrix(
+                    format!("{id}-{suffix}"),
+                    format!("{title} ({case})"),
+                    w,
+                    obj,
+                    caching,
+                    cpu,
+                );
+            }
+        };
+        for id in wanted {
+            match *id {
+                "table3" => pair(&mut c, "table3", "Table 3: CTC workload", ctc, true, false),
+                "table4" => pair(
+                    &mut c,
+                    "table4",
+                    "Table 4: probability-distributed workload",
+                    prob,
+                    true,
+                    false,
+                ),
+                "table5" => pair(
+                    &mut c,
+                    "table5",
+                    "Table 5: randomized workload",
+                    rand,
+                    true,
+                    false,
+                ),
+                "table6" => pair(
+                    &mut c,
+                    "table6",
+                    "Table 6: CTC workload, exact execution times",
+                    exact,
+                    true,
+                    false,
+                ),
+                "table7" => pair(
+                    &mut c,
+                    "table7",
+                    "Table 7: computation time, CTC workload",
+                    ctc,
+                    false,
+                    true,
+                ),
+                "table8" => pair(
+                    &mut c,
+                    "table8",
+                    "Table 8: computation time, probabilistic workload",
+                    prob,
+                    false,
+                    true,
+                ),
+                other => panic!("unknown table id '{other}'"),
+            }
+        }
+        c
+    }
+
+    /// Distinct workload specs referenced by this campaign, in
+    /// deterministic order.
+    pub fn distinct_workloads(&self) -> Vec<WorkloadSpec> {
+        let mut set: Vec<WorkloadSpec> = self.cells.iter().map(|c| c.workload).collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> Scale {
+        Scale {
+            ctc_jobs: 100,
+            synthetic_jobs: 80,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn full_campaign_has_156_cells() {
+        let c = Campaign::paper_tables(
+            scale(),
+            &["table3", "table4", "table5", "table6", "table7", "table8"],
+        );
+        assert_eq!(c.tables.len(), 12);
+        assert_eq!(c.cells.len(), 12 * 13);
+        // Tables 3+7 and 4+8 share workloads; 4 distinct specs total.
+        assert_eq!(c.distinct_workloads().len(), 4);
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for k in PolicyKind::ALL {
+            assert_eq!(parse_policy_tag(policy_tag(k)), Some(k));
+        }
+        for m in [
+            BackfillMode::None,
+            BackfillMode::Conservative,
+            BackfillMode::Easy,
+        ] {
+            assert_eq!(parse_backfill_tag(backfill_tag(m)), Some(m));
+        }
+        for o in [
+            ObjectiveKind::AvgResponseTime,
+            ObjectiveKind::AvgWeightedResponseTime,
+        ] {
+            assert_eq!(parse_objective_tag(objective_tag(o)), Some(o));
+        }
+        assert_eq!(parse_policy_tag("nope"), None);
+    }
+
+    #[test]
+    fn cache_key_separates_inputs() {
+        let c = Campaign::paper_tables(scale(), &["table3"]);
+        let keys: std::collections::BTreeSet<String> =
+            c.cells.iter().map(|cell| cell.cache_key(7)).collect();
+        assert_eq!(keys.len(), c.cells.len(), "13 distinct keys per matrix");
+        // Same cell, different workload content → different key.
+        assert_ne!(c.cells[0].cache_key(7), c.cells[0].cache_key(8));
+    }
+
+    #[test]
+    fn table7_shares_workload_but_not_keys_with_table3() {
+        let c = Campaign::paper_tables(scale(), &["table3", "table7"]);
+        // Same workload spec...
+        assert_eq!(c.tables[0].workload, c.tables[2].workload);
+        // ...but caching differs, so the cells do not collide in the cache.
+        assert_ne!(c.cells[0].cache_key(1), c.cells[2 * 13].cache_key(1));
+    }
+
+    #[test]
+    fn generated_workloads_match_specs() {
+        let w = WorkloadSpec::Randomized { jobs: 50, seed: 9 }.generate();
+        assert_eq!(w.len(), 50);
+        let e = WorkloadSpec::CtcExact { jobs: 60, seed: 9 }.generate();
+        for j in e.jobs() {
+            assert_eq!(j.requested_time, j.runtime.max(1));
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_position_stable() {
+        let a = Campaign::paper_tables(scale(), &["table3"]);
+        let b = Campaign::paper_tables(scale(), &["table4", "table3"]);
+        // table3's cells carry the same derived seeds wherever the table
+        // sits in the campaign.
+        let a3: Vec<u64> = a.cells.iter().map(|c| c.seed).collect();
+        let b3: Vec<u64> = b.cells[2 * 13..].iter().map(|c| c.seed).collect();
+        assert_eq!(a3, b3);
+    }
+}

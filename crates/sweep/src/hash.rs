@@ -1,0 +1,151 @@
+//! Stable content hashing for cache keys and workload fingerprints.
+//!
+//! `std::hash` offers no stability guarantee across releases or
+//! processes (and `DefaultHasher` is explicitly randomizable), so the
+//! result cache uses its own FNV-1a 64-bit hasher: trivial, fast on the
+//! short inputs involved, and byte-for-byte reproducible everywhere. A
+//! cache key must never change meaning silently — bump
+//! [`crate::record::SCHEMA_VERSION`] (which is mixed into every key)
+//! whenever hashed content or semantics change.
+
+use jobsched_workload::Workload;
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl StableHasher {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, n: u64) -> &mut Self {
+        self.write(&n.to_le_bytes())
+    }
+
+    /// Absorb a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// Final digest as the 16-hex-digit form used for cache file names.
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+/// Fingerprint of a workload's full job content.
+///
+/// Hashes every job's scheduling-relevant fields plus the machine size
+/// and name, so any change to a generator, a trace file or a preparation
+/// step yields a different fingerprint — and therefore different cache
+/// keys for every run over that workload.
+pub fn workload_fingerprint(w: &Workload) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(w.name()).write_u64(w.machine_nodes() as u64);
+    h.write_u64(w.len() as u64);
+    for j in w.jobs() {
+        h.write_u64(j.id.0 as u64)
+            .write_u64(j.submit)
+            .write_u64(j.nodes as u64)
+            .write_u64(j.requested_time)
+            .write_u64(j.runtime)
+            .write_u64(j.user as u64);
+    }
+    h.finish()
+}
+
+/// Render a digest in the 16-hex-digit form used throughout the cache.
+pub fn hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_workload::{JobBuilder, JobId};
+
+    fn tiny(name: &str, runtime: u64) -> Workload {
+        Workload::new(
+            name,
+            16,
+            vec![JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(2)
+                .requested(runtime + 10)
+                .runtime(runtime)
+                .build()],
+        )
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(StableHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(
+            StableHasher::new().write(b"a").finish(),
+            0xaf63_dc4c_8601_ec8c
+        );
+        assert_eq!(
+            StableHasher::new().write(b"foobar").finish(),
+            0x85944171f73967e8
+        );
+    }
+
+    #[test]
+    fn length_prefix_disambiguates() {
+        let mut a = StableHasher::new();
+        a.write_str("ab").write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        assert_eq!(
+            workload_fingerprint(&tiny("w", 100)),
+            workload_fingerprint(&tiny("w", 100))
+        );
+        assert_ne!(
+            workload_fingerprint(&tiny("w", 100)),
+            workload_fingerprint(&tiny("w", 101))
+        );
+        assert_ne!(
+            workload_fingerprint(&tiny("w", 100)),
+            workload_fingerprint(&tiny("v", 100))
+        );
+    }
+
+    #[test]
+    fn hex_is_sixteen_digits() {
+        assert_eq!(hex(0), "0000000000000000");
+        assert_eq!(hex(u64::MAX), "ffffffffffffffff");
+    }
+}

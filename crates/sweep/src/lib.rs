@@ -1,0 +1,45 @@
+//! `jobsched-sweep`: deterministic parallel campaign runner for the
+//! paper's evaluation grid.
+//!
+//! The paper's experiments are one large sweep: every algorithm of the
+//! §5 matrix × every workload of §6 × both objectives, each a full
+//! event-driven simulation. This crate turns that grid into a
+//! *campaign* — a declarative [`grid::Campaign`] of independent cells —
+//! and runs it on a work-stealing thread pool with a content-addressed
+//! on-disk result cache:
+//!
+//! * [`grid`] — declarative cell grid ([`grid::WorkloadSpec`],
+//!   [`grid::CellSpec`], [`grid::Campaign::paper_tables`]) with
+//!   position-stable derived seeds;
+//! * [`pool`] — work-stealing worker pool on `std::thread` + channels,
+//!   results reassembled by task index so output order is independent of
+//!   thread count;
+//! * [`record`] — [`record::RunRecord`], one JSON artifact per run,
+//!   split into a deterministic payload and timing metadata;
+//! * [`cache`] — content-addressed result cache
+//!   (`<out>/cache/<2hex>/<16hex>.json`), corrupt entries are misses;
+//! * [`manifest`] — the campaign manifest tying records to tables;
+//! * [`hash`] / [`json`] — stable FNV-1a hashing and a hand-rolled JSON
+//!   reader/writer (the build is fully offline: no serde);
+//! * [`runner`] — [`runner::run_campaign`] gluing it all together;
+//! * [`progress`] — throttled stderr progress reporting.
+//!
+//! Determinism contract: for a fixed campaign definition the
+//! deterministic payload of every record — and therefore every
+//! assembled table — is bit-identical regardless of `jobs`, cache
+//! state, or which worker thread ran which cell.
+
+pub mod cache;
+pub mod grid;
+pub mod hash;
+pub mod json;
+pub mod manifest;
+pub mod pool;
+pub mod progress;
+pub mod record;
+pub mod runner;
+
+pub use cache::ResultCache;
+pub use grid::{Campaign, CellSpec, TableDef, WorkloadSpec};
+pub use record::{RunRecord, SCHEMA_VERSION};
+pub use runner::{run_campaign, CampaignOutcome, SweepOptions};

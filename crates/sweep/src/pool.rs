@@ -1,0 +1,161 @@
+//! Work-stealing worker pool on `std::thread` + channels.
+//!
+//! The evaluation grid is embarrassingly parallel but wildly uneven: a
+//! paper-scale FCFS cell simulates in seconds while SMART over the same
+//! workload can take orders of magnitude longer (Tables 7–8 exist to
+//! measure exactly that spread). Static chunking would leave most
+//! workers idle behind the slowest chunk, so each worker owns a deque
+//! seeded round-robin and steals from its peers once drained — the
+//! classic two-ended discipline (own work from the front, steal from the
+//! back) without any external crate: deques are `Mutex`-guarded (cells
+//! run for milliseconds to minutes, so lock traffic is noise) and
+//! results flow back over an `mpsc` channel.
+//!
+//! Determinism: results are reassembled **by task index**, so the output
+//! order — and everything downstream, including table assembly and
+//! manifest contents — is independent of the thread count and of which
+//! worker ran which task.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Run `f` over every task on `jobs` workers; returns results in task
+/// order. `jobs == 1` runs inline on the calling thread with no pool at
+/// all (exact serial semantics, useful as the determinism baseline).
+pub fn run_indexed<T, R, F>(jobs: usize, tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let jobs = jobs.max(1);
+    if jobs == 1 || tasks.len() <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let n = tasks.len();
+    let workers = jobs.min(n);
+    // Round-robin seeding: task i goes to deque i % workers. Queues hold
+    // (index, task) so stealing cannot scramble the output order.
+    let mut queues: Vec<VecDeque<(usize, T)>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, t) in tasks.into_iter().enumerate() {
+        queues[i % workers].push_back((i, t));
+    }
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> = queues.into_iter().map(Mutex::new).collect();
+
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    // Own queue first (front = seeded order)...
+                    let task = queues[me].lock().expect("pool poisoned").pop_front();
+                    let (i, t) = match task {
+                        Some(pair) => pair,
+                        None => {
+                            // ...then steal from the back of a peer's.
+                            let mut stolen = None;
+                            for d in 1..workers {
+                                let victim = (me + d) % workers;
+                                if let Some(pair) =
+                                    queues[victim].lock().expect("pool poisoned").pop_back()
+                                {
+                                    stolen = Some(pair);
+                                    break;
+                                }
+                            }
+                            match stolen {
+                                Some(pair) => pair,
+                                // Every deque empty: in-flight tasks can't
+                                // be stolen, so this worker is done.
+                                None => return,
+                            }
+                        }
+                    };
+                    if tx.send((i, f(i, t))).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("every task produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_task_order() {
+        let tasks: Vec<usize> = (0..100).collect();
+        let out = run_indexed(8, tasks, |i, t| {
+            assert_eq!(i, t);
+            // Invert the natural completion order a little.
+            if t % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            t * 3
+        });
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |_: usize, t: u64| -> u64 {
+            // Deterministic CPU-bound transform.
+            (0..t % 1000).fold(t, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+        };
+        let tasks: Vec<u64> = (0..64).map(|i| i * 123_457).collect();
+        let serial = run_indexed(1, tasks.clone(), work);
+        let parallel = run_indexed(8, tasks, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn uneven_tasks_get_stolen() {
+        // One huge task on worker 0's deque plus many small ones; with
+        // stealing, total wall-clock stays near the huge task alone.
+        let touched = AtomicUsize::new(0);
+        let tasks: Vec<u64> = (0..32).collect();
+        let out = run_indexed(4, tasks, |_, t| {
+            touched.fetch_add(1, Ordering::Relaxed);
+            if t == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            t
+        });
+        assert_eq!(touched.load(Ordering::Relaxed), 32);
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = run_indexed(16, vec![1u32, 2], |_, t| t + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let out: Vec<u32> = run_indexed(4, Vec::<u32>::new(), |_, t| t);
+        assert!(out.is_empty());
+    }
+}

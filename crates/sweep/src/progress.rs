@@ -1,0 +1,124 @@
+//! Campaign progress reporting on stderr.
+//!
+//! One line per report — `cells done/total (pct) elapsed … ETA …` — so
+//! output is readable both on a terminal and in a CI log. Reports are
+//! throttled (at most ~5/s) and always emitted for the final cell; the
+//! ETA is the elapsed-time extrapolation over remaining cells, which is
+//! honest enough for grids whose cells vary widely (it converges as the
+//! big cells finish).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared progress state; cheap to tick from worker threads.
+pub struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    last_print: Mutex<Instant>,
+    enabled: AtomicBool,
+    label: String,
+}
+
+impl Progress {
+    /// New tracker over `total` cells. Disabled trackers never print.
+    pub fn new(label: &str, total: usize, enabled: bool) -> Self {
+        let now = Instant::now();
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            start: now,
+            // Back-date so the very first completion may print.
+            last_print: Mutex::new(now - Duration::from_secs(1)),
+            enabled: AtomicBool::new(enabled),
+            label: label.to_string(),
+        }
+    }
+
+    /// Count of completed cells.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Record one completed cell, printing a throttled report.
+    pub fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let final_cell = done == self.total;
+        {
+            let mut last = self.last_print.lock().expect("progress poisoned");
+            if !final_cell && last.elapsed() < Duration::from_millis(200) {
+                return;
+            }
+            *last = Instant::now();
+        }
+        eprintln!("{}", self.line(done));
+    }
+
+    fn line(&self, done: usize) -> String {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let pct = 100.0 * done as f64 / self.total.max(1) as f64;
+        let eta = if done > 0 && done < self.total {
+            let remaining = elapsed / done as f64 * (self.total - done) as f64;
+            format!(" ETA {}", human(remaining))
+        } else {
+            String::new()
+        };
+        format!(
+            "[{}] {done}/{} cells ({pct:.0}%) elapsed {}{eta}",
+            self.label,
+            self.total,
+            human(elapsed),
+        )
+    }
+}
+
+/// Compact human duration ("12s", "3m40s", "1h02m").
+fn human(seconds: f64) -> String {
+    let s = seconds.round() as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_accumulate() {
+        let p = Progress::new("test", 3, false);
+        p.tick();
+        p.tick();
+        assert_eq!(p.done(), 2);
+    }
+
+    #[test]
+    fn line_reports_counts_and_eta() {
+        let p = Progress::new("sweep", 10, false);
+        for _ in 0..5 {
+            p.tick();
+        }
+        let line = p.line(5);
+        assert!(line.contains("[sweep] 5/10 cells (50%)"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+        // Final cell: no ETA.
+        assert!(!p.line(10).contains("ETA"));
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human(0.4), "0s");
+        assert_eq!(human(59.0), "59s");
+        assert_eq!(human(61.0), "1m01s");
+        assert_eq!(human(220.0), "3m40s");
+        assert_eq!(human(3720.0), "1h02m");
+    }
+}

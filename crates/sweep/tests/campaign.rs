@@ -1,0 +1,141 @@
+//! Integration tests of the sweep subsystem: golden-value regression,
+//! thread-count determinism, and cache resume behaviour.
+
+use jobsched_algos::AlgorithmSpec;
+use jobsched_core::experiment::Scale;
+use jobsched_core::objective_select::ObjectiveKind;
+use jobsched_sweep::{run_campaign, Campaign, SweepOptions, WorkloadSpec};
+use std::path::PathBuf;
+
+fn small_scale() -> Scale {
+    Scale {
+        ctc_jobs: 300,
+        synthetic_jobs: 200,
+        seed: 1999,
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "jobsched-campaign-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Golden-value regression: ART and AWRT of the FCFS+EASY reference cell
+/// on the seeded synthetic (randomized) workload. These pins are the
+/// sweep-level tripwire for the whole stack — workload generation (our
+/// xoshiro256++ RNG), the simulation engine, backfilling and the metric —
+/// and must only change on a deliberate, documented change to any of
+/// those (bump `SCHEMA_VERSION` when they do).
+#[test]
+fn golden_fcfs_easy_on_seeded_synthetic_workload() {
+    let c = Campaign::paper_tables(small_scale(), &["table5"]);
+    assert!(matches!(
+        c.tables[0].workload,
+        WorkloadSpec::Randomized {
+            jobs: 200,
+            seed: 2001
+        }
+    ));
+    let out = run_campaign(&c, &SweepOptions::default()).unwrap();
+
+    let reference = |table: usize| {
+        out.tables[table]
+            .cell(AlgorithmSpec::reference())
+            .expect("reference cell present")
+    };
+    assert_eq!(out.tables[0].objective, ObjectiveKind::AvgResponseTime);
+    assert_eq!(reference(0).cost, 586704.765);
+    assert_eq!(
+        out.tables[1].objective,
+        ObjectiveKind::AvgWeightedResponseTime
+    );
+    assert_eq!(reference(1).cost, 1862379558893.465);
+
+    // The records carry the same costs as the assembled tables.
+    let rec = out
+        .records
+        .iter()
+        .find(|r| {
+            r.algorithm == AlgorithmSpec::reference()
+                && r.objective == ObjectiveKind::AvgResponseTime
+        })
+        .unwrap();
+    assert_eq!(rec.cost, 586704.765);
+}
+
+/// `--jobs 1` and `--jobs 8` must produce identical RunRecords: same
+/// cells, same order, same deterministic payloads.
+#[test]
+fn jobs_1_and_jobs_8_produce_identical_records() {
+    let c = Campaign::paper_tables(small_scale(), &["table3", "table5"]);
+    let serial = run_campaign(
+        &c,
+        &SweepOptions {
+            jobs: 1,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    let parallel = run_campaign(
+        &c,
+        &SweepOptions {
+            jobs: 8,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(serial.records.len(), parallel.records.len());
+    for (a, b) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+    // Assembled tables agree cell by cell too.
+    for (ta, tb) in serial.tables.iter().zip(&parallel.tables) {
+        for (ca, cb) in ta.cells.iter().zip(&tb.cells) {
+            assert_eq!(ca.cost, cb.cost);
+            assert_eq!(ca.pct, cb.pct);
+            assert_eq!(ca.makespan, cb.makespan);
+        }
+    }
+}
+
+/// A second `--resume` run against a warm cache re-simulates zero cells
+/// and still reproduces the same records — across different thread
+/// counts on both sides.
+#[test]
+fn resume_after_parallel_run_simulates_nothing() {
+    let dir = tmpdir("resume-parallel");
+    let c = Campaign::paper_tables(small_scale(), &["table5"]);
+    let first = run_campaign(
+        &c,
+        &SweepOptions {
+            jobs: 8,
+            out: Some(dir.clone()),
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(first.simulated, 26);
+
+    let second = run_campaign(
+        &c,
+        &SweepOptions {
+            jobs: 1,
+            out: Some(dir.clone()),
+            resume: true,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(second.simulated, 0);
+    assert_eq!(second.cached, 26);
+    for (a, b) in first.records.iter().zip(&second.records) {
+        assert!(a.deterministically_eq(b));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

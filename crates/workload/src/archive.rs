@@ -16,11 +16,10 @@
 
 use crate::job::Time;
 use crate::trace::Workload;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Standard Workload Format header metadata (the commonly used subset).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SwfHeader {
     /// SWF version.
     pub version: Option<String>,
@@ -84,7 +83,7 @@ impl SwfHeader {
 }
 
 /// One anomaly found (and fixed) by [`clean`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Anomaly {
     /// A job requested more nodes than the machine has; dropped.
     WiderThanMachine {
@@ -224,11 +223,7 @@ mod tests {
 
     #[test]
     fn clean_repairs_estimates() {
-        let w = Workload::new(
-            "dirty",
-            64,
-            vec![raw(4, 0, 500), raw(4, 10_000_000, 100)],
-        );
+        let w = Workload::new("dirty", 64, vec![raw(4, 0, 500), raw(4, 10_000_000, 100)]);
         let r = clean(&w, 86_400);
         assert_eq!(r.workload.len(), 2);
         assert_eq!(r.workload.jobs()[0].requested_time, 500);
@@ -237,7 +232,9 @@ mod tests {
             r.anomalies,
             vec![
                 Anomaly::MissingEstimate,
-                Anomaly::EstimateAboveCap { estimate: 10_000_000 }
+                Anomaly::EstimateAboveCap {
+                    estimate: 10_000_000
+                }
             ]
         );
     }

@@ -41,9 +41,8 @@ pub fn fit_ctc_model(trace: &Workload) -> Calibration {
     assert!(trace.len() >= 2, "need at least two jobs to calibrate");
     let jobs = trace.jobs();
 
-    let interarrival = Summary::from_iter(
-        jobs.windows(2).map(|p| (p[1].submit - p[0].submit) as f64),
-    );
+    let interarrival =
+        Summary::from_iter(jobs.windows(2).map(|p| (p[1].submit - p[0].submit) as f64));
     // Log-domain moments of the effective runtime give the log-normal fit
     // directly: μ = E[ln x], σ = std[ln x].
     let log_runtime = Summary::from_iter(
@@ -55,7 +54,7 @@ pub fn fit_ctc_model(trace: &Workload) -> Calibration {
     let users = jobs
         .iter()
         .map(|j| j.user)
-        .collect::<std::collections::HashSet<_>>()
+        .collect::<std::collections::BTreeSet<_>>()
         .len() as u32;
     let max_nodes = jobs.iter().map(|j| j.nodes).max().unwrap_or(1);
 
@@ -115,8 +114,15 @@ mod tests {
         let base = prepared_ctc_workload(3_000, 9);
         let cal = fit_ctc_model(&base);
         assert!(cal.users > 100, "users {}", cal.users);
-        assert!((0.02..0.2).contains(&cal.killed_fraction), "{}", cal.killed_fraction);
-        assert!(cal.model.interarrival_shape < 1.0, "bursty traces fit shape < 1");
+        assert!(
+            (0.02..0.2).contains(&cal.killed_fraction),
+            "{}",
+            cal.killed_fraction
+        );
+        assert!(
+            cal.model.interarrival_shape < 1.0,
+            "bursty traces fit shape < 1"
+        );
         assert_eq!(cal.model.machine_nodes, 256);
     }
 

@@ -24,9 +24,8 @@
 
 use crate::distr::{Empirical, LogNormal, Sample, Weibull};
 use crate::job::{CompletionStatus, Job, JobId, NodeType, Time, DAY, HOUR};
+use crate::rng::{Rng, SmallRng};
 use crate::trace::Workload;
-use rand::rngs::SmallRng;
-use rand::{Rng, RngExt, SeedableRng};
 
 /// Configuration of the synthetic CTC-like trace generator.
 #[derive(Clone, Debug)]
@@ -136,7 +135,11 @@ impl CtcModel {
             // The user under-estimated: the job hits its limit and dies.
             let requested = round_request((runtime as f64 * rng.random_range(0.4..0.95)) as Time);
             let requested = requested.max(300);
-            return (requested, requested + 1 + requested / 10, CompletionStatus::KilledAtLimit);
+            return (
+                requested,
+                requested + 1 + requested / 10,
+                CompletionStatus::KilledAtLimit,
+            );
         }
         // Over-estimation factor: a mixture of near-exact, moderate and wild
         // guesses (users pad to be safe; many just take queue defaults).

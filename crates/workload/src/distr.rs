@@ -11,7 +11,7 @@
 //! resource number … probability values are calculated for each bin") is
 //! [`Empirical`].
 
-use rand::{Rng, RngExt};
+use crate::rng::Rng;
 
 /// A distribution over `f64` that can be sampled with any RNG.
 pub trait Sample {
@@ -87,7 +87,10 @@ pub struct Weibull {
 impl Weibull {
     /// New Weibull distribution; requires positive shape and scale.
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "weibull parameters must be positive"
+        );
         Weibull { shape, scale }
     }
 
@@ -178,14 +181,20 @@ impl<T: Clone> Empirical<T> {
         let mut cumulative = Vec::new();
         let mut total = 0.0;
         for (item, w) in weighted {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be finite and non-negative"
+            );
             if w > 0.0 {
                 total += w;
                 items.push(item);
                 cumulative.push(total);
             }
         }
-        assert!(total > 0.0, "empirical distribution needs positive total weight");
+        assert!(
+            total > 0.0,
+            "empirical distribution needs positive total weight"
+        );
         Empirical { items, cumulative }
     }
 
@@ -213,9 +222,9 @@ impl<T: Clone> Empirical<T> {
 pub fn gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
     const C: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
+        -1_259.139_216_722_402_8,
         771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
@@ -240,8 +249,7 @@ pub fn gamma(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SmallRng;
 
     fn sample_mean<D: Sample>(d: &D, n: usize, seed: u64) -> f64 {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -275,7 +283,10 @@ mod tests {
         let d = Weibull::new(1.5, 10.0);
         let expected = d.mean().unwrap();
         let m = sample_mean(&d, 200_000, 3);
-        assert!((m - expected).abs() / expected < 0.02, "mean {m} vs {expected}");
+        assert!(
+            (m - expected).abs() / expected < 0.02,
+            "mean {m} vs {expected}"
+        );
     }
 
     #[test]
@@ -296,7 +307,10 @@ mod tests {
         let d = LogNormal::new(2.0, 0.5);
         let expected = d.mean().unwrap();
         let m = sample_mean(&d, 300_000, 5);
-        assert!((m - expected).abs() / expected < 0.03, "mean {m} vs {expected}");
+        assert!(
+            (m - expected).abs() / expected < 0.03,
+            "mean {m} vs {expected}"
+        );
     }
 
     #[test]

@@ -56,9 +56,17 @@ mod tests {
             "b",
             256,
             vec![
-                JobBuilder::new(JobId(0)).submit(0).requested(7200).runtime(3600).build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .requested(7200)
+                    .runtime(3600)
+                    .build(),
                 // killed at limit: effective runtime is the 100 s limit
-                JobBuilder::new(JobId(0)).submit(10).requested(100).runtime(500).build(),
+                JobBuilder::new(JobId(0))
+                    .submit(10)
+                    .requested(100)
+                    .runtime(500)
+                    .build(),
             ],
         )
     }

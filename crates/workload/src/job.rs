@@ -7,7 +7,6 @@
 //! schedulers must never look at it, which the simulator enforces by
 //! handing schedulers a redacted view (see `jobsched-sim`).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Simulated time in seconds since the start of the trace.
@@ -24,7 +23,7 @@ pub const DAY: Time = 24 * HOUR;
 pub const WEEK: Time = 7 * DAY;
 
 /// Dense job identifier; index into the owning [`crate::Workload`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u32);
 
 impl JobId {
@@ -53,7 +52,7 @@ impl fmt::Display for JobId {
 /// The paper's administrator *discards* this information (382 of 430 nodes
 /// are identical); we keep it on the job record so the discarding step is an
 /// explicit, testable transformation rather than an omission.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum NodeType {
     /// Standard thin node (the 382-node majority class).
     #[default]
@@ -65,7 +64,7 @@ pub enum NodeType {
 }
 
 /// Terminal state of a job in a finished schedule.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CompletionStatus {
     /// Ran to normal completion within its requested limit.
     #[default]
@@ -82,7 +81,7 @@ pub enum CompletionStatus {
 /// scheduling-relevant core is `(submit, nodes, requested_time)`;
 /// `runtime` is ground truth that only the simulator and the objective
 /// functions may consult.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Job {
     /// Identifier, equal to the job's index in its workload.
     pub id: JobId,
@@ -189,7 +188,10 @@ impl fmt::Display for JobError {
         match self {
             JobError::ZeroNodes(id) => write!(f, "job {id} requests zero nodes"),
             JobError::TooWide { id, nodes, machine } => {
-                write!(f, "job {id} requests {nodes} nodes on a {machine}-node machine")
+                write!(
+                    f,
+                    "job {id} requests {nodes} nodes on a {machine}-node machine"
+                )
             }
             JobError::ZeroRequestedTime(id) => {
                 write!(f, "job {id} has a zero requested-time limit")
@@ -317,7 +319,10 @@ mod tests {
 
     #[test]
     fn effective_runtime_truncates_at_limit() {
-        let j = JobBuilder::new(JobId(1)).requested(100).runtime(500).build();
+        let j = JobBuilder::new(JobId(1))
+            .requested(100)
+            .runtime(500)
+            .build();
         assert_eq!(j.effective_runtime(), 100);
         assert!(j.killed_at_limit());
     }

@@ -21,7 +21,8 @@
 //! * [`exact`] — the §6.1 variant where user estimates are replaced by the
 //!   exact execution times.
 //! * [`distr`] — the random-variate samplers (Weibull, log-normal,
-//!   empirical) implemented directly over `rand`.
+//!   empirical) implemented directly over [`rng`], the crate's
+//!   self-contained deterministic generator.
 //! * [`stats`] — summary statistics used to characterise and compare
 //!   workloads (§6.2 consistency checking).
 
@@ -33,6 +34,7 @@ pub mod exact;
 pub mod job;
 pub mod probabilistic;
 pub mod randomized;
+pub mod rng;
 pub mod stats;
 pub mod swf;
 pub mod trace;

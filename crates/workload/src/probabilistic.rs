@@ -17,10 +17,9 @@
 
 use crate::distr::{Empirical, Sample, Weibull};
 use crate::job::{CompletionStatus, Job, JobId, NodeType, Time};
+use crate::rng::{Rng, SmallRng};
 use crate::stats::Summary;
 use crate::trace::Workload;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 /// Logarithmic time bins: bin k covers `[2^k, 2^(k+1))` seconds, bin 0
 /// covers `[0, 2)`. 32 bins cover every representable runtime.
@@ -38,7 +37,7 @@ fn bin_bounds(bin: u8) -> (Time, Time) {
 }
 
 /// One cell of the joint (nodes × requested-range × actual-range) table.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct Cell {
     nodes: u32,
     req_bin: u8,
@@ -61,7 +60,7 @@ impl BinnedModel {
     /// Panics if the base workload has fewer than 2 jobs (no gap data).
     pub fn fit(base: &Workload) -> Self {
         assert!(base.len() >= 2, "need at least two jobs to fit a model");
-        let mut counts: std::collections::HashMap<Cell, f64> = std::collections::HashMap::new();
+        let mut counts: std::collections::BTreeMap<Cell, f64> = std::collections::BTreeMap::new();
         for j in base.jobs() {
             let cell = Cell {
                 nodes: j.nodes,
@@ -70,12 +69,10 @@ impl BinnedModel {
             };
             *counts.entry(cell).or_insert(0.0) += 1.0;
         }
-        let mut entries: Vec<(Cell, f64)> = counts.into_iter().collect();
-        // HashMap iteration order is nondeterministic; sort so that equal
-        // seeds give equal workloads.
-        entries.sort_by_key(|(c, _)| (c.nodes, c.req_bin, c.act_bin));
+        // BTreeMap iterates in key order, so equal seeds give equal
+        // workloads by construction.
         let cells = Empirical::new(
-            entries
+            counts
                 .into_iter()
                 .map(|(c, w)| ((c.nodes, c.req_bin, c.act_bin), w)),
         );
@@ -191,8 +188,7 @@ mod tests {
     #[test]
     fn node_counts_only_from_base_support() {
         let base = prepared_ctc_workload(2_000, 9);
-        let support: std::collections::HashSet<u32> =
-            base.jobs().iter().map(|j| j.nodes).collect();
+        let support: std::collections::HashSet<u32> = base.jobs().iter().map(|j| j.nodes).collect();
         let w = probabilistic_workload(&base, 2_000, 10);
         for j in w.jobs() {
             assert!(support.contains(&j.nodes), "nodes {} not in base", j.nodes);
@@ -204,7 +200,10 @@ mod tests {
         let base = prepared_ctc_workload(2_000, 11);
         let w = probabilistic_workload(&base, 2_000, 12);
         for j in w.jobs() {
-            assert_eq!(j.killed_at_limit(), j.status == CompletionStatus::KilledAtLimit);
+            assert_eq!(
+                j.killed_at_limit(),
+                j.status == CompletionStatus::KilledAtLimit
+            );
         }
     }
 

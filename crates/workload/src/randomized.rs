@@ -16,9 +16,8 @@
 //! | actual execution time             | 1 s – upper limit|
 
 use crate::job::{CompletionStatus, Job, JobId, NodeType, Time, HOUR};
+use crate::rng::{Rng, SmallRng};
 use crate::trace::Workload;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 /// Table 2 generator parameters (defaults = the paper's values).
 #[derive(Clone, Copy, Debug)]
@@ -102,7 +101,11 @@ mod tests {
     fn uniform_nodes_mean_near_midpoint() {
         let w = randomized_workload(20_000, 23);
         let s = WorkloadStats::of(&w);
-        assert!((s.nodes.mean() - 128.5).abs() < 4.0, "mean {}", s.nodes.mean());
+        assert!(
+            (s.nodes.mean() - 128.5).abs() < 4.0,
+            "mean {}",
+            s.nodes.mean()
+        );
     }
 
     #[test]

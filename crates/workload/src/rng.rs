@@ -1,0 +1,231 @@
+//! Self-contained deterministic random number generation.
+//!
+//! The build environment cannot fetch external crates, so the workload
+//! generators run on this hand-rolled replacement for the tiny slice of
+//! `rand`'s API they used: a seedable small-state generator plus uniform
+//! range sampling. The generator is xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64 — the same construction `rand`'s `SmallRng`
+//! family uses — chosen for its 256-bit state, sub-nanosecond step and
+//! clean equidistribution at the scale of 10⁵–10⁶ variates per workload.
+//!
+//! Determinism is a hard requirement (the sweep subsystem's result cache
+//! and cross-thread reproducibility both key on it): every sequence is a
+//! pure function of the seed, with no global state, platform dependence
+//! or hash randomization anywhere in the pipeline.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Uniform-sampling surface shared by all generators.
+///
+/// `random_range` mirrors the `rand` method of the same name for the
+/// range shapes the workload generators actually use (`f64` half-open
+/// ranges, integer half-open and inclusive ranges).
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; the standard u64→f64 unit-interval map.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a range; see [`SampleRange`] for supported shapes.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+/// Range shapes [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one uniform variate from the range.
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reduce(rng, span)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (reduce(rng, span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u32, u64, usize);
+
+/// Debiased modular reduction of a raw draw onto `[0, span)` by rejection
+/// sampling (span > 0). The rejection zone is < 2⁻³² of the space for all
+/// spans the generators use, so the loop effectively never spins.
+fn reduce<G: Rng + ?Sized>(rng: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - u64::MAX % span;
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % span;
+        }
+    }
+}
+
+/// xoshiro256++ generator: 256-bit state, seedable from a single `u64`.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Seed the full state from one `u64` via SplitMix64, as recommended
+    /// by the xoshiro authors (avoids the all-zero state and decorrelates
+    /// nearby seeds).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+/// Derive an independent stream seed from a base seed and a stream index.
+///
+/// One SplitMix64 step over the XOR keeps derived streams decorrelated;
+/// the sweep runner uses this to give every campaign cell its own seed
+/// that is stable no matter which worker thread picks the cell up.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_give_distinct_streams() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_interval_bounds_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.random_range(2.5..7.5);
+            assert!((2.5..7.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let x = rng.random_range(10u32..16);
+            assert!((10..16).contains(&x));
+            seen[(x - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        for _ in 0..1000 {
+            let x = rng.random_range(1u64..=3);
+            assert!((1..=3).contains(&x));
+        }
+        let only = rng.random_range(9usize..=9);
+        assert_eq!(only, 9);
+    }
+
+    #[test]
+    fn uniformity_chi_square_sanity() {
+        // 16 buckets over u32 draws; loose 1% tolerance on each bucket.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut buckets = [0u32; 16];
+        let n = 160_000;
+        for _ in 0..n {
+            buckets[rng.random_range(0u32..16) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            let expected = n as f64 / 16.0;
+            assert!(
+                (b as f64 - expected).abs() < expected * 0.05,
+                "bucket {i}: {b} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spread() {
+        assert_eq!(derive_seed(1999, 0), derive_seed(1999, 0));
+        assert_ne!(derive_seed(1999, 0), derive_seed(1999, 1));
+        assert_ne!(derive_seed(1999, 0), derive_seed(2000, 0));
+    }
+}

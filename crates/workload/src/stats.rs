@@ -7,11 +7,10 @@
 
 use crate::job::Job;
 use crate::trace::Workload;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Streaming univariate summary: count, mean, variance (Welford), extremes.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -43,6 +42,7 @@ impl Summary {
     }
 
     /// Build a summary from an iterator.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(xs: impl IntoIterator<Item = f64>) -> Self {
         let mut s = Summary::new();
         for x in xs {
@@ -112,7 +112,7 @@ pub fn percentile(data: &mut [f64], p: f64) -> f64 {
 
 /// Fixed-width histogram over `[lo, hi)` with overflow/underflow clamped to
 /// the edge bins.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -156,7 +156,7 @@ impl Histogram {
 }
 
 /// Per-workload characterisation used for §6.2 consistency checks.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WorkloadStats {
     /// Workload name.
     pub name: String,
@@ -183,10 +183,8 @@ impl WorkloadStats {
         let nodes = Summary::from_iter(jobs.iter().map(|j| j.nodes as f64));
         let runtime = Summary::from_iter(jobs.iter().map(|j| j.effective_runtime() as f64));
         let requested = Summary::from_iter(jobs.iter().map(|j| j.requested_time as f64));
-        let interarrival = Summary::from_iter(
-            jobs.windows(2)
-                .map(|p| (p[1].submit - p[0].submit) as f64),
-        );
+        let interarrival =
+            Summary::from_iter(jobs.windows(2).map(|p| (p[1].submit - p[0].submit) as f64));
         let overestimation = Summary::from_iter(jobs.iter().map(Job::overestimation));
         WorkloadStats {
             name: w.name().to_string(),
@@ -313,8 +311,18 @@ mod tests {
     #[test]
     fn workload_stats_basic() {
         let jobs = vec![
-            JobBuilder::new(JobId(0)).submit(0).nodes(10).requested(200).runtime(100).build(),
-            JobBuilder::new(JobId(0)).submit(100).nodes(20).requested(400).runtime(200).build(),
+            JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(10)
+                .requested(200)
+                .runtime(100)
+                .build(),
+            JobBuilder::new(JobId(0))
+                .submit(100)
+                .nodes(20)
+                .requested(400)
+                .runtime(200)
+                .build(),
         ];
         let w = Workload::new("x", 256, jobs);
         let s = WorkloadStats::of(&w);

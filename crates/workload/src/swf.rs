@@ -103,7 +103,11 @@ pub fn parse(text: &str, name: &str) -> Result<Workload, SwfError> {
             continue; // unknown size or runtime: unusable for simulation
         }
         let runtime = run_time as Time;
-        let requested = if req_time > 0 { req_time as Time } else { runtime };
+        let requested = if req_time > 0 {
+            req_time as Time
+        } else {
+            runtime
+        };
         jobs.push(Job {
             id: JobId(0),
             submit: submit.max(0) as Time,
@@ -111,7 +115,11 @@ pub fn parse(text: &str, name: &str) -> Result<Workload, SwfError> {
             requested_time: requested,
             runtime,
             user,
-            memory_mb: if mem > 0 { (mem / 1024).max(1) as u32 } else { 0 },
+            memory_mb: if mem > 0 {
+                (mem / 1024).max(1) as u32
+            } else {
+                0
+            },
             node_type: NodeType::Thin,
             status: match status {
                 1 => CompletionStatus::Completed,
@@ -218,7 +226,12 @@ mod tests {
     #[test]
     fn roundtrip_preserves_schedule_relevant_fields() {
         let jobs = vec![
-            JobBuilder::new(JobId(0)).submit(5).nodes(8).requested(600).runtime(300).build(),
+            JobBuilder::new(JobId(0))
+                .submit(5)
+                .nodes(8)
+                .requested(600)
+                .runtime(300)
+                .build(),
             JobBuilder::new(JobId(0))
                 .submit(50)
                 .nodes(128)

@@ -2,7 +2,6 @@
 //! the paper's administrator performs in §6.1.
 
 use crate::job::{Job, JobError, JobId, NodeType, Time};
-use serde::{Deserialize, Serialize};
 
 /// An ordered collection of jobs plus the machine context it was recorded
 /// (or generated) for.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// Jobs are kept sorted by submission time; ids are re-densified after every
 /// structural modification so that `jobs[id.index()].id == id` always holds
 /// — the simulator and the metrics rely on this for O(1) lookups.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Workload {
     name: String,
     machine_nodes: u32,
@@ -70,7 +69,9 @@ impl Workload {
 
     /// Validate every job against the machine size.
     pub fn validate(&self) -> Result<(), JobError> {
-        self.jobs.iter().try_for_each(|j| j.validate(self.machine_nodes))
+        self.jobs
+            .iter()
+            .try_for_each(|j| j.validate(self.machine_nodes))
     }
 
     /// §6.1 step 1: retarget the workload to a smaller machine by deleting
@@ -257,8 +258,16 @@ mod tests {
     #[test]
     fn total_area_sums_effective_areas() {
         let jobs = vec![
-            JobBuilder::new(JobId(0)).nodes(2).requested(10).runtime(10).build(),
-            JobBuilder::new(JobId(0)).nodes(3).requested(5).runtime(9).build(),
+            JobBuilder::new(JobId(0))
+                .nodes(2)
+                .requested(10)
+                .runtime(10)
+                .build(),
+            JobBuilder::new(JobId(0))
+                .nodes(3)
+                .requested(5)
+                .runtime(9)
+                .build(),
         ];
         let w = Workload::new("t", 256, jobs);
         // Second job is killed at its 5 s limit: area = 3 × 5.

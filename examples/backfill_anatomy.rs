@@ -21,13 +21,38 @@ use jobsched::workload::{JobBuilder, JobId, Workload};
 fn scenario() -> Workload {
     let jobs = vec![
         // Running head: estimates 10 h, actually finishes after 2 h.
-        JobBuilder::new(JobId(0)).submit(0).nodes(100).requested(36_000).runtime(7_200).build(),
+        JobBuilder::new(JobId(0))
+            .submit(0)
+            .nodes(100)
+            .requested(36_000)
+            .runtime(7_200)
+            .build(),
         // The wide job that blocks the queue.
-        JobBuilder::new(JobId(0)).submit(60).nodes(200).requested(7_200).runtime(7_200).build(),
+        JobBuilder::new(JobId(0))
+            .submit(60)
+            .nodes(200)
+            .requested(7_200)
+            .runtime(7_200)
+            .build(),
         // Backfill candidates: one short, one long (60 nodes: together with J1 it overflows the machine), one long-and-wide.
-        JobBuilder::new(JobId(0)).submit(120).nodes(50).requested(3_000).runtime(3_000).build(),
-        JobBuilder::new(JobId(0)).submit(180).nodes(60).requested(30_000).runtime(30_000).build(),
-        JobBuilder::new(JobId(0)).submit(240).nodes(120).requested(30_000).runtime(30_000).build(),
+        JobBuilder::new(JobId(0))
+            .submit(120)
+            .nodes(50)
+            .requested(3_000)
+            .runtime(3_000)
+            .build(),
+        JobBuilder::new(JobId(0))
+            .submit(180)
+            .nodes(60)
+            .requested(30_000)
+            .runtime(30_000)
+            .build(),
+        JobBuilder::new(JobId(0))
+            .submit(240)
+            .nodes(120)
+            .requested(30_000)
+            .runtime(30_000)
+            .build(),
     ];
     Workload::new("anatomy", 256, jobs)
 }
@@ -37,7 +62,11 @@ fn main() {
     println!("machine: 256 nodes; J0 runs 100 nodes (estimate 10 h, real 2 h);");
     println!("J1 (200 nodes) blocks; J2 short/50n, J3 long/60n, J4 long/120n wait.\n");
 
-    for mode in [BackfillMode::None, BackfillMode::Easy, BackfillMode::Conservative] {
+    for mode in [
+        BackfillMode::None,
+        BackfillMode::Easy,
+        BackfillMode::Conservative,
+    ] {
         let spec = AlgorithmSpec::new(PolicyKind::Fcfs, mode);
         let mut sched = spec.build(WeightScheme::Unweighted);
         let out = simulate(&w, &mut sched);

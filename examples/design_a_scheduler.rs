@@ -39,7 +39,9 @@ fn main() {
     // Step 3: §4 — derive the objective functions, with the audit trail.
     println!("\nDerived objective functions:");
     for d in derive_objectives(&policy) {
-        let window = d.window.map_or("remaining time".to_string(), |w| w.to_string());
+        let window = d
+            .window
+            .map_or("remaining time".to_string(), |w| w.to_string());
         println!("  {window}: {:?}", d.objective);
         println!("    rationale: {}", d.rationale);
         for r in &d.rejected {

@@ -38,9 +38,19 @@ fn main() {
     println!("jobs                 : {}", workload.len());
     println!("events processed     : {}", outcome.events);
     println!("peak wait queue      : {}", outcome.peak_queue);
-    println!("schedule makespan    : {:.1} days", outcome.schedule.makespan() as f64 / 86_400.0);
-    println!("machine utilization  : {:.1}%", 100.0 * outcome.schedule.utilization(&workload));
-    println!("avg response time    : {:.0} s ({:.2} h)", art, art / 3600.0);
+    println!(
+        "schedule makespan    : {:.1} days",
+        outcome.schedule.makespan() as f64 / 86_400.0
+    );
+    println!(
+        "machine utilization  : {:.1}%",
+        100.0 * outcome.schedule.utilization(&workload)
+    );
+    println!(
+        "avg response time    : {:.0} s ({:.2} h)",
+        art,
+        art / 3600.0
+    );
     println!("avg weighted resp.   : {:.3e} node-s·s", awrt);
     println!("scheduler CPU        : {:.2?}", outcome.scheduler_cpu);
 }

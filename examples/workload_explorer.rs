@@ -15,7 +15,9 @@ use jobsched::workload::randomized::randomized_workload;
 use jobsched::workload::stats::WorkloadStats;
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "/tmp/jobsched-workloads".into());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/jobsched-workloads".into());
 
     // The raw 430-node trace, then the §6.1 preparation steps.
     let raw = CtcModel::with_jobs(8_000).generate(1999);
@@ -29,7 +31,11 @@ fn main() {
     );
 
     let ctc = prepared_ctc_workload(8_000, 1999);
-    println!("after §6.1 preparation: {} jobs on {} nodes\n", ctc.len(), ctc.machine_nodes());
+    println!(
+        "after §6.1 preparation: {} jobs on {} nodes\n",
+        ctc.len(),
+        ctc.machine_nodes()
+    );
 
     // §6.2: fit, resample, and check consistency.
     let model = BinnedModel::fit(&ctc);
@@ -59,7 +65,11 @@ fn main() {
 
     // SWF export.
     std::fs::create_dir_all(&out_dir).expect("create output dir");
-    for (name, w) in [("ctc", &ctc), ("probabilistic", &prob), ("randomized", &rand)] {
+    for (name, w) in [
+        ("ctc", &ctc),
+        ("probabilistic", &prob),
+        ("randomized", &rand),
+    ] {
         let path = format!("{out_dir}/{name}.swf");
         std::fs::write(&path, w.to_swf()).expect("write SWF");
         println!("wrote {path}");

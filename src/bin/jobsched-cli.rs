@@ -66,7 +66,10 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
     let mut workload = load(&flags)?;
     if flags.contains_key("clean") {
         let report = clean(&workload, 24 * 3600);
-        eprintln!("# cleaning removed/repaired {} anomalies", report.anomalies.len());
+        eprintln!(
+            "# cleaning removed/repaired {} anomalies",
+            report.anomalies.len()
+        );
         workload = report.workload;
     }
     if let Some(n) = flags.get("nodes") {
@@ -106,10 +109,22 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
     let s = &outcome.schedule;
     println!("jobs                : {}", workload.len());
     println!("machine nodes       : {}", workload.machine_nodes());
-    println!("avg response time   : {:.1} s", AvgResponseTime.cost(&workload, s));
-    println!("avg weighted resp.  : {:.4e}", AvgWeightedResponseTime.cost(&workload, s));
-    println!("makespan            : {:.2} days", s.makespan() as f64 / 86_400.0);
-    println!("utilization         : {:.1}%", 100.0 * s.utilization(&workload));
+    println!(
+        "avg response time   : {:.1} s",
+        AvgResponseTime.cost(&workload, s)
+    );
+    println!(
+        "avg weighted resp.  : {:.4e}",
+        AvgWeightedResponseTime.cost(&workload, s)
+    );
+    println!(
+        "makespan            : {:.2} days",
+        s.makespan() as f64 / 86_400.0
+    );
+    println!(
+        "utilization         : {:.1}%",
+        100.0 * s.utilization(&workload)
+    );
     println!("user fairness (Jain): {:.3}", user_fairness(&workload, s));
     println!("worst/mean user ART : {:.2}", worst_to_mean(&workload, s));
     println!("peak wait queue     : {}", outcome.peak_queue);
@@ -131,7 +146,11 @@ fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
         .unwrap_or(1999);
     let w = CtcModel::with_jobs(jobs).generate(seed);
     std::fs::write(out, w.to_swf()).map_err(|e| format!("{out}: {e}"))?;
-    eprintln!("# wrote {} jobs ({} nodes) to {out}", w.len(), w.machine_nodes());
+    eprintln!(
+        "# wrote {} jobs ({} nodes) to {out}",
+        w.len(),
+        w.machine_nodes()
+    );
     Ok(())
 }
 

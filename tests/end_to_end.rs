@@ -12,7 +12,10 @@ use jobsched::sim::simulate;
 use jobsched::workload::ctc::prepared_ctc_workload;
 
 fn cell(table: &jobsched::core::EvalTable, kind: PolicyKind, mode: BackfillMode) -> f64 {
-    table.cell(AlgorithmSpec::new(kind, mode)).expect("cell").cost
+    table
+        .cell(AlgorithmSpec::new(kind, mode))
+        .expect("cell")
+        .cost
 }
 
 #[test]
@@ -61,12 +64,19 @@ fn unweighted_shape_fcfs_worst_and_backfill_helps() {
             );
         }
     }
-    for kind in [PolicyKind::Psrs, PolicyKind::SmartFfia, PolicyKind::SmartNfiw] {
+    for kind in [
+        PolicyKind::Psrs,
+        PolicyKind::SmartFfia,
+        PolicyKind::SmartNfiw,
+    ] {
         let plain = cell(&t, kind, BackfillMode::None);
         let easy = cell(&t, kind, BackfillMode::Easy);
         let cons = cell(&t, kind, BackfillMode::Conservative);
         assert!(easy < plain, "{kind:?}: EASY must improve the plain list");
-        assert!(cons < plain, "{kind:?}: conservative must improve the plain list");
+        assert!(
+            cons < plain,
+            "{kind:?}: conservative must improve the plain list"
+        );
     }
 }
 
@@ -78,8 +88,15 @@ fn weighted_shape_garey_graham_wins() {
     let t = evaluate_matrix(&w, ObjectiveKind::AvgWeightedResponseTime, "shape");
     let gg = cell(&t, PolicyKind::GareyGraham, BackfillMode::None);
     let reference = t.reference_cost();
-    assert!(gg < reference, "G&G ({gg:.3e}) must beat FCFS+EASY ({reference:.3e})");
-    for kind in [PolicyKind::Psrs, PolicyKind::SmartFfia, PolicyKind::SmartNfiw] {
+    assert!(
+        gg < reference,
+        "G&G ({gg:.3e}) must beat FCFS+EASY ({reference:.3e})"
+    );
+    for kind in [
+        PolicyKind::Psrs,
+        PolicyKind::SmartFfia,
+        PolicyKind::SmartNfiw,
+    ] {
         for mode in [BackfillMode::Conservative, BackfillMode::Easy] {
             let c = cell(&t, kind, mode);
             assert!(
@@ -101,7 +118,11 @@ fn exact_estimates_improve_dynamic_algorithms() {
     };
     let estimated = paper::table3(scale);
     let exact = paper::table6(scale);
-    for kind in [PolicyKind::SmartFfia, PolicyKind::SmartNfiw, PolicyKind::Psrs] {
+    for kind in [
+        PolicyKind::SmartFfia,
+        PolicyKind::SmartNfiw,
+        PolicyKind::Psrs,
+    ] {
         let est = cell(&estimated.unweighted, kind, BackfillMode::Easy);
         let exa = cell(&exact.unweighted, kind, BackfillMode::Easy);
         assert!(
@@ -145,7 +166,10 @@ fn table_pairs_cover_all_paper_tables() {
         assert_eq!(pair.unweighted.cells.len(), 13, "{label}");
         assert_eq!(pair.weighted.cells.len(), 13, "{label}");
         assert_eq!(pair.unweighted.objective, ObjectiveKind::AvgResponseTime);
-        assert_eq!(pair.weighted.objective, ObjectiveKind::AvgWeightedResponseTime);
+        assert_eq!(
+            pair.weighted.objective,
+            ObjectiveKind::AvgWeightedResponseTime
+        );
     }
 }
 

@@ -103,7 +103,11 @@ fn heterogeneity_error_is_small() {
 
 #[test]
 fn replication_keeps_headline_orderings() {
-    let cells = replicate(scale(1_200), ObjectiveKind::AvgWeightedResponseTime, &[31, 32, 33]);
+    let cells = replicate(
+        scale(1_200),
+        ObjectiveKind::AvgWeightedResponseTime,
+        &[31, 32, 33],
+    );
     let gg = cells
         .iter()
         .find(|c| c.spec == AlgorithmSpec::new(PolicyKind::GareyGraham, BackfillMode::None))
@@ -115,14 +119,22 @@ fn replication_keeps_headline_orderings() {
     // Weighted case across seeds: G&G below the reference, plain FCFS far
     // above it.
     assert!(gg.mean_pct < 0.0, "G&G mean pct {}", gg.mean_pct);
-    assert!(fcfs_list.mean_pct > 10.0, "FCFS list mean pct {}", fcfs_list.mean_pct);
+    assert!(
+        fcfs_list.mean_pct > 10.0,
+        "FCFS list mean pct {}",
+        fcfs_list.mean_pct
+    );
 }
 
 #[test]
 fn gamma_sweep_is_low_stakes() {
     // §5.4 presents γ as a free parameter; the sweep should show no
     // cliff: all values within a modest band of each other.
-    let rows = ablation::gamma_sweep(scale(1_500), ObjectiveKind::AvgResponseTime, &[1.5, 2.0, 4.0]);
+    let rows = ablation::gamma_sweep(
+        scale(1_500),
+        ObjectiveKind::AvgResponseTime,
+        &[1.5, 2.0, 4.0],
+    );
     let min = rows.iter().map(|r| r.cost).fold(f64::INFINITY, f64::min);
     let max = rows.iter().map(|r| r.cost).fold(0.0, f64::max);
     assert!(max / min < 1.5, "γ cliff detected: {min} … {max}");

@@ -14,10 +14,10 @@ const MACHINE: u32 = 64;
 fn arb_jobs(max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
         (
-            0u64..50_000,  // submit
+            0u64..50_000,   // submit
             1u32..=MACHINE, // nodes
-            1u64..5_000,   // requested
-            1u64..8_000,   // runtime (may exceed requested: killed at limit)
+            1u64..5_000,    // requested
+            1u64..8_000,    // runtime (may exceed requested: killed at limit)
         ),
         1..max_jobs,
     )
