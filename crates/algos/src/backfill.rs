@@ -92,12 +92,53 @@ pub struct EasyScan {
     pub free: u32,
 }
 
-/// EASY backfilling (Lifka's original method), full scan.
+/// How the scans obtain the availability step function.
+enum Avail<'a> {
+    /// Rebuild from the running set on every call (the seed behaviour;
+    /// kept as the measurable baseline for `BENCH_sched.json`).
+    Rebuild,
+    /// Read the machine's incrementally-maintained [`jobsched_sim::LiveProfile`],
+    /// materialising into the given scratch buffer only when the scan
+    /// must overlay reservations.
+    Live(&'a mut Profile),
+}
+
+/// EASY backfilling (Lifka's original method), full scan. Rebuilds the
+/// availability profile from the running set — the pre-incremental
+/// baseline, kept for the bench comparison and the differential oracle.
 pub fn scan_easy(
     order: impl IntoIterator<Item = JobId>,
     waiting: &Waiting,
     machine: &Machine,
     now: Time,
+) -> EasyScan {
+    scan_easy_inner(order, waiting, machine, now, Avail::Rebuild)
+}
+
+/// EASY backfilling over the machine's incremental [`jobsched_sim::LiveProfile`].
+///
+/// When phase 1 starts nothing (the usual steady state: the head stays
+/// blocked), the shadow time and spare nodes are answered directly from
+/// the calendar — no step function is materialised at all. Otherwise the
+/// calendar is merged into `scratch` (linear, no sort, reusing its
+/// allocation) and the just-started picks are overlaid as reservations.
+/// Results are bit-identical to [`scan_easy`].
+pub fn scan_easy_live(
+    order: impl IntoIterator<Item = JobId>,
+    waiting: &Waiting,
+    machine: &Machine,
+    now: Time,
+    scratch: &mut Profile,
+) -> EasyScan {
+    scan_easy_inner(order, waiting, machine, now, Avail::Live(scratch))
+}
+
+fn scan_easy_inner(
+    order: impl IntoIterator<Item = JobId>,
+    waiting: &Waiting,
+    machine: &Machine,
+    now: Time,
+    avail: Avail<'_>,
 ) -> EasyScan {
     let mut order = order.into_iter();
     let mut free = machine.free_nodes();
@@ -126,17 +167,37 @@ pub fn scan_easy(
 
     // Phase 2: compute the blocked head's shadow time from the projected
     // ends of running jobs plus the jobs just started (which also hold
-    // nodes until their projected ends).
+    // nodes until their projected ends). Spare nodes: what remains free
+    // at the shadow time once the head job has taken its share.
     let head = waiting.get(head_id);
-    let mut profile = Profile::from_machine(machine, now);
-    for &id in &out {
-        let j = waiting.get(id);
-        profile.reserve(j.nodes, now, j.requested_time.max(1));
-    }
-    let shadow = profile.earliest_start(head.nodes, head.requested_time.max(1), now);
-    // Spare nodes: what remains free at the shadow time once the head job
-    // has taken its share.
-    let mut extra = profile.free_at(shadow).saturating_sub(head.nodes);
+    let head_duration = head.requested_time.max(1);
+    let (shadow, mut extra) = match avail {
+        Avail::Live(_) if out.is_empty() => {
+            // Nothing started: the live calendar *is* the profile.
+            let live = machine.profile();
+            let shadow = live.earliest_start(now, head.nodes, head_duration, now);
+            (shadow, live.free_at(now, shadow).saturating_sub(head.nodes))
+        }
+        avail => {
+            let mut rebuilt;
+            let profile = match avail {
+                Avail::Rebuild => {
+                    rebuilt = Profile::from_machine(machine, now);
+                    &mut rebuilt
+                }
+                Avail::Live(scratch) => {
+                    machine.profile().snapshot_into(now, scratch);
+                    scratch
+                }
+            };
+            for &id in &out {
+                let j = waiting.get(id);
+                profile.reserve(j.nodes, now, j.requested_time.max(1));
+            }
+            let shadow = profile.earliest_start(head.nodes, head_duration, now);
+            (shadow, profile.free_at(shadow).saturating_sub(head.nodes))
+        }
+    };
 
     // Phase 3: backfill later jobs that fit now and do not push the head's
     // projected start.
@@ -213,6 +274,33 @@ pub fn scan_conservative(
     now: Time,
 ) -> ConservativeScan {
     let mut profile = Profile::from_machine(machine, now);
+    scan_conservative_over(order, queue_len, waiting, machine, now, &mut profile)
+}
+
+/// Conservative backfilling over the machine's incremental
+/// [`jobsched_sim::LiveProfile`]: the calendar is merged into `scratch` (linear, no
+/// sort, reusing its allocation) and the scan books reservations there.
+/// Results are bit-identical to [`scan_conservative`].
+pub fn scan_conservative_live(
+    order: impl IntoIterator<Item = JobId>,
+    queue_len: usize,
+    waiting: &Waiting,
+    machine: &Machine,
+    now: Time,
+    scratch: &mut Profile,
+) -> ConservativeScan {
+    machine.profile().snapshot_into(now, scratch);
+    scan_conservative_over(order, queue_len, waiting, machine, now, scratch)
+}
+
+fn scan_conservative_over(
+    order: impl IntoIterator<Item = JobId>,
+    queue_len: usize,
+    waiting: &Waiting,
+    machine: &Machine,
+    now: Time,
+    profile: &mut Profile,
+) -> ConservativeScan {
     let mut out = Vec::new();
     let mut leftover = machine.free_nodes();
 

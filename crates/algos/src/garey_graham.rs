@@ -19,12 +19,18 @@ use jobsched_workload::JobId;
 
 /// Start *any* waiting job, in list order, for which enough resources are
 /// available. Lazy over the order: stops once the machine is full.
+///
+/// Greedy-any needs only the *instantaneous* free-node count — it never
+/// reasons about the future, so it reads the head of the machine's
+/// incremental availability calendar ([`jobsched_sim::LiveProfile`])
+/// rather than materialising a step function.
 pub fn select_greedy_any(
     order: impl IntoIterator<Item = JobId>,
     waiting: &Waiting,
     machine: &Machine,
 ) -> Vec<JobId> {
-    let mut free = machine.free_nodes();
+    let mut free = machine.profile().free_nodes();
+    debug_assert_eq!(free, machine.free_nodes());
     let mut out = Vec::new();
     for id in order {
         if free == 0 {

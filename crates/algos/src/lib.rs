@@ -35,7 +35,7 @@ pub mod view;
 
 pub use backfill::BackfillMode;
 pub use order::OrderPolicy;
-pub use scheduler::ListScheduler;
+pub use scheduler::{ListScheduler, ProfileMode};
 pub use smart::SmartVariant;
 pub use spec::AlgorithmSpec;
 pub use view::JobView;

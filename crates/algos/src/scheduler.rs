@@ -9,13 +9,35 @@
 //! conservative or EASY backfilling (§5.2); Garey & Graham instead starts
 //! anything that fits (§5.3).
 
-use crate::backfill::{scan_conservative, scan_easy, select_head_blocking, BackfillMode};
+use crate::backfill::{
+    scan_conservative, scan_conservative_live, scan_easy, scan_easy_live, select_head_blocking,
+    BackfillMode,
+};
 use crate::garey_graham::select_greedy_any;
 use crate::order::{OrderPolicy, ReorderTrigger};
 use crate::view::JobView;
-use jobsched_sim::{JobRequest, Machine, Scheduler};
+use jobsched_sim::{JobRequest, Machine, Profile, Scheduler};
 use jobsched_workload::{JobId, Time};
 use std::collections::BTreeSet;
+
+/// How the backfilling scans obtain the availability step function.
+///
+/// Scheduling decisions are bit-identical across modes (the differential
+/// property tests enforce it); only the cost differs, which is what
+/// `BENCH_sched.json` measures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ProfileMode {
+    /// Rebuild the profile from the running set on every decision
+    /// ([`Profile::from_machine`]: collect + sort). The seed behaviour,
+    /// kept as the measurable baseline and the differential oracle.
+    Rebuild,
+    /// Read the machine's incrementally-maintained
+    /// [`jobsched_sim::LiveProfile`] (O(log n) per job event), merging it
+    /// into a reusable scratch buffer only when a scan must overlay
+    /// reservations.
+    #[default]
+    Incremental,
+}
 
 /// The wait queue: requests keyed by job id. Ids are assigned in
 /// submission order by the workload, so ascending-id iteration *is*
@@ -149,6 +171,11 @@ pub struct ListScheduler {
     /// Whether the incremental blocked-state cache is enabled (it is by
     /// default; differential tests run with it off).
     caching: bool,
+    /// How the backfilling scans obtain the availability profile.
+    profile_mode: ProfileMode,
+    /// Reusable step-function buffer for [`ProfileMode::Incremental`]
+    /// scans; overwritten (total and steps) by every snapshot.
+    scratch: Profile,
     cache: Option<BlockedCache>,
     /// Jobs submitted since the cache was established.
     arrivals: Vec<JobId>,
@@ -171,6 +198,8 @@ impl ListScheduler {
             covered: BTreeSet::new(),
             recomputations: 0,
             caching: true,
+            profile_mode: ProfileMode::default(),
+            scratch: Profile::empty(1, 0),
             cache: None,
             arrivals: Vec::new(),
             reorder_pending: false,
@@ -196,9 +225,24 @@ impl ListScheduler {
         self
     }
 
+    /// Choose how the backfilling scans obtain the availability profile.
+    /// [`ProfileMode::Rebuild`] restores the rebuild-per-decision seed
+    /// behaviour — semantically identical, asymptotically slower; used as
+    /// the baseline in `BENCH_sched.json` and as the oracle in the
+    /// differential tests.
+    pub fn with_profile_mode(mut self, mode: ProfileMode) -> Self {
+        self.profile_mode = mode;
+        self
+    }
+
     /// The ordering policy.
     pub fn policy(&self) -> &OrderPolicy {
         &self.policy
+    }
+
+    /// How the backfilling scans obtain the availability profile.
+    pub fn profile_mode(&self) -> ProfileMode {
+        self.profile_mode
     }
 
     /// The backfilling mode.
@@ -342,16 +386,30 @@ impl ListScheduler {
     }
 }
 
-/// One full decision scan: dispatch the order to the selection strategy
-/// and describe the blocked state it leaves behind.
-fn full_scan<I: IntoIterator<Item = JobId>>(
+/// Selection-strategy configuration of one full decision scan.
+#[derive(Clone, Copy)]
+struct ScanConfig {
     greedy_any: bool,
     backfill: BackfillMode,
+    profile_mode: ProfileMode,
+}
+
+/// One full decision scan: dispatch the order to the selection strategy
+/// and describe the blocked state it leaves behind. `scratch` is the
+/// reusable profile buffer for [`ProfileMode::Incremental`] scans.
+fn full_scan<I: IntoIterator<Item = JobId>>(
+    config: ScanConfig,
+    scratch: &mut Profile,
     order: I,
     waiting: &Waiting,
     machine: &Machine,
     now: Time,
 ) -> (Vec<JobId>, BlockedCache) {
+    let ScanConfig {
+        greedy_any,
+        backfill,
+        profile_mode,
+    } = config;
     if greedy_any {
         let picks = select_greedy_any(order, waiting, machine);
         let used: u32 = picks.iter().map(|&id| waiting.get(id).nodes).sum();
@@ -376,7 +434,10 @@ fn full_scan<I: IntoIterator<Item = JobId>>(
             (picks, blocked)
         }
         BackfillMode::Easy => {
-            let scan = scan_easy(order, waiting, machine, now);
+            let scan = match profile_mode {
+                ProfileMode::Rebuild => scan_easy(order, waiting, machine, now),
+                ProfileMode::Incremental => scan_easy_live(order, waiting, machine, now, scratch),
+            };
             (
                 scan.picks,
                 BlockedCache::Easy {
@@ -387,7 +448,14 @@ fn full_scan<I: IntoIterator<Item = JobId>>(
             )
         }
         BackfillMode::Conservative => {
-            let scan = scan_conservative(order, waiting.len(), waiting, machine, now);
+            let scan = match profile_mode {
+                ProfileMode::Rebuild => {
+                    scan_conservative(order, waiting.len(), waiting, machine, now)
+                }
+                ProfileMode::Incremental => {
+                    scan_conservative_live(order, waiting.len(), waiting, machine, now, scratch)
+                }
+            };
             (
                 scan.picks,
                 BlockedCache::Conservative {
@@ -452,12 +520,16 @@ impl Scheduler for ListScheduler {
         // Static policies iterate the wait queue lazily (plain FCFS pays
         // O(started + 1) per decision); dynamic policies materialise their
         // priority order first.
-        let greedy_any = matches!(self.policy, OrderPolicy::GareyGraham);
+        let config = ScanConfig {
+            greedy_any: matches!(self.policy, OrderPolicy::GareyGraham),
+            backfill: self.backfill,
+            profile_mode: self.profile_mode,
+        };
         let (picks, blocked) = if self.policy.is_dynamic() {
             let order = self.effective_order(machine.total_nodes());
             full_scan(
-                greedy_any,
-                self.backfill,
+                config,
+                &mut self.scratch,
                 order,
                 &self.waiting,
                 machine,
@@ -465,8 +537,8 @@ impl Scheduler for ListScheduler {
             )
         } else {
             full_scan(
-                greedy_any,
-                self.backfill,
+                config,
+                &mut self.scratch,
                 self.waiting.ids(),
                 &self.waiting,
                 machine,

@@ -19,7 +19,11 @@
 //! Online (§5.4 modifications) SMART only produces a *job order* — the
 //! concatenation of shelves in Smith order — which then feeds a greedy
 //! list schedule with optional backfilling. That order is what
-//! [`smart_order`] returns.
+//! [`smart_order`] returns. Future availability enters downstream: the
+//! shelf packer reasons only over the machine width, while the selection
+//! pass consumes the machine's incremental availability calendar
+//! ([`jobsched_sim::LiveProfile`]) through the backfilling scans — so the
+//! profile rework leaves SMART's placements bit-identical.
 
 use crate::view::JobView;
 use jobsched_workload::{JobId, Time};

@@ -1,0 +1,220 @@
+//! Scheduling hot-path benchmark: incremental availability profile vs
+//! rebuild-per-decision baseline.
+//!
+//! Self-contained (no Criterion — the offline build cannot fetch it):
+//! times FCFS, EASY, conservative backfilling and PSRS on the
+//! probabilistic workload at three scales, running every algorithm twice —
+//! once with `ProfileMode::Rebuild` (the seed behaviour: the availability
+//! step function is rebuilt from the running set on every decision) and
+//! once with `ProfileMode::Incremental` (the machine's persistent
+//! `LiveProfile`, updated in O(log n) per job event). Placements are
+//! asserted identical between the two modes before any number is
+//! reported, so the benchmark doubles as an end-to-end differential
+//! check.
+//!
+//! Writes `BENCH_sched.json` (schema documented in `EXPERIMENTS.md`) to
+//! the path given by `--out` (default: `BENCH_sched.json` in the current
+//! directory — run from the repo root to refresh the tracked baseline).
+//!
+//! Usage: `sched_bench [--smoke] [--out PATH]`
+//! `--smoke` runs a single small scenario once — the CI smoke job uses it
+//! to keep the artifact fresh without paying for the full campaign.
+
+use jobsched_algos::spec::PolicyKind;
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::{AlgorithmSpec, BackfillMode, ListScheduler, ProfileMode};
+use jobsched_sim::{simulate, ScheduleRecord};
+use jobsched_sweep::json::Json;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use jobsched_workload::probabilistic::probabilistic_workload;
+use jobsched_workload::Workload;
+use std::time::Instant;
+
+/// Base seed shared with the paper harness (`Scale::*` uses 1999; the
+/// probabilistic stream derives from seed + 1 as in `core::paper`).
+const SEED: u64 = 1999;
+
+/// One benchmark scenario: a probabilistic workload of `jobs` jobs.
+struct Scenario {
+    name: &'static str,
+    jobs: usize,
+    /// Timed repetitions per algorithm × mode; the minimum is reported.
+    reps: u32,
+}
+
+const SCENARIOS: [Scenario; 3] = [
+    Scenario {
+        name: "prob-2k",
+        jobs: 2_000,
+        reps: 3,
+    },
+    Scenario {
+        name: "prob-8k",
+        jobs: 8_000,
+        reps: 2,
+    },
+    Scenario {
+        name: "prob-24k",
+        jobs: 24_000,
+        reps: 1,
+    },
+];
+
+/// The algorithms the issue calls out: the paper's baseline policy with
+/// all three selection strategies, plus a dynamic-order algorithm (PSRS)
+/// whose re-ordering stresses the profile differently.
+const ALGORITHMS: [(PolicyKind, BackfillMode); 4] = [
+    (PolicyKind::Fcfs, BackfillMode::None),
+    (PolicyKind::Fcfs, BackfillMode::Easy),
+    (PolicyKind::Fcfs, BackfillMode::Conservative),
+    (PolicyKind::Psrs, BackfillMode::Easy),
+];
+
+struct Measurement {
+    wall_ns: u64,
+    sched_ns: u64,
+    schedule: ScheduleRecord,
+}
+
+/// Run `spec` once under `mode`, returning wall time, metered scheduler
+/// CPU and the schedule (for the cross-mode identity assertion).
+fn run_once(w: &Workload, spec: AlgorithmSpec, mode: ProfileMode) -> Measurement {
+    let mut sched = ListScheduler::new(spec.kind.policy(WeightScheme::Unweighted), spec.backfill)
+        .with_profile_mode(mode);
+    let t0 = Instant::now();
+    let out = simulate(w, &mut sched);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    assert_eq!(
+        out.schedule.completion_ratio(),
+        1.0,
+        "{} did not complete",
+        spec.name()
+    );
+    Measurement {
+        wall_ns,
+        sched_ns: out.scheduler_cpu.as_nanos() as u64,
+        schedule: out.schedule,
+    }
+}
+
+/// Best-of-`reps` timing for one algorithm × mode.
+fn run_timed(w: &Workload, spec: AlgorithmSpec, mode: ProfileMode, reps: u32) -> Measurement {
+    let mut best = run_once(w, spec, mode);
+    for _ in 1..reps {
+        let m = run_once(w, spec, mode);
+        if m.wall_ns < best.wall_ns {
+            best.wall_ns = m.wall_ns;
+        }
+        if m.sched_ns < best.sched_ns {
+            best.sched_ns = m.sched_ns;
+        }
+    }
+    best
+}
+
+fn bench_scenario(sc: &Scenario, base: &Workload) -> Json {
+    let w = probabilistic_workload(base, sc.jobs, SEED + 1);
+    eprintln!(
+        "scenario {}: {} jobs on {} nodes",
+        sc.name,
+        w.len(),
+        w.machine_nodes()
+    );
+
+    let mut algorithms = Vec::new();
+    for (kind, backfill) in ALGORITHMS {
+        let spec = AlgorithmSpec::new(kind, backfill);
+        let rebuild = run_timed(&w, spec, ProfileMode::Rebuild, sc.reps);
+        let incremental = run_timed(&w, spec, ProfileMode::Incremental, sc.reps);
+
+        // Differential gate: the modes must schedule identically.
+        for j in w.jobs() {
+            assert_eq!(
+                rebuild.schedule.placement(j.id),
+                incremental.schedule.placement(j.id),
+                "{} on {}: profile mode changed placement of {}",
+                spec.name(),
+                sc.name,
+                j.id
+            );
+        }
+
+        let speedup = rebuild.sched_ns as f64 / incremental.sched_ns.max(1) as f64;
+        eprintln!(
+            "  {:<28} rebuild {:>9.3} ms  incremental {:>9.3} ms  speedup {speedup:.2}x",
+            spec.name(),
+            rebuild.sched_ns as f64 / 1e6,
+            incremental.sched_ns as f64 / 1e6,
+        );
+        algorithms.push(Json::obj([
+            ("name", Json::Str(spec.name())),
+            ("rebuild_wall_ns", Json::UInt(rebuild.wall_ns)),
+            ("rebuild_sched_ns", Json::UInt(rebuild.sched_ns)),
+            ("incremental_wall_ns", Json::UInt(incremental.wall_ns)),
+            ("incremental_sched_ns", Json::UInt(incremental.sched_ns)),
+            ("sched_speedup", Json::Num(speedup)),
+        ]));
+    }
+
+    Json::obj([
+        ("name", Json::Str(sc.name.to_string())),
+        ("jobs", Json::UInt(w.len() as u64)),
+        ("machine_nodes", Json::UInt(w.machine_nodes() as u64)),
+        ("reps", Json::UInt(sc.reps as u64)),
+        ("algorithms", Json::Arr(algorithms)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_sched.json")
+        .to_string();
+    if let Some(bad) = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| a != "--smoke" && a != "--out" && !(i > 0 && args[i - 1] == "--out"))
+        .map(|(_, a)| a)
+    {
+        eprintln!("unknown argument: {bad}\nusage: sched_bench [--smoke] [--out PATH]");
+        std::process::exit(2);
+    }
+
+    // The probabilistic generator is calibrated against the CTC trace
+    // model; the base workload only seeds its distributions.
+    let base = prepared_ctc_workload(2_000, SEED);
+
+    let scenarios: Vec<Json> = if smoke {
+        vec![bench_scenario(
+            &Scenario {
+                name: "smoke-500",
+                jobs: 500,
+                reps: 1,
+            },
+            &base,
+        )]
+    } else {
+        SCENARIOS
+            .iter()
+            .map(|sc| bench_scenario(sc, &base))
+            .collect()
+    };
+
+    let doc = Json::obj([
+        ("schema", Json::Str("jobsched-bench/sched-v1".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("seed", Json::UInt(SEED)),
+        ("scenarios", Json::Arr(scenarios)),
+    ]);
+    let text = doc.to_string_pretty();
+    // Round-trip through the parser before writing: the artifact must be
+    // consumable by `sweep::json` (the CI smoke job re-checks this).
+    jobsched_sweep::json::parse(&text).expect("bench JSON must parse");
+    std::fs::write(&out_path, text + "\n").expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

@@ -9,7 +9,11 @@
 //!   produce invalid schedules, per §2's validity requirement);
 //! * schedules the completion event at `start + min(runtime, limit)`
 //!   (Rule 2 cancellation);
-//! * meters wall-clock time inside scheduler callbacks for Tables 7–8.
+//! * meters wall-clock time inside scheduler callbacks for Tables 7–8;
+//! * keeps the machine's incremental availability calendar
+//!   ([`crate::profile::LiveProfile`]) in sync as a side effect of every
+//!   start/finish it applies — schedulers read future availability from
+//!   [`Machine::profile`] in O(log n) instead of rebuilding it.
 
 use crate::event::{Event, EventQueue};
 use crate::machine::Machine;

@@ -23,6 +23,12 @@
 //!   tests.
 //! * **Scheduler cost accounting.** The engine meters wall-clock time spent
 //!   inside scheduler callbacks, which is what Tables 7 and 8 compare.
+//! * **Incremental availability.** The machine carries a persistent
+//!   [`profile::LiveProfile`] — the future-availability calendar updated in
+//!   O(log R) per job event — so backfilling schedulers no longer rebuild
+//!   the step function from the running set on every decision. Scratch
+//!   [`profile::Profile`] snapshots (linear merge, no sort) serve the scans
+//!   that overlay reservations.
 
 pub mod engine;
 pub mod event;
@@ -34,5 +40,5 @@ pub mod typed;
 
 pub use engine::{simulate, JobRequest, Scheduler, SimOutcome};
 pub use machine::{Machine, RunningSlot};
-pub use profile::Profile;
+pub use profile::{LiveProfile, Profile};
 pub use schedule::{JobPlacement, ScheduleRecord};

@@ -6,6 +6,7 @@
 //! (`start + requested_time`) because that is all an online scheduler may
 //! know; actual completions arrive from the engine.
 
+use crate::profile::LiveProfile;
 use jobsched_workload::{JobId, Time};
 
 /// A job currently holding nodes.
@@ -57,11 +58,18 @@ impl std::fmt::Display for MachineError {
 impl std::error::Error for MachineError {}
 
 /// Space-shared machine state.
+///
+/// Alongside the running set the machine maintains a [`LiveProfile`]: the
+/// future-availability calendar kept incrementally in sync by
+/// [`Machine::start`] / [`Machine::finish`] (O(log R) each, including
+/// early completions). Schedulers read it through [`Machine::profile`]
+/// instead of rebuilding the step function per decision.
 #[derive(Clone, Debug)]
 pub struct Machine {
     total: u32,
     free: u32,
     running: Vec<RunningSlot>,
+    profile: LiveProfile,
 }
 
 impl Machine {
@@ -72,6 +80,7 @@ impl Machine {
             total,
             free: total,
             running: Vec::new(),
+            profile: LiveProfile::new(total),
         }
     }
 
@@ -105,6 +114,12 @@ impl Machine {
         nodes <= self.free
     }
 
+    /// The incrementally-maintained future-availability calendar.
+    #[inline]
+    pub fn profile(&self) -> &LiveProfile {
+        &self.profile
+    }
+
     /// Allocate a partition for a job. `projected_end` must be
     /// `now + requested_time` (the engine checks nothing further).
     pub fn start(
@@ -125,16 +140,21 @@ impl Machine {
             });
         }
         self.free -= nodes;
+        self.profile.on_start(nodes, projected_end);
         self.running.push(RunningSlot {
             id,
             nodes,
             start: now,
             projected_end,
         });
+        debug_assert_eq!(self.profile.free_nodes(), self.free);
         Ok(())
     }
 
-    /// Release the partition of a finishing job, returning its slot.
+    /// Release the partition of a finishing job, returning its slot. The
+    /// profile's booking at the job's *projected* end is cancelled even
+    /// when the actual completion comes earlier (Rule 2 truncation means
+    /// it never comes later).
     pub fn finish(&mut self, id: JobId) -> Result<RunningSlot, MachineError> {
         let idx = self
             .running
@@ -143,6 +163,8 @@ impl Machine {
             .ok_or(MachineError::NotRunning(id))?;
         let slot = self.running.swap_remove(idx);
         self.free += slot.nodes;
+        self.profile.on_finish(slot.nodes, slot.projected_end);
+        debug_assert_eq!(self.profile.free_nodes(), self.free);
         Ok(slot)
     }
 }

@@ -13,9 +13,55 @@
 
 use crate::machine::Machine;
 use jobsched_workload::Time;
+use std::collections::BTreeMap;
 
 /// Sentinel for "never" / unbounded horizon.
 pub const HORIZON: Time = Time::MAX / 4;
+
+/// Earliest-fit sweep shared by [`Profile`] and [`LiveProfile`].
+///
+/// `level_at_from` is the free-node level governing the instant `from`;
+/// `later` yields the `(time, free)` breakpoints strictly after `from` in
+/// ascending time order with **no duplicate times**. A window is feasible
+/// when every step inside it offers `nodes` free; on a violation the
+/// candidate jumps past the violating step, which never moves the scan
+/// backwards — a single forward pass.
+///
+/// Both profile types delegate here, so the incremental structure answers
+/// queries bit-identically to a freshly rebuilt step function (the
+/// differential tests in `tests/live_profile_diff.rs` rely on this).
+fn sweep_earliest(
+    nodes: u32,
+    duration: Time,
+    from: Time,
+    level_at_from: u32,
+    later: impl Iterator<Item = (Time, u32)>,
+) -> Time {
+    let duration = duration.max(1);
+    let mut candidate = if level_at_from >= nodes {
+        Some(from)
+    } else {
+        None
+    };
+    for (t, f) in later {
+        match candidate {
+            Some(c) => {
+                if t >= c.saturating_add(duration) {
+                    return c; // window [c, c+duration) clear
+                }
+                if f < nodes {
+                    candidate = None; // violated: restart past this step
+                }
+            }
+            None => {
+                if f >= nodes {
+                    candidate = Some(t);
+                }
+            }
+        }
+    }
+    candidate.unwrap_or(HORIZON)
+}
 
 /// Step function of free nodes over future time.
 ///
@@ -104,64 +150,21 @@ impl Profile {
     /// Earliest time ≥ `from` at which `nodes` nodes are continuously free
     /// for `duration` seconds.
     ///
-    /// Single left-to-right sweep over the breakpoints (amortised O(P)):
-    /// a window is feasible when every step inside it offers `nodes` free;
-    /// on a violation the candidate jumps past the violating step, which
-    /// never moves the scan backwards. Because projections only ever
-    /// *over*-state occupancy, the returned time is a safe (conservative)
-    /// start for a reservation.
+    /// Binary search positions the scan at `from`; [`sweep_earliest`] then
+    /// runs a single left-to-right pass over the remaining breakpoints
+    /// (amortised O(P)). Because projections only ever *over*-state
+    /// occupancy, the returned time is a safe (conservative) start for a
+    /// reservation.
     pub fn earliest_start(&self, nodes: u32, duration: Time, from: Time) -> Time {
         assert!(nodes <= self.total, "request exceeds machine size");
-        let duration = duration.max(1);
-        let mut candidate = from;
-        // Index of the first breakpoint strictly after `candidate`.
-        let mut i = self.step_index(from);
-        if self.free_at(candidate) < nodes {
-            // Advance to the first step at/after `from` with enough room.
-            loop {
-                i += 1;
-                match self.steps.get(i) {
-                    Some(&(t, f)) => {
-                        if f >= nodes {
-                            candidate = t.max(from);
-                            break;
-                        }
-                    }
-                    None => return HORIZON, // never frees up (full reservation tail)
-                }
-            }
-        }
-        // Scan forward: `candidate` is feasible at its own instant; check
-        // the window [candidate, candidate+duration).
-        let mut j = i + 1;
-        loop {
-            let end = candidate.saturating_add(duration);
-            match self.steps.get(j) {
-                Some(&(t, f)) if t < end => {
-                    if f < nodes {
-                        // Violation: jump past it to the next step with
-                        // room and restart the window there.
-                        let mut k = j + 1;
-                        loop {
-                            match self.steps.get(k) {
-                                Some(&(t2, f2)) => {
-                                    if f2 >= nodes {
-                                        candidate = t2;
-                                        break;
-                                    }
-                                    k += 1;
-                                }
-                                None => return HORIZON,
-                            }
-                        }
-                        j = k + 1;
-                    } else {
-                        j += 1;
-                    }
-                }
-                _ => return candidate, // window clear (or profile exhausted)
-            }
-        }
+        let i = self.step_index(from);
+        sweep_earliest(
+            nodes,
+            duration,
+            from,
+            self.steps[i].1,
+            self.steps[i + 1..].iter().copied(),
+        )
     }
 
     /// Subtract `nodes` from the profile over `[start, start + duration)`
@@ -221,6 +224,178 @@ impl Profile {
     /// Whether the profile has no breakpoints (never after construction).
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
+    }
+}
+
+/// Persistent, incrementally-maintained availability calendar.
+///
+/// Where [`Profile::from_machine`] rebuilds the whole step function from
+/// the running set on every call (collect + sort, O(R log R) per
+/// scheduling decision), a `LiveProfile` lives as long as the machine and
+/// absorbs each job event in O(log R): a start books `nodes` for release
+/// at the job's projected end, a finish — early or on time — cancels that
+/// booking. The release calendar is a sorted multimap keyed by projected
+/// end, so every query positions itself with tree search instead of a
+/// rebuild.
+///
+/// Reading the calendar "as of `now`" applies the same projection rule as
+/// [`Profile::from_machine`]: bookings whose projected end has already
+/// passed (the job overran its estimate and must end at any moment) count
+/// as releasing at `now + 1`. Queries ([`LiveProfile::free_at`],
+/// [`LiveProfile::earliest_start`]) answer directly from the calendar;
+/// [`LiveProfile::snapshot_into`] materialises a scratch [`Profile`] —
+/// a linear merge with no sorting — for callers that need to overlay
+/// reservations (the conservative backfilling calendar, EASY's
+/// just-started picks). All of them are bit-identical to rebuilding from
+/// scratch, which the differential oracle tests enforce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiveProfile {
+    total: u32,
+    free: u32,
+    /// Nodes released at each future (or past-due) projected end.
+    releases: BTreeMap<Time, u32>,
+}
+
+impl LiveProfile {
+    /// All-free calendar for a machine of `total` nodes.
+    pub fn new(total: u32) -> Self {
+        LiveProfile {
+            total,
+            free: total,
+            releases: BTreeMap::new(),
+        }
+    }
+
+    /// Machine size.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Nodes free right now.
+    #[inline]
+    pub fn free_nodes(&self) -> u32 {
+        self.free
+    }
+
+    /// Number of distinct pending release instants (diagnostics).
+    pub fn pending_releases(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// A job took `nodes` nodes until `projected_end`. O(log R).
+    pub fn on_start(&mut self, nodes: u32, projected_end: Time) {
+        assert!(nodes <= self.free, "profile overcommit on start");
+        self.free -= nodes;
+        *self.releases.entry(projected_end).or_insert(0) += nodes;
+    }
+
+    /// A job holding `nodes` nodes with the given projection finished —
+    /// possibly earlier than projected. Cancels its booking. O(log R).
+    pub fn on_finish(&mut self, nodes: u32, projected_end: Time) {
+        let entry = self
+            .releases
+            .get_mut(&projected_end)
+            .expect("finish without matching start");
+        assert!(*entry >= nodes, "finish releases more than was booked");
+        *entry -= nodes;
+        if *entry == 0 {
+            self.releases.remove(&projected_end);
+        }
+        self.free += nodes;
+    }
+
+    /// The `(time, free)` breakpoints strictly after `now`, ascending,
+    /// duplicate-free, with past-due bookings merged into a `now + 1`
+    /// release — exactly the tail of [`Profile::from_machine`]'s steps.
+    fn steps_after(&self, now: Time) -> LiveSteps<'_> {
+        let pending: u32 = self.releases.range(..=now).map(|(_, &n)| n).sum();
+        LiveSteps {
+            level: self.free,
+            pending,
+            imminent: now + 1,
+            future: self.releases.range(now + 1..),
+        }
+    }
+
+    /// Free nodes at time `t`, viewed from `now` (clamped like
+    /// [`Profile::free_at`]: instants at or before `now` see the current
+    /// level).
+    pub fn free_at(&self, now: Time, t: Time) -> u32 {
+        if t <= now {
+            return self.free;
+        }
+        // Every booking with a release instant ≤ t is free by t; past-due
+        // bookings release at now + 1 ≤ t and their keys are ≤ now < t, so
+        // a single range sum covers both kinds.
+        self.free + self.releases.range(..=t).map(|(_, &n)| n).sum::<u32>()
+    }
+
+    /// Earliest time ≥ `from` at which `nodes` nodes are continuously free
+    /// for `duration` seconds, viewed from `now`. Tree-search positioning
+    /// plus the same forward sweep as [`Profile::earliest_start`].
+    pub fn earliest_start(&self, now: Time, nodes: u32, duration: Time, from: Time) -> Time {
+        assert!(nodes <= self.total, "request exceeds machine size");
+        sweep_earliest(
+            nodes,
+            duration,
+            from,
+            self.free_at(now, from),
+            self.steps_after(now).skip_while(move |&(t, _)| t <= from),
+        )
+    }
+
+    /// Materialise the step function at `now` into `out`, reusing its
+    /// allocation. Linear in the number of breakpoints, no sorting —
+    /// the calendar is already ordered. Bit-identical to
+    /// `*out = Profile::from_machine(machine, now)`.
+    pub fn snapshot_into(&self, now: Time, out: &mut Profile) {
+        out.total = self.total;
+        out.steps.clear();
+        out.steps.push((now, self.free));
+        out.steps.extend(self.steps_after(now));
+    }
+
+    /// Materialise a fresh step function at `now`.
+    pub fn snapshot(&self, now: Time) -> Profile {
+        let mut out = Profile {
+            steps: Vec::with_capacity(self.releases.len() + 1),
+            total: self.total,
+        };
+        self.snapshot_into(now, &mut out);
+        out
+    }
+}
+
+/// Iterator behind [`LiveProfile::steps_after`]: merges the lumped
+/// past-due release (at `now + 1`) with the future release entries,
+/// coalescing a future entry that falls exactly on `now + 1` so no
+/// duplicate breakpoint times are ever produced.
+struct LiveSteps<'a> {
+    level: u32,
+    pending: u32,
+    imminent: Time,
+    future: std::collections::btree_map::Range<'a, Time, u32>,
+}
+
+impl Iterator for LiveSteps<'_> {
+    type Item = (Time, u32);
+
+    fn next(&mut self) -> Option<(Time, u32)> {
+        if self.pending > 0 {
+            self.level += self.pending;
+            self.pending = 0;
+            if let Some((&t, &n)) = self.future.clone().next() {
+                if t == self.imminent {
+                    self.future.next();
+                    self.level += n;
+                }
+            }
+            return Some((self.imminent, self.level));
+        }
+        let (&t, &n) = self.future.next()?;
+        self.level += n;
+        Some((t, self.level))
     }
 }
 
@@ -335,5 +510,140 @@ mod tests {
         let p = Profile::from_machine(&m, 0);
         assert_eq!(p.earliest_start(100, 10, 60), 60);
         assert_eq!(p.earliest_start(100, 10, 20), 50);
+    }
+
+    // ------- edge cases: the profile at its boundaries -------
+
+    #[test]
+    fn reservation_ending_exactly_at_horizon() {
+        // A reservation whose end lands exactly on the HORIZON sentinel
+        // must not wrap, lose its end breakpoint, or poison later queries.
+        let mut p = Profile::empty(100, 0);
+        p.reserve(40, HORIZON - 50, 50);
+        assert_eq!(p.free_at(HORIZON - 50), 60);
+        assert_eq!(p.free_at(HORIZON - 1), 60);
+        assert_eq!(p.free_at(HORIZON), 100);
+        // A wide job whose window would overlap the reservation can only
+        // start once it clears — exactly at the sentinel.
+        assert_eq!(p.earliest_start(100, HORIZON, 0), HORIZON);
+        // Short or narrow jobs still fit immediately.
+        assert_eq!(p.earliest_start(100, 10, 0), 0);
+        assert_eq!(p.earliest_start(60, HORIZON, 0), 0);
+    }
+
+    #[test]
+    fn zero_free_node_machine() {
+        // Machine fully busy: the profile starts at level 0 and every
+        // query must wait for the release.
+        let mut m = Machine::new(64);
+        m.start(JobId(0), 64, 0, 30).unwrap();
+        let p = Profile::from_machine(&m, 0);
+        assert_eq!(p.free_at(0), 0);
+        assert_eq!(p.min_free(0, 30), 0);
+        assert_eq!(p.earliest_start(1, 5, 0), 30);
+        assert_eq!(p.earliest_start(64, 5, 0), 30);
+        let live = m.profile();
+        assert_eq!(live.free_nodes(), 0);
+        assert_eq!(live.earliest_start(0, 1, 5, 0), 30);
+        assert_eq!(live.earliest_start(0, 64, 5, 0), 30);
+    }
+
+    #[test]
+    fn duplicate_breakpoints_coalesce() {
+        // Three jobs projecting the same end must yield ONE breakpoint
+        // carrying the combined release, in both representations.
+        let m = machine_with(&[(10, 40), (20, 40), (30, 40)], 100, 0);
+        let p = Profile::from_machine(&m, 0);
+        assert_eq!(p.len(), 2, "coalesced to [now, release]");
+        assert_eq!(p.free_at(39), 40);
+        assert_eq!(p.free_at(40), 100);
+        let snap = m.profile().snapshot(0);
+        assert_eq!(snap, p);
+        assert_eq!(m.profile().pending_releases(), 1);
+    }
+
+    #[test]
+    fn now_aligned_projected_ends_count_as_imminent() {
+        // Projected end == now (job exactly at its limit, the kill event
+        // not yet processed): treated as releasing at now + 1, exactly
+        // like an overrun projection.
+        let mut m = Machine::new(10);
+        m.start(JobId(0), 10, 0, 70).unwrap();
+        for view in [Profile::from_machine(&m, 70), m.profile().snapshot(70)] {
+            assert_eq!(view.free_at(70), 0);
+            assert_eq!(view.free_at(71), 10);
+            assert_eq!(view.earliest_start(10, 5, 70), 71);
+        }
+        assert_eq!(m.profile().free_at(70, 70), 0);
+        assert_eq!(m.profile().free_at(70, 71), 10);
+        assert_eq!(m.profile().earliest_start(70, 10, 5, 70), 71);
+    }
+
+    #[test]
+    fn past_due_and_next_instant_releases_coalesce() {
+        // One booking already past due (releases at now+1) and another
+        // projecting exactly now+1: the snapshot must contain a single
+        // now+1 breakpoint with both releases merged — duplicate step
+        // times would break the earliest-fit sweep.
+        let mut m = Machine::new(30);
+        m.start(JobId(0), 10, 0, 5).unwrap(); // past due at now = 20
+        m.start(JobId(1), 10, 0, 21).unwrap(); // releases exactly at 21
+        m.start(JobId(2), 10, 0, 50).unwrap();
+        let snap = m.profile().snapshot(20);
+        let rebuilt = Profile::from_machine(&m, 20);
+        assert_eq!(snap, rebuilt);
+        assert_eq!(snap.free_at(21), 20);
+        assert_eq!(snap.earliest_start(20, 100, 20), 21);
+        assert_eq!(m.profile().earliest_start(20, 20, 100, 20), 21);
+    }
+
+    // ------- the live calendar's own bookkeeping -------
+
+    #[test]
+    fn live_profile_tracks_start_and_finish() {
+        let mut live = LiveProfile::new(100);
+        live.on_start(40, 50);
+        live.on_start(30, 50);
+        assert_eq!(live.free_nodes(), 30);
+        assert_eq!(live.pending_releases(), 1);
+        live.on_finish(40, 50); // early completion cancels the booking
+        assert_eq!(live.free_nodes(), 70);
+        assert_eq!(live.pending_releases(), 1);
+        live.on_finish(30, 50);
+        assert_eq!(live.free_nodes(), 100);
+        assert_eq!(live.pending_releases(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overcommit")]
+    fn live_profile_rejects_overcommit() {
+        let mut live = LiveProfile::new(10);
+        live.on_start(8, 50);
+        live.on_start(8, 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish without matching start")]
+    fn live_profile_rejects_unmatched_finish() {
+        let mut live = LiveProfile::new(10);
+        live.on_start(5, 50);
+        live.on_finish(5, 60);
+    }
+
+    #[test]
+    fn live_snapshot_matches_rebuild_under_early_finishes() {
+        let mut m = Machine::new(256);
+        m.start(JobId(0), 100, 0, 500).unwrap();
+        m.start(JobId(1), 50, 10, 90).unwrap();
+        m.start(JobId(2), 30, 20, 90).unwrap();
+        m.finish(JobId(0)).unwrap(); // far earlier than projected
+        m.start(JobId(3), 120, 30, 31).unwrap();
+        for now in [30, 31, 90, 91, 500] {
+            assert_eq!(
+                m.profile().snapshot(now),
+                Profile::from_machine(&m, now),
+                "divergence at now={now}"
+            );
+        }
     }
 }

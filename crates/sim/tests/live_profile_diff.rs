@@ -1,0 +1,126 @@
+//! Differential oracle for the incremental availability profile.
+//!
+//! The [`LiveProfile`] a [`Machine`] carries must be indistinguishable
+//! from the naive reference that rebuilds the step function from the
+//! running set on every call ([`Profile::from_machine`]) — bit-identical
+//! snapshots after *every* event, and query agreement (`earliest_start`,
+//! `free_at`) at random instants. A thousand randomized event sequences
+//! (starts, on-time finishes, early completions, overruns past the
+//! projection) drive both structures in lockstep; the hand-rolled
+//! generators in `jobsched_workload::rng` replace the feature-gated-off
+//! `proptest` dependency.
+
+use jobsched_sim::{Machine, Profile};
+use jobsched_workload::rng::{derive_seed, Rng, SmallRng};
+use jobsched_workload::{JobId, Time};
+
+const SEQUENCES: u64 = 1_000;
+const EVENTS_PER_SEQUENCE: usize = 40;
+const QUERIES_PER_EVENT: usize = 4;
+const MACHINE_NODES: u32 = 128;
+
+/// Check incremental == rebuilt at `now`, plus random query agreement.
+fn assert_profiles_agree(m: &Machine, now: Time, rng: &mut SmallRng, seq: u64, step: usize) {
+    let rebuilt = Profile::from_machine(m, now);
+    let live = m.profile();
+    assert_eq!(
+        live.snapshot(now),
+        rebuilt,
+        "snapshot divergence (seq {seq}, step {step}, now {now})"
+    );
+    assert_eq!(
+        live.free_nodes(),
+        m.free_nodes(),
+        "free-node divergence (seq {seq}, step {step})"
+    );
+
+    for _ in 0..QUERIES_PER_EVENT {
+        let nodes = rng.random_range(1u32..=m.total_nodes());
+        let duration = rng.random_range(1u64..300);
+        let from = now + rng.random_range(0u64..400);
+        assert_eq!(
+            live.earliest_start(now, nodes, duration, from),
+            rebuilt.earliest_start(nodes, duration, from),
+            "earliest_start divergence (seq {seq}, step {step}, now {now}, \
+             nodes {nodes}, duration {duration}, from {from})"
+        );
+        let t = now + rng.random_range(0u64..400);
+        assert_eq!(
+            live.free_at(now, t),
+            rebuilt.free_at(t),
+            "free_at divergence (seq {seq}, step {step}, now {now}, t {t})"
+        );
+    }
+}
+
+/// One randomized lifecycle: jobs start with random widths and estimate
+/// projections; finishes are drawn at random instants, so they land
+/// early, on time, or past the projection (an overrun the profile must
+/// model as releasing imminently).
+fn drive_sequence(seq: u64) {
+    let mut rng = SmallRng::seed_from_u64(derive_seed(0x11FE_50AF, seq));
+    let mut m = Machine::new(MACHINE_NODES);
+    let mut now: Time = 0;
+    let mut next_id: u32 = 0;
+    let mut running: Vec<(JobId, Time)> = Vec::new(); // (id, projected_end)
+
+    for step in 0..EVENTS_PER_SEQUENCE {
+        // Time moves forward unevenly; occasionally it stays put so that
+        // same-instant event batches are exercised too.
+        if rng.random_range(0u32..4) > 0 {
+            now += rng.random_range(1u64..120);
+        }
+
+        let free = m.free_nodes();
+        let want_start = free > 0 && (running.is_empty() || rng.random_range(0u32..3) > 0);
+        if want_start {
+            let nodes = rng.random_range(1u32..=free);
+            let duration = rng.random_range(1u64..250);
+            let id = JobId(next_id);
+            next_id += 1;
+            m.start(id, nodes, now, now + duration).unwrap();
+            running.push((id, now + duration));
+        } else if !running.is_empty() {
+            let victim = rng.random_range(0usize..running.len());
+            let (id, _projected) = running.swap_remove(victim);
+            m.finish(id).unwrap();
+        }
+
+        assert_profiles_agree(&m, now, &mut rng, seq, step);
+    }
+
+    // Drain: every remaining finish must also keep the structures equal.
+    while let Some((id, _)) = running.pop() {
+        now += rng.random_range(0u64..150);
+        m.finish(id).unwrap();
+        assert_profiles_agree(&m, now, &mut rng, seq, usize::MAX);
+    }
+    assert_eq!(m.profile().pending_releases(), 0, "calendar must drain");
+    assert_eq!(m.profile().free_nodes(), MACHINE_NODES);
+}
+
+#[test]
+fn incremental_profile_matches_rebuilt_reference() {
+    for seq in 0..SEQUENCES {
+        drive_sequence(seq);
+    }
+}
+
+#[test]
+fn overrun_projections_stay_in_lockstep() {
+    // Dedicated adversarial case: jobs whose projections are already in
+    // the past when queried (now far beyond every projected end), plus a
+    // release landing exactly at now + 1 — the merge point of the
+    // lumped "imminent" step.
+    let mut m = Machine::new(64);
+    m.start(JobId(0), 16, 0, 10).unwrap();
+    m.start(JobId(1), 16, 0, 10).unwrap(); // duplicate projection
+    m.start(JobId(2), 16, 0, 101).unwrap(); // lands exactly on now+1
+    m.start(JobId(3), 8, 0, 500).unwrap();
+    let mut rng = SmallRng::seed_from_u64(7);
+    for now in [100u64, 101, 499, 500, 1000] {
+        assert_profiles_agree(&m, now, &mut rng, u64::MAX, 0);
+    }
+    m.finish(JobId(1)).unwrap(); // overrun job ends late
+    assert_profiles_agree(&m, 1_000, &mut rng, u64::MAX, 1);
+}

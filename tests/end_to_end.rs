@@ -36,6 +36,49 @@ fn every_matrix_algorithm_yields_a_valid_complete_schedule() {
 }
 
 #[test]
+fn every_policy_mode_workload_combination_validates_cleanly() {
+    // The §2 validity audit over the full cross product: every ordering
+    // policy × every backfill mode × every workload family (trace-derived
+    // CTC, probabilistic model, §6.3 randomized stress). Zero
+    // `ScheduleViolation`s and full completion everywhere — exercised on
+    // the default incremental availability profile, so any drift between
+    // the live calendar and real machine capacity surfaces here.
+    let ctc = prepared_ctc_workload(400, 1999);
+    let workloads = [
+        jobsched::workload::probabilistic::probabilistic_workload(&ctc, 300, 2000),
+        jobsched::workload::randomized::randomized_workload(300, 42),
+        ctc,
+    ];
+    for w in &workloads {
+        for kind in PolicyKind::ALL {
+            for mode in [
+                BackfillMode::None,
+                BackfillMode::Conservative,
+                BackfillMode::Easy,
+            ] {
+                let spec = AlgorithmSpec::new(kind, mode);
+                let mut sched = spec.build(WeightScheme::Unweighted);
+                let out = simulate(w, &mut sched);
+                assert_eq!(
+                    out.schedule.completion_ratio(),
+                    1.0,
+                    "{} on {}",
+                    spec.name(),
+                    w.name()
+                );
+                let violations = out.schedule.validate(w);
+                assert!(
+                    violations.is_empty(),
+                    "{} on {}: {violations:?}",
+                    spec.name(),
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn simulations_are_deterministic() {
     let w = prepared_ctc_workload(400, 7);
     let spec = AlgorithmSpec::new(PolicyKind::SmartFfia, BackfillMode::Easy);

@@ -1,194 +1,272 @@
 //! Property-based tests: invariants that must hold for *every* workload,
 //! not just the calibrated ones.
+//!
+//! Randomization runs on the repo's own deterministic generators
+//! (`jobsched::workload::rng`) instead of `proptest`, whose feature is a
+//! no-op gate in the offline build — these properties run in every plain
+//! `cargo test -q`.
 
 use jobsched::algos::spec::PolicyKind;
 use jobsched::algos::view::WeightScheme;
-use jobsched::algos::{AlgorithmSpec, BackfillMode};
+use jobsched::algos::{AlgorithmSpec, BackfillMode, ListScheduler, ProfileMode};
 use jobsched::sim::simulate;
+use jobsched::workload::rng::{derive_seed, Rng, SmallRng};
 use jobsched::workload::{Job, JobBuilder, JobId, Workload};
-use proptest::prelude::*;
 
 const MACHINE: u32 = 64;
+const CASES: u64 = 24;
 
-/// Arbitrary job stream for a 64-node machine.
-fn arb_jobs(max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
-    prop::collection::vec(
-        (
-            0u64..50_000,   // submit
-            1u32..=MACHINE, // nodes
-            1u64..5_000,    // requested
-            1u64..8_000,    // runtime (may exceed requested: killed at limit)
-        ),
-        1..max_jobs,
-    )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .map(|(submit, nodes, requested, runtime)| {
-                JobBuilder::new(JobId(0))
-                    .submit(submit)
-                    .nodes(nodes)
-                    .requested(requested)
-                    .runtime(runtime)
-                    .build()
-            })
-            .collect()
-    })
+/// Arbitrary job stream for a 64-node machine (1 to `max_jobs - 1` jobs,
+/// matching the old proptest strategy's range).
+fn arb_jobs(rng: &mut SmallRng, max_jobs: usize) -> Vec<Job> {
+    let len = rng.random_range(1usize..max_jobs);
+    (0..len)
+        .map(|_| {
+            let submit = rng.random_range(0u64..50_000);
+            let nodes = rng.random_range(1u32..=MACHINE);
+            let requested = rng.random_range(1u64..5_000);
+            // Runtime may exceed requested: killed at the limit (Rule 2).
+            let runtime = rng.random_range(1u64..8_000);
+            JobBuilder::new(JobId(0))
+                .submit(submit)
+                .nodes(nodes)
+                .requested(requested)
+                .runtime(runtime)
+                .build()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Per-property case driver: a fresh independent rng stream per case.
+fn for_each_case(tag: u64, f: impl Fn(u64, &mut SmallRng)) {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(derive_seed(tag, case));
+        f(case, &mut rng);
+    }
+}
 
-    /// Every algorithm × backfill combination produces a complete, valid
-    /// schedule on arbitrary workloads (§2's validity requirement).
-    #[test]
-    fn all_algorithms_valid_on_arbitrary_workloads(jobs in arb_jobs(40)) {
-        let w = Workload::new("prop", MACHINE, jobs);
+/// Every algorithm × backfill combination produces a complete, valid
+/// schedule on arbitrary workloads (§2's validity requirement).
+#[test]
+fn all_algorithms_valid_on_arbitrary_workloads() {
+    for_each_case(0xA11A, |case, rng| {
+        let w = Workload::new("prop", MACHINE, arb_jobs(rng, 40));
         for spec in AlgorithmSpec::paper_matrix() {
             for scheme in [WeightScheme::Unweighted, WeightScheme::ProjectedArea] {
                 let mut sched = spec.build(scheme);
                 let out = simulate(&w, &mut sched);
-                prop_assert_eq!(out.schedule.completion_ratio(), 1.0);
+                assert_eq!(out.schedule.completion_ratio(), 1.0, "case {case}");
                 let violations = out.schedule.validate(&w);
-                prop_assert!(violations.is_empty(), "{}: {:?}", spec.name(), violations);
+                assert!(
+                    violations.is_empty(),
+                    "case {case}, {}: {violations:?}",
+                    spec.name()
+                );
             }
         }
-    }
+    });
+}
 
-    /// FCFS fairness (§5.1: "the completion time of each job is
-    /// independent of any job submitted later"): under plain FCFS, start
-    /// times follow submission order.
-    #[test]
-    fn fcfs_starts_in_submission_order(jobs in arb_jobs(60)) {
-        let w = Workload::new("prop", MACHINE, jobs);
+/// FCFS fairness (§5.1: "the completion time of each job is independent
+/// of any job submitted later"): under plain FCFS, start times follow
+/// submission order.
+#[test]
+fn fcfs_starts_in_submission_order() {
+    for_each_case(0xFCF5, |case, rng| {
+        let w = Workload::new("prop", MACHINE, arb_jobs(rng, 60));
         let spec = AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None);
         let out = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
         let mut last_start = 0;
         for j in w.jobs() {
             let s = out.schedule.placement(j.id).unwrap().start;
-            prop_assert!(s >= last_start, "job {} started at {s} before its predecessor at {last_start}", j.id);
+            assert!(
+                s >= last_start,
+                "case {case}: job {} started at {s} before its predecessor at {last_start}",
+                j.id
+            );
             last_start = s;
         }
-    }
+    });
+}
 
-    /// FCFS prefix property: the schedule of the first k jobs is
-    /// unaffected by deleting all later submissions.
-    #[test]
-    fn fcfs_prefix_independent_of_future(jobs in arb_jobs(40), split in 1usize..39) {
-        let w = Workload::new("prop", MACHINE, jobs);
+/// FCFS prefix property: the schedule of the first k jobs is unaffected
+/// by deleting all later submissions.
+#[test]
+fn fcfs_prefix_independent_of_future() {
+    for_each_case(0x9EF1, |case, rng| {
+        let w = Workload::new("prop", MACHINE, arb_jobs(rng, 40));
+        let split = rng.random_range(1usize..39);
         let k = split.min(w.len());
         let prefix = Workload::new("prefix", MACHINE, w.jobs()[..k].to_vec());
         let spec = AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None);
         let full = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
         let part = simulate(&prefix, &mut spec.build(WeightScheme::Unweighted));
         for j in prefix.jobs() {
-            prop_assert_eq!(
+            assert_eq!(
                 full.schedule.placement(j.id),
                 part.schedule.placement(j.id),
-                "placement of {} changed when later jobs were removed", j.id
+                "case {case}: placement of {} changed when later jobs were removed",
+                j.id
             );
         }
-    }
+    });
+}
 
-    /// Garey & Graham non-idling: whenever a job waits under G&G, the
-    /// machine cannot fit the smallest waiting job at that moment. We
-    /// check the weaker consequence: no instant has every job waiting and
-    /// the machine empty (deadlock-freedom is enforced by the engine, so
-    /// simulate() returning at all proves progress).
-    #[test]
-    fn garey_graham_always_progresses(jobs in arb_jobs(50)) {
-        let w = Workload::new("prop", MACHINE, jobs);
+/// Garey & Graham non-idling: whenever a job waits under G&G, the machine
+/// cannot fit the smallest waiting job at that moment. We check the
+/// weaker consequence: no instant has every job waiting and the machine
+/// empty (deadlock-freedom is enforced by the engine, so simulate()
+/// returning at all proves progress).
+#[test]
+fn garey_graham_always_progresses() {
+    for_each_case(0x6A59, |case, rng| {
+        let w = Workload::new("prop", MACHINE, arb_jobs(rng, 50));
         let spec = AlgorithmSpec::new(PolicyKind::GareyGraham, BackfillMode::None);
         let out = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
-        prop_assert_eq!(out.schedule.completion_ratio(), 1.0);
-    }
+        assert_eq!(out.schedule.completion_ratio(), 1.0, "case {case}");
+    });
+}
 
-    /// EASY's defining guarantee (§5.2): with *exact* estimates, the first
-    /// blocked job starts exactly when it would under plain FCFS — its
-    /// projected start (shadow time) is never postponed by backfilled
-    /// jobs. (With inaccurate estimates this fails — the §5.2 caveat —
-    /// which `examples/backfill_anatomy.rs` demonstrates.)
-    #[test]
-    fn easy_protects_the_head_job_on_exact_batch(jobs in arb_jobs(30)) {
-        let batch: Vec<Job> = jobs
+/// EASY's defining guarantee (§5.2): with *exact* estimates, the first
+/// blocked job starts exactly when it would under plain FCFS — its
+/// projected start (shadow time) is never postponed by backfilled jobs.
+/// (With inaccurate estimates this fails — the §5.2 caveat — which
+/// `examples/backfill_anatomy.rs` demonstrates.)
+#[test]
+fn easy_protects_the_head_job_on_exact_batch() {
+    for_each_case(0xEA5E, |case, rng| {
+        let batch: Vec<Job> = arb_jobs(rng, 30)
             .into_iter()
             .map(|j| {
                 let exact = j.effective_runtime().max(1);
-                JobBuilder::new(j.id).submit(0).nodes(j.nodes).exact_runtime(exact).build()
+                JobBuilder::new(j.id)
+                    .submit(0)
+                    .nodes(j.nodes)
+                    .exact_runtime(exact)
+                    .build()
             })
             .collect();
         let w = Workload::new("batch", MACHINE, batch);
         let plain = simulate(
             &w,
-            &mut AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None).build(WeightScheme::Unweighted),
+            &mut AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None)
+                .build(WeightScheme::Unweighted),
         );
         let easy = simulate(
             &w,
-            &mut AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::Easy).build(WeightScheme::Unweighted),
+            &mut AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::Easy)
+                .build(WeightScheme::Unweighted),
         );
         // The head job = the first (in submission order) that cannot start
         // at t = 0 under FCFS. Jobs before it run identically in both.
-        if let Some(head) = w.jobs().iter().find(|j| plain.schedule.placement(j.id).unwrap().start > 0) {
+        if let Some(head) = w
+            .jobs()
+            .iter()
+            .find(|j| plain.schedule.placement(j.id).unwrap().start > 0)
+        {
             let fcfs_start = plain.schedule.placement(head.id).unwrap().start;
             let easy_start = easy.schedule.placement(head.id).unwrap().start;
-            prop_assert!(
+            assert!(
                 easy_start <= fcfs_start,
-                "EASY delayed the protected head {}: {easy_start} > {fcfs_start}",
+                "case {case}: EASY delayed the protected head {}: {easy_start} > {fcfs_start}",
                 head.id
             );
         }
-    }
+    });
+}
 
-    /// Differential test of the incremental blocked-state cache: with the
-    /// cache enabled (production default) and disabled (naive full scan
-    /// every round) every algorithm must produce the *identical* schedule.
-    #[test]
-    fn cache_is_semantically_transparent(jobs in arb_jobs(50)) {
-        let w = Workload::new("prop", MACHINE, jobs);
+/// Differential test of the incremental blocked-state cache: with the
+/// cache enabled (production default) and disabled (naive full scan every
+/// round) every algorithm must produce the *identical* schedule.
+#[test]
+fn cache_is_semantically_transparent() {
+    for_each_case(0xCAC4, |case, rng| {
+        let w = Workload::new("prop", MACHINE, arb_jobs(rng, 50));
         for spec in AlgorithmSpec::paper_matrix() {
             for scheme in [WeightScheme::Unweighted, WeightScheme::ProjectedArea] {
                 let mut cached = spec.build(scheme);
-                let mut naive = jobsched::algos::ListScheduler::new(
-                    spec.kind.policy(scheme),
-                    spec.backfill,
-                )
-                .with_caching(false);
+                let mut naive =
+                    ListScheduler::new(spec.kind.policy(scheme), spec.backfill).with_caching(false);
                 let a = simulate(&w, &mut cached);
                 let b = simulate(&w, &mut naive);
                 for j in w.jobs() {
-                    prop_assert_eq!(
+                    assert_eq!(
                         a.schedule.placement(j.id),
                         b.schedule.placement(j.id),
-                        "{}: cache changed placement of {}", spec.name(), j.id
+                        "case {case}, {}: cache changed placement of {}",
+                        spec.name(),
+                        j.id
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Schedule-record audit and machine bookkeeping agree: busy area of
-    /// the schedule equals the workload's effective area.
-    #[test]
-    fn busy_area_conserved(jobs in arb_jobs(40)) {
-        let w = Workload::new("prop", MACHINE, jobs);
+/// Differential test of the incremental availability profile: the
+/// default [`ProfileMode::Incremental`] (live calendar, scratch merges)
+/// and [`ProfileMode::Rebuild`] (the seed's rebuild-per-decision path)
+/// must produce the *identical* schedule for every algorithm — the
+/// end-to-end half of the oracle in `crates/sim/tests/live_profile_diff.rs`.
+#[test]
+fn profile_mode_is_semantically_transparent() {
+    for_each_case(0x9F0F, |case, rng| {
+        let w = Workload::new("prop", MACHINE, arb_jobs(rng, 50));
+        for spec in AlgorithmSpec::paper_matrix() {
+            for scheme in [WeightScheme::Unweighted, WeightScheme::ProjectedArea] {
+                let mut incremental = spec.build(scheme);
+                assert_eq!(incremental.profile_mode(), ProfileMode::Incremental);
+                let mut rebuild = ListScheduler::new(spec.kind.policy(scheme), spec.backfill)
+                    .with_profile_mode(ProfileMode::Rebuild);
+                let a = simulate(&w, &mut incremental);
+                let b = simulate(&w, &mut rebuild);
+                for j in w.jobs() {
+                    assert_eq!(
+                        a.schedule.placement(j.id),
+                        b.schedule.placement(j.id),
+                        "case {case}, {}: profile mode changed placement of {}",
+                        spec.name(),
+                        j.id
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Schedule-record audit and machine bookkeeping agree: busy area of the
+/// schedule equals the workload's effective area.
+#[test]
+fn busy_area_conserved() {
+    for_each_case(0xB5A4, |case, rng| {
+        let w = Workload::new("prop", MACHINE, arb_jobs(rng, 40));
         let spec = AlgorithmSpec::reference();
         let out = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
         let expected: f64 = w.total_area();
-        prop_assert!((out.schedule.busy_area(&w) - expected).abs() < 1e-6);
-    }
+        assert!(
+            (out.schedule.busy_area(&w) - expected).abs() < 1e-6,
+            "case {case}"
+        );
+    });
+}
 
-    /// SWF round-trip preserves scheduling behaviour: the re-parsed
-    /// workload schedules identically.
-    #[test]
-    fn swf_roundtrip_preserves_schedules(jobs in arb_jobs(30)) {
-        let w = Workload::new("orig", MACHINE, jobs);
+/// SWF round-trip preserves scheduling behaviour: the re-parsed workload
+/// schedules identically.
+#[test]
+fn swf_roundtrip_preserves_schedules() {
+    for_each_case(0x50F5, |case, rng| {
+        let w = Workload::new("orig", MACHINE, arb_jobs(rng, 30));
         let back = Workload::from_swf(&w.to_swf(), "copy").unwrap();
-        prop_assert_eq!(w.len(), back.len());
+        assert_eq!(w.len(), back.len(), "case {case}");
         let spec = AlgorithmSpec::reference();
         let a = simulate(&w, &mut spec.build(WeightScheme::Unweighted));
         let b = simulate(&back, &mut spec.build(WeightScheme::Unweighted));
         for j in w.jobs() {
-            prop_assert_eq!(a.schedule.placement(j.id), b.schedule.placement(j.id));
+            assert_eq!(
+                a.schedule.placement(j.id),
+                b.schedule.placement(j.id),
+                "case {case}"
+            );
         }
-    }
+    });
 }
