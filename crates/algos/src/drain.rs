@@ -134,6 +134,12 @@ impl Scheduler for DrainingFcfs {
         self.waiting.insert(job);
     }
 
+    fn cancel(&mut self, id: JobId, _now: Time) {
+        if self.waiting.contains(id) {
+            self.waiting.remove(id);
+        }
+    }
+
     fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
         if machine.free_nodes() == 0 || self.waiting.is_empty() {
             return Vec::new();
@@ -216,6 +222,83 @@ mod tests {
         // From Monday 9am it is Monday 10am.
         assert_eq!(w.next_start(9 * HOUR), 10 * HOUR);
         assert_eq!(w.end_of(10 * HOUR + 10), 11 * HOUR);
+    }
+
+    #[test]
+    fn window_boundary_instants() {
+        let w = RecurringWindow::example4();
+        // The opening instant is inside, the closing instant is outside.
+        assert!(w.contains(10 * HOUR));
+        assert!(!w.contains(10 * HOUR - 1));
+        assert!(w.contains(11 * HOUR - 1));
+        assert!(!w.contains(11 * HOUR));
+        // next_start at exactly a window start returns that same start —
+        // the occurrence "at or after t" includes t itself.
+        assert_eq!(w.next_start(10 * HOUR), 10 * HOUR);
+        // One second into the window the current occurrence is behind us.
+        assert_eq!(w.next_start(10 * HOUR + 1), DAY + 10 * HOUR);
+        // contains/end_of agree at both edges of an occurrence.
+        assert_eq!(w.end_of(10 * HOUR), 11 * HOUR);
+        assert_eq!(w.end_of(11 * HOUR - 1), 11 * HOUR);
+        // Weekend rollover: any instant from Friday 10:00:01 onward maps
+        // to Monday 10:00 (day indices 5, 6 are the weekend).
+        assert_eq!(w.next_start(4 * DAY + 10 * HOUR + 1), 7 * DAY + 10 * HOUR);
+        assert_eq!(w.next_start(5 * DAY), 7 * DAY + 10 * HOUR);
+        assert_eq!(w.next_start(6 * DAY + 23 * HOUR), 7 * DAY + 10 * HOUR);
+        assert_eq!(w.next_start(7 * DAY + 10 * HOUR), 7 * DAY + 10 * HOUR);
+    }
+
+    #[test]
+    fn drain_admits_a_job_finishing_exactly_at_the_window_start() {
+        // Estimated completion landing exactly on 10:00 clears the drain
+        // (the window is half-open); one second longer must wait out the
+        // class.
+        let jobs = vec![
+            JobBuilder::new(JobId(0))
+                .submit(9 * HOUR)
+                .nodes(8)
+                .exact_runtime(HOUR)
+                .build(),
+            JobBuilder::new(JobId(0))
+                .submit(9 * HOUR)
+                .nodes(8)
+                .exact_runtime(HOUR + 1)
+                .build(),
+        ];
+        let w = Workload::new("drain", 64, jobs);
+        let mut s = DrainingFcfs::new(RecurringWindow::example4());
+        let out = simulate(&w, &mut s);
+        assert_eq!(out.schedule.placement(JobId(0)).unwrap().start, 9 * HOUR);
+        assert_eq!(out.schedule.placement(JobId(1)).unwrap().start, 11 * HOUR);
+    }
+
+    #[test]
+    fn wakeup_at_boundary_instants_points_past_the_window() {
+        let mut s = DrainingFcfs::new(RecurringWindow::example4());
+        assert_eq!(s.next_wakeup(9 * HOUR), None, "empty queue never wakes");
+        s.submit(
+            JobRequest {
+                id: JobId(0),
+                submit: 0,
+                nodes: 1,
+                requested_time: 100,
+                user: 0,
+            },
+            0,
+        );
+        // Before, at the opening instant, mid-window and at the closing
+        // instant: the wakeup always lands on (or beyond) a window end.
+        assert_eq!(s.next_wakeup(9 * HOUR), Some(11 * HOUR));
+        assert_eq!(s.next_wakeup(10 * HOUR), Some(11 * HOUR));
+        assert_eq!(s.next_wakeup(10 * HOUR + 1800), Some(11 * HOUR));
+        // 11:00 sharp is outside the window again: next relevant close is
+        // tomorrow's.
+        assert_eq!(s.next_wakeup(11 * HOUR), Some(DAY + 11 * HOUR));
+        // Friday after class: the weekend gap defers to Monday 11:00.
+        assert_eq!(
+            s.next_wakeup(4 * DAY + 11 * HOUR),
+            Some(7 * DAY + 11 * HOUR)
+        );
     }
 
     #[test]

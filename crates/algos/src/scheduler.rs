@@ -498,6 +498,25 @@ impl Scheduler for ListScheduler {
         self.invalidate_cache();
     }
 
+    fn cancel(&mut self, id: JobId, _now: Time) {
+        if !self.waiting.contains(id) {
+            return; // already started (or never submitted): nothing queued
+        }
+        self.waiting.remove(id);
+        self.covered.remove(&id);
+        // The blocked state may hinge on the retracted job (it could be
+        // the blocked head, or hold a reservation in the conservative
+        // calendar), and `arrivals` may still reference it — drop both.
+        self.invalidate_cache();
+    }
+
+    fn capacity_changed(&mut self, _now: Time) {
+        // A drain shrinks free capacity (cached leftovers overstate what
+        // fits: overcommit risk), an undrain grows it (cached "blocked"
+        // conclusions stall the queue) — either way the state is stale.
+        self.invalidate_cache();
+    }
+
     fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
         if machine.free_nodes() == 0 || self.waiting.is_empty() {
             return Vec::new();
@@ -744,6 +763,132 @@ mod tests {
             "trigger must throttle recomputations: {}",
             s.recomputations()
         );
+    }
+
+    #[test]
+    fn cancel_of_blocked_head_unblocks_queue_immediately() {
+        // Running job holds 6 of 10 nodes until 100. The 8-node head
+        // blocks; a 4-node job queues behind it. Cancelling the head at 50
+        // must start the 4-node job *at 50* — the blocked-state cache may
+        // not survive the retraction (no finish event occurs at 50).
+        let w = Workload::new(
+            "t",
+            10,
+            vec![
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(6)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(1)
+                    .nodes(8)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(2)
+                    .nodes(4)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+            ],
+        );
+        let plan = jobsched_sim::FaultPlan {
+            cancels: vec![jobsched_sim::CancelFault {
+                id: JobId(1),
+                at: 50,
+            }],
+            drains: vec![],
+        };
+        for caching in [true, false] {
+            let mut s =
+                ListScheduler::new(OrderPolicy::Fcfs, BackfillMode::None).with_caching(caching);
+            let out = jobsched_sim::simulate_with_faults(&w, &mut s, &plan);
+            assert_eq!(out.schedule.placement(JobId(1)), None);
+            assert_eq!(
+                out.schedule.placement(JobId(2)).unwrap().start,
+                50,
+                "caching={caching}"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_invalidates_cached_leftover_capacity() {
+        // Garey&Graham caches `leftover` free nodes. A drain at 10 takes
+        // them away; the job arriving at 20 must NOT be admitted against
+        // the stale leftover (that would overcommit → engine panic).
+        let w = Workload::new(
+            "t",
+            10,
+            vec![
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(2)
+                    .requested(500)
+                    .runtime(500)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(20)
+                    .nodes(8)
+                    .requested(50)
+                    .runtime(50)
+                    .build(),
+            ],
+        );
+        let plan = jobsched_sim::FaultPlan {
+            cancels: vec![],
+            drains: vec![jobsched_sim::DrainFault {
+                at: 10,
+                nodes: 8,
+                until: 300,
+            }],
+        };
+        let mut s = ListScheduler::new(OrderPolicy::GareyGraham, BackfillMode::None);
+        let out = jobsched_sim::simulate_with_faults(&w, &mut s, &plan);
+        // The 8-node job waits for the drained nodes to come back.
+        assert_eq!(out.schedule.placement(JobId(1)).unwrap().start, 300);
+    }
+
+    #[test]
+    fn undrain_wakes_cached_blocked_queue() {
+        // All 10 nodes drained over [0+, 80): the head-blocking cache
+        // concludes HeadBlocked at submit time. The undrain at 80 must
+        // invalidate it so the job starts at 80 (no job event happens
+        // then).
+        let w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0))
+                .submit(10)
+                .nodes(10)
+                .requested(50)
+                .runtime(50)
+                .build()],
+        );
+        let plan = jobsched_sim::FaultPlan {
+            cancels: vec![],
+            drains: vec![jobsched_sim::DrainFault {
+                at: 5,
+                nodes: 10,
+                until: 80,
+            }],
+        };
+        for mode in [
+            BackfillMode::None,
+            BackfillMode::Conservative,
+            BackfillMode::Easy,
+        ] {
+            let mut s = ListScheduler::new(OrderPolicy::Fcfs, mode);
+            let out = jobsched_sim::simulate_with_faults(&w, &mut s, &plan);
+            assert_eq!(
+                out.schedule.placement(JobId(0)).unwrap().start,
+                80,
+                "mode={mode:?}"
+            );
+        }
     }
 
     #[test]

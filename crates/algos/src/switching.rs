@@ -165,6 +165,14 @@ impl Scheduler for SwitchingScheduler {
         self.waiting.insert(job);
     }
 
+    fn cancel(&mut self, id: JobId, _now: Time) {
+        if self.waiting.contains(id) {
+            self.waiting.remove(id);
+            self.day.forget(id);
+            self.night.forget(id);
+        }
+    }
+
     fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
         if machine.free_nodes() == 0 || self.waiting.is_empty() {
             return Vec::new();
@@ -237,6 +245,67 @@ mod tests {
         assert!(!w.is_daytime(5 * DAY + 12 * HOUR)); // Saturday noon
         assert!(!w.is_daytime(6 * DAY + 12 * HOUR)); // Sunday noon
         assert!(w.is_daytime(7 * DAY + 12 * HOUR)); // next Monday noon
+    }
+
+    #[test]
+    fn day_night_window_second_level_edges() {
+        let w = DayNightWindow::default();
+        // The regime flips exactly on the whole-hour boundary, not a
+        // second early or late.
+        assert!(!w.is_daytime(7 * HOUR - 1)); // Monday 06:59:59
+        assert!(w.is_daytime(7 * HOUR)); // Monday 07:00:00
+        assert!(w.is_daytime(20 * HOUR - 1)); // Monday 19:59:59
+        assert!(!w.is_daytime(20 * HOUR)); // Monday 20:00:00
+                                           // Friday evening rolls straight into the weekend regime and stays
+                                           // there until Monday 07:00.
+        assert!(w.is_daytime(4 * DAY + 20 * HOUR - 1)); // Friday 19:59:59
+        assert!(!w.is_daytime(4 * DAY + 20 * HOUR)); // Friday 20:00:00
+        assert!(!w.is_daytime(7 * DAY + 7 * HOUR - 1)); // Monday 06:59:59 (week 2)
+        assert!(w.is_daytime(7 * DAY + 7 * HOUR)); // Monday 07:00:00 (week 2)
+    }
+
+    #[test]
+    fn custom_window_hours_are_respected() {
+        // A midnight-anchored window: start is inclusive at t = 0.
+        let w = DayNightWindow {
+            start_hour: 0,
+            end_hour: 6,
+        };
+        assert!(w.is_daytime(0));
+        assert!(w.is_daytime(6 * HOUR - 1));
+        assert!(!w.is_daytime(6 * HOUR));
+        // An empty window is never daytime.
+        let empty = DayNightWindow {
+            start_hour: 12,
+            end_hour: 12,
+        };
+        assert!(!empty.is_daytime(12 * HOUR));
+    }
+
+    #[test]
+    fn next_wakeup_lands_exactly_on_regime_boundaries() {
+        let mut s = SwitchingScheduler::paper_combination();
+        assert_eq!(s.next_wakeup(12 * HOUR), None, "empty queue never wakes");
+        s.submit(
+            JobRequest {
+                id: JobId(0),
+                submit: 0,
+                nodes: 1,
+                requested_time: 100,
+                user: 0,
+            },
+            0,
+        );
+        // Day → night boundary at 20:00, including from 07:00 sharp.
+        assert_eq!(s.next_wakeup(12 * HOUR), Some(20 * HOUR));
+        assert_eq!(s.next_wakeup(7 * HOUR), Some(20 * HOUR));
+        // Night → day boundary at 07:00.
+        assert_eq!(s.next_wakeup(2 * HOUR), Some(7 * HOUR));
+        // 20:00 sharp is already night: the next boundary is tomorrow 07:00.
+        assert_eq!(s.next_wakeup(20 * HOUR), Some(DAY + 7 * HOUR));
+        // Friday evening skips the whole weekend to Monday 07:00.
+        assert_eq!(s.next_wakeup(4 * DAY + 20 * HOUR), Some(7 * DAY + 7 * HOUR));
+        assert_eq!(s.next_wakeup(5 * DAY + 12 * HOUR), Some(7 * DAY + 7 * HOUR));
     }
 
     #[test]

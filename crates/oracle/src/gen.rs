@@ -1,0 +1,184 @@
+//! Randomized scenario generation for the fuzz harness.
+//!
+//! Scenarios are drawn from the hand-rolled xoshiro generator so that a
+//! `(base seed, index)` pair pins a scenario bit-for-bit: the nightly
+//! fuzz job logs its seed and any counterexample can be regenerated. The
+//! shapes are chosen adversarially for schedulers rather than
+//! realistically for users — convoys of full-width jobs, same-instant
+//! submission bursts, estimates that are wildly wrong in both directions,
+//! cancellations aimed at every lifecycle phase, and drains that shrink
+//! the machine under a planned backlog.
+
+use crate::scenario::{CancelSpec, DrainSpec, Scenario, ScenarioJob};
+use jobsched_algos::scheduler::ProfileMode;
+use jobsched_algos::spec::{AlgorithmSpec, PolicyKind};
+use jobsched_workload::rng::{derive_seed, Rng, SmallRng};
+use jobsched_workload::Time;
+
+/// Seed-stream tag for scenario generation (arbitrary constant, fixed
+/// forever so corpus regeneration stays possible).
+const STREAM_SCENARIO: u64 = 0x0AC1_E5EE;
+
+/// Generate the `index`-th scenario of the stream rooted at `base_seed`.
+pub fn random_scenario(base_seed: u64, index: u64) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(derive_seed(base_seed ^ STREAM_SCENARIO, index));
+
+    let machine_nodes = *pick(&mut rng, &[32u32, 64, 256]);
+    let spec = {
+        let matrix = AlgorithmSpec::paper_matrix();
+        *pick(&mut rng, &matrix)
+    };
+    let profile_mode = *pick(&mut rng, &[ProfileMode::Rebuild, ProfileMode::Incremental]);
+    let caching = rng.random_range(0u32..2) == 0;
+
+    let n = rng.random_range(20usize..=80);
+    let mut jobs = job_stream(&mut rng, n, machine_nodes);
+    // Occasionally make every estimate exact: the projected calendar is
+    // then the real one and the conservative first-sight reservations
+    // become binding promises the oracle enforces.
+    if rng.random_range(0u32..6) == 0 {
+        for j in &mut jobs {
+            j.runtime = j.requested;
+        }
+    }
+    let horizon = jobs.last().map(|j| j.submit).unwrap_or(0) + 10_000;
+
+    // Cancellations: up to 15% of jobs, injected anywhere from before the
+    // submission (the PreSubmit suppression phase) to long after the job
+    // is gone (the AlreadyFinished no-op phase).
+    let mut cancels = Vec::new();
+    let cancel_count = rng.random_range(0usize..=n * 15 / 100);
+    for _ in 0..cancel_count {
+        let job = rng.random_range(0usize..jobs.len());
+        let at = (jobs[job].submit + rng.random_range(0u64..20_000))
+            .saturating_sub(rng.random_range(0u64..1_000));
+        cancels.push(CancelSpec { at, job });
+    }
+
+    // Drains: a few maintenance windows, sometimes overlapping.
+    let mut drains = Vec::new();
+    for _ in 0..rng.random_range(0usize..=3) {
+        let at = rng.random_range(0u64..horizon);
+        let nodes = rng.random_range(1u32..=machine_nodes.div_ceil(2));
+        let until = at + rng.random_range(1u64..15_000);
+        drains.push(DrainSpec { at, nodes, until });
+    }
+
+    Scenario {
+        machine_nodes,
+        policy: spec.kind,
+        backfill: spec.backfill,
+        profile_mode,
+        caching,
+        mutation: None,
+        jobs,
+        cancels,
+        drains,
+    }
+}
+
+/// A scenario whose scheduler is the deliberately broken LIFO impostor
+/// claiming to be plain FCFS — the self-test that proves the oracle can
+/// catch a lying scheduler.
+pub fn broken_scenario(base_seed: u64, index: u64) -> Scenario {
+    let mut s = random_scenario(base_seed, index);
+    s.policy = PolicyKind::Fcfs;
+    s.backfill = jobsched_algos::BackfillMode::None;
+    s.mutation = Some(crate::scenario::Mutation::Lifo);
+    s
+}
+
+fn job_stream(rng: &mut SmallRng, n: usize, machine_nodes: u32) -> Vec<ScenarioJob> {
+    let shape = rng.random_range(0u32..4);
+    let mut jobs = Vec::with_capacity(n);
+    let mut t: Time = 0;
+    for i in 0..n {
+        // Submission process by shape: steady trickle, bursty batches
+        // (many same-instant submissions), a convoy front-loaded at 0, or
+        // fully random.
+        match shape {
+            0 => t += rng.random_range(1u64..600),
+            1 => {
+                if rng.random_range(0u32..4) == 0 {
+                    t += rng.random_range(1u64..2_000);
+                }
+            }
+            2 => {
+                if i >= n / 3 {
+                    t += rng.random_range(1u64..400);
+                }
+            }
+            _ => t += rng.random_range(0u64..1_200),
+        }
+
+        // Widths skew narrow but include full-machine convoy members.
+        let nodes = match rng.random_range(0u32..10) {
+            0 => machine_nodes,
+            1..=3 => rng.random_range(machine_nodes / 2..=machine_nodes).max(1),
+            _ => rng.random_range(1u32..=(machine_nodes / 4).max(1)),
+        };
+
+        // Estimates vs reality: exact, early finisher, or overrun (the
+        // engine truncates at the estimate — Rule 2).
+        let requested = rng.random_range(1u64..30_000);
+        let runtime = match rng.random_range(0u32..3) {
+            0 => requested,
+            1 => rng.random_range(1u64..=requested),
+            _ => requested + rng.random_range(1u64..10_000),
+        };
+
+        jobs.push(ScenarioJob {
+            submit: t,
+            nodes,
+            requested,
+            runtime,
+        });
+    }
+    jobs.sort_by_key(|j| j.submit);
+    jobs
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0usize..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_scenarios_are_valid_and_deterministic() {
+        for i in 0..200 {
+            let s = random_scenario(42, i);
+            s.validate().unwrap_or_else(|e| panic!("scenario {i}: {e}"));
+            assert_eq!(s, random_scenario(42, i), "index {i} not deterministic");
+        }
+    }
+
+    #[test]
+    fn stream_covers_the_configuration_space() {
+        let scenarios: Vec<Scenario> = (0..300).map(|i| random_scenario(7, i)).collect();
+        let policies: std::collections::BTreeSet<&str> =
+            scenarios.iter().map(|s| s.policy.label()).collect();
+        assert_eq!(policies.len(), 5, "all five policies drawn: {policies:?}");
+        assert!(scenarios.iter().any(|s| !s.cancels.is_empty()));
+        assert!(scenarios.iter().any(|s| !s.drains.is_empty()));
+        assert!(scenarios.iter().any(|s| s.cancels.is_empty()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.profile_mode == ProfileMode::Rebuild));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.profile_mode == ProfileMode::Incremental));
+        assert!(scenarios.iter().any(|s| s.caching));
+        assert!(scenarios.iter().any(|s| !s.caching));
+    }
+
+    #[test]
+    fn scenario_text_round_trips_through_the_generator() {
+        for i in 0..50 {
+            let s = random_scenario(99, i);
+            assert_eq!(Scenario::from_text(&s.to_text()).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,641 @@
+//! Schedule invariants, checked independently of the scheduler's own
+//! bookkeeping.
+//!
+//! The oracle wraps the scheduler under test in [`OracleScheduler`],
+//! which mirrors the queue from the raw engine callbacks (submission,
+//! cancellation, start) and audits every decision round:
+//!
+//! * **Generic invariants** (all policies): picks are waiting, never
+//!   cancelled, never duplicated, never before submission, and
+//!   sequentially feasible against the machine's free nodes.
+//! * **Exact differentials** (deterministic policies): the picks must
+//!   equal — element for element, in order — an independent naive
+//!   re-implementation of the published algorithm working from the
+//!   machine ground truth: head-blocking FCFS, Garey & Graham any-fit,
+//!   EASY's shadow/extra rule, and conservative FIFO booking.
+//! * **The conservative no-delay guarantee** (§5.2): "will not increase
+//!   the projected completion time of a job submitted before the job
+//!   used for backfilling". In the FIFO re-booking realisation this is
+//!   carried by the differential itself — the naive calendar books every
+//!   job *before* seeing later-queued ones, so pick equality proves no
+//!   later job displaced an earlier booking. The stronger reading —
+//!   "first-sight reservations are upper bounds on actual starts" — is
+//!   *not* an invariant under inexact estimates: an early finish lets an
+//!   earlier-queued job backfill-start ahead of its reservation, its new
+//!   projection cascades other earlier-queued reservations, and a later
+//!   job's booking can legitimately move past its original promise. With
+//!   exact estimates the projected calendar is the real one, nothing is
+//!   ever re-booked differently, and the promise does bind — so that is
+//!   exactly when the oracle enforces it.
+//!
+//! After the run, [`check_outcome`] audits the finished schedule from
+//! first principles: a capacity sweep over placements *and* drain grants,
+//! start-after-submit, Rule 2 truncation against the fault log's
+//! cancellation phases, FCFS start monotonicity, and an independent
+//! recomputation of ART/AWRT against `jobsched-metrics`.
+
+use crate::scenario::Scenario;
+use jobsched_algos::spec::PolicyKind;
+use jobsched_algos::BackfillMode;
+use jobsched_metrics::{AvgResponseTime, AvgWeightedResponseTime, Objective};
+use jobsched_sim::{
+    simulate_with_faults, CancelPhase, FaultOutcome, JobRequest, Machine, Profile, Scheduler,
+    SimOutcome,
+};
+use jobsched_workload::{JobId, Time, Workload};
+
+/// Which exact pick-equality differential applies to a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExactCheck {
+    /// Dynamic policies (SMART, PSRS): generic invariants only.
+    None,
+    /// FCFS, plain list: head-blocking prefix of the FIFO queue.
+    FcfsHead,
+    /// Garey & Graham: any-fit over the FIFO queue.
+    GareyAny,
+    /// FCFS + EASY: shadow-time/extra-node backfill rule.
+    FcfsEasy,
+    /// FCFS + conservative: FIFO reservation booking.
+    FcfsConservative,
+}
+
+impl ExactCheck {
+    fn for_config(policy: PolicyKind, backfill: BackfillMode) -> ExactCheck {
+        match (policy, backfill) {
+            (PolicyKind::Fcfs, BackfillMode::None) => ExactCheck::FcfsHead,
+            (PolicyKind::Fcfs, BackfillMode::Easy) => ExactCheck::FcfsEasy,
+            (PolicyKind::Fcfs, BackfillMode::Conservative) => ExactCheck::FcfsConservative,
+            (PolicyKind::GareyGraham, _) => ExactCheck::GareyAny,
+            _ => ExactCheck::None,
+        }
+    }
+}
+
+/// The auditing wrapper around the scheduler under test.
+struct OracleScheduler<'a> {
+    inner: Box<dyn Scheduler>,
+    scenario: &'a Scenario,
+    exact: ExactCheck,
+    /// Whether first-sight conservative reservations are binding: exact
+    /// estimates throughout and a fault-free plan.
+    promises_bind: bool,
+    /// FIFO queue mirrored from raw engine callbacks (ids ascend because
+    /// submission events arrive in id order).
+    waiting: Vec<usize>,
+    started: Vec<Option<Time>>,
+    cancelled: Vec<bool>,
+    /// Conservative no-delay promises, booked at first sight of a job.
+    /// Only binding when every projection is exact (see module docs), so
+    /// only populated then.
+    guarantees: Vec<Option<Time>>,
+    violations: Vec<String>,
+}
+
+impl<'a> OracleScheduler<'a> {
+    fn new(scenario: &'a Scenario) -> Self {
+        let n = scenario.jobs.len();
+        OracleScheduler {
+            inner: scenario.scheduler(),
+            scenario,
+            exact: ExactCheck::for_config(scenario.policy, scenario.backfill),
+            promises_bind: scenario.cancels.is_empty()
+                && scenario.drains.is_empty()
+                && scenario.jobs.iter().all(|j| j.runtime >= j.requested),
+            waiting: Vec::new(),
+            started: vec![None; n],
+            cancelled: vec![false; n],
+            guarantees: vec![None; n],
+            violations: Vec::new(),
+        }
+    }
+
+    fn job(&self, i: usize) -> (u32, Time) {
+        let j = &self.scenario.jobs[i];
+        (j.nodes, j.requested.max(1))
+    }
+
+    /// Independent re-implementation of the published selection rules
+    /// over the mirrored FIFO queue and the machine ground truth.
+    fn expected_picks(&self, now: Time, machine: &Machine) -> Option<Vec<usize>> {
+        match self.exact {
+            ExactCheck::None => None,
+            ExactCheck::FcfsHead => {
+                let mut free = machine.free_nodes();
+                let mut picks = Vec::new();
+                for &i in &self.waiting {
+                    let (nodes, _) = self.job(i);
+                    if nodes <= free {
+                        free -= nodes;
+                        picks.push(i);
+                    } else {
+                        break;
+                    }
+                }
+                Some(picks)
+            }
+            ExactCheck::GareyAny => {
+                let mut free = machine.free_nodes();
+                let mut picks = Vec::new();
+                for &i in &self.waiting {
+                    let (nodes, _) = self.job(i);
+                    if nodes <= free {
+                        free -= nodes;
+                        picks.push(i);
+                    }
+                }
+                Some(picks)
+            }
+            ExactCheck::FcfsEasy => Some(self.naive_easy(now, machine)),
+            ExactCheck::FcfsConservative => {
+                // The real scheduler truncates its calendar on pathological
+                // queue depths; the naive booking below is the exact
+                // (untruncated) algorithm, so stand down beyond the limit.
+                if self.waiting.len() > jobsched_algos::backfill::CONSERVATIVE_TRUNCATION_DEPTH {
+                    return None;
+                }
+                Some(self.naive_conservative(now, machine).0)
+            }
+        }
+    }
+
+    /// EASY (Lifka): greedy until a head blocks; compute the head's
+    /// shadow start and spare nodes from projected ends; backfill later
+    /// jobs that end by the shadow or fit the spare nodes.
+    fn naive_easy(&self, now: Time, machine: &Machine) -> Vec<usize> {
+        let mut free = machine.free_nodes();
+        let mut picks = Vec::new();
+        let mut queue = self.waiting.iter().copied();
+        let mut head = None;
+        for i in &mut queue {
+            let (nodes, _) = self.job(i);
+            if nodes <= free {
+                free -= nodes;
+                picks.push(i);
+            } else {
+                head = Some(i);
+                break;
+            }
+        }
+        let Some(head) = head else { return picks };
+
+        let mut profile = Profile::from_machine(machine, now);
+        for &i in &picks {
+            let (nodes, dur) = self.job(i);
+            profile.reserve(nodes, now, dur);
+        }
+        let (head_nodes, head_dur) = self.job(head);
+        let shadow = profile.earliest_start(head_nodes, head_dur, now);
+        let mut extra = profile.free_at(shadow).saturating_sub(head_nodes);
+
+        for i in queue {
+            if free == 0 {
+                break;
+            }
+            let (nodes, dur) = self.job(i);
+            if nodes > free {
+                continue;
+            }
+            if now + dur <= shadow {
+                free -= nodes;
+                picks.push(i);
+            } else if nodes <= extra {
+                free -= nodes;
+                extra -= nodes;
+                picks.push(i);
+            }
+        }
+        picks
+    }
+
+    /// Conservative: book a FIFO reservation for every queued job; start
+    /// exactly those whose reservation is `now`. Returns the picks and
+    /// each booked start (the no-delay promise).
+    fn naive_conservative(&self, now: Time, machine: &Machine) -> (Vec<usize>, Vec<(usize, Time)>) {
+        let mut profile = Profile::from_machine(machine, now);
+        let mut picks = Vec::new();
+        let mut booked = Vec::new();
+        for &i in &self.waiting {
+            let (nodes, dur) = self.job(i);
+            let start = profile.earliest_start(nodes, dur, now);
+            profile.reserve(nodes, start, dur);
+            booked.push((i, start));
+            if start == now {
+                picks.push(i);
+            }
+            if profile.free_at(now) == 0 {
+                break;
+            }
+        }
+        (picks, booked)
+    }
+
+    fn violate(&mut self, msg: String) {
+        self.violations.push(msg);
+    }
+}
+
+impl Scheduler for OracleScheduler<'_> {
+    fn name(&self) -> String {
+        format!("oracle({})", self.inner.name())
+    }
+
+    fn submit(&mut self, job: JobRequest, now: Time) {
+        self.waiting.push(job.id.index());
+        self.inner.submit(job, now);
+    }
+
+    fn job_finished(&mut self, id: JobId, now: Time) {
+        self.inner.job_finished(id, now);
+    }
+
+    fn cancel(&mut self, id: JobId, now: Time) {
+        self.cancelled[id.index()] = true;
+        self.waiting.retain(|&i| i != id.index());
+        self.inner.cancel(id, now);
+    }
+
+    fn capacity_changed(&mut self, now: Time) {
+        self.inner.capacity_changed(now);
+    }
+
+    fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
+        // Book no-delay promises for first-seen jobs *before* the real
+        // scheduler acts (machine state is pre-start). Binding only when
+        // the projected calendar is the real one: exact estimates, no
+        // faults (see module docs for why an early finish legitimately
+        // breaks first-sight promises).
+        if self.exact == ExactCheck::FcfsConservative
+            && self.promises_bind
+            && self.waiting.len() <= jobsched_algos::backfill::CONSERVATIVE_TRUNCATION_DEPTH
+        {
+            let (_, booked) = self.naive_conservative(now, machine);
+            for (i, start) in booked {
+                if self.guarantees[i].is_none() {
+                    self.guarantees[i] = Some(start);
+                }
+            }
+        }
+
+        let expected = self.expected_picks(now, machine);
+        let picks = self.inner.select_starts(now, machine);
+
+        let mut free = machine.free_nodes();
+        for &id in &picks {
+            let i = id.index();
+            let job = self.scenario.jobs[i];
+            if !self.waiting.contains(&i) {
+                self.violate(format!("t={now}: picked {id} which is not waiting"));
+            }
+            if self.cancelled[i] {
+                self.violate(format!("t={now}: picked cancelled job {id}"));
+            }
+            if let Some(prev) = self.started[i] {
+                self.violate(format!("t={now}: job {id} started twice (first t={prev})"));
+            }
+            if now < job.submit {
+                self.violate(format!(
+                    "t={now}: job {id} started before its submission at {}",
+                    job.submit
+                ));
+            }
+            if job.nodes > free {
+                self.violate(format!(
+                    "t={now}: job {id} needs {} nodes but only {free} remain free",
+                    job.nodes
+                ));
+            } else {
+                free -= job.nodes;
+            }
+            if let Some(promise) = self.guarantees[i] {
+                if now > promise {
+                    self.violate(format!(
+                        "t={now}: job {id} starts after its conservative \
+                         no-delay promise of t={promise}"
+                    ));
+                }
+            }
+        }
+
+        if let Some(expected) = expected {
+            let actual: Vec<usize> = picks.iter().map(|id| id.index()).collect();
+            if expected != actual {
+                self.violate(format!(
+                    "t={now}: {:?} differential mismatch — naive picks {expected:?}, \
+                     scheduler picked {actual:?} (queue {:?})",
+                    self.exact, self.waiting
+                ));
+            }
+        }
+
+        for &id in &picks {
+            self.started[id.index()] = Some(now);
+            self.waiting.retain(|&i| i != id.index());
+        }
+        picks
+    }
+
+    fn queue_len(&self) -> usize {
+        self.inner.queue_len()
+    }
+
+    fn next_wakeup(&self, now: Time) -> Option<Time> {
+        self.inner.next_wakeup(now)
+    }
+}
+
+/// Run the scenario through the real engine under the auditing wrapper
+/// and return every violation found (empty = clean). Panics from the
+/// engine or scheduler (overcommit, deadlock, double-start, …) are
+/// captured as violations.
+pub fn check_scenario(scenario: &Scenario) -> Vec<String> {
+    scenario
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid scenario handed to the oracle: {e}"));
+    let workload = scenario.workload();
+    let plan = scenario.fault_plan();
+    let mut oracle = OracleScheduler::new(scenario);
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        simulate_with_faults(&workload, &mut oracle, &plan)
+    }));
+    let mut violations = std::mem::take(&mut oracle.violations);
+    match outcome {
+        Ok(outcome) => violations.extend(check_outcome(scenario, &workload, &outcome)),
+        Err(panic) => violations.push(format!("simulation panicked: {}", panic_msg(&panic))),
+    }
+    violations
+}
+
+fn panic_msg(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// First-principles audit of a finished run: capacity, lifecycle
+/// consistency against the fault log, FCFS monotonicity, and objective
+/// recomputation.
+pub fn check_outcome(
+    scenario: &Scenario,
+    workload: &Workload,
+    outcome: &SimOutcome,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let schedule = &outcome.schedule;
+
+    // Fault log digested per job: the first cancellation outcome wins
+    // (the engine silently drops duplicates of an effective cancel).
+    let mut cancel_phase: Vec<Option<CancelPhase>> = vec![None; scenario.jobs.len()];
+    let mut cancel_at: Vec<Option<Time>> = vec![None; scenario.jobs.len()];
+    for f in &outcome.faults {
+        if let FaultOutcome::Cancelled { id, at, phase } = f {
+            if cancel_phase[id.index()].is_none() {
+                cancel_phase[id.index()] = Some(*phase);
+                cancel_at[id.index()] = Some(*at);
+            }
+        }
+    }
+
+    // Capacity sweep: committed nodes (job placements + drain grants)
+    // must never exceed the machine, applying releases before
+    // acquisitions at equal instants.
+    let mut events: Vec<(Time, i64)> = Vec::new();
+    for (i, job) in scenario.jobs.iter().enumerate() {
+        if let Some(p) = schedule.placement(JobId(i as u32)) {
+            events.push((p.start, job.nodes as i64));
+            events.push((p.completion, -(job.nodes as i64)));
+        }
+    }
+    for f in &outcome.faults {
+        if let FaultOutcome::Drained {
+            at, granted, until, ..
+        } = f
+        {
+            if *granted > 0 {
+                events.push((*at, *granted as i64));
+                events.push((*until, -(*granted as i64)));
+            }
+        }
+    }
+    events.sort_by_key(|&(t, delta)| (t, delta));
+    let mut committed: i64 = 0;
+    for (t, delta) in events {
+        committed += delta;
+        if committed > scenario.machine_nodes as i64 {
+            violations.push(format!(
+                "t={t}: {committed} nodes committed on a {}-node machine",
+                scenario.machine_nodes
+            ));
+        }
+    }
+
+    // Per-job lifecycle consistency.
+    for (i, job) in scenario.jobs.iter().enumerate() {
+        let id = JobId(i as u32);
+        let placement = schedule.placement(id);
+        match cancel_phase[i] {
+            Some(CancelPhase::PreSubmit) | Some(CancelPhase::Queued) => {
+                if let Some(p) = placement {
+                    violations.push(format!(
+                        "job {id} cancelled in phase {:?} but holds placement {p:?}",
+                        cancel_phase[i].unwrap()
+                    ));
+                }
+            }
+            Some(CancelPhase::Running) => match placement {
+                None => violations.push(format!("job {id} cancelled while running but unplaced")),
+                Some(p) => {
+                    if Some(p.completion) != cancel_at[i] {
+                        violations.push(format!(
+                            "job {id} killed at t={:?} but completion is {}",
+                            cancel_at[i], p.completion
+                        ));
+                    }
+                }
+            },
+            Some(CancelPhase::AlreadyFinished) | None => match placement {
+                None => violations.push(format!("job {id} never ran")),
+                Some(p) => {
+                    if p.start < job.submit {
+                        violations.push(format!(
+                            "job {id} started at {} before its submission at {}",
+                            p.start, job.submit
+                        ));
+                    }
+                    let effective = job.runtime.min(job.requested);
+                    if p.completion - p.start != effective {
+                        violations.push(format!(
+                            "job {id} ran {} but Rule 2 dictates {effective}",
+                            p.completion - p.start
+                        ));
+                    }
+                }
+            },
+        }
+    }
+
+    // FCFS start monotonicity: with head-blocking selection, placed jobs
+    // start in submission order (cancelled jobs drop out of the prefix).
+    if scenario.policy == PolicyKind::Fcfs && scenario.backfill == BackfillMode::None {
+        let mut last: Option<(JobId, Time)> = None;
+        for i in 0..scenario.jobs.len() {
+            let id = JobId(i as u32);
+            if let Some(p) = schedule.placement(id) {
+                if let Some((prev_id, prev_start)) = last {
+                    if p.start < prev_start {
+                        violations.push(format!(
+                            "FCFS monotonicity: {id} starts at {} before {prev_id} at {prev_start}",
+                            p.start
+                        ));
+                    }
+                }
+                last = Some((id, p.start));
+            }
+        }
+    }
+
+    // Objective recomputation from first principles (cancellation-free
+    // runs only: the §4 objectives are defined over complete schedules).
+    if scenario.cancels.is_empty() {
+        let n = scenario.jobs.len() as f64;
+        let mut art = 0.0;
+        let mut awrt = 0.0;
+        let mut complete = true;
+        for (i, job) in scenario.jobs.iter().enumerate() {
+            match schedule.placement(JobId(i as u32)) {
+                Some(p) => {
+                    let response = (p.completion - job.submit) as f64;
+                    let area = job.runtime.min(job.requested) as f64 * job.nodes as f64;
+                    art += response / n;
+                    awrt += area * response / n;
+                }
+                None => complete = false,
+            }
+        }
+        if !complete {
+            violations.push("cancellation-free run left jobs unplaced".into());
+        } else {
+            for (name, naive, metric) in [
+                ("ART", art, AvgResponseTime.cost(workload, schedule)),
+                (
+                    "AWRT",
+                    awrt,
+                    AvgWeightedResponseTime.cost(workload, schedule),
+                ),
+            ] {
+                let tolerance = 1e-9 * naive.abs().max(1.0);
+                if (naive - metric).abs() > tolerance {
+                    violations.push(format!(
+                        "{name} mismatch: first-principles {naive} vs metrics {metric}"
+                    ));
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{broken_scenario, random_scenario};
+    use crate::scenario::{CancelSpec, DrainSpec, Mutation, ScenarioJob};
+    use jobsched_algos::scheduler::ProfileMode;
+
+    fn base_scenario(policy: PolicyKind, backfill: BackfillMode) -> Scenario {
+        Scenario {
+            machine_nodes: 10,
+            policy,
+            backfill,
+            profile_mode: ProfileMode::Incremental,
+            caching: true,
+            mutation: None,
+            jobs: vec![
+                ScenarioJob {
+                    submit: 0,
+                    nodes: 6,
+                    requested: 100,
+                    runtime: 100,
+                },
+                ScenarioJob {
+                    submit: 1,
+                    nodes: 8,
+                    requested: 100,
+                    runtime: 100,
+                },
+                ScenarioJob {
+                    submit: 2,
+                    nodes: 4,
+                    requested: 40,
+                    runtime: 40,
+                },
+            ],
+            cancels: Vec::new(),
+            drains: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_configurations_produce_no_violations() {
+        for backfill in [
+            BackfillMode::None,
+            BackfillMode::Conservative,
+            BackfillMode::Easy,
+        ] {
+            let s = base_scenario(PolicyKind::Fcfs, backfill);
+            assert_eq!(check_scenario(&s), Vec::<String>::new(), "{backfill:?}");
+        }
+        let s = base_scenario(PolicyKind::GareyGraham, BackfillMode::None);
+        assert_eq!(check_scenario(&s), Vec::<String>::new());
+    }
+
+    #[test]
+    fn faults_do_not_trip_the_oracle_on_the_real_scheduler() {
+        let mut s = base_scenario(PolicyKind::Fcfs, BackfillMode::Easy);
+        s.cancels.push(CancelSpec { at: 50, job: 0 });
+        s.drains.push(DrainSpec {
+            at: 10,
+            nodes: 2,
+            until: 60,
+        });
+        assert_eq!(check_scenario(&s), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lifo_impostor_is_caught() {
+        let mut s = base_scenario(PolicyKind::Fcfs, BackfillMode::None);
+        s.mutation = Some(Mutation::Lifo);
+        let violations = check_scenario(&s);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("differential mismatch")),
+            "expected a differential violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn generated_stream_is_clean_smoke() {
+        for i in 0..40 {
+            let s = random_scenario(0xBEEF, i);
+            let violations = check_scenario(&s);
+            assert!(
+                violations.is_empty(),
+                "scenario {i} violated:\n{}\n{}",
+                violations.join("\n"),
+                s.to_text()
+            );
+        }
+    }
+
+    #[test]
+    fn broken_generated_stream_is_eventually_caught() {
+        let caught = (0..20).any(|i| !check_scenario(&broken_scenario(0xBEEF, i)).is_empty());
+        assert!(caught, "no generated LIFO scenario tripped the oracle");
+    }
+}

@@ -1,0 +1,39 @@
+//! `jobsched-oracle`: adversarial simulation oracle for the scheduler
+//! stack.
+//!
+//! The paper's evaluation (§3, §6) trusts the simulator and the
+//! schedulers to be correct; this crate is the adversary that earns that
+//! trust. It closes the loop the unit and property tests leave open:
+//! randomized *fault-injected* campaigns — jobs finishing early or
+//! overrunning their estimates, users retracting queued and running
+//! jobs, nodes draining out of service mid-backlog — replayed through
+//! the real [`jobsched_sim::engine`] and audited against independent
+//! re-implementations of the published algorithms.
+//!
+//! * [`scenario`] — a self-contained adversarial case (workload ×
+//!   algorithm configuration × fault plan) with a line-oriented replay
+//!   format for committing shrunk counterexamples to `tests/corpus/`;
+//! * [`gen`] — deterministic randomized scenario generation from the
+//!   hand-rolled xoshiro generator (seed + index pins a scenario);
+//! * [`invariants`] — the oracle proper: per-decision differentials
+//!   (exact pick equality vs naive FCFS / Garey & Graham / EASY /
+//!   conservative re-implementations), the §5.2 conservative no-delay
+//!   guarantee, capacity sweeps over placements *and* drain grants, and
+//!   first-principles ART/AWRT recomputation;
+//! * [`shrink`] — delta-debugging reduction of violating scenarios to
+//!   minimal reproducers.
+//!
+//! The fuzz harness lives in `tests/oracle_fuzz.rs` (budgeted, seed
+//! logged, counterexamples shrunk and written as `.scn` files);
+//! `tests/corpus_replay.rs` re-checks every committed reproducer on each
+//! `cargo test` run.
+
+pub mod gen;
+pub mod invariants;
+pub mod scenario;
+pub mod shrink;
+
+pub use gen::{broken_scenario, random_scenario};
+pub use invariants::{check_outcome, check_scenario};
+pub use scenario::{CancelSpec, DrainSpec, Mutation, Scenario, ScenarioJob};
+pub use shrink::{shrink, shrink_with_budget};

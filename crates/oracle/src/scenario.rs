@@ -1,0 +1,471 @@
+//! Scenario: one self-contained adversarial simulation case.
+//!
+//! A scenario bundles everything needed to reproduce a run bit-for-bit:
+//! the machine size, the algorithm configuration under test (policy ×
+//! backfill × profile mode × caching), the job stream, and the injected
+//! faults (cancellations and node drains). Scenarios serialize to a
+//! line-oriented text format so that shrunk counterexamples can be
+//! committed to `tests/corpus/` and replayed by `cargo test` — the
+//! deterministic-replay half of the oracle contract.
+
+use jobsched_algos::scheduler::ProfileMode;
+use jobsched_algos::spec::PolicyKind;
+use jobsched_algos::{BackfillMode, ListScheduler};
+use jobsched_sim::{CancelFault, DrainFault, FaultPlan, JobRequest, Machine, Scheduler};
+use jobsched_workload::{JobBuilder, JobId, Time, Workload};
+
+/// One job of the scenario's stream. The index into [`Scenario::jobs`]
+/// *is* the job's [`JobId`]: jobs are kept sorted by submission time so
+/// that [`Workload::new`]'s stable re-sort is the identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScenarioJob {
+    /// Submission instant.
+    pub submit: Time,
+    /// Rigid node requirement.
+    pub nodes: u32,
+    /// User estimate (upper runtime limit, Rule 2).
+    pub requested: Time,
+    /// Actual runtime (may exceed `requested`; execution truncates).
+    pub runtime: Time,
+}
+
+/// A user retracting a job (queued, running, or already done — the
+/// engine classifies the phase at injection time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CancelSpec {
+    /// Injection instant.
+    pub at: Time,
+    /// Index into [`Scenario::jobs`].
+    pub job: usize,
+}
+
+/// Nodes leaving service for maintenance over `[at, until)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainSpec {
+    /// Drain instant.
+    pub at: Time,
+    /// Nodes requested to drain (granted up to the free count).
+    pub nodes: u32,
+    /// Return-to-service instant (must be `> at`).
+    pub until: Time,
+}
+
+/// A deliberate, test-only scheduler defect. A scenario carrying a
+/// mutation *claims* to run its declared policy but actually runs the
+/// broken variant — the oracle must catch the lie. Used to validate that
+/// the invariant checks have teeth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Head-blocking list scheduling over *reversed* queue order: starves
+    /// early arrivals, violating the FCFS pick-equality and
+    /// start-monotonicity invariants (but never overcommits).
+    Lifo,
+}
+
+/// A complete adversarial simulation case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Machine width in nodes.
+    pub machine_nodes: u32,
+    /// Ordering policy under test.
+    pub policy: PolicyKind,
+    /// Backfill variant under test.
+    pub backfill: BackfillMode,
+    /// Availability-profile implementation under test.
+    pub profile_mode: ProfileMode,
+    /// Whether the blocked-state cache is enabled.
+    pub caching: bool,
+    /// Deliberate defect (None for real-scheduler runs).
+    pub mutation: Option<Mutation>,
+    /// Job stream, sorted by `submit` (index == [`JobId`]).
+    pub jobs: Vec<ScenarioJob>,
+    /// Cancellation faults.
+    pub cancels: Vec<CancelSpec>,
+    /// Drain faults.
+    pub drains: Vec<DrainSpec>,
+}
+
+impl Scenario {
+    /// Structural validity: index bounds, submit-sorted jobs, positive
+    /// sizes within the machine, well-formed fault windows. Generated and
+    /// shrunk scenarios always pass; hand-written corpus files are
+    /// rejected with a message naming the defect.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machine_nodes == 0 {
+            return Err("machine_nodes must be positive".into());
+        }
+        if self.jobs.is_empty() {
+            return Err("scenario has no jobs".into());
+        }
+        for (i, j) in self.jobs.iter().enumerate() {
+            if j.nodes == 0 || j.nodes > self.machine_nodes {
+                return Err(format!("job {i}: nodes {} out of range", j.nodes));
+            }
+            if j.requested == 0 || j.runtime == 0 {
+                return Err(format!("job {i}: times must be positive"));
+            }
+        }
+        if self.jobs.windows(2).any(|w| w[0].submit > w[1].submit) {
+            return Err("jobs must be sorted by submit time".into());
+        }
+        // A cancel may precede its job's submission: the engine suppresses
+        // the submission entirely (the PreSubmit phase), so any instant is
+        // a valid injection point.
+        for (i, c) in self.cancels.iter().enumerate() {
+            if c.job >= self.jobs.len() {
+                return Err(format!("cancel {i}: job index {} out of range", c.job));
+            }
+        }
+        for (i, d) in self.drains.iter().enumerate() {
+            if d.nodes == 0 {
+                return Err(format!("drain {i}: nodes must be positive"));
+            }
+            if d.until <= d.at {
+                return Err(format!("drain {i}: until must exceed at"));
+            }
+        }
+        if self.policy == PolicyKind::GareyGraham && self.backfill != BackfillMode::None {
+            return Err("Garey&Graham only supports the list column".into());
+        }
+        Ok(())
+    }
+
+    /// Materialise the workload. Because jobs are submit-sorted,
+    /// `jobs[i]` becomes `JobId(i)` — fault specs and invariant checks
+    /// rely on that identity.
+    pub fn workload(&self) -> Workload {
+        debug_assert!(self.validate().is_ok(), "building an invalid scenario");
+        let jobs = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                JobBuilder::new(JobId(i as u32))
+                    .submit(j.submit)
+                    .nodes(j.nodes)
+                    .requested(j.requested)
+                    .runtime(j.runtime)
+                    .build()
+            })
+            .collect();
+        Workload::new("oracle", self.machine_nodes, jobs)
+    }
+
+    /// The fault plan for [`jobsched_sim::simulate_with_faults`].
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan {
+            cancels: self
+                .cancels
+                .iter()
+                .map(|c| CancelFault {
+                    id: JobId(c.job as u32),
+                    at: c.at,
+                })
+                .collect(),
+            drains: self
+                .drains
+                .iter()
+                .map(|d| DrainFault {
+                    at: d.at,
+                    nodes: d.nodes,
+                    until: d.until,
+                })
+                .collect(),
+        }
+    }
+
+    /// Build the scheduler under test — the real list scheduler for the
+    /// declared configuration, or the mutated impostor.
+    pub fn scheduler(&self) -> Box<dyn Scheduler> {
+        match self.mutation {
+            Some(Mutation::Lifo) => Box::new(LifoScheduler::default()),
+            None => Box::new(
+                ListScheduler::new(self.policy.policy(Default::default()), self.backfill)
+                    .with_profile_mode(self.profile_mode)
+                    .with_caching(self.caching),
+            ),
+        }
+    }
+
+    /// Serialize to the line-oriented replay format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("machine {}\n", self.machine_nodes));
+        out.push_str(&format!("policy {}\n", policy_token(self.policy)));
+        out.push_str(&format!(
+            "backfill {}\n",
+            match self.backfill {
+                BackfillMode::None => "none",
+                BackfillMode::Conservative => "conservative",
+                BackfillMode::Easy => "easy",
+            }
+        ));
+        out.push_str(&format!(
+            "profile {}\n",
+            match self.profile_mode {
+                ProfileMode::Rebuild => "rebuild",
+                ProfileMode::Incremental => "incremental",
+            }
+        ));
+        out.push_str(&format!(
+            "caching {}\n",
+            if self.caching { "on" } else { "off" }
+        ));
+        if let Some(Mutation::Lifo) = self.mutation {
+            out.push_str("mutate lifo\n");
+        }
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "job {} {} {} {}\n",
+                j.submit, j.nodes, j.requested, j.runtime
+            ));
+        }
+        for c in &self.cancels {
+            out.push_str(&format!("cancel {} {}\n", c.at, c.job));
+        }
+        for d in &self.drains {
+            out.push_str(&format!("drain {} {} {}\n", d.at, d.nodes, d.until));
+        }
+        out
+    }
+
+    /// Parse the replay format (inverse of [`Scenario::to_text`]).
+    /// `#`-prefixed lines and blank lines are ignored.
+    pub fn from_text(text: &str) -> Result<Scenario, String> {
+        let mut s = Scenario {
+            machine_nodes: 0,
+            policy: PolicyKind::Fcfs,
+            backfill: BackfillMode::None,
+            profile_mode: ProfileMode::default(),
+            caching: true,
+            mutation: None,
+            jobs: Vec::new(),
+            cancels: Vec::new(),
+            drains: Vec::new(),
+        };
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts.next().unwrap();
+            let args: Vec<&str> = parts.collect();
+            let ctx = |msg: &str| format!("line {}: {msg}", ln + 1);
+            match key {
+                "machine" => {
+                    s.machine_nodes = parse_num(&args, 0, &ctx)?;
+                }
+                "policy" => {
+                    s.policy = match args.first().copied() {
+                        Some("fcfs") => PolicyKind::Fcfs,
+                        Some("psrs") => PolicyKind::Psrs,
+                        Some("smart-ffia") => PolicyKind::SmartFfia,
+                        Some("smart-nfiw") => PolicyKind::SmartNfiw,
+                        Some("garey-graham") => PolicyKind::GareyGraham,
+                        other => return Err(ctx(&format!("unknown policy {other:?}"))),
+                    };
+                }
+                "backfill" => {
+                    s.backfill = match args.first().copied() {
+                        Some("none") => BackfillMode::None,
+                        Some("conservative") => BackfillMode::Conservative,
+                        Some("easy") => BackfillMode::Easy,
+                        other => return Err(ctx(&format!("unknown backfill {other:?}"))),
+                    };
+                }
+                "profile" => {
+                    s.profile_mode = match args.first().copied() {
+                        Some("rebuild") => ProfileMode::Rebuild,
+                        Some("incremental") => ProfileMode::Incremental,
+                        other => return Err(ctx(&format!("unknown profile mode {other:?}"))),
+                    };
+                }
+                "caching" => {
+                    s.caching = match args.first().copied() {
+                        Some("on") => true,
+                        Some("off") => false,
+                        other => return Err(ctx(&format!("unknown caching flag {other:?}"))),
+                    };
+                }
+                "mutate" => {
+                    s.mutation = match args.first().copied() {
+                        Some("lifo") => Some(Mutation::Lifo),
+                        other => return Err(ctx(&format!("unknown mutation {other:?}"))),
+                    };
+                }
+                "job" => {
+                    s.jobs.push(ScenarioJob {
+                        submit: parse_num(&args, 0, &ctx)?,
+                        nodes: parse_num(&args, 1, &ctx)?,
+                        requested: parse_num(&args, 2, &ctx)?,
+                        runtime: parse_num(&args, 3, &ctx)?,
+                    });
+                }
+                "cancel" => {
+                    s.cancels.push(CancelSpec {
+                        at: parse_num(&args, 0, &ctx)?,
+                        job: parse_num(&args, 1, &ctx)?,
+                    });
+                }
+                "drain" => {
+                    s.drains.push(DrainSpec {
+                        at: parse_num(&args, 0, &ctx)?,
+                        nodes: parse_num(&args, 1, &ctx)?,
+                        until: parse_num(&args, 2, &ctx)?,
+                    });
+                }
+                other => return Err(ctx(&format!("unknown directive {other:?}"))),
+            }
+        }
+        s.validate()?;
+        Ok(s)
+    }
+}
+
+fn policy_token(p: PolicyKind) -> &'static str {
+    match p {
+        PolicyKind::Fcfs => "fcfs",
+        PolicyKind::Psrs => "psrs",
+        PolicyKind::SmartFfia => "smart-ffia",
+        PolicyKind::SmartNfiw => "smart-nfiw",
+        PolicyKind::GareyGraham => "garey-graham",
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    args: &[&str],
+    idx: usize,
+    ctx: &dyn Fn(&str) -> String,
+) -> Result<T, String> {
+    args.get(idx)
+        .ok_or_else(|| ctx(&format!("missing field {idx}")))?
+        .parse()
+        .map_err(|_| ctx(&format!("unparsable field {idx}")))
+}
+
+/// The [`Mutation::Lifo`] impostor: head-blocking list scheduling over
+/// reversed submission order. Structurally sound (never overcommits,
+/// always drains the queue once the machine empties) but behaviourally
+/// wrong for a scheduler claiming FCFS.
+#[derive(Debug, Default)]
+pub struct LifoScheduler {
+    waiting: Vec<JobRequest>,
+}
+
+impl Scheduler for LifoScheduler {
+    fn name(&self) -> String {
+        "LIFO (deliberately broken)".into()
+    }
+
+    fn submit(&mut self, job: JobRequest, _now: Time) {
+        self.waiting.push(job);
+    }
+
+    fn cancel(&mut self, id: JobId, _now: Time) {
+        self.waiting.retain(|j| j.id != id);
+    }
+
+    fn select_starts(&mut self, _now: Time, machine: &Machine) -> Vec<JobId> {
+        let mut free = machine.free_nodes();
+        let mut picks = Vec::new();
+        for job in self.waiting.iter().rev() {
+            if job.nodes <= free {
+                free -= job.nodes;
+                picks.push(job.id);
+            } else {
+                break;
+            }
+        }
+        self.waiting.retain(|j| !picks.contains(&j.id));
+        picks
+    }
+
+    fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            machine_nodes: 256,
+            policy: PolicyKind::SmartFfia,
+            backfill: BackfillMode::Easy,
+            profile_mode: ProfileMode::Rebuild,
+            caching: false,
+            mutation: None,
+            jobs: vec![
+                ScenarioJob {
+                    submit: 0,
+                    nodes: 16,
+                    requested: 100,
+                    runtime: 80,
+                },
+                ScenarioJob {
+                    submit: 5,
+                    nodes: 200,
+                    requested: 50,
+                    runtime: 70,
+                },
+            ],
+            cancels: vec![CancelSpec { at: 40, job: 0 }],
+            drains: vec![DrainSpec {
+                at: 10,
+                nodes: 32,
+                until: 60,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_identity() {
+        let s = sample();
+        let parsed = Scenario::from_text(&s.to_text()).unwrap();
+        assert_eq!(parsed, s);
+        let mutated = Scenario {
+            mutation: Some(Mutation::Lifo),
+            policy: PolicyKind::Fcfs,
+            backfill: BackfillMode::None,
+            ..s
+        };
+        assert_eq!(Scenario::from_text(&mutated.to_text()).unwrap(), mutated);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("# reproducer\n\n{}\n# trailing\n", sample().to_text());
+        assert_eq!(Scenario::from_text(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_scenarios() {
+        let mut s = sample();
+        s.cancels[0].job = 9;
+        assert!(s.validate().is_err());
+        let mut s = sample();
+        s.jobs.swap(0, 1);
+        assert!(s.validate().is_err());
+        let mut s = sample();
+        s.drains[0].until = s.drains[0].at;
+        assert!(s.validate().is_err());
+        let mut s = sample();
+        s.jobs[0].nodes = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn workload_preserves_index_identity() {
+        let s = sample();
+        let w = s.workload();
+        for (i, j) in s.jobs.iter().enumerate() {
+            let job = &w.jobs()[i];
+            assert_eq!(job.id, JobId(i as u32));
+            assert_eq!(job.submit, j.submit);
+            assert_eq!(job.nodes, j.nodes);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Counterexample shrinking: delta-debug a violating scenario down to a
+//! minimal reproducer before it is written to the replay corpus.
+//!
+//! The reduction passes, applied to a fixpoint (bounded by an evaluation
+//! budget):
+//!
+//! 1. drop contiguous job chunks (halving chunk sizes, ddmin-style),
+//!    remapping cancel indices past the gap;
+//! 2. drop individual drains, then individual cancels;
+//! 3. round every time down to coarse multiples (floor rounding is
+//!    monotone, so the submit-sorted job order survives).
+//!
+//! A candidate replaces the current scenario only if it is structurally
+//! valid *and* still trips [`check_scenario`] — the violation being
+//! preserved, not necessarily the same message.
+
+use crate::invariants::check_scenario;
+use crate::scenario::Scenario;
+
+/// Default evaluation budget: each evaluation is one full simulation of
+/// at most ~80 jobs, so this stays well under a second.
+pub const DEFAULT_SHRINK_EVALS: usize = 800;
+
+/// Shrink a violating scenario to a (locally) minimal reproducer.
+/// Panics if the input does not violate — shrinking a passing scenario
+/// is a harness bug.
+pub fn shrink(scenario: &Scenario) -> Scenario {
+    shrink_with_budget(scenario, DEFAULT_SHRINK_EVALS)
+}
+
+/// [`shrink`] with an explicit evaluation budget.
+pub fn shrink_with_budget(scenario: &Scenario, budget: usize) -> Scenario {
+    let mut evals = 0usize;
+    let mut fails = |s: &Scenario| {
+        if evals >= budget {
+            return false; // budget exhausted: stop accepting candidates
+        }
+        evals += 1;
+        s.validate().is_ok() && !check_scenario(s).is_empty()
+    };
+    assert!(
+        fails(scenario),
+        "shrink called on a scenario with no violation"
+    );
+
+    let mut current = scenario.clone();
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop job chunks.
+        let mut chunk = (current.jobs.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < current.jobs.len() && current.jobs.len() > 1 {
+                let end = (i + chunk).min(current.jobs.len());
+                let candidate = drop_jobs(&current, i, end);
+                if fails(&candidate) {
+                    current = candidate;
+                    progressed = true;
+                    // re-test the same position: the next chunk shifted in
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: drop individual drains and cancels.
+        let mut d = 0;
+        while d < current.drains.len() {
+            let mut candidate = current.clone();
+            candidate.drains.remove(d);
+            if fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            } else {
+                d += 1;
+            }
+        }
+        let mut c = 0;
+        while c < current.cancels.len() {
+            let mut candidate = current.clone();
+            candidate.cancels.remove(c);
+            if fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            } else {
+                c += 1;
+            }
+        }
+
+        // Pass 3: coarsen times (floor to multiples; monotone, so the
+        // submit sort order is preserved).
+        for unit in [10_000u64, 1_000, 100, 10] {
+            let candidate = round_times(&current, unit);
+            if candidate != current && fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Remove jobs `[from, to)`, dropping cancels aimed at them and shifting
+/// later cancel indices left.
+fn drop_jobs(s: &Scenario, from: usize, to: usize) -> Scenario {
+    let mut out = s.clone();
+    out.jobs.drain(from..to);
+    let removed = to - from;
+    out.cancels.retain(|c| !(from..to).contains(&c.job));
+    for c in &mut out.cancels {
+        if c.job >= to {
+            c.job -= removed;
+        }
+    }
+    out
+}
+
+/// Floor every time field to a multiple of `unit` (keeping durations
+/// positive); invalid results (e.g. a drain collapsing to zero width)
+/// are rejected by the caller's validity check.
+fn round_times(s: &Scenario, unit: u64) -> Scenario {
+    let floor = |t: u64| t - t % unit;
+    let mut out = s.clone();
+    for j in &mut out.jobs {
+        j.submit = floor(j.submit);
+        j.requested = floor(j.requested).max(1);
+        j.runtime = floor(j.runtime).max(1);
+    }
+    for c in &mut out.cancels {
+        c.at = floor(c.at);
+    }
+    for d in &mut out.drains {
+        d.at = floor(d.at);
+        d.until = floor(d.until).max(d.at + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::broken_scenario;
+
+    #[test]
+    fn shrinks_a_lifo_counterexample_to_a_handful_of_jobs() {
+        let full = (0..20)
+            .map(|i| broken_scenario(0xD0, i))
+            .find(|s| !check_scenario(s).is_empty())
+            .expect("some generated LIFO scenario must violate");
+        let small = shrink(&full);
+        assert!(!check_scenario(&small).is_empty(), "violation lost");
+        assert!(
+            small.jobs.len() <= 5,
+            "still {} jobs after shrinking:\n{}",
+            small.jobs.len(),
+            small.to_text()
+        );
+        assert!(small.jobs.len() < full.jobs.len());
+    }
+
+    #[test]
+    fn dropping_jobs_remaps_cancel_indices() {
+        let mut s = broken_scenario(1, 0);
+        s.cancels.clear();
+        s.cancels.push(crate::scenario::CancelSpec {
+            at: s.jobs[5].submit,
+            job: 5,
+        });
+        let out = drop_jobs(&s, 1, 4);
+        assert_eq!(out.jobs.len(), s.jobs.len() - 3);
+        assert_eq!(out.cancels[0].job, 2);
+        let gone = drop_jobs(&s, 4, 8);
+        assert!(gone.cancels.is_empty());
+    }
+}

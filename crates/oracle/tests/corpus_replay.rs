@@ -1,0 +1,52 @@
+//! Deterministic replay of the committed counterexample corpus.
+//!
+//! Every `.scn` file under `tests/corpus/` is parsed and re-checked on
+//! each `cargo test` run (the fast PR-time half of the oracle CI story;
+//! the budgeted fuzz sweep is the nightly half):
+//!
+//! * scenarios **without** a `mutate` directive are regression cases —
+//!   once-shrunk reproducers of fixed bugs, or curated fault-heavy cases
+//!   — and must replay clean;
+//! * scenarios **with** a `mutate` directive are known-bad schedulers and
+//!   must keep tripping the oracle — if one stops failing, the invariant
+//!   checks have lost their teeth.
+
+use jobsched_oracle::{check_scenario, Scenario};
+use std::path::PathBuf;
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|entry| entry.expect("corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "scn"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn committed_corpus_replays_with_expected_verdicts() {
+    let files = corpus_files();
+    assert!(!files.is_empty(), "corpus must not be empty");
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("read corpus file");
+        let scenario = Scenario::from_text(&text)
+            .unwrap_or_else(|e| panic!("{}: unparsable corpus entry: {e}", path.display()));
+        let violations = check_scenario(&scenario);
+        if scenario.mutation.is_some() {
+            assert!(
+                !violations.is_empty(),
+                "{}: known-bad scenario now replays clean — the oracle lost its teeth",
+                path.display()
+            );
+        } else {
+            assert!(
+                violations.is_empty(),
+                "{}: regression — committed reproducer violates again:\n  {}",
+                path.display(),
+                violations.join("\n  ")
+            );
+        }
+    }
+}

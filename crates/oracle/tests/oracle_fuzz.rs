@@ -1,0 +1,111 @@
+//! The fuzz harness: replay a budget of randomized fault-injected
+//! scenarios through the real engine and fail loudly — with a shrunk,
+//! replayable counterexample — on any invariant violation.
+//!
+//! Knobs (environment variables, all optional):
+//!
+//! * `ORACLE_FUZZ_COUNT` — scenarios to run (default 500; the nightly CI
+//!   job raises this);
+//! * `ORACLE_FUZZ_SEED` — base seed (default 0x0DD5EED; logged so a
+//!   nightly failure is regenerable);
+//! * `ORACLE_REPRO_DIR` — where to write `.scn` counterexamples
+//!   (default: the target tmpdir; CI points this at an artifact dir).
+
+use jobsched_oracle::{broken_scenario, check_scenario, random_scenario, shrink};
+use jobsched_sweep::pool::run_indexed;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn repro_dir() -> std::path::PathBuf {
+    match std::env::var_os("ORACLE_REPRO_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join("jobsched-oracle-repro"),
+    }
+}
+
+/// Write the shrunk counterexample and its provenance, returning the
+/// path (best effort: the panic message carries the scenario regardless).
+fn write_repro(name: &str, seed: u64, index: u64, scenario: &jobsched_oracle::Scenario) -> String {
+    let dir = repro_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}-seed{seed:#x}-{index}.scn"));
+    let body = format!(
+        "# shrunk counterexample: {name}, base seed {seed:#x}, index {index}\n\
+         # regenerate: ORACLE_FUZZ_SEED={seed} cargo test -p jobsched-oracle --test oracle_fuzz\n\
+         {}",
+        scenario.to_text()
+    );
+    let _ = std::fs::write(&path, body);
+    path.display().to_string()
+}
+
+#[test]
+fn randomized_fault_injected_scenarios_hold_all_invariants() {
+    let count = env_u64("ORACLE_FUZZ_COUNT", 500);
+    let seed = env_u64("ORACLE_FUZZ_SEED", 0x0DD5EED);
+    let jobs = std::thread::available_parallelism().map_or(4, |n| n.get());
+    eprintln!("oracle_fuzz: {count} scenarios, base seed {seed:#x}, {jobs} workers");
+
+    let failures: Vec<(u64, Vec<String>)> =
+        run_indexed(jobs, (0..count).collect::<Vec<u64>>(), |_task, index| {
+            let scenario = random_scenario(seed, index);
+            let violations = check_scenario(&scenario);
+            (index, violations)
+        })
+        .into_iter()
+        .filter(|(_, v)| !v.is_empty())
+        .collect();
+
+    if let Some((index, violations)) = failures.first() {
+        let scenario = random_scenario(seed, *index);
+        let small = shrink(&scenario);
+        let remaining = check_scenario(&small);
+        let path = write_repro("fuzz", seed, *index, &small);
+        panic!(
+            "{} of {count} scenarios violated invariants; first: index {index}\n\
+             original violations:\n  {}\n\
+             shrunk reproducer ({} jobs, {} cancels, {} drains) written to {path}\n\
+             shrunk violations:\n  {}\n\
+             scenario:\n{}",
+            failures.len(),
+            violations.join("\n  "),
+            small.jobs.len(),
+            small.cancels.len(),
+            small.drains.len(),
+            remaining.join("\n  "),
+            small.to_text()
+        );
+    }
+}
+
+#[test]
+fn broken_scheduler_is_caught_and_shrunk() {
+    // The self-test that proves the harness has teeth: a deliberately
+    // broken scheduler (LIFO claiming to be FCFS) must be caught by the
+    // differential checks and shrink to a ≤ 5-job reproducer.
+    let seed = env_u64("ORACLE_FUZZ_SEED", 0x0DD5EED);
+    let caught: Vec<u64> = (0..25)
+        .filter(|&i| !check_scenario(&broken_scenario(seed, i)).is_empty())
+        .collect();
+    assert!(
+        caught.len() >= 20,
+        "LIFO impostor evaded the oracle in most runs (caught {}/25)",
+        caught.len()
+    );
+    let small = shrink(&broken_scenario(seed, caught[0]));
+    assert!(
+        !check_scenario(&small).is_empty(),
+        "shrinking lost the violation"
+    );
+    assert!(
+        small.jobs.len() <= 5,
+        "reproducer still has {} jobs:\n{}",
+        small.jobs.len(),
+        small.to_text()
+    );
+}

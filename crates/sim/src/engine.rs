@@ -82,6 +82,22 @@ pub trait Scheduler {
     /// A running job completed (possibly earlier than projected).
     fn job_finished(&mut self, _id: JobId, _now: Time) {}
 
+    /// A *queued* job was retracted by its user (fault injection): the
+    /// scheduler must forget it — it will never start. Cancellations of
+    /// running jobs surface as [`Scheduler::job_finished`] instead. The
+    /// default ignores the retraction, which is only sound for schedulers
+    /// that are never driven with cancellation faults; the engine panics
+    /// if a cancelled job is later returned from
+    /// [`Scheduler::select_starts`].
+    fn cancel(&mut self, _id: JobId, _now: Time) {}
+
+    /// Machine capacity changed outside the job lifecycle (nodes drained
+    /// or returned to service). Schedulers caching conclusions derived
+    /// from the free-node count must drop them: a drain *shrinks* free
+    /// capacity mid-interval (cached "this still fits" claims go stale),
+    /// an undrain grows it (cached "nothing can start" claims go stale).
+    fn capacity_changed(&mut self, _now: Time) {}
+
     /// Decide which queued jobs to start at `now`, given machine state.
     fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId>;
 
@@ -95,6 +111,85 @@ pub trait Scheduler {
     fn next_wakeup(&self, _now: Time) -> Option<Time> {
         None
     }
+}
+
+/// A user cancelling a job at a given instant (fault injection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CancelFault {
+    /// The job to retract.
+    pub id: JobId,
+    /// When the cancellation arrives.
+    pub at: Time,
+}
+
+/// Nodes leaving service for an interval (fault injection). The grant is
+/// best-effort: only free nodes can drain (running jobs are never
+/// preempted — no time sharing), so the engine grants
+/// `min(nodes, free)` and skips the drain entirely when nothing is free
+/// or the interval is empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainFault {
+    /// When the drain begins.
+    pub at: Time,
+    /// Nodes requested to leave service.
+    pub nodes: u32,
+    /// When the nodes return (exclusive; must exceed `at` to take effect).
+    pub until: Time,
+}
+
+/// The adversarial events injected into one simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Job cancellations, applied whether the job is queued or running.
+    pub cancels: Vec<CancelFault>,
+    /// Node drain intervals.
+    pub drains: Vec<DrainFault>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cancels.is_empty() && self.drains.is_empty()
+    }
+}
+
+/// Where a cancellation found its job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelPhase {
+    /// Before submission: the job never enters the system at all.
+    PreSubmit,
+    /// Waiting in the scheduler's queue: retracted, never starts.
+    Queued,
+    /// Running: killed mid-execution, resources released immediately.
+    Running,
+    /// Already completed: the cancellation is a no-op.
+    AlreadyFinished,
+}
+
+/// What actually happened to one injected fault — the ground truth an
+/// external checker audits the schedule against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// A cancellation was applied.
+    Cancelled {
+        /// The cancelled job.
+        id: JobId,
+        /// When the cancellation was processed.
+        at: Time,
+        /// The job's state at that instant.
+        phase: CancelPhase,
+    },
+    /// A drain was applied (or attempted).
+    Drained {
+        /// When the drain was processed.
+        at: Time,
+        /// Nodes the plan asked for.
+        requested: u32,
+        /// Nodes actually taken out of service (`min(requested, free)`).
+        granted: u32,
+        /// When the granted nodes return to service.
+        until: Time,
+    },
 }
 
 /// Result of one simulation run.
@@ -111,6 +206,8 @@ pub struct SimOutcome {
     pub decision_rounds: u64,
     /// Peak wait-queue length observed (backlog indicator, §6.1).
     pub peak_queue: usize,
+    /// What each injected fault actually did (empty for fault-free runs).
+    pub faults: Vec<FaultOutcome>,
 }
 
 /// Run `scheduler` against `workload` until every job has completed.
@@ -119,33 +216,131 @@ pub struct SimOutcome {
 /// oversubscribed job, or deadlocking with a non-empty queue on an idle
 /// machine) — these are algorithm bugs, not recoverable conditions.
 pub fn simulate(workload: &Workload, scheduler: &mut dyn Scheduler) -> SimOutcome {
+    simulate_with_faults(workload, scheduler, &FaultPlan::default())
+}
+
+/// Run `scheduler` against `workload` while injecting the cancellations
+/// and node drains of `faults`. With an empty plan this is exactly
+/// [`simulate`].
+///
+/// Fault semantics (all resolved by [`Event`] batch order at shared
+/// timestamps):
+///
+/// * A cancellation retracts a queued job ([`Scheduler::cancel`]), kills
+///   a running one (resources released, completion truncated,
+///   [`Scheduler::job_finished`]), suppresses a not-yet-submitted one
+///   entirely, and is a no-op on a finished one. [`SimOutcome::faults`]
+///   records which case applied.
+/// * A drain removes `min(nodes, free)` nodes at `at` and returns them at
+///   `until` (skipped when nothing is free or `until <= at`). Schedulers
+///   hear about both edges via [`Scheduler::capacity_changed`].
+pub fn simulate_with_faults(
+    workload: &Workload,
+    scheduler: &mut dyn Scheduler,
+    faults: &FaultPlan,
+) -> SimOutcome {
     let mut machine = Machine::new(workload.machine_nodes());
     let mut events = EventQueue::new();
     let mut record = ScheduleRecord::new(workload.machine_nodes(), workload.len());
     for job in workload.jobs() {
         events.push(job.submit, Event::Submit(job.id));
     }
+    for c in &faults.cancels {
+        assert!(c.id.index() < workload.len(), "cancel of unknown job");
+        events.push(c.at, Event::Cancel(c.id));
+    }
+    let mut drain_tokens: Vec<Option<crate::machine::DrainToken>> = Vec::new();
+    for (i, d) in faults.drains.iter().enumerate() {
+        drain_tokens.push(None);
+        if d.until > d.at {
+            events.push(d.at, Event::Drain(i as u32));
+            events.push(d.until, Event::Undrain(i as u32));
+        }
+    }
 
     let mut scheduler_cpu = Duration::ZERO;
     let mut n_events = 0u64;
     let mut rounds = 0u64;
     let mut peak_queue = 0usize;
+    let mut fault_log = Vec::new();
+    // Lifecycle flags, indexed by job: cancelled jobs must never (re)enter
+    // the system; submitted/running distinguish the cancellation phases.
+    let mut cancelled = vec![false; workload.len()];
+    let mut submitted = vec![false; workload.len()];
 
     while let Some((now, batch)) = events.pop_batch() {
         for ev in batch {
             n_events += 1;
             match ev {
                 Event::Submit(id) => {
+                    if cancelled[id.index()] {
+                        continue; // cancelled before submission: never enters
+                    }
+                    submitted[id.index()] = true;
                     let job = workload.job(id);
                     let t0 = Instant::now();
                     scheduler.submit(JobRequest::from(job), now);
                     scheduler_cpu += t0.elapsed();
                 }
                 Event::Finish(id) => {
+                    if cancelled[id.index()] {
+                        continue; // killed mid-run: resources already released
+                    }
                     machine.finish(id).expect("finish event for running job");
                     let t0 = Instant::now();
                     scheduler.job_finished(id, now);
                     scheduler_cpu += t0.elapsed();
+                }
+                Event::Cancel(id) => {
+                    if cancelled[id.index()] {
+                        continue; // duplicate cancellation
+                    }
+                    let phase = if !submitted[id.index()] {
+                        cancelled[id.index()] = true;
+                        CancelPhase::PreSubmit
+                    } else if machine.running().iter().any(|s| s.id == id) {
+                        cancelled[id.index()] = true;
+                        machine.finish(id).expect("cancelling a running job");
+                        record.cancel_at(id, now);
+                        let t0 = Instant::now();
+                        scheduler.job_finished(id, now);
+                        scheduler_cpu += t0.elapsed();
+                        CancelPhase::Running
+                    } else if record.placement(id).is_none() {
+                        cancelled[id.index()] = true;
+                        let t0 = Instant::now();
+                        scheduler.cancel(id, now);
+                        scheduler_cpu += t0.elapsed();
+                        CancelPhase::Queued
+                    } else {
+                        CancelPhase::AlreadyFinished // too late: no-op
+                    };
+                    fault_log.push(FaultOutcome::Cancelled { id, at: now, phase });
+                }
+                Event::Drain(idx) => {
+                    let d = faults.drains[idx as usize];
+                    let granted = d.nodes.min(machine.free_nodes());
+                    if granted > 0 {
+                        let token = machine.drain(granted, d.until).expect("granted <= free");
+                        drain_tokens[idx as usize] = Some(token);
+                        let t0 = Instant::now();
+                        scheduler.capacity_changed(now);
+                        scheduler_cpu += t0.elapsed();
+                    }
+                    fault_log.push(FaultOutcome::Drained {
+                        at: now,
+                        requested: d.nodes,
+                        granted,
+                        until: d.until,
+                    });
+                }
+                Event::Undrain(idx) => {
+                    if let Some(token) = drain_tokens[idx as usize].take() {
+                        machine.undrain(token).expect("token taken exactly once");
+                        let t0 = Instant::now();
+                        scheduler.capacity_changed(now);
+                        scheduler_cpu += t0.elapsed();
+                    }
                 }
                 Event::Wakeup => {} // decision round below is the effect
             }
@@ -162,6 +357,11 @@ pub fn simulate(workload: &Workload, scheduler: &mut dyn Scheduler) -> SimOutcom
                 break;
             }
             for id in starts {
+                assert!(
+                    !cancelled[id.index()],
+                    "scheduler {} started cancelled job {id}",
+                    scheduler.name()
+                );
                 let job = workload.job(id);
                 machine
                     .start(id, job.nodes, now, now + job.requested_time)
@@ -205,6 +405,7 @@ pub fn simulate(workload: &Workload, scheduler: &mut dyn Scheduler) -> SimOutcom
         events: n_events,
         decision_rounds: rounds,
         peak_queue,
+        faults: fault_log,
     }
 }
 
@@ -233,6 +434,9 @@ mod tests {
         }
         fn submit(&mut self, job: JobRequest, _now: Time) {
             self.queue.push_back(job);
+        }
+        fn cancel(&mut self, id: JobId, _now: Time) {
+            self.queue.retain(|j| j.id != id);
         }
         fn select_starts(&mut self, _now: Time, machine: &Machine) -> Vec<JobId> {
             let mut free = machine.free_nodes();
@@ -391,6 +595,187 @@ mod tests {
             ],
         );
         simulate(&w, &mut Overcommitter(Vec::new()));
+    }
+
+    #[test]
+    fn cancel_phases_cover_the_job_lifecycle() {
+        // Four 6-node jobs on 10 nodes, strictly sequential. Cancels hit
+        // one job per lifecycle phase.
+        let mk = |submit: Time| {
+            JobBuilder::new(JobId(0))
+                .submit(submit)
+                .nodes(6)
+                .requested(100)
+                .runtime(100)
+                .build()
+        };
+        let w = Workload::new("t", 10, vec![mk(0), mk(0), mk(0), mk(0)]);
+        let plan = FaultPlan {
+            cancels: vec![
+                CancelFault {
+                    id: JobId(1),
+                    at: 10,
+                }, // queued behind job 0
+                CancelFault {
+                    id: JobId(0),
+                    at: 50,
+                }, // running
+                CancelFault {
+                    id: JobId(2),
+                    at: 400,
+                }, // finished at 150: no-op
+            ],
+            drains: vec![],
+        };
+        let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
+        // Job 1 never ran; job 0 was truncated at 50; job 2 started there.
+        assert_eq!(out.schedule.placement(JobId(1)), None);
+        let p0 = out.schedule.placement(JobId(0)).unwrap();
+        assert_eq!((p0.start, p0.completion), (0, 50));
+        assert_eq!(out.schedule.placement(JobId(2)).unwrap().start, 50);
+        assert_eq!(
+            out.faults,
+            vec![
+                FaultOutcome::Cancelled {
+                    id: JobId(1),
+                    at: 10,
+                    phase: CancelPhase::Queued
+                },
+                FaultOutcome::Cancelled {
+                    id: JobId(0),
+                    at: 50,
+                    phase: CancelPhase::Running
+                },
+                FaultOutcome::Cancelled {
+                    id: JobId(2),
+                    at: 400,
+                    phase: CancelPhase::AlreadyFinished
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn presubmit_cancel_suppresses_the_job() {
+        let w = Workload::new(
+            "t",
+            10,
+            vec![
+                JobBuilder::new(JobId(0))
+                    .submit(100)
+                    .nodes(1)
+                    .requested(10)
+                    .runtime(10)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(100)
+                    .nodes(1)
+                    .requested(10)
+                    .runtime(10)
+                    .build(),
+            ],
+        );
+        let plan = FaultPlan {
+            cancels: vec![CancelFault {
+                id: JobId(0),
+                at: 5,
+            }],
+            drains: vec![],
+        };
+        let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
+        assert_eq!(out.schedule.placement(JobId(0)), None);
+        assert_eq!(out.schedule.placement(JobId(1)).unwrap().start, 100);
+        assert_eq!(
+            out.faults[0],
+            FaultOutcome::Cancelled {
+                id: JobId(0),
+                at: 5,
+                phase: CancelPhase::PreSubmit
+            }
+        );
+    }
+
+    #[test]
+    fn drain_removes_nodes_and_returns_them() {
+        // 10-node machine, 8 drained over [10, 200). The 10-node job
+        // arriving at 20 cannot start until the nodes return.
+        let w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0))
+                .submit(20)
+                .nodes(10)
+                .requested(50)
+                .runtime(50)
+                .build()],
+        );
+        let plan = FaultPlan {
+            cancels: vec![],
+            drains: vec![DrainFault {
+                at: 10,
+                nodes: 8,
+                until: 200,
+            }],
+        };
+        let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
+        assert_eq!(out.schedule.placement(JobId(0)).unwrap().start, 200);
+        assert_eq!(
+            out.faults,
+            vec![FaultOutcome::Drained {
+                at: 10,
+                requested: 8,
+                granted: 8,
+                until: 200,
+            }]
+        );
+    }
+
+    #[test]
+    fn drain_grant_is_clamped_to_free_nodes() {
+        // Machine busy with 7 of 10 nodes: a 9-node drain gets only 3.
+        let w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(7)
+                .requested(100)
+                .runtime(100)
+                .build()],
+        );
+        let plan = FaultPlan {
+            cancels: vec![],
+            drains: vec![DrainFault {
+                at: 10,
+                nodes: 9,
+                until: 60,
+            }],
+        };
+        let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
+        assert_eq!(
+            out.faults,
+            vec![FaultOutcome::Drained {
+                at: 10,
+                requested: 9,
+                granted: 3,
+                until: 60,
+            }]
+        );
+        assert!(out.schedule.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_simulate() {
+        let w = workload();
+        let plain = simulate(&w, &mut TestFcfs::new());
+        let faulted = simulate_with_faults(&w, &mut TestFcfs::new(), &FaultPlan::default());
+        assert!(faulted.faults.is_empty());
+        for j in w.jobs() {
+            assert_eq!(
+                plain.schedule.placement(j.id),
+                faulted.schedule.placement(j.id)
+            );
+        }
     }
 
     #[test]

@@ -1,23 +1,41 @@
 //! The simulation event queue.
 //!
-//! Two event kinds drive the §3 scheduling loop: job submissions (the
-//! "stream of job submission data" of §2) and job completions. Events are
-//! processed in timestamp order; all events sharing a timestamp are applied
-//! as one batch before the scheduler is consulted, so the outcome does not
-//! depend on heap tie-breaking.
+//! Job submissions (the "stream of job submission data" of §2) and job
+//! completions drive the §3 scheduling loop; fault-injection campaigns
+//! (see [`crate::engine::FaultPlan`]) add cancellations and node
+//! drain/return events. Events are processed in timestamp order; all
+//! events sharing a timestamp are applied as one batch before the
+//! scheduler is consulted, so the outcome does not depend on heap
+//! tie-breaking. *Within* a batch the variant order decides: resources
+//! return first (finishes, then drained nodes coming back), submissions
+//! next, then cancellations (so a job submitted and cancelled at the same
+//! instant is retracted while queued), and drains grab free nodes last —
+//! right before the decision round that must cope with the reduced
+//! capacity.
 
 use jobsched_workload::{JobId, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// A simulation event.
+/// A simulation event. The variant order is load-bearing: it is the
+/// processing order inside a same-timestamp batch (see module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Event {
     /// A job finished (its resources are released *before* submissions at
     /// the same instant are considered — hence the variant order).
     Finish(JobId),
+    /// Drained nodes return to service. Carries the index of the drain in
+    /// the run's [`crate::engine::FaultPlan`].
+    Undrain(u32),
     /// A job was submitted.
     Submit(JobId),
+    /// A job was cancelled by its user (fault injection). Applied after
+    /// same-instant submissions so a submit+cancel pair retracts the job.
+    Cancel(JobId),
+    /// Nodes leave service (fault injection). Carries the index of the
+    /// drain in the run's [`crate::engine::FaultPlan`]. Applied last so
+    /// the following decision round sees the reduced capacity.
+    Drain(u32),
     /// A scheduler-requested wakeup (e.g. a policy window boundary): no
     /// state change, but a decision round runs at this instant.
     Wakeup,
@@ -97,6 +115,27 @@ mod tests {
         // Finish events lead the batch.
         assert_eq!(batch[0], Event::Finish(JobId(0)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn batch_order_resources_return_before_submit_cancel_drain() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::Drain(0));
+        q.push(10, Event::Cancel(JobId(2)));
+        q.push(10, Event::Submit(JobId(2)));
+        q.push(10, Event::Undrain(1));
+        q.push(10, Event::Finish(JobId(0)));
+        let (_, batch) = q.pop_batch().unwrap();
+        assert_eq!(
+            batch,
+            vec![
+                Event::Finish(JobId(0)),
+                Event::Undrain(1),
+                Event::Submit(JobId(2)),
+                Event::Cancel(JobId(2)),
+                Event::Drain(0),
+            ]
+        );
     }
 
     #[test]

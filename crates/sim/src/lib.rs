@@ -23,6 +23,12 @@
 //!   tests.
 //! * **Scheduler cost accounting.** The engine meters wall-clock time spent
 //!   inside scheduler callbacks, which is what Tables 7 and 8 compare.
+//! * **Fault injection.** [`engine::simulate_with_faults`] drives the
+//!   same loop while injecting job cancellations (queued or running) and
+//!   machine node drains from an [`engine::FaultPlan`] — the adversarial
+//!   conditions the `jobsched-oracle` fuzz harness verifies schedulers
+//!   under. [`SimOutcome::faults`] records the ground truth of what each
+//!   fault did so external checkers can audit the schedule against it.
 //! * **Incremental availability.** The machine carries a persistent
 //!   [`profile::LiveProfile`] — the future-availability calendar updated in
 //!   O(log R) per job event — so backfilling schedulers no longer rebuild
@@ -38,7 +44,10 @@ pub mod profile;
 pub mod schedule;
 pub mod typed;
 
-pub use engine::{simulate, JobRequest, Scheduler, SimOutcome};
-pub use machine::{Machine, RunningSlot};
+pub use engine::{
+    simulate, simulate_with_faults, CancelFault, CancelPhase, DrainFault, FaultOutcome, FaultPlan,
+    JobRequest, Scheduler, SimOutcome,
+};
+pub use machine::{DrainToken, Machine, RunningSlot};
 pub use profile::{LiveProfile, Profile};
 pub use schedule::{JobPlacement, ScheduleRecord};

@@ -24,6 +24,12 @@ pub struct RunningSlot {
     pub projected_end: Time,
 }
 
+/// Receipt for an active node drain: returned by [`Machine::drain`],
+/// consumed by [`Machine::undrain`]. Not copyable — each drain can be
+/// released exactly once.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DrainToken(usize);
+
 /// Errors raised on inconsistent machine operations — these indicate
 /// scheduler bugs, so the engine converts them into panics with context.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +47,16 @@ pub enum MachineError {
     NotRunning(JobId),
     /// Start for a job that is already running.
     AlreadyRunning(JobId),
+    /// Drain would exceed free capacity (drains never preempt running
+    /// jobs — no time sharing means there is nowhere to put them).
+    DrainOvercommit {
+        /// Nodes requested for the drain.
+        nodes: u32,
+        /// Nodes free.
+        free: u32,
+    },
+    /// Undrain for a token that was already released.
+    DrainNotActive,
 }
 
 impl std::fmt::Display for MachineError {
@@ -51,6 +67,10 @@ impl std::fmt::Display for MachineError {
             }
             MachineError::NotRunning(id) => write!(f, "job {id} is not running"),
             MachineError::AlreadyRunning(id) => write!(f, "job {id} is already running"),
+            MachineError::DrainOvercommit { nodes, free } => {
+                write!(f, "drain of {nodes} nodes exceeds the {free} free")
+            }
+            MachineError::DrainNotActive => write!(f, "drain token already released"),
         }
     }
 }
@@ -69,6 +89,10 @@ pub struct Machine {
     total: u32,
     free: u32,
     running: Vec<RunningSlot>,
+    /// Active node drains: `(nodes, expected return time)`. Slab-indexed
+    /// by [`DrainToken`]; released entries stay as `None` so tokens never
+    /// alias.
+    drains: Vec<Option<(u32, Time)>>,
     profile: LiveProfile,
 }
 
@@ -80,6 +104,7 @@ impl Machine {
             total,
             free: total,
             running: Vec::new(),
+            drains: Vec::new(),
             profile: LiveProfile::new(total),
         }
     }
@@ -114,10 +139,55 @@ impl Machine {
         nodes <= self.free
     }
 
+    /// Nodes currently held out of service by active drains.
+    pub fn drained_nodes(&self) -> u32 {
+        self.drains.iter().flatten().map(|&(n, _)| n).sum()
+    }
+
+    /// Active drains as `(nodes, expected return time)`.
+    pub fn drains(&self) -> impl Iterator<Item = (u32, Time)> + '_ {
+        self.drains.iter().flatten().copied()
+    }
+
     /// The incrementally-maintained future-availability calendar.
     #[inline]
     pub fn profile(&self) -> &LiveProfile {
         &self.profile
+    }
+
+    /// Take `nodes` free nodes out of service until (projectedly) `until`.
+    /// Drains never preempt running jobs, so they are bounded by the free
+    /// count. The availability calendar books the outage like a running
+    /// job — backfilling schedulers plan around it automatically.
+    pub fn drain(&mut self, nodes: u32, until: Time) -> Result<DrainToken, MachineError> {
+        assert!(nodes > 0, "zero-node drain is meaningless");
+        if nodes > self.free {
+            return Err(MachineError::DrainOvercommit {
+                nodes,
+                free: self.free,
+            });
+        }
+        self.free -= nodes;
+        self.profile.on_start(nodes, until);
+        self.drains.push(Some((nodes, until)));
+        debug_assert_eq!(self.profile.free_nodes(), self.free);
+        Ok(DrainToken(self.drains.len() - 1))
+    }
+
+    /// Return a drained partition to service, yielding its node count.
+    /// Like job finishes, the return may come earlier or later than the
+    /// booked `until`; the calendar booking is cancelled either way.
+    pub fn undrain(&mut self, token: DrainToken) -> Result<u32, MachineError> {
+        let slot = self
+            .drains
+            .get_mut(token.0)
+            .and_then(Option::take)
+            .ok_or(MachineError::DrainNotActive)?;
+        let (nodes, until) = slot;
+        self.free += nodes;
+        self.profile.on_finish(nodes, until);
+        debug_assert_eq!(self.profile.free_nodes(), self.free);
+        Ok(nodes)
     }
 
     /// Allocate a partition for a job. `projected_end` must be
@@ -229,6 +299,45 @@ mod tests {
         let s = m.running()[0];
         assert_eq!(s.start, 100);
         assert_eq!(s.projected_end, 400);
+    }
+
+    #[test]
+    fn drain_and_undrain_track_capacity() {
+        let mut m = Machine::new(64);
+        m.start(JobId(0), 16, 0, 100).unwrap();
+        let t = m.drain(40, 500).unwrap();
+        assert_eq!(m.free_nodes(), 8);
+        assert_eq!(m.drained_nodes(), 40);
+        assert_eq!(m.drains().collect::<Vec<_>>(), vec![(40, 500)]);
+        // The outage is booked in the availability calendar.
+        assert_eq!(m.profile().free_at(0, 499), 24);
+        assert_eq!(m.profile().free_at(0, 500), 64);
+        assert_eq!(m.undrain(t).unwrap(), 40);
+        assert_eq!(m.free_nodes(), 48);
+        assert_eq!(m.drained_nodes(), 0);
+    }
+
+    #[test]
+    fn drain_bounded_by_free_nodes() {
+        let mut m = Machine::new(10);
+        m.start(JobId(0), 8, 0, 5).unwrap();
+        assert_eq!(
+            m.drain(3, 100),
+            Err(MachineError::DrainOvercommit { nodes: 3, free: 2 })
+        );
+        assert_eq!(m.free_nodes(), 2);
+    }
+
+    #[test]
+    fn double_undrain_rejected() {
+        let mut m = Machine::new(10);
+        let t = m.drain(4, 100).unwrap();
+        // Tokens are move-only; forge an aliased one to prove the slab
+        // refuses a second release.
+        let forged = DrainToken(0);
+        m.undrain(t).unwrap();
+        assert_eq!(m.undrain(forged), Err(MachineError::DrainNotActive));
+        assert_eq!(m.free_nodes(), 10);
     }
 
     #[test]

@@ -77,12 +77,19 @@ pub struct Profile {
 impl Profile {
     /// Build from the machine's running set at time `now`, using projected
     /// ends. Jobs whose projection already passed (they must end at any
-    /// moment) are treated as ending at `now + 1`.
+    /// moment) are treated as ending at `now + 1`. Active node drains are
+    /// merged in like running jobs: their nodes come back at the drain's
+    /// expected return time.
     pub fn from_machine(machine: &Machine, now: Time) -> Self {
         let mut ends: Vec<(Time, u32)> = machine
             .running()
             .iter()
             .map(|s| (s.projected_end.max(now + 1), s.nodes))
+            .chain(
+                machine
+                    .drains()
+                    .map(|(nodes, until)| (until.max(now + 1), nodes)),
+            )
             .collect();
         ends.sort_unstable();
         let mut steps = Vec::with_capacity(ends.len() + 1);

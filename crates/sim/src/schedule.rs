@@ -116,6 +116,25 @@ impl ScheduleRecord {
         *slot = Some(JobPlacement { start, completion });
     }
 
+    /// Truncate a running job's recorded execution at `t`: the job was
+    /// cancelled mid-run, so its real completion is the cancellation
+    /// instant, not the effective runtime projected when it started.
+    /// Panics if the job has no placement or `t` lies outside its
+    /// recorded execution — cancellations of finished jobs are no-ops at
+    /// the engine level and must never reach the record.
+    pub fn cancel_at(&mut self, id: JobId, t: Time) {
+        let p = self.placements[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("cancelling job {id} that never started"));
+        assert!(
+            t >= p.start && t <= p.completion,
+            "cancel of job {id} at {t} outside its execution [{}, {}]",
+            p.start,
+            p.completion
+        );
+        p.completion = t;
+    }
+
     /// Placement of one job, if it completed.
     pub fn placement(&self, id: JobId) -> Option<JobPlacement> {
         self.placements[id.index()]
@@ -350,6 +369,27 @@ mod tests {
         r.place(JobId(0), 0, 10);
         r.place(JobId(1), 10, 20);
         assert!(r.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn cancel_at_truncates_completion() {
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place(JobId(0), 10, 110);
+        r.cancel_at(JobId(0), 40);
+        assert_eq!(
+            r.placement(JobId(0)),
+            Some(JobPlacement {
+                start: 10,
+                completion: 40
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never started")]
+    fn cancel_of_unplaced_job_panics() {
+        let mut r = ScheduleRecord::new(10, 1);
+        r.cancel_at(JobId(0), 40);
     }
 
     #[test]

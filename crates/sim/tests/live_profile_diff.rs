@@ -10,7 +10,7 @@
 //! generators in `jobsched_workload::rng` replace the feature-gated-off
 //! `proptest` dependency.
 
-use jobsched_sim::{Machine, Profile};
+use jobsched_sim::{DrainToken, Machine, Profile};
 use jobsched_workload::rng::{derive_seed, Rng, SmallRng};
 use jobsched_workload::{JobId, Time};
 
@@ -63,12 +63,29 @@ fn drive_sequence(seq: u64) {
     let mut now: Time = 0;
     let mut next_id: u32 = 0;
     let mut running: Vec<(JobId, Time)> = Vec::new(); // (id, projected_end)
+    let mut drained: Vec<DrainToken> = Vec::new();
 
     for step in 0..EVENTS_PER_SEQUENCE {
         // Time moves forward unevenly; occasionally it stays put so that
         // same-instant event batches are exercised too.
         if rng.random_range(0u32..4) > 0 {
             now += rng.random_range(1u64..120);
+        }
+
+        // Node drains interleave with the job lifecycle: they enter the
+        // calendar like jobs (projected return at `until`) but release
+        // through `undrain`, which may run early or past the projection.
+        match rng.random_range(0u32..8) {
+            0 if m.free_nodes() > 0 => {
+                let nodes = rng.random_range(1u32..=m.free_nodes());
+                let until = now + rng.random_range(1u64..300);
+                drained.push(m.drain(nodes, until).unwrap());
+            }
+            1 if !drained.is_empty() => {
+                let victim = rng.random_range(0usize..drained.len());
+                m.undrain(drained.swap_remove(victim)).unwrap();
+            }
+            _ => {}
         }
 
         let free = m.free_nodes();
@@ -89,10 +106,16 @@ fn drive_sequence(seq: u64) {
         assert_profiles_agree(&m, now, &mut rng, seq, step);
     }
 
-    // Drain: every remaining finish must also keep the structures equal.
+    // Drain: every remaining finish and undrain must also keep the
+    // structures equal.
     while let Some((id, _)) = running.pop() {
         now += rng.random_range(0u64..150);
         m.finish(id).unwrap();
+        assert_profiles_agree(&m, now, &mut rng, seq, usize::MAX);
+    }
+    while let Some(token) = drained.pop() {
+        now += rng.random_range(0u64..150);
+        m.undrain(token).unwrap();
         assert_profiles_agree(&m, now, &mut rng, seq, usize::MAX);
     }
     assert_eq!(m.profile().pending_releases(), 0, "calendar must drain");

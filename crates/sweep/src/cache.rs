@@ -170,6 +170,51 @@ mod tests {
     }
 
     #[test]
+    fn schema_stale_entry_is_a_miss_and_gets_overwritten() {
+        let dir = tmpdir("schema-stale");
+        let cache = ResultCache::open(&dir).unwrap();
+        let r = record(5);
+        cache.put(&r).unwrap();
+        // Age the stored entry: same key, same shape, older schema number.
+        let text = std::fs::read_to_string(cache.entry_path(&r.key)).unwrap();
+        assert!(text.contains("\"schema\":1"), "fixture expects schema 1");
+        let stale = text.replace("\"schema\":1", "\"schema\":0");
+        std::fs::write(cache.entry_path(&r.key), stale).unwrap();
+        assert_eq!(cache.get(&r.key), None, "stale schema must be a miss");
+        // The stale file still *exists*, so the re-store must replace it
+        // in place and restore the hit.
+        assert_eq!(cache.len(), 1);
+        cache.put(&r).unwrap();
+        assert_eq!(cache.get(&r.key), Some(r.clone()));
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_temp_file_is_neither_counted_nor_served() {
+        let dir = tmpdir("stray-tmp");
+        let cache = ResultCache::open(&dir).unwrap();
+        let r = record(6);
+        // Simulate a crash between the temp write and the rename: the temp
+        // file exists, the entry does not.
+        let path = cache.entry_path(&r.key);
+        let parent = path.parent().unwrap();
+        std::fs::create_dir_all(parent).unwrap();
+        let tmp = parent.join(format!(".{}.tmp", r.key));
+        std::fs::write(&tmp, r.to_json().to_string_compact()).unwrap();
+        assert_eq!(cache.get(&r.key), None, "a half-written store is a miss");
+        assert_eq!(cache.len(), 0, "temp files are not entries");
+        assert!(cache.is_empty());
+        // A later put over the stray temp file completes normally and
+        // leaves exactly one real entry, no leftover partials.
+        cache.put(&r).unwrap();
+        assert_eq!(cache.get(&r.key), Some(r.clone()));
+        assert_eq!(cache.len(), 1);
+        assert!(!tmp.exists(), "rename consumed the temp file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn put_overwrites() {
         let dir = tmpdir("overwrite");
         let cache = ResultCache::open(&dir).unwrap();

@@ -262,4 +262,100 @@ mod tests {
         let w = parse(text, "x").unwrap();
         assert_eq!(w.jobs()[0].requested_time, 100);
     }
+
+    #[test]
+    fn comments_and_blank_lines_anywhere_are_skipped() {
+        let text = "\
+; MaxNodes: 16
+   \t
+1 0 -1 100 4 -1 -1 4 200 1 0 0 -1 -1 -1 -1 -1 -1
+
+  ; an indented mid-file comment without a colon
+2 10 -1 100 4 -1 -1 4 200 1 0 0 -1 -1 -1 -1 -1 -1
+;
+";
+        let w = parse(text, "x").unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.machine_nodes(), 16);
+    }
+
+    #[test]
+    fn short_line_error_reports_the_physical_line_number() {
+        // Comments and blanks still count toward the reported line number.
+        let text = "; MaxNodes: 8\n\n1 0 -1 100 4 -1 -1 4 200 1 0 0 -1 -1 -1 -1 -1 -1\n1 2 3 4\n";
+        let err = parse(text, "bad").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.to_string().contains("got 4"));
+    }
+
+    #[test]
+    fn negative_runtime_or_nodes_marks_unusable_jobs_skipped() {
+        // Cancelled-before-start jobs appear in real traces with −1
+        // runtime and/or −1 processors; both shapes must be dropped
+        // without poisoning neighbouring lines.
+        let text = "\
+1 0 -1 -1 4 -1 -1 4 200 0 0 0 -1 -1 -1 -1 -1 -1
+2 5 -1 100 -1 -1 -1 -1 200 0 0 0 -1 -1 -1 -1 -1 -1
+3 9 -1 0 4 -1 -1 4 200 0 0 0 -1 -1 -1 -1 -1 -1
+4 10 -1 100 0 -1 -1 -5 200 0 0 0 -1 -1 -1 -1 -1 -1
+5 20 -1 100 4 -1 -1 4 200 1 0 0 -1 -1 -1 -1 -1 -1
+";
+        let w = parse(text, "x").unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.jobs()[0].submit, 20);
+    }
+
+    #[test]
+    fn repeated_size_headers_take_the_maximum() {
+        // Some archive traces carry both MaxNodes and MaxProcs (and the
+        // occasional duplicate); the widest declaration wins, and an
+        // unparsable value is ignored rather than fatal.
+        let text = "\
+; MaxNodes: 64
+; maxprocs: 430
+; MaxNodes: 128
+; MaxProcs: not-a-number
+1 0 -1 100 4 -1 -1 4 200 1 0 0 -1 -1 -1 -1 -1 -1
+";
+        let w = parse(text, "x").unwrap();
+        assert_eq!(w.machine_nodes(), 430);
+    }
+
+    #[test]
+    fn roundtrip_preserves_memory_failed_status_and_resorts() {
+        // Crafted trace: out-of-submit-order input (Workload::new sorts),
+        // a Failed job, and a memory requirement that must survive the
+        // KB↔MB conversion in both directions.
+        let jobs = vec![
+            JobBuilder::new(JobId(0))
+                .submit(500)
+                .nodes(16)
+                .requested(100)
+                .runtime(40)
+                .status(CompletionStatus::Failed)
+                .memory_mb(256)
+                .build(),
+            JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(2)
+                .requested(900)
+                .runtime(900)
+                .user(11)
+                .build(),
+        ];
+        let w = Workload::new("crafted", 32, jobs);
+        let back = Workload::from_swf(&w.to_swf(), "copy").unwrap();
+        assert_eq!(back.machine_nodes(), 32);
+        assert_eq!(back.len(), 2);
+        // Sorted by submit: the id-0 job is now the t=0 submission.
+        assert_eq!(back.jobs()[0].submit, 0);
+        assert_eq!(back.jobs()[0].user, 11);
+        assert_eq!(back.jobs()[1].status, CompletionStatus::Failed);
+        assert_eq!(back.jobs()[1].memory_mb, 256);
+        // A second round trip is a fixpoint.
+        assert_eq!(
+            back.to_swf(),
+            Workload::from_swf(&back.to_swf(), "copy").unwrap().to_swf()
+        );
+    }
 }
