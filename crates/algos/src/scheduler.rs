@@ -41,12 +41,13 @@ pub enum ProfileMode {
 
 /// The wait queue: requests keyed by job id. Ids are assigned in
 /// submission order by the workload, so ascending-id iteration *is*
-/// submission order. Lookups are O(1) (dense-id slot vector); ordered
-/// iteration uses a BTreeSet of the waiting ids.
+/// submission order. An ordered map (never a dense id-indexed vector:
+/// that would grow with the *trace*, and against a streamed
+/// multi-million-job source the queue must stay O(backlog)) — lookups
+/// are O(log q) in the queue length, which the backlog bounds.
 #[derive(Clone, Debug, Default)]
 pub struct Waiting {
-    slots: Vec<Option<JobRequest>>,
-    ids: std::collections::BTreeSet<JobId>,
+    queue: std::collections::BTreeMap<JobId, JobRequest>,
 }
 
 impl Waiting {
@@ -57,53 +58,48 @@ impl Waiting {
 
     /// Add a request.
     pub fn insert(&mut self, job: JobRequest) {
-        let idx = job.id.index();
-        if idx >= self.slots.len() {
-            self.slots.resize(idx + 1, None);
-        }
-        assert!(self.slots[idx].is_none(), "job {} submitted twice", job.id);
-        self.slots[idx] = Some(job);
-        self.ids.insert(job.id);
+        let id = job.id;
+        assert!(
+            self.queue.insert(id, job).is_none(),
+            "job {id} submitted twice"
+        );
     }
 
     /// Remove a request (when it starts).
     pub fn remove(&mut self, id: JobId) -> JobRequest {
-        self.ids.remove(&id);
-        self.slots[id.index()].take().expect("removing unknown job")
+        self.queue.remove(&id).expect("removing unknown job")
     }
 
     /// Look up a waiting request. Panics on unknown ids (scheduler bug).
     #[inline]
     pub fn get(&self, id: JobId) -> &JobRequest {
-        self.slots[id.index()]
-            .as_ref()
-            .expect("unknown waiting job")
+        self.queue.get(&id).expect("unknown waiting job")
     }
 
     /// Whether the job is waiting.
     #[inline]
     pub fn contains(&self, id: JobId) -> bool {
-        self.slots.get(id.index()).is_some_and(|s| s.is_some())
+        self.queue.contains_key(&id)
     }
 
     /// Number of waiting jobs.
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.queue.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.queue.is_empty()
     }
 
     /// Waiting ids in submission order.
     pub fn ids(&self) -> impl Iterator<Item = JobId> + '_ {
-        self.ids.iter().copied()
+        self.queue.keys().copied()
     }
 
     /// Waiting requests in submission order.
     pub fn requests(&self) -> impl Iterator<Item = &JobRequest> + '_ {
-        self.ids.iter().map(|id| self.get(*id))
+        self.queue.values()
     }
 }
 

@@ -1,0 +1,187 @@
+//! Streaming memory-ceiling smoke test: a million-job synthetic stream
+//! through the bounded-memory pipeline under a fixed RSS budget.
+//!
+//! The probabilistic model (§6.2) runs as an *unbounded* generator
+//! (`ProbabilisticSource`), so no workload vector ever exists; the
+//! objectives are folded online (`OnlineArt`/`OnlineAwrt`/…), so no
+//! schedule record exists either. Peak memory is read back from the
+//! kernel (`VmHWM` in `/proc/self/status`) and the run fails — exit
+//! code 1 — if it exceeds `--rss-budget-mb`. Peak *resident jobs*
+//! (staged + queued + running) is reported alongside: for a stable
+//! system it tracks the backlog, not the trace length, which is the
+//! whole point of the pipeline.
+//!
+//! Arrivals are stretched by `--arrival-scale` (default 2): the CTC
+//! model's offered load exceeds the machine at scale 1, and an
+//! ever-growing backlog would make memory O(trace) for any engine.
+//!
+//! Writes `BENCH_stream.json` (schema in `EXPERIMENTS.md`).
+//!
+//! Usage: `stream_smoke [--jobs N] [--rss-budget-mb MB] [--arrival-scale X] [--out PATH]`
+
+use jobsched_algos::spec::PolicyKind;
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::{BackfillMode, ListScheduler};
+use jobsched_metrics::{
+    OnlineArt, OnlineAwrt, OnlineMakespan, OnlineUtilization, StreamingObjective, StreamingObserver,
+};
+use jobsched_sim::SimPipeline;
+use jobsched_sweep::json::Json;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use jobsched_workload::probabilistic::BinnedModel;
+use jobsched_workload::ProbabilisticSource;
+use std::time::Instant;
+
+/// Base seed shared with the paper harness; the probabilistic stream
+/// derives from seed + 1, as in `core::paper` and `sched_bench`.
+const SEED: u64 = 1999;
+
+struct Args {
+    jobs: usize,
+    rss_budget_mb: u64,
+    arrival_scale: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: 1_000_000,
+        rss_budget_mb: 0,
+        arrival_scale: 2.0,
+        out: "BENCH_stream.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).unwrap_or_else(|| {
+                eprintln!("{} needs a value", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--jobs" => args.jobs = value(i).parse().expect("--jobs N"),
+            "--rss-budget-mb" => args.rss_budget_mb = value(i).parse().expect("--rss-budget-mb MB"),
+            "--arrival-scale" => args.arrival_scale = value(i).parse().expect("--arrival-scale X"),
+            "--out" => args.out = value(i).clone(),
+            bad => {
+                eprintln!(
+                    "unknown argument: {bad}\nusage: stream_smoke [--jobs N] \
+                     [--rss-budget-mb MB] [--arrival-scale X] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+/// Peak resident set size in KiB, from the kernel's high-water mark.
+/// `None` off Linux (the CI smoke job runs on Linux; elsewhere the
+/// budget check is skipped, the sublinearity numbers still print).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The model only needs the base trace to fit its bins; the base is
+    // dropped before streaming starts.
+    let model = BinnedModel::fit(&prepared_ctc_workload(2_000, SEED));
+    let machine_nodes = model.machine_nodes();
+    let mut source = ProbabilisticSource::new(model, SEED + 1)
+        .with_limit(args.jobs)
+        .with_arrival_scale(args.arrival_scale)
+        .named("stream-smoke");
+
+    let mut scheduler = ListScheduler::new(
+        PolicyKind::Fcfs.policy(WeightScheme::Unweighted),
+        BackfillMode::Easy,
+    );
+
+    let mut art = OnlineArt::new();
+    let mut awrt = OnlineAwrt::new();
+    let mut makespan = OnlineMakespan::new();
+    let mut utilization = OnlineUtilization::new(machine_nodes);
+
+    eprintln!(
+        "streaming {} jobs (arrival scale {}) through FCFS+EASY on {} nodes",
+        args.jobs, args.arrival_scale, machine_nodes
+    );
+    let t0 = Instant::now();
+    let out = {
+        let mut art_sink = StreamingObserver(&mut art);
+        let mut awrt_sink = StreamingObserver(&mut awrt);
+        let mut makespan_sink = StreamingObserver(&mut makespan);
+        let mut utilization_sink = StreamingObserver(&mut utilization);
+        SimPipeline::new(&mut source, &mut scheduler)
+            .observe(&mut art_sink)
+            .observe(&mut awrt_sink)
+            .observe(&mut makespan_sink)
+            .observe(&mut utilization_sink)
+            .run()
+            .expect("probabilistic sources are infallible")
+    };
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    assert_eq!(out.jobs_finished, args.jobs as u64, "stream did not drain");
+    let rss_kb = peak_rss_kb();
+    let budget_kb = args.rss_budget_mb * 1024;
+    let within_budget = match (rss_kb, args.rss_budget_mb) {
+        (_, 0) | (None, _) => true,
+        (Some(rss), _) => rss <= budget_kb,
+    };
+
+    eprintln!(
+        "  {} jobs in {:.1}s  peak_resident {} jobs  peak_queue {}  utilization {:.3}",
+        out.jobs_finished,
+        wall_ns as f64 / 1e9,
+        out.peak_resident,
+        out.peak_queue,
+        utilization.utilization(),
+    );
+    match rss_kb {
+        Some(rss) => eprintln!(
+            "  peak RSS {:.1} MiB (budget {} MiB) -> {}",
+            rss as f64 / 1024.0,
+            args.rss_budget_mb,
+            if within_budget { "ok" } else { "OVER BUDGET" }
+        ),
+        None => eprintln!("  peak RSS unavailable (no /proc); budget check skipped"),
+    }
+
+    let doc = Json::obj([
+        ("schema", Json::Str("jobsched-bench/stream-v1".to_string())),
+        ("seed", Json::UInt(SEED)),
+        ("jobs", Json::UInt(out.jobs_finished)),
+        ("machine_nodes", Json::UInt(machine_nodes as u64)),
+        ("arrival_scale", Json::Num(args.arrival_scale)),
+        ("wall_ns", Json::UInt(wall_ns)),
+        ("events", Json::UInt(out.events)),
+        ("decision_rounds", Json::UInt(out.decision_rounds)),
+        ("peak_resident_jobs", Json::UInt(out.peak_resident as u64)),
+        ("peak_queue", Json::UInt(out.peak_queue as u64)),
+        ("horizon", Json::UInt(out.horizon)),
+        ("art", Json::Num(art.cost())),
+        ("awrt", Json::Num(awrt.cost())),
+        ("makespan", Json::UInt(makespan.value())),
+        ("utilization", Json::Num(utilization.utilization())),
+        ("peak_rss_kb", rss_kb.map_or(Json::Null, Json::UInt)),
+        ("rss_budget_mb", Json::UInt(args.rss_budget_mb)),
+        ("within_budget", Json::Bool(within_budget)),
+    ]);
+    let text = doc.to_string_pretty();
+    // The artifact must round-trip through `sweep::json`, like the other
+    // tracked bench outputs.
+    jobsched_sweep::json::parse(&text).expect("bench JSON must parse");
+    std::fs::write(&args.out, text + "\n").expect("write bench output");
+    eprintln!("wrote {}", args.out);
+
+    if !within_budget {
+        std::process::exit(1);
+    }
+}

@@ -5,8 +5,9 @@
 use crate::objective_select::ObjectiveKind;
 use jobsched_algos::view::WeightScheme;
 use jobsched_algos::AlgorithmSpec;
-use jobsched_sim::simulate;
-use jobsched_workload::{Time, Workload};
+use jobsched_metrics::{OnlineMakespan, OnlineUtilization, StreamingObserver};
+use jobsched_sim::SimPipeline;
+use jobsched_workload::{Time, Workload, WorkloadSource};
 use std::time::Duration;
 
 /// Workload scale. The paper simulates 79,164 CTC jobs and 50,000
@@ -232,6 +233,11 @@ pub fn evaluate_specs_with(
 /// workload under the spec, measured under `objective`. This is the unit
 /// of work the sweep subsystem distributes across worker threads; the
 /// serial `evaluate_*` drivers are thin loops over it.
+///
+/// Runs as a streaming pipeline: the objective, makespan and utilization
+/// are folded online from the event stream, so evaluation never holds a
+/// dense [`jobsched_sim::ScheduleRecord`] (debug builds still record one
+/// to re-audit schedule validity).
 pub fn run_cell(
     workload: &Workload,
     objective: ObjectiveKind,
@@ -243,16 +249,43 @@ pub fn run_cell(
     } else {
         WeightScheme::Unweighted
     };
-    let metric = objective.build();
     let mut scheduler = spec.build(scheme).with_caching(caching);
-    let out = simulate(workload, &mut scheduler);
-    debug_assert!(out.schedule.validate(workload).is_empty());
+    let mut cost = objective.build_streaming();
+    let mut makespan = OnlineMakespan::new();
+    let mut utilization = OnlineUtilization::new(workload.machine_nodes());
+
+    let mut source = WorkloadSource::new(workload);
+    let mut cost_sink = StreamingObserver(&mut *cost);
+    let mut makespan_sink = StreamingObserver(&mut makespan);
+    let mut utilization_sink = StreamingObserver(&mut utilization);
+    #[cfg(debug_assertions)]
+    let mut recorder = jobsched_sim::RecordingObserver::new();
+
+    #[allow(unused_mut)]
+    let mut pipeline = SimPipeline::new(&mut source, &mut scheduler)
+        .observe(&mut cost_sink)
+        .observe(&mut makespan_sink)
+        .observe(&mut utilization_sink);
+    #[cfg(debug_assertions)]
+    {
+        pipeline = pipeline.observe(&mut recorder);
+    }
+    let out = pipeline
+        .run()
+        .expect("in-memory workload sources are infallible");
+
+    #[cfg(debug_assertions)]
+    {
+        let schedule = recorder.into_record(workload.machine_nodes(), workload.len());
+        debug_assert!(schedule.validate(workload).is_empty());
+    }
+
     EvalCell::from_parts(
         spec,
-        metric.cost(workload, &out.schedule),
+        cost.cost(),
         out.scheduler_cpu,
-        out.schedule.makespan(),
-        out.schedule.utilization(workload),
+        makespan.value(),
+        utilization.utilization(),
         EngineCounts {
             events: out.events,
             decision_rounds: out.decision_rounds,

@@ -16,7 +16,9 @@
 //! decision trail of §4 is inspectable (and testable).
 
 use crate::policy::{DailyWindow, Policy, Rule, SchedulingGoal};
-use jobsched_metrics::{AvgResponseTime, AvgWeightedResponseTime, Objective};
+use jobsched_metrics::{
+    AvgResponseTime, AvgWeightedResponseTime, Objective, OnlineArt, OnlineAwrt, StreamingObjective,
+};
 
 /// The objective functions this derivation can produce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,6 +35,16 @@ impl ObjectiveKind {
         match self {
             ObjectiveKind::AvgResponseTime => Box::new(AvgResponseTime),
             ObjectiveKind::AvgWeightedResponseTime => Box::new(AvgWeightedResponseTime),
+        }
+    }
+
+    /// Materialise the online one-pass accumulator for this objective.
+    /// Feeding it the simulation pipeline's event stream yields the same
+    /// cost — bit for bit — as [`Self::build`] on the finished schedule.
+    pub fn build_streaming(&self) -> Box<dyn StreamingObjective + Send> {
+        match self {
+            ObjectiveKind::AvgResponseTime => Box::new(OnlineArt::new()),
+            ObjectiveKind::AvgWeightedResponseTime => Box::new(OnlineAwrt::new()),
         }
     }
 

@@ -15,13 +15,23 @@
 //!   Figure 1's derivation of an objective function from conflicting
 //!   policy criteria.
 
+//! * [`streaming`] — online one-pass accumulators ([`OnlineArt`],
+//!   [`OnlineAwrt`], …) implementing [`StreamingObjective`] over the
+//!   simulation pipeline's event stream; the batch [`Objective`] impls
+//!   are thin wrappers over these, so both paths agree bit for bit.
+
 pub mod fairness;
 pub mod objective;
 pub mod pareto;
+pub mod streaming;
 pub mod timeseries;
 
 pub use objective::{
-    AvgResponseTime, AvgWeightedResponseTime, Makespan, Objective, SumWeightedCompletion,
-    TotalIdleTime, Utilization,
+    AvgBoundedSlowdown, AvgResponseTime, AvgWeightedResponseTime, Makespan, Objective,
+    SumWeightedCompletion, TotalIdleTime, Utilization,
 };
 pub use pareto::{pareto_front, pareto_ranks, Point};
+pub use streaming::{
+    replay, OnlineArt, OnlineAwrt, OnlineBoundedSlowdown, OnlineIdleTime, OnlineMakespan,
+    OnlineSumWeightedCompletion, OnlineUtilization, StreamingObjective, StreamingObserver,
+};

@@ -14,7 +14,15 @@
 //!   is why utilization-maximising algorithms shine under it (§7).
 //!
 //! All objectives are **costs**: smaller is better.
+//!
+//! Every impl here is a thin wrapper that [`replay`]s the finished
+//! schedule through its [`crate::streaming`] accumulator, so the batch
+//! and online paths share one arithmetic and agree bit for bit.
 
+use crate::streaming::{
+    replay, OnlineArt, OnlineAwrt, OnlineBoundedSlowdown, OnlineIdleTime, OnlineMakespan,
+    OnlineSumWeightedCompletion, OnlineUtilization, StreamingObjective,
+};
 use jobsched_sim::ScheduleRecord;
 use jobsched_workload::{Time, Workload};
 
@@ -30,16 +38,6 @@ pub trait Objective {
     fn cost(&self, workload: &Workload, schedule: &ScheduleRecord) -> f64;
 }
 
-fn placement(
-    _workload: &Workload,
-    schedule: &ScheduleRecord,
-    id: jobsched_workload::JobId,
-) -> jobsched_sim::JobPlacement {
-    schedule
-        .placement(id)
-        .unwrap_or_else(|| panic!("job {id} has no placement; schedule incomplete"))
-}
-
 /// Average response time (Rule 5 objective; weight ≡ 1).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AvgResponseTime;
@@ -50,15 +48,9 @@ impl Objective for AvgResponseTime {
     }
 
     fn cost(&self, workload: &Workload, schedule: &ScheduleRecord) -> f64 {
-        if workload.is_empty() {
-            return 0.0;
-        }
-        let total: f64 = workload
-            .jobs()
-            .iter()
-            .map(|j| placement(workload, schedule, j.id).response_time(j.submit) as f64)
-            .sum();
-        total / workload.len() as f64
+        let mut acc = OnlineArt::new();
+        replay(workload, schedule, &mut acc);
+        acc.cost()
     }
 }
 
@@ -73,15 +65,9 @@ impl Objective for AvgWeightedResponseTime {
     }
 
     fn cost(&self, workload: &Workload, schedule: &ScheduleRecord) -> f64 {
-        if workload.is_empty() {
-            return 0.0;
-        }
-        let total: f64 = workload
-            .jobs()
-            .iter()
-            .map(|j| j.area() * placement(workload, schedule, j.id).response_time(j.submit) as f64)
-            .sum();
-        total / workload.len() as f64
+        let mut acc = OnlineAwrt::new();
+        replay(workload, schedule, &mut acc);
+        acc.cost()
     }
 }
 
@@ -95,8 +81,10 @@ impl Objective for Makespan {
         "makespan"
     }
 
-    fn cost(&self, _workload: &Workload, schedule: &ScheduleRecord) -> f64 {
-        schedule.makespan() as f64
+    fn cost(&self, workload: &Workload, schedule: &ScheduleRecord) -> f64 {
+        let mut acc = OnlineMakespan::new();
+        replay(workload, schedule, &mut acc);
+        acc.cost()
     }
 }
 
@@ -117,24 +105,9 @@ impl Objective for TotalIdleTime {
     }
 
     fn cost(&self, workload: &Workload, schedule: &ScheduleRecord) -> f64 {
-        assert!(self.from < self.to, "empty idle-time frame");
-        let frame = (self.to - self.from) as f64;
-        let capacity = frame * schedule.machine_nodes() as f64;
-        let busy: f64 = workload
-            .jobs()
-            .iter()
-            .map(|j| {
-                let p = placement(workload, schedule, j.id);
-                let lo = p.start.max(self.from);
-                let hi = p.completion.min(self.to);
-                if hi > lo {
-                    (hi - lo) as f64 * j.nodes as f64
-                } else {
-                    0.0
-                }
-            })
-            .sum();
-        capacity - busy
+        let mut acc = OnlineIdleTime::new(self.from, self.to, schedule.machine_nodes());
+        replay(workload, schedule, &mut acc);
+        acc.cost()
     }
 }
 
@@ -148,7 +121,9 @@ impl Objective for Utilization {
     }
 
     fn cost(&self, workload: &Workload, schedule: &ScheduleRecord) -> f64 {
-        -schedule.utilization(workload)
+        let mut acc = OnlineUtilization::new(schedule.machine_nodes());
+        replay(workload, schedule, &mut acc);
+        acc.cost()
     }
 }
 
@@ -163,11 +138,9 @@ impl Objective for SumWeightedCompletion {
     }
 
     fn cost(&self, workload: &Workload, schedule: &ScheduleRecord) -> f64 {
-        workload
-            .jobs()
-            .iter()
-            .map(|j| j.area() * placement(workload, schedule, j.id).completion as f64)
-            .sum()
+        let mut acc = OnlineSumWeightedCompletion::new();
+        replay(workload, schedule, &mut acc);
+        acc.cost()
     }
 }
 
@@ -183,21 +156,9 @@ impl Objective for AvgBoundedSlowdown {
     }
 
     fn cost(&self, workload: &Workload, schedule: &ScheduleRecord) -> f64 {
-        const TAU: f64 = 10.0;
-        if workload.is_empty() {
-            return 0.0;
-        }
-        let total: f64 = workload
-            .jobs()
-            .iter()
-            .map(|j| {
-                let p = placement(workload, schedule, j.id);
-                let resp = p.response_time(j.submit) as f64;
-                let run = (j.effective_runtime() as f64).max(TAU);
-                (resp / run).max(1.0)
-            })
-            .sum();
-        total / workload.len() as f64
+        let mut acc = OnlineBoundedSlowdown::new();
+        replay(workload, schedule, &mut acc);
+        acc.cost()
     }
 }
 

@@ -1,0 +1,510 @@
+//! Online (one-pass) objective accumulators.
+//!
+//! The streaming counterpart of [`crate::objective`]: a
+//! [`StreamingObjective`] folds the pipeline's lifecycle events into O(1)
+//! state and produces the schedule cost at any point, without a
+//! [`ScheduleRecord`](jobsched_sim::ScheduleRecord) or the workload in
+//! memory. The batch [`Objective`](crate::objective::Objective) impls are
+//! thin wrappers that [`replay`] a finished schedule through these same
+//! accumulators, so batch and streaming results are **identical by
+//! construction** — not merely close.
+//!
+//! ## Exactness
+//!
+//! Floating-point addition is not associative, and a stream delivers
+//! completions in time order while the batch pass walks jobs in id order.
+//! Summing f64s would make the two paths differ in the last ulp on large
+//! workloads. Every accumulator therefore sums in *exact* integer
+//! arithmetic, which is order-independent:
+//!
+//! * response times, busy areas and weighted completions are products of
+//!   `u64`/`u32` job fields — summed exactly in `u128`;
+//! * bounded-slowdown terms are genuine fractions, but every term is
+//!   ≥ 1.0, so its ulp is ≥ 2⁻⁵²: the term *is* an exact multiple of
+//!   2⁻⁵², and [`q52`] converts it losslessly to Q52 fixed point for an
+//!   exact `u128` sum.
+//!
+//! The single rounding step happens at the end (`u128 → f64`, then one
+//! division), identically for both paths.
+//!
+//! ## Scope
+//!
+//! Costs are defined over *completed executions* (the paper's objectives
+//! assume the finished schedule). A cancelled-while-queued job never
+//! completes and contributes nothing; a cancelled-while-running job
+//! contributes its truncated execution. On fault-free runs every
+//! accumulator matches its batch objective bit for bit — the
+//! `streaming_equivalence` suite pins that across all thirteen paper
+//! algorithm combinations.
+
+use jobsched_sim::{JobEvent, JobOutcome, ScheduleRecord, SimObserver};
+use jobsched_workload::{Time, Workload};
+
+/// A schedule cost computed online, one lifecycle event at a time.
+/// Lower is better, matching [`crate::objective::Objective`].
+pub trait StreamingObjective {
+    /// Name used in reports ("ART", "AWRT", ...).
+    fn name(&self) -> &'static str;
+
+    /// Fold one lifecycle event into the accumulator.
+    fn observe(&mut self, event: &JobEvent);
+
+    /// The cost over everything observed so far.
+    fn cost(&self) -> f64;
+}
+
+/// Adapter: mount a [`StreamingObjective`] as a pipeline event sink.
+///
+/// (A blanket `impl SimObserver for T: StreamingObjective` would collide
+/// with foreign impls; the newtype keeps both traits open.)
+pub struct StreamingObserver<'a>(pub &'a mut dyn StreamingObjective);
+
+impl SimObserver for StreamingObserver<'_> {
+    fn on_event(&mut self, event: &JobEvent) {
+        self.0.observe(event);
+    }
+}
+
+/// The completed execution inside an event, if it carries one.
+fn completed(event: &JobEvent) -> Option<&JobOutcome> {
+    match event {
+        JobEvent::Finished(o) => Some(o),
+        JobEvent::Cancelled { run: Some(o), .. } => Some(o),
+        _ => None,
+    }
+}
+
+/// Feed a finished schedule through a streaming accumulator, job by job.
+/// This is how every batch [`Objective`](crate::objective::Objective)
+/// now computes its cost. Panics on an incomplete schedule, like the
+/// batch objectives always have.
+pub fn replay(
+    workload: &Workload,
+    schedule: &ScheduleRecord,
+    objective: &mut dyn StreamingObjective,
+) {
+    for j in workload.jobs() {
+        let p = schedule
+            .placement(j.id)
+            .unwrap_or_else(|| panic!("job {} has no placement; schedule incomplete", j.id));
+        objective.observe(&JobEvent::Finished(JobOutcome {
+            id: j.id,
+            submit: j.submit,
+            start: p.start,
+            completion: p.completion,
+            nodes: j.nodes,
+            requested_time: j.requested_time,
+            user: j.user,
+        }));
+    }
+}
+
+/// Lossless Q52 fixed-point image of a float `x ≥ 1.0`: returns
+/// `x · 2⁵²` exactly. Any finite f64 ≥ 1.0 has an ulp ≥ 2⁻⁵², so the
+/// result is an integer and sums of such images are exact (and therefore
+/// order-independent).
+fn q52(x: f64) -> u128 {
+    debug_assert!(x.is_finite() && x >= 1.0, "q52 needs x >= 1.0, got {x}");
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mant = (bits & ((1u64 << 52) - 1)) | (1u64 << 52);
+    debug_assert!((0..=75).contains(&exp), "q52 exponent {exp} out of range");
+    (mant as u128) << exp
+}
+
+/// Inverse scaling of a [`q52`] sum: `sum / 2⁵²` with one rounding step.
+fn from_q52(sum: u128) -> f64 {
+    // Division by a power of two only touches the exponent: exact.
+    (sum as f64) / (1u64 << 52) as f64
+}
+
+/// Online average response time (Rule 5 objective; weight ≡ 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineArt {
+    sum_response: u128,
+    n: u64,
+}
+
+impl OnlineArt {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamingObjective for OnlineArt {
+    fn name(&self) -> &'static str {
+        "ART"
+    }
+
+    fn observe(&mut self, event: &JobEvent) {
+        if let Some(o) = completed(event) {
+            self.sum_response += o.response_time() as u128;
+            self.n += 1;
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.sum_response as f64 / self.n as f64
+    }
+}
+
+/// Online average weighted response time (Rule 6 objective; weight =
+/// actual resource consumption `run time × nodes`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineAwrt {
+    sum_weighted: u128,
+    n: u64,
+}
+
+impl OnlineAwrt {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamingObjective for OnlineAwrt {
+    fn name(&self) -> &'static str {
+        "AWRT"
+    }
+
+    fn observe(&mut self, event: &JobEvent) {
+        if let Some(o) = completed(event) {
+            let weight = o.run_time() as u128 * o.nodes as u128;
+            self.sum_weighted += weight * o.response_time() as u128;
+            self.n += 1;
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.sum_weighted as f64 / self.n as f64
+    }
+}
+
+/// Online makespan: completion time of the last job seen.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineMakespan {
+    last: Time,
+}
+
+impl OnlineMakespan {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The makespan as a simulation instant (0 before any completion).
+    pub fn value(&self) -> Time {
+        self.last
+    }
+}
+
+impl StreamingObjective for OnlineMakespan {
+    fn name(&self) -> &'static str {
+        "makespan"
+    }
+
+    fn observe(&mut self, event: &JobEvent) {
+        if let Some(o) = completed(event) {
+            self.last = self.last.max(o.completion);
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        self.last as f64
+    }
+}
+
+/// Online negated utilization over `[0, makespan]` (lower = busier).
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineUtilization {
+    machine_nodes: u32,
+    busy: u128,
+    makespan: Time,
+}
+
+impl OnlineUtilization {
+    /// Accumulator for a machine of `machine_nodes`.
+    pub fn new(machine_nodes: u32) -> Self {
+        OnlineUtilization {
+            machine_nodes,
+            busy: 0,
+            makespan: 0,
+        }
+    }
+
+    /// The utilization itself (a fraction in `[0, 1]`), rather than the
+    /// negated cost form.
+    pub fn utilization(&self) -> f64 {
+        if self.machine_nodes == 0 || self.busy == 0 {
+            return 0.0;
+        }
+        let span = self.makespan.max(1) as f64;
+        self.busy as f64 / (span * self.machine_nodes as f64)
+    }
+}
+
+impl StreamingObjective for OnlineUtilization {
+    fn name(&self) -> &'static str {
+        "neg-utilization"
+    }
+
+    fn observe(&mut self, event: &JobEvent) {
+        if let Some(o) = completed(event) {
+            self.busy += o.run_time() as u128 * o.nodes as u128;
+            self.makespan = self.makespan.max(o.completion);
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        let u = self.utilization();
+        if u == 0.0 {
+            0.0 // nothing utilized; never NaN, never −0.0
+        } else {
+            -u
+        }
+    }
+}
+
+/// Online idle node-seconds within a fixed time frame (the literal Rule 6
+/// criterion §4 starts from).
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineIdleTime {
+    from: Time,
+    to: Time,
+    machine_nodes: u32,
+    busy: u128,
+}
+
+impl OnlineIdleTime {
+    /// Accumulator over the frame `[from, to)` on `machine_nodes` nodes.
+    /// Panics on an empty frame, like the batch objective.
+    pub fn new(from: Time, to: Time, machine_nodes: u32) -> Self {
+        assert!(from < to, "empty idle-time frame");
+        OnlineIdleTime {
+            from,
+            to,
+            machine_nodes,
+            busy: 0,
+        }
+    }
+}
+
+impl StreamingObjective for OnlineIdleTime {
+    fn name(&self) -> &'static str {
+        "idle-time"
+    }
+
+    fn observe(&mut self, event: &JobEvent) {
+        if let Some(o) = completed(event) {
+            let lo = o.start.max(self.from);
+            let hi = o.completion.min(self.to);
+            if hi > lo {
+                self.busy += (hi - lo) as u128 * o.nodes as u128;
+            }
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        let capacity = (self.to - self.from) as f64 * self.machine_nodes as f64;
+        capacity - self.busy as f64
+    }
+}
+
+/// Online Σ wⱼ·Cⱼ (Smith's criterion; weight = run time × nodes).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineSumWeightedCompletion {
+    sum: u128,
+}
+
+impl OnlineSumWeightedCompletion {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamingObjective for OnlineSumWeightedCompletion {
+    fn name(&self) -> &'static str {
+        "sum-wC"
+    }
+
+    fn observe(&mut self, event: &JobEvent) {
+        if let Some(o) = completed(event) {
+            let weight = o.run_time() as u128 * o.nodes as u128;
+            self.sum += weight * o.completion as u128;
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        self.sum as f64
+    }
+}
+
+/// Online average bounded slowdown (10-second threshold).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineBoundedSlowdown {
+    sum_q52: u128,
+    n: u64,
+}
+
+impl OnlineBoundedSlowdown {
+    /// Conventional threshold below which runtimes are clamped.
+    pub const TAU: f64 = 10.0;
+
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamingObjective for OnlineBoundedSlowdown {
+    fn name(&self) -> &'static str {
+        "bounded-slowdown"
+    }
+
+    fn observe(&mut self, event: &JobEvent) {
+        if let Some(o) = completed(event) {
+            let resp = o.response_time() as f64;
+            let run = (o.run_time() as f64).max(Self::TAU);
+            // Each term is ≥ 1.0, so its Q52 image is exact (see q52).
+            self.sum_q52 += q52((resp / run).max(1.0));
+            self.n += 1;
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        from_q52(self.sum_q52) / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_workload::JobId;
+
+    fn outcome(id: u32, submit: Time, start: Time, completion: Time, nodes: u32) -> JobEvent {
+        JobEvent::Finished(JobOutcome {
+            id: JobId(id),
+            submit,
+            start,
+            completion,
+            nodes,
+            requested_time: completion - start,
+            user: 0,
+        })
+    }
+
+    #[test]
+    fn art_is_mean_response() {
+        let mut a = OnlineArt::new();
+        a.observe(&outcome(0, 0, 0, 100, 6));
+        a.observe(&outcome(1, 0, 100, 150, 6));
+        assert_eq!(a.cost(), 125.0);
+    }
+
+    #[test]
+    fn awrt_weights_by_consumption() {
+        let mut a = OnlineAwrt::new();
+        a.observe(&outcome(0, 0, 0, 100, 6)); // weight 600, resp 100
+        a.observe(&outcome(1, 0, 100, 150, 6)); // weight 300, resp 150
+        assert_eq!(a.cost(), (600.0 * 100.0 + 300.0 * 150.0) / 2.0);
+    }
+
+    #[test]
+    fn empty_accumulators_cost_zero() {
+        assert_eq!(OnlineArt::new().cost(), 0.0);
+        assert_eq!(OnlineAwrt::new().cost(), 0.0);
+        assert_eq!(OnlineMakespan::new().cost(), 0.0);
+        assert_eq!(OnlineUtilization::new(10).cost(), 0.0);
+        assert_eq!(OnlineBoundedSlowdown::new().cost(), 0.0);
+        assert_eq!(OnlineSumWeightedCompletion::new().cost(), 0.0);
+        assert!(OnlineUtilization::new(0).cost().is_finite());
+    }
+
+    #[test]
+    fn accumulation_is_order_independent() {
+        // The exactness claim, directly: feeding outcomes in opposite
+        // orders yields bit-identical costs.
+        let events: Vec<JobEvent> = (0..500)
+            .map(|i| {
+                outcome(
+                    i,
+                    i as Time,
+                    i as Time * 3,
+                    i as Time * 7 + 13,
+                    (i % 17) + 1,
+                )
+            })
+            .collect();
+        let forward = {
+            let mut a = OnlineBoundedSlowdown::new();
+            events.iter().for_each(|e| a.observe(e));
+            a.cost()
+        };
+        let backward = {
+            let mut a = OnlineBoundedSlowdown::new();
+            events.iter().rev().for_each(|e| a.observe(e));
+            a.cost()
+        };
+        assert_eq!(forward.to_bits(), backward.to_bits());
+    }
+
+    #[test]
+    fn q52_is_lossless_for_terms_above_one() {
+        // A single term's Q52 image has exactly the 53 significant bits
+        // of its mantissa, so it round-trips bit for bit.
+        for x in [1.0f64, 1.5, 2.0, 3.0, 10.0 / 3.0, 1234.56789, 1e9] {
+            let back = from_q52(q52(x));
+            assert_eq!(back.to_bits(), x.to_bits(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn cancelled_running_jobs_count_their_truncated_execution() {
+        let mut a = OnlineArt::new();
+        a.observe(&JobEvent::Cancelled {
+            id: JobId(0),
+            at: 40,
+            phase: jobsched_sim::CancelPhase::Running,
+            run: Some(JobOutcome {
+                id: JobId(0),
+                submit: 0,
+                start: 0,
+                completion: 40,
+                nodes: 4,
+                requested_time: 100,
+                user: 0,
+            }),
+        });
+        // Queued cancellations contribute nothing.
+        a.observe(&JobEvent::Cancelled {
+            id: JobId(1),
+            at: 50,
+            phase: jobsched_sim::CancelPhase::Queued,
+            run: None,
+        });
+        assert_eq!(a.cost(), 40.0);
+    }
+
+    #[test]
+    fn observer_adapter_feeds_the_accumulator() {
+        let mut art = OnlineArt::new();
+        {
+            let mut obs = StreamingObserver(&mut art);
+            obs.on_event(&outcome(0, 0, 0, 80, 2));
+            obs.on_end(80);
+        }
+        assert_eq!(art.cost(), 80.0);
+    }
+}

@@ -39,8 +39,8 @@ use jobsched_algos::spec::PolicyKind;
 use jobsched_algos::BackfillMode;
 use jobsched_metrics::{AvgResponseTime, AvgWeightedResponseTime, Objective};
 use jobsched_sim::{
-    simulate_with_faults, CancelPhase, FaultOutcome, JobRequest, Machine, Profile, Scheduler,
-    SimOutcome,
+    simulate_batch_with_faults, simulate_with_faults, CancelPhase, FaultOutcome, JobRequest,
+    Machine, Profile, Scheduler, SimOutcome,
 };
 use jobsched_workload::{JobId, Time, Workload};
 
@@ -363,6 +363,84 @@ pub fn check_scenario(scenario: &Scenario) -> Vec<String> {
         Ok(outcome) => violations.extend(check_outcome(scenario, &workload, &outcome)),
         Err(panic) => violations.push(format!("simulation panicked: {}", panic_msg(&panic))),
     }
+    violations.extend(stream_differential(scenario));
+    violations
+}
+
+/// Batch-vs-stream differential: replay the scenario through the
+/// retained monolithic engine loop
+/// ([`jobsched_sim::simulate_batch_with_faults`]) *and* the streaming
+/// pipeline behind [`jobsched_sim::simulate_with_faults`], each with a
+/// fresh scheduler instance, and demand identical outcomes — schedule,
+/// fault log, event and decision-round counts, peak queue depth
+/// (`scheduler_cpu` is wall-clock and excluded). Contract-violation
+/// panics must also agree: both paths panic with the same message, or
+/// neither panics. Runs as part of [`check_scenario`], so every fuzz
+/// case and committed corpus reproducer exercises it.
+pub fn stream_differential(scenario: &Scenario) -> Vec<String> {
+    let workload = scenario.workload();
+    let plan = scenario.fault_plan();
+    let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut scheduler = scenario.scheduler();
+        simulate_batch_with_faults(&workload, &mut *scheduler, &plan)
+    }));
+    let stream = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut scheduler = scenario.scheduler();
+        simulate_with_faults(&workload, &mut *scheduler, &plan)
+    }));
+
+    let mut violations = Vec::new();
+    match (batch, stream) {
+        (Ok(batch), Ok(stream)) => {
+            if batch.schedule != stream.schedule {
+                violations.push(format!(
+                    "stream differential: schedules diverge — batch {:?} vs stream {:?}",
+                    batch.schedule, stream.schedule
+                ));
+            }
+            if batch.faults != stream.faults {
+                violations.push(format!(
+                    "stream differential: fault logs diverge — batch {:?} vs stream {:?}",
+                    batch.faults, stream.faults
+                ));
+            }
+            for (what, b, s) in [
+                ("events", batch.events, stream.events),
+                (
+                    "decision_rounds",
+                    batch.decision_rounds,
+                    stream.decision_rounds,
+                ),
+                (
+                    "peak_queue",
+                    batch.peak_queue as u64,
+                    stream.peak_queue as u64,
+                ),
+            ] {
+                if b != s {
+                    violations.push(format!(
+                        "stream differential: {what} diverge — batch {b} vs stream {s}"
+                    ));
+                }
+            }
+        }
+        (Err(batch), Err(stream)) => {
+            let (b, s) = (panic_msg(&batch), panic_msg(&stream));
+            if b != s {
+                violations.push(format!(
+                    "stream differential: panic messages diverge — batch \"{b}\" vs stream \"{s}\""
+                ));
+            }
+        }
+        (Ok(_), Err(panic)) => violations.push(format!(
+            "stream differential: stream panicked where batch succeeded: {}",
+            panic_msg(&panic)
+        )),
+        (Err(panic), Ok(_)) => violations.push(format!(
+            "stream differential: batch panicked where stream succeeded: {}",
+            panic_msg(&panic)
+        )),
+    }
     violations
 }
 
@@ -627,6 +705,52 @@ mod tests {
             assert!(
                 violations.is_empty(),
                 "scenario {i} violated:\n{}\n{}",
+                violations.join("\n"),
+                s.to_text()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_differential_is_clean_across_configurations() {
+        for backfill in [
+            BackfillMode::None,
+            BackfillMode::Conservative,
+            BackfillMode::Easy,
+        ] {
+            let mut s = base_scenario(PolicyKind::Fcfs, backfill);
+            assert_eq!(stream_differential(&s), Vec::<String>::new());
+            s.cancels.push(CancelSpec { at: 50, job: 0 });
+            s.drains.push(DrainSpec {
+                at: 10,
+                nodes: 2,
+                until: 60,
+            });
+            assert_eq!(
+                stream_differential(&s),
+                Vec::<String>::new(),
+                "{backfill:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_differential_agrees_on_panicking_schedulers() {
+        // A LIFO impostor under FCFS doesn't panic, it just mis-picks —
+        // batch and stream must still agree event for event on it.
+        let mut s = base_scenario(PolicyKind::Fcfs, BackfillMode::None);
+        s.mutation = Some(Mutation::Lifo);
+        assert_eq!(stream_differential(&s), Vec::<String>::new());
+    }
+
+    #[test]
+    fn generated_stream_differential_smoke() {
+        for i in 0..25 {
+            let s = random_scenario(0xD1FF, i);
+            let violations = stream_differential(&s);
+            assert!(
+                violations.is_empty(),
+                "scenario {i} diverged:\n{}\n{}",
                 violations.join("\n"),
                 s.to_text()
             );

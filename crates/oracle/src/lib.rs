@@ -18,8 +18,11 @@
 //! * [`invariants`] — the oracle proper: per-decision differentials
 //!   (exact pick equality vs naive FCFS / Garey & Graham / EASY /
 //!   conservative re-implementations), the §5.2 conservative no-delay
-//!   guarantee, capacity sweeps over placements *and* drain grants, and
-//!   first-principles ART/AWRT recomputation;
+//!   guarantee, capacity sweeps over placements *and* drain grants,
+//!   first-principles ART/AWRT recomputation, and the batch-vs-stream
+//!   engine differential ([`invariants::stream_differential`]: the
+//!   monolithic loop and the streaming pipeline must produce identical
+//!   outcomes on every scenario);
 //! * [`shrink`] — delta-debugging reduction of violating scenarios to
 //!   minimal reproducers.
 //!
@@ -34,6 +37,6 @@ pub mod scenario;
 pub mod shrink;
 
 pub use gen::{broken_scenario, random_scenario};
-pub use invariants::{check_outcome, check_scenario};
+pub use invariants::{check_outcome, check_scenario, stream_differential};
 pub use scenario::{CancelSpec, DrainSpec, Mutation, Scenario, ScenarioJob};
 pub use shrink::{shrink, shrink_with_budget};

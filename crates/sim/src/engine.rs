@@ -210,18 +210,29 @@ pub struct SimOutcome {
     pub faults: Vec<FaultOutcome>,
 }
 
-/// Run `scheduler` against `workload` until every job has completed.
+// The streaming pipeline provides the canonical entry points; the
+// monolithic loop below is retained as the differential baseline.
+pub use crate::pipeline::{simulate, simulate_with_faults};
+
+/// Run `scheduler` against `workload` with the retained monolithic batch
+/// loop — the reference implementation the streaming
+/// [`crate::pipeline::SimPipeline`] is differentially tested against
+/// (the oracle's stream differential re-runs every fuzz scenario through
+/// both). Production callers use [`simulate`], which goes through the
+/// pipeline; this one exists so batch/stream divergence is *detectable*
+/// rather than defined away.
 ///
 /// Panics if the scheduler violates its contract (starting an unknown or
 /// oversubscribed job, or deadlocking with a non-empty queue on an idle
 /// machine) — these are algorithm bugs, not recoverable conditions.
-pub fn simulate(workload: &Workload, scheduler: &mut dyn Scheduler) -> SimOutcome {
-    simulate_with_faults(workload, scheduler, &FaultPlan::default())
+pub fn simulate_batch(workload: &Workload, scheduler: &mut dyn Scheduler) -> SimOutcome {
+    simulate_batch_with_faults(workload, scheduler, &FaultPlan::default())
 }
 
 /// Run `scheduler` against `workload` while injecting the cancellations
-/// and node drains of `faults`. With an empty plan this is exactly
-/// [`simulate`].
+/// and node drains of `faults`, with the retained monolithic batch loop
+/// (see [`simulate_batch`]). With an empty plan this is exactly
+/// [`simulate_batch`].
 ///
 /// Fault semantics (all resolved by [`Event`] batch order at shared
 /// timestamps):
@@ -234,7 +245,7 @@ pub fn simulate(workload: &Workload, scheduler: &mut dyn Scheduler) -> SimOutcom
 /// * A drain removes `min(nodes, free)` nodes at `at` and returns them at
 ///   `until` (skipped when nothing is free or `until <= at`). Schedulers
 ///   hear about both edges via [`Scheduler::capacity_changed`].
-pub fn simulate_with_faults(
+pub fn simulate_batch_with_faults(
     workload: &Workload,
     scheduler: &mut dyn Scheduler,
     faults: &FaultPlan,

@@ -36,18 +36,32 @@
 //!   [`profile::Profile`] snapshots (linear merge, no sort) serve the scans
 //!   that overlay reservations.
 
+//! * **Streaming pipeline.** [`pipeline::SimPipeline`] is the
+//!   bounded-memory core: it pulls jobs from a
+//!   [`jobsched_workload::JobSource`], emits lifecycle events to
+//!   [`pipeline::SimObserver`] sinks, and retires completed-job state so
+//!   resident memory tracks the in-flight population, not the trace
+//!   length. [`simulate`]/[`simulate_with_faults`] are thin wrappers over
+//!   it; the old monolithic loop survives as
+//!   [`engine::simulate_batch_with_faults`], the differential baseline.
+
 pub mod engine;
 pub mod event;
 pub mod gang;
 pub mod machine;
+pub mod pipeline;
 pub mod profile;
 pub mod schedule;
 pub mod typed;
 
 pub use engine::{
-    simulate, simulate_with_faults, CancelFault, CancelPhase, DrainFault, FaultOutcome, FaultPlan,
-    JobRequest, Scheduler, SimOutcome,
+    simulate_batch, simulate_batch_with_faults, CancelFault, CancelPhase, DrainFault, FaultOutcome,
+    FaultPlan, JobRequest, Scheduler, SimOutcome,
 };
 pub use machine::{DrainToken, Machine, RunningSlot};
+pub use pipeline::{
+    simulate, simulate_with_faults, JobEvent, JobOutcome, PipelineOutcome, RecordingObserver,
+    SimObserver, SimPipeline,
+};
 pub use profile::{LiveProfile, Profile};
 pub use schedule::{JobPlacement, ScheduleRecord};

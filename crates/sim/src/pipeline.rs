@@ -1,0 +1,850 @@
+//! The streaming simulation pipeline.
+//!
+//! [`SimPipeline`] is the bounded-memory generalisation of the batch
+//! engine loop: instead of loading a whole [`Workload`] and keeping a
+//! dense per-job record, it *pulls* jobs from a
+//! [`JobSource`](jobsched_workload::JobSource) as simulated time reaches
+//! their submission instants, *pushes* lifecycle events
+//! (submitted/started/finished/cancelled) to pluggable [`SimObserver`]
+//! sinks, and retires each job's state the moment it completes. Resident
+//! memory is O(in-flight + queued jobs), not O(trace length), which is
+//! what lets a multi-million-job stream run in a fixed footprint.
+//!
+//! The batch entry points [`simulate`]/[`simulate_with_faults`] are thin
+//! wrappers: an in-memory workload becomes a
+//! [`WorkloadSource`](jobsched_workload::WorkloadSource), a
+//! [`RecordingObserver`] rebuilds the dense [`ScheduleRecord`], and the
+//! result is the same [`SimOutcome`] as always. The old monolithic loop
+//! survives as [`crate::engine::simulate_batch_with_faults`], kept as a
+//! differential baseline: the oracle proves batch and stream produce
+//! identical outcomes on every fuzz scenario.
+//!
+//! ## Equivalence with the batch loop
+//!
+//! The batch engine enqueues every submission up front; the pipeline
+//! holds exactly one *lookahead* job and refills the event queue with it
+//! (and any same-instant successors) before each batch pop. Because
+//! sources are submission-ordered, the queue's earliest timestamp after a
+//! refill equals the global minimum over all pending *and future* events,
+//! so batch boundaries — and therefore every scheduler decision — are
+//! identical to the batch engine's. Wakeup deduplication and deadlock
+//! detection consult the lookahead as well, closing the last two places
+//! where "no event in the queue" used to mean "no event, ever".
+
+use crate::engine::{CancelPhase, FaultOutcome, FaultPlan, JobRequest, Scheduler, SimOutcome};
+use crate::event::{Event, EventQueue};
+use crate::machine::Machine;
+use crate::schedule::{JobPlacement, ScheduleRecord};
+use jobsched_workload::{Job, JobId, JobSource, SourceError, Time, Workload, WorkloadSource};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Everything known about one completed (or killed) execution — the
+/// streaming replacement for looking a job up in the workload *and* the
+/// schedule record after the fact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// Job identity.
+    pub id: JobId,
+    /// Submission time.
+    pub submit: Time,
+    /// Start time.
+    pub start: Time,
+    /// Completion time (truncation and mid-run cancellation included).
+    pub completion: Time,
+    /// Nodes the job occupied.
+    pub nodes: u32,
+    /// User-provided runtime limit.
+    pub requested_time: Time,
+    /// Submitting user.
+    pub user: u32,
+}
+
+impl JobOutcome {
+    /// Response time (completion − submit).
+    #[inline]
+    pub fn response_time(&self) -> Time {
+        self.completion - self.submit
+    }
+
+    /// Wait time (start − submit).
+    #[inline]
+    pub fn wait_time(&self) -> Time {
+        self.start - self.submit
+    }
+
+    /// Time the job actually held its nodes.
+    #[inline]
+    pub fn run_time(&self) -> Time {
+        self.completion - self.start
+    }
+}
+
+/// One lifecycle event, emitted to observers as it happens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobEvent {
+    /// A job entered the system (same view the scheduler gets).
+    Submitted(JobRequest),
+    /// A job began executing.
+    Started {
+        /// The job.
+        id: JobId,
+        /// Start instant.
+        at: Time,
+        /// Nodes allocated.
+        nodes: u32,
+    },
+    /// A job completed and its state is about to be retired.
+    Finished(JobOutcome),
+    /// A cancellation fault was applied to a job.
+    Cancelled {
+        /// The job.
+        id: JobId,
+        /// Cancellation instant.
+        at: Time,
+        /// Where the cancellation found the job.
+        phase: CancelPhase,
+        /// The truncated execution, when the job was running.
+        run: Option<JobOutcome>,
+    },
+}
+
+/// A sink for simulation lifecycle events.
+///
+/// Observers are the streaming pipeline's output side: metrics
+/// accumulators, schedule recorders, progress probes. They must not
+/// assume random access to the past — an event is delivered once, then
+/// the pipeline forgets it.
+pub trait SimObserver {
+    /// One lifecycle event, in simulation order.
+    fn on_event(&mut self, event: &JobEvent);
+
+    /// The run ended; `horizon` is the last simulated instant (0 for an
+    /// empty run).
+    fn on_end(&mut self, _horizon: Time) {}
+}
+
+/// Observer that rebuilds the dense [`ScheduleRecord`] of the batch API.
+/// This reintroduces O(trace) memory by design — it is the interop shim
+/// for callers that want the finished schedule, not a streaming sink.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    placements: Vec<Option<JobPlacement>>,
+}
+
+impl RecordingObserver {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        RecordingObserver::default()
+    }
+
+    fn set(&mut self, o: &JobOutcome) {
+        let idx = o.id.index();
+        if self.placements.len() <= idx {
+            self.placements.resize(idx + 1, None);
+        }
+        self.placements[idx] = Some(JobPlacement {
+            start: o.start,
+            completion: o.completion,
+        });
+    }
+
+    /// The recorded schedule for a machine of `machine_nodes`, padded
+    /// with unplaced slots up to `jobs` (cancelled jobs leave gaps).
+    pub fn into_record(mut self, machine_nodes: u32, jobs: usize) -> ScheduleRecord {
+        if self.placements.len() < jobs {
+            self.placements.resize(jobs, None);
+        }
+        ScheduleRecord::from_placements(machine_nodes, self.placements)
+    }
+}
+
+impl SimObserver for RecordingObserver {
+    fn on_event(&mut self, event: &JobEvent) {
+        match event {
+            JobEvent::Finished(o) => self.set(o),
+            JobEvent::Cancelled { run: Some(o), .. } => self.set(o),
+            _ => {}
+        }
+    }
+}
+
+/// Result of one pipeline run. The counters shared with [`SimOutcome`]
+/// (`events`, `decision_rounds`, `peak_queue`, `faults`, `scheduler_cpu`)
+/// are defined identically; the rest only make sense for streams.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// Wall-clock time spent inside scheduler callbacks.
+    pub scheduler_cpu: Duration,
+    /// Number of processed events.
+    pub events: u64,
+    /// Number of `select_starts` invocations.
+    pub decision_rounds: u64,
+    /// Peak wait-queue length observed.
+    pub peak_queue: usize,
+    /// What each injected fault actually did.
+    pub faults: Vec<FaultOutcome>,
+    /// Jobs that entered the system (pre-submit cancellations excluded).
+    pub jobs_submitted: u64,
+    /// Jobs that ran to (possibly truncated) completion.
+    pub jobs_finished: u64,
+    /// Peak number of jobs resident in pipeline memory at once — staged,
+    /// queued, or running. The memory-boundedness figure: for a healthy
+    /// scheduler this tracks backlog, not trace length.
+    pub peak_resident: usize,
+    /// Last simulated instant (0 for an empty run).
+    pub horizon: Time,
+}
+
+/// A job that has entered the system and not yet retired.
+struct InFlight {
+    job: Job,
+    start: Option<Time>,
+}
+
+/// Builder/driver for one streaming simulation run.
+///
+/// ```text
+/// JobSource --> SimPipeline(Scheduler) --> SimObserver*
+/// ```
+pub struct SimPipeline<'a> {
+    source: &'a mut dyn JobSource,
+    scheduler: &'a mut dyn Scheduler,
+    faults: FaultPlan,
+    observers: Vec<&'a mut dyn SimObserver>,
+}
+
+impl<'a> SimPipeline<'a> {
+    /// Couple a source to a scheduler. Faults and observers are optional.
+    pub fn new(source: &'a mut dyn JobSource, scheduler: &'a mut dyn Scheduler) -> Self {
+        SimPipeline {
+            source,
+            scheduler,
+            faults: FaultPlan::default(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Inject the cancellations and drains of `faults` into the run.
+    ///
+    /// Fault semantics match [`crate::engine::simulate_batch_with_faults`]
+    /// exactly, with one streaming-specific reading: a cancellation whose
+    /// job id the source never produces counts as `PreSubmit` — against
+    /// an unbounded source there is no way to tell "not yet" from
+    /// "never".
+    pub fn with_faults(mut self, faults: &FaultPlan) -> Self {
+        self.faults = faults.clone();
+        self
+    }
+
+    /// Attach an event sink. May be called repeatedly; observers receive
+    /// events in attachment order.
+    pub fn observe(mut self, observer: &'a mut dyn SimObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Drive the source to exhaustion.
+    ///
+    /// Panics on scheduler contract violations (invalid starts,
+    /// deadlock), exactly like the batch engine; returns an error only
+    /// when the *source* fails (I/O, parse, ordering).
+    pub fn run(self) -> Result<PipelineOutcome, SourceError> {
+        let SimPipeline {
+            source,
+            scheduler,
+            faults,
+            mut observers,
+        } = self;
+
+        let mut machine = Machine::new(source.machine_nodes());
+        let mut events = EventQueue::new();
+        for c in &faults.cancels {
+            events.push(c.at, Event::Cancel(c.id));
+        }
+        let mut drain_tokens: Vec<Option<crate::machine::DrainToken>> = Vec::new();
+        for (i, d) in faults.drains.iter().enumerate() {
+            drain_tokens.push(None);
+            if d.until > d.at {
+                events.push(d.at, Event::Drain(i as u32));
+                events.push(d.until, Event::Undrain(i as u32));
+            }
+        }
+
+        let mut scheduler_cpu = Duration::ZERO;
+        let mut n_events = 0u64;
+        let mut rounds = 0u64;
+        let mut peak_queue = 0usize;
+        let mut fault_log = Vec::new();
+        let mut jobs_submitted = 0u64;
+        let mut jobs_finished = 0u64;
+        let mut peak_resident = 0usize;
+        let mut horizon: Time = 0;
+
+        // Bounded lifecycle state. `staged` holds jobs whose submit event
+        // is queued but not yet processed (only ever the tied-submit
+        // front of the stream); `alive` holds submitted jobs until they
+        // retire; `cancelled` is O(#faults); `submitted_below` replaces
+        // the batch engine's dense `submitted` bitmap — valid because
+        // submit events process in dense id order.
+        let mut staged: VecDeque<Job> = VecDeque::new();
+        let mut alive: BTreeMap<JobId, InFlight> = BTreeMap::new();
+        let mut cancelled: BTreeSet<JobId> = BTreeSet::new();
+        let mut submitted_below: u32 = 0;
+
+        let mut next_expected: u32 = 0;
+        let mut last_submit: Time = 0;
+        let mut lookahead = pull(source, &mut next_expected, &mut last_submit)?;
+
+        loop {
+            // Refill: push the lookahead submit (and any same-instant
+            // successors) while it is due at or before the queue's
+            // earliest event. Afterwards the queue's head time is the
+            // global minimum including all future submissions.
+            while let Some(j) = &lookahead {
+                let due = match events.peek_time() {
+                    None => true,
+                    Some(t) => j.submit <= t,
+                };
+                if !due {
+                    break;
+                }
+                let j = lookahead.take().expect("checked above");
+                events.push(j.submit, Event::Submit(j.id));
+                staged.push_back(j);
+                lookahead = pull(source, &mut next_expected, &mut last_submit)?;
+            }
+            peak_resident = peak_resident.max(staged.len() + alive.len());
+
+            let Some((now, batch)) = events.pop_batch() else {
+                break;
+            };
+            horizon = now;
+            for ev in batch {
+                n_events += 1;
+                match ev {
+                    Event::Submit(id) => {
+                        let job = staged.pop_front().expect("staged job for submit event");
+                        debug_assert_eq!(job.id, id);
+                        submitted_below = id.0 + 1;
+                        if cancelled.contains(&id) {
+                            continue; // cancelled before submission: never enters
+                        }
+                        jobs_submitted += 1;
+                        let req = JobRequest::from(&job);
+                        emit(&mut observers, &JobEvent::Submitted(req));
+                        alive.insert(id, InFlight { job, start: None });
+                        let t0 = Instant::now();
+                        scheduler.submit(req, now);
+                        scheduler_cpu += t0.elapsed();
+                    }
+                    Event::Finish(id) => {
+                        if cancelled.contains(&id) {
+                            continue; // killed mid-run: resources already released
+                        }
+                        machine.finish(id).expect("finish event for running job");
+                        let inf = alive.remove(&id).expect("finished job was alive");
+                        jobs_finished += 1;
+                        emit(&mut observers, &JobEvent::Finished(outcome(&inf, now)));
+                        let t0 = Instant::now();
+                        scheduler.job_finished(id, now);
+                        scheduler_cpu += t0.elapsed();
+                    }
+                    Event::Cancel(id) => {
+                        if cancelled.contains(&id) {
+                            continue; // duplicate cancellation
+                        }
+                        let mut run = None;
+                        let phase = if id.0 >= submitted_below {
+                            cancelled.insert(id);
+                            CancelPhase::PreSubmit
+                        } else if machine.running().iter().any(|s| s.id == id) {
+                            cancelled.insert(id);
+                            machine.finish(id).expect("cancelling a running job");
+                            let inf = alive.remove(&id).expect("running job was alive");
+                            run = Some(outcome(&inf, now));
+                            let t0 = Instant::now();
+                            scheduler.job_finished(id, now);
+                            scheduler_cpu += t0.elapsed();
+                            CancelPhase::Running
+                        } else if alive.remove(&id).is_some() {
+                            cancelled.insert(id);
+                            let t0 = Instant::now();
+                            scheduler.cancel(id, now);
+                            scheduler_cpu += t0.elapsed();
+                            CancelPhase::Queued
+                        } else {
+                            CancelPhase::AlreadyFinished // too late: no-op
+                        };
+                        emit(
+                            &mut observers,
+                            &JobEvent::Cancelled {
+                                id,
+                                at: now,
+                                phase,
+                                run,
+                            },
+                        );
+                        fault_log.push(FaultOutcome::Cancelled { id, at: now, phase });
+                    }
+                    Event::Drain(idx) => {
+                        let d = faults.drains[idx as usize];
+                        let granted = d.nodes.min(machine.free_nodes());
+                        if granted > 0 {
+                            let token = machine.drain(granted, d.until).expect("granted <= free");
+                            drain_tokens[idx as usize] = Some(token);
+                            let t0 = Instant::now();
+                            scheduler.capacity_changed(now);
+                            scheduler_cpu += t0.elapsed();
+                        }
+                        fault_log.push(FaultOutcome::Drained {
+                            at: now,
+                            requested: d.nodes,
+                            granted,
+                            until: d.until,
+                        });
+                    }
+                    Event::Undrain(idx) => {
+                        if let Some(token) = drain_tokens[idx as usize].take() {
+                            machine.undrain(token).expect("token taken exactly once");
+                            let t0 = Instant::now();
+                            scheduler.capacity_changed(now);
+                            scheduler_cpu += t0.elapsed();
+                        }
+                    }
+                    Event::Wakeup => {} // decision round below is the effect
+                }
+            }
+            peak_queue = peak_queue.max(scheduler.queue_len());
+
+            // Let the scheduler start jobs until it has nothing more to start.
+            loop {
+                let t0 = Instant::now();
+                let starts = scheduler.select_starts(now, &machine);
+                scheduler_cpu += t0.elapsed();
+                rounds += 1;
+                if starts.is_empty() {
+                    break;
+                }
+                for id in starts {
+                    assert!(
+                        !cancelled.contains(&id),
+                        "scheduler {} started cancelled job {id}",
+                        scheduler.name()
+                    );
+                    let inf = alive.get_mut(&id).unwrap_or_else(|| {
+                        // A retired (finished) id replays the batch
+                        // engine's double-placement panic; a never-seen
+                        // id is a contract violation of its own.
+                        if id.0 < submitted_below {
+                            panic!("job {id} placed twice");
+                        }
+                        panic!("scheduler {} started unknown job {id}", scheduler.name());
+                    });
+                    machine
+                        .start(id, inf.job.nodes, now, now + inf.job.requested_time)
+                        .unwrap_or_else(|e| {
+                            panic!("scheduler {} broke validity: {e}", scheduler.name())
+                        });
+                    assert!(inf.start.is_none(), "job {id} placed twice");
+                    inf.start = Some(now);
+                    let nodes = inf.job.nodes;
+                    let completion = now + inf.job.effective_runtime();
+                    events.push(completion, Event::Finish(id));
+                    emit(&mut observers, &JobEvent::Started { id, at: now, nodes });
+                }
+            }
+
+            // Schedule a wakeup if the scheduler asks for one (dedup:
+            // skip if any event — queued *or* the lookahead submission —
+            // lands at or before that instant).
+            if scheduler.queue_len() > 0 {
+                if let Some(t) = scheduler.next_wakeup(now) {
+                    assert!(t > now, "wakeup must be in the future");
+                    let next = [events.peek_time(), lookahead.as_ref().map(|j| j.submit)]
+                        .into_iter()
+                        .flatten()
+                        .min();
+                    if next.is_none_or(|n| t < n) {
+                        events.push(t, Event::Wakeup);
+                    }
+                }
+            }
+
+            // Deadlock check: idle machine, exhausted event horizon
+            // (queue *and* source), jobs waiting.
+            if events.is_empty() && lookahead.is_none() && scheduler.queue_len() > 0 {
+                assert!(
+                    machine.running().is_empty(),
+                    "event queue empty with jobs still running"
+                );
+                panic!(
+                    "scheduler {} deadlocked: {} jobs waiting on an idle machine",
+                    scheduler.name(),
+                    scheduler.queue_len()
+                );
+            }
+        }
+
+        for obs in &mut observers {
+            obs.on_end(horizon);
+        }
+
+        Ok(PipelineOutcome {
+            scheduler_cpu,
+            events: n_events,
+            decision_rounds: rounds,
+            peak_queue,
+            faults: fault_log,
+            jobs_submitted,
+            jobs_finished,
+            peak_resident,
+            horizon,
+        })
+    }
+}
+
+fn outcome(inf: &InFlight, completion: Time) -> JobOutcome {
+    JobOutcome {
+        id: inf.job.id,
+        submit: inf.job.submit,
+        start: inf.start.expect("outcome of a started job"),
+        completion,
+        nodes: inf.job.nodes,
+        requested_time: inf.job.requested_time,
+        user: inf.job.user,
+    }
+}
+
+fn emit(observers: &mut [&mut dyn SimObserver], event: &JobEvent) {
+    for obs in observers.iter_mut() {
+        obs.on_event(event);
+    }
+}
+
+/// Pull one job, enforcing the source contract (dense sequential ids,
+/// non-decreasing submission times).
+fn pull(
+    source: &mut dyn JobSource,
+    next_expected: &mut u32,
+    last_submit: &mut Time,
+) -> Result<Option<Job>, SourceError> {
+    let Some(job) = source.next_job()? else {
+        return Ok(None);
+    };
+    if job.id != JobId(*next_expected) {
+        return Err(SourceError::NonDenseId {
+            got: job.id,
+            expected: JobId(*next_expected),
+        });
+    }
+    if job.submit < *last_submit {
+        return Err(SourceError::OutOfOrder {
+            id: job.id,
+            submit: job.submit,
+            prev: *last_submit,
+        });
+    }
+    *next_expected += 1;
+    *last_submit = job.submit;
+    Ok(Some(job))
+}
+
+/// Run `scheduler` against `workload` until every job has completed.
+///
+/// Thin wrapper over [`SimPipeline`] with a [`WorkloadSource`] and a
+/// [`RecordingObserver`]; produces the same [`SimOutcome`] — bit for bit
+/// — as the retained batch loop
+/// ([`crate::engine::simulate_batch`]), which the oracle's stream
+/// differential verifies on every fuzz scenario.
+///
+/// Panics if the scheduler violates its contract (starting an unknown or
+/// oversubscribed job, or deadlocking with a non-empty queue on an idle
+/// machine) — these are algorithm bugs, not recoverable conditions.
+pub fn simulate(workload: &Workload, scheduler: &mut dyn Scheduler) -> SimOutcome {
+    simulate_with_faults(workload, scheduler, &FaultPlan::default())
+}
+
+/// Run `scheduler` against `workload` while injecting the cancellations
+/// and node drains of `faults`. With an empty plan this is exactly
+/// [`simulate`]. See [`crate::engine::simulate_batch_with_faults`] for
+/// the fault semantics, which are identical.
+pub fn simulate_with_faults(
+    workload: &Workload,
+    scheduler: &mut dyn Scheduler,
+    faults: &FaultPlan,
+) -> SimOutcome {
+    for c in &faults.cancels {
+        assert!(c.id.index() < workload.len(), "cancel of unknown job");
+    }
+    let mut source = WorkloadSource::new(workload);
+    let mut recorder = RecordingObserver::new();
+    let out = SimPipeline::new(&mut source, scheduler)
+        .with_faults(faults)
+        .observe(&mut recorder)
+        .run()
+        .expect("in-memory workload sources are infallible");
+    SimOutcome {
+        schedule: recorder.into_record(workload.machine_nodes(), workload.len()),
+        scheduler_cpu: out.scheduler_cpu,
+        events: out.events,
+        decision_rounds: out.decision_rounds,
+        peak_queue: out.peak_queue,
+        faults: out.faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_batch;
+    use jobsched_workload::JobBuilder;
+
+    /// Minimal FCFS, mirroring the engine's test scheduler.
+    struct TestFcfs {
+        queue: VecDeque<JobRequest>,
+    }
+
+    impl TestFcfs {
+        fn new() -> Self {
+            TestFcfs {
+                queue: VecDeque::new(),
+            }
+        }
+    }
+
+    impl Scheduler for TestFcfs {
+        fn name(&self) -> String {
+            "test-fcfs".into()
+        }
+        fn submit(&mut self, job: JobRequest, _now: Time) {
+            self.queue.push_back(job);
+        }
+        fn cancel(&mut self, id: JobId, _now: Time) {
+            self.queue.retain(|j| j.id != id);
+        }
+        fn select_starts(&mut self, _now: Time, machine: &Machine) -> Vec<JobId> {
+            let mut free = machine.free_nodes();
+            let mut out = Vec::new();
+            while let Some(head) = self.queue.front() {
+                if head.nodes <= free {
+                    free -= head.nodes;
+                    out.push(self.queue.pop_front().unwrap().id);
+                } else {
+                    break;
+                }
+            }
+            out
+        }
+        fn queue_len(&self) -> usize {
+            self.queue.len()
+        }
+    }
+
+    fn seq_workload(n: u32, machine: u32) -> Workload {
+        // Tight sequential pressure: 6-node jobs on a 10-node machine,
+        // submitted faster than they drain, with submit-time ties.
+        let jobs = (0..n)
+            .map(|i| {
+                JobBuilder::new(JobId(0))
+                    .submit((i / 2) as Time * 30)
+                    .nodes(6)
+                    .requested(100)
+                    .runtime(if i % 3 == 0 { 50 } else { 100 })
+                    .build()
+            })
+            .collect();
+        Workload::new("seq", machine, jobs)
+    }
+
+    /// Observer that counts events by kind.
+    #[derive(Default)]
+    struct Counter {
+        submitted: usize,
+        started: usize,
+        finished: usize,
+        cancelled: usize,
+        ended_at: Option<Time>,
+    }
+
+    impl SimObserver for Counter {
+        fn on_event(&mut self, event: &JobEvent) {
+            match event {
+                JobEvent::Submitted(_) => self.submitted += 1,
+                JobEvent::Started { .. } => self.started += 1,
+                JobEvent::Finished(_) => self.finished += 1,
+                JobEvent::Cancelled { .. } => self.cancelled += 1,
+            }
+        }
+        fn on_end(&mut self, horizon: Time) {
+            self.ended_at = Some(horizon);
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_batch_engine_exactly() {
+        let w = seq_workload(40, 10);
+        let batch = simulate_batch(&w, &mut TestFcfs::new());
+        let stream = simulate(&w, &mut TestFcfs::new());
+        assert_eq!(stream.schedule, batch.schedule);
+        assert_eq!(stream.events, batch.events);
+        assert_eq!(stream.decision_rounds, batch.decision_rounds);
+        assert_eq!(stream.peak_queue, batch.peak_queue);
+        assert_eq!(stream.faults, batch.faults);
+    }
+
+    #[test]
+    fn observers_see_the_full_lifecycle() {
+        let w = seq_workload(10, 10);
+        let mut source = WorkloadSource::new(&w);
+        let mut fcfs = TestFcfs::new();
+        let mut counter = Counter::default();
+        let out = SimPipeline::new(&mut source, &mut fcfs)
+            .observe(&mut counter)
+            .run()
+            .unwrap();
+        assert_eq!(counter.submitted, 10);
+        assert_eq!(counter.started, 10);
+        assert_eq!(counter.finished, 10);
+        assert_eq!(counter.cancelled, 0);
+        assert_eq!(counter.ended_at, Some(out.horizon));
+        assert_eq!(out.jobs_submitted, 10);
+        assert_eq!(out.jobs_finished, 10);
+        assert_eq!(out.events, 20);
+    }
+
+    #[test]
+    fn resident_memory_tracks_backlog_not_trace_length() {
+        // 20_000 sequential jobs: FCFS on a machine that fits one at a
+        // time, arrivals slower than service. The pipeline must never
+        // hold more than a handful of jobs, no matter the trace length.
+        let n = 20_000u32;
+        let jobs = (0..n)
+            .map(|i| {
+                JobBuilder::new(JobId(0))
+                    .submit(i as Time * 10)
+                    .nodes(8)
+                    .requested(10)
+                    .runtime(5)
+                    .build()
+            })
+            .collect();
+        let w = Workload::new("long", 10, jobs);
+        let mut source = WorkloadSource::new(&w);
+        let mut fcfs = TestFcfs::new();
+        let out = SimPipeline::new(&mut source, &mut fcfs).run().unwrap();
+        assert_eq!(out.jobs_finished, n as u64);
+        assert!(
+            out.peak_resident <= 4,
+            "peak_resident {} should be O(backlog), not O({n})",
+            out.peak_resident
+        );
+    }
+
+    #[test]
+    fn multiple_observers_receive_identical_streams() {
+        let w = seq_workload(8, 10);
+        let mut source = WorkloadSource::new(&w);
+        let mut fcfs = TestFcfs::new();
+        let mut a = Counter::default();
+        let mut b = Counter::default();
+        SimPipeline::new(&mut source, &mut fcfs)
+            .observe(&mut a)
+            .observe(&mut b)
+            .run()
+            .unwrap();
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.finished, b.finished);
+        assert_eq!(a.ended_at, b.ended_at);
+    }
+
+    #[test]
+    fn empty_source_is_fine() {
+        let w = Workload::new("e", 10, vec![]);
+        let mut source = WorkloadSource::new(&w);
+        let mut fcfs = TestFcfs::new();
+        let mut counter = Counter::default();
+        let out = SimPipeline::new(&mut source, &mut fcfs)
+            .observe(&mut counter)
+            .run()
+            .unwrap();
+        assert_eq!(out.events, 0);
+        assert_eq!(out.horizon, 0);
+        assert_eq!(counter.ended_at, Some(0));
+    }
+
+    #[test]
+    fn misbehaving_source_is_rejected() {
+        struct Bad(u32);
+        impl JobSource for Bad {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn machine_nodes(&self) -> u32 {
+                10
+            }
+            fn next_job(&mut self) -> Result<Option<Job>, SourceError> {
+                // Emits decreasing submit times with correct ids.
+                let i = self.0;
+                self.0 += 1;
+                Ok(Some(
+                    JobBuilder::new(JobId(i))
+                        .submit(1000 - i as Time * 100)
+                        .nodes(1)
+                        .requested(10)
+                        .runtime(10)
+                        .build(),
+                ))
+            }
+        }
+        let mut fcfs = TestFcfs::new();
+        let err = SimPipeline::new(&mut Bad(0), &mut fcfs).run().unwrap_err();
+        assert!(matches!(err, SourceError::OutOfOrder { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn cancel_of_running_job_emits_truncated_outcome() {
+        let w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(6)
+                .requested(100)
+                .runtime(100)
+                .build()],
+        );
+        let plan = FaultPlan {
+            cancels: vec![crate::engine::CancelFault {
+                id: JobId(0),
+                at: 40,
+            }],
+            drains: vec![],
+        };
+        let mut source = WorkloadSource::new(&w);
+        let mut fcfs = TestFcfs::new();
+        let mut rec = Vec::new();
+        struct Tape<'a>(&'a mut Vec<JobEvent>);
+        impl SimObserver for Tape<'_> {
+            fn on_event(&mut self, event: &JobEvent) {
+                self.0.push(*event);
+            }
+        }
+        let mut tape = Tape(&mut rec);
+        SimPipeline::new(&mut source, &mut fcfs)
+            .with_faults(&plan)
+            .observe(&mut tape)
+            .run()
+            .unwrap();
+        match rec.last().unwrap() {
+            JobEvent::Cancelled {
+                phase: CancelPhase::Running,
+                run: Some(o),
+                ..
+            } => {
+                assert_eq!((o.start, o.completion), (0, 40));
+            }
+            other => panic!("expected running-cancel, got {other:?}"),
+        }
+    }
+}

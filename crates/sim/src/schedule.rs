@@ -77,7 +77,7 @@ impl std::fmt::Display for ScheduleViolation {
 }
 
 /// A completed schedule: start/completion per job, indexed by job id.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScheduleRecord {
     machine_nodes: u32,
     placements: Vec<Option<JobPlacement>>,
@@ -89,6 +89,16 @@ impl ScheduleRecord {
         ScheduleRecord {
             machine_nodes,
             placements: vec![None; jobs],
+        }
+    }
+
+    /// Assemble a record from already-collected placements (slot `k`
+    /// belongs to `JobId(k)`), as the streaming pipeline's
+    /// [`crate::pipeline::RecordingObserver`] does.
+    pub fn from_placements(machine_nodes: u32, placements: Vec<Option<JobPlacement>>) -> Self {
+        ScheduleRecord {
+            machine_nodes,
+            placements,
         }
     }
 
@@ -135,9 +145,12 @@ impl ScheduleRecord {
         p.completion = t;
     }
 
-    /// Placement of one job, if it completed.
+    /// Placement of one job, if it completed. Ids beyond the record (a
+    /// zero-job record queried about a non-empty workload, a stream
+    /// recorder that saw fewer jobs than expected) read as unplaced
+    /// rather than panicking.
     pub fn placement(&self, id: JobId) -> Option<JobPlacement> {
-        self.placements[id.index()]
+        self.placements.get(id.index()).copied().flatten()
     }
 
     /// Iterate over `(JobId, JobPlacement)` for all completed jobs.
@@ -208,7 +221,8 @@ impl ScheduleRecord {
         violations
     }
 
-    /// Total busy node-seconds over the schedule.
+    /// Total busy node-seconds over the schedule. 0 for a zero-job
+    /// workload (an empty sum, not an error).
     pub fn busy_area(&self, workload: &Workload) -> f64 {
         workload
             .jobs()
@@ -220,8 +234,12 @@ impl ScheduleRecord {
             .sum()
     }
 
-    /// Machine utilization over `[0, makespan]`.
+    /// Machine utilization over `[0, makespan]`. A zero-job workload (or
+    /// a degenerate zero-node machine) utilizes nothing: 0, never NaN.
     pub fn utilization(&self, workload: &Workload) -> f64 {
+        if workload.is_empty() || self.machine_nodes == 0 {
+            return 0.0;
+        }
         let span = self.makespan().max(1) as f64;
         self.busy_area(workload) / (span * self.machine_nodes as f64)
     }
@@ -398,6 +416,42 @@ mod tests {
         let mut r = ScheduleRecord::new(10, 1);
         r.place(JobId(0), 0, 10);
         r.place(JobId(0), 20, 30);
+    }
+
+    #[test]
+    fn zero_job_workload_metrics_are_well_defined() {
+        let w = Workload::new("empty", 10, vec![]);
+        let r = ScheduleRecord::new(10, 0);
+        assert_eq!(r.completion_ratio(), 1.0);
+        assert_eq!(r.busy_area(&w), 0.0);
+        assert_eq!(r.utilization(&w), 0.0);
+        assert!(r.utilization(&w).is_finite());
+        assert_eq!(r.makespan(), 0);
+        assert!(r.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn zero_node_machine_does_not_divide_by_zero() {
+        let w = Workload::new("degenerate", 0, vec![]);
+        let r = ScheduleRecord::new(0, 0);
+        assert!(r.utilization(&w).is_finite());
+        assert_eq!(r.utilization(&w), 0.0);
+    }
+
+    #[test]
+    fn placement_beyond_record_reads_as_unplaced() {
+        let r = ScheduleRecord::new(10, 1);
+        assert_eq!(r.placement(JobId(5)), None);
+    }
+
+    #[test]
+    fn from_placements_roundtrips() {
+        let r = valid_record();
+        let rebuilt = ScheduleRecord::from_placements(
+            r.machine_nodes(),
+            (0..r.len() as u32).map(|i| r.placement(JobId(i))).collect(),
+        );
+        assert_eq!(rebuilt, r);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   self-contained deterministic generator.
 //! * [`stats`] — summary statistics used to characterise and compare
 //!   workloads (§6.2 consistency checking).
+//! * [`source`] — pull-based [`source::JobSource`] streams for the
+//!   bounded-memory simulation pipeline: in-memory workload adapters, the
+//!   lazy [`swf::SwfStream`] reader, and the unbounded
+//!   [`source::ProbabilisticSource`] generator.
 
 pub mod archive;
 pub mod calibrate;
@@ -35,11 +39,14 @@ pub mod job;
 pub mod probabilistic;
 pub mod randomized;
 pub mod rng;
+pub mod source;
 pub mod stats;
 pub mod swf;
 pub mod trace;
 
 pub use job::{CompletionStatus, Job, JobBuilder, JobId, NodeType, Time};
+pub use source::{JobSource, ProbabilisticSource, SourceError, WorkloadSource};
+pub use swf::SwfStream;
 pub use trace::Workload;
 
 /// Number of batch nodes on the paper's target machine (Institution B).

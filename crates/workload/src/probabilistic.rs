@@ -95,9 +95,51 @@ impl BinnedModel {
         &self.interarrival
     }
 
+    /// Size of the machine the base trace was recorded on.
+    pub fn machine_nodes(&self) -> u32 {
+        self.machine_nodes
+    }
+
     /// Number of populated joint bins.
     pub fn populated_bins(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Draw the next job of a stream: advance `clock` by a (scaled)
+    /// inter-arrival gap, then sample the job's shape from the joint bin
+    /// table. The RNG draw order (gap, bin, requested, runtime, user) is
+    /// the generator's wire format — [`generate`](Self::generate) and the
+    /// streaming `ProbabilisticSource` both speak it, which is what makes
+    /// a capped stream reproduce a batch workload exactly.
+    pub fn sample_next(
+        &self,
+        rng: &mut SmallRng,
+        clock: &mut f64,
+        arrival_scale: f64,
+        id: JobId,
+    ) -> Job {
+        *clock += self.interarrival.sample(rng).max(1.0) * arrival_scale;
+        let (nodes, req_bin, act_bin) = self.cells.draw(rng);
+        let (rlo, rhi) = bin_bounds(req_bin);
+        let (alo, ahi) = bin_bounds(act_bin);
+        let requested = rng.random_range(rlo..rhi);
+        let runtime = rng.random_range(alo..ahi);
+        let status = if runtime > requested {
+            CompletionStatus::KilledAtLimit
+        } else {
+            CompletionStatus::Completed
+        };
+        Job {
+            id,
+            submit: *clock as Time,
+            nodes,
+            requested_time: requested,
+            runtime,
+            user: rng.random_range(0..680),
+            memory_mb: 0,
+            node_type: NodeType::Thin,
+            status,
+        }
     }
 
     /// Resample `n` jobs from the fitted distributions ("randomized values
@@ -108,28 +150,7 @@ impl BinnedModel {
         let mut jobs = Vec::with_capacity(n);
         let mut clock = 0.0f64;
         for i in 0..n {
-            clock += self.interarrival.sample(&mut rng).max(1.0);
-            let (nodes, req_bin, act_bin) = self.cells.draw(&mut rng);
-            let (rlo, rhi) = bin_bounds(req_bin);
-            let (alo, ahi) = bin_bounds(act_bin);
-            let requested = rng.random_range(rlo..rhi);
-            let runtime = rng.random_range(alo..ahi);
-            let status = if runtime > requested {
-                CompletionStatus::KilledAtLimit
-            } else {
-                CompletionStatus::Completed
-            };
-            jobs.push(Job {
-                id: JobId(i as u32),
-                submit: clock as Time,
-                nodes,
-                requested_time: requested,
-                runtime,
-                user: rng.random_range(0..680),
-                memory_mb: 0,
-                node_type: NodeType::Thin,
-                status,
-            });
+            jobs.push(self.sample_next(&mut rng, &mut clock, 1.0, JobId(i as u32)));
         }
         Workload::new("probabilistic", self.machine_nodes, jobs)
     }

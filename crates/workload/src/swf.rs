@@ -18,8 +18,10 @@
 //! 17 think time         18 (unused here)
 
 use crate::job::{CompletionStatus, Job, JobId, NodeType, Time};
+use crate::source::{JobSource, SourceError};
 use crate::trace::Workload;
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 /// Error from SWF parsing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,6 +55,84 @@ fn field(fields: &[&str], idx: usize, line: usize) -> Result<i64, SwfError> {
         })
 }
 
+/// What one physical SWF line means, as shared by the batch parser and
+/// the streaming reader.
+enum SwfLine {
+    /// Blank, comment, or a job unusable for simulation (unknown size or
+    /// runtime) — the archive recommends skipping those.
+    Skip,
+    /// A `MaxNodes`/`MaxProcs` header declaration (the widest wins).
+    Size(u32),
+    /// A usable job; its id is a placeholder for the consumer to assign.
+    Job(Box<Job>),
+}
+
+/// Classify one raw line. `line` is the 1-based physical line number used
+/// in error messages. Trimming handles both CRLF and indented comments.
+fn classify_line(raw: &str, line: usize) -> Result<SwfLine, SwfError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(SwfLine::Skip);
+    }
+    if let Some(comment) = trimmed.strip_prefix(';') {
+        if let Some((key, value)) = comment.split_once(':') {
+            if key.trim().eq_ignore_ascii_case("MaxNodes")
+                || key.trim().eq_ignore_ascii_case("MaxProcs")
+            {
+                if let Ok(v) = value.trim().parse::<u32>() {
+                    return Ok(SwfLine::Size(v));
+                }
+            }
+        }
+        return Ok(SwfLine::Skip);
+    }
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() < 10 {
+        return Err(SwfError {
+            line,
+            message: format!("expected ≥10 fields, got {}", fields.len()),
+        });
+    }
+    let submit = field(&fields, 1, line)?;
+    let run_time = field(&fields, 3, line)?;
+    let procs = field(&fields, 4, line)?;
+    let req_procs = field(&fields, 7, line)?;
+    let req_time = field(&fields, 8, line)?;
+    let status = field(&fields, 9, line)?;
+    let user = field(&fields, 10, line).unwrap_or(0).max(0) as u32;
+    let mem = field(&fields, 6, line).unwrap_or(-1);
+
+    let nodes = if procs > 0 { procs } else { req_procs };
+    if nodes <= 0 || run_time <= 0 {
+        return Ok(SwfLine::Skip); // unknown size or runtime: unusable for simulation
+    }
+    let runtime = run_time as Time;
+    let requested = if req_time > 0 {
+        req_time as Time
+    } else {
+        runtime
+    };
+    Ok(SwfLine::Job(Box::new(Job {
+        id: JobId(0),
+        submit: submit.max(0) as Time,
+        nodes: nodes as u32,
+        requested_time: requested,
+        runtime,
+        user,
+        memory_mb: if mem > 0 {
+            (mem / 1024).max(1) as u32
+        } else {
+            0
+        },
+        node_type: NodeType::Thin,
+        status: match status {
+            1 => CompletionStatus::Completed,
+            5 => CompletionStatus::KilledAtLimit,
+            _ => CompletionStatus::Failed,
+        },
+    })))
+}
+
 /// Parse SWF text into a workload.
 ///
 /// * Jobs with unknown (−1) processor counts or runtimes are skipped, as the
@@ -65,71 +145,160 @@ pub fn parse(text: &str, name: &str) -> Result<Workload, SwfError> {
     let mut jobs = Vec::new();
     let mut max_nodes: Option<u32> = None;
     for (lineno, raw) in text.lines().enumerate() {
-        let line = lineno + 1;
-        let trimmed = raw.trim();
-        if trimmed.is_empty() {
-            continue;
+        match classify_line(raw, lineno + 1)? {
+            SwfLine::Skip => {}
+            SwfLine::Size(v) => max_nodes = Some(max_nodes.map_or(v, |m: u32| m.max(v))),
+            SwfLine::Job(j) => jobs.push(*j),
         }
-        if let Some(comment) = trimmed.strip_prefix(';') {
-            if let Some((key, value)) = comment.split_once(':') {
-                if key.trim().eq_ignore_ascii_case("MaxNodes")
-                    || key.trim().eq_ignore_ascii_case("MaxProcs")
-                {
-                    if let Ok(v) = value.trim().parse::<u32>() {
-                        max_nodes = Some(max_nodes.map_or(v, |m: u32| m.max(v)));
-                    }
-                }
-            }
-            continue;
-        }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() < 10 {
-            return Err(SwfError {
-                line,
-                message: format!("expected ≥10 fields, got {}", fields.len()),
-            });
-        }
-        let submit = field(&fields, 1, line)?;
-        let run_time = field(&fields, 3, line)?;
-        let procs = field(&fields, 4, line)?;
-        let req_procs = field(&fields, 7, line)?;
-        let req_time = field(&fields, 8, line)?;
-        let status = field(&fields, 9, line)?;
-        let user = field(&fields, 10, line).unwrap_or(0).max(0) as u32;
-        let mem = field(&fields, 6, line).unwrap_or(-1);
-
-        let nodes = if procs > 0 { procs } else { req_procs };
-        if nodes <= 0 || run_time <= 0 {
-            continue; // unknown size or runtime: unusable for simulation
-        }
-        let runtime = run_time as Time;
-        let requested = if req_time > 0 {
-            req_time as Time
-        } else {
-            runtime
-        };
-        jobs.push(Job {
-            id: JobId(0),
-            submit: submit.max(0) as Time,
-            nodes: nodes as u32,
-            requested_time: requested,
-            runtime,
-            user,
-            memory_mb: if mem > 0 {
-                (mem / 1024).max(1) as u32
-            } else {
-                0
-            },
-            node_type: NodeType::Thin,
-            status: match status {
-                1 => CompletionStatus::Completed,
-                5 => CompletionStatus::KilledAtLimit,
-                _ => CompletionStatus::Failed,
-            },
-        });
     }
     let machine = max_nodes.unwrap_or_else(|| jobs.iter().map(|j| j.nodes).max().unwrap_or(1));
     Ok(Workload::new(name, machine, jobs))
+}
+
+/// Lazy SWF reader: parses one line at a time from any [`BufRead`] and
+/// yields jobs through the [`JobSource`] interface, so a trace never has
+/// to fit in memory.
+///
+/// Two deliberate departures from the batch [`parse`]:
+///
+/// * The machine size must be known before the first job is emitted, so
+///   the header block (`MaxNodes`/`MaxProcs`, widest declaration wins) is
+///   read eagerly in [`SwfStream::new`]; a trace without a size header is
+///   rejected there — use [`SwfStream::with_machine_nodes`] to supply the
+///   size out of band. (The batch parser can instead fall back on the
+///   widest job, which requires seeing the whole trace.)
+/// * Jobs must appear in non-decreasing submission order. The batch
+///   parser re-sorts after the fact; a stream has nowhere to sort, so an
+///   out-of-order line is an explicit [`SwfError`].
+#[derive(Debug)]
+pub struct SwfStream<R> {
+    reader: R,
+    name: String,
+    machine_nodes: u32,
+    /// First job line, consumed while scanning the header block.
+    pending: Option<Job>,
+    next_id: u32,
+    last_submit: Time,
+    lineno: usize,
+}
+
+impl<R: BufRead> SwfStream<R> {
+    /// Open a stream, reading the header block (up to and including the
+    /// first job line) to learn the machine size. Errors if a job appears
+    /// before any `MaxNodes`/`MaxProcs` declaration.
+    pub fn new(reader: R, name: impl Into<String>) -> Result<Self, SwfError> {
+        let mut s = SwfStream {
+            reader,
+            name: name.into(),
+            machine_nodes: 0,
+            pending: None,
+            next_id: 0,
+            last_submit: 0,
+            lineno: 0,
+        };
+        let mut max_nodes: Option<u32> = None;
+        loop {
+            match s.read_classified()? {
+                None => break,
+                Some(SwfLine::Skip) => {}
+                Some(SwfLine::Size(v)) => max_nodes = Some(max_nodes.map_or(v, |m: u32| m.max(v))),
+                Some(SwfLine::Job(j)) => {
+                    s.pending = Some(*j);
+                    break;
+                }
+            }
+        }
+        match max_nodes {
+            Some(m) => {
+                s.machine_nodes = m;
+                Ok(s)
+            }
+            None if s.pending.is_none() => {
+                // Empty or comment-only trace: degenerate but harmless.
+                s.machine_nodes = 1;
+                Ok(s)
+            }
+            None => Err(SwfError {
+                line: s.lineno,
+                message: "no MaxNodes/MaxProcs header before the first job; \
+                          a stream cannot infer the machine size from the widest job \
+                          (use SwfStream::with_machine_nodes)"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Open a stream with an explicit machine size, ignoring any size
+    /// headers in the text. Nothing is read until the first `next_job`.
+    pub fn with_machine_nodes(reader: R, name: impl Into<String>, machine_nodes: u32) -> Self {
+        assert!(machine_nodes > 0, "machine must have at least one node");
+        SwfStream {
+            reader,
+            name: name.into(),
+            machine_nodes,
+            pending: None,
+            next_id: 0,
+            last_submit: 0,
+            lineno: 0,
+        }
+    }
+
+    /// Read and classify the next physical line; `None` at end of input.
+    fn read_classified(&mut self) -> Result<Option<SwfLine>, SwfError> {
+        let mut buf = String::new();
+        match self.reader.read_line(&mut buf) {
+            Ok(0) => Ok(None),
+            Ok(_) => {
+                self.lineno += 1;
+                classify_line(&buf, self.lineno).map(Some)
+            }
+            Err(e) => Err(SwfError {
+                line: self.lineno + 1,
+                message: format!("read error: {e}"),
+            }),
+        }
+    }
+
+    /// Assign the next dense id, enforcing submission order.
+    fn emit(&mut self, mut job: Job) -> Result<Option<Job>, SourceError> {
+        let id = JobId(self.next_id);
+        if job.submit < self.last_submit {
+            return Err(SourceError::OutOfOrder {
+                id,
+                submit: job.submit,
+                prev: self.last_submit,
+            });
+        }
+        job.id = id;
+        self.next_id += 1;
+        self.last_submit = job.submit;
+        Ok(Some(job))
+    }
+}
+
+impl<R: BufRead> JobSource for SwfStream<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn machine_nodes(&self) -> u32 {
+        self.machine_nodes
+    }
+
+    fn next_job(&mut self) -> Result<Option<Job>, SourceError> {
+        if let Some(j) = self.pending.take() {
+            return self.emit(j);
+        }
+        loop {
+            match self.read_classified()? {
+                None => return Ok(None),
+                // Size headers after the first job can no longer change
+                // the already-reported machine size; ignore them.
+                Some(SwfLine::Skip) | Some(SwfLine::Size(_)) => {}
+                Some(SwfLine::Job(j)) => return self.emit(*j),
+            }
+        }
+    }
 }
 
 /// Serialise a workload to SWF text (header comment + one line per job).
@@ -357,5 +526,102 @@ mod tests {
             back.to_swf(),
             Workload::from_swf(&back.to_swf(), "copy").unwrap().to_swf()
         );
+    }
+
+    // ---- streaming reader -------------------------------------------
+
+    use crate::source::collect;
+
+    #[test]
+    fn stream_matches_batch_parse_on_sample() {
+        let mut s = SwfStream::new(SAMPLE.as_bytes(), "ctc").unwrap();
+        let streamed = collect(&mut s).unwrap();
+        let batch = parse(SAMPLE, "ctc").unwrap();
+        assert_eq!(streamed.machine_nodes(), batch.machine_nodes());
+        assert_eq!(streamed.jobs(), batch.jobs());
+    }
+
+    #[test]
+    fn stream_handles_crlf_and_trailing_blanks() {
+        let text = "; MaxNodes: 16\r\n1 0 -1 100 4 -1 -1 4 200 1 0 0 -1 -1 -1 -1 -1 -1\r\n2 10 -1 50 2 -1 -1 2 60 1 0 0 -1 -1 -1 -1 -1 -1\r\n\r\n   \r\n";
+        let mut s = SwfStream::new(text.as_bytes(), "crlf").unwrap();
+        let w = collect(&mut s).unwrap();
+        assert_eq!(w.machine_nodes(), 16);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.jobs()[1].submit, 10);
+        // Batch parse agrees line for line.
+        assert_eq!(w.jobs(), parse(text, "crlf").unwrap().jobs());
+    }
+
+    #[test]
+    fn stream_rejects_out_of_order_submits() {
+        let text = "; MaxNodes: 8\n1 100 -1 10 1 -1 -1 1 20 1 0 0 -1 -1 -1 -1 -1 -1\n2 50 -1 10 1 -1 -1 1 20 1 0 0 -1 -1 -1 -1 -1 -1\n";
+        let mut s = SwfStream::new(text.as_bytes(), "ooo").unwrap();
+        assert!(s.next_job().unwrap().is_some());
+        let err = s.next_job().unwrap_err();
+        assert_eq!(
+            err,
+            SourceError::OutOfOrder {
+                id: JobId(1),
+                submit: 50,
+                prev: 100,
+            }
+        );
+        // The batch parser instead sorts — it is allowed to, it sees
+        // the whole trace.
+        assert_eq!(parse(text, "ooo").unwrap().jobs()[0].submit, 50);
+    }
+
+    #[test]
+    fn stream_requires_a_size_header() {
+        let text = "1 0 -1 100 4 -1 -1 4 200 1 0 0 -1 -1 -1 -1 -1 -1\n";
+        let err = SwfStream::new(text.as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("machine size"), "{err}");
+        // …unless the caller supplies the size out of band.
+        let mut s = SwfStream::with_machine_nodes(text.as_bytes(), "x", 64);
+        assert_eq!(s.machine_nodes(), 64);
+        assert_eq!(collect(&mut s).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stream_assigns_dense_ids_across_skipped_lines() {
+        // Unusable lines (unknown runtime/procs) are skipped without
+        // burning ids, exactly like the batch parser's renumbering.
+        let text = "\
+; MaxProcs: 32
+1 0 -1 -1 4 -1 -1 4 200 0 0 0 -1 -1 -1 -1 -1 -1
+2 5 -1 100 4 -1 -1 4 200 1 0 0 -1 -1 -1 -1 -1 -1
+3 9 -1 100 -1 -1 -1 -1 200 0 0 0 -1 -1 -1 -1 -1 -1
+4 12 -1 100 4 -1 -1 4 200 1 0 0 -1 -1 -1 -1 -1 -1
+";
+        let mut s = SwfStream::new(text.as_bytes(), "x").unwrap();
+        let w = collect(&mut s).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.jobs()[0].id, JobId(0));
+        assert_eq!(w.jobs()[0].submit, 5);
+        assert_eq!(w.jobs()[1].id, JobId(1));
+        assert_eq!(w.jobs()[1].submit, 12);
+    }
+
+    #[test]
+    fn stream_empty_input_is_an_empty_source() {
+        let mut s = SwfStream::new("".as_bytes(), "empty").unwrap();
+        assert_eq!(s.next_job().unwrap(), None);
+        let mut s = SwfStream::new("; just a comment\n".as_bytes(), "empty").unwrap();
+        assert_eq!(s.next_job().unwrap(), None);
+    }
+
+    #[test]
+    fn stream_parse_errors_carry_physical_line_numbers() {
+        let text = "; MaxNodes: 8\n\n1 0 -1 10 1 -1 -1 1 20 1 0 0 -1 -1 -1 -1 -1 -1\n1 2 3\n";
+        let mut s = SwfStream::new(text.as_bytes(), "bad").unwrap();
+        assert!(s.next_job().unwrap().is_some());
+        match s.next_job().unwrap_err() {
+            SourceError::Swf(e) => {
+                assert_eq!(e.line, 4);
+                assert!(e.to_string().contains("got 3"));
+            }
+            other => panic!("expected Swf error, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! Batch-vs-streaming equivalence, end to end: for every algorithm in
+//! the paper's 13-cell matrix, the streaming pipeline must produce the
+//! same schedule as the retained batch engine loop, and every online
+//! accumulator must produce the same cost — *bit for bit*, not within a
+//! tolerance — as its batch objective over that schedule.
+//!
+//! Exactness holds because both paths share one arithmetic: the batch
+//! objectives replay the schedule through the same integer/Q52
+//! accumulators the stream folds events into (see
+//! `jobsched-metrics::streaming`). These tests pin that contract across
+//! the probabilistic workload (inexact estimates: early finishes, the
+//! §5.2 backfilling regime) and the exact-estimate variant (projections
+//! bind, conservative promises hold).
+
+use jobsched::algos::view::WeightScheme;
+use jobsched::algos::AlgorithmSpec;
+use jobsched::metrics::{
+    AvgBoundedSlowdown, AvgResponseTime, AvgWeightedResponseTime, Makespan, Objective, OnlineArt,
+    OnlineAwrt, OnlineBoundedSlowdown, OnlineMakespan, OnlineSumWeightedCompletion,
+    OnlineUtilization, StreamingObjective, StreamingObserver, SumWeightedCompletion, Utilization,
+};
+use jobsched::sim::{simulate_batch, SimPipeline};
+use jobsched::workload::ctc::prepared_ctc_workload;
+use jobsched::workload::exact::with_exact_estimates;
+use jobsched::workload::probabilistic::probabilistic_workload;
+use jobsched::workload::{Workload, WorkloadSource};
+
+fn prob_1k() -> Workload {
+    let base = prepared_ctc_workload(500, 1999);
+    probabilistic_workload(&base, 1000, 2000)
+}
+
+/// Stream the workload through the pipeline under `spec`, folding every
+/// online accumulator, and return their costs alongside the pipeline's
+/// engine counters.
+fn stream_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64, usize) {
+    let mut scheduler = spec.build(WeightScheme::Unweighted);
+    let mut art = OnlineArt::new();
+    let mut awrt = OnlineAwrt::new();
+    let mut makespan = OnlineMakespan::new();
+    let mut utilization = OnlineUtilization::new(workload.machine_nodes());
+    let mut slowdown = OnlineBoundedSlowdown::new();
+    let mut sum_wc = OnlineSumWeightedCompletion::new();
+
+    let mut source = WorkloadSource::new(workload);
+    let accumulators: Vec<&mut dyn StreamingObjective> = vec![
+        &mut art,
+        &mut awrt,
+        &mut makespan,
+        &mut utilization,
+        &mut slowdown,
+        &mut sum_wc,
+    ];
+    let mut sinks: Vec<StreamingObserver> =
+        accumulators.into_iter().map(StreamingObserver).collect();
+    let mut pipeline = SimPipeline::new(&mut source, &mut scheduler);
+    for sink in &mut sinks {
+        pipeline = pipeline.observe(sink);
+    }
+    let out = pipeline.run().expect("in-memory sources are infallible");
+    let costs = sinks.iter().map(|s| s.0.cost()).collect();
+    (costs, out.events, out.decision_rounds, out.peak_queue)
+}
+
+/// The same six costs, computed batch-style from the finished schedule.
+fn batch_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64, usize) {
+    let mut scheduler = spec.build(WeightScheme::Unweighted);
+    let out = simulate_batch(workload, &mut scheduler);
+    let objectives: [&dyn Objective; 6] = [
+        &AvgResponseTime,
+        &AvgWeightedResponseTime,
+        &Makespan,
+        &Utilization,
+        &AvgBoundedSlowdown,
+        &SumWeightedCompletion,
+    ];
+    let costs = objectives
+        .iter()
+        .map(|o| o.cost(workload, &out.schedule))
+        .collect();
+    (costs, out.events, out.decision_rounds, out.peak_queue)
+}
+
+fn assert_equivalence(workload: &Workload, label: &str) {
+    const NAMES: [&str; 6] = [
+        "ART",
+        "AWRT",
+        "makespan",
+        "neg-utilization",
+        "bounded-slowdown",
+        "sum-wC",
+    ];
+    for spec in AlgorithmSpec::paper_matrix() {
+        let (stream, s_events, s_rounds, s_peak) = stream_costs(workload, spec);
+        let (batch, b_events, b_rounds, b_peak) = batch_costs(workload, spec);
+        for ((name, s), b) in NAMES.iter().zip(&stream).zip(&batch) {
+            assert_eq!(
+                s.to_bits(),
+                b.to_bits(),
+                "{label} / {}: online {name} {s} != batch {b}",
+                spec.name()
+            );
+        }
+        assert_eq!(
+            (s_events, s_rounds, s_peak),
+            (b_events, b_rounds, b_peak),
+            "{label} / {}: engine counters diverge between stream and batch",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn online_costs_match_batch_bit_for_bit_on_probabilistic_workload() {
+    assert_equivalence(&prob_1k(), "prob-1k");
+}
+
+#[test]
+fn online_costs_match_batch_bit_for_bit_with_exact_estimates() {
+    assert_equivalence(&with_exact_estimates(&prob_1k()), "prob-1k-exact");
+}
+
+#[test]
+fn pipeline_schedule_matches_batch_engine_across_the_matrix() {
+    // The schedules themselves — not just their scalar costs — must be
+    // identical between the streaming pipeline (`simulate` is now a
+    // wrapper over it) and the retained monolithic loop.
+    let w = prob_1k();
+    for spec in AlgorithmSpec::paper_matrix() {
+        let batch = simulate_batch(&w, &mut spec.build(WeightScheme::ProjectedArea));
+        let stream = jobsched::sim::simulate(&w, &mut spec.build(WeightScheme::ProjectedArea));
+        assert_eq!(
+            batch.schedule,
+            stream.schedule,
+            "{}: stream schedule diverges from batch",
+            spec.name()
+        );
+    }
+}
