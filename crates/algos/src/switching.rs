@@ -107,6 +107,10 @@ pub struct SwitchingScheduler {
     day: Regime,
     night: Regime,
     waiting: Waiting,
+    /// Operator override: `Some(true)` pins the day regime, `Some(false)`
+    /// the night regime, `None` follows the clock. A serving daemon
+    /// exposes this through its `policy` command.
+    forced: Option<bool>,
 }
 
 impl SwitchingScheduler {
@@ -121,6 +125,7 @@ impl SwitchingScheduler {
             day: Regime::new(day.0, day.1),
             night: Regime::new(night.0, night.1),
             waiting: Waiting::new(),
+            forced: None,
         }
     }
 
@@ -140,13 +145,31 @@ impl SwitchingScheduler {
         )
     }
 
-    /// Which regime is active at `t`.
+    /// Whether the *day* regime governs instant `t`, honouring a forced
+    /// override.
+    fn daytime_at(&self, t: Time) -> bool {
+        self.forced.unwrap_or_else(|| self.window.is_daytime(t))
+    }
+
+    /// Which regime is active at `t` (`"day"` / `"night"`).
     pub fn active_regime_name(&self, t: Time) -> &'static str {
-        if self.window.is_daytime(t) {
+        if self.daytime_at(t) {
             "day"
         } else {
             "night"
         }
+    }
+
+    /// Pin the active regime (`Some(true)` = day, `Some(false)` = night)
+    /// or return control to the clock (`None`). Takes effect at the next
+    /// decision round; running jobs are never disturbed.
+    pub fn force_regime(&mut self, forced: Option<bool>) {
+        self.forced = forced;
+    }
+
+    /// The current override, if any.
+    pub fn forced_regime(&self) -> Option<bool> {
+        self.forced
     }
 }
 
@@ -177,7 +200,7 @@ impl Scheduler for SwitchingScheduler {
         if machine.free_nodes() == 0 || self.waiting.is_empty() {
             return Vec::new();
         }
-        let daytime = self.window.is_daytime(now);
+        let daytime = self.daytime_at(now);
         let regime = if daytime {
             &mut self.day
         } else {
@@ -212,6 +235,10 @@ impl Scheduler for SwitchingScheduler {
 
     fn next_wakeup(&self, now: Time) -> Option<Time> {
         if self.waiting.is_empty() {
+            return None;
+        }
+        // A forced regime never flips on its own: no boundary to wake at.
+        if self.forced.is_some() {
             return None;
         }
         // Wake at the next regime boundary: the backlog is re-ordered by
@@ -306,6 +333,56 @@ mod tests {
         // Friday evening skips the whole weekend to Monday 07:00.
         assert_eq!(s.next_wakeup(4 * DAY + 20 * HOUR), Some(7 * DAY + 7 * HOUR));
         assert_eq!(s.next_wakeup(5 * DAY + 12 * HOUR), Some(7 * DAY + 7 * HOUR));
+    }
+
+    #[test]
+    fn forced_regime_overrides_the_clock() {
+        let mut s = SwitchingScheduler::paper_combination();
+        assert_eq!(s.forced_regime(), None);
+        s.force_regime(Some(false));
+        assert_eq!(s.active_regime_name(12 * HOUR), "night"); // noon, forced night
+        s.force_regime(Some(true));
+        assert_eq!(s.active_regime_name(2 * HOUR), "day"); // 2am, forced day
+        s.force_regime(None);
+        assert_eq!(s.active_regime_name(2 * HOUR), "night"); // back to the clock
+    }
+
+    #[test]
+    fn forced_regime_suppresses_boundary_wakeups() {
+        let mut s = SwitchingScheduler::paper_combination();
+        s.submit(
+            JobRequest {
+                id: JobId(0),
+                submit: 0,
+                nodes: 1,
+                requested_time: 100,
+                user: 0,
+            },
+            0,
+        );
+        assert_eq!(s.next_wakeup(12 * HOUR), Some(20 * HOUR));
+        s.force_regime(Some(true));
+        assert_eq!(s.next_wakeup(12 * HOUR), None, "pinned regime never flips");
+        s.force_regime(None);
+        assert_eq!(s.next_wakeup(12 * HOUR), Some(20 * HOUR));
+    }
+
+    #[test]
+    fn forcing_night_equals_the_night_scheduler() {
+        // With the night regime pinned, the combined scheduler
+        // degenerates to its off-peak algorithm. Garey & Graham is
+        // stateless (greedy over submission order), so — unlike the
+        // dynamic SMART day regime — exact placement identity holds.
+        let w = prepared_ctc_workload(600, 1999);
+        let mut forced = SwitchingScheduler::paper_combination();
+        forced.force_regime(Some(false));
+        let mut night_only =
+            crate::ListScheduler::new(OrderPolicy::GareyGraham, BackfillMode::None);
+        let a = simulate(&w, &mut forced);
+        let b = simulate(&w, &mut night_only);
+        for j in w.jobs() {
+            assert_eq!(a.schedule.placement(j.id), b.schedule.placement(j.id));
+        }
     }
 
     #[test]

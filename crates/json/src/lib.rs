@@ -1,11 +1,11 @@
 //! Hand-rolled JSON: a small value model, a writer and a
 //! recursive-descent parser.
 //!
-//! The offline build cannot fetch `serde`, and the sweep subsystem's
-//! artifacts (run records, campaign manifests) must be machine-readable
-//! by outside tooling — Scheduling.jl-style reproducibility argues for a
-//! plain interchange format over a bespoke binary one. This module
-//! implements exactly the JSON subset those artifacts need:
+//! The offline build cannot fetch `serde`, and several subsystems need a
+//! plain interchange format: the sweep runner's run records and campaign
+//! manifests, the bench artifacts, and — since the serving daemon — a
+//! *network-facing* wire protocol. This crate implements exactly the JSON
+//! subset those uses need:
 //!
 //! * objects keep **insertion order** (a `Vec` of pairs, not a map), so
 //!   serialisation is deterministic and cache files are byte-stable;
@@ -13,8 +13,20 @@
 //!   and timestamps above 2⁵³ would not silently lose precision;
 //! * floats are written with Rust's shortest-roundtrip formatting, so
 //!   `parse(write(x)) == x` exactly — the result cache depends on this.
+//!
+//! Because the daemon parses *untrusted* input, the parser is strict and
+//! bounded: `\u` escapes must be valid scalar values (surrogate halves
+//! must pair correctly — lone surrogates are rejected, never silently
+//! replaced), numeric tokens that overflow to ±∞ are rejected, and
+//! nesting depth is capped at [`MAX_DEPTH`] so a hostile `[[[[…` cannot
+//! overflow the stack.
 
 use std::fmt::Write as _;
+
+/// Maximum container nesting depth the parser accepts. Deeper documents
+/// are rejected with a parse error instead of risking stack exhaustion —
+/// the parser is recursive-descent and may sit on a network boundary.
+pub const MAX_DEPTH: usize = 128;
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -93,7 +105,7 @@ impl Json {
         }
     }
 
-    /// Serialise without extra whitespace (cache records).
+    /// Serialise without extra whitespace (cache records, wire frames).
     pub fn to_string_compact(&self) -> String {
         let mut out = String::new();
         self.write(&mut out, None, 0);
@@ -213,6 +225,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -226,6 +239,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -277,12 +291,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -293,6 +317,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -302,10 +327,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -321,11 +348,27 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
             }
         }
+    }
+
+    /// Exactly four hex digits of a `\u` escape. Strict: `+`/whitespace
+    /// forms that `from_str_radix` would tolerate are rejected.
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        if !hex.iter().all(|b| b.is_ascii_hexdigit()) {
+            return Err(self.err("bad \\u escape"));
+        }
+        let s = std::str::from_utf8(hex).expect("hex digits are ascii");
+        self.pos += 4;
+        Ok(u32::from_str_radix(s, 16).expect("checked hex digits"))
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
@@ -352,17 +395,35 @@ impl<'a> Parser<'a> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogate pairs are not produced by our writer;
-                            // map lone surrogates to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            let c = match code {
+                                // A high surrogate must be immediately
+                                // followed by an escaped low surrogate;
+                                // together they name one supplementary
+                                // scalar. Anything else is invalid input
+                                // — rejected, never smoothed over with
+                                // U+FFFD (that would silently corrupt
+                                // round-tripped data).
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(self.err("unpaired surrogate in \\u escape"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("unpaired surrogate in \\u escape"));
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(scalar).expect("surrogate pair decodes")
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("unpaired surrogate in \\u escape"))
+                                }
+                                c => char::from_u32(c).expect("BMP non-surrogate is a scalar"),
+                            };
+                            out.push(c);
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -412,9 +473,14 @@ impl<'a> Parser<'a> {
                 return Ok(Json::UInt(n));
             }
         }
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("bad number"))
+        let x = text.parse::<f64>().map_err(|_| self.err("bad number"))?;
+        // An oversized token like `1e999` parses to ±∞ in Rust; the
+        // writer asserts finiteness, so admitting it here would create
+        // unserialisable values from hostile input.
+        if !x.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(x))
     }
 }
 
@@ -433,6 +499,7 @@ mod tests {
             Json::Num(0.1),
             Json::Num(-1.5e300),
             Json::Str("he\"llo\n\\ wörld".into()),
+            Json::Str("astral \u{1f600} stays intact".into()),
         ] {
             let text = v.to_string_compact();
             assert_eq!(parse(&text).unwrap(), v, "{text}");
@@ -496,5 +563,98 @@ mod tests {
     #[test]
     fn negative_numbers_become_floats() {
         assert_eq!(parse("-3").unwrap().as_f64(), Some(-3.0));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_supplementary_scalars() {
+        // 😀 is U+1F600 = D83D DE00 as a surrogate pair.
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1f600}"));
+        // Mixed case hex, and pair adjacent to BMP escapes.
+        let v = parse(r#""x😀A""#).unwrap();
+        assert_eq!(v.as_str(), Some("x\u{1f600}A"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected_not_replaced() {
+        for bad in [
+            r#""\ud800""#,       // lone high at end of string
+            r#""\ud800x""#,      // lone high followed by a plain char
+            r#""\ud800\n""#,     // lone high followed by another escape
+            r#""\ud800A""#,      // high followed by a non-low escape
+            r#""\udc00""#,       // lone low
+            r#""\ude00\ud83d""#, // pair in the wrong order
+            r#""\ud83d😀""#,     // high high low
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                err.message.contains("surrogate"),
+                "{bad:?} → {err}: should be a surrogate error"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_and_malformed_unicode_escapes_are_rejected() {
+        for bad in [
+            r#""\u""#,         // no digits at all
+            r#""\u00""#,       // two digits then closing quote
+            r#""\u012""#,      // three digits
+            r#""\u012g""#,     // non-hex digit
+            r#""\u+123""#,     // from_str_radix would accept this; we must not
+            r#""\ud83d\u00""#, // truncated low half of a pair
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        // Truncated escape at end of input (no closing quote).
+        assert!(parse(r#""\u00"#).is_err());
+        assert!(parse(r#""\ud83d"#).is_err());
+    }
+
+    #[test]
+    fn oversized_number_tokens_are_rejected() {
+        // These parse to ±∞ under f64 semantics; the writer cannot
+        // represent them, so the parser must refuse.
+        for bad in ["1e999", "-1e999", "123456789e999999"] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                err.message.contains("out of range") || err.message.contains("bad number"),
+                "{bad:?} → {err}"
+            );
+        }
+        // Subnormal underflow to zero is fine (finite), as are large
+        // finite magnitudes.
+        assert_eq!(parse("1e-999").unwrap().as_f64(), Some(0.0));
+        assert!(parse("1e308").unwrap().as_f64().unwrap().is_finite());
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("deep"), "{err}");
+        // Objects count against the same budget.
+        let mut doc = String::new();
+        for _ in 0..=MAX_DEPTH {
+            doc.push_str("{\"k\":");
+        }
+        doc.push('0');
+        doc.push_str(&"}".repeat(MAX_DEPTH + 1));
+        assert!(parse(&doc).is_err());
+    }
+
+    #[test]
+    fn depth_budget_resets_between_siblings() {
+        // Sibling containers at the same level must not accumulate depth.
+        let half = MAX_DEPTH / 2;
+        let one = format!("{}0{}", "[".repeat(half), "]".repeat(half));
+        let doc = format!("[{one},{one},{one}]");
+        assert!(parse(&doc).is_ok());
     }
 }

@@ -32,6 +32,7 @@ pub use objective::{
 };
 pub use pareto::{pareto_front, pareto_ranks, Point};
 pub use streaming::{
-    replay, OnlineArt, OnlineAwrt, OnlineBoundedSlowdown, OnlineIdleTime, OnlineMakespan,
-    OnlineSumWeightedCompletion, OnlineUtilization, StreamingObjective, StreamingObserver,
+    replay, MetricsSnapshot, OnlineArt, OnlineAwrt, OnlineBoundedSlowdown, OnlineIdleTime,
+    OnlineMakespan, OnlineMetrics, OnlineSumWeightedCompletion, OnlineUtilization,
+    StreamingObjective, StreamingObserver,
 };

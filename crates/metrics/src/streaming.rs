@@ -388,6 +388,96 @@ impl StreamingObjective for OnlineBoundedSlowdown {
     }
 }
 
+/// Point-in-time view of a live run's metrics — what a serving daemon
+/// returns from its `metrics` command. Plain `Copy` data, cheap to take
+/// at any instant; the underlying accumulators keep running.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Jobs that entered the system.
+    pub jobs_submitted: u64,
+    /// Jobs that began executing.
+    pub jobs_started: u64,
+    /// Jobs that ran to (possibly truncated) completion.
+    pub jobs_finished: u64,
+    /// Cancellations applied (any lifecycle phase).
+    pub jobs_cancelled: u64,
+    /// Online average response time over completed executions.
+    pub art: f64,
+    /// Online average weighted response time.
+    pub awrt: f64,
+    /// Online average bounded slowdown.
+    pub bounded_slowdown: f64,
+    /// Utilization fraction over `[0, makespan]`.
+    pub utilization: f64,
+    /// Completion time of the last finished job.
+    pub makespan: Time,
+}
+
+/// Bundle of the standard online accumulators plus lifecycle counters,
+/// mountable directly as a pipeline/daemon [`SimObserver`]. This is the
+/// `metrics` surface of the serving daemon: one observer, one
+/// [`MetricsSnapshot`] per query.
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineMetrics {
+    art: OnlineArt,
+    awrt: OnlineAwrt,
+    slowdown: OnlineBoundedSlowdown,
+    util: OnlineUtilization,
+    makespan: OnlineMakespan,
+    jobs_submitted: u64,
+    jobs_started: u64,
+    jobs_finished: u64,
+    jobs_cancelled: u64,
+}
+
+impl OnlineMetrics {
+    /// Fresh accumulators for a machine of `machine_nodes`.
+    pub fn new(machine_nodes: u32) -> Self {
+        OnlineMetrics {
+            art: OnlineArt::new(),
+            awrt: OnlineAwrt::new(),
+            slowdown: OnlineBoundedSlowdown::new(),
+            util: OnlineUtilization::new(machine_nodes),
+            makespan: OnlineMakespan::new(),
+            jobs_submitted: 0,
+            jobs_started: 0,
+            jobs_finished: 0,
+            jobs_cancelled: 0,
+        }
+    }
+
+    /// The current values, as one consistent copy.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted,
+            jobs_started: self.jobs_started,
+            jobs_finished: self.jobs_finished,
+            jobs_cancelled: self.jobs_cancelled,
+            art: self.art.cost(),
+            awrt: self.awrt.cost(),
+            bounded_slowdown: self.slowdown.cost(),
+            utilization: self.util.utilization(),
+            makespan: self.makespan.value(),
+        }
+    }
+}
+
+impl SimObserver for OnlineMetrics {
+    fn on_event(&mut self, event: &JobEvent) {
+        match event {
+            JobEvent::Submitted(_) => self.jobs_submitted += 1,
+            JobEvent::Started { .. } => self.jobs_started += 1,
+            JobEvent::Finished(_) => self.jobs_finished += 1,
+            JobEvent::Cancelled { .. } => self.jobs_cancelled += 1,
+        }
+        self.art.observe(event);
+        self.awrt.observe(event);
+        self.slowdown.observe(event);
+        self.util.observe(event);
+        self.makespan.observe(event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +585,54 @@ mod tests {
             run: None,
         });
         assert_eq!(a.cost(), 40.0);
+    }
+
+    #[test]
+    fn online_metrics_snapshot_tracks_the_lifecycle() {
+        let mut m = OnlineMetrics::new(10);
+        let empty = m.snapshot();
+        assert_eq!(empty.jobs_submitted, 0);
+        assert_eq!(empty.art, 0.0);
+        m.on_event(&JobEvent::Submitted(jobsched_sim::JobRequest {
+            id: JobId(0),
+            submit: 0,
+            nodes: 5,
+            requested_time: 100,
+            user: 0,
+        }));
+        m.on_event(&JobEvent::Started {
+            id: JobId(0),
+            at: 0,
+            nodes: 5,
+        });
+        m.on_event(&outcome(0, 0, 0, 100, 5));
+        let s = m.snapshot();
+        assert_eq!(
+            (s.jobs_submitted, s.jobs_started, s.jobs_finished),
+            (1, 1, 1)
+        );
+        assert_eq!(s.art, 100.0);
+        assert_eq!(s.awrt, 500.0 * 100.0);
+        assert_eq!(s.makespan, 100);
+        assert_eq!(s.utilization, 0.5); // 500 busy node-s of 1000 capacity
+        assert!(s.bounded_slowdown >= 1.0);
+        // Snapshots are copies: taking one does not reset anything.
+        assert_eq!(m.snapshot(), s);
+    }
+
+    #[test]
+    fn online_metrics_counts_cancellations() {
+        let mut m = OnlineMetrics::new(10);
+        m.on_event(&JobEvent::Cancelled {
+            id: JobId(3),
+            at: 50,
+            phase: jobsched_sim::CancelPhase::Queued,
+            run: None,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.jobs_cancelled, 1);
+        assert_eq!(s.jobs_finished, 0);
+        assert_eq!(s.art, 0.0);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! The scheduling daemon.
+//!
+//! Serves one scheduler over newline-delimited JSON on TCP (protocol in
+//! `serve::protocol`; walkthrough in the README). Runs until a client
+//! sends `{"op":"shutdown"}`.
+//!
+//! Usage:
+//! ```text
+//! jobsched-serve [--listen ADDR] [--nodes N] [--scheduler SPEC]
+//!                [--time-scale X | --virtual]
+//!                [--queue-bound N] [--max-connections N]
+//!                [--read-timeout-ms MS] [--restore PATH]
+//! ```
+//!
+//! `SPEC` is a policy (`fcfs`, `psrs`, `smart-ffia`, `smart-nfiw`,
+//! `garey-graham`) with an optional backfill suffix (`+none`, `+cons`,
+//! `+easy`), or `paper-switch` for the §7 day/night combination.
+//! `--restore` loads a checkpoint file (the `state` object returned by
+//! `checkpoint` or `shutdown --checkpoint`) before accepting traffic.
+
+use jobsched_json::Json;
+use jobsched_serve::client::Client;
+use jobsched_serve::server::Server;
+use jobsched_serve::{SchedulerSpec, ServeConfig};
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    config: ServeConfig,
+    restore: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jobsched-serve [--listen ADDR] [--nodes N] [--scheduler SPEC] \
+         [--time-scale X | --virtual] [--queue-bound N] [--max-connections N] \
+         [--read-timeout-ms MS] [--restore PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7463".to_string(),
+        config: ServeConfig::default(),
+        restore: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).unwrap_or_else(|| {
+                eprintln!("{} needs a value", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--listen" => args.listen = value(i).clone(),
+            "--nodes" => args.config.machine_nodes = value(i).parse().expect("--nodes N"),
+            "--scheduler" => {
+                args.config.scheduler = SchedulerSpec::parse(value(i)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
+            "--time-scale" => args.config.time_scale = value(i).parse().expect("--time-scale X"),
+            "--virtual" => {
+                args.config.virtual_clock = true;
+                i += 1;
+                continue;
+            }
+            "--queue-bound" => args.config.queue_bound = value(i).parse().expect("--queue-bound N"),
+            "--max-connections" => {
+                args.config.max_connections = value(i).parse().expect("--max-connections N")
+            }
+            "--read-timeout-ms" => {
+                args.config.read_timeout =
+                    Duration::from_millis(value(i).parse().expect("--read-timeout-ms MS"))
+            }
+            "--restore" => args.restore = Some(value(i).clone()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let label = args.config.scheduler.label();
+    let nodes = args.config.machine_nodes;
+    let clock = if args.config.virtual_clock {
+        "virtual".to_string()
+    } else {
+        format!("wall x{}", args.config.time_scale)
+    };
+    let server = Server::start(&args.listen, args.config).unwrap_or_else(|e| {
+        eprintln!("cannot listen on {}: {e}", args.listen);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "jobsched-serve: {label} on {nodes} nodes, {clock} clock, listening on {}",
+        server.addr()
+    );
+
+    if let Some(path) = args.restore {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read checkpoint {path}: {e}");
+            std::process::exit(1);
+        });
+        let parsed = jobsched_json::parse(text.trim()).unwrap_or_else(|e| {
+            eprintln!("checkpoint {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        // Accept a bare state object or a reply still wrapping one.
+        let state = parsed.get("state").cloned().unwrap_or(parsed);
+        let mut c = Client::connect(server.addr()).expect("connect to own daemon");
+        match c.expect_ok(Json::obj([
+            ("op", Json::Str("restore".into())),
+            ("state", state),
+        ])) {
+            Ok(r) => eprintln!(
+                "restored {} inputs from {path}, resuming at t={}",
+                r.get("inputs_replayed")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0),
+                r.get("now").and_then(|v| v.as_u64()).unwrap_or(0),
+            ),
+            Err(e) => {
+                eprintln!("restore failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    server.join();
+    eprintln!("jobsched-serve: shut down");
+}

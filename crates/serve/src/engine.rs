@@ -1,0 +1,1198 @@
+//! The scheduler thread: one engine owning the clock, the
+//! [`LiveSim`] core, the scheduler, and all serving bookkeeping.
+//!
+//! ## Threading model
+//!
+//! Exactly one engine runs per daemon, consuming [`Command`]s from an
+//! mpsc channel fed by the connection threads. All scheduling state is
+//! confined to this thread — there are no locks around the simulation;
+//! concurrency is resolved by the channel's arrival order, and replies
+//! travel back over per-request channels.
+//!
+//! ## Time
+//!
+//! The engine never processes an event before its [`Clock`] says the
+//! instant is due. Under a [`WallClock`] it sleeps (via `recv_timeout`)
+//! until the next event matures or a command arrives; under a
+//! [`SimClock`] it blocks indefinitely and time moves only through the
+//! `advance` command — which is what makes served schedules
+//! deterministic and bit-comparable to batch simulation.
+//!
+//! ## Determinism
+//!
+//! Future-dated submissions are buffered in a `(submit, id)`-ordered map
+//! and injected into [`LiveSim`] in key order as their instants mature.
+//! Two clients racing to submit jobs for the same virtual instant
+//! therefore enter the engine in *job-id* order regardless of socket
+//! arrival order — the same order a batch [`Workload`] presents them.
+//!
+//! ## Checkpoint / restore
+//!
+//! A checkpoint is the *input log*: every admitted submission,
+//! cancellation, and policy override with the simulated instant it was
+//! applied at. Restore replays the log on a virtual clock — the engine
+//! re-derives machine, queue, and scheduler state by running the same
+//! deterministic code path it ran live — then re-anchors the configured
+//! clock at the checkpoint instant. State that is pure *output*
+//! (placements, metrics) is reproduced, not stored.
+
+use crate::protocol::{self, PolicyForce, Request};
+use crate::{ServeConfig, ServeSched};
+use jobsched_json::Json;
+use jobsched_metrics::OnlineMetrics;
+use jobsched_sim::{
+    CancelPhase, Clock, JobEvent, LiveSim, Scheduler, SimClock, SimObserver, WallClock,
+};
+use jobsched_workload::{Job, JobBuilder, JobId, Time};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Checkpoint schema identifier.
+pub const CHECKPOINT_SCHEMA: &str = "serve-checkpoint/1";
+
+/// One unit of work for the engine thread.
+pub struct Command {
+    /// The parsed request.
+    pub request: Request,
+    /// Where the reply goes (send errors are ignored: a vanished client
+    /// must not stall the engine).
+    pub reply: mpsc::Sender<Json>,
+}
+
+/// The daemon's clock: concrete so restore can swap regimes.
+enum EngineClock {
+    Sim(SimClock),
+    Wall(WallClock),
+}
+
+impl EngineClock {
+    fn as_clock(&self) -> &dyn Clock {
+        match self {
+            EngineClock::Sim(c) => c,
+            EngineClock::Wall(c) => c,
+        }
+    }
+
+    fn now(&self) -> Time {
+        self.as_clock().now()
+    }
+
+    fn is_virtual(&self) -> bool {
+        self.as_clock().is_virtual()
+    }
+
+    fn real_delay_until(&self, t: Time) -> Duration {
+        self.as_clock().real_delay_until(t)
+    }
+
+    fn advance_to(&mut self, t: Time) {
+        match self {
+            EngineClock::Sim(c) => c.advance_to(t),
+            EngineClock::Wall(c) => c.advance_to(t),
+        }
+    }
+}
+
+/// Where `status` finds a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct DoneRec {
+    start: Option<Time>,
+    completion: Time,
+    cancelled: bool,
+}
+
+/// Lifecycle index fed by [`LiveSim`] events: answers `status` and
+/// `queue` in O(log n) without touching scheduler internals. Completed
+/// records are capped; the oldest are retired to keep a long-running
+/// daemon's memory bounded.
+struct StatusStore {
+    waiting: BTreeSet<JobId>,
+    running: BTreeMap<JobId, Time>,
+    done: BTreeMap<JobId, DoneRec>,
+    done_order: VecDeque<JobId>,
+    retain: usize,
+}
+
+impl StatusStore {
+    fn new(retain: usize) -> Self {
+        StatusStore {
+            waiting: BTreeSet::new(),
+            running: BTreeMap::new(),
+            done: BTreeMap::new(),
+            done_order: VecDeque::new(),
+            retain: retain.max(1),
+        }
+    }
+
+    fn push_done(&mut self, id: JobId, rec: DoneRec) {
+        if self.done.insert(id, rec).is_none() {
+            self.done_order.push_back(id);
+        }
+        while self.done.len() > self.retain {
+            let oldest = self.done_order.pop_front().expect("order tracks done");
+            self.done.remove(&oldest);
+        }
+    }
+}
+
+impl SimObserver for StatusStore {
+    fn on_event(&mut self, event: &JobEvent) {
+        match event {
+            JobEvent::Submitted(req) => {
+                self.waiting.insert(req.id);
+            }
+            JobEvent::Started { id, at, .. } => {
+                self.waiting.remove(id);
+                self.running.insert(*id, *at);
+            }
+            JobEvent::Finished(o) => {
+                self.running.remove(&o.id);
+                self.push_done(
+                    o.id,
+                    DoneRec {
+                        start: Some(o.start),
+                        completion: o.completion,
+                        cancelled: false,
+                    },
+                );
+            }
+            JobEvent::Cancelled { id, at, phase, run } => match phase {
+                CancelPhase::Running => {
+                    self.running.remove(id);
+                    self.push_done(
+                        *id,
+                        DoneRec {
+                            start: run.map(|o| o.start),
+                            completion: *at,
+                            cancelled: true,
+                        },
+                    );
+                }
+                CancelPhase::Queued => {
+                    self.waiting.remove(id);
+                    self.push_done(
+                        *id,
+                        DoneRec {
+                            start: None,
+                            completion: *at,
+                            cancelled: true,
+                        },
+                    );
+                }
+                CancelPhase::PreSubmit | CancelPhase::AlreadyFinished => {}
+            },
+        }
+    }
+}
+
+/// One replayable input: what happened, and the simulated instant the
+/// engine applied it at.
+#[derive(Clone, Debug)]
+struct InputRecord {
+    at: Time,
+    op: InputOp,
+}
+
+#[derive(Clone, Debug)]
+enum InputOp {
+    Submit(Job),
+    Cancel(JobId),
+    Policy(Option<bool>),
+}
+
+/// The serving engine. See the module docs for the big picture.
+pub struct Engine {
+    config: ServeConfig,
+    clock: EngineClock,
+    live: LiveSim,
+    scheduler: ServeSched,
+    /// Future-dated submissions, keyed `(submit, id)` so same-instant
+    /// jobs inject in id order — the batch engine's order.
+    pending: BTreeMap<(Time, JobId), Job>,
+    used_ids: BTreeSet<JobId>,
+    cancelled_presubmit: BTreeSet<JobId>,
+    store: StatusStore,
+    metrics: OnlineMetrics,
+    inputs: Vec<InputRecord>,
+    draining: bool,
+    dirty: bool,
+    next_auto_id: u32,
+    requests: u64,
+    rejected: u64,
+}
+
+impl Engine {
+    /// A fresh engine for `config`.
+    pub fn new(config: ServeConfig) -> Self {
+        let clock = if config.virtual_clock {
+            EngineClock::Sim(SimClock::new())
+        } else {
+            EngineClock::Wall(WallClock::new(config.time_scale))
+        };
+        Engine {
+            clock,
+            live: LiveSim::new(config.machine_nodes),
+            scheduler: config.scheduler.build(),
+            pending: BTreeMap::new(),
+            used_ids: BTreeSet::new(),
+            cancelled_presubmit: BTreeSet::new(),
+            store: StatusStore::new(config.retain_completed),
+            metrics: OnlineMetrics::new(config.machine_nodes),
+            inputs: Vec::new(),
+            draining: false,
+            dirty: false,
+            next_auto_id: 0,
+            requests: 0,
+            rejected: 0,
+            config,
+        }
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    /// Earliest instant at which anything is scheduled to happen.
+    fn next_instant(&self) -> Option<Time> {
+        [
+            self.live.next_event_time(),
+            self.pending.keys().next().map(|k| k.0),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Inject matured future-dated submissions, in `(submit, id)` order.
+    fn refill(&mut self, now: Time) {
+        while let Some((&(t, _), _)) = self.pending.first_key_value() {
+            if t > now {
+                break;
+            }
+            let (_, job) = self.pending.pop_first().expect("checked non-empty");
+            self.live.add_job(job);
+        }
+    }
+
+    /// Process every event due at or before the clock's "now".
+    fn pump(&mut self) {
+        let now = self.clock.now();
+        self.refill(now);
+        while self.live.next_event_time().is_some_and(|t| t <= now) {
+            let next_external = self.pending.keys().next().map(|k| k.0);
+            let Engine {
+                live,
+                scheduler,
+                store,
+                metrics,
+                ..
+            } = self;
+            let mut obs: [&mut dyn SimObserver; 2] = [store, metrics];
+            live.step(scheduler, next_external, true, &mut obs);
+            self.refill(now);
+        }
+    }
+
+    /// Advance virtual time instant by instant up to `to` (or to
+    /// quiescence when `None`), processing each batch as its instant is
+    /// reached — the exact cadence of the batch engine's loop.
+    fn advance(&mut self, to: Option<Time>) -> Result<(), String> {
+        if !self.clock.is_virtual() {
+            return Err("advance requires a virtual clock (start with --virtual)".into());
+        }
+        while let Some(t) = self.next_instant() {
+            if to.is_some_and(|lim| t > lim) {
+                break;
+            }
+            self.clock.advance_to(t.max(self.clock.now()));
+            self.pump();
+        }
+        if let Some(lim) = to {
+            if lim > self.clock.now() {
+                self.clock.advance_to(lim);
+                self.pump();
+            }
+        }
+        Ok(())
+    }
+
+    /// Admit a validated job: record it and buffer it for injection.
+    fn admit(&mut self, job: Job) {
+        self.used_ids.insert(job.id);
+        self.next_auto_id = self.next_auto_id.max(job.id.0 + 1);
+        self.inputs.push(InputRecord {
+            at: self.clock.now(),
+            op: InputOp::Submit(job.clone()),
+        });
+        self.pending.insert((job.submit, job.id), job);
+        self.dirty = true;
+    }
+
+    /// Apply a cancellation (shared by live handling and replay).
+    /// Returns the lifecycle phase label for the reply.
+    fn apply_cancel(&mut self, id: JobId) -> &'static str {
+        let now = self.clock.now();
+        self.inputs.push(InputRecord {
+            at: now,
+            op: InputOp::Cancel(id),
+        });
+        self.dirty = true;
+        if let Some(key) = self.pending.keys().find(|k| k.1 == id).copied() {
+            self.pending.remove(&key);
+            self.cancelled_presubmit.insert(id);
+            return "pre-submit";
+        }
+        let before = self.live.fault_log().len();
+        self.live.push_cancel(now, id);
+        self.pump();
+        match self.live.fault_log().get(before) {
+            Some(jobsched_sim::FaultOutcome::Cancelled { phase, .. }) => match phase {
+                CancelPhase::PreSubmit => "pre-submit",
+                CancelPhase::Running => "running",
+                CancelPhase::Queued => "queued",
+                CancelPhase::AlreadyFinished => "already-finished",
+            },
+            _ => "already-cancelled", // duplicate: LiveSim ignored it
+        }
+    }
+
+    /// Apply a regime override (shared by live handling and replay).
+    fn apply_policy(&mut self, forced: Option<bool>) -> Result<(), String> {
+        let now = self.clock.now();
+        let Some(sw) = self.scheduler.as_switch_mut() else {
+            return Err(format!(
+                "scheduler '{}' has no day/night regimes to force",
+                self.scheduler.name()
+            ));
+        };
+        sw.force_regime(forced);
+        self.inputs.push(InputRecord {
+            at: now,
+            op: InputOp::Policy(forced),
+        });
+        self.dirty = true;
+        // The flip re-orders the backlog: run a decision round now.
+        self.live.request_decision(now);
+        self.pump();
+        Ok(())
+    }
+
+    fn handle_submit(
+        &mut self,
+        id: Option<u32>,
+        at: Option<Time>,
+        nodes: u32,
+        requested: Time,
+        runtime: Time,
+        user: u32,
+    ) -> Json {
+        if self.draining {
+            self.rejected += 1;
+            return rejected("draining", "daemon is draining; not admitting new jobs");
+        }
+        if nodes > self.config.machine_nodes {
+            return protocol::error(
+                "invalid",
+                format!(
+                    "job needs {nodes} nodes but the machine has {}",
+                    self.config.machine_nodes
+                ),
+            );
+        }
+        let backlog = self.store.waiting.len() + self.pending.len();
+        if backlog >= self.config.queue_bound {
+            self.rejected += 1;
+            return rejected(
+                "backpressure",
+                format!(
+                    "backlog {backlog} at the admission bound {}",
+                    self.config.queue_bound
+                ),
+            );
+        }
+        let id = match id {
+            Some(i) => {
+                if self.used_ids.contains(&JobId(i)) {
+                    return protocol::error("duplicate-id", format!("job id {i} already used"));
+                }
+                i
+            }
+            None => {
+                while self.used_ids.contains(&JobId(self.next_auto_id)) {
+                    self.next_auto_id += 1;
+                }
+                self.next_auto_id
+            }
+        };
+        let now = self.clock.now();
+        let at = at.unwrap_or(now).max(now);
+        let job = JobBuilder::new(JobId(id))
+            .submit(at)
+            .nodes(nodes)
+            .requested(requested)
+            .runtime(runtime)
+            .user(user)
+            .build();
+        self.admit(job);
+        self.pump();
+        protocol::ok([("id", Json::UInt(id as u64)), ("at", Json::UInt(at))])
+    }
+
+    fn handle_cancel(&mut self, id: u32) -> Json {
+        let jid = JobId(id);
+        if !self.used_ids.contains(&jid) {
+            return protocol::error("unknown-job", format!("job {id} was never submitted"));
+        }
+        if self.cancelled_presubmit.contains(&jid) {
+            return protocol::ok([
+                ("id", Json::UInt(id as u64)),
+                ("phase", Json::Str("already-cancelled".into())),
+            ]);
+        }
+        let phase = self.apply_cancel(jid);
+        protocol::ok([
+            ("id", Json::UInt(id as u64)),
+            ("phase", Json::Str(phase.into())),
+        ])
+    }
+
+    fn handle_status(&self, id: u32) -> Json {
+        let jid = JobId(id);
+        let with_state = |state: &str, extra: Vec<(&'static str, Json)>| {
+            let mut fields = vec![
+                ("id", Json::UInt(id as u64)),
+                ("state", Json::Str(state.into())),
+            ];
+            fields.extend(extra);
+            protocol::ok(fields)
+        };
+        if let Some((&(at, _), _)) = self.pending.iter().find(|((_, j), _)| *j == jid) {
+            return with_state("pending", vec![("at", Json::UInt(at))]);
+        }
+        if self.store.waiting.contains(&jid) {
+            return with_state("waiting", vec![]);
+        }
+        if let Some(&start) = self.store.running.get(&jid) {
+            return with_state("running", vec![("start", Json::UInt(start))]);
+        }
+        if let Some(rec) = self.store.done.get(&jid) {
+            let state = if rec.cancelled { "cancelled" } else { "done" };
+            let mut extra = vec![("completion", Json::UInt(rec.completion))];
+            if let Some(s) = rec.start {
+                extra.insert(0, ("start", Json::UInt(s)));
+            }
+            return with_state(state, extra);
+        }
+        if self.cancelled_presubmit.contains(&jid) {
+            return with_state("cancelled", vec![]);
+        }
+        if self.used_ids.contains(&jid) {
+            // Completed long ago and evicted from the bounded store.
+            return with_state("retired", vec![]);
+        }
+        protocol::error("unknown-job", format!("job {id} was never submitted"))
+    }
+
+    fn handle_queue(&self) -> Json {
+        let waiting: Vec<Json> = self
+            .store
+            .waiting
+            .iter()
+            .take(1_000)
+            .map(|id| Json::UInt(id.0 as u64))
+            .collect();
+        protocol::ok([
+            ("now", Json::UInt(self.clock.now())),
+            ("waiting", Json::UInt(self.store.waiting.len() as u64)),
+            ("pending", Json::UInt(self.pending.len() as u64)),
+            ("running", Json::UInt(self.store.running.len() as u64)),
+            (
+                "free_nodes",
+                Json::UInt(self.live.machine().free_nodes() as u64),
+            ),
+            ("waiting_ids", Json::Arr(waiting)),
+            ("draining", Json::Bool(self.draining)),
+        ])
+    }
+
+    fn metrics_json(&self) -> Json {
+        protocol::ok(self.metrics_fields())
+    }
+
+    fn metrics_fields(&self) -> Vec<(&'static str, Json)> {
+        let s = self.metrics.snapshot();
+        vec![
+            ("now", Json::UInt(self.clock.now())),
+            ("scheduler", Json::Str(self.scheduler.name())),
+            ("jobs_submitted", Json::UInt(s.jobs_submitted)),
+            ("jobs_started", Json::UInt(s.jobs_started)),
+            ("jobs_finished", Json::UInt(s.jobs_finished)),
+            ("jobs_cancelled", Json::UInt(s.jobs_cancelled)),
+            ("art", Json::Num(s.art)),
+            ("awrt", Json::Num(s.awrt)),
+            ("bounded_slowdown", Json::Num(s.bounded_slowdown)),
+            ("utilization", Json::Num(s.utilization)),
+            ("makespan", Json::UInt(s.makespan)),
+            (
+                "backlog",
+                Json::UInt((self.store.waiting.len() + self.pending.len()) as u64),
+            ),
+            ("running", Json::UInt(self.store.running.len() as u64)),
+            (
+                "free_nodes",
+                Json::UInt(self.live.machine().free_nodes() as u64),
+            ),
+            ("requests", Json::UInt(self.requests)),
+            ("rejected", Json::UInt(self.rejected)),
+            ("draining", Json::Bool(self.draining)),
+        ]
+    }
+
+    fn handle_policy(&mut self, force: Option<PolicyForce>) -> Json {
+        if let Some(f) = force {
+            let forced = match f {
+                PolicyForce::Day => Some(true),
+                PolicyForce::Night => Some(false),
+                PolicyForce::Auto => None,
+            };
+            if let Err(e) = self.apply_policy(forced) {
+                return protocol::error("unsupported", e);
+            }
+        }
+        let now = self.clock.now();
+        let (regime, forced) = match self.scheduler.as_switch() {
+            Some(sw) => (
+                Json::Str(sw.active_regime_name(now).into()),
+                match sw.forced_regime() {
+                    Some(true) => Json::Str("day".into()),
+                    Some(false) => Json::Str("night".into()),
+                    None => Json::Null,
+                },
+            ),
+            None => (Json::Null, Json::Null),
+        };
+        protocol::ok([
+            ("scheduler", Json::Str(self.scheduler.name())),
+            ("regime", regime),
+            ("forced", forced),
+        ])
+    }
+
+    fn checkpoint_json(&self) -> Json {
+        let inputs: Vec<Json> = self
+            .inputs
+            .iter()
+            .map(|rec| {
+                let mut pairs = vec![("at", Json::UInt(rec.at))];
+                match &rec.op {
+                    InputOp::Submit(job) => {
+                        pairs.push(("op", Json::Str("submit".into())));
+                        pairs.push(("id", Json::UInt(job.id.0 as u64)));
+                        pairs.push(("submit", Json::UInt(job.submit)));
+                        pairs.push(("nodes", Json::UInt(job.nodes as u64)));
+                        pairs.push(("requested", Json::UInt(job.requested_time)));
+                        pairs.push(("runtime", Json::UInt(job.runtime)));
+                        pairs.push(("user", Json::UInt(job.user as u64)));
+                    }
+                    InputOp::Cancel(id) => {
+                        pairs.push(("op", Json::Str("cancel".into())));
+                        pairs.push(("id", Json::UInt(id.0 as u64)));
+                    }
+                    InputOp::Policy(forced) => {
+                        pairs.push(("op", Json::Str("policy".into())));
+                        let f = match forced {
+                            Some(true) => "day",
+                            Some(false) => "night",
+                            None => "auto",
+                        };
+                        pairs.push(("force", Json::Str(f.into())));
+                    }
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::Str(CHECKPOINT_SCHEMA.into())),
+            ("scheduler", Json::Str(self.config.scheduler.label())),
+            (
+                "machine_nodes",
+                Json::UInt(self.config.machine_nodes as u64),
+            ),
+            ("now", Json::UInt(self.clock.now())),
+            ("draining", Json::Bool(self.draining)),
+            ("next_auto_id", Json::UInt(self.next_auto_id as u64)),
+            ("inputs", Json::Arr(inputs)),
+        ])
+    }
+
+    fn handle_restore(&mut self, state: &Json) -> Json {
+        match self.restore(state) {
+            Ok(replayed) => protocol::ok([
+                ("now", Json::UInt(self.clock.now())),
+                ("inputs_replayed", Json::UInt(replayed)),
+            ]),
+            Err(e) => protocol::error("restore-failed", e),
+        }
+    }
+
+    /// Rebuild engine state from a checkpoint by replaying its input
+    /// log. Only a fresh engine may restore.
+    fn restore(&mut self, state: &Json) -> Result<u64, String> {
+        if self.dirty {
+            return Err("restore requires a fresh daemon (no inputs applied yet)".into());
+        }
+        let schema = state
+            .get("schema")
+            .and_then(|v| v.as_str())
+            .ok_or("checkpoint has no schema")?;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(format!("unsupported checkpoint schema '{schema}'"));
+        }
+        let scheduler = state
+            .get("scheduler")
+            .and_then(|v| v.as_str())
+            .ok_or("checkpoint has no scheduler")?;
+        if scheduler != self.config.scheduler.label() {
+            return Err(format!(
+                "checkpoint is for scheduler '{scheduler}' but this daemon runs '{}'",
+                self.config.scheduler.label()
+            ));
+        }
+        let nodes = state
+            .get("machine_nodes")
+            .and_then(|v| v.as_u64())
+            .ok_or("checkpoint has no machine_nodes")?;
+        if nodes != self.config.machine_nodes as u64 {
+            return Err(format!(
+                "checkpoint machine has {nodes} nodes, this daemon serves {}",
+                self.config.machine_nodes
+            ));
+        }
+        let now = state
+            .get("now")
+            .and_then(|v| v.as_u64())
+            .ok_or("checkpoint has no now")?;
+        let draining = state
+            .get("draining")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false);
+        let next_auto_id = state
+            .get("next_auto_id")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0) as u32;
+        let inputs = state
+            .get("inputs")
+            .and_then(|v| v.as_arr())
+            .ok_or("checkpoint has no inputs")?;
+
+        // Parse the whole log before touching any state.
+        let mut records = Vec::with_capacity(inputs.len());
+        for (i, rec) in inputs.iter().enumerate() {
+            records.push(parse_input(rec).map_err(|e| format!("input {i}: {e}"))?);
+        }
+
+        // Replay on a virtual clock; re-anchor the real clock after.
+        let wall_scale = match &self.clock {
+            EngineClock::Wall(w) => Some(w.scale()),
+            EngineClock::Sim(_) => None,
+        };
+        self.clock = EngineClock::Sim(SimClock::new());
+        let replayed = records.len() as u64;
+        for rec in records {
+            self.advance(Some(rec.at)).expect("replay clock is virtual");
+            match rec.op {
+                InputOp::Submit(job) => self.admit(job),
+                InputOp::Cancel(id) => {
+                    self.apply_cancel(id);
+                }
+                InputOp::Policy(forced) => {
+                    self.apply_policy(forced)?;
+                }
+            }
+        }
+        self.advance(Some(now)).expect("replay clock is virtual");
+        self.draining = draining;
+        self.next_auto_id = self.next_auto_id.max(next_auto_id);
+        if let Some(scale) = wall_scale {
+            self.clock = EngineClock::Wall(WallClock::starting_at(now, scale));
+        }
+        Ok(replayed)
+    }
+
+    fn handle_shutdown(&mut self, graceful: bool, checkpoint: bool) -> Json {
+        self.draining = true;
+        if graceful && !checkpoint {
+            // Finish in-flight work before stopping.
+            if self.clock.is_virtual() {
+                self.advance(None).expect("clock checked virtual");
+            } else {
+                loop {
+                    self.pump();
+                    if self.pending.is_empty() && self.live.in_flight() == 0 {
+                        break;
+                    }
+                    match self.next_instant() {
+                        Some(t) => {
+                            let d = self.clock.real_delay_until(t);
+                            std::thread::sleep(d.min(Duration::from_millis(50)));
+                        }
+                        None => break, // nothing can happen any more
+                    }
+                }
+            }
+        }
+        let mut fields = vec![
+            ("now", Json::UInt(self.clock.now())),
+            ("graceful", Json::Bool(graceful)),
+            (
+                "unfinished",
+                Json::UInt((self.pending.len() + self.live.in_flight()) as u64),
+            ),
+            // Final counters: clients cannot query after the engine stops.
+            ("metrics", Json::obj(self.metrics_fields())),
+        ];
+        if checkpoint {
+            fields.push(("state", self.checkpoint_json()));
+        }
+        protocol::ok(fields)
+    }
+
+    /// Handle one request. The boolean asks the caller to stop the
+    /// engine loop (shutdown).
+    pub fn handle(&mut self, request: Request) -> (Json, bool) {
+        self.requests += 1;
+        self.pump();
+        let reply = match request {
+            Request::Ping => protocol::ok([("now", Json::UInt(self.clock.now()))]),
+            Request::Submit {
+                id,
+                at,
+                nodes,
+                requested,
+                runtime,
+                user,
+            } => self.handle_submit(id, at, nodes, requested, runtime, user),
+            Request::Cancel { id } => self.handle_cancel(id),
+            Request::Status { id } => self.handle_status(id),
+            Request::Queue => self.handle_queue(),
+            Request::Metrics => self.metrics_json(),
+            Request::Drain => {
+                self.draining = true;
+                protocol::ok([("draining", Json::Bool(true))])
+            }
+            Request::Undrain => {
+                self.draining = false;
+                protocol::ok([("draining", Json::Bool(false))])
+            }
+            Request::Policy { force } => self.handle_policy(force),
+            Request::Advance { to } => {
+                self.dirty = true;
+                match self.advance(to) {
+                    Ok(()) => protocol::ok([("now", Json::UInt(self.clock.now()))]),
+                    Err(e) => protocol::error("unsupported", e),
+                }
+            }
+            Request::Checkpoint => protocol::ok([("state", self.checkpoint_json())]),
+            Request::Restore { state } => self.handle_restore(&state),
+            Request::Shutdown {
+                graceful,
+                checkpoint,
+            } => return (self.handle_shutdown(graceful, checkpoint), true),
+        };
+        (reply, false)
+    }
+
+    /// Consume commands until shutdown. Under a wall clock the loop
+    /// sleeps only until the next simulated event matures; under a
+    /// virtual clock it blocks until a command arrives.
+    pub fn run(mut self, rx: mpsc::Receiver<Command>) {
+        loop {
+            self.pump();
+            let cmd = if self.clock.is_virtual() {
+                rx.recv().ok()
+            } else {
+                match self.next_instant() {
+                    None => rx.recv().ok(),
+                    Some(t) => {
+                        let d = self.clock.real_delay_until(t);
+                        if d.is_zero() {
+                            continue; // due: pump on the next iteration
+                        }
+                        match rx.recv_timeout(d) {
+                            Ok(c) => Some(c),
+                            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                        }
+                    }
+                }
+            };
+            let Some(Command { request, reply }) = cmd else {
+                break; // every client handle dropped: nothing left to serve
+            };
+            let (response, stop) = self.handle(request);
+            let _ = reply.send(response);
+            if stop {
+                break;
+            }
+        }
+    }
+}
+
+fn rejected(reason: &str, message: impl Into<String>) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("rejected".into())),
+        ("reason", Json::Str(reason.into())),
+        ("message", Json::Str(message.into())),
+    ])
+}
+
+fn parse_input(rec: &Json) -> Result<InputRecord, String> {
+    let at = rec
+        .get("at")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing 'at'")?;
+    let op = rec
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or("missing 'op'")?;
+    let u32_of = |key: &str| -> Result<u32, String> {
+        let n = rec
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("missing '{key}'"))?;
+        u32::try_from(n).map_err(|_| format!("'{key}' out of range"))
+    };
+    let time_of = |key: &str| -> Result<Time, String> {
+        rec.get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("missing '{key}'"))
+    };
+    let op = match op {
+        "submit" => InputOp::Submit(
+            JobBuilder::new(JobId(u32_of("id")?))
+                .submit(time_of("submit")?)
+                .nodes(u32_of("nodes")?)
+                .requested(time_of("requested")?)
+                .runtime(time_of("runtime")?)
+                .user(u32_of("user")?)
+                .build(),
+        ),
+        "cancel" => InputOp::Cancel(JobId(u32_of("id")?)),
+        "policy" => {
+            let f = rec
+                .get("force")
+                .and_then(|v| v.as_str())
+                .ok_or("missing 'force'")?;
+            let forced = match f {
+                "day" => Some(true),
+                "night" => Some(false),
+                "auto" => None,
+                other => return Err(format!("unknown force '{other}'")),
+            };
+            InputOp::Policy(forced)
+        }
+        other => return Err(format!("unknown input op '{other}'")),
+    };
+    Ok(InputRecord { at, op })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedulerSpec;
+
+    fn virtual_engine(spec: &str) -> Engine {
+        Engine::new(ServeConfig {
+            machine_nodes: 16,
+            scheduler: SchedulerSpec::parse(spec).unwrap(),
+            virtual_clock: true,
+            queue_bound: 4,
+            ..ServeConfig::default()
+        })
+    }
+
+    fn submit(e: &mut Engine, id: u32, at: Time, nodes: u32, runtime: Time) -> Json {
+        let (r, stop) = e.handle(Request::Submit {
+            id: Some(id),
+            at: Some(at),
+            nodes,
+            requested: runtime.max(1),
+            runtime,
+            user: 0,
+        });
+        assert!(!stop);
+        r
+    }
+
+    fn status(e: &mut Engine, id: u32) -> Json {
+        e.handle(Request::Status { id }).0
+    }
+
+    fn state_of(r: &Json) -> String {
+        r.get("state").unwrap().as_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn job_lifecycle_over_virtual_time() {
+        let mut e = virtual_engine("fcfs+easy");
+        assert!(submit(&mut e, 0, 10, 8, 100)
+            .get("ok")
+            .unwrap()
+            .as_bool()
+            .unwrap());
+        assert_eq!(state_of(&status(&mut e, 0)), "pending");
+        e.handle(Request::Advance { to: Some(10) });
+        assert_eq!(state_of(&status(&mut e, 0)), "running");
+        e.handle(Request::Advance { to: Some(200) });
+        let s = status(&mut e, 0);
+        assert_eq!(state_of(&s), "done");
+        assert_eq!(s.get("start").unwrap().as_u64(), Some(10));
+        assert_eq!(s.get("completion").unwrap().as_u64(), Some(110));
+        assert_eq!(
+            status(&mut e, 9).get("error").unwrap().as_str(),
+            Some("unknown-job")
+        );
+    }
+
+    #[test]
+    fn backpressure_rejects_at_the_bound() {
+        let mut e = virtual_engine("fcfs");
+        for i in 0..4 {
+            assert!(submit(&mut e, i, 100, 1, 10)
+                .get("ok")
+                .unwrap()
+                .as_bool()
+                .unwrap());
+        }
+        let r = submit(&mut e, 4, 100, 1, 10);
+        assert_eq!(r.get("error").unwrap().as_str(), Some("rejected"));
+        assert_eq!(r.get("reason").unwrap().as_str(), Some("backpressure"));
+        // Draining the backlog frees admission again.
+        e.handle(Request::Advance { to: None });
+        assert!(submit(&mut e, 4, 100, 1, 10)
+            .get("ok")
+            .unwrap()
+            .as_bool()
+            .unwrap());
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut e = virtual_engine("fcfs");
+        submit(&mut e, 3, 0, 1, 10);
+        let r = submit(&mut e, 3, 50, 1, 10);
+        assert_eq!(r.get("error").unwrap().as_str(), Some("duplicate-id"));
+        // Auto-assignment skips used ids.
+        let (r, _) = e.handle(Request::Submit {
+            id: None,
+            at: None,
+            nodes: 1,
+            requested: 10,
+            runtime: 10,
+            user: 0,
+        });
+        assert_eq!(r.get("id").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn drain_rejects_then_undrain_admits() {
+        let mut e = virtual_engine("fcfs");
+        e.handle(Request::Drain);
+        let r = submit(&mut e, 0, 0, 1, 10);
+        assert_eq!(r.get("reason").unwrap().as_str(), Some("draining"));
+        e.handle(Request::Undrain);
+        assert!(submit(&mut e, 0, 0, 1, 10)
+            .get("ok")
+            .unwrap()
+            .as_bool()
+            .unwrap());
+    }
+
+    #[test]
+    fn cancel_covers_all_phases() {
+        let mut e = virtual_engine("fcfs");
+        // Pre-submit: future-dated, cancelled before its instant.
+        submit(&mut e, 0, 100, 1, 10);
+        let r = e.handle(Request::Cancel { id: 0 }).0;
+        assert_eq!(r.get("phase").unwrap().as_str(), Some("pre-submit"));
+        assert_eq!(state_of(&status(&mut e, 0)), "cancelled");
+        // Running.
+        submit(&mut e, 1, 200, 16, 100);
+        e.handle(Request::Advance { to: Some(210) });
+        let r = e.handle(Request::Cancel { id: 1 }).0;
+        assert_eq!(r.get("phase").unwrap().as_str(), Some("running"));
+        // Queued behind job 2.
+        submit(&mut e, 2, 300, 16, 100);
+        submit(&mut e, 3, 300, 16, 100);
+        e.handle(Request::Advance { to: Some(310) });
+        let r = e.handle(Request::Cancel { id: 3 }).0;
+        assert_eq!(r.get("phase").unwrap().as_str(), Some("queued"));
+        assert_eq!(state_of(&status(&mut e, 3)), "cancelled");
+        // Already finished.
+        e.handle(Request::Advance { to: None });
+        let r = e.handle(Request::Cancel { id: 2 }).0;
+        assert_eq!(r.get("phase").unwrap().as_str(), Some("already-finished"));
+        // Unknown.
+        let r = e.handle(Request::Cancel { id: 77 }).0;
+        assert_eq!(r.get("error").unwrap().as_str(), Some("unknown-job"));
+    }
+
+    #[test]
+    fn metrics_reflect_completed_work() {
+        let mut e = virtual_engine("fcfs+easy");
+        submit(&mut e, 0, 0, 8, 50);
+        submit(&mut e, 1, 0, 8, 50);
+        e.handle(Request::Advance { to: None });
+        let m = e.handle(Request::Metrics).0;
+        assert_eq!(m.get("jobs_finished").unwrap().as_u64(), Some(2));
+        assert_eq!(m.get("art").unwrap().as_f64(), Some(50.0));
+        assert_eq!(m.get("backlog").unwrap().as_u64(), Some(0));
+        assert!(m.get("requests").unwrap().as_u64().unwrap() >= 3);
+    }
+
+    #[test]
+    fn policy_force_is_rejected_without_regimes() {
+        let mut e = virtual_engine("fcfs+easy");
+        let r = e
+            .handle(Request::Policy {
+                force: Some(PolicyForce::Night),
+            })
+            .0;
+        assert_eq!(r.get("error").unwrap().as_str(), Some("unsupported"));
+        // Inspection is fine and reports no regimes.
+        let r = e.handle(Request::Policy { force: None }).0;
+        assert_eq!(r.get("regime"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn policy_force_flips_the_switching_regime() {
+        let mut e = virtual_engine("paper-switch");
+        let r = e.handle(Request::Policy { force: None }).0;
+        assert_eq!(r.get("regime").unwrap().as_str(), Some("night")); // t=0 is Monday 00:00
+        let r = e
+            .handle(Request::Policy {
+                force: Some(PolicyForce::Day),
+            })
+            .0;
+        assert_eq!(r.get("regime").unwrap().as_str(), Some("day"));
+        assert_eq!(r.get("forced").unwrap().as_str(), Some("day"));
+        let r = e
+            .handle(Request::Policy {
+                force: Some(PolicyForce::Auto),
+            })
+            .0;
+        assert_eq!(r.get("regime").unwrap().as_str(), Some("night"));
+        assert_eq!(r.get("forced"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_state() {
+        let mut e = virtual_engine("fcfs+easy");
+        submit(&mut e, 0, 0, 16, 100); // runs [0, 100)
+        submit(&mut e, 1, 10, 16, 50); // queued behind 0
+        submit(&mut e, 2, 500, 4, 20); // future-dated
+        e.handle(Request::Advance { to: Some(60) });
+        let cp = e.handle(Request::Checkpoint).0;
+        let state = cp.get("state").unwrap().clone();
+        // A fresh engine restores and reproduces the exact same state.
+        let mut f = virtual_engine("fcfs+easy");
+        let r = f.handle(Request::Restore { state }).0;
+        assert!(r.get("ok").unwrap().as_bool().unwrap(), "{r:?}");
+        assert_eq!(f.now(), 60);
+        assert_eq!(state_of(&status(&mut f, 0)), "running");
+        assert_eq!(state_of(&status(&mut f, 1)), "waiting");
+        assert_eq!(state_of(&status(&mut f, 2)), "pending");
+        // And subsequent evolution matches the original engine.
+        e.handle(Request::Advance { to: None });
+        f.handle(Request::Advance { to: None });
+        for id in 0..3 {
+            let a = status(&mut e, id);
+            let b = status(&mut f, id);
+            assert_eq!(a, b, "job {id}");
+        }
+    }
+
+    #[test]
+    fn restore_refuses_dirty_or_mismatched_state() {
+        let mut e = virtual_engine("fcfs+easy");
+        submit(&mut e, 0, 0, 1, 10);
+        let state = e
+            .handle(Request::Checkpoint)
+            .0
+            .get("state")
+            .unwrap()
+            .clone();
+        // Dirty engine refuses.
+        let r = e.handle(Request::Restore {
+            state: state.clone(),
+        });
+        assert_eq!(r.0.get("error").unwrap().as_str(), Some("restore-failed"));
+        // Mismatched scheduler refuses.
+        let mut f = virtual_engine("psrs+easy");
+        let r = f.handle(Request::Restore {
+            state: state.clone(),
+        });
+        assert_eq!(r.0.get("error").unwrap().as_str(), Some("restore-failed"));
+        // Garbage state refuses without panicking.
+        let mut g = virtual_engine("fcfs+easy");
+        let r = g.handle(Request::Restore {
+            state: Json::obj([("schema", Json::Str("bogus/9".into()))]),
+        });
+        assert_eq!(r.0.get("error").unwrap().as_str(), Some("restore-failed"));
+    }
+
+    #[test]
+    fn graceful_shutdown_finishes_backlog() {
+        let mut e = virtual_engine("fcfs");
+        submit(&mut e, 0, 0, 16, 100);
+        submit(&mut e, 1, 0, 16, 100);
+        let (r, stop) = e.handle(Request::Shutdown {
+            graceful: true,
+            checkpoint: false,
+        });
+        assert!(stop);
+        assert_eq!(r.get("unfinished").unwrap().as_u64(), Some(0));
+        assert_eq!(r.get("now").unwrap().as_u64(), Some(200));
+    }
+
+    #[test]
+    fn shutdown_with_checkpoint_preserves_in_flight_work() {
+        let mut e = virtual_engine("fcfs");
+        submit(&mut e, 0, 0, 16, 100);
+        e.handle(Request::Advance { to: Some(10) });
+        let (r, stop) = e.handle(Request::Shutdown {
+            graceful: true,
+            checkpoint: true,
+        });
+        assert!(stop);
+        assert_eq!(r.get("unfinished").unwrap().as_u64(), Some(1));
+        let state = r.get("state").unwrap().clone();
+        let mut f = virtual_engine("fcfs");
+        f.handle(Request::Restore { state });
+        assert_eq!(state_of(&status(&mut f, 0)), "running");
+        f.handle(Request::Advance { to: None });
+        assert_eq!(state_of(&status(&mut f, 0)), "done");
+    }
+
+    #[test]
+    fn status_retires_old_completions_beyond_the_cap() {
+        let mut e = Engine::new(ServeConfig {
+            machine_nodes: 16,
+            scheduler: SchedulerSpec::parse("fcfs").unwrap(),
+            virtual_clock: true,
+            retain_completed: 2,
+            ..ServeConfig::default()
+        });
+        for i in 0..4 {
+            submit(&mut e, i, i as Time * 10, 16, 5);
+        }
+        e.handle(Request::Advance { to: None });
+        assert_eq!(state_of(&status(&mut e, 0)), "retired");
+        assert_eq!(state_of(&status(&mut e, 1)), "retired");
+        assert_eq!(state_of(&status(&mut e, 2)), "done");
+        assert_eq!(state_of(&status(&mut e, 3)), "done");
+    }
+}

@@ -1,0 +1,279 @@
+//! `jobsched-serve`: the paper's schedulers as a long-running service.
+//!
+//! The paper frames scheduling as an *online* decision procedure — the
+//! algorithm reacts to submissions as they arrive, including the
+//! day/night policy switch of Rules 5/6 — yet every other entry point in
+//! this repo is batch simulation. This crate closes that gap: a daemon
+//! that owns one scheduler thread driving the shared
+//! [`LiveSim`](jobsched_sim::LiveSim) engine behind a
+//! [`Clock`](jobsched_sim::Clock), while clients speak newline-delimited
+//! JSON over TCP (hand-rolled on `std::net`; the build stays
+//! dependency-free).
+//!
+//! * [`engine`] — the scheduler thread: virtual or scaled wall-clock
+//!   time, admission control, status/metrics bookkeeping, and
+//!   checkpoint/restore via input-log replay;
+//! * [`protocol`] — request parsing and reply shapes
+//!   (`submit`/`cancel`/`status`/`queue`/`drain`/`policy`/`metrics`/
+//!   `advance`/`checkpoint`/`restore`/`shutdown`);
+//! * [`server`] — TCP acceptor with a bounded connection pool and
+//!   per-connection read timeouts;
+//! * [`client`] — a tiny blocking client used by the tests and the
+//!   `loadgen` bench bin.
+//!
+//! Determinism: under a virtual clock ([`SimClock`](jobsched_sim::SimClock))
+//! same-instant submissions are admitted in job-id order no matter which
+//! connection delivered them first, so a served workload's schedule is
+//! bit-identical to a batch [`simulate`](jobsched_sim::simulate) run —
+//! the integration tests pin this across all 13 paper algorithm combos.
+
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+use jobsched_algos::spec::PolicyKind;
+use jobsched_algos::switching::SwitchingScheduler;
+use jobsched_algos::view::WeightScheme;
+use jobsched_algos::{AlgorithmSpec, BackfillMode, ListScheduler};
+use jobsched_sim::{JobRequest, Machine, Scheduler};
+use jobsched_workload::{JobId, Time};
+use std::time::Duration;
+
+/// Which scheduler the daemon runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerSpec {
+    /// One cell of the paper's evaluation matrix.
+    List(AlgorithmSpec),
+    /// The §7 day/night switching combination (SMART-FFIA + EASY by day,
+    /// Garey & Graham by night).
+    PaperSwitch,
+}
+
+impl SchedulerSpec {
+    /// Parse a spec label: a policy (`fcfs`, `psrs`, `smart-ffia`,
+    /// `smart-nfiw`, `garey-graham`) optionally suffixed with a backfill
+    /// mode (`+none`, `+cons`, `+easy`), or `paper-switch`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "paper-switch" {
+            return Ok(SchedulerSpec::PaperSwitch);
+        }
+        let (policy, backfill) = match s.split_once('+') {
+            Some((p, b)) => (p, b),
+            None => (s, "none"),
+        };
+        let kind = match policy {
+            "fcfs" => PolicyKind::Fcfs,
+            "psrs" => PolicyKind::Psrs,
+            "smart-ffia" => PolicyKind::SmartFfia,
+            "smart-nfiw" => PolicyKind::SmartNfiw,
+            "garey-graham" => PolicyKind::GareyGraham,
+            other => return Err(format!("unknown scheduling policy '{other}'")),
+        };
+        let backfill = match backfill {
+            "none" => BackfillMode::None,
+            "cons" | "conservative" => BackfillMode::Conservative,
+            "easy" => BackfillMode::Easy,
+            other => return Err(format!("unknown backfill mode '{other}'")),
+        };
+        Ok(SchedulerSpec::List(AlgorithmSpec::new(kind, backfill)))
+    }
+
+    /// Canonical label that [`SchedulerSpec::parse`] accepts back —
+    /// what checkpoints store.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerSpec::PaperSwitch => "paper-switch".into(),
+            SchedulerSpec::List(spec) => {
+                let policy = match spec.kind {
+                    PolicyKind::Fcfs => "fcfs",
+                    PolicyKind::Psrs => "psrs",
+                    PolicyKind::SmartFfia => "smart-ffia",
+                    PolicyKind::SmartNfiw => "smart-nfiw",
+                    PolicyKind::GareyGraham => "garey-graham",
+                };
+                let backfill = match spec.backfill {
+                    BackfillMode::None => "none",
+                    BackfillMode::Conservative => "cons",
+                    BackfillMode::Easy => "easy",
+                };
+                format!("{policy}+{backfill}")
+            }
+        }
+    }
+
+    /// Materialise the scheduler (unweighted, as in Tables 3–6).
+    pub fn build(&self) -> ServeSched {
+        match self {
+            SchedulerSpec::List(spec) => ServeSched::List(spec.build(WeightScheme::Unweighted)),
+            SchedulerSpec::PaperSwitch => {
+                ServeSched::Switch(SwitchingScheduler::paper_combination())
+            }
+        }
+    }
+}
+
+/// The daemon's scheduler: either a matrix cell or the switching
+/// combination. A plain enum (not a trait object) so the engine can
+/// reach switching-specific operations (`policy` forcing) when present.
+#[derive(Debug)]
+pub enum ServeSched {
+    /// A [`ListScheduler`] built from an [`AlgorithmSpec`].
+    List(ListScheduler),
+    /// The day/night [`SwitchingScheduler`].
+    Switch(SwitchingScheduler),
+}
+
+impl ServeSched {
+    /// The switching scheduler, when this is one.
+    pub fn as_switch_mut(&mut self) -> Option<&mut SwitchingScheduler> {
+        match self {
+            ServeSched::Switch(s) => Some(s),
+            ServeSched::List(_) => None,
+        }
+    }
+
+    /// The switching scheduler, when this is one.
+    pub fn as_switch(&self) -> Option<&SwitchingScheduler> {
+        match self {
+            ServeSched::Switch(s) => Some(s),
+            ServeSched::List(_) => None,
+        }
+    }
+}
+
+impl Scheduler for ServeSched {
+    fn name(&self) -> String {
+        match self {
+            ServeSched::List(s) => s.name(),
+            ServeSched::Switch(s) => s.name(),
+        }
+    }
+
+    fn submit(&mut self, job: JobRequest, now: Time) {
+        match self {
+            ServeSched::List(s) => s.submit(job, now),
+            ServeSched::Switch(s) => s.submit(job, now),
+        }
+    }
+
+    fn job_finished(&mut self, id: JobId, now: Time) {
+        match self {
+            ServeSched::List(s) => s.job_finished(id, now),
+            ServeSched::Switch(s) => s.job_finished(id, now),
+        }
+    }
+
+    fn cancel(&mut self, id: JobId, now: Time) {
+        match self {
+            ServeSched::List(s) => s.cancel(id, now),
+            ServeSched::Switch(s) => s.cancel(id, now),
+        }
+    }
+
+    fn capacity_changed(&mut self, now: Time) {
+        match self {
+            ServeSched::List(s) => s.capacity_changed(now),
+            ServeSched::Switch(s) => s.capacity_changed(now),
+        }
+    }
+
+    fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
+        match self {
+            ServeSched::List(s) => s.select_starts(now, machine),
+            ServeSched::Switch(s) => s.select_starts(now, machine),
+        }
+    }
+
+    fn queue_len(&self) -> usize {
+        match self {
+            ServeSched::List(s) => s.queue_len(),
+            ServeSched::Switch(s) => s.queue_len(),
+        }
+    }
+
+    fn next_wakeup(&self, now: Time) -> Option<Time> {
+        match self {
+            ServeSched::List(s) => s.next_wakeup(now),
+            ServeSched::Switch(s) => s.next_wakeup(now),
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Nodes of the served machine.
+    pub machine_nodes: u32,
+    /// Which scheduler to run.
+    pub scheduler: SchedulerSpec,
+    /// Admission control: submissions beyond this many waiting (queued +
+    /// future-dated) jobs are rejected with `backpressure`.
+    pub queue_bound: usize,
+    /// Concurrent client connections beyond this are turned away.
+    pub max_connections: usize,
+    /// A connection that stays silent this long is dropped.
+    pub read_timeout: Duration,
+    /// `true`: virtual time, advanced only by the `advance` command.
+    /// `false`: scaled wall-clock time.
+    pub virtual_clock: bool,
+    /// Simulated seconds per real second (wall clock only).
+    pub time_scale: f64,
+    /// Completed-job records kept for `status` queries; older ones are
+    /// retired to keep daemon memory bounded.
+    pub retain_completed: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            machine_nodes: 256, // the CTC machine of §6.1
+            scheduler: SchedulerSpec::List(AlgorithmSpec::reference()),
+            queue_bound: 10_000,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            virtual_clock: false,
+            time_scale: 1.0,
+            retain_completed: 10_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_spec_labels_roundtrip() {
+        for spec in AlgorithmSpec::paper_matrix() {
+            let s = SchedulerSpec::List(spec);
+            assert_eq!(SchedulerSpec::parse(&s.label()).unwrap(), s);
+        }
+        let s = SchedulerSpec::PaperSwitch;
+        assert_eq!(SchedulerSpec::parse(&s.label()).unwrap(), s);
+    }
+
+    #[test]
+    fn scheduler_spec_parses_shorthand() {
+        assert_eq!(
+            SchedulerSpec::parse("fcfs").unwrap(),
+            SchedulerSpec::List(AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None))
+        );
+        assert_eq!(
+            SchedulerSpec::parse("fcfs+easy").unwrap(),
+            SchedulerSpec::List(AlgorithmSpec::reference())
+        );
+        assert!(SchedulerSpec::parse("lifo").is_err());
+        assert!(SchedulerSpec::parse("fcfs+optimistic").is_err());
+    }
+
+    #[test]
+    fn serve_sched_exposes_switching_operations() {
+        let mut s = SchedulerSpec::PaperSwitch.build();
+        assert!(s.as_switch().is_some());
+        s.as_switch_mut().unwrap().force_regime(Some(true));
+        assert_eq!(s.as_switch().unwrap().forced_regime(), Some(true));
+        let mut l = SchedulerSpec::parse("fcfs+easy").unwrap().build();
+        assert!(l.as_switch_mut().is_none());
+    }
+}

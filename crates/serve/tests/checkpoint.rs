@@ -1,0 +1,225 @@
+//! Checkpoint → kill → restore resumes with identical state.
+//!
+//! The acceptance pin: a daemon checkpointed mid-schedule and killed,
+//! then restored into a fresh process, reports the same queue/machine
+//! state and produces *identical subsequent placements* to both the
+//! uninterrupted daemon and a batch simulation of the same workload.
+
+use jobsched_json::Json;
+use jobsched_serve::client::Client;
+use jobsched_serve::server::Server;
+use jobsched_serve::{SchedulerSpec, ServeConfig};
+use jobsched_sim::simulate;
+use jobsched_workload::ctc::prepared_ctc_workload;
+use jobsched_workload::{Job, Time, Workload};
+
+fn config(workload: &Workload) -> ServeConfig {
+    ServeConfig {
+        machine_nodes: workload.machine_nodes(),
+        scheduler: SchedulerSpec::parse("fcfs+easy").expect("spec"),
+        virtual_clock: true,
+        queue_bound: workload.len() + 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn op(name: &str) -> Json {
+    Json::obj([("op", Json::Str(name.into()))])
+}
+
+fn submit_request(job: &Job) -> Json {
+    Json::obj([
+        ("op", Json::Str("submit".into())),
+        ("id", Json::UInt(job.id.0 as u64)),
+        ("at", Json::UInt(job.submit)),
+        ("nodes", Json::UInt(job.nodes as u64)),
+        ("requested", Json::UInt(job.requested_time)),
+        ("runtime", Json::UInt(job.runtime)),
+        ("user", Json::UInt(job.user as u64)),
+    ])
+}
+
+fn advance_to(c: &mut Client, t: Time) {
+    c.expect_ok(Json::obj([
+        ("op", Json::Str("advance".into())),
+        ("to", Json::UInt(t)),
+    ]))
+    .expect("advance");
+}
+
+fn queue_snapshot(c: &mut Client) -> (u64, u64, u64, u64) {
+    let q = c.expect_ok(op("queue")).expect("queue");
+    let f = |k: &str| q.get(k).and_then(|v| v.as_u64()).unwrap();
+    (f("waiting"), f("pending"), f("running"), f("free_nodes"))
+}
+
+fn final_placements(c: &mut Client, workload: &Workload) -> Vec<(Time, Time)> {
+    c.expect_ok(op("advance")).expect("advance to quiescence");
+    workload
+        .jobs()
+        .iter()
+        .map(|job| {
+            let r = c
+                .expect_ok(Json::obj([
+                    ("op", Json::Str("status".into())),
+                    ("id", Json::UInt(job.id.0 as u64)),
+                ]))
+                .expect("status");
+            assert_eq!(r.get("state").and_then(|v| v.as_str()), Some("done"));
+            (
+                r.get("start").and_then(|v| v.as_u64()).unwrap(),
+                r.get("completion").and_then(|v| v.as_u64()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn checkpoint_kill_restore_resumes_identically() {
+    let workload = prepared_ctc_workload(120, 1999);
+    // Checkpoint halfway through the submission timeline: jobs are
+    // running, queued, and still future-dated at that instant.
+    let mid = workload.jobs()[workload.len() / 2].submit;
+
+    // Daemon A: submit everything, advance to `mid`, checkpoint, kill.
+    let server_a = Server::start("127.0.0.1:0", config(&workload)).expect("bind");
+    let mut a = Client::connect(server_a.addr()).expect("connect");
+    for job in workload.jobs() {
+        a.expect_ok(submit_request(job)).expect("submit");
+    }
+    advance_to(&mut a, mid);
+    let queue_a = queue_snapshot(&mut a);
+    let reply = a
+        .expect_ok(Json::obj([
+            ("op", Json::Str("shutdown".into())),
+            ("graceful", Json::Bool(true)),
+            ("checkpoint", Json::Bool(true)),
+        ]))
+        .expect("shutdown with checkpoint");
+    let state = reply.get("state").expect("state in reply").clone();
+    assert!(
+        reply.get("unfinished").and_then(|v| v.as_u64()).unwrap() > 0,
+        "checkpoint must capture in-flight work to be interesting"
+    );
+    server_a.join();
+
+    // Daemon B: fresh process, restore, same queue/machine state.
+    let server_b = Server::start("127.0.0.1:0", config(&workload)).expect("bind");
+    let mut b = Client::connect(server_b.addr()).expect("connect");
+    let r = b
+        .expect_ok(Json::obj([
+            ("op", Json::Str("restore".into())),
+            ("state", state.clone()),
+        ]))
+        .expect("restore");
+    assert_eq!(r.get("now").and_then(|v| v.as_u64()), Some(mid));
+    assert_eq!(
+        queue_snapshot(&mut b),
+        queue_a,
+        "restored queue/machine state diverged"
+    );
+
+    // Subsequent placements are identical to batch simulation — the
+    // restored daemon continues exactly where A would have.
+    let placements = final_placements(&mut b, &workload);
+    let mut scheduler = SchedulerSpec::parse("fcfs+easy").unwrap().build();
+    let out = simulate(&workload, &mut scheduler);
+    for job in workload.jobs() {
+        let p = out.schedule.placement(job.id).expect("placed");
+        assert_eq!(
+            placements[job.id.index()],
+            (p.start, p.completion),
+            "job {} diverged after restore",
+            job.id.0
+        );
+    }
+    b.expect_ok(op("shutdown")).expect("shutdown");
+    server_b.join();
+
+    // A restored checkpoint must also refuse to load twice.
+    let server_c = Server::start("127.0.0.1:0", config(&workload)).expect("bind");
+    let mut c = Client::connect(server_c.addr()).expect("connect");
+    c.expect_ok(Json::obj([
+        ("op", Json::Str("restore".into())),
+        ("state", state.clone()),
+    ]))
+    .expect("first restore");
+    let r = c
+        .request(Json::obj([
+            ("op", Json::Str("restore".into())),
+            ("state", state),
+        ]))
+        .expect("reply");
+    assert_eq!(
+        r.get("error").and_then(|v| v.as_str()),
+        Some("restore-failed"),
+        "second restore must be refused: {}",
+        r.to_string_compact()
+    );
+    c.expect_ok(op("shutdown")).expect("shutdown");
+    server_c.join();
+}
+
+#[test]
+fn checkpoint_preserves_cancellations_and_forced_policy() {
+    // Cancels and policy forces are inputs too: a checkpoint taken after
+    // them must replay them, not resurrect cancelled jobs or reset the
+    // forced regime.
+    let workload = prepared_ctc_workload(60, 7);
+    let mut cfg = config(&workload);
+    cfg.scheduler = SchedulerSpec::parse("paper-switch").expect("spec");
+    let server = Server::start("127.0.0.1:0", cfg.clone()).expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+    for job in workload.jobs() {
+        c.expect_ok(submit_request(job)).expect("submit");
+    }
+    let victim = workload.jobs()[workload.len() - 1].id.0;
+    c.expect_ok(Json::obj([
+        ("op", Json::Str("cancel".into())),
+        ("id", Json::UInt(victim as u64)),
+    ]))
+    .expect("cancel");
+    c.expect_ok(Json::obj([
+        ("op", Json::Str("policy".into())),
+        ("force", Json::Str("night".into())),
+    ]))
+    .expect("force night");
+    let mid = workload.jobs()[workload.len() / 2].submit;
+    advance_to(&mut c, mid);
+    let state = c
+        .expect_ok(op("checkpoint"))
+        .expect("checkpoint")
+        .get("state")
+        .expect("state")
+        .clone();
+    c.expect_ok(Json::obj([
+        ("op", Json::Str("shutdown".into())),
+        ("graceful", Json::Bool(false)),
+    ]))
+    .expect("hard kill");
+    server.join();
+
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind");
+    let mut r = Client::connect(server.addr()).expect("connect");
+    r.expect_ok(Json::obj([
+        ("op", Json::Str("restore".into())),
+        ("state", state),
+    ]))
+    .expect("restore");
+    let policy = r.expect_ok(op("policy")).expect("policy");
+    assert_eq!(policy.get("forced").and_then(|v| v.as_str()), Some("night"));
+    let status = r
+        .expect_ok(Json::obj([
+            ("op", Json::Str("status".into())),
+            ("id", Json::UInt(victim as u64)),
+        ]))
+        .expect("status");
+    assert_eq!(
+        status.get("state").and_then(|v| v.as_str()),
+        Some("cancelled"),
+        "cancelled job resurrected by restore: {}",
+        status.to_string_compact()
+    );
+    r.expect_ok(op("shutdown")).expect("shutdown");
+    server.join();
+}

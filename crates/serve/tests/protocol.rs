@@ -1,0 +1,285 @@
+//! Protocol robustness: hostile and broken clients get structured error
+//! replies (or a closed connection) — never a daemon panic, and never a
+//! wedged engine. After every abuse the daemon must still answer a
+//! well-formed `ping` on a fresh connection.
+
+use jobsched_json::Json;
+use jobsched_serve::client::Client;
+use jobsched_serve::protocol::MAX_LINE;
+use jobsched_serve::server::Server;
+use jobsched_serve::{SchedulerSpec, ServeConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start(mutate: impl FnOnce(&mut ServeConfig)) -> Server {
+    let mut config = ServeConfig {
+        machine_nodes: 64,
+        scheduler: SchedulerSpec::parse("fcfs+easy").expect("spec"),
+        virtual_clock: true,
+        ..ServeConfig::default()
+    };
+    mutate(&mut config);
+    Server::start("127.0.0.1:0", config).expect("bind loopback")
+}
+
+fn op(name: &str) -> Json {
+    Json::obj([("op", Json::Str(name.into()))])
+}
+
+/// The daemon is alive iff a fresh connection gets a ping reply.
+fn assert_alive(server: &Server) {
+    let mut c = Client::connect(server.addr()).expect("connect");
+    c.expect_ok(op("ping")).expect("ping after abuse");
+}
+
+fn error_kind(reply: &Json) -> Option<&str> {
+    reply.get("error").and_then(|v| v.as_str())
+}
+
+#[test]
+fn garbage_lines_get_protocol_errors() {
+    let server = start(|_| {});
+    let mut c = Client::connect(server.addr()).expect("connect");
+    for garbage in [
+        "this is not json",
+        "{\"op\":",
+        "{\"op\":\"explode\"}",
+        "{\"nodes\":4}",
+        "[1,2,3]",
+        "{\"op\":\"submit\",\"nodes\":0,\"requested\":1,\"runtime\":1}",
+        "{\"op\":\"submit\",\"nodes\":-2,\"requested\":1,\"runtime\":1}",
+        "{\"op\":\"policy\",\"force\":\"weekend\"}",
+        "{\"op\":\"status\"}",
+        "\u{1F} binary \u{0} noise",
+    ] {
+        let reply = c.raw_line(garbage).expect("structured reply");
+        assert_eq!(
+            error_kind(&reply),
+            Some("protocol"),
+            "for line {garbage:?}: {}",
+            reply.to_string_compact()
+        );
+    }
+    // The same connection still works after ten bad lines.
+    c.expect_ok(op("ping")).expect("ping on same connection");
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn invalid_utf8_is_rejected_not_fatal() {
+    let server = start(|_| {});
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    raw.write_all(b"{\"op\":\"pi\xff\xfeng\"}\n")
+        .expect("write");
+    raw.flush().expect("flush");
+    let mut c = Client::connect(server.addr()).expect("connect");
+    c.expect_ok(op("ping")).expect("daemon survived");
+    server.stop();
+}
+
+#[test]
+fn half_closed_and_mid_frame_disconnects_are_harmless() {
+    let server = start(|_| {});
+    // Half-close: connect, say nothing, shut down the write side.
+    {
+        let s = TcpStream::connect(server.addr()).expect("connect");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+    }
+    // Mid-frame: send half a request and vanish.
+    {
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        s.write_all(b"{\"op\":\"submit\",\"nodes\":4")
+            .expect("write");
+        s.flush().expect("flush");
+        // Dropped here: mid-frame disconnect.
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn oversized_requests_are_rejected_and_the_connection_closed() {
+    let server = start(|_| {});
+    let mut c = Client::connect(server.addr()).expect("connect");
+    // One giant line, larger than the frame cap, no newline until the end.
+    let huge = format!("{{\"op\":\"{}\"}}", "x".repeat(MAX_LINE));
+    let reply = c.raw_line(&huge).expect("reply before close");
+    assert_eq!(error_kind(&reply), Some("protocol"));
+    // The daemon closed this connection after replying.
+    assert!(
+        c.request(op("ping")).is_err(),
+        "oversized frame must close the connection"
+    );
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn duplicate_ids_and_unknown_jobs_are_structured_errors() {
+    let server = start(|_| {});
+    let mut c = Client::connect(server.addr()).expect("connect");
+    let submit = Json::obj([
+        ("op", Json::Str("submit".into())),
+        ("id", Json::UInt(7)),
+        ("nodes", Json::UInt(1)),
+        ("requested", Json::UInt(100)),
+        ("runtime", Json::UInt(50)),
+    ]);
+    c.expect_ok(submit.clone()).expect("first submit");
+    let reply = c.request(submit).expect("reply");
+    assert_eq!(error_kind(&reply), Some("duplicate-id"));
+    let reply = c
+        .request(Json::obj([
+            ("op", Json::Str("status".into())),
+            ("id", Json::UInt(4_000_000)),
+        ]))
+        .expect("reply");
+    assert_eq!(error_kind(&reply), Some("unknown-job"));
+    let reply = c
+        .request(Json::obj([
+            ("op", Json::Str("cancel".into())),
+            ("id", Json::UInt(4_000_000)),
+        ]))
+        .expect("reply");
+    assert_eq!(error_kind(&reply), Some("unknown-job"));
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn backpressure_and_oversized_jobs_are_rejected() {
+    let server = start(|c| {
+        c.queue_bound = 2;
+        c.machine_nodes = 8;
+    });
+    let mut c = Client::connect(server.addr()).expect("connect");
+    let submit = |id: u64, nodes: u64| {
+        Json::obj([
+            ("op", Json::Str("submit".into())),
+            ("id", Json::UInt(id)),
+            ("at", Json::UInt(1_000)),
+            ("nodes", Json::UInt(nodes)),
+            ("requested", Json::UInt(100)),
+            ("runtime", Json::UInt(50)),
+        ])
+    };
+    // A job wider than the machine can never run: structured refusal.
+    let reply = c.request(submit(0, 9)).expect("reply");
+    assert_eq!(error_kind(&reply), Some("invalid"));
+    c.expect_ok(submit(1, 1)).expect("admit 1");
+    c.expect_ok(submit(2, 1)).expect("admit 2");
+    let reply = c.request(submit(3, 1)).expect("reply");
+    assert_eq!(error_kind(&reply), Some("rejected"));
+    assert_eq!(
+        reply.get("reason").and_then(|v| v.as_str()),
+        Some("backpressure")
+    );
+    // Rejections are visible in the metrics counters.
+    let m = c.expect_ok(op("metrics")).expect("metrics");
+    assert_eq!(m.get("rejected").and_then(|v| v.as_u64()), Some(1));
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn drain_refuses_submissions_until_undrain() {
+    let server = start(|_| {});
+    let mut c = Client::connect(server.addr()).expect("connect");
+    c.expect_ok(op("drain")).expect("drain");
+    let submit = Json::obj([
+        ("op", Json::Str("submit".into())),
+        ("nodes", Json::UInt(1)),
+        ("requested", Json::UInt(10)),
+        ("runtime", Json::UInt(10)),
+    ]);
+    let reply = c.request(submit.clone()).expect("reply");
+    assert_eq!(error_kind(&reply), Some("rejected"));
+    assert_eq!(
+        reply.get("reason").and_then(|v| v.as_str()),
+        Some("draining")
+    );
+    c.expect_ok(op("undrain")).expect("undrain");
+    c.expect_ok(submit).expect("admitted after undrain");
+    server.stop();
+}
+
+#[test]
+fn advance_requires_a_virtual_clock() {
+    let server = start(|c| {
+        c.virtual_clock = false;
+        c.time_scale = 1_000.0;
+    });
+    let mut c = Client::connect(server.addr()).expect("connect");
+    let reply = c
+        .request(Json::obj([
+            ("op", Json::Str("advance".into())),
+            ("to", Json::UInt(1_000)),
+        ]))
+        .expect("reply");
+    assert_eq!(error_kind(&reply), Some("unsupported"));
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn silent_connections_time_out() {
+    let server = start(|c| c.read_timeout = Duration::from_millis(100));
+    let mut c = Client::connect(server.addr()).expect("connect");
+    std::thread::sleep(Duration::from_millis(300));
+    // The daemon wrote a timeout error and closed the connection: the
+    // next request either reads that final error line or fails outright,
+    // and the one after that must fail.
+    if let Ok(r) = c.request(op("ping")) {
+        assert_eq!(
+            r.get("error").and_then(|v| v.as_str()),
+            Some("protocol"),
+            "{}",
+            r.to_string_compact()
+        );
+    }
+    assert!(
+        c.request(op("ping")).is_err(),
+        "timed-out connection must be closed"
+    );
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn connection_pool_bound_turns_extra_clients_away() {
+    let server = start(|c| c.max_connections = 2);
+    let _a = Client::connect(server.addr()).expect("connect a");
+    let _b = Client::connect(server.addr()).expect("connect b");
+    std::thread::sleep(Duration::from_millis(50)); // let the pool register
+    let mut c = Client::connect(server.addr()).expect("tcp accepts");
+    let reply = c.raw_line(&op("ping").to_string_compact());
+    // An Err here is also acceptable: the connection was already closed.
+    if let Ok(r) = reply {
+        assert_eq!(error_kind(&r), Some("busy"), "{}", r.to_string_compact());
+    }
+    // Existing connections keep working.
+    let mut a = _a;
+    a.expect_ok(op("ping")).expect("pooled connection works");
+    server.stop();
+}
+
+#[test]
+fn shutdown_then_requests_get_busy_errors() {
+    let server = start(|_| {});
+    let mut c = Client::connect(server.addr()).expect("connect");
+    let mut d = Client::connect(server.addr()).expect("connect second");
+    c.expect_ok(Json::obj([
+        ("op", Json::Str("shutdown".into())),
+        ("graceful", Json::Bool(false)),
+    ]))
+    .expect("shutdown");
+    // The other connection's requests now fail cleanly (busy error or
+    // closed connection), not hang.
+    if let Ok(r) = d.request(op("ping")) {
+        assert_eq!(error_kind(&r), Some("busy"));
+    }
+    server.join();
+}

@@ -1,0 +1,205 @@
+//! Time sources for driving a live simulation.
+//!
+//! Batch simulation needs no clock: time *is* the event queue, and the
+//! loop jumps from instant to instant. A long-running daemon serving the
+//! same schedulers needs the opposite — an external notion of "now" that
+//! decides which queued events are due and how long to sleep until the
+//! next one. [`Clock`] abstracts that notion so the serving engine runs
+//! unchanged under two regimes:
+//!
+//! * [`SimClock`] — virtual time. `now` only moves when the owner calls
+//!   [`Clock::advance_to`], so a test can submit from many concurrent
+//!   clients and then advance deterministically; the resulting schedule
+//!   is bit-identical to a batch [`crate::simulate`] run.
+//! * [`WallClock`] — real time with a configurable *time-scale*: one
+//!   real second equals `scale` simulated seconds. At `scale = 86_400` a
+//!   ten-month CTC trace replays in about six minutes, while the paper's
+//!   day/night switching still fires at the right simulated instants.
+
+use jobsched_workload::Time;
+use std::time::{Duration, Instant};
+
+/// An external notion of "now" for a live simulation engine.
+///
+/// Simulated time is the same `u64` seconds the rest of the system uses.
+/// Implementations are monotone: `now()` never decreases.
+pub trait Clock: Send {
+    /// The current simulated instant.
+    fn now(&self) -> Time;
+
+    /// Move virtual time forward to `t`. Real clocks advance themselves
+    /// and ignore this; virtual clocks panic if `t` is in the past.
+    fn advance_to(&mut self, t: Time);
+
+    /// `true` when time only moves via [`Clock::advance_to`] — i.e. the
+    /// owner controls the schedule deterministically.
+    fn is_virtual(&self) -> bool;
+
+    /// How long to sleep (in *real* time) until simulated instant `t` is
+    /// due. Zero for virtual clocks and for instants already past.
+    fn real_delay_until(&self, t: Time) -> Duration;
+}
+
+/// Virtual time: advances only when told to, for deterministic serving.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimClock {
+    now: Time,
+}
+
+impl SimClock {
+    /// A virtual clock at instant 0.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// A virtual clock starting at `t` (checkpoint restore).
+    pub fn starting_at(t: Time) -> Self {
+        SimClock { now: t }
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn advance_to(&mut self, t: Time) {
+        assert!(
+            t >= self.now,
+            "virtual time cannot go backwards ({} -> {t})",
+            self.now
+        );
+        self.now = t;
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+
+    fn real_delay_until(&self, _t: Time) -> Duration {
+        Duration::ZERO
+    }
+}
+
+/// Real time, scaled: one elapsed real second is `scale` simulated
+/// seconds. `base` anchors the simulated origin so a restored checkpoint
+/// resumes where it left off rather than at zero.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    origin: Instant,
+    base: Time,
+    scale: f64,
+}
+
+impl WallClock {
+    /// A wall clock starting at simulated instant 0.
+    pub fn new(scale: f64) -> Self {
+        WallClock::starting_at(0, scale)
+    }
+
+    /// A wall clock whose simulated time starts at `base` *now* — how a
+    /// restored daemon resumes a checkpoint taken at simulated `base`.
+    pub fn starting_at(base: Time, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "time-scale must be positive and finite, got {scale}"
+        );
+        WallClock {
+            origin: Instant::now(),
+            base,
+            scale,
+        }
+    }
+
+    /// The simulated-seconds-per-real-second factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Time {
+        let elapsed = self.origin.elapsed().as_secs_f64() * self.scale;
+        // Saturating add: a pathological scale cannot wrap simulated time.
+        self.base.saturating_add(elapsed as Time)
+    }
+
+    fn advance_to(&mut self, _t: Time) {
+        // Wall time advances on its own; due-ness is decided by `now()`.
+    }
+
+    fn is_virtual(&self) -> bool {
+        false
+    }
+
+    fn real_delay_until(&self, t: Time) -> Duration {
+        if t <= self.base {
+            return Duration::ZERO;
+        }
+        // Real instant at which simulated `t` becomes due, relative to
+        // the origin, minus real time already elapsed.
+        let target = Duration::from_secs_f64((t - self.base) as f64 / self.scale);
+        target.saturating_sub(self.origin.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_moves_only_when_advanced() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        assert!(c.is_virtual());
+        assert_eq!(c.real_delay_until(1_000_000), Duration::ZERO);
+        c.advance_to(50);
+        c.advance_to(50); // idempotent
+        assert_eq!(c.now(), 50);
+        assert_eq!(SimClock::starting_at(99).now(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn sim_clock_rejects_time_travel() {
+        let mut c = SimClock::starting_at(10);
+        c.advance_to(9);
+    }
+
+    #[test]
+    fn wall_clock_scales_real_time() {
+        // 1e9 simulated seconds per real second: any measurable real
+        // delay covers decades of simulated time.
+        let c = WallClock::new(1e9);
+        assert!(!c.is_virtual());
+        let t0 = c.now();
+        std::thread::sleep(Duration::from_millis(5));
+        let t1 = c.now();
+        assert!(t1 > t0, "scaled wall time must move ({t0} -> {t1})");
+        assert!(t1 - t0 >= 1_000_000, "5ms at 1e9x is >= 1e6 simulated s");
+    }
+
+    #[test]
+    fn wall_clock_delay_is_zero_for_due_instants() {
+        let c = WallClock::starting_at(100, 1000.0);
+        assert_eq!(c.real_delay_until(100), Duration::ZERO);
+        assert_eq!(c.real_delay_until(0), Duration::ZERO);
+        // 1000 simulated seconds ahead at 1000x is about one real second.
+        let d = c.real_delay_until(c.now() + 1000);
+        assert!(d <= Duration::from_secs(1), "{d:?}");
+        assert!(d >= Duration::from_millis(900), "{d:?}");
+    }
+
+    #[test]
+    fn wall_clock_resumes_from_base() {
+        let c = WallClock::starting_at(5_000, 60.0);
+        assert!(c.now() >= 5_000);
+        assert_eq!(c.scale(), 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-scale")]
+    fn wall_clock_rejects_bad_scale() {
+        WallClock::new(0.0);
+    }
+}

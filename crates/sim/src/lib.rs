@@ -45,19 +45,23 @@
 //!   it; the old monolithic loop survives as
 //!   [`engine::simulate_batch_with_faults`], the differential baseline.
 
+pub mod clock;
 pub mod engine;
 pub mod event;
 pub mod gang;
+pub mod live;
 pub mod machine;
 pub mod pipeline;
 pub mod profile;
 pub mod schedule;
 pub mod typed;
 
+pub use clock::{Clock, SimClock, WallClock};
 pub use engine::{
     simulate_batch, simulate_batch_with_faults, CancelFault, CancelPhase, DrainFault, FaultOutcome,
     FaultPlan, JobRequest, Scheduler, SimOutcome,
 };
+pub use live::LiveSim;
 pub use machine::{DrainToken, Machine, RunningSlot};
 pub use pipeline::{
     simulate, simulate_with_faults, JobEvent, JobOutcome, PipelineOutcome, RecordingObserver,

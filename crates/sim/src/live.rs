@@ -1,0 +1,378 @@
+//! The incremental simulation engine shared by the streaming pipeline
+//! and the serving daemon.
+//!
+//! [`LiveSim`] is the event loop of [`crate::pipeline::SimPipeline`]
+//! factored into a *stepped* form: the owner injects work
+//! ([`LiveSim::add_job`], [`LiveSim::push_cancel`]) whenever it likes and
+//! calls [`LiveSim::step`] to process the earliest event batch. The
+//! pipeline drives it to exhaustion against a
+//! [`JobSource`](jobsched_workload::JobSource); the daemon drives it
+//! against a [`crate::clock::Clock`], stepping only while the head of the
+//! event queue is due. Both therefore execute the *same* submit / finish
+//! / cancel / decision-round / wakeup logic — schedule identity between
+//! "served" and "batch-simulated" runs is by construction, and the
+//! existing batch-vs-stream differential suites pin it.
+//!
+//! Within one step, events at the same instant are processed in the
+//! [`Event`] variant order (finishes before submissions before
+//! cancellations), exactly as the batch engine orders them; the
+//! scheduler's decision rounds run after the whole batch.
+
+use crate::engine::{CancelPhase, DrainFault, FaultOutcome, JobRequest, Scheduler};
+use crate::event::{Event, EventQueue};
+use crate::machine::{DrainToken, Machine};
+use crate::pipeline::{JobEvent, JobOutcome, PipelineOutcome, SimObserver};
+use jobsched_workload::{Job, JobId, Time};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// A job that has entered the system and not yet retired.
+struct InFlight {
+    job: Job,
+    start: Option<Time>,
+}
+
+/// Stepped event-driven simulation core: machine, event queue, and
+/// bounded per-job lifecycle state.
+///
+/// Lifecycle bookkeeping is bounded: `staged` holds jobs whose submit
+/// event is queued but not yet processed, `alive` holds submitted jobs
+/// until they retire, `cancelled` is O(#faults), and `submitted_below`
+/// is a watermark standing in for the batch engine's dense `submitted`
+/// bitmap (valid because pipeline sources submit in dense id order; the
+/// daemon additionally consults `staged` for sparse ids).
+pub struct LiveSim {
+    machine: Machine,
+    events: EventQueue,
+    staged: BTreeMap<JobId, Job>,
+    alive: BTreeMap<JobId, InFlight>,
+    cancelled: BTreeSet<JobId>,
+    drains: Vec<DrainFault>,
+    drain_tokens: Vec<Option<DrainToken>>,
+    submitted_below: u32,
+    scheduler_cpu: Duration,
+    n_events: u64,
+    rounds: u64,
+    peak_queue: usize,
+    fault_log: Vec<FaultOutcome>,
+    jobs_submitted: u64,
+    jobs_finished: u64,
+    peak_resident: usize,
+    horizon: Time,
+}
+
+impl LiveSim {
+    /// An idle engine over a machine of `nodes`.
+    pub fn new(nodes: u32) -> Self {
+        LiveSim {
+            machine: Machine::new(nodes),
+            events: EventQueue::new(),
+            staged: BTreeMap::new(),
+            alive: BTreeMap::new(),
+            cancelled: BTreeSet::new(),
+            drains: Vec::new(),
+            drain_tokens: Vec::new(),
+            submitted_below: 0,
+            scheduler_cpu: Duration::ZERO,
+            n_events: 0,
+            rounds: 0,
+            peak_queue: 0,
+            fault_log: Vec::new(),
+            jobs_submitted: 0,
+            jobs_finished: 0,
+            peak_resident: 0,
+            horizon: 0,
+        }
+    }
+
+    /// Stage `job` and queue its submit event at `job.submit`. The
+    /// instant must not precede the engine's processed horizon.
+    pub fn add_job(&mut self, job: Job) {
+        self.events.push(job.submit, Event::Submit(job.id));
+        self.staged.insert(job.id, job);
+        self.peak_resident = self.peak_resident.max(self.staged.len() + self.alive.len());
+    }
+
+    /// Queue a cancellation of `id` at instant `at`.
+    pub fn push_cancel(&mut self, at: Time, id: JobId) {
+        self.events.push(at, Event::Cancel(id));
+    }
+
+    /// Register a node-drain fault: capacity shrinks at `d.at`, returns
+    /// at `d.until`. Degenerate windows (`until <= at`) are recorded but
+    /// never fire, matching the batch engine.
+    pub fn plan_drain(&mut self, d: DrainFault) {
+        let idx = self.drains.len() as u32;
+        self.drains.push(d);
+        self.drain_tokens.push(None);
+        if d.until > d.at {
+            self.events.push(d.at, Event::Drain(idx));
+            self.events.push(d.until, Event::Undrain(idx));
+        }
+    }
+
+    /// Queue an explicit decision round at `at` (a wakeup event).
+    pub fn request_decision(&mut self, at: Time) {
+        self.events.push(at, Event::Wakeup);
+    }
+
+    /// Earliest queued event instant, if any.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// Jobs resident in the engine: staged, queued, or running.
+    pub fn in_flight(&self) -> usize {
+        self.staged.len() + self.alive.len()
+    }
+
+    /// The machine state (read-only; mutation is the engine's job).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Ground truth of every fault processed so far, in order.
+    pub fn fault_log(&self) -> &[FaultOutcome] {
+        &self.fault_log
+    }
+
+    /// Last instant processed (0 before the first step).
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Process the earliest event batch: deliver events to `scheduler`
+    /// and `observers`, run decision rounds until the scheduler stops
+    /// starting jobs, and re-arm its wakeup. Returns the batch instant,
+    /// or `None` when the event queue is empty.
+    ///
+    /// `next_external` is the instant of the earliest event the *caller*
+    /// still intends to inject (the pipeline's lookahead submission, the
+    /// daemon's buffered future submissions): wakeups at or after it are
+    /// elided, because that event will trigger a decision round anyway.
+    /// `more_input` declares that the caller may inject further work even
+    /// without a known instant — it suppresses the deadlock check, which
+    /// otherwise panics when jobs wait on an idle machine with nothing
+    /// left to happen.
+    ///
+    /// Panics on scheduler contract violations (invalid starts, double
+    /// placements, deadlock), exactly like the batch engine.
+    pub fn step(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        next_external: Option<Time>,
+        more_input: bool,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> Option<Time> {
+        let (now, batch) = self.events.pop_batch()?;
+        self.horizon = now;
+        for ev in batch {
+            self.n_events += 1;
+            match ev {
+                Event::Submit(id) => {
+                    let job = self
+                        .staged
+                        .remove(&id)
+                        .expect("staged job for submit event");
+                    self.submitted_below = self.submitted_below.max(id.0 + 1);
+                    if self.cancelled.contains(&id) {
+                        continue; // cancelled before submission: never enters
+                    }
+                    self.jobs_submitted += 1;
+                    let req = JobRequest::from(&job);
+                    emit(observers, &JobEvent::Submitted(req));
+                    self.alive.insert(id, InFlight { job, start: None });
+                    let t0 = Instant::now();
+                    scheduler.submit(req, now);
+                    self.scheduler_cpu += t0.elapsed();
+                }
+                Event::Finish(id) => {
+                    if self.cancelled.contains(&id) {
+                        continue; // killed mid-run: resources already released
+                    }
+                    self.machine
+                        .finish(id)
+                        .expect("finish event for running job");
+                    let inf = self.alive.remove(&id).expect("finished job was alive");
+                    self.jobs_finished += 1;
+                    emit(observers, &JobEvent::Finished(outcome(&inf, now)));
+                    let t0 = Instant::now();
+                    scheduler.job_finished(id, now);
+                    self.scheduler_cpu += t0.elapsed();
+                }
+                Event::Cancel(id) => {
+                    if self.cancelled.contains(&id) {
+                        continue; // duplicate cancellation
+                    }
+                    let mut run = None;
+                    let phase = if id.0 >= self.submitted_below || self.staged.contains_key(&id) {
+                        self.cancelled.insert(id);
+                        CancelPhase::PreSubmit
+                    } else if self.machine.running().iter().any(|s| s.id == id) {
+                        self.cancelled.insert(id);
+                        self.machine.finish(id).expect("cancelling a running job");
+                        let inf = self.alive.remove(&id).expect("running job was alive");
+                        run = Some(outcome(&inf, now));
+                        let t0 = Instant::now();
+                        scheduler.job_finished(id, now);
+                        self.scheduler_cpu += t0.elapsed();
+                        CancelPhase::Running
+                    } else if self.alive.remove(&id).is_some() {
+                        self.cancelled.insert(id);
+                        let t0 = Instant::now();
+                        scheduler.cancel(id, now);
+                        self.scheduler_cpu += t0.elapsed();
+                        CancelPhase::Queued
+                    } else {
+                        CancelPhase::AlreadyFinished // too late: no-op
+                    };
+                    emit(
+                        observers,
+                        &JobEvent::Cancelled {
+                            id,
+                            at: now,
+                            phase,
+                            run,
+                        },
+                    );
+                    self.fault_log
+                        .push(FaultOutcome::Cancelled { id, at: now, phase });
+                }
+                Event::Drain(idx) => {
+                    let d = self.drains[idx as usize];
+                    let granted = d.nodes.min(self.machine.free_nodes());
+                    if granted > 0 {
+                        let token = self
+                            .machine
+                            .drain(granted, d.until)
+                            .expect("granted <= free");
+                        self.drain_tokens[idx as usize] = Some(token);
+                        let t0 = Instant::now();
+                        scheduler.capacity_changed(now);
+                        self.scheduler_cpu += t0.elapsed();
+                    }
+                    self.fault_log.push(FaultOutcome::Drained {
+                        at: now,
+                        requested: d.nodes,
+                        granted,
+                        until: d.until,
+                    });
+                }
+                Event::Undrain(idx) => {
+                    if let Some(token) = self.drain_tokens[idx as usize].take() {
+                        self.machine
+                            .undrain(token)
+                            .expect("token taken exactly once");
+                        let t0 = Instant::now();
+                        scheduler.capacity_changed(now);
+                        self.scheduler_cpu += t0.elapsed();
+                    }
+                }
+                Event::Wakeup => {} // decision round below is the effect
+            }
+        }
+        self.peak_queue = self.peak_queue.max(scheduler.queue_len());
+
+        // Let the scheduler start jobs until it has nothing more to start.
+        loop {
+            let t0 = Instant::now();
+            let starts = scheduler.select_starts(now, &self.machine);
+            self.scheduler_cpu += t0.elapsed();
+            self.rounds += 1;
+            if starts.is_empty() {
+                break;
+            }
+            for id in starts {
+                assert!(
+                    !self.cancelled.contains(&id),
+                    "scheduler {} started cancelled job {id}",
+                    scheduler.name()
+                );
+                let inf = self.alive.get_mut(&id).unwrap_or_else(|| {
+                    // A retired (finished) id replays the batch engine's
+                    // double-placement panic; a never-seen id is a
+                    // contract violation of its own.
+                    if id.0 < self.submitted_below {
+                        panic!("job {id} placed twice");
+                    }
+                    panic!("scheduler {} started unknown job {id}", scheduler.name());
+                });
+                self.machine
+                    .start(id, inf.job.nodes, now, now + inf.job.requested_time)
+                    .unwrap_or_else(|e| {
+                        panic!("scheduler {} broke validity: {e}", scheduler.name())
+                    });
+                assert!(inf.start.is_none(), "job {id} placed twice");
+                inf.start = Some(now);
+                let nodes = inf.job.nodes;
+                let completion = now + inf.job.effective_runtime();
+                self.events.push(completion, Event::Finish(id));
+                emit(observers, &JobEvent::Started { id, at: now, nodes });
+            }
+        }
+
+        // Re-arm the scheduler's wakeup (dedup: skip if any event —
+        // queued or announced by the caller — lands at or before it).
+        if scheduler.queue_len() > 0 {
+            if let Some(t) = scheduler.next_wakeup(now) {
+                assert!(t > now, "wakeup must be in the future");
+                let next = [self.events.peek_time(), next_external]
+                    .into_iter()
+                    .flatten()
+                    .min();
+                if next.is_none_or(|n| t < n) {
+                    self.events.push(t, Event::Wakeup);
+                }
+            }
+        }
+
+        // Deadlock check: idle machine, exhausted event horizon (queue
+        // *and* caller), jobs waiting.
+        if self.events.is_empty() && !more_input && scheduler.queue_len() > 0 {
+            assert!(
+                self.machine.running().is_empty(),
+                "event queue empty with jobs still running"
+            );
+            panic!(
+                "scheduler {} deadlocked: {} jobs waiting on an idle machine",
+                scheduler.name(),
+                scheduler.queue_len()
+            );
+        }
+
+        Some(now)
+    }
+
+    /// Consume the engine into the pipeline's outcome counters.
+    pub fn into_outcome(self) -> PipelineOutcome {
+        PipelineOutcome {
+            scheduler_cpu: self.scheduler_cpu,
+            events: self.n_events,
+            decision_rounds: self.rounds,
+            peak_queue: self.peak_queue,
+            faults: self.fault_log,
+            jobs_submitted: self.jobs_submitted,
+            jobs_finished: self.jobs_finished,
+            peak_resident: self.peak_resident,
+            horizon: self.horizon,
+        }
+    }
+}
+
+fn outcome(inf: &InFlight, completion: Time) -> JobOutcome {
+    JobOutcome {
+        id: inf.job.id,
+        submit: inf.job.submit,
+        start: inf.start.expect("outcome of a started job"),
+        completion,
+        nodes: inf.job.nodes,
+        requested_time: inf.job.requested_time,
+        user: inf.job.user,
+    }
+}
+
+fn emit(observers: &mut [&mut dyn SimObserver], event: &JobEvent) {
+    for obs in observers.iter_mut() {
+        obs.on_event(event);
+    }
+}

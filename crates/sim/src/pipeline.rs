@@ -32,12 +32,10 @@
 //! where "no event in the queue" used to mean "no event, ever".
 
 use crate::engine::{CancelPhase, FaultOutcome, FaultPlan, JobRequest, Scheduler, SimOutcome};
-use crate::event::{Event, EventQueue};
-use crate::machine::Machine;
+use crate::live::LiveSim;
 use crate::schedule::{JobPlacement, ScheduleRecord};
 use jobsched_workload::{Job, JobId, JobSource, SourceError, Time, Workload, WorkloadSource};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Everything known about one completed (or killed) execution — the
 /// streaming replacement for looking a job up in the workload *and* the
@@ -196,12 +194,6 @@ pub struct PipelineOutcome {
     pub horizon: Time,
 }
 
-/// A job that has entered the system and not yet retired.
-struct InFlight {
-    job: Job,
-    start: Option<Time>,
-}
-
 /// Builder/driver for one streaming simulation run.
 ///
 /// ```text
@@ -257,52 +249,25 @@ impl<'a> SimPipeline<'a> {
             mut observers,
         } = self;
 
-        let mut machine = Machine::new(source.machine_nodes());
-        let mut events = EventQueue::new();
+        let mut live = LiveSim::new(source.machine_nodes());
         for c in &faults.cancels {
-            events.push(c.at, Event::Cancel(c.id));
+            live.push_cancel(c.at, c.id);
         }
-        let mut drain_tokens: Vec<Option<crate::machine::DrainToken>> = Vec::new();
-        for (i, d) in faults.drains.iter().enumerate() {
-            drain_tokens.push(None);
-            if d.until > d.at {
-                events.push(d.at, Event::Drain(i as u32));
-                events.push(d.until, Event::Undrain(i as u32));
-            }
+        for d in &faults.drains {
+            live.plan_drain(*d);
         }
-
-        let mut scheduler_cpu = Duration::ZERO;
-        let mut n_events = 0u64;
-        let mut rounds = 0u64;
-        let mut peak_queue = 0usize;
-        let mut fault_log = Vec::new();
-        let mut jobs_submitted = 0u64;
-        let mut jobs_finished = 0u64;
-        let mut peak_resident = 0usize;
-        let mut horizon: Time = 0;
-
-        // Bounded lifecycle state. `staged` holds jobs whose submit event
-        // is queued but not yet processed (only ever the tied-submit
-        // front of the stream); `alive` holds submitted jobs until they
-        // retire; `cancelled` is O(#faults); `submitted_below` replaces
-        // the batch engine's dense `submitted` bitmap — valid because
-        // submit events process in dense id order.
-        let mut staged: VecDeque<Job> = VecDeque::new();
-        let mut alive: BTreeMap<JobId, InFlight> = BTreeMap::new();
-        let mut cancelled: BTreeSet<JobId> = BTreeSet::new();
-        let mut submitted_below: u32 = 0;
 
         let mut next_expected: u32 = 0;
         let mut last_submit: Time = 0;
         let mut lookahead = pull(source, &mut next_expected, &mut last_submit)?;
 
         loop {
-            // Refill: push the lookahead submit (and any same-instant
-            // successors) while it is due at or before the queue's
+            // Refill: stage the lookahead submission (and any same-instant
+            // successors) while it is due at or before the engine's
             // earliest event. Afterwards the queue's head time is the
             // global minimum including all future submissions.
             while let Some(j) = &lookahead {
-                let due = match events.peek_time() {
+                let due = match live.next_event_time() {
                     None => true,
                     Some(t) => j.submit <= t,
                 };
@@ -310,215 +275,29 @@ impl<'a> SimPipeline<'a> {
                     break;
                 }
                 let j = lookahead.take().expect("checked above");
-                events.push(j.submit, Event::Submit(j.id));
-                staged.push_back(j);
+                live.add_job(j);
                 lookahead = pull(source, &mut next_expected, &mut last_submit)?;
             }
-            peak_resident = peak_resident.max(staged.len() + alive.len());
 
-            let Some((now, batch)) = events.pop_batch() else {
+            let next_external = lookahead.as_ref().map(|j| j.submit);
+            if live
+                .step(
+                    scheduler,
+                    next_external,
+                    lookahead.is_some(),
+                    &mut observers,
+                )
+                .is_none()
+            {
                 break;
-            };
-            horizon = now;
-            for ev in batch {
-                n_events += 1;
-                match ev {
-                    Event::Submit(id) => {
-                        let job = staged.pop_front().expect("staged job for submit event");
-                        debug_assert_eq!(job.id, id);
-                        submitted_below = id.0 + 1;
-                        if cancelled.contains(&id) {
-                            continue; // cancelled before submission: never enters
-                        }
-                        jobs_submitted += 1;
-                        let req = JobRequest::from(&job);
-                        emit(&mut observers, &JobEvent::Submitted(req));
-                        alive.insert(id, InFlight { job, start: None });
-                        let t0 = Instant::now();
-                        scheduler.submit(req, now);
-                        scheduler_cpu += t0.elapsed();
-                    }
-                    Event::Finish(id) => {
-                        if cancelled.contains(&id) {
-                            continue; // killed mid-run: resources already released
-                        }
-                        machine.finish(id).expect("finish event for running job");
-                        let inf = alive.remove(&id).expect("finished job was alive");
-                        jobs_finished += 1;
-                        emit(&mut observers, &JobEvent::Finished(outcome(&inf, now)));
-                        let t0 = Instant::now();
-                        scheduler.job_finished(id, now);
-                        scheduler_cpu += t0.elapsed();
-                    }
-                    Event::Cancel(id) => {
-                        if cancelled.contains(&id) {
-                            continue; // duplicate cancellation
-                        }
-                        let mut run = None;
-                        let phase = if id.0 >= submitted_below {
-                            cancelled.insert(id);
-                            CancelPhase::PreSubmit
-                        } else if machine.running().iter().any(|s| s.id == id) {
-                            cancelled.insert(id);
-                            machine.finish(id).expect("cancelling a running job");
-                            let inf = alive.remove(&id).expect("running job was alive");
-                            run = Some(outcome(&inf, now));
-                            let t0 = Instant::now();
-                            scheduler.job_finished(id, now);
-                            scheduler_cpu += t0.elapsed();
-                            CancelPhase::Running
-                        } else if alive.remove(&id).is_some() {
-                            cancelled.insert(id);
-                            let t0 = Instant::now();
-                            scheduler.cancel(id, now);
-                            scheduler_cpu += t0.elapsed();
-                            CancelPhase::Queued
-                        } else {
-                            CancelPhase::AlreadyFinished // too late: no-op
-                        };
-                        emit(
-                            &mut observers,
-                            &JobEvent::Cancelled {
-                                id,
-                                at: now,
-                                phase,
-                                run,
-                            },
-                        );
-                        fault_log.push(FaultOutcome::Cancelled { id, at: now, phase });
-                    }
-                    Event::Drain(idx) => {
-                        let d = faults.drains[idx as usize];
-                        let granted = d.nodes.min(machine.free_nodes());
-                        if granted > 0 {
-                            let token = machine.drain(granted, d.until).expect("granted <= free");
-                            drain_tokens[idx as usize] = Some(token);
-                            let t0 = Instant::now();
-                            scheduler.capacity_changed(now);
-                            scheduler_cpu += t0.elapsed();
-                        }
-                        fault_log.push(FaultOutcome::Drained {
-                            at: now,
-                            requested: d.nodes,
-                            granted,
-                            until: d.until,
-                        });
-                    }
-                    Event::Undrain(idx) => {
-                        if let Some(token) = drain_tokens[idx as usize].take() {
-                            machine.undrain(token).expect("token taken exactly once");
-                            let t0 = Instant::now();
-                            scheduler.capacity_changed(now);
-                            scheduler_cpu += t0.elapsed();
-                        }
-                    }
-                    Event::Wakeup => {} // decision round below is the effect
-                }
-            }
-            peak_queue = peak_queue.max(scheduler.queue_len());
-
-            // Let the scheduler start jobs until it has nothing more to start.
-            loop {
-                let t0 = Instant::now();
-                let starts = scheduler.select_starts(now, &machine);
-                scheduler_cpu += t0.elapsed();
-                rounds += 1;
-                if starts.is_empty() {
-                    break;
-                }
-                for id in starts {
-                    assert!(
-                        !cancelled.contains(&id),
-                        "scheduler {} started cancelled job {id}",
-                        scheduler.name()
-                    );
-                    let inf = alive.get_mut(&id).unwrap_or_else(|| {
-                        // A retired (finished) id replays the batch
-                        // engine's double-placement panic; a never-seen
-                        // id is a contract violation of its own.
-                        if id.0 < submitted_below {
-                            panic!("job {id} placed twice");
-                        }
-                        panic!("scheduler {} started unknown job {id}", scheduler.name());
-                    });
-                    machine
-                        .start(id, inf.job.nodes, now, now + inf.job.requested_time)
-                        .unwrap_or_else(|e| {
-                            panic!("scheduler {} broke validity: {e}", scheduler.name())
-                        });
-                    assert!(inf.start.is_none(), "job {id} placed twice");
-                    inf.start = Some(now);
-                    let nodes = inf.job.nodes;
-                    let completion = now + inf.job.effective_runtime();
-                    events.push(completion, Event::Finish(id));
-                    emit(&mut observers, &JobEvent::Started { id, at: now, nodes });
-                }
-            }
-
-            // Schedule a wakeup if the scheduler asks for one (dedup:
-            // skip if any event — queued *or* the lookahead submission —
-            // lands at or before that instant).
-            if scheduler.queue_len() > 0 {
-                if let Some(t) = scheduler.next_wakeup(now) {
-                    assert!(t > now, "wakeup must be in the future");
-                    let next = [events.peek_time(), lookahead.as_ref().map(|j| j.submit)]
-                        .into_iter()
-                        .flatten()
-                        .min();
-                    if next.is_none_or(|n| t < n) {
-                        events.push(t, Event::Wakeup);
-                    }
-                }
-            }
-
-            // Deadlock check: idle machine, exhausted event horizon
-            // (queue *and* source), jobs waiting.
-            if events.is_empty() && lookahead.is_none() && scheduler.queue_len() > 0 {
-                assert!(
-                    machine.running().is_empty(),
-                    "event queue empty with jobs still running"
-                );
-                panic!(
-                    "scheduler {} deadlocked: {} jobs waiting on an idle machine",
-                    scheduler.name(),
-                    scheduler.queue_len()
-                );
             }
         }
 
+        let horizon = live.horizon();
         for obs in &mut observers {
             obs.on_end(horizon);
         }
-
-        Ok(PipelineOutcome {
-            scheduler_cpu,
-            events: n_events,
-            decision_rounds: rounds,
-            peak_queue,
-            faults: fault_log,
-            jobs_submitted,
-            jobs_finished,
-            peak_resident,
-            horizon,
-        })
-    }
-}
-
-fn outcome(inf: &InFlight, completion: Time) -> JobOutcome {
-    JobOutcome {
-        id: inf.job.id,
-        submit: inf.job.submit,
-        start: inf.start.expect("outcome of a started job"),
-        completion,
-        nodes: inf.job.nodes,
-        requested_time: inf.job.requested_time,
-        user: inf.job.user,
-    }
-}
-
-fn emit(observers: &mut [&mut dyn SimObserver], event: &JobEvent) {
-    for obs in observers.iter_mut() {
-        obs.on_event(event);
+        Ok(live.into_outcome())
     }
 }
 
@@ -598,7 +377,9 @@ pub fn simulate_with_faults(
 mod tests {
     use super::*;
     use crate::engine::simulate_batch;
+    use crate::machine::Machine;
     use jobsched_workload::JobBuilder;
+    use std::collections::VecDeque;
 
     /// Minimal FCFS, mirroring the engine's test scheduler.
     struct TestFcfs {

@@ -19,8 +19,9 @@
 //! * [`cache`] — content-addressed result cache
 //!   (`<out>/cache/<2hex>/<16hex>.json`), corrupt entries are misses;
 //! * [`manifest`] — the campaign manifest tying records to tables;
-//! * [`hash`] / [`json`] — stable FNV-1a hashing and a hand-rolled JSON
-//!   reader/writer (the build is fully offline: no serde);
+//! * [`hash`] — stable FNV-1a hashing; JSON lives in the shared
+//!   [`jobsched_json`] crate (the build is fully offline: no serde) and
+//!   is re-exported here as [`json`] for the existing callers;
 //! * [`runner`] — [`runner::run_campaign`] gluing it all together;
 //! * [`progress`] — throttled stderr progress reporting.
 //!
@@ -32,7 +33,7 @@
 pub mod cache;
 pub mod grid;
 pub mod hash;
-pub mod json;
+pub use jobsched_json as json;
 pub mod manifest;
 pub mod pool;
 pub mod progress;
