@@ -25,7 +25,7 @@
 
 use crate::scheduler::Waiting;
 use jobsched_sim::{Machine, Profile};
-use jobsched_workload::{JobId, Time};
+use jobsched_workload::{ClassId, JobId, Time};
 
 /// Backfilling flavour applied on top of a priority order (§5.2).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -62,7 +62,19 @@ pub fn select_head_blocking(
     waiting: &Waiting,
     machine: &Machine,
 ) -> Vec<JobId> {
-    let mut free = machine.free_nodes();
+    select_head_blocking_in(ClassId(0), order, waiting, machine)
+}
+
+/// [`select_head_blocking`] restricted to one node-class pool. The order
+/// must contain only jobs resolved to `class`; on a single-class machine
+/// `ClassId(0)` reproduces the whole-machine scan bit for bit.
+pub fn select_head_blocking_in(
+    class: ClassId,
+    order: impl IntoIterator<Item = JobId>,
+    waiting: &Waiting,
+    machine: &Machine,
+) -> Vec<JobId> {
+    let mut free = machine.free_in(class);
     let mut out = Vec::new();
     for id in order {
         let job = waiting.get(id);
@@ -112,7 +124,20 @@ pub fn scan_easy(
     machine: &Machine,
     now: Time,
 ) -> EasyScan {
-    scan_easy_inner(order, waiting, machine, now, Avail::Rebuild)
+    scan_easy_inner(ClassId(0), order, waiting, machine, now, Avail::Rebuild)
+}
+
+/// [`scan_easy`] restricted to one node-class pool: free nodes, the
+/// rebuilt profile, and the shadow computation all read only that pool.
+/// The order must contain only jobs resolved to `class`.
+pub fn scan_easy_in(
+    class: ClassId,
+    order: impl IntoIterator<Item = JobId>,
+    waiting: &Waiting,
+    machine: &Machine,
+    now: Time,
+) -> EasyScan {
+    scan_easy_inner(class, order, waiting, machine, now, Avail::Rebuild)
 }
 
 /// EASY backfilling over the machine's incremental [`jobsched_sim::LiveProfile`].
@@ -130,10 +155,32 @@ pub fn scan_easy_live(
     now: Time,
     scratch: &mut Profile,
 ) -> EasyScan {
-    scan_easy_inner(order, waiting, machine, now, Avail::Live(scratch))
+    scan_easy_inner(
+        ClassId(0),
+        order,
+        waiting,
+        machine,
+        now,
+        Avail::Live(scratch),
+    )
+}
+
+/// [`scan_easy_live`] restricted to one node-class pool, reading the
+/// pool's incremental calendar. The order must contain only jobs resolved
+/// to `class`.
+pub fn scan_easy_live_in(
+    class: ClassId,
+    order: impl IntoIterator<Item = JobId>,
+    waiting: &Waiting,
+    machine: &Machine,
+    now: Time,
+    scratch: &mut Profile,
+) -> EasyScan {
+    scan_easy_inner(class, order, waiting, machine, now, Avail::Live(scratch))
 }
 
 fn scan_easy_inner(
+    class: ClassId,
     order: impl IntoIterator<Item = JobId>,
     waiting: &Waiting,
     machine: &Machine,
@@ -141,7 +188,7 @@ fn scan_easy_inner(
     avail: Avail<'_>,
 ) -> EasyScan {
     let mut order = order.into_iter();
-    let mut free = machine.free_nodes();
+    let mut free = machine.free_in(class);
     let mut out = Vec::new();
 
     // Phase 1: start head jobs greedily until one blocks.
@@ -174,7 +221,7 @@ fn scan_easy_inner(
     let (shadow, mut extra) = match avail {
         Avail::Live(_) if out.is_empty() => {
             // Nothing started: the live calendar *is* the profile.
-            let live = machine.profile();
+            let live = machine.class_profile(class);
             let shadow = live.earliest_start(now, head.nodes, head_duration, now);
             (shadow, live.free_at(now, shadow).saturating_sub(head.nodes))
         }
@@ -182,11 +229,11 @@ fn scan_easy_inner(
             let mut rebuilt;
             let profile = match avail {
                 Avail::Rebuild => {
-                    rebuilt = Profile::from_machine(machine, now);
+                    rebuilt = Profile::from_machine_class(machine, class, now);
                     &mut rebuilt
                 }
                 Avail::Live(scratch) => {
-                    machine.profile().snapshot_into(now, scratch);
+                    machine.class_profile(class).snapshot_into(now, scratch);
                     scratch
                 }
             };
@@ -273,8 +320,22 @@ pub fn scan_conservative(
     machine: &Machine,
     now: Time,
 ) -> ConservativeScan {
-    let mut profile = Profile::from_machine(machine, now);
-    scan_conservative_over(order, queue_len, waiting, machine, now, &mut profile)
+    scan_conservative_in(ClassId(0), order, queue_len, waiting, machine, now)
+}
+
+/// [`scan_conservative`] restricted to one node-class pool: the
+/// reservation calendar covers only that pool's capacity. The order must
+/// contain only jobs resolved to `class`.
+pub fn scan_conservative_in(
+    class: ClassId,
+    order: impl IntoIterator<Item = JobId>,
+    queue_len: usize,
+    waiting: &Waiting,
+    machine: &Machine,
+    now: Time,
+) -> ConservativeScan {
+    let mut profile = Profile::from_machine_class(machine, class, now);
+    scan_conservative_over(class, order, queue_len, waiting, machine, now, &mut profile)
 }
 
 /// Conservative backfilling over the machine's incremental
@@ -289,11 +350,29 @@ pub fn scan_conservative_live(
     now: Time,
     scratch: &mut Profile,
 ) -> ConservativeScan {
-    machine.profile().snapshot_into(now, scratch);
-    scan_conservative_over(order, queue_len, waiting, machine, now, scratch)
+    scan_conservative_live_in(ClassId(0), order, queue_len, waiting, machine, now, scratch)
 }
 
+/// [`scan_conservative_live`] restricted to one node-class pool, reading
+/// the pool's incremental calendar. The order must contain only jobs
+/// resolved to `class`.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_conservative_live_in(
+    class: ClassId,
+    order: impl IntoIterator<Item = JobId>,
+    queue_len: usize,
+    waiting: &Waiting,
+    machine: &Machine,
+    now: Time,
+    scratch: &mut Profile,
+) -> ConservativeScan {
+    machine.class_profile(class).snapshot_into(now, scratch);
+    scan_conservative_over(class, order, queue_len, waiting, machine, now, scratch)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn scan_conservative_over(
+    class: ClassId,
     order: impl IntoIterator<Item = JobId>,
     queue_len: usize,
     waiting: &Waiting,
@@ -302,7 +381,7 @@ fn scan_conservative_over(
     profile: &mut Profile,
 ) -> ConservativeScan {
     let mut out = Vec::new();
-    let mut leftover = machine.free_nodes();
+    let mut leftover = machine.free_in(class);
 
     let truncate = queue_len > CONSERVATIVE_TRUNCATION_DEPTH;
     // Bounded reservation lookahead on deep queues (production batch
@@ -328,7 +407,7 @@ fn scan_conservative_over(
     // Largest free-node level anywhere below the horizon: a job needing
     // more can only reserve beyond it, so it is skipped without a scan.
     // Recomputed only when a reservation is actually booked.
-    let mut max_free_below_horizon = machine.total_nodes();
+    let mut max_free_below_horizon = machine.total_in(class);
 
     for id in order.into_iter().take(scan_limit) {
         let job = waiting.get(id);
@@ -385,6 +464,7 @@ mod tests {
             id: JobId(id),
             submit: 0,
             nodes,
+            class: ClassId(0),
             requested_time: requested,
             user: 0,
         }

@@ -15,7 +15,7 @@
 
 use crate::scheduler::Waiting;
 use jobsched_sim::Machine;
-use jobsched_workload::JobId;
+use jobsched_workload::{ClassId, JobId};
 
 /// Start *any* waiting job, in list order, for which enough resources are
 /// available. Lazy over the order: stops once the machine is full.
@@ -29,8 +29,20 @@ pub fn select_greedy_any(
     waiting: &Waiting,
     machine: &Machine,
 ) -> Vec<JobId> {
-    let mut free = machine.profile().free_nodes();
-    debug_assert_eq!(free, machine.free_nodes());
+    select_greedy_any_in(ClassId(0), order, waiting, machine)
+}
+
+/// [`select_greedy_any`] restricted to one node-class pool. The order
+/// must contain only jobs resolved to `class`; on a single-class machine
+/// `ClassId(0)` reproduces the whole-machine scan bit for bit.
+pub fn select_greedy_any_in(
+    class: ClassId,
+    order: impl IntoIterator<Item = JobId>,
+    waiting: &Waiting,
+    machine: &Machine,
+) -> Vec<JobId> {
+    let mut free = machine.class_profile(class).free_nodes();
+    debug_assert_eq!(free, machine.free_in(class));
     let mut out = Vec::new();
     for id in order {
         if free == 0 {
@@ -56,6 +68,7 @@ mod tests {
             id: JobId(id),
             submit: 0,
             nodes,
+            class: ClassId(0),
             requested_time: requested,
             user: 0,
         }

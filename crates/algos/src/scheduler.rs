@@ -10,14 +10,14 @@
 //! anything that fits (§5.3).
 
 use crate::backfill::{
-    scan_conservative, scan_conservative_live, scan_easy, scan_easy_live, select_head_blocking,
-    BackfillMode,
+    scan_conservative_in, scan_conservative_live_in, scan_easy_in, scan_easy_live_in,
+    select_head_blocking_in, BackfillMode,
 };
-use crate::garey_graham::select_greedy_any;
+use crate::garey_graham::select_greedy_any_in;
 use crate::order::{OrderPolicy, ReorderTrigger};
 use crate::view::JobView;
 use jobsched_sim::{JobRequest, Machine, Profile, Scheduler};
-use jobsched_workload::{JobId, Time};
+use jobsched_workload::{ClassId, JobId, Time};
 use std::collections::BTreeSet;
 
 /// How the backfilling scans obtain the availability step function.
@@ -380,6 +380,58 @@ impl ListScheduler {
         self.cache = Some(updated);
         picks
     }
+
+    /// Decision scan over a multi-class machine: the priority order is
+    /// computed once, then each node-class pool is scanned independently
+    /// over the jobs resolved to it — partitioned scheduling, so a wide
+    /// pick can never consume thin capacity or vice versa. The
+    /// blocked-state cache describes a single pool and is bypassed here
+    /// (`self.cache` stays `None`, so submissions never accumulate
+    /// arrivals against a stale state).
+    fn select_starts_classed(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
+        debug_assert!(
+            self.cache.is_none(),
+            "blocked cache leaked into classed mode"
+        );
+        let config = ScanConfig {
+            greedy_any: matches!(self.policy, OrderPolicy::GareyGraham),
+            backfill: self.backfill,
+            profile_mode: self.profile_mode,
+        };
+        let order: Vec<JobId> = if self.policy.is_dynamic() {
+            self.effective_order(machine.total_nodes())
+        } else {
+            self.waiting.ids().collect()
+        };
+        let mut picks = Vec::new();
+        for c in 0..machine.class_count() {
+            let class = ClassId(c as u8);
+            if machine.free_in(class) == 0 {
+                continue;
+            }
+            // Classes partition the queue: a job picked for an earlier
+            // pool never appears in a later pool's order.
+            let class_order = order
+                .iter()
+                .copied()
+                .filter(|&id| self.waiting.get(id).class == class);
+            let (p, _) = full_scan(
+                class,
+                config,
+                &mut self.scratch,
+                class_order,
+                &self.waiting,
+                machine,
+                now,
+            );
+            picks.extend(p);
+        }
+        for &id in &picks {
+            self.waiting.remove(id);
+            self.covered.remove(&id);
+        }
+        picks
+    }
 }
 
 /// Selection-strategy configuration of one full decision scan.
@@ -390,10 +442,14 @@ struct ScanConfig {
     profile_mode: ProfileMode,
 }
 
-/// One full decision scan: dispatch the order to the selection strategy
-/// and describe the blocked state it leaves behind. `scratch` is the
-/// reusable profile buffer for [`ProfileMode::Incremental`] scans.
+/// One full decision scan over one node-class pool: dispatch the order to
+/// the selection strategy and describe the blocked state it leaves
+/// behind. `scratch` is the reusable profile buffer for
+/// [`ProfileMode::Incremental`] scans. On a single-class machine
+/// `ClassId(0)` is the whole machine; the blocked state is only cached
+/// then (a multi-class machine would need one cache per pool).
 fn full_scan<I: IntoIterator<Item = JobId>>(
+    class: ClassId,
     config: ScanConfig,
     scratch: &mut Profile,
     order: I,
@@ -407,32 +463,34 @@ fn full_scan<I: IntoIterator<Item = JobId>>(
         profile_mode,
     } = config;
     if greedy_any {
-        let picks = select_greedy_any(order, waiting, machine);
+        let picks = select_greedy_any_in(class, order, waiting, machine);
         let used: u32 = picks.iter().map(|&id| waiting.get(id).nodes).sum();
         return (
             picks,
             BlockedCache::GreedyAny {
-                leftover: machine.free_nodes() - used,
+                leftover: machine.free_in(class) - used,
             },
         );
     }
     match backfill {
         BackfillMode::None => {
-            let picks = select_head_blocking(order, waiting, machine);
+            let picks = select_head_blocking_in(class, order, waiting, machine);
             let blocked = if picks.len() < waiting.len() {
                 BlockedCache::HeadBlocked
             } else {
                 let used: u32 = picks.iter().map(|&id| waiting.get(id).nodes).sum();
                 BlockedCache::OpenList {
-                    leftover: machine.free_nodes() - used,
+                    leftover: machine.free_in(class) - used,
                 }
             };
             (picks, blocked)
         }
         BackfillMode::Easy => {
             let scan = match profile_mode {
-                ProfileMode::Rebuild => scan_easy(order, waiting, machine, now),
-                ProfileMode::Incremental => scan_easy_live(order, waiting, machine, now, scratch),
+                ProfileMode::Rebuild => scan_easy_in(class, order, waiting, machine, now),
+                ProfileMode::Incremental => {
+                    scan_easy_live_in(class, order, waiting, machine, now, scratch)
+                }
             };
             (
                 scan.picks,
@@ -446,11 +504,17 @@ fn full_scan<I: IntoIterator<Item = JobId>>(
         BackfillMode::Conservative => {
             let scan = match profile_mode {
                 ProfileMode::Rebuild => {
-                    scan_conservative(order, waiting.len(), waiting, machine, now)
+                    scan_conservative_in(class, order, waiting.len(), waiting, machine, now)
                 }
-                ProfileMode::Incremental => {
-                    scan_conservative_live(order, waiting.len(), waiting, machine, now, scratch)
-                }
+                ProfileMode::Incremental => scan_conservative_live_in(
+                    class,
+                    order,
+                    waiting.len(),
+                    waiting,
+                    machine,
+                    now,
+                    scratch,
+                ),
             };
             (
                 scan.picks,
@@ -518,6 +582,10 @@ impl Scheduler for ListScheduler {
             return Vec::new();
         }
 
+        if machine.class_count() > 1 {
+            return self.select_starts_classed(now, machine);
+        }
+
         if self.caching {
             if let Some(cache) = self.cache {
                 let picks = self.incremental_starts(now, cache);
@@ -543,6 +611,7 @@ impl Scheduler for ListScheduler {
         let (picks, blocked) = if self.policy.is_dynamic() {
             let order = self.effective_order(machine.total_nodes());
             full_scan(
+                ClassId(0),
                 config,
                 &mut self.scratch,
                 order,
@@ -552,6 +621,7 @@ impl Scheduler for ListScheduler {
             )
         } else {
             full_scan(
+                ClassId(0),
                 config,
                 &mut self.scratch,
                 self.waiting.ids(),
@@ -836,11 +906,7 @@ mod tests {
         );
         let plan = jobsched_sim::FaultPlan {
             cancels: vec![],
-            drains: vec![jobsched_sim::DrainFault {
-                at: 10,
-                nodes: 8,
-                until: 300,
-            }],
+            drains: vec![jobsched_sim::DrainFault::new(10, 8, 300)],
         };
         let mut s = ListScheduler::new(OrderPolicy::GareyGraham, BackfillMode::None);
         let out = jobsched_sim::simulate_with_faults(&w, &mut s, &plan);
@@ -866,11 +932,7 @@ mod tests {
         );
         let plan = jobsched_sim::FaultPlan {
             cancels: vec![],
-            drains: vec![jobsched_sim::DrainFault {
-                at: 5,
-                nodes: 10,
-                until: 80,
-            }],
+            drains: vec![jobsched_sim::DrainFault::new(5, 10, 80)],
         };
         for mode in [
             BackfillMode::None,
@@ -905,6 +967,7 @@ mod tests {
             id: JobId(3),
             submit: 0,
             nodes: 1,
+            class: ClassId(0),
             requested_time: 10,
             user: 0,
         };
@@ -923,6 +986,7 @@ mod tests {
             id: JobId(3),
             submit: 0,
             nodes: 1,
+            class: ClassId(0),
             requested_time: 10,
             user: 0,
         };

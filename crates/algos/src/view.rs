@@ -86,6 +86,7 @@ mod tests {
             id: JobId(1),
             submit: 0,
             nodes,
+            class: jobsched_workload::ClassId(0),
             requested_time: requested,
             user: 0,
         }

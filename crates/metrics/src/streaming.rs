@@ -597,6 +597,7 @@ mod tests {
             id: JobId(0),
             submit: 0,
             nodes: 5,
+            class: jobsched_workload::ClassId(0),
             requested_time: 100,
             user: 0,
         }));

@@ -13,7 +13,7 @@ use crate::scenario::{CancelSpec, DrainSpec, Scenario, ScenarioJob};
 use jobsched_algos::scheduler::ProfileMode;
 use jobsched_algos::spec::{AlgorithmSpec, PolicyKind};
 use jobsched_workload::rng::{derive_seed, Rng, SmallRng};
-use jobsched_workload::Time;
+use jobsched_workload::{ClassId, MachineLayout, NodeClassSpec, NodeType, Time};
 
 /// Seed-stream tag for scenario generation (arbitrary constant, fixed
 /// forever so corpus regeneration stays possible).
@@ -61,7 +61,73 @@ pub fn random_scenario(base_seed: u64, index: u64) -> Scenario {
         let at = rng.random_range(0u64..horizon);
         let nodes = rng.random_range(1u32..=machine_nodes.div_ceil(2));
         let until = at + rng.random_range(1u64..15_000);
-        drains.push(DrainSpec { at, nodes, until });
+        drains.push(DrainSpec {
+            at,
+            nodes,
+            until,
+            class: 0,
+        });
+    }
+
+    // Heterogeneous variant (1 in 4): partition the machine into a thin
+    // majority and a scarce wide pool, retype the jobs, and aim faults at
+    // the scarce class — the adversarial shapes §6.1 heterogeneity adds
+    // (draining the whole wide pool under backlog, cancelling the job a
+    // scarce pool was reserved for). Drawn after every homogeneous field
+    // so the legacy part of the stream stays bit-identical per seed.
+    let mut classes = Vec::new();
+    if rng.random_range(0u32..4) == 0 {
+        let wide = (machine_nodes / 8).max(1);
+        let thin = machine_nodes - wide;
+        classes = vec![
+            NodeClassSpec {
+                node_type: NodeType::Thin,
+                memory_mb: 512,
+                count: thin,
+            },
+            NodeClassSpec {
+                node_type: NodeType::Wide,
+                memory_mb: 2048,
+                count: wide,
+            },
+        ];
+        let layout = MachineLayout::new(classes.clone());
+        for j in &mut jobs {
+            match rng.random_range(0u32..8) {
+                0 => {
+                    j.node_type = NodeType::Wide;
+                    j.memory_mb = 2048;
+                }
+                1 => j.memory_mb = 2048, // thin job escalating into the wide pool
+                _ => j.memory_mb = 256,
+            }
+            let cap = layout
+                .max_width_for(j.node_type, j.memory_mb)
+                .expect("both pools host generated types");
+            j.nodes = j.nodes.min(cap).max(1);
+        }
+        for d in &mut drains {
+            if rng.random_range(0u32..2) == 0 {
+                // Drain the scarce pool — often all of it.
+                d.class = 1;
+                d.nodes = d.nodes.min(wide);
+            } else {
+                d.nodes = d.nodes.min(thin);
+            }
+        }
+        let scarce: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| layout.resolve(j.node_type, j.memory_mb, j.nodes) == Some(ClassId(1)))
+            .map(|(i, _)| i)
+            .collect();
+        if !scarce.is_empty() {
+            for c in &mut cancels {
+                if rng.random_range(0u32..2) == 0 {
+                    c.job = scarce[rng.random_range(0usize..scarce.len())];
+                }
+            }
+        }
     }
 
     Scenario {
@@ -71,6 +137,7 @@ pub fn random_scenario(base_seed: u64, index: u64) -> Scenario {
         profile_mode,
         caching,
         mutation: None,
+        classes,
         jobs,
         cancels,
         drains,
@@ -132,6 +199,8 @@ fn job_stream(rng: &mut SmallRng, n: usize, machine_nodes: u32) -> Vec<ScenarioJ
             nodes,
             requested,
             runtime,
+            node_type: NodeType::Thin,
+            memory_mb: 0,
         });
     }
     jobs.sort_by_key(|j| j.submit);
@@ -172,6 +241,20 @@ mod tests {
             .any(|s| s.profile_mode == ProfileMode::Incremental));
         assert!(scenarios.iter().any(|s| s.caching));
         assert!(scenarios.iter().any(|s| !s.caching));
+        assert!(
+            scenarios.iter().any(|s| !s.classes.is_empty()),
+            "heterogeneous scenarios drawn"
+        );
+        assert!(
+            scenarios.iter().any(|s| s.classes.is_empty()),
+            "homogeneous scenarios drawn"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.drains.iter().any(|d| d.class != 0)),
+            "some drain targets the scarce pool"
+        );
     }
 
     #[test]

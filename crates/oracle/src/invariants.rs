@@ -42,7 +42,7 @@ use jobsched_sim::{
     simulate_batch_with_faults, simulate_with_faults, CancelPhase, FaultOutcome, JobRequest,
     Machine, Profile, Scheduler, SimOutcome,
 };
-use jobsched_workload::{JobId, Time, Workload};
+use jobsched_workload::{ClassId, JobId, MachineLayout, Time, Workload};
 
 /// Which exact pick-equality differential applies to a configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +75,8 @@ impl ExactCheck {
 struct OracleScheduler<'a> {
     inner: Box<dyn Scheduler>,
     scenario: &'a Scenario,
+    /// Typed scenarios carry their layout for per-class accounting.
+    layout: Option<MachineLayout>,
     exact: ExactCheck,
     /// Whether first-sight conservative reservations are binding: exact
     /// estimates throughout and a fault-free plan.
@@ -97,7 +99,15 @@ impl<'a> OracleScheduler<'a> {
         OracleScheduler {
             inner: scenario.scheduler(),
             scenario,
-            exact: ExactCheck::for_config(scenario.policy, scenario.backfill),
+            layout: scenario.layout(),
+            // The naive re-implementations reason over the whole machine;
+            // a typed scenario partitions it, so those differentials do
+            // not apply — the generic and per-class invariants still do.
+            exact: if scenario.classes.is_empty() {
+                ExactCheck::for_config(scenario.policy, scenario.backfill)
+            } else {
+                ExactCheck::None
+            },
             promises_bind: scenario.cancels.is_empty()
                 && scenario.drains.is_empty()
                 && scenario.jobs.iter().all(|j| j.runtime >= j.requested),
@@ -280,6 +290,12 @@ impl Scheduler for OracleScheduler<'_> {
         let picks = self.inner.select_starts(now, machine);
 
         let mut free = machine.free_nodes();
+        // Typed machines additionally demand per-pool feasibility: a pick
+        // must fit the free nodes of the one class its hardware request
+        // resolves to, not just the machine-wide total.
+        let mut free_by_class: Vec<u32> = (0..machine.class_count())
+            .map(|c| machine.free_in(ClassId(c as u8)))
+            .collect();
         for &id in &picks {
             let i = id.index();
             let job = self.scenario.jobs[i];
@@ -305,6 +321,21 @@ impl Scheduler for OracleScheduler<'_> {
                 ));
             } else {
                 free -= job.nodes;
+            }
+            if let Some(layout) = &self.layout {
+                let class = layout
+                    .resolve(job.node_type, job.memory_mb, job.nodes)
+                    .expect("validated scenario jobs resolve");
+                let pool = &mut free_by_class[class.index()];
+                if job.nodes > *pool {
+                    self.violate(format!(
+                        "t={now}: job {id} needs {} class-{class} nodes but only \
+                         {pool} remain free in that pool",
+                        job.nodes
+                    ));
+                } else {
+                    *pool -= job.nodes;
+                }
             }
             if let Some(promise) = self.guarantees[i] {
                 if now > promise {
@@ -511,6 +542,51 @@ pub fn check_outcome(
         }
     }
 
+    // Per-class capacity sweep (typed scenarios): each pool must hold its
+    // own placements and drain grants — a machine-wide sweep cannot see a
+    // wide-pool overcommit hidden by free thin nodes.
+    if let Some(layout) = scenario.layout() {
+        for (ci, spec) in layout.classes().iter().enumerate() {
+            let class = ClassId(ci as u8);
+            let mut events: Vec<(Time, i64)> = Vec::new();
+            for (i, job) in scenario.jobs.iter().enumerate() {
+                if layout.resolve(job.node_type, job.memory_mb, job.nodes) != Some(class) {
+                    continue;
+                }
+                if let Some(p) = schedule.placement(JobId(i as u32)) {
+                    events.push((p.start, job.nodes as i64));
+                    events.push((p.completion, -(job.nodes as i64)));
+                }
+            }
+            for f in &outcome.faults {
+                if let FaultOutcome::Drained {
+                    at,
+                    class: c,
+                    granted,
+                    until,
+                    ..
+                } = f
+                {
+                    if *c == class && *granted > 0 {
+                        events.push((*at, *granted as i64));
+                        events.push((*until, -(*granted as i64)));
+                    }
+                }
+            }
+            events.sort_by_key(|&(t, delta)| (t, delta));
+            let mut committed: i64 = 0;
+            for (t, delta) in events {
+                committed += delta;
+                if committed > spec.count as i64 {
+                    violations.push(format!(
+                        "t={t}: {committed} nodes committed in class {class} of {} nodes",
+                        spec.count
+                    ));
+                }
+            }
+        }
+    }
+
     // Per-job lifecycle consistency.
     for (i, job) in scenario.jobs.iter().enumerate() {
         let id = JobId(i as u32);
@@ -558,20 +634,30 @@ pub fn check_outcome(
 
     // FCFS start monotonicity: with head-blocking selection, placed jobs
     // start in submission order (cancelled jobs drop out of the prefix).
+    // On a partitioned machine each class queue advances independently, so
+    // the order is only promised among jobs resolving to the same class.
     if scenario.policy == PolicyKind::Fcfs && scenario.backfill == BackfillMode::None {
-        let mut last: Option<(JobId, Time)> = None;
-        for i in 0..scenario.jobs.len() {
+        let layout = scenario.layout();
+        let class_of = |j: &crate::scenario::ScenarioJob| match &layout {
+            Some(l) => l
+                .resolve(j.node_type, j.memory_mb, j.nodes)
+                .expect("validated scenario jobs resolve"),
+            None => ClassId(0),
+        };
+        let mut last: Vec<Option<(JobId, Time)>> = vec![None; scenario.classes.len().max(1)];
+        for (i, j) in scenario.jobs.iter().enumerate() {
             let id = JobId(i as u32);
             if let Some(p) = schedule.placement(id) {
-                if let Some((prev_id, prev_start)) = last {
+                let c = class_of(j).index();
+                if let Some((prev_id, prev_start)) = last[c] {
                     if p.start < prev_start {
                         violations.push(format!(
-                            "FCFS monotonicity: {id} starts at {} before {prev_id} at {prev_start}",
+                            "FCFS monotonicity: {id} starts at {} before {prev_id} at {prev_start} (class {c})",
                             p.start
                         ));
                     }
                 }
-                last = Some((id, p.start));
+                last[c] = Some((id, p.start));
             }
         }
     }
@@ -625,6 +711,17 @@ mod tests {
     use crate::scenario::{CancelSpec, DrainSpec, Mutation, ScenarioJob};
     use jobsched_algos::scheduler::ProfileMode;
 
+    fn job(submit: Time, nodes: u32, requested: Time, runtime: Time) -> ScenarioJob {
+        ScenarioJob {
+            submit,
+            nodes,
+            requested,
+            runtime,
+            node_type: jobsched_workload::NodeType::Thin,
+            memory_mb: 0,
+        }
+    }
+
     fn base_scenario(policy: PolicyKind, backfill: BackfillMode) -> Scenario {
         Scenario {
             machine_nodes: 10,
@@ -633,29 +730,54 @@ mod tests {
             profile_mode: ProfileMode::Incremental,
             caching: true,
             mutation: None,
-            jobs: vec![
-                ScenarioJob {
-                    submit: 0,
-                    nodes: 6,
-                    requested: 100,
-                    runtime: 100,
-                },
-                ScenarioJob {
-                    submit: 1,
-                    nodes: 8,
-                    requested: 100,
-                    runtime: 100,
-                },
-                ScenarioJob {
-                    submit: 2,
-                    nodes: 4,
-                    requested: 40,
-                    runtime: 40,
-                },
-            ],
+            classes: Vec::new(),
+            jobs: vec![job(0, 6, 100, 100), job(1, 8, 100, 100), job(2, 4, 40, 40)],
             cancels: Vec::new(),
             drains: Vec::new(),
         }
+    }
+
+    /// A 12-thin + 4-wide machine with jobs in both pools: the wide head
+    /// is narrower than the machine but wider than its pool, so any
+    /// scheduler reasoning machine-wide would overcommit the wide pool.
+    fn hetero_scenario(policy: PolicyKind, backfill: BackfillMode) -> Scenario {
+        use jobsched_workload::{NodeClassSpec, NodeType};
+        let mut s = base_scenario(policy, backfill);
+        s.machine_nodes = 16;
+        s.classes = vec![
+            NodeClassSpec {
+                node_type: NodeType::Thin,
+                memory_mb: 512,
+                count: 12,
+            },
+            NodeClassSpec {
+                node_type: NodeType::Wide,
+                memory_mb: 2048,
+                count: 4,
+            },
+        ];
+        s.jobs = vec![
+            job(0, 8, 100, 100),
+            {
+                let mut j = job(0, 3, 200, 150);
+                j.node_type = NodeType::Wide;
+                j.memory_mb = 1024;
+                j
+            },
+            {
+                let mut j = job(1, 2, 50, 50);
+                j.node_type = NodeType::Wide;
+                j
+            },
+            {
+                // Thin request escalating into the wide pool on memory.
+                let mut j = job(2, 2, 80, 60);
+                j.memory_mb = 2048;
+                j
+            },
+            job(3, 6, 40, 40),
+        ];
+        s
     }
 
     #[test]
@@ -680,7 +802,39 @@ mod tests {
             at: 10,
             nodes: 2,
             until: 60,
+            class: 0,
         });
+        assert_eq!(check_scenario(&s), Vec::<String>::new());
+    }
+
+    #[test]
+    fn hetero_configurations_produce_no_violations() {
+        for backfill in [
+            BackfillMode::None,
+            BackfillMode::Conservative,
+            BackfillMode::Easy,
+        ] {
+            let s = hetero_scenario(PolicyKind::Fcfs, backfill);
+            assert_eq!(check_scenario(&s), Vec::<String>::new(), "{backfill:?}");
+        }
+        let s = hetero_scenario(PolicyKind::GareyGraham, BackfillMode::None);
+        assert_eq!(check_scenario(&s), Vec::<String>::new());
+        let s = hetero_scenario(PolicyKind::SmartFfia, BackfillMode::Easy);
+        assert_eq!(check_scenario(&s), Vec::<String>::new());
+    }
+
+    #[test]
+    fn hetero_per_class_faults_do_not_trip_the_oracle() {
+        let mut s = hetero_scenario(PolicyKind::Fcfs, BackfillMode::Easy);
+        // Drain the whole wide pool and cancel the scarce-class job it
+        // would have hosted.
+        s.drains.push(DrainSpec {
+            at: 120,
+            nodes: 4,
+            until: 400,
+            class: 1,
+        });
+        s.cancels.push(CancelSpec { at: 150, job: 1 });
         assert_eq!(check_scenario(&s), Vec::<String>::new());
     }
 
@@ -725,6 +879,7 @@ mod tests {
                 at: 10,
                 nodes: 2,
                 until: 60,
+                class: 0,
             });
             assert_eq!(
                 stream_differential(&s),

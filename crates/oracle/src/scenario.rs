@@ -12,7 +12,9 @@ use jobsched_algos::scheduler::ProfileMode;
 use jobsched_algos::spec::PolicyKind;
 use jobsched_algos::{BackfillMode, ListScheduler};
 use jobsched_sim::{CancelFault, DrainFault, FaultPlan, JobRequest, Machine, Scheduler};
-use jobsched_workload::{JobBuilder, JobId, Time, Workload};
+use jobsched_workload::{
+    ClassId, JobBuilder, JobId, MachineLayout, NodeClassSpec, NodeType, Time, Workload,
+};
 
 /// One job of the scenario's stream. The index into [`Scenario::jobs`]
 /// *is* the job's [`JobId`]: jobs are kept sorted by submission time so
@@ -27,6 +29,11 @@ pub struct ScenarioJob {
     pub requested: Time,
     /// Actual runtime (may exceed `requested`; execution truncates).
     pub runtime: Time,
+    /// Requested node hardware type (only meaningful on typed scenarios;
+    /// [`NodeType::Thin`] otherwise).
+    pub node_type: NodeType,
+    /// Requested per-node memory in MB (0 = no constraint).
+    pub memory_mb: u32,
 }
 
 /// A user retracting a job (queued, running, or already done — the
@@ -48,6 +55,11 @@ pub struct DrainSpec {
     pub nodes: u32,
     /// Return-to-service instant (must be `> at`).
     pub until: Time,
+    /// Node class drained (index into [`Scenario::classes`]; 0 on
+    /// homogeneous scenarios). Draining a scarce pool — e.g. taking the
+    /// whole wide pool offline — is exactly the per-class fault the
+    /// heterogeneous invariants exist to audit.
+    pub class: u8,
 }
 
 /// A deliberate, test-only scheduler defect. A scenario carrying a
@@ -77,6 +89,11 @@ pub struct Scenario {
     pub caching: bool,
     /// Deliberate defect (None for real-scheduler runs).
     pub mutation: Option<Mutation>,
+    /// Node-class pools partitioning the machine. Empty = homogeneous
+    /// machine of `machine_nodes` (the paper's configuration); non-empty
+    /// pools must sum to `machine_nodes` and every job must resolve to
+    /// one of them.
+    pub classes: Vec<NodeClassSpec>,
     /// Job stream, sorted by `submit` (index == [`JobId`]).
     pub jobs: Vec<ScenarioJob>,
     /// Cancellation faults.
@@ -97,12 +114,33 @@ impl Scenario {
         if self.jobs.is_empty() {
             return Err("scenario has no jobs".into());
         }
+        if !self.classes.is_empty() {
+            if self.classes.len() > 256 {
+                return Err("at most 256 node classes".into());
+            }
+            if self.classes.iter().any(|c| c.count == 0) {
+                return Err("every node class needs at least one node".into());
+            }
+            let total: u32 = self.classes.iter().map(|c| c.count).sum();
+            if total != self.machine_nodes {
+                return Err(format!(
+                    "class pools sum to {total}, machine has {}",
+                    self.machine_nodes
+                ));
+            }
+        }
+        let layout = self.layout();
         for (i, j) in self.jobs.iter().enumerate() {
             if j.nodes == 0 || j.nodes > self.machine_nodes {
                 return Err(format!("job {i}: nodes {} out of range", j.nodes));
             }
             if j.requested == 0 || j.runtime == 0 {
                 return Err(format!("job {i}: times must be positive"));
+            }
+            if let Some(layout) = &layout {
+                if layout.resolve(j.node_type, j.memory_mb, j.nodes).is_none() {
+                    return Err(format!("job {i}: no eligible node class"));
+                }
             }
         }
         if self.jobs.windows(2).any(|w| w[0].submit > w[1].submit) {
@@ -123,11 +161,19 @@ impl Scenario {
             if d.until <= d.at {
                 return Err(format!("drain {i}: until must exceed at"));
             }
+            if d.class as usize >= self.classes.len().max(1) {
+                return Err(format!("drain {i}: class {} out of range", d.class));
+            }
         }
         if self.policy == PolicyKind::GareyGraham && self.backfill != BackfillMode::None {
             return Err("Garey&Graham only supports the list column".into());
         }
         Ok(())
+    }
+
+    /// The machine layout of a typed scenario, `None` when homogeneous.
+    pub fn layout(&self) -> Option<MachineLayout> {
+        (!self.classes.is_empty()).then(|| MachineLayout::new(self.classes.clone()))
     }
 
     /// Materialise the workload. Because jobs are submit-sorted,
@@ -145,10 +191,16 @@ impl Scenario {
                     .nodes(j.nodes)
                     .requested(j.requested)
                     .runtime(j.runtime)
+                    .node_type(j.node_type)
+                    .memory_mb(j.memory_mb)
                     .build()
             })
             .collect();
-        Workload::new("oracle", self.machine_nodes, jobs)
+        let w = Workload::new("oracle", self.machine_nodes, jobs);
+        match self.layout() {
+            Some(layout) => w.with_layout(layout),
+            None => w,
+        }
     }
 
     /// The fault plan for [`jobsched_sim::simulate_with_faults`].
@@ -168,6 +220,7 @@ impl Scenario {
                 .map(|d| DrainFault {
                     at: d.at,
                     nodes: d.nodes,
+                    class: ClassId(d.class),
                     until: d.until,
                 })
                 .collect(),
@@ -214,17 +267,46 @@ impl Scenario {
         if let Some(Mutation::Lifo) = self.mutation {
             out.push_str("mutate lifo\n");
         }
-        for j in &self.jobs {
+        for c in &self.classes {
             out.push_str(&format!(
-                "job {} {} {} {}\n",
-                j.submit, j.nodes, j.requested, j.runtime
+                "class {} {} {}\n",
+                node_type_token(c.node_type),
+                c.memory_mb,
+                c.count
             ));
+        }
+        for j in &self.jobs {
+            // Hardware attributes are appended only when set, so legacy
+            // (homogeneous) corpus files round-trip byte for byte.
+            if j.node_type != NodeType::Thin || j.memory_mb != 0 {
+                out.push_str(&format!(
+                    "job {} {} {} {} {} {}\n",
+                    j.submit,
+                    j.nodes,
+                    j.requested,
+                    j.runtime,
+                    node_type_token(j.node_type),
+                    j.memory_mb
+                ));
+            } else {
+                out.push_str(&format!(
+                    "job {} {} {} {}\n",
+                    j.submit, j.nodes, j.requested, j.runtime
+                ));
+            }
         }
         for c in &self.cancels {
             out.push_str(&format!("cancel {} {}\n", c.at, c.job));
         }
         for d in &self.drains {
-            out.push_str(&format!("drain {} {} {}\n", d.at, d.nodes, d.until));
+            if d.class != 0 {
+                out.push_str(&format!(
+                    "drain {} {} {} {}\n",
+                    d.at, d.nodes, d.until, d.class
+                ));
+            } else {
+                out.push_str(&format!("drain {} {} {}\n", d.at, d.nodes, d.until));
+            }
         }
         out
     }
@@ -239,6 +321,7 @@ impl Scenario {
             profile_mode: ProfileMode::default(),
             caching: true,
             mutation: None,
+            classes: Vec::new(),
             jobs: Vec::new(),
             cancels: Vec::new(),
             drains: Vec::new(),
@@ -294,12 +377,38 @@ impl Scenario {
                         other => return Err(ctx(&format!("unknown mutation {other:?}"))),
                     };
                 }
+                "class" => {
+                    let ty = args
+                        .first()
+                        .copied()
+                        .and_then(parse_node_type)
+                        .ok_or_else(|| ctx("unknown node type"))?;
+                    s.classes.push(NodeClassSpec {
+                        node_type: ty,
+                        memory_mb: parse_num(&args, 1, &ctx)?,
+                        count: parse_num(&args, 2, &ctx)?,
+                    });
+                }
                 "job" => {
+                    // Fields 4 (type) and 5 (memory) are optional: legacy
+                    // homogeneous corpus files carry only the first four.
+                    let node_type = match args.get(4).copied() {
+                        None => NodeType::Thin,
+                        Some(tok) => {
+                            parse_node_type(tok).ok_or_else(|| ctx("unknown node type"))?
+                        }
+                    };
                     s.jobs.push(ScenarioJob {
                         submit: parse_num(&args, 0, &ctx)?,
                         nodes: parse_num(&args, 1, &ctx)?,
                         requested: parse_num(&args, 2, &ctx)?,
                         runtime: parse_num(&args, 3, &ctx)?,
+                        node_type,
+                        memory_mb: if args.len() > 5 {
+                            parse_num(&args, 5, &ctx)?
+                        } else {
+                            0
+                        },
                     });
                 }
                 "cancel" => {
@@ -309,10 +418,16 @@ impl Scenario {
                     });
                 }
                 "drain" => {
+                    // Field 3 (class) is optional for legacy files.
                     s.drains.push(DrainSpec {
                         at: parse_num(&args, 0, &ctx)?,
                         nodes: parse_num(&args, 1, &ctx)?,
                         until: parse_num(&args, 2, &ctx)?,
+                        class: if args.len() > 3 {
+                            parse_num(&args, 3, &ctx)?
+                        } else {
+                            0
+                        },
                     });
                 }
                 other => return Err(ctx(&format!("unknown directive {other:?}"))),
@@ -320,6 +435,23 @@ impl Scenario {
         }
         s.validate()?;
         Ok(s)
+    }
+}
+
+fn node_type_token(t: NodeType) -> &'static str {
+    match t {
+        NodeType::Thin => "thin",
+        NodeType::Wide => "wide",
+        NodeType::Storage => "storage",
+    }
+}
+
+fn parse_node_type(tok: &str) -> Option<NodeType> {
+    match tok {
+        "thin" => Some(NodeType::Thin),
+        "wide" => Some(NodeType::Wide),
+        "storage" => Some(NodeType::Storage),
+        _ => None,
     }
 }
 
@@ -398,18 +530,23 @@ mod tests {
             profile_mode: ProfileMode::Rebuild,
             caching: false,
             mutation: None,
+            classes: Vec::new(),
             jobs: vec![
                 ScenarioJob {
                     submit: 0,
                     nodes: 16,
                     requested: 100,
                     runtime: 80,
+                    node_type: NodeType::Thin,
+                    memory_mb: 0,
                 },
                 ScenarioJob {
                     submit: 5,
                     nodes: 200,
                     requested: 50,
                     runtime: 70,
+                    node_type: NodeType::Thin,
+                    memory_mb: 0,
                 },
             ],
             cancels: vec![CancelSpec { at: 40, job: 0 }],
@@ -417,8 +554,51 @@ mod tests {
                 at: 10,
                 nodes: 32,
                 until: 60,
+                class: 0,
             }],
         }
+    }
+
+    fn typed_sample() -> Scenario {
+        let mut s = sample();
+        s.machine_nodes = 64;
+        s.classes = vec![
+            NodeClassSpec {
+                node_type: NodeType::Thin,
+                memory_mb: 512,
+                count: 48,
+            },
+            NodeClassSpec {
+                node_type: NodeType::Wide,
+                memory_mb: 2048,
+                count: 16,
+            },
+        ];
+        s.jobs = vec![
+            ScenarioJob {
+                submit: 0,
+                nodes: 16,
+                requested: 100,
+                runtime: 80,
+                node_type: NodeType::Thin,
+                memory_mb: 256,
+            },
+            ScenarioJob {
+                submit: 5,
+                nodes: 8,
+                requested: 50,
+                runtime: 70,
+                node_type: NodeType::Wide,
+                memory_mb: 1024,
+            },
+        ];
+        s.drains = vec![DrainSpec {
+            at: 10,
+            nodes: 16,
+            until: 60,
+            class: 1,
+        }];
+        s
     }
 
     #[test]
@@ -439,6 +619,47 @@ mod tests {
     fn comments_and_blank_lines_are_ignored() {
         let text = format!("# reproducer\n\n{}\n# trailing\n", sample().to_text());
         assert_eq!(Scenario::from_text(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn typed_round_trip_is_identity() {
+        let s = typed_sample();
+        s.validate().unwrap();
+        let text = s.to_text();
+        assert!(text.contains("class thin 512 48"));
+        assert!(text.contains("job 5 8 50 70 wide 1024"));
+        assert!(text.contains("drain 10 16 60 1"));
+        assert_eq!(Scenario::from_text(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn typed_workload_carries_the_layout() {
+        let s = typed_sample();
+        let w = s.workload();
+        let layout = w.layout().expect("typed scenario has a layout");
+        assert_eq!(layout.total_nodes(), 64);
+        assert_eq!(w.jobs()[1].node_type, NodeType::Wide);
+        let plan = s.fault_plan();
+        assert_eq!(plan.drains[0].class, ClassId(1));
+    }
+
+    #[test]
+    fn typed_validation_rejects_class_defects() {
+        // Pools must sum to the machine.
+        let mut s = typed_sample();
+        s.machine_nodes = 65;
+        assert!(s.validate().unwrap_err().contains("sum"));
+        // Every job must resolve to a class.
+        let mut s = typed_sample();
+        s.jobs[0].memory_mb = 4096;
+        assert!(s.validate().unwrap_err().contains("no eligible"));
+        // Drain class indices must exist.
+        let mut s = typed_sample();
+        s.drains[0].class = 2;
+        assert!(s.validate().unwrap_err().contains("out of range"));
+        let mut s = sample();
+        s.drains[0].class = 1; // homogeneous scenarios only have class 0
+        assert!(s.validate().is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::event::{Event, EventQueue};
 use crate::machine::Machine;
 use crate::schedule::ScheduleRecord;
-use jobsched_workload::{Job, JobId, Time, Workload};
+use jobsched_workload::{ClassId, Job, JobId, Time, Workload};
 use std::time::{Duration, Instant};
 
 /// The submission data an online scheduler is allowed to see (§2: user
@@ -31,6 +31,9 @@ pub struct JobRequest {
     pub submit: Time,
     /// Rigid node requirement.
     pub nodes: u32,
+    /// Node class the machine resolved the job's hardware request to.
+    /// Always `ClassId(0)` on a homogeneous machine.
+    pub class: ClassId,
     /// User-provided upper limit for the execution time.
     pub requested_time: Time,
     /// Submitting user.
@@ -43,6 +46,7 @@ impl From<&Job> for JobRequest {
             id: j.id,
             submit: j.submit,
             nodes: j.nodes,
+            class: ClassId(0),
             requested_time: j.requested_time,
             user: j.user,
         }
@@ -133,8 +137,24 @@ pub struct DrainFault {
     pub at: Time,
     /// Nodes requested to leave service.
     pub nodes: u32,
+    /// Node class the outage hits. `ClassId(0)` on a homogeneous
+    /// machine; on a typed machine a drain can target e.g. only the
+    /// wide pool.
+    pub class: ClassId,
     /// When the nodes return (exclusive; must exceed `at` to take effect).
     pub until: Time,
+}
+
+impl DrainFault {
+    /// A class-0 drain — the homogeneous-machine shape.
+    pub fn new(at: Time, nodes: u32, until: Time) -> Self {
+        DrainFault {
+            at,
+            nodes,
+            class: ClassId(0),
+            until,
+        }
+    }
 }
 
 /// The adversarial events injected into one simulation run.
@@ -183,9 +203,12 @@ pub enum FaultOutcome {
     Drained {
         /// When the drain was processed.
         at: Time,
+        /// Node class the drain targeted.
+        class: ClassId,
         /// Nodes the plan asked for.
         requested: u32,
-        /// Nodes actually taken out of service (`min(requested, free)`).
+        /// Nodes actually taken out of service (`min(requested, free)`,
+        /// free counted in the targeted class pool).
         granted: u32,
         /// When the granted nodes return to service.
         until: Time,
@@ -250,7 +273,10 @@ pub fn simulate_batch_with_faults(
     scheduler: &mut dyn Scheduler,
     faults: &FaultPlan,
 ) -> SimOutcome {
-    let mut machine = Machine::new(workload.machine_nodes());
+    let mut machine = match workload.layout() {
+        Some(layout) => Machine::with_layout(layout.clone()),
+        None => Machine::new(workload.machine_nodes()),
+    };
     let mut events = EventQueue::new();
     let mut record = ScheduleRecord::new(workload.machine_nodes(), workload.len());
     for job in workload.jobs() {
@@ -263,6 +289,11 @@ pub fn simulate_batch_with_faults(
     let mut drain_tokens: Vec<Option<crate::machine::DrainToken>> = Vec::new();
     for (i, d) in faults.drains.iter().enumerate() {
         drain_tokens.push(None);
+        assert!(
+            d.class.index() < machine.class_count(),
+            "drain targets unknown node class {}",
+            d.class
+        );
         if d.until > d.at {
             events.push(d.at, Event::Drain(i as u32));
             events.push(d.until, Event::Undrain(i as u32));
@@ -289,8 +320,14 @@ pub fn simulate_batch_with_faults(
                     }
                     submitted[id.index()] = true;
                     let job = workload.job(id);
+                    let mut req = JobRequest::from(job);
+                    req.class = machine
+                        .resolve_class(job.node_type, job.memory_mb, job.nodes)
+                        .unwrap_or_else(|| {
+                            panic!("job {id} has no eligible node class on this machine")
+                        });
                     let t0 = Instant::now();
-                    scheduler.submit(JobRequest::from(job), now);
+                    scheduler.submit(req, now);
                     scheduler_cpu += t0.elapsed();
                 }
                 Event::Finish(id) => {
@@ -330,9 +367,11 @@ pub fn simulate_batch_with_faults(
                 }
                 Event::Drain(idx) => {
                     let d = faults.drains[idx as usize];
-                    let granted = d.nodes.min(machine.free_nodes());
+                    let granted = d.nodes.min(machine.free_in(d.class));
                     if granted > 0 {
-                        let token = machine.drain(granted, d.until).expect("granted <= free");
+                        let token = machine
+                            .drain_in(d.class, granted, d.until)
+                            .expect("granted <= free");
                         drain_tokens[idx as usize] = Some(token);
                         let t0 = Instant::now();
                         scheduler.capacity_changed(now);
@@ -340,6 +379,7 @@ pub fn simulate_batch_with_faults(
                     }
                     fault_log.push(FaultOutcome::Drained {
                         at: now,
+                        class: d.class,
                         requested: d.nodes,
                         granted,
                         until: d.until,
@@ -374,8 +414,11 @@ pub fn simulate_batch_with_faults(
                     scheduler.name()
                 );
                 let job = workload.job(id);
+                let class = machine
+                    .resolve_class(job.node_type, job.memory_mb, job.nodes)
+                    .expect("resolved at submit");
                 machine
-                    .start(id, job.nodes, now, now + job.requested_time)
+                    .start_in(class, id, job.nodes, now, now + job.requested_time)
                     .unwrap_or_else(|e| {
                         panic!("scheduler {} broke validity: {e}", scheduler.name())
                     });
@@ -722,11 +765,7 @@ mod tests {
         );
         let plan = FaultPlan {
             cancels: vec![],
-            drains: vec![DrainFault {
-                at: 10,
-                nodes: 8,
-                until: 200,
-            }],
+            drains: vec![DrainFault::new(10, 8, 200)],
         };
         let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
         assert_eq!(out.schedule.placement(JobId(0)).unwrap().start, 200);
@@ -734,6 +773,7 @@ mod tests {
             out.faults,
             vec![FaultOutcome::Drained {
                 at: 10,
+                class: ClassId(0),
                 requested: 8,
                 granted: 8,
                 until: 200,
@@ -756,17 +796,14 @@ mod tests {
         );
         let plan = FaultPlan {
             cancels: vec![],
-            drains: vec![DrainFault {
-                at: 10,
-                nodes: 9,
-                until: 60,
-            }],
+            drains: vec![DrainFault::new(10, 9, 60)],
         };
         let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
         assert_eq!(
             out.faults,
             vec![FaultOutcome::Drained {
                 at: 10,
+                class: ClassId(0),
                 requested: 9,
                 granted: 3,
                 until: 60,

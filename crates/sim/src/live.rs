@@ -22,7 +22,7 @@ use crate::engine::{CancelPhase, DrainFault, FaultOutcome, JobRequest, Scheduler
 use crate::event::{Event, EventQueue};
 use crate::machine::{DrainToken, Machine};
 use crate::pipeline::{JobEvent, JobOutcome, PipelineOutcome, SimObserver};
-use jobsched_workload::{Job, JobId, Time};
+use jobsched_workload::{Job, JobId, MachineLayout, Time};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
@@ -62,10 +62,16 @@ pub struct LiveSim {
 }
 
 impl LiveSim {
-    /// An idle engine over a machine of `nodes`.
+    /// An idle engine over a homogeneous machine of `nodes`.
     pub fn new(nodes: u32) -> Self {
+        LiveSim::with_layout(MachineLayout::single(nodes))
+    }
+
+    /// An idle engine over a machine partitioned into `layout`'s node
+    /// classes. [`MachineLayout::single`] reproduces [`LiveSim::new`].
+    pub fn with_layout(layout: MachineLayout) -> Self {
         LiveSim {
-            machine: Machine::new(nodes),
+            machine: Machine::with_layout(layout),
             events: EventQueue::new(),
             staged: BTreeMap::new(),
             alive: BTreeMap::new(),
@@ -102,6 +108,11 @@ impl LiveSim {
     /// at `d.until`. Degenerate windows (`until <= at`) are recorded but
     /// never fire, matching the batch engine.
     pub fn plan_drain(&mut self, d: DrainFault) {
+        assert!(
+            d.class.index() < self.machine.class_count(),
+            "drain targets unknown node class {}",
+            d.class
+        );
         let idx = self.drains.len() as u32;
         self.drains.push(d);
         self.drain_tokens.push(None);
@@ -179,7 +190,13 @@ impl LiveSim {
                         continue; // cancelled before submission: never enters
                     }
                     self.jobs_submitted += 1;
-                    let req = JobRequest::from(&job);
+                    let mut req = JobRequest::from(&job);
+                    req.class = self
+                        .machine
+                        .resolve_class(job.node_type, job.memory_mb, job.nodes)
+                        .unwrap_or_else(|| {
+                            panic!("job {id} has no eligible node class on this machine")
+                        });
                     emit(observers, &JobEvent::Submitted(req));
                     self.alive.insert(id, InFlight { job, start: None });
                     let t0 = Instant::now();
@@ -240,11 +257,11 @@ impl LiveSim {
                 }
                 Event::Drain(idx) => {
                     let d = self.drains[idx as usize];
-                    let granted = d.nodes.min(self.machine.free_nodes());
+                    let granted = d.nodes.min(self.machine.free_in(d.class));
                     if granted > 0 {
                         let token = self
                             .machine
-                            .drain(granted, d.until)
+                            .drain_in(d.class, granted, d.until)
                             .expect("granted <= free");
                         self.drain_tokens[idx as usize] = Some(token);
                         let t0 = Instant::now();
@@ -253,6 +270,7 @@ impl LiveSim {
                     }
                     self.fault_log.push(FaultOutcome::Drained {
                         at: now,
+                        class: d.class,
                         requested: d.nodes,
                         granted,
                         until: d.until,
@@ -297,8 +315,12 @@ impl LiveSim {
                     }
                     panic!("scheduler {} started unknown job {id}", scheduler.name());
                 });
+                let class = self
+                    .machine
+                    .resolve_class(inf.job.node_type, inf.job.memory_mb, inf.job.nodes)
+                    .expect("resolved at submit");
                 self.machine
-                    .start(id, inf.job.nodes, now, now + inf.job.requested_time)
+                    .start_in(class, id, inf.job.nodes, now, now + inf.job.requested_time)
                     .unwrap_or_else(|e| {
                         panic!("scheduler {} broke validity: {e}", scheduler.name())
                     });

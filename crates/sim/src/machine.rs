@@ -1,13 +1,22 @@
-//! The machine model of Example 5: a fixed pool of identical nodes with
-//! variable partitioning, exclusive access and no time sharing.
+//! The machine model of Example 5: a fixed pool of nodes with variable
+//! partitioning, exclusive access and no time sharing — generalised to
+//! disjoint node-class pools (§6.1 heterogeneity).
 //!
-//! A running job occupies exactly `nodes` nodes from its start until its
-//! completion. The machine tracks the *projected* end of every running job
-//! (`start + requested_time`) because that is all an online scheduler may
-//! know; actual completions arrive from the engine.
+//! A running job occupies exactly `nodes` nodes *of one class* from its
+//! start until its completion. The machine tracks the *projected* end of
+//! every running job (`start + requested_time`) because that is all an
+//! online scheduler may know; actual completions arrive from the engine.
+//!
+//! The degenerate single-class machine ([`Machine::new`]) behaves — and
+//! places — bit-identically to the historical homogeneous model: it has
+//! exactly one pool, every operation resolves to it, and its
+//! [`LiveProfile`] sees the same operation sequence as before. Typed
+//! machines ([`Machine::with_layout`]) keep one pool and one availability
+//! calendar per class, plus an aggregate calendar for whole-machine
+//! queries.
 
 use crate::profile::LiveProfile;
-use jobsched_workload::{JobId, Time};
+use jobsched_workload::{ClassId, JobId, MachineLayout, NodeType, Time};
 
 /// A job currently holding nodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,6 +25,8 @@ pub struct RunningSlot {
     pub id: JobId,
     /// Nodes held.
     pub nodes: u32,
+    /// Node class the partition was carved from.
+    pub class: ClassId,
     /// When it started.
     pub start: Time,
     /// Upper bound on its end: `start + requested_time`. Execution is
@@ -34,29 +45,32 @@ pub struct DrainToken(usize);
 /// scheduler bugs, so the engine converts them into panics with context.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MachineError {
-    /// Start would exceed free capacity.
+    /// Start would exceed the free capacity of the job's class pool.
     Overcommit {
         /// Job attempting to start.
         id: JobId,
         /// Nodes requested.
         nodes: u32,
-        /// Nodes free.
+        /// Nodes free in the target pool.
         free: u32,
     },
     /// Finish for a job that is not running.
     NotRunning(JobId),
     /// Start for a job that is already running.
     AlreadyRunning(JobId),
-    /// Drain would exceed free capacity (drains never preempt running
-    /// jobs — no time sharing means there is nowhere to put them).
+    /// Drain would exceed the free capacity of its pool (drains never
+    /// preempt running jobs — no time sharing means there is nowhere to
+    /// put them).
     DrainOvercommit {
         /// Nodes requested for the drain.
         nodes: u32,
-        /// Nodes free.
+        /// Nodes free in the target pool.
         free: u32,
     },
     /// Undrain for a token that was already released.
     DrainNotActive,
+    /// Operation targeting a class the layout does not have.
+    NoSuchClass(ClassId),
 }
 
 impl std::fmt::Display for MachineError {
@@ -71,42 +85,89 @@ impl std::fmt::Display for MachineError {
                 write!(f, "drain of {nodes} nodes exceeds the {free} free")
             }
             MachineError::DrainNotActive => write!(f, "drain token already released"),
+            MachineError::NoSuchClass(c) => write!(f, "machine has no node class {c}"),
         }
     }
 }
 
 impl std::error::Error for MachineError {}
 
-/// Space-shared machine state.
-///
-/// Alongside the running set the machine maintains a [`LiveProfile`]: the
-/// future-availability calendar kept incrementally in sync by
-/// [`Machine::start`] / [`Machine::finish`] (O(log R) each, including
-/// early completions). Schedulers read it through [`Machine::profile`]
-/// instead of rebuilding the step function per decision.
+/// One node-class pool: its size, its free count and its own
+/// future-availability calendar.
 #[derive(Clone, Debug)]
-pub struct Machine {
+struct Pool {
     total: u32,
     free: u32,
-    running: Vec<RunningSlot>,
-    /// Active node drains: `(nodes, expected return time)`. Slab-indexed
-    /// by [`DrainToken`]; released entries stay as `None` so tokens never
-    /// alias.
-    drains: Vec<Option<(u32, Time)>>,
     profile: LiveProfile,
 }
 
+/// Space-shared machine state, one pool per node class.
+///
+/// Alongside the running set the machine maintains a [`LiveProfile`] per
+/// pool: the future-availability calendar kept incrementally in sync by
+/// [`Machine::start_in`] / [`Machine::finish`] (O(log R) each, including
+/// early completions). Schedulers read a pool's calendar through
+/// [`Machine::class_profile`] and the whole-machine aggregate through
+/// [`Machine::profile`] instead of rebuilding step functions per
+/// decision.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    layout: MachineLayout,
+    pools: Vec<Pool>,
+    total: u32,
+    free: u32,
+    running: Vec<RunningSlot>,
+    /// Active node drains: `(class, nodes, expected return time)`.
+    /// Slab-indexed by [`DrainToken`]; released entries stay as `None` so
+    /// tokens never alias.
+    drains: Vec<Option<(ClassId, u32, Time)>>,
+    /// Aggregate whole-machine calendar; only maintained when there is
+    /// more than one pool (a single pool's calendar *is* the aggregate).
+    agg: Option<LiveProfile>,
+}
+
 impl Machine {
-    /// New machine with `total` identical nodes, all free.
+    /// New homogeneous machine with `total` identical nodes, all free.
     pub fn new(total: u32) -> Self {
         assert!(total > 0, "machine needs at least one node");
+        Machine::with_layout(MachineLayout::single(total))
+    }
+
+    /// New machine partitioned into the node-class pools of `layout`.
+    pub fn with_layout(layout: MachineLayout) -> Self {
+        let pools: Vec<Pool> = layout
+            .classes()
+            .iter()
+            .map(|c| Pool {
+                total: c.count,
+                free: c.count,
+                profile: LiveProfile::new(c.count),
+            })
+            .collect();
+        let total = layout.total_nodes();
+        assert!(total > 0, "machine needs at least one node");
+        let agg = (pools.len() > 1).then(|| LiveProfile::new(total));
         Machine {
+            layout,
+            pools,
             total,
             free: total,
             running: Vec::new(),
             drains: Vec::new(),
-            profile: LiveProfile::new(total),
+            agg,
         }
+    }
+
+    /// The node-class layout this machine was built from.
+    #[inline]
+    pub fn layout(&self) -> &MachineLayout {
+        &self.layout
+    }
+
+    /// Number of node-class pools.
+    #[inline]
+    pub fn class_count(&self) -> usize {
+        self.pools.len()
     }
 
     /// Total node count.
@@ -115,7 +176,7 @@ impl Machine {
         self.total
     }
 
-    /// Currently free node count.
+    /// Currently free node count, summed over all pools.
     #[inline]
     pub fn free_nodes(&self) -> u32 {
         self.free
@@ -127,50 +188,122 @@ impl Machine {
         self.total - self.free
     }
 
+    /// Size of one class pool.
+    #[inline]
+    pub fn total_in(&self, class: ClassId) -> u32 {
+        self.pools[class.index()].total
+    }
+
+    /// Free nodes in one class pool.
+    #[inline]
+    pub fn free_in(&self, class: ClassId) -> u32 {
+        self.pools[class.index()].free
+    }
+
     /// Jobs currently running (arbitrary order).
     #[inline]
     pub fn running(&self) -> &[RunningSlot] {
         &self.running
     }
 
-    /// Whether a partition of `nodes` nodes is available right now.
+    /// Whether a partition of `nodes` nodes is available right now,
+    /// anywhere on the machine.
     #[inline]
     pub fn fits(&self, nodes: u32) -> bool {
         nodes <= self.free
     }
 
+    /// Whether `nodes` nodes of `class` are available right now.
+    #[inline]
+    pub fn fits_in(&self, class: ClassId, nodes: u32) -> bool {
+        nodes <= self.pools[class.index()].free
+    }
+
+    /// Resolve a request's hardware attributes to the one class pool that
+    /// will host it, or `None` when no pool ever can.
+    #[inline]
+    pub fn resolve_class(
+        &self,
+        node_type: NodeType,
+        memory_mb: u32,
+        nodes: u32,
+    ) -> Option<ClassId> {
+        self.layout.resolve(node_type, memory_mb, nodes)
+    }
+
     /// Nodes currently held out of service by active drains.
     pub fn drained_nodes(&self) -> u32 {
-        self.drains.iter().flatten().map(|&(n, _)| n).sum()
+        self.drains.iter().flatten().map(|&(_, n, _)| n).sum()
     }
 
     /// Active drains as `(nodes, expected return time)`.
     pub fn drains(&self) -> impl Iterator<Item = (u32, Time)> + '_ {
+        self.drains.iter().flatten().map(|&(_, n, t)| (n, t))
+    }
+
+    /// Active drains with their class: `(class, nodes, expected return)`.
+    pub fn class_drains(&self) -> impl Iterator<Item = (ClassId, u32, Time)> + '_ {
         self.drains.iter().flatten().copied()
     }
 
-    /// The incrementally-maintained future-availability calendar.
+    /// The whole-machine future-availability calendar: the single pool's
+    /// calendar on a homogeneous machine, the maintained aggregate on a
+    /// typed one.
     #[inline]
     pub fn profile(&self) -> &LiveProfile {
-        &self.profile
+        match &self.agg {
+            Some(agg) => agg,
+            None => &self.pools[0].profile,
+        }
     }
 
-    /// Take `nodes` free nodes out of service until (projectedly) `until`.
-    /// Drains never preempt running jobs, so they are bounded by the free
-    /// count. The availability calendar books the outage like a running
-    /// job — backfilling schedulers plan around it automatically.
+    /// The future-availability calendar of one class pool.
+    #[inline]
+    pub fn class_profile(&self, class: ClassId) -> &LiveProfile {
+        &self.pools[class.index()].profile
+    }
+
+    fn check_class(&self, class: ClassId) -> Result<(), MachineError> {
+        if class.index() >= self.pools.len() {
+            return Err(MachineError::NoSuchClass(class));
+        }
+        Ok(())
+    }
+
+    /// Take `nodes` free nodes of class 0 out of service until
+    /// (projectedly) `until` — the homogeneous-machine entry point.
     pub fn drain(&mut self, nodes: u32, until: Time) -> Result<DrainToken, MachineError> {
+        self.drain_in(ClassId(0), nodes, until)
+    }
+
+    /// Take `nodes` free nodes of one class out of service until
+    /// (projectedly) `until`. Drains never preempt running jobs, so they
+    /// are bounded by the pool's free count. The availability calendars
+    /// book the outage like a running job — backfilling schedulers plan
+    /// around it automatically.
+    pub fn drain_in(
+        &mut self,
+        class: ClassId,
+        nodes: u32,
+        until: Time,
+    ) -> Result<DrainToken, MachineError> {
         assert!(nodes > 0, "zero-node drain is meaningless");
-        if nodes > self.free {
+        self.check_class(class)?;
+        let pool = &mut self.pools[class.index()];
+        if nodes > pool.free {
             return Err(MachineError::DrainOvercommit {
                 nodes,
-                free: self.free,
+                free: pool.free,
             });
         }
+        pool.free -= nodes;
+        pool.profile.on_start(nodes, until);
         self.free -= nodes;
-        self.profile.on_start(nodes, until);
-        self.drains.push(Some((nodes, until)));
-        debug_assert_eq!(self.profile.free_nodes(), self.free);
+        if let Some(agg) = &mut self.agg {
+            agg.on_start(nodes, until);
+        }
+        self.drains.push(Some((class, nodes, until)));
+        self.debug_check();
         Ok(DrainToken(self.drains.len() - 1))
     }
 
@@ -183,17 +316,35 @@ impl Machine {
             .get_mut(token.0)
             .and_then(Option::take)
             .ok_or(MachineError::DrainNotActive)?;
-        let (nodes, until) = slot;
+        let (class, nodes, until) = slot;
+        let pool = &mut self.pools[class.index()];
+        pool.free += nodes;
+        pool.profile.on_finish(nodes, until);
         self.free += nodes;
-        self.profile.on_finish(nodes, until);
-        debug_assert_eq!(self.profile.free_nodes(), self.free);
+        if let Some(agg) = &mut self.agg {
+            agg.on_finish(nodes, until);
+        }
+        self.debug_check();
         Ok(nodes)
     }
 
-    /// Allocate a partition for a job. `projected_end` must be
-    /// `now + requested_time` (the engine checks nothing further).
+    /// Allocate a class-0 partition for a job — the homogeneous-machine
+    /// entry point. `projected_end` must be `now + requested_time` (the
+    /// engine checks nothing further).
     pub fn start(
         &mut self,
+        id: JobId,
+        nodes: u32,
+        now: Time,
+        projected_end: Time,
+    ) -> Result<(), MachineError> {
+        self.start_in(ClassId(0), id, nodes, now, projected_end)
+    }
+
+    /// Allocate a partition of one class pool for a job.
+    pub fn start_in(
+        &mut self,
+        class: ClassId,
         id: JobId,
         nodes: u32,
         now: Time,
@@ -202,27 +353,34 @@ impl Machine {
         if self.running.iter().any(|s| s.id == id) {
             return Err(MachineError::AlreadyRunning(id));
         }
-        if nodes > self.free {
+        self.check_class(class)?;
+        let pool = &mut self.pools[class.index()];
+        if nodes > pool.free {
             return Err(MachineError::Overcommit {
                 id,
                 nodes,
-                free: self.free,
+                free: pool.free,
             });
         }
+        pool.free -= nodes;
+        pool.profile.on_start(nodes, projected_end);
         self.free -= nodes;
-        self.profile.on_start(nodes, projected_end);
+        if let Some(agg) = &mut self.agg {
+            agg.on_start(nodes, projected_end);
+        }
         self.running.push(RunningSlot {
             id,
             nodes,
+            class,
             start: now,
             projected_end,
         });
-        debug_assert_eq!(self.profile.free_nodes(), self.free);
+        self.debug_check();
         Ok(())
     }
 
     /// Release the partition of a finishing job, returning its slot. The
-    /// profile's booking at the job's *projected* end is cancelled even
+    /// calendar booking at the job's *projected* end is cancelled even
     /// when the actual completion comes earlier (Rule 2 truncation means
     /// it never comes later).
     pub fn finish(&mut self, id: JobId) -> Result<RunningSlot, MachineError> {
@@ -232,16 +390,33 @@ impl Machine {
             .position(|s| s.id == id)
             .ok_or(MachineError::NotRunning(id))?;
         let slot = self.running.swap_remove(idx);
+        let pool = &mut self.pools[slot.class.index()];
+        pool.free += slot.nodes;
+        pool.profile.on_finish(slot.nodes, slot.projected_end);
         self.free += slot.nodes;
-        self.profile.on_finish(slot.nodes, slot.projected_end);
-        debug_assert_eq!(self.profile.free_nodes(), self.free);
+        if let Some(agg) = &mut self.agg {
+            agg.on_finish(slot.nodes, slot.projected_end);
+        }
+        self.debug_check();
         Ok(slot)
+    }
+
+    #[inline]
+    fn debug_check(&self) {
+        debug_assert_eq!(self.pools.iter().map(|p| p.free).sum::<u32>(), self.free);
+        for p in &self.pools {
+            debug_assert_eq!(p.profile.free_nodes(), p.free);
+        }
+        if let Some(agg) = &self.agg {
+            debug_assert_eq!(agg.free_nodes(), self.free);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jobsched_workload::NodeClassSpec;
 
     #[test]
     fn start_and_finish_track_capacity() {
@@ -253,6 +428,7 @@ mod tests {
         assert!(!m.fits(1));
         let slot = m.finish(JobId(0)).unwrap();
         assert_eq!(slot.nodes, 100);
+        assert_eq!(slot.class, ClassId(0));
         assert_eq!(m.free_nodes(), 100);
         assert!(m.fits(100));
         assert!(!m.fits(101));
@@ -345,11 +521,125 @@ mod tests {
         assert!(MachineError::NotRunning(JobId(1))
             .to_string()
             .contains("not running"));
+        assert!(MachineError::NoSuchClass(ClassId(3))
+            .to_string()
+            .contains("class 3"));
     }
 
     #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_node_machine_rejected() {
         let _ = Machine::new(0);
+    }
+
+    fn typed() -> Machine {
+        // 20 thin/512 + 8 wide/2048 + 4 storage/2048 = 32 nodes.
+        Machine::with_layout(MachineLayout::new(vec![
+            NodeClassSpec {
+                node_type: NodeType::Thin,
+                memory_mb: 512,
+                count: 20,
+            },
+            NodeClassSpec {
+                node_type: NodeType::Wide,
+                memory_mb: 2048,
+                count: 8,
+            },
+            NodeClassSpec {
+                node_type: NodeType::Storage,
+                memory_mb: 2048,
+                count: 4,
+            },
+        ]))
+    }
+
+    #[test]
+    fn typed_machine_tracks_per_class_capacity() {
+        let mut m = typed();
+        assert_eq!(m.class_count(), 3);
+        assert_eq!(m.total_nodes(), 32);
+        assert_eq!(m.total_in(ClassId(1)), 8);
+        m.start_in(ClassId(1), JobId(0), 6, 0, 100).unwrap();
+        assert_eq!(m.free_in(ClassId(1)), 2);
+        assert_eq!(m.free_in(ClassId(0)), 20);
+        assert_eq!(m.free_nodes(), 26);
+        assert!(m.fits_in(ClassId(1), 2));
+        assert!(!m.fits_in(ClassId(1), 3));
+        // The whole machine still "fits" 20, but the wide pool is the
+        // binding constraint for wide jobs.
+        assert!(m.fits(20));
+        let slot = m.finish(JobId(0)).unwrap();
+        assert_eq!(slot.class, ClassId(1));
+        assert_eq!(m.free_nodes(), 32);
+    }
+
+    #[test]
+    fn per_class_overcommit_even_with_machine_capacity_free() {
+        let mut m = typed();
+        let err = m.start_in(ClassId(2), JobId(0), 5, 0, 10).unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::Overcommit {
+                id: JobId(0),
+                nodes: 5,
+                free: 4
+            }
+        );
+        assert_eq!(m.free_nodes(), 32);
+    }
+
+    #[test]
+    fn per_class_profiles_and_aggregate_stay_consistent() {
+        let mut m = typed();
+        m.start_in(ClassId(0), JobId(0), 10, 0, 50).unwrap();
+        m.start_in(ClassId(1), JobId(1), 8, 0, 200).unwrap();
+        assert_eq!(m.class_profile(ClassId(0)).free_at(0, 0), 10);
+        assert_eq!(m.class_profile(ClassId(0)).free_at(0, 50), 20);
+        assert_eq!(m.class_profile(ClassId(1)).free_at(0, 100), 0);
+        assert_eq!(m.class_profile(ClassId(1)).free_at(0, 200), 8);
+        // Aggregate sees both bookings.
+        assert_eq!(m.profile().free_at(0, 0), 14);
+        assert_eq!(m.profile().free_at(0, 50), 24);
+        assert_eq!(m.profile().free_at(0, 200), 32);
+    }
+
+    #[test]
+    fn class_scoped_drain_exhausts_one_pool_only() {
+        let mut m = typed();
+        let t = m.drain_in(ClassId(1), 8, 500).unwrap();
+        assert_eq!(m.free_in(ClassId(1)), 0);
+        assert_eq!(m.free_in(ClassId(0)), 20);
+        assert_eq!(m.drained_nodes(), 8);
+        assert_eq!(
+            m.class_drains().collect::<Vec<_>>(),
+            vec![(ClassId(1), 8, 500)]
+        );
+        assert_eq!(m.drains().collect::<Vec<_>>(), vec![(8, 500)]);
+        let err = m.drain_in(ClassId(1), 1, 600).unwrap_err();
+        assert_eq!(err, MachineError::DrainOvercommit { nodes: 1, free: 0 });
+        assert_eq!(m.undrain(t).unwrap(), 8);
+        assert_eq!(m.free_in(ClassId(1)), 8);
+    }
+
+    #[test]
+    fn resolve_class_follows_layout() {
+        let m = typed();
+        assert_eq!(m.resolve_class(NodeType::Thin, 128, 4), Some(ClassId(0)));
+        assert_eq!(m.resolve_class(NodeType::Thin, 1024, 4), Some(ClassId(1)));
+        assert_eq!(m.resolve_class(NodeType::Storage, 0, 2), Some(ClassId(2)));
+        assert_eq!(m.resolve_class(NodeType::Wide, 0, 9), None);
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let mut m = Machine::new(10);
+        assert_eq!(
+            m.start_in(ClassId(1), JobId(0), 1, 0, 5),
+            Err(MachineError::NoSuchClass(ClassId(1)))
+        );
+        assert_eq!(
+            m.drain_in(ClassId(2), 1, 5),
+            Err(MachineError::NoSuchClass(ClassId(2)))
+        );
     }
 }

@@ -249,7 +249,10 @@ impl<'a> SimPipeline<'a> {
             mut observers,
         } = self;
 
-        let mut live = LiveSim::new(source.machine_nodes());
+        let mut live = match source.layout() {
+            Some(layout) => LiveSim::with_layout(layout.clone()),
+            None => LiveSim::new(source.machine_nodes()),
+        };
         for c in &faults.cancels {
             live.push_cancel(c.at, c.id);
         }

@@ -12,7 +12,7 @@
 //! later, so a feasible reservation stays feasible.
 
 use crate::machine::Machine;
-use jobsched_workload::Time;
+use jobsched_workload::{ClassId, Time};
 use std::collections::BTreeMap;
 
 /// Sentinel for "never" / unbounded horizon.
@@ -105,6 +105,40 @@ impl Profile {
         Profile {
             steps,
             total: machine.total_nodes(),
+        }
+    }
+
+    /// [`Profile::from_machine`] restricted to one node-class pool: only
+    /// running jobs and drains of `class` contribute, and the capacity is
+    /// the pool's size. On a single-class machine this is identical to
+    /// `from_machine`.
+    pub fn from_machine_class(machine: &Machine, class: ClassId, now: Time) -> Self {
+        let mut ends: Vec<(Time, u32)> = machine
+            .running()
+            .iter()
+            .filter(|s| s.class == class)
+            .map(|s| (s.projected_end.max(now + 1), s.nodes))
+            .chain(
+                machine
+                    .class_drains()
+                    .filter(|&(c, _, _)| c == class)
+                    .map(|(_, nodes, until)| (until.max(now + 1), nodes)),
+            )
+            .collect();
+        ends.sort_unstable();
+        let mut steps = Vec::with_capacity(ends.len() + 1);
+        let mut free = machine.free_in(class);
+        steps.push((now, free));
+        for (t, nodes) in ends {
+            free += nodes;
+            match steps.last_mut() {
+                Some((lt, lf)) if *lt == t => *lf = free,
+                _ => steps.push((t, free)),
+            }
+        }
+        Profile {
+            steps,
+            total: machine.total_in(class),
         }
     }
 

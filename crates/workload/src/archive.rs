@@ -90,6 +90,20 @@ pub enum Anomaly {
         /// Offending nodes request.
         nodes: u32,
     },
+    /// A job requested more nodes than its eligible node class holds —
+    /// anomalous even when narrower than the whole machine, because a
+    /// partitioned machine can never co-schedule it; dropped. Only
+    /// raised for workloads carrying a typed layout.
+    WiderThanClass {
+        /// Offending nodes request.
+        nodes: u32,
+        /// Size of the widest class pool compatible with the job's
+        /// type and memory request.
+        class_nodes: u32,
+    },
+    /// No node class is compatible with the job's type/memory request at
+    /// any width; dropped. Only raised for typed layouts.
+    NoEligibleClass,
     /// Zero-node request; dropped.
     ZeroNodes,
     /// Zero or negative runtime; dropped.
@@ -116,9 +130,17 @@ pub struct CleanReport {
 /// Apply the archive's standard cleaning rules. `estimate_cap` bounds
 /// user estimates (the CTC queue limit is 18 h; traces contain a few
 /// nonsense values far above any queue limit).
+///
+/// Partition-aware: when the workload carries a typed
+/// [`MachineLayout`](crate::layout::MachineLayout), the width check runs
+/// against the job's eligible node class, not the whole machine — a job
+/// wider than every pool its hardware request fits is anomalous even
+/// when narrower than the machine total. The layout is preserved on the
+/// cleaned workload.
 pub fn clean(workload: &Workload, estimate_cap: Time) -> CleanReport {
     assert!(estimate_cap > 0, "estimate cap must be positive");
     let machine = workload.machine_nodes();
+    let layout = workload.layout();
     let mut anomalies = Vec::new();
     let mut jobs = Vec::with_capacity(workload.len());
     for job in workload.jobs() {
@@ -129,6 +151,18 @@ pub fn clean(workload: &Workload, estimate_cap: Time) -> CleanReport {
         if job.nodes > machine {
             anomalies.push(Anomaly::WiderThanMachine { nodes: job.nodes });
             continue;
+        }
+        if let Some(layout) = layout {
+            if layout.class_for_job(job).is_none() {
+                anomalies.push(match layout.max_width_for(job.node_type, job.memory_mb) {
+                    Some(class_nodes) => Anomaly::WiderThanClass {
+                        nodes: job.nodes,
+                        class_nodes,
+                    },
+                    None => Anomaly::NoEligibleClass,
+                });
+                continue;
+            }
         }
         if job.runtime == 0 {
             anomalies.push(Anomaly::ZeroRuntime);
@@ -147,8 +181,12 @@ pub fn clean(workload: &Workload, estimate_cap: Time) -> CleanReport {
         }
         jobs.push(j);
     }
+    let mut cleaned = Workload::new(format!("{}-clean", workload.name()), machine, jobs);
+    if let Some(layout) = layout {
+        cleaned = cleaned.with_layout(layout.clone());
+    }
     CleanReport {
-        workload: Workload::new(format!("{}-clean", workload.name()), machine, jobs),
+        workload: cleaned,
         anomalies,
     }
 }
@@ -252,5 +290,69 @@ mod tests {
     fn zero_cap_rejected() {
         let w = Workload::new("x", 64, vec![]);
         let _ = clean(&w, 0);
+    }
+
+    #[test]
+    fn clean_is_partition_aware_for_typed_layouts() {
+        use crate::job::NodeType;
+        use crate::layout::{MachineLayout, NodeClassSpec};
+        // 48 thin + 16 wide = 64 nodes.
+        let layout = MachineLayout::new(vec![
+            NodeClassSpec {
+                node_type: NodeType::Thin,
+                memory_mb: 512,
+                count: 48,
+            },
+            NodeClassSpec {
+                node_type: NodeType::Wide,
+                memory_mb: 2048,
+                count: 16,
+            },
+        ]);
+        let mut wide20 = raw(20, 100, 100);
+        wide20.node_type = NodeType::Wide;
+        wide20.memory_mb = 1024;
+        let mut storage = raw(2, 100, 100);
+        storage.node_type = NodeType::Storage;
+        let mut thin60 = raw(60, 100, 100);
+        thin60.memory_mb = 256;
+        let w = Workload::new(
+            "dirty",
+            64,
+            vec![
+                raw(4, 100, 100), // fine: thin pool
+                wide20,           // 20 wide nodes, pool holds 16: anomalous
+                storage,          // no storage pool at all
+                thin60,           // 60 > thin pool 48, wide pool narrower
+            ],
+        )
+        .with_layout(layout);
+        let r = clean(&w, 86_400);
+        assert_eq!(r.workload.len(), 1);
+        assert_eq!(
+            r.anomalies,
+            vec![
+                Anomaly::WiderThanClass {
+                    nodes: 20,
+                    class_nodes: 16
+                },
+                Anomaly::NoEligibleClass,
+                Anomaly::WiderThanClass {
+                    nodes: 60,
+                    class_nodes: 48
+                },
+            ]
+        );
+        // The layout survives cleaning.
+        assert!(r.workload.layout().is_some());
+    }
+
+    #[test]
+    fn clean_without_layout_keeps_machine_wide_check_only() {
+        // The same 60-node job is fine on a homogeneous 64-node machine.
+        let w = Workload::new("ok", 64, vec![raw(60, 200, 100)]);
+        let r = clean(&w, 86_400);
+        assert!(r.anomalies.is_empty());
+        assert_eq!(r.workload.len(), 1);
     }
 }

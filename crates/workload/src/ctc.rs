@@ -231,6 +231,17 @@ pub fn diurnal_intensity(t: Time) -> f64 {
     }
 }
 
+/// Draw the hardware attributes (per-node memory request, node type) for
+/// a job of the given width, with the CTC request profile. Draw order —
+/// memory first, then type — matches [`CtcModel::generate`]'s wire
+/// format, so a streaming generator that calls this per job reproduces
+/// the batch trace's attribute distribution exactly.
+pub fn assign_hardware<R: Rng>(nodes: u32, rng: &mut R) -> (u32, NodeType) {
+    let memory = memory_for(nodes, rng);
+    let node_type = node_type_for(nodes, rng);
+    (memory, node_type)
+}
+
 fn memory_for<R: Rng>(nodes: u32, rng: &mut R) -> u32 {
     // Wide multi-node jobs request the commodity memory of the big thin
     // pool; big-memory requests come from narrow jobs that target the
@@ -267,6 +278,21 @@ pub fn prepared_ctc_workload(jobs: usize, seed: u64) -> Workload {
     let mut w = CtcModel::with_jobs(jobs).generate(seed);
     w.retarget(crate::TARGET_NODES);
     w.homogenize();
+    w
+}
+
+/// The heterogeneity-preserving variant of [`prepared_ctc_workload`]: the
+/// same generate-and-retarget pipeline, but instead of discarding the
+/// hardware requests (§6.1 step 2) a proportionally scaled
+/// [`MachineLayout::ctc_sp2`](crate::layout::MachineLayout::ctc_sp2)
+/// layout is attached and jobs no class can host are deleted — the class
+/// analogue of the >256-node deletion of step 1.
+pub fn prepared_ctc_workload_hetero(jobs: usize, seed: u64) -> Workload {
+    let mut w = CtcModel::with_jobs(jobs).generate(seed);
+    w.retarget(crate::TARGET_NODES);
+    w.homogenize_with(true);
+    let mut w = w.with_layout(crate::layout::MachineLayout::ctc_sp2(crate::TARGET_NODES));
+    w.retain_class_feasible();
     w
 }
 
@@ -359,6 +385,36 @@ mod tests {
         assert_eq!(w.machine_nodes(), 256);
         assert!(w.validate().is_ok());
         assert!(w.jobs().iter().all(|j| j.memory_mb == 0));
+    }
+
+    #[test]
+    fn hetero_prepared_workload_is_class_feasible() {
+        let w = prepared_ctc_workload_hetero(2_000, 1);
+        let layout = w.layout().expect("layout attached");
+        assert_eq!(layout.total_nodes(), 256);
+        assert!(layout.typed());
+        for j in w.jobs() {
+            assert!(layout.class_for_job(j).is_some(), "{j:?}");
+        }
+        // The hardware attributes survived preparation.
+        assert!(w.jobs().iter().any(|j| j.memory_mb > 0));
+        assert!(w
+            .jobs()
+            .iter()
+            .any(|j| j.node_type != crate::job::NodeType::Thin));
+    }
+
+    #[test]
+    fn assign_hardware_matches_generate_wire_format() {
+        // Re-drawing with the same RNG state must reproduce the batch
+        // generator's attribute pair for the same width.
+        let mut a = crate::rng::SmallRng::seed_from_u64(99);
+        let mut b = crate::rng::SmallRng::seed_from_u64(99);
+        for nodes in [1u32, 2, 4, 8, 64] {
+            let (mem, ty) = assign_hardware(nodes, &mut a);
+            assert_eq!(mem, memory_for(nodes, &mut b));
+            assert_eq!(ty, node_type_for(nodes, &mut b));
+        }
     }
 
     #[test]

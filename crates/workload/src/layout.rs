@@ -1,0 +1,287 @@
+//! Node-class layouts: the machine-side description of hardware
+//! heterogeneity (§6.1).
+//!
+//! The CTC SP2's batch partition is not uniform: "the nodes of the CTC
+//! computer are not all identical — they differ in type and memory"
+//! (§6.1). 382 of its 430 nodes form an interchangeable thin majority;
+//! the rest are wide (big-memory) and storage-attached specials. The
+//! paper's administrator *discards* the distinction; this module makes
+//! keeping it an explicit, first-class option.
+//!
+//! A [`MachineLayout`] partitions a machine into disjoint
+//! [`NodeClassSpec`] pools. Every job is resolved to **exactly one**
+//! eligible class ([`MachineLayout::resolve`]) — partitioned scheduling,
+//! the discipline real SP2 sites used: a job asking for wide nodes never
+//! spills onto thin ones, and vice versa a thin job only escalates into
+//! the wide pool when its memory request exceeds the thin capacity.
+//!
+//! The degenerate [`MachineLayout::single`] layout is *untyped*: it has
+//! one class and resolves every job to it regardless of the job's
+//! `node_type`/`memory_mb` attributes, reproducing the paper's
+//! homogenized machine bit for bit.
+
+use crate::job::{Job, NodeType};
+
+/// Index of a node class within its [`MachineLayout`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u8);
+
+impl ClassId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One homogeneous pool of nodes within a machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeClassSpec {
+    /// Hardware type of every node in the pool.
+    pub node_type: NodeType,
+    /// Per-node memory capacity in MB. A job is eligible only if its
+    /// `memory_mb` request fits.
+    pub memory_mb: u32,
+    /// Number of nodes in the pool.
+    pub count: u32,
+}
+
+/// A machine described as disjoint node-class pools.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineLayout {
+    classes: Vec<NodeClassSpec>,
+    typed: bool,
+}
+
+/// Can a job requesting `job` type run on a node of type `node`?
+/// Thin jobs may escalate into the wide pool (wide nodes are thin nodes
+/// with more memory); wide and storage requests are strict.
+fn type_compatible(job: NodeType, node: NodeType) -> bool {
+    match job {
+        NodeType::Thin => matches!(node, NodeType::Thin | NodeType::Wide),
+        NodeType::Wide => node == NodeType::Wide,
+        NodeType::Storage => node == NodeType::Storage,
+    }
+}
+
+impl MachineLayout {
+    /// The degenerate homogeneous layout: one untyped class of `total`
+    /// nodes that accepts every job regardless of its hardware
+    /// attributes. This is the paper's §6.1 machine.
+    pub fn single(total: u32) -> Self {
+        assert!(total > 0, "machine needs at least one node");
+        MachineLayout {
+            classes: vec![NodeClassSpec {
+                node_type: NodeType::Thin,
+                memory_mb: u32::MAX,
+                count: total,
+            }],
+            typed: false,
+        }
+    }
+
+    /// A typed layout from explicit class pools. Jobs are matched against
+    /// class attributes; a job with no eligible class cannot run.
+    pub fn new(classes: Vec<NodeClassSpec>) -> Self {
+        assert!(!classes.is_empty(), "layout needs at least one class");
+        assert!(classes.len() <= 256, "at most 256 node classes");
+        assert!(
+            classes.iter().all(|c| c.count > 0),
+            "every class needs at least one node"
+        );
+        MachineLayout {
+            classes,
+            typed: true,
+        }
+    }
+
+    /// The CTC SP2 batch-partition layout (§6.1: 382 of 430 nodes are the
+    /// identical thin majority), scaled proportionally to `total` nodes.
+    /// Memory capacities follow the trace's request profile: thin nodes
+    /// hold the commodity 512 MB, wide and storage nodes 2048 MB.
+    pub fn ctc_sp2(total: u32) -> Self {
+        assert!(total >= 16, "CTC layout needs at least 16 nodes");
+        let scale = |part: u32| ((total as u64 * part as u64 + 215) / 430) as u32;
+        let wide = scale(32).max(1);
+        let storage = scale(16).max(1);
+        let thin = total - wide - storage;
+        MachineLayout::new(vec![
+            NodeClassSpec {
+                node_type: NodeType::Thin,
+                memory_mb: 512,
+                count: thin,
+            },
+            NodeClassSpec {
+                node_type: NodeType::Wide,
+                memory_mb: 2048,
+                count: wide,
+            },
+            NodeClassSpec {
+                node_type: NodeType::Storage,
+                memory_mb: 2048,
+                count: storage,
+            },
+        ])
+    }
+
+    /// The class pools.
+    pub fn classes(&self) -> &[NodeClassSpec] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// A layout always has at least one class.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether job attributes participate in class resolution. Untyped
+    /// layouts ([`MachineLayout::single`]) route everything to class 0.
+    pub fn typed(&self) -> bool {
+        self.typed
+    }
+
+    /// Total machine size (sum of the class pools).
+    pub fn total_nodes(&self) -> u32 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Resolve a request to the one class it will be scheduled in, or
+    /// `None` when no class can ever host it.
+    ///
+    /// Eligibility: compatible node type, sufficient per-node memory, and
+    /// a pool at least `nodes` wide. Among eligible classes the exact
+    /// type match wins, then the smallest sufficient memory (don't burn
+    /// big-memory nodes on small jobs), then the lowest class index.
+    pub fn resolve(&self, node_type: NodeType, memory_mb: u32, nodes: u32) -> Option<ClassId> {
+        if !self.typed {
+            return (nodes <= self.classes[0].count).then_some(ClassId(0));
+        }
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                type_compatible(node_type, c.node_type)
+                    && c.memory_mb >= memory_mb
+                    && c.count >= nodes
+            })
+            .min_by_key(|(i, c)| (c.node_type != node_type, c.memory_mb, *i))
+            .map(|(i, _)| ClassId(i as u8))
+    }
+
+    /// [`resolve`](Self::resolve) for a job record.
+    pub fn class_for_job(&self, job: &Job) -> Option<ClassId> {
+        self.resolve(job.node_type, job.memory_mb, job.nodes)
+    }
+
+    /// Widest pool a request of this type/memory could ever use, ignoring
+    /// the width itself — `None` when no class is compatible at all.
+    /// Distinguishes "too wide for its class" from "wrong hardware"
+    /// during trace cleaning.
+    pub fn max_width_for(&self, node_type: NodeType, memory_mb: u32) -> Option<u32> {
+        if !self.typed {
+            return Some(self.classes[0].count);
+        }
+        self.classes
+            .iter()
+            .filter(|c| type_compatible(node_type, c.node_type) && c.memory_mb >= memory_mb)
+            .map(|c| c.count)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobBuilder, JobId};
+
+    #[test]
+    fn single_layout_routes_everything_to_class_zero() {
+        let l = MachineLayout::single(256);
+        assert!(!l.typed());
+        assert_eq!(l.total_nodes(), 256);
+        // Attributes are ignored: even a wide 2 GB request lands in the
+        // one homogeneous pool, exactly like the paper's machine.
+        assert_eq!(l.resolve(NodeType::Wide, 2048, 10), Some(ClassId(0)));
+        assert_eq!(l.resolve(NodeType::Thin, 0, 256), Some(ClassId(0)));
+        assert_eq!(l.resolve(NodeType::Thin, 0, 257), None);
+    }
+
+    #[test]
+    fn ctc_layout_partitions_proportionally() {
+        let l = MachineLayout::ctc_sp2(430);
+        let counts: Vec<u32> = l.classes().iter().map(|c| c.count).collect();
+        assert_eq!(counts, vec![382, 32, 16]);
+        assert_eq!(l.total_nodes(), 430);
+        let l = MachineLayout::ctc_sp2(256);
+        assert_eq!(l.total_nodes(), 256);
+        assert!(l.classes()[0].count > 200, "thin majority preserved");
+        assert!(l.classes()[1].count >= 1 && l.classes()[2].count >= 1);
+    }
+
+    #[test]
+    fn resolution_prefers_exact_type_then_smallest_memory() {
+        let l = MachineLayout::ctc_sp2(430);
+        // Commodity thin job: thin pool.
+        assert_eq!(l.resolve(NodeType::Thin, 256, 4), Some(ClassId(0)));
+        // Wide request: wide pool even though thin is type-compatible the
+        // other way around.
+        assert_eq!(l.resolve(NodeType::Wide, 512, 4), Some(ClassId(1)));
+        // Big-memory thin job escalates into the wide pool.
+        assert_eq!(l.resolve(NodeType::Thin, 2048, 1), Some(ClassId(1)));
+        // Storage is strict.
+        assert_eq!(l.resolve(NodeType::Storage, 128, 2), Some(ClassId(2)));
+    }
+
+    #[test]
+    fn resolution_rejects_infeasible_requests() {
+        let l = MachineLayout::ctc_sp2(430);
+        // Wider than the wide pool.
+        assert_eq!(l.resolve(NodeType::Wide, 512, 100), None);
+        // More memory than any compatible node.
+        assert_eq!(l.resolve(NodeType::Thin, 4096, 1), None);
+        // Thin job wider than the thin pool cannot escalate (the wide
+        // pool is narrower still).
+        assert_eq!(l.resolve(NodeType::Thin, 0, 400), None);
+    }
+
+    #[test]
+    fn class_for_job_uses_job_attributes() {
+        let l = MachineLayout::ctc_sp2(430);
+        let j = JobBuilder::new(JobId(0))
+            .nodes(2)
+            .memory_mb(1024)
+            .node_type(NodeType::Thin)
+            .build();
+        assert_eq!(l.class_for_job(&j), Some(ClassId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_layout_rejected() {
+        let _ = MachineLayout::new(vec![]);
+    }
+
+    #[test]
+    fn class_id_formats() {
+        assert_eq!(format!("{:?}", ClassId(3)), "C3");
+        assert_eq!(ClassId(3).to_string(), "3");
+        assert_eq!(ClassId(3).index(), 3);
+    }
+}

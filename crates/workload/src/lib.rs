@@ -29,6 +29,8 @@
 //!   bounded-memory simulation pipeline: in-memory workload adapters, the
 //!   lazy [`swf::SwfStream`] reader, and the unbounded
 //!   [`source::ProbabilisticSource`] generator.
+//! * [`layout`] — node-class machine layouts, so the §6.1 heterogeneity
+//!   the administrator discards can instead be kept and simulated.
 
 pub mod archive;
 pub mod calibrate;
@@ -36,6 +38,7 @@ pub mod ctc;
 pub mod distr;
 pub mod exact;
 pub mod job;
+pub mod layout;
 pub mod probabilistic;
 pub mod randomized;
 pub mod rng;
@@ -45,6 +48,7 @@ pub mod swf;
 pub mod trace;
 
 pub use job::{CompletionStatus, Job, JobBuilder, JobId, NodeType, Time};
+pub use layout::{ClassId, MachineLayout, NodeClassSpec};
 pub use source::{JobSource, ProbabilisticSource, SourceError, WorkloadSource};
 pub use swf::SwfStream;
 pub use trace::Workload;

@@ -18,6 +18,7 @@
 //! after the fact.
 
 use crate::job::{Job, JobId, Time};
+use crate::layout::MachineLayout;
 use crate::probabilistic::BinnedModel;
 use crate::rng::SmallRng;
 use crate::swf::SwfError;
@@ -84,6 +85,13 @@ pub trait JobSource {
     /// Size of the machine this stream targets.
     fn machine_nodes(&self) -> u32;
 
+    /// Node-class layout of the target machine, when the stream carries
+    /// heterogeneity information. `None` (the default) means the
+    /// homogeneous [`machine_nodes`](Self::machine_nodes) pool.
+    fn layout(&self) -> Option<&MachineLayout> {
+        None
+    }
+
     /// Pull the next job, `Ok(None)` when the stream is exhausted.
     fn next_job(&mut self) -> Result<Option<Job>, SourceError>;
 
@@ -120,6 +128,10 @@ impl JobSource for WorkloadSource<'_> {
         self.workload.machine_nodes()
     }
 
+    fn layout(&self) -> Option<&MachineLayout> {
+        self.workload.layout()
+    }
+
     fn next_job(&mut self) -> Result<Option<Job>, SourceError> {
         let job = self.workload.jobs().get(self.next).cloned();
         if job.is_some() {
@@ -149,6 +161,7 @@ pub struct ProbabilisticSource {
     next: u32,
     remaining: Option<usize>,
     arrival_scale: f64,
+    hetero: Option<MachineLayout>,
     name: String,
 }
 
@@ -162,8 +175,25 @@ impl ProbabilisticSource {
             next: 0,
             remaining: None,
             arrival_scale: 1.0,
+            hetero: None,
             name: "probabilistic-stream".into(),
         }
+    }
+
+    /// Emit class-tagged jobs for a heterogeneous `layout`: each drawn
+    /// job additionally samples CTC-profile hardware attributes
+    /// ([`crate::ctc::assign_hardware`]), re-drawing the whole job when
+    /// no class of `layout` can host the result. The extra RNG draws
+    /// mean this mode deliberately gives up the wire-format parity with
+    /// [`BinnedModel::generate`]; with the knob off nothing changes.
+    pub fn with_heterogeneity(mut self, layout: MachineLayout) -> Self {
+        assert_eq!(
+            layout.total_nodes(),
+            self.model.machine_nodes(),
+            "layout size must match the model's machine"
+        );
+        self.hetero = Some(layout);
+        self
     }
 
     /// Cap the stream at `n` jobs.
@@ -200,6 +230,10 @@ impl JobSource for ProbabilisticSource {
         self.model.machine_nodes()
     }
 
+    fn layout(&self) -> Option<&MachineLayout> {
+        self.hetero.as_ref()
+    }
+
     fn next_job(&mut self) -> Result<Option<Job>, SourceError> {
         if let Some(r) = &mut self.remaining {
             if *r == 0 {
@@ -207,12 +241,31 @@ impl JobSource for ProbabilisticSource {
             }
             *r -= 1;
         }
-        let job = self.model.sample_next(
+        let mut job = self.model.sample_next(
             &mut self.rng,
             &mut self.clock,
             self.arrival_scale,
             JobId(self.next),
         );
+        if let Some(layout) = &self.hetero {
+            loop {
+                let (memory_mb, node_type) = crate::ctc::assign_hardware(job.nodes, &mut self.rng);
+                job.memory_mb = memory_mb;
+                job.node_type = node_type;
+                if layout.class_for_job(&job).is_some() {
+                    break;
+                }
+                // No class can host this (width, memory, type) triple:
+                // re-draw the job shape, keeping the arrival instant so
+                // the submission process is untouched.
+                let submit = job.submit;
+                let mut clock = submit as f64;
+                job = self
+                    .model
+                    .sample_next(&mut self.rng, &mut clock, 0.0, JobId(self.next));
+                job.submit = submit;
+            }
+        }
         self.next += 1;
         Ok(Some(job))
     }
@@ -299,6 +352,38 @@ mod tests {
             assert!(j.submit >= last, "submission order violated");
             last = j.submit;
         }
+    }
+
+    #[test]
+    fn hetero_source_emits_class_feasible_jobs() {
+        let base = prepared_ctc_workload(1_000, 5);
+        let layout = MachineLayout::ctc_sp2(256);
+        let mut s = ProbabilisticSource::new(BinnedModel::fit(&base), 21)
+            .with_heterogeneity(layout.clone())
+            .with_limit(500);
+        assert_eq!(s.layout(), Some(&layout));
+        let mut last = 0;
+        let mut tagged = 0;
+        while let Some(j) = s.next_job().unwrap() {
+            assert!(j.submit >= last, "submission order violated");
+            last = j.submit;
+            assert!(layout.class_for_job(&j).is_some(), "{j:?}");
+            if j.memory_mb > 0 {
+                tagged += 1;
+            }
+        }
+        assert!(tagged > 400, "hardware attributes assigned ({tagged})");
+    }
+
+    #[test]
+    fn hetero_knob_off_preserves_wire_parity() {
+        let base = prepared_ctc_workload(1_000, 5);
+        let model = BinnedModel::fit(&base);
+        let batch = model.generate(200, 17);
+        let mut stream = ProbabilisticSource::new(model, 17).with_limit(200);
+        assert_eq!(stream.layout(), None);
+        let streamed = collect(&mut stream).unwrap();
+        assert_eq!(streamed.jobs(), batch.jobs());
     }
 
     #[test]

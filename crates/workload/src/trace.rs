@@ -2,6 +2,7 @@
 //! the paper's administrator performs in §6.1.
 
 use crate::job::{Job, JobError, JobId, NodeType, Time};
+use crate::layout::MachineLayout;
 
 /// An ordered collection of jobs plus the machine context it was recorded
 /// (or generated) for.
@@ -14,6 +15,7 @@ pub struct Workload {
     name: String,
     machine_nodes: u32,
     jobs: Vec<Job>,
+    layout: Option<MachineLayout>,
 }
 
 impl Workload {
@@ -26,9 +28,45 @@ impl Workload {
             name: name.into(),
             machine_nodes,
             jobs,
+            layout: None,
         };
         w.renumber();
         w
+    }
+
+    /// Attach a node-class layout describing the target machine's
+    /// heterogeneity. The simulator builds a per-class machine from it;
+    /// without one the machine is the homogeneous `machine_nodes` pool.
+    pub fn with_layout(mut self, layout: MachineLayout) -> Self {
+        assert_eq!(
+            layout.total_nodes(),
+            self.machine_nodes,
+            "layout size must match the workload's machine"
+        );
+        self.layout = Some(layout);
+        self
+    }
+
+    /// The attached node-class layout, if any.
+    pub fn layout(&self) -> Option<&MachineLayout> {
+        self.layout.as_ref()
+    }
+
+    /// Delete every job the attached layout cannot host (no eligible
+    /// class: incompatible type, memory above every compatible node, or
+    /// wider than its class pool). Mirrors [`Workload::retarget`] on the
+    /// class level; returns the number of deleted jobs.
+    ///
+    /// Panics if no layout is attached.
+    pub fn retain_class_feasible(&mut self) -> usize {
+        let layout = self
+            .layout
+            .as_ref()
+            .expect("retain_class_feasible needs a layout");
+        let before = self.jobs.len();
+        self.jobs.retain(|j| layout.class_for_job(j).is_some());
+        self.renumber();
+        before - self.jobs.len()
     }
 
     fn renumber(&mut self) {
@@ -84,6 +122,8 @@ impl Workload {
         let before = self.jobs.len();
         self.jobs.retain(|j| j.nodes <= nodes);
         self.machine_nodes = nodes;
+        // A previously attached layout no longer matches the machine.
+        self.layout = None;
         self.renumber();
         before - self.jobs.len()
     }
@@ -91,11 +131,26 @@ impl Workload {
     /// §6.1 step 2: ignore the additional hardware requests (node type,
     /// memory) because "most nodes of the CTC batch partition are
     /// identical". All jobs are mapped onto the default thin node class.
+    ///
+    /// Equivalent to `homogenize_with(false)` — the paper's behavior.
     pub fn homogenize(&mut self) {
+        self.homogenize_with(false);
+    }
+
+    /// §6.1 step 2 with an escape hatch: when `retain_attributes` is
+    /// `false` (the paper's default) the per-job `node_type`/`memory_mb`
+    /// requests are zeroed and any node-class layout is dropped; when
+    /// `true` the hardware requests survive the preparation step so a
+    /// typed layout can be attached afterwards.
+    pub fn homogenize_with(&mut self, retain_attributes: bool) {
+        if retain_attributes {
+            return;
+        }
         for j in &mut self.jobs {
             j.node_type = NodeType::Thin;
             j.memory_mb = 0;
         }
+        self.layout = None;
     }
 
     /// Shift all submission times so the first job arrives at `origin`.
@@ -224,6 +279,71 @@ mod tests {
             .jobs()
             .iter()
             .all(|j| j.node_type == NodeType::Thin && j.memory_mb == 0));
+    }
+
+    #[test]
+    fn homogenize_retaining_attributes_is_a_noop_on_jobs() {
+        use crate::job::NodeType;
+        let jobs = vec![JobBuilder::new(JobId(0))
+            .nodes(2)
+            .memory_mb(2048)
+            .node_type(NodeType::Wide)
+            .build()];
+        let mut w = Workload::new("t", 430, jobs);
+        w.homogenize_with(true);
+        assert_eq!(w.jobs()[0].node_type, NodeType::Wide);
+        assert_eq!(w.jobs()[0].memory_mb, 2048);
+    }
+
+    #[test]
+    fn layout_attaches_and_survives_homogenize_with_retain() {
+        use crate::layout::MachineLayout;
+        let mut w = wl().with_layout(MachineLayout::ctc_sp2(430));
+        assert!(w.layout().is_some());
+        w.homogenize_with(true);
+        assert!(w.layout().is_some());
+        w.homogenize();
+        assert!(w.layout().is_none());
+    }
+
+    #[test]
+    fn retarget_drops_stale_layout() {
+        use crate::layout::MachineLayout;
+        let mut w = wl().with_layout(MachineLayout::ctc_sp2(430));
+        w.retarget(256);
+        assert!(w.layout().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "layout size must match")]
+    fn mismatched_layout_rejected() {
+        use crate::layout::MachineLayout;
+        let _ = wl().with_layout(MachineLayout::single(100));
+    }
+
+    #[test]
+    fn retain_class_feasible_drops_unhostable_jobs() {
+        use crate::job::NodeType;
+        use crate::layout::MachineLayout;
+        let jobs = vec![
+            // Fits the thin pool.
+            JobBuilder::new(JobId(0)).nodes(4).memory_mb(128).build(),
+            // Wider than the wide pool: infeasible.
+            JobBuilder::new(JobId(0))
+                .nodes(100)
+                .node_type(NodeType::Wide)
+                .memory_mb(512)
+                .build(),
+            // More memory than any node: infeasible.
+            JobBuilder::new(JobId(0)).nodes(1).memory_mb(4096).build(),
+        ];
+        let mut w = Workload::new("t", 430, jobs).with_layout(MachineLayout::ctc_sp2(430));
+        let dropped = w.retain_class_feasible();
+        assert_eq!(dropped, 2);
+        assert_eq!(w.len(), 1);
+        for (i, j) in w.jobs().iter().enumerate() {
+            assert_eq!(j.id.index(), i);
+        }
     }
 
     #[test]
