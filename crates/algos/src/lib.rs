@@ -16,6 +16,12 @@
 //! no benefit to Garey & Graham (§5.3) because it already starts every
 //! fitting job.
 //!
+//! Beyond the paper's rows, [`priority::PriorityScheduler`] generalises
+//! the ordering side into a scoring function over (wait, estimate,
+//! width) — SJF/LJF, smallest/largest-first, WFP, WFP³, UNICEF and
+//! SC'17-style F-combinations ([`priority::ScoreFn`]) — each composing
+//! with the same three selection strategies.
+//!
 //! The offline algorithms are adapted to the online setting exactly as
 //! §5.4/§5.5 describe: they only *order* the wait queue; user estimates
 //! stand in for execution times; the order is recomputed when the
@@ -26,6 +32,7 @@ pub mod backfill;
 pub mod drain;
 pub mod garey_graham;
 pub mod order;
+pub mod priority;
 pub mod psrs;
 pub mod scheduler;
 pub mod smart;
@@ -35,6 +42,7 @@ pub mod view;
 
 pub use backfill::BackfillMode;
 pub use order::OrderPolicy;
+pub use priority::{PriorityScheduler, ScoreFn};
 pub use scheduler::{ListScheduler, ProfileMode};
 pub use smart::SmartVariant;
 pub use spec::AlgorithmSpec;

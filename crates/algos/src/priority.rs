@@ -1,0 +1,482 @@
+//! The priority-policy scheduler family: one composable scheduler
+//! parameterized by a scoring function over (wait, estimate, width).
+//!
+//! This is the family the paper's evaluation (13 combos) leaves out and
+//! the batch-scheduling literature sweeps routinely: SJF/LJF,
+//! smallest/largest-first, the wait-fairness heuristics WFP/WFP³ and
+//! UNICEF, and machine-tuned linear "F" combinations (Carastan-Santos &
+//! de Camargo, SC'17). Each [`ScoreFn`] maps a waiting job to a scalar
+//! score; **smaller score = higher priority**. The scheduler re-ranks
+//! the queue on every decision (wait-dependent scores drift between
+//! events) and feeds the ranked order through exactly the same selection
+//! machinery as [`ListScheduler`](crate::scheduler::ListScheduler):
+//! head-blocking greedy, optionally upgraded with conservative or EASY
+//! backfilling, in both profile modes.
+//!
+//! # Tie-breaking (normative)
+//!
+//! Jobs are ordered by `(score, JobId)` ascending, comparing scores with
+//! [`f64::total_cmp`]. Ties on the score — common for width- or
+//! estimate-keyed functions on bursty queues — always fall back to the
+//! submission order (ids ascend with submit time in every driver in this
+//! repo), so the ranking is a total order that does not depend on queue
+//! iteration order. The oracle's naive re-implementations and the
+//! property tests pin this rule.
+//!
+//! # No blocked-state cache
+//!
+//! `ListScheduler`'s incremental blocked-state cache is sound only
+//! because its order between two queue events is static. Wait-dependent
+//! scores (WFP, UNICEF, …) reorder the queue as time passes with *no*
+//! intervening event, so a cached "nothing can start" conclusion could
+//! hold back a job that meanwhile overtook the blocked head. The
+//! priority family therefore performs a full scan per decision round.
+
+use crate::backfill::BackfillMode;
+use crate::scheduler::{full_scan, ProfileMode, ScanConfig, Waiting};
+use jobsched_sim::{JobRequest, Machine, Profile, Scheduler};
+use jobsched_workload::{ClassId, JobId, Time};
+
+/// A scoring rule over `(wait, runtime estimate, width)`.
+///
+/// Formulas follow the deep-batch-scheduler exemplar (SNIPPETS.md) and
+/// SC'17, adapted to this repo's conventions: the estimate is clamped to
+/// ≥ 1 (mirroring [`crate::view::JobView::of`]), so no rule can divide
+/// by zero, and UNICEF's `log2(width)` becomes `log2(width + 1)` so a
+/// one-node job (log2(1) = 0) cannot blow up the quotient. Every score
+/// is finite for all admissible inputs (wait, estimate ≤ 2⁶³, width ≤
+/// 2³²) — the property tests sweep the extremes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScoreFn {
+    /// First-come-first-serve: score `-wait` (longest-waiting first —
+    /// submission order). Exists to pin the family bit-identical to the
+    /// legacy FCFS `ListScheduler`.
+    Fcfs,
+    /// Shortest job first: score `estimate`.
+    Sjf,
+    /// Longest job first: score `-estimate`.
+    Ljf,
+    /// Narrowest job first: score `width`.
+    SmallestFirst,
+    /// Widest job first: score `-width`.
+    LargestFirst,
+    /// WFP: score `-(wait/estimate) · width` — fairness-weighted wide
+    /// jobs overtake as they wait.
+    Wfp,
+    /// WFP³: score `-(wait/estimate)³ · width` — the cubed variant
+    /// escalates long-waiters much faster.
+    Wfp3,
+    /// UNICEF: score `-wait / (log2(width + 1) · estimate)` — favors
+    /// short narrow jobs, wait-compensated.
+    Unicef,
+    /// SC'17 F1-style linear combination:
+    /// `log10(estimate) · width − 870 · log10(wait + 1)`.
+    F1,
+    /// SC'17 F2-style nonlinear combination:
+    /// `sqrt(estimate) · width − 25600 · log10(wait + 1)`.
+    F2,
+}
+
+impl ScoreFn {
+    /// Every scoring rule, in display order. 9 rules beyond the FCFS
+    /// pin; each composes with all three backfill modes.
+    pub const ALL: [ScoreFn; 10] = [
+        ScoreFn::Fcfs,
+        ScoreFn::Sjf,
+        ScoreFn::Ljf,
+        ScoreFn::SmallestFirst,
+        ScoreFn::LargestFirst,
+        ScoreFn::Wfp,
+        ScoreFn::Wfp3,
+        ScoreFn::Unicef,
+        ScoreFn::F1,
+        ScoreFn::F2,
+    ];
+
+    /// Display label ("P-FCFS" distinguishes the pinned-identical
+    /// priority encoding from the legacy FCFS row).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScoreFn::Fcfs => "P-FCFS",
+            ScoreFn::Sjf => "SJF",
+            ScoreFn::Ljf => "LJF",
+            ScoreFn::SmallestFirst => "Smallest-First",
+            ScoreFn::LargestFirst => "Largest-First",
+            ScoreFn::Wfp => "WFP",
+            ScoreFn::Wfp3 => "WFP3",
+            ScoreFn::Unicef => "UNICEF",
+            ScoreFn::F1 => "F1",
+            ScoreFn::F2 => "F2",
+        }
+    }
+
+    /// Stable machine token used by sweep cache keys, scenario files and
+    /// the serve protocol. Fixed forever once a record/corpus ships.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ScoreFn::Fcfs => "p-fcfs",
+            ScoreFn::Sjf => "sjf",
+            ScoreFn::Ljf => "ljf",
+            ScoreFn::SmallestFirst => "smallest",
+            ScoreFn::LargestFirst => "largest",
+            ScoreFn::Wfp => "wfp",
+            ScoreFn::Wfp3 => "wfp3",
+            ScoreFn::Unicef => "unicef",
+            ScoreFn::F1 => "f1",
+            ScoreFn::F2 => "f2",
+        }
+    }
+
+    /// Inverse of [`ScoreFn::tag`].
+    pub fn from_tag(tag: &str) -> Option<ScoreFn> {
+        ScoreFn::ALL.into_iter().find(|s| s.tag() == tag)
+    }
+
+    /// Score a waiting job at one decision instant. Smaller = starts
+    /// earlier. `estimate` is clamped to ≥ 1 before use.
+    pub fn score(&self, wait: Time, estimate: Time, width: u32) -> f64 {
+        let wait = wait as f64;
+        let est = estimate.max(1) as f64;
+        let width = width as f64;
+        match self {
+            ScoreFn::Fcfs => -wait,
+            ScoreFn::Sjf => est,
+            ScoreFn::Ljf => -est,
+            ScoreFn::SmallestFirst => width,
+            ScoreFn::LargestFirst => -width,
+            ScoreFn::Wfp => -(wait / est) * width,
+            ScoreFn::Wfp3 => {
+                let r = wait / est;
+                -(r * r * r) * width
+            }
+            ScoreFn::Unicef => -wait / ((width + 1.0).log2() * est),
+            ScoreFn::F1 => est.log10() * width - 870.0 * (wait + 1.0).log10(),
+            ScoreFn::F2 => est.sqrt() * width - 25_600.0 * (wait + 1.0).log10(),
+        }
+    }
+}
+
+/// Rank jobs by `(score at now, id)` ascending — the normative ordering
+/// of the priority family, shared by the scheduler, the oracle's naive
+/// differential and the property tests. `inverted` flips the score sign
+/// (oracle impostor polarity only). Wait is `now − submit`, saturating:
+/// a driver may deliver the submission batch at an instant its clock
+/// still reports as the submit time.
+pub fn rank<'a, I>(score: ScoreFn, now: Time, jobs: I, inverted: bool) -> Vec<JobId>
+where
+    I: IntoIterator<Item = &'a JobRequest>,
+{
+    let mut keyed: Vec<(f64, JobId)> = jobs
+        .into_iter()
+        .map(|r| {
+            let wait = now.saturating_sub(r.submit);
+            let s = score.score(wait, r.requested_time, r.nodes);
+            (if inverted { -s } else { s }, r.id)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    keyed.into_iter().map(|(_, id)| id).collect()
+}
+
+/// A complete priority algorithm: scoring function + backfilling mode.
+///
+/// Composes with every [`BackfillMode`] and both [`ProfileMode`]s; on a
+/// multi-class machine the ranked order is partitioned per node-class
+/// pool exactly like `ListScheduler`. `ScoreFn::Fcfs` is pinned
+/// bit-identical to the legacy FCFS `ListScheduler` by
+/// `crates/algos/tests/priority_fcfs_identity.rs`.
+#[derive(Debug)]
+pub struct PriorityScheduler {
+    score: ScoreFn,
+    backfill: BackfillMode,
+    profile_mode: ProfileMode,
+    waiting: Waiting,
+    /// Reusable step-function buffer for [`ProfileMode::Incremental`].
+    scratch: Profile,
+    /// Rank with the score sign flipped — the deliberately broken
+    /// impostor the oracle's dual-polarity corpus must catch. Never set
+    /// outside oracle self-tests.
+    inverted: bool,
+}
+
+impl PriorityScheduler {
+    /// Build a scheduler from scoring function and backfill mode.
+    pub fn new(score: ScoreFn, backfill: BackfillMode) -> Self {
+        PriorityScheduler {
+            score,
+            backfill,
+            profile_mode: ProfileMode::default(),
+            waiting: Waiting::new(),
+            scratch: Profile::empty(1, 0),
+            inverted: false,
+        }
+    }
+
+    /// Choose how the backfilling scans obtain the availability profile
+    /// (decisions are bit-identical across modes; differential tests
+    /// enforce it).
+    pub fn with_profile_mode(mut self, mode: ProfileMode) -> Self {
+        self.profile_mode = mode;
+        self
+    }
+
+    /// Flip the ranking order — the lying scheduler used to prove the
+    /// oracle's differential checks can catch a broken ordering. Not a
+    /// real policy.
+    pub fn with_inverted_order(mut self, inverted: bool) -> Self {
+        self.inverted = inverted;
+        self
+    }
+
+    /// The scoring function.
+    pub fn score_fn(&self) -> ScoreFn {
+        self.score
+    }
+
+    /// The backfilling mode.
+    pub fn backfill(&self) -> BackfillMode {
+        self.backfill
+    }
+
+    /// How the backfilling scans obtain the availability profile.
+    pub fn profile_mode(&self) -> ProfileMode {
+        self.profile_mode
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn name(&self) -> String {
+        format!("{}+{}", self.score.label(), self.backfill.label())
+    }
+
+    fn submit(&mut self, job: JobRequest, _now: Time) {
+        self.waiting.insert(job);
+    }
+
+    fn cancel(&mut self, id: JobId, _now: Time) {
+        if self.waiting.contains(id) {
+            self.waiting.remove(id);
+        }
+    }
+
+    fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
+        if machine.free_nodes() == 0 || self.waiting.is_empty() {
+            return Vec::new();
+        }
+        let config = ScanConfig {
+            greedy_any: false,
+            backfill: self.backfill,
+            profile_mode: self.profile_mode,
+        };
+        let order = rank(self.score, now, self.waiting.requests(), self.inverted);
+        let mut picks = Vec::new();
+        if machine.class_count() > 1 {
+            for c in 0..machine.class_count() {
+                let class = ClassId(c as u8);
+                if machine.free_in(class) == 0 {
+                    continue;
+                }
+                // Classes partition the ranked queue: a job picked for an
+                // earlier pool never appears in a later pool's order.
+                let class_order = order
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.waiting.get(id).class == class);
+                let (p, _) = full_scan(
+                    class,
+                    config,
+                    &mut self.scratch,
+                    class_order,
+                    &self.waiting,
+                    machine,
+                    now,
+                );
+                picks.extend(p);
+            }
+        } else {
+            let (p, _) = full_scan(
+                ClassId(0),
+                config,
+                &mut self.scratch,
+                order,
+                &self.waiting,
+                machine,
+                now,
+            );
+            picks = p;
+        }
+        for &id in &picks {
+            self.waiting.remove(id);
+        }
+        picks
+    }
+
+    fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_sim::simulate;
+    use jobsched_workload::{JobBuilder, Workload};
+
+    fn req(id: u32, submit: Time, nodes: u32, requested: Time) -> JobRequest {
+        JobRequest {
+            id: JobId(id),
+            submit,
+            nodes,
+            class: ClassId(0),
+            requested_time: requested,
+            user: 0,
+        }
+    }
+
+    #[test]
+    fn tags_and_labels_are_unique() {
+        let tags: std::collections::BTreeSet<_> = ScoreFn::ALL.iter().map(|s| s.tag()).collect();
+        assert_eq!(tags.len(), ScoreFn::ALL.len());
+        let labels: std::collections::BTreeSet<_> =
+            ScoreFn::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), ScoreFn::ALL.len());
+        for s in ScoreFn::ALL {
+            assert_eq!(ScoreFn::from_tag(s.tag()), Some(s));
+        }
+    }
+
+    #[test]
+    fn sjf_ranks_short_before_long() {
+        let a = req(0, 0, 4, 1_000);
+        let b = req(1, 0, 4, 10);
+        assert_eq!(
+            rank(ScoreFn::Sjf, 50, [&a, &b], false),
+            vec![JobId(1), JobId(0)]
+        );
+        assert_eq!(
+            rank(ScoreFn::Ljf, 50, [&a, &b], false),
+            vec![JobId(0), JobId(1)]
+        );
+    }
+
+    #[test]
+    fn wfp_promotes_long_waiters() {
+        // Same width/estimate: the older submission has more wait and
+        // must come first; inverting flips it.
+        let a = req(0, 0, 4, 100);
+        let b = req(1, 90, 4, 100);
+        assert_eq!(
+            rank(ScoreFn::Wfp, 100, [&a, &b], false),
+            vec![JobId(0), JobId(1)]
+        );
+        assert_eq!(
+            rank(ScoreFn::Wfp, 100, [&a, &b], true),
+            vec![JobId(1), JobId(0)]
+        );
+    }
+
+    #[test]
+    fn score_ties_break_by_id() {
+        // Identical jobs submitted at the same instant: ascending id.
+        let a = req(7, 5, 4, 100);
+        let b = req(3, 5, 4, 100);
+        assert_eq!(
+            rank(ScoreFn::SmallestFirst, 10, [&a, &b], false),
+            vec![JobId(3), JobId(7)]
+        );
+    }
+
+    #[test]
+    fn every_combo_produces_a_valid_schedule() {
+        let mut jobs = vec![
+            JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(100)
+                .requested(10_000)
+                .runtime(10_000)
+                .build(),
+            JobBuilder::new(JobId(0))
+                .submit(1)
+                .nodes(200)
+                .requested(10_000)
+                .runtime(10_000)
+                .build(),
+        ];
+        for i in 0..20 {
+            jobs.push(
+                JobBuilder::new(JobId(0))
+                    .submit(2 + i)
+                    .nodes(8)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+            );
+        }
+        let w = Workload::new("convoy", 256, jobs);
+        for score in ScoreFn::ALL {
+            for backfill in [
+                BackfillMode::None,
+                BackfillMode::Conservative,
+                BackfillMode::Easy,
+            ] {
+                for mode in [ProfileMode::Rebuild, ProfileMode::Incremental] {
+                    let mut s = PriorityScheduler::new(score, backfill).with_profile_mode(mode);
+                    let out = simulate(&w, &mut s);
+                    assert!(
+                        out.schedule.validate(&w).is_empty(),
+                        "invalid schedule from {}",
+                        PriorityScheduler::new(score, backfill).name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sjf_beats_fcfs_on_convoy_tail() {
+        // One same-instant burst: FCFS (id order) starts the 200-node
+        // long head first and blocks the shorts behind it; SJF reorders
+        // the shorts ahead, so their mean response time drops.
+        let mut jobs = vec![JobBuilder::new(JobId(0))
+            .submit(0)
+            .nodes(200)
+            .requested(10_000)
+            .runtime(10_000)
+            .build()];
+        for _ in 0..20 {
+            jobs.push(
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(100)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+            );
+        }
+        let w = Workload::new("tail", 256, jobs);
+        let art = |s: &jobsched_sim::ScheduleRecord| {
+            w.jobs()
+                .iter()
+                .map(|j| (s.placement(j.id).unwrap().completion - j.submit) as f64)
+                .sum::<f64>()
+                / w.len() as f64
+        };
+        let sjf = simulate(
+            &w,
+            &mut PriorityScheduler::new(ScoreFn::Sjf, BackfillMode::None),
+        );
+        let fcfs = simulate(
+            &w,
+            &mut PriorityScheduler::new(ScoreFn::Fcfs, BackfillMode::None),
+        );
+        assert!(art(&sjf.schedule) < art(&fcfs.schedule));
+    }
+
+    #[test]
+    fn names_compose_score_and_backfill() {
+        let s = PriorityScheduler::new(ScoreFn::Wfp3, BackfillMode::Easy);
+        assert_eq!(s.name(), "WFP3+EASY-Backfilling");
+        let s = PriorityScheduler::new(ScoreFn::Unicef, BackfillMode::Conservative);
+        assert_eq!(s.name(), "UNICEF+Backfilling");
+    }
+}

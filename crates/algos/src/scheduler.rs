@@ -112,7 +112,7 @@ impl Waiting {
 /// later arrival can be judged against the remembered state alone. Any
 /// finish event or priority re-computation invalidates the cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum BlockedCache {
+pub(crate) enum BlockedCache {
     /// Head-blocking list schedule: the head does not fit, so nothing
     /// behind it may start either.
     HeadBlocked,
@@ -434,12 +434,14 @@ impl ListScheduler {
     }
 }
 
-/// Selection-strategy configuration of one full decision scan.
+/// Selection-strategy configuration of one full decision scan. Shared
+/// between [`ListScheduler`] and [`crate::priority::PriorityScheduler`]:
+/// both dispatch an explicit priority order through [`full_scan`].
 #[derive(Clone, Copy)]
-struct ScanConfig {
-    greedy_any: bool,
-    backfill: BackfillMode,
-    profile_mode: ProfileMode,
+pub(crate) struct ScanConfig {
+    pub(crate) greedy_any: bool,
+    pub(crate) backfill: BackfillMode,
+    pub(crate) profile_mode: ProfileMode,
 }
 
 /// One full decision scan over one node-class pool: dispatch the order to
@@ -448,7 +450,7 @@ struct ScanConfig {
 /// [`ProfileMode::Incremental`] scans. On a single-class machine
 /// `ClassId(0)` is the whole machine; the blocked state is only cached
 /// then (a multi-class machine would need one cache per pool).
-fn full_scan<I: IntoIterator<Item = JobId>>(
+pub(crate) fn full_scan<I: IntoIterator<Item = JobId>>(
     class: ClassId,
     config: ScanConfig,
     scratch: &mut Profile,

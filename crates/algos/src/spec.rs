@@ -12,12 +12,15 @@
 
 use crate::backfill::BackfillMode;
 use crate::order::OrderPolicy;
+use crate::priority::{PriorityScheduler, ScoreFn};
 use crate::psrs::PsrsParams;
 use crate::scheduler::ListScheduler;
 use crate::smart::SmartVariant;
 use crate::view::WeightScheme;
+use jobsched_sim::Scheduler;
 
-/// Row algorithm of the paper's tables.
+/// Row algorithm of the evaluation tables: the paper's five rows plus
+/// the priority family of the scheduler atlas.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// First-Come-First-Serve (§5.1).
@@ -30,10 +33,13 @@ pub enum PolicyKind {
     SmartNfiw,
     /// Classical list scheduling (§5.3).
     GareyGraham,
+    /// A [`PriorityScheduler`] row keyed by its scoring function.
+    Priority(ScoreFn),
 }
 
 impl PolicyKind {
-    /// All rows in the paper's table order.
+    /// The paper's rows in table order (the priority family extends the
+    /// atlas, not the paper's tables — see [`PolicyKind::atlas`]).
     pub const ALL: [PolicyKind; 5] = [
         PolicyKind::Fcfs,
         PolicyKind::Psrs,
@@ -42,7 +48,29 @@ impl PolicyKind {
         PolicyKind::GareyGraham,
     ];
 
-    /// Row label as printed in the paper.
+    /// The priority-family rows, one per scoring rule.
+    pub const PRIORITY: [PolicyKind; 10] = [
+        PolicyKind::Priority(ScoreFn::Fcfs),
+        PolicyKind::Priority(ScoreFn::Sjf),
+        PolicyKind::Priority(ScoreFn::Ljf),
+        PolicyKind::Priority(ScoreFn::SmallestFirst),
+        PolicyKind::Priority(ScoreFn::LargestFirst),
+        PolicyKind::Priority(ScoreFn::Wfp),
+        PolicyKind::Priority(ScoreFn::Wfp3),
+        PolicyKind::Priority(ScoreFn::Unicef),
+        PolicyKind::Priority(ScoreFn::F1),
+        PolicyKind::Priority(ScoreFn::F2),
+    ];
+
+    /// Every row of the scheduler atlas: paper rows then priority rows.
+    pub fn atlas() -> Vec<PolicyKind> {
+        let mut out = PolicyKind::ALL.to_vec();
+        out.extend(PolicyKind::PRIORITY);
+        out
+    }
+
+    /// Row label as printed in the paper (priority rows use the scoring
+    /// function's label).
     pub fn label(&self) -> &'static str {
         match self {
             PolicyKind::Fcfs => "FCFS",
@@ -50,10 +78,17 @@ impl PolicyKind {
             PolicyKind::SmartFfia => "SMART-FFIA",
             PolicyKind::SmartNfiw => "SMART-NFIW",
             PolicyKind::GareyGraham => "Garey&Graham",
+            PolicyKind::Priority(s) => s.label(),
         }
     }
 
     /// Materialise the ordering policy under a weight scheme.
+    ///
+    /// # Panics
+    ///
+    /// Priority rows are not `OrderPolicy` instances (their order is a
+    /// per-decision function of the clock); build them through
+    /// [`AlgorithmSpec::build_dyn`] instead.
     pub fn policy(&self, scheme: WeightScheme) -> OrderPolicy {
         match self {
             PolicyKind::Fcfs => OrderPolicy::Fcfs,
@@ -64,6 +99,10 @@ impl PolicyKind {
                 params: PsrsParams::default(),
                 scheme,
             },
+            PolicyKind::Priority(s) => panic!(
+                "priority policy {} has no OrderPolicy; use AlgorithmSpec::build_dyn",
+                s.label()
+            ),
         }
     }
 }
@@ -114,9 +153,41 @@ impl AlgorithmSpec {
         out
     }
 
+    /// The scheduler-atlas matrix: the 13 paper combos plus every
+    /// priority scoring rule × all three backfill columns (43 cells).
+    pub fn atlas_matrix() -> Vec<AlgorithmSpec> {
+        let mut out = AlgorithmSpec::paper_matrix();
+        for kind in PolicyKind::PRIORITY {
+            for backfill in [
+                BackfillMode::None,
+                BackfillMode::Conservative,
+                BackfillMode::Easy,
+            ] {
+                out.push(AlgorithmSpec::new(kind, backfill));
+            }
+        }
+        out
+    }
+
     /// Build a runnable scheduler under the given weight scheme.
+    ///
+    /// # Panics
+    ///
+    /// Priority rows are not [`ListScheduler`]s; build them through
+    /// [`AlgorithmSpec::build_dyn`].
     pub fn build(&self, scheme: WeightScheme) -> ListScheduler {
         ListScheduler::new(self.kind.policy(scheme), self.backfill)
+    }
+
+    /// Build any atlas row as a boxed scheduler. `caching` toggles the
+    /// `ListScheduler` blocked-state cache; the priority family has no
+    /// such cache (its order is wait-dependent), so the flag is a no-op
+    /// there.
+    pub fn build_dyn(&self, scheme: WeightScheme, caching: bool) -> Box<dyn Scheduler> {
+        match self.kind {
+            PolicyKind::Priority(score) => Box::new(PriorityScheduler::new(score, self.backfill)),
+            _ => Box::new(self.build(scheme).with_caching(caching)),
+        }
     }
 
     /// Full display name ("PSRS+EASY-Backfilling").
@@ -170,6 +241,46 @@ mod tests {
         assert_eq!(
             labels,
             vec!["FCFS", "PSRS", "SMART-FFIA", "SMART-NFIW", "Garey&Graham"]
+        );
+    }
+
+    #[test]
+    fn atlas_matrix_is_paper_plus_priority_family() {
+        let m = AlgorithmSpec::atlas_matrix();
+        assert_eq!(m.len(), 13 + 10 * 3);
+        let set: std::collections::HashSet<_> = m.iter().collect();
+        assert_eq!(set.len(), m.len());
+        // Every scoring rule composes with all three backfill columns.
+        for kind in PolicyKind::PRIORITY {
+            for backfill in [
+                BackfillMode::None,
+                BackfillMode::Conservative,
+                BackfillMode::Easy,
+            ] {
+                assert!(m.contains(&AlgorithmSpec::new(kind, backfill)));
+            }
+        }
+        // The paper matrix is a strict prefix (report ordering relies on
+        // it).
+        assert_eq!(&m[..13], AlgorithmSpec::paper_matrix().as_slice());
+    }
+
+    #[test]
+    fn build_dyn_covers_every_atlas_row() {
+        for spec in AlgorithmSpec::atlas_matrix() {
+            let s = spec.build_dyn(WeightScheme::Unweighted, true);
+            assert_eq!(s.name(), spec.name());
+            assert_eq!(s.queue_len(), 0);
+        }
+    }
+
+    #[test]
+    fn atlas_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            PolicyKind::atlas().iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels.len(),
+            PolicyKind::ALL.len() + PolicyKind::PRIORITY.len()
         );
     }
 }

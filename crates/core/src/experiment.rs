@@ -249,7 +249,7 @@ pub fn run_cell(
     } else {
         WeightScheme::Unweighted
     };
-    let mut scheduler = spec.build(scheme).with_caching(caching);
+    let mut scheduler = spec.build_dyn(scheme, caching);
     let mut cost = objective.build_streaming();
     let mut makespan = OnlineMakespan::new();
     let mut utilization = OnlineUtilization::new(workload.machine_nodes());
@@ -262,7 +262,7 @@ pub fn run_cell(
     let mut recorder = jobsched_sim::RecordingObserver::new();
 
     #[allow(unused_mut)]
-    let mut pipeline = SimPipeline::new(&mut source, &mut scheduler)
+    let mut pipeline = SimPipeline::new(&mut source, &mut *scheduler)
         .observe(&mut cost_sink)
         .observe(&mut makespan_sink)
         .observe(&mut utilization_sink);

@@ -17,16 +17,22 @@
 
 use crate::policy::{DailyWindow, Policy, Rule, SchedulingGoal};
 use jobsched_metrics::{
-    AvgResponseTime, AvgWeightedResponseTime, Objective, OnlineArt, OnlineAwrt, StreamingObjective,
+    AvgBoundedSlowdown, AvgResponseTime, AvgWeightedResponseTime, Objective, OnlineArt, OnlineAwrt,
+    OnlineBoundedSlowdown, StreamingObjective,
 };
 
-/// The objective functions this derivation can produce.
+/// The objective functions this derivation can produce. The §4
+/// derivation selects the first two; the scheduler atlas additionally
+/// sweeps bounded slowdown (the fairness criterion standard in the
+/// backfilling literature).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ObjectiveKind {
     /// Average response time.
     AvgResponseTime,
     /// Average weighted response time, weight = resource consumption.
     AvgWeightedResponseTime,
+    /// Average bounded slowdown (10-second threshold).
+    AvgBoundedSlowdown,
 }
 
 impl ObjectiveKind {
@@ -35,6 +41,7 @@ impl ObjectiveKind {
         match self {
             ObjectiveKind::AvgResponseTime => Box::new(AvgResponseTime),
             ObjectiveKind::AvgWeightedResponseTime => Box::new(AvgWeightedResponseTime),
+            ObjectiveKind::AvgBoundedSlowdown => Box::new(AvgBoundedSlowdown),
         }
     }
 
@@ -45,6 +52,7 @@ impl ObjectiveKind {
         match self {
             ObjectiveKind::AvgResponseTime => Box::new(OnlineArt::new()),
             ObjectiveKind::AvgWeightedResponseTime => Box::new(OnlineAwrt::new()),
+            ObjectiveKind::AvgBoundedSlowdown => Box::new(OnlineBoundedSlowdown::new()),
         }
     }
 
@@ -169,7 +177,12 @@ mod tests {
             ObjectiveKind::AvgWeightedResponseTime.build().name(),
             "AWRT"
         );
+        assert_eq!(
+            ObjectiveKind::AvgBoundedSlowdown.build().name(),
+            "bounded-slowdown"
+        );
         assert!(!ObjectiveKind::AvgResponseTime.weighted());
         assert!(ObjectiveKind::AvgWeightedResponseTime.weighted());
+        assert!(!ObjectiveKind::AvgBoundedSlowdown.weighted());
     }
 }

@@ -25,7 +25,10 @@ pub fn random_scenario(base_seed: u64, index: u64) -> Scenario {
 
     let machine_nodes = *pick(&mut rng, &[32u32, 64, 256]);
     let spec = {
-        let matrix = AlgorithmSpec::paper_matrix();
+        // The full atlas: the 13 paper combos plus the priority family
+        // (every scoring rule × every backfill mode), so fuzzing sweeps
+        // the priority differentials as densely as the paper rows.
+        let matrix = AlgorithmSpec::atlas_matrix();
         *pick(&mut rng, &matrix)
     };
     let profile_mode = *pick(&mut rng, &[ProfileMode::Rebuild, ProfileMode::Incremental]);
@@ -155,6 +158,28 @@ pub fn broken_scenario(base_seed: u64, index: u64) -> Scenario {
     s
 }
 
+/// A scenario whose scheduler is a WFP priority scheduler ranking in
+/// *inverted* score order while claiming to run real WFP — the
+/// self-test for the priority pick-equality differential. Homogeneous
+/// (typed scenarios stand the differential down) and head-blocking, so
+/// any ordering divergence surfaces as a pick mismatch.
+pub fn broken_priority_scenario(base_seed: u64, index: u64) -> Scenario {
+    use jobsched_algos::ScoreFn;
+    let mut s = random_scenario(base_seed, index);
+    s.policy = PolicyKind::Priority(ScoreFn::Wfp);
+    s.backfill = jobsched_algos::BackfillMode::None;
+    s.mutation = Some(crate::scenario::Mutation::InvertedPriority);
+    s.classes.clear();
+    for j in &mut s.jobs {
+        j.node_type = NodeType::Thin;
+        j.memory_mb = 0;
+    }
+    for d in &mut s.drains {
+        d.class = 0;
+    }
+    s
+}
+
 fn job_stream(rng: &mut SmallRng, n: usize, machine_nodes: u32) -> Vec<ScenarioJob> {
     let shape = rng.random_range(0u32..4);
     let mut jobs = Vec::with_capacity(n);
@@ -229,7 +254,21 @@ mod tests {
         let scenarios: Vec<Scenario> = (0..300).map(|i| random_scenario(7, i)).collect();
         let policies: std::collections::BTreeSet<&str> =
             scenarios.iter().map(|s| s.policy.label()).collect();
-        assert_eq!(policies.len(), 5, "all five policies drawn: {policies:?}");
+        assert_eq!(
+            policies.len(),
+            15,
+            "all five paper policies plus the ten priority rules drawn: {policies:?}"
+        );
+        let priority_backfills: std::collections::BTreeSet<_> = scenarios
+            .iter()
+            .filter(|s| matches!(s.policy, PolicyKind::Priority(_)))
+            .map(|s| s.backfill.label())
+            .collect();
+        assert_eq!(
+            priority_backfills.len(),
+            3,
+            "priority rows drawn under every backfill mode"
+        );
         assert!(scenarios.iter().any(|s| !s.cancels.is_empty()));
         assert!(scenarios.iter().any(|s| !s.drains.is_empty()));
         assert!(scenarios.iter().any(|s| s.cancels.is_empty()));

@@ -12,7 +12,10 @@
 //!   equal — element for element, in order — an independent naive
 //!   re-implementation of the published algorithm working from the
 //!   machine ground truth: head-blocking FCFS, Garey & Graham any-fit,
-//!   EASY's shadow/extra rule, and conservative FIFO booking.
+//!   EASY's shadow/extra rule, conservative FIFO booking, and — for the
+//!   whole priority family — an independent re-statement of each scoring
+//!   formula re-ranking the queue before the same naive head / EASY /
+//!   conservative selection.
 //! * **The conservative no-delay guarantee** (§5.2): "will not increase
 //!   the projected completion time of a job submitted before the job
 //!   used for backfilling". In the FIFO re-booking realisation this is
@@ -36,7 +39,7 @@
 
 use crate::scenario::Scenario;
 use jobsched_algos::spec::PolicyKind;
-use jobsched_algos::BackfillMode;
+use jobsched_algos::{BackfillMode, ScoreFn};
 use jobsched_metrics::{AvgResponseTime, AvgWeightedResponseTime, Objective};
 use jobsched_sim::{
     simulate_batch_with_faults, simulate_with_faults, CancelPhase, FaultOutcome, JobRequest,
@@ -57,6 +60,11 @@ enum ExactCheck {
     FcfsEasy,
     /// FCFS + conservative: FIFO reservation booking.
     FcfsConservative,
+    /// Priority family (any backfill): re-rank the queue by an
+    /// independent re-statement of the scoring formula, then run the
+    /// same naive head / EASY / conservative selection over the ranked
+    /// order instead of the FIFO queue.
+    Priority(ScoreFn),
 }
 
 impl ExactCheck {
@@ -66,8 +74,35 @@ impl ExactCheck {
             (PolicyKind::Fcfs, BackfillMode::Easy) => ExactCheck::FcfsEasy,
             (PolicyKind::Fcfs, BackfillMode::Conservative) => ExactCheck::FcfsConservative,
             (PolicyKind::GareyGraham, _) => ExactCheck::GareyAny,
+            (PolicyKind::Priority(score), _) => ExactCheck::Priority(score),
             _ => ExactCheck::None,
         }
+    }
+}
+
+/// Independent re-statement of the priority scoring formulas
+/// (`crates/algos/src/priority.rs` module docs; smaller = earlier). The
+/// floating-point expression order deliberately mirrors the normative
+/// spec so that equal inputs produce bit-equal scores — the differential
+/// compares *orders*, which must therefore agree exactly.
+fn naive_score(score: ScoreFn, wait: u64, estimate: u64, width: u32) -> f64 {
+    let wait = wait as f64;
+    let est = estimate.max(1) as f64;
+    let width = width as f64;
+    match score {
+        ScoreFn::Fcfs => -wait,
+        ScoreFn::Sjf => est,
+        ScoreFn::Ljf => -est,
+        ScoreFn::SmallestFirst => width,
+        ScoreFn::LargestFirst => -width,
+        ScoreFn::Wfp => -(wait / est) * width,
+        ScoreFn::Wfp3 => {
+            let r = wait / est;
+            -(r * r * r) * width
+        }
+        ScoreFn::Unicef => -wait / ((width + 1.0).log2() * est),
+        ScoreFn::F1 => est.log10() * width - 870.0 * (wait + 1.0).log10(),
+        ScoreFn::F2 => est.sqrt() * width - 25_600.0 * (wait + 1.0).log10(),
     }
 }
 
@@ -124,25 +159,47 @@ impl<'a> OracleScheduler<'a> {
         (j.nodes, j.requested.max(1))
     }
 
+    /// The queue re-ranked by `(naive score at now, job index)`
+    /// ascending — the priority family's normative order, restated
+    /// independently of `jobsched_algos::priority::rank`.
+    fn ranked_waiting(&self, score: ScoreFn, now: Time) -> Vec<usize> {
+        let mut keyed: Vec<(f64, usize)> = self
+            .waiting
+            .iter()
+            .map(|&i| {
+                let j = &self.scenario.jobs[i];
+                let wait = now.saturating_sub(j.submit);
+                (naive_score(score, wait, j.requested, j.nodes), i)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        keyed.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Head-blocking selection: greedy prefix of `order` until a job
+    /// does not fit.
+    fn naive_head(&self, order: &[usize], machine: &Machine) -> Vec<usize> {
+        let mut free = machine.free_nodes();
+        let mut picks = Vec::new();
+        for &i in order {
+            let (nodes, _) = self.job(i);
+            if nodes <= free {
+                free -= nodes;
+                picks.push(i);
+            } else {
+                break;
+            }
+        }
+        picks
+    }
+
     /// Independent re-implementation of the published selection rules
-    /// over the mirrored FIFO queue and the machine ground truth.
+    /// over the mirrored queue (FIFO or priority-ranked) and the machine
+    /// ground truth.
     fn expected_picks(&self, now: Time, machine: &Machine) -> Option<Vec<usize>> {
         match self.exact {
             ExactCheck::None => None,
-            ExactCheck::FcfsHead => {
-                let mut free = machine.free_nodes();
-                let mut picks = Vec::new();
-                for &i in &self.waiting {
-                    let (nodes, _) = self.job(i);
-                    if nodes <= free {
-                        free -= nodes;
-                        picks.push(i);
-                    } else {
-                        break;
-                    }
-                }
-                Some(picks)
-            }
+            ExactCheck::FcfsHead => Some(self.naive_head(&self.waiting, machine)),
             ExactCheck::GareyAny => {
                 let mut free = machine.free_nodes();
                 let mut picks = Vec::new();
@@ -155,7 +212,7 @@ impl<'a> OracleScheduler<'a> {
                 }
                 Some(picks)
             }
-            ExactCheck::FcfsEasy => Some(self.naive_easy(now, machine)),
+            ExactCheck::FcfsEasy => Some(self.naive_easy(now, machine, &self.waiting)),
             ExactCheck::FcfsConservative => {
                 // The real scheduler truncates its calendar on pathological
                 // queue depths; the naive booking below is the exact
@@ -163,18 +220,32 @@ impl<'a> OracleScheduler<'a> {
                 if self.waiting.len() > jobsched_algos::backfill::CONSERVATIVE_TRUNCATION_DEPTH {
                     return None;
                 }
-                Some(self.naive_conservative(now, machine).0)
+                Some(self.naive_conservative(now, machine, &self.waiting).0)
+            }
+            ExactCheck::Priority(score) => {
+                let order = self.ranked_waiting(score, now);
+                match self.scenario.backfill {
+                    BackfillMode::None => Some(self.naive_head(&order, machine)),
+                    BackfillMode::Easy => Some(self.naive_easy(now, machine, &order)),
+                    BackfillMode::Conservative => {
+                        if order.len() > jobsched_algos::backfill::CONSERVATIVE_TRUNCATION_DEPTH {
+                            return None;
+                        }
+                        Some(self.naive_conservative(now, machine, &order).0)
+                    }
+                }
             }
         }
     }
 
     /// EASY (Lifka): greedy until a head blocks; compute the head's
     /// shadow start and spare nodes from projected ends; backfill later
-    /// jobs that end by the shadow or fit the spare nodes.
-    fn naive_easy(&self, now: Time, machine: &Machine) -> Vec<usize> {
+    /// jobs that end by the shadow or fit the spare nodes. `order` is the
+    /// queue in selection order (FIFO or priority-ranked).
+    fn naive_easy(&self, now: Time, machine: &Machine, order: &[usize]) -> Vec<usize> {
         let mut free = machine.free_nodes();
         let mut picks = Vec::new();
-        let mut queue = self.waiting.iter().copied();
+        let mut queue = order.iter().copied();
         let mut head = None;
         for i in &mut queue {
             let (nodes, _) = self.job(i);
@@ -217,14 +288,20 @@ impl<'a> OracleScheduler<'a> {
         picks
     }
 
-    /// Conservative: book a FIFO reservation for every queued job; start
-    /// exactly those whose reservation is `now`. Returns the picks and
-    /// each booked start (the no-delay promise).
-    fn naive_conservative(&self, now: Time, machine: &Machine) -> (Vec<usize>, Vec<(usize, Time)>) {
+    /// Conservative: book a reservation for every queued job in `order`
+    /// (FIFO or priority-ranked); start exactly those whose reservation
+    /// is `now`. Returns the picks and each booked start (the no-delay
+    /// promise — only meaningful for the FIFO order).
+    fn naive_conservative(
+        &self,
+        now: Time,
+        machine: &Machine,
+        order: &[usize],
+    ) -> (Vec<usize>, Vec<(usize, Time)>) {
         let mut profile = Profile::from_machine(machine, now);
         let mut picks = Vec::new();
         let mut booked = Vec::new();
-        for &i in &self.waiting {
+        for &i in order {
             let (nodes, dur) = self.job(i);
             let start = profile.earliest_start(nodes, dur, now);
             profile.reserve(nodes, start, dur);
@@ -278,7 +355,7 @@ impl Scheduler for OracleScheduler<'_> {
             && self.promises_bind
             && self.waiting.len() <= jobsched_algos::backfill::CONSERVATIVE_TRUNCATION_DEPTH
         {
-            let (_, booked) = self.naive_conservative(now, machine);
+            let (_, booked) = self.naive_conservative(now, machine, &self.waiting);
             for (i, start) in booked {
                 if self.guarantees[i].is_none() {
                     self.guarantees[i] = Some(start);
@@ -636,7 +713,13 @@ pub fn check_outcome(
     // start in submission order (cancelled jobs drop out of the prefix).
     // On a partitioned machine each class queue advances independently, so
     // the order is only promised among jobs resolving to the same class.
-    if scenario.policy == PolicyKind::Fcfs && scenario.backfill == BackfillMode::None {
+    // The priority encoding of FCFS (score = -wait, ties by id) makes the
+    // same promise — the bit-identity pin rides on it.
+    let fcfs_like = matches!(
+        scenario.policy,
+        PolicyKind::Fcfs | PolicyKind::Priority(ScoreFn::Fcfs)
+    );
+    if fcfs_like && scenario.backfill == BackfillMode::None {
         let layout = scenario.layout();
         let class_of = |j: &crate::scenario::ScenarioJob| match &layout {
             Some(l) => l
@@ -836,6 +919,69 @@ mod tests {
         });
         s.cancels.push(CancelSpec { at: 150, job: 1 });
         assert_eq!(check_scenario(&s), Vec::<String>::new());
+    }
+
+    #[test]
+    fn clean_priority_configurations_produce_no_violations() {
+        for score in ScoreFn::ALL {
+            for backfill in [
+                BackfillMode::None,
+                BackfillMode::Conservative,
+                BackfillMode::Easy,
+            ] {
+                let s = base_scenario(PolicyKind::Priority(score), backfill);
+                assert_eq!(
+                    check_scenario(&s),
+                    Vec::<String>::new(),
+                    "{score:?} {backfill:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn priority_faults_do_not_trip_the_oracle() {
+        for score in [ScoreFn::Wfp3, ScoreFn::Sjf, ScoreFn::Unicef] {
+            let mut s = base_scenario(PolicyKind::Priority(score), BackfillMode::Easy);
+            s.cancels.push(CancelSpec { at: 50, job: 0 });
+            s.drains.push(DrainSpec {
+                at: 10,
+                nodes: 2,
+                until: 60,
+                class: 0,
+            });
+            assert_eq!(check_scenario(&s), Vec::<String>::new(), "{score:?}");
+        }
+    }
+
+    #[test]
+    fn hetero_priority_configurations_produce_no_violations() {
+        for backfill in [
+            BackfillMode::None,
+            BackfillMode::Conservative,
+            BackfillMode::Easy,
+        ] {
+            let s = hetero_scenario(PolicyKind::Priority(ScoreFn::Wfp), backfill);
+            assert_eq!(check_scenario(&s), Vec::<String>::new(), "{backfill:?}");
+        }
+    }
+
+    #[test]
+    fn inverted_wfp_impostor_is_caught() {
+        // Machine of 10: job 0 holds all of it until t=100. At t=100 the
+        // real WFP ranks job 2 (tiny estimate, huge wait/est ratio) ahead
+        // of job 1; the inverted impostor runs the order backwards and
+        // head-blocks on job 1 instead.
+        let mut s = base_scenario(PolicyKind::Priority(ScoreFn::Wfp), BackfillMode::None);
+        s.jobs = vec![job(0, 10, 100, 100), job(1, 6, 100, 100), job(50, 5, 1, 1)];
+        s.mutation = Some(Mutation::InvertedPriority);
+        let violations = check_scenario(&s);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("differential mismatch")),
+            "expected a priority differential violation, got {violations:?}"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod invariants;
 pub mod scenario;
 pub mod shrink;
 
-pub use gen::{broken_scenario, random_scenario};
+pub use gen::{broken_priority_scenario, broken_scenario, random_scenario};
 pub use invariants::{check_outcome, check_scenario, stream_differential};
 pub use scenario::{CancelSpec, DrainSpec, Mutation, Scenario, ScenarioJob};
 pub use shrink::{shrink, shrink_with_budget};

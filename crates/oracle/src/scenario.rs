@@ -10,7 +10,7 @@
 
 use jobsched_algos::scheduler::ProfileMode;
 use jobsched_algos::spec::PolicyKind;
-use jobsched_algos::{BackfillMode, ListScheduler};
+use jobsched_algos::{BackfillMode, ListScheduler, PriorityScheduler, ScoreFn};
 use jobsched_sim::{CancelFault, DrainFault, FaultPlan, JobRequest, Machine, Scheduler};
 use jobsched_workload::{
     ClassId, JobBuilder, JobId, MachineLayout, NodeClassSpec, NodeType, Time, Workload,
@@ -72,6 +72,11 @@ pub enum Mutation {
     /// early arrivals, violating the FCFS pick-equality and
     /// start-monotonicity invariants (but never overcommits).
     Lifo,
+    /// A [`PriorityScheduler`] ranking with the score sign flipped: a
+    /// broken WFP (or any scoring rule) that runs the queue backwards.
+    /// Only valid on [`PolicyKind::Priority`] scenarios; the priority
+    /// pick-equality differential must catch it.
+    InvertedPriority,
 }
 
 /// A complete adversarial simulation case.
@@ -168,6 +173,11 @@ impl Scenario {
         if self.policy == PolicyKind::GareyGraham && self.backfill != BackfillMode::None {
             return Err("Garey&Graham only supports the list column".into());
         }
+        if self.mutation == Some(Mutation::InvertedPriority)
+            && !matches!(self.policy, PolicyKind::Priority(_))
+        {
+            return Err("inverted-priority mutation needs a priority policy".into());
+        }
         Ok(())
     }
 
@@ -227,12 +237,26 @@ impl Scenario {
         }
     }
 
-    /// Build the scheduler under test — the real list scheduler for the
-    /// declared configuration, or the mutated impostor.
+    /// Build the scheduler under test — the real scheduler for the
+    /// declared configuration, or the mutated impostor. Priority
+    /// configurations ignore the caching flag: the family has no
+    /// blocked-state cache (wait-dependent scores make it unsound), so
+    /// `caching on` is a recorded no-op.
     pub fn scheduler(&self) -> Box<dyn Scheduler> {
-        match self.mutation {
-            Some(Mutation::Lifo) => Box::new(LifoScheduler::default()),
-            None => Box::new(
+        match (self.mutation, self.policy) {
+            (Some(Mutation::Lifo), _) => Box::new(LifoScheduler::default()),
+            (Some(Mutation::InvertedPriority), PolicyKind::Priority(score)) => Box::new(
+                PriorityScheduler::new(score, self.backfill)
+                    .with_profile_mode(self.profile_mode)
+                    .with_inverted_order(true),
+            ),
+            (Some(Mutation::InvertedPriority), _) => {
+                unreachable!("validate() rejects inverted-priority on non-priority policies")
+            }
+            (None, PolicyKind::Priority(score)) => Box::new(
+                PriorityScheduler::new(score, self.backfill).with_profile_mode(self.profile_mode),
+            ),
+            (None, _) => Box::new(
                 ListScheduler::new(self.policy.policy(Default::default()), self.backfill)
                     .with_profile_mode(self.profile_mode)
                     .with_caching(self.caching),
@@ -264,8 +288,10 @@ impl Scenario {
             "caching {}\n",
             if self.caching { "on" } else { "off" }
         ));
-        if let Some(Mutation::Lifo) = self.mutation {
-            out.push_str("mutate lifo\n");
+        match self.mutation {
+            Some(Mutation::Lifo) => out.push_str("mutate lifo\n"),
+            Some(Mutation::InvertedPriority) => out.push_str("mutate inverted-priority\n"),
+            None => {}
         }
         for c in &self.classes {
             out.push_str(&format!(
@@ -346,7 +372,13 @@ impl Scenario {
                         Some("smart-ffia") => PolicyKind::SmartFfia,
                         Some("smart-nfiw") => PolicyKind::SmartNfiw,
                         Some("garey-graham") => PolicyKind::GareyGraham,
-                        other => return Err(ctx(&format!("unknown policy {other:?}"))),
+                        // Priority-family rows use the scoring rule's
+                        // stable tag ("sjf", "wfp3", "unicef", …).
+                        Some(tok) => match ScoreFn::from_tag(tok) {
+                            Some(score) => PolicyKind::Priority(score),
+                            None => return Err(ctx(&format!("unknown policy {tok:?}"))),
+                        },
+                        None => return Err(ctx("unknown policy None")),
                     };
                 }
                 "backfill" => {
@@ -374,6 +406,7 @@ impl Scenario {
                 "mutate" => {
                     s.mutation = match args.first().copied() {
                         Some("lifo") => Some(Mutation::Lifo),
+                        Some("inverted-priority") => Some(Mutation::InvertedPriority),
                         other => return Err(ctx(&format!("unknown mutation {other:?}"))),
                     };
                 }
@@ -462,6 +495,7 @@ fn policy_token(p: PolicyKind) -> &'static str {
         PolicyKind::SmartFfia => "smart-ffia",
         PolicyKind::SmartNfiw => "smart-nfiw",
         PolicyKind::GareyGraham => "garey-graham",
+        PolicyKind::Priority(s) => s.tag(),
     }
 }
 
@@ -613,6 +647,44 @@ mod tests {
             ..s
         };
         assert_eq!(Scenario::from_text(&mutated.to_text()).unwrap(), mutated);
+    }
+
+    #[test]
+    fn priority_round_trip_is_identity() {
+        for score in ScoreFn::ALL {
+            let s = Scenario {
+                policy: PolicyKind::Priority(score),
+                ..sample()
+            };
+            let text = s.to_text();
+            assert!(text.contains(&format!("policy {}", score.tag())), "{text}");
+            assert_eq!(Scenario::from_text(&text).unwrap(), s);
+        }
+        let mutated = Scenario {
+            policy: PolicyKind::Priority(ScoreFn::Wfp),
+            mutation: Some(Mutation::InvertedPriority),
+            ..sample()
+        };
+        assert_eq!(Scenario::from_text(&mutated.to_text()).unwrap(), mutated);
+    }
+
+    #[test]
+    fn inverted_priority_mutation_requires_a_priority_policy() {
+        let s = Scenario {
+            mutation: Some(Mutation::InvertedPriority),
+            ..sample()
+        };
+        assert!(s.validate().unwrap_err().contains("priority"));
+    }
+
+    #[test]
+    fn priority_scenarios_build_priority_schedulers() {
+        let s = Scenario {
+            policy: PolicyKind::Priority(ScoreFn::Wfp3),
+            backfill: BackfillMode::Easy,
+            ..sample()
+        };
+        assert_eq!(s.scheduler().name(), "WFP3+EASY-Backfilling");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * `ORACLE_REPRO_DIR` — where to write `.scn` counterexamples
 //!   (default: the target tmpdir; CI points this at an artifact dir).
 
-use jobsched_oracle::{broken_scenario, check_scenario, random_scenario, shrink};
+use jobsched_oracle::{
+    broken_priority_scenario, broken_scenario, check_scenario, random_scenario, shrink,
+};
 use jobsched_sweep::pool::run_indexed;
 
 fn env_u64(key: &str, default: u64) -> u64 {
@@ -81,6 +83,32 @@ fn randomized_fault_injected_scenarios_hold_all_invariants() {
             small.to_text()
         );
     }
+}
+
+#[test]
+fn broken_priority_scheduler_is_caught_and_shrunk() {
+    // Same teeth-check for the priority family: an inverted-order WFP
+    // impostor must trip the priority pick-equality differential.
+    let seed = env_u64("ORACLE_FUZZ_SEED", 0x0DD5EED);
+    let caught: Vec<u64> = (0..25)
+        .filter(|&i| !check_scenario(&broken_priority_scenario(seed, i)).is_empty())
+        .collect();
+    assert!(
+        caught.len() >= 20,
+        "inverted-WFP impostor evaded the oracle in most runs (caught {}/25)",
+        caught.len()
+    );
+    let small = shrink(&broken_priority_scenario(seed, caught[0]));
+    assert!(
+        !check_scenario(&small).is_empty(),
+        "shrinking lost the violation"
+    );
+    assert!(
+        small.jobs.len() <= 6,
+        "reproducer still has {} jobs:\n{}",
+        small.jobs.len(),
+        small.to_text()
+    );
 }
 
 #[test]

@@ -35,7 +35,7 @@ pub mod server;
 use jobsched_algos::spec::PolicyKind;
 use jobsched_algos::switching::SwitchingScheduler;
 use jobsched_algos::view::WeightScheme;
-use jobsched_algos::{AlgorithmSpec, BackfillMode, ListScheduler};
+use jobsched_algos::{AlgorithmSpec, BackfillMode, ListScheduler, PriorityScheduler, ScoreFn};
 use jobsched_sim::{JobRequest, Machine, Scheduler};
 use jobsched_workload::{JobId, Time};
 use std::time::Duration;
@@ -52,8 +52,9 @@ pub enum SchedulerSpec {
 
 impl SchedulerSpec {
     /// Parse a spec label: a policy (`fcfs`, `psrs`, `smart-ffia`,
-    /// `smart-nfiw`, `garey-graham`) optionally suffixed with a backfill
-    /// mode (`+none`, `+cons`, `+easy`), or `paper-switch`.
+    /// `smart-nfiw`, `garey-graham`, or a priority scoring rule such as
+    /// `sjf`, `wfp3`, `unicef`) optionally suffixed with a backfill mode
+    /// (`+none`, `+cons`, `+easy`), or `paper-switch`.
     pub fn parse(s: &str) -> Result<Self, String> {
         if s == "paper-switch" {
             return Ok(SchedulerSpec::PaperSwitch);
@@ -68,7 +69,10 @@ impl SchedulerSpec {
             "smart-ffia" => PolicyKind::SmartFfia,
             "smart-nfiw" => PolicyKind::SmartNfiw,
             "garey-graham" => PolicyKind::GareyGraham,
-            other => return Err(format!("unknown scheduling policy '{other}'")),
+            other => match ScoreFn::from_tag(other) {
+                Some(score) => PolicyKind::Priority(score),
+                None => return Err(format!("unknown scheduling policy '{other}'")),
+            },
         };
         let backfill = match backfill {
             "none" => BackfillMode::None,
@@ -91,6 +95,7 @@ impl SchedulerSpec {
                     PolicyKind::SmartFfia => "smart-ffia",
                     PolicyKind::SmartNfiw => "smart-nfiw",
                     PolicyKind::GareyGraham => "garey-graham",
+                    PolicyKind::Priority(score) => score.tag(),
                 };
                 let backfill = match spec.backfill {
                     BackfillMode::None => "none",
@@ -105,7 +110,12 @@ impl SchedulerSpec {
     /// Materialise the scheduler (unweighted, as in Tables 3–6).
     pub fn build(&self) -> ServeSched {
         match self {
-            SchedulerSpec::List(spec) => ServeSched::List(spec.build(WeightScheme::Unweighted)),
+            SchedulerSpec::List(spec) => match spec.kind {
+                PolicyKind::Priority(score) => {
+                    ServeSched::Priority(PriorityScheduler::new(score, spec.backfill))
+                }
+                _ => ServeSched::List(spec.build(WeightScheme::Unweighted)),
+            },
             SchedulerSpec::PaperSwitch => {
                 ServeSched::Switch(SwitchingScheduler::paper_combination())
             }
@@ -113,13 +123,16 @@ impl SchedulerSpec {
     }
 }
 
-/// The daemon's scheduler: either a matrix cell or the switching
-/// combination. A plain enum (not a trait object) so the engine can
-/// reach switching-specific operations (`policy` forcing) when present.
+/// The daemon's scheduler: a matrix cell, a priority-family cell, or
+/// the switching combination. A plain enum (not a trait object) so the
+/// engine can reach switching-specific operations (`policy` forcing)
+/// when present.
 #[derive(Debug)]
 pub enum ServeSched {
     /// A [`ListScheduler`] built from an [`AlgorithmSpec`].
     List(ListScheduler),
+    /// A [`PriorityScheduler`] built from a priority-family spec.
+    Priority(PriorityScheduler),
     /// The day/night [`SwitchingScheduler`].
     Switch(SwitchingScheduler),
 }
@@ -129,7 +142,7 @@ impl ServeSched {
     pub fn as_switch_mut(&mut self) -> Option<&mut SwitchingScheduler> {
         match self {
             ServeSched::Switch(s) => Some(s),
-            ServeSched::List(_) => None,
+            _ => None,
         }
     }
 
@@ -137,66 +150,58 @@ impl ServeSched {
     pub fn as_switch(&self) -> Option<&SwitchingScheduler> {
         match self {
             ServeSched::Switch(s) => Some(s),
-            ServeSched::List(_) => None,
+            _ => None,
+        }
+    }
+
+    fn inner(&self) -> &dyn Scheduler {
+        match self {
+            ServeSched::List(s) => s,
+            ServeSched::Priority(s) => s,
+            ServeSched::Switch(s) => s,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn Scheduler {
+        match self {
+            ServeSched::List(s) => s,
+            ServeSched::Priority(s) => s,
+            ServeSched::Switch(s) => s,
         }
     }
 }
 
 impl Scheduler for ServeSched {
     fn name(&self) -> String {
-        match self {
-            ServeSched::List(s) => s.name(),
-            ServeSched::Switch(s) => s.name(),
-        }
+        self.inner().name()
     }
 
     fn submit(&mut self, job: JobRequest, now: Time) {
-        match self {
-            ServeSched::List(s) => s.submit(job, now),
-            ServeSched::Switch(s) => s.submit(job, now),
-        }
+        self.inner_mut().submit(job, now);
     }
 
     fn job_finished(&mut self, id: JobId, now: Time) {
-        match self {
-            ServeSched::List(s) => s.job_finished(id, now),
-            ServeSched::Switch(s) => s.job_finished(id, now),
-        }
+        self.inner_mut().job_finished(id, now);
     }
 
     fn cancel(&mut self, id: JobId, now: Time) {
-        match self {
-            ServeSched::List(s) => s.cancel(id, now),
-            ServeSched::Switch(s) => s.cancel(id, now),
-        }
+        self.inner_mut().cancel(id, now);
     }
 
     fn capacity_changed(&mut self, now: Time) {
-        match self {
-            ServeSched::List(s) => s.capacity_changed(now),
-            ServeSched::Switch(s) => s.capacity_changed(now),
-        }
+        self.inner_mut().capacity_changed(now);
     }
 
     fn select_starts(&mut self, now: Time, machine: &Machine) -> Vec<JobId> {
-        match self {
-            ServeSched::List(s) => s.select_starts(now, machine),
-            ServeSched::Switch(s) => s.select_starts(now, machine),
-        }
+        self.inner_mut().select_starts(now, machine)
     }
 
     fn queue_len(&self) -> usize {
-        match self {
-            ServeSched::List(s) => s.queue_len(),
-            ServeSched::Switch(s) => s.queue_len(),
-        }
+        self.inner().queue_len()
     }
 
     fn next_wakeup(&self, now: Time) -> Option<Time> {
-        match self {
-            ServeSched::List(s) => s.next_wakeup(now),
-            ServeSched::Switch(s) => s.next_wakeup(now),
-        }
+        self.inner().next_wakeup(now)
     }
 }
 

@@ -11,7 +11,7 @@
 use crate::hash::StableHasher;
 use crate::json::Json;
 use jobsched_algos::spec::PolicyKind;
-use jobsched_algos::{AlgorithmSpec, BackfillMode};
+use jobsched_algos::{AlgorithmSpec, BackfillMode, ScoreFn};
 use jobsched_core::experiment::Scale;
 use jobsched_core::objective_select::ObjectiveKind;
 use jobsched_workload::ctc::prepared_ctc_workload;
@@ -126,7 +126,9 @@ impl WorkloadSpec {
     }
 }
 
-/// Stable tag for a policy kind (cache keys, JSON).
+/// Stable tag for a policy kind (cache keys, JSON). Priority rows use
+/// their scoring function's tag ("sjf", "wfp3", ... — and "p-fcfs",
+/// distinct from the legacy "fcfs" row).
 pub fn policy_tag(kind: PolicyKind) -> &'static str {
     match kind {
         PolicyKind::Fcfs => "fcfs",
@@ -134,12 +136,15 @@ pub fn policy_tag(kind: PolicyKind) -> &'static str {
         PolicyKind::SmartFfia => "smart-ffia",
         PolicyKind::SmartNfiw => "smart-nfiw",
         PolicyKind::GareyGraham => "garey-graham",
+        PolicyKind::Priority(s) => s.tag(),
     }
 }
 
 /// Parse a [`policy_tag`] back.
 pub fn parse_policy_tag(tag: &str) -> Option<PolicyKind> {
-    PolicyKind::ALL.into_iter().find(|&k| policy_tag(k) == tag)
+    PolicyKind::atlas()
+        .into_iter()
+        .find(|&k| policy_tag(k) == tag)
 }
 
 /// Stable tag for a backfill mode (cache keys, JSON).
@@ -167,6 +172,7 @@ pub fn objective_tag(objective: ObjectiveKind) -> &'static str {
     match objective {
         ObjectiveKind::AvgResponseTime => "art",
         ObjectiveKind::AvgWeightedResponseTime => "awrt",
+        ObjectiveKind::AvgBoundedSlowdown => "bsld",
     }
 }
 
@@ -175,6 +181,7 @@ pub fn parse_objective_tag(tag: &str) -> Option<ObjectiveKind> {
     match tag {
         "art" => Some(ObjectiveKind::AvgResponseTime),
         "awrt" => Some(ObjectiveKind::AvgWeightedResponseTime),
+        "bsld" => Some(ObjectiveKind::AvgBoundedSlowdown),
         _ => None,
     }
 }
@@ -260,8 +267,9 @@ impl Campaign {
         }
     }
 
-    /// Append one 13-cell paper matrix as a table.
-    pub fn push_matrix(
+    /// Append an arbitrary spec list as a table.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_specs(
         &mut self,
         id: impl Into<String>,
         title: impl Into<String>,
@@ -269,6 +277,7 @@ impl Campaign {
         objective: ObjectiveKind,
         caching: bool,
         cpu_table: bool,
+        specs: &[AlgorithmSpec],
     ) {
         let table = self.tables.len();
         self.tables.push(TableDef {
@@ -278,7 +287,7 @@ impl Campaign {
             objective,
             cpu_table,
         });
-        for (i, algorithm) in AlgorithmSpec::paper_matrix().into_iter().enumerate() {
+        for (i, &algorithm) in specs.iter().enumerate() {
             self.cells.push(CellSpec {
                 table,
                 workload,
@@ -291,6 +300,27 @@ impl Campaign {
                 seed: derive_seed(workload.seed(), i as u64),
             });
         }
+    }
+
+    /// Append one 13-cell paper matrix as a table.
+    pub fn push_matrix(
+        &mut self,
+        id: impl Into<String>,
+        title: impl Into<String>,
+        workload: WorkloadSpec,
+        objective: ObjectiveKind,
+        caching: bool,
+        cpu_table: bool,
+    ) {
+        self.push_specs(
+            id,
+            title,
+            workload,
+            objective,
+            caching,
+            cpu_table,
+            &AlgorithmSpec::paper_matrix(),
+        );
     }
 
     /// The paper's Tables 3–8 for the ids in `wanted` (e.g. `"table3"`),
@@ -392,6 +422,95 @@ impl Campaign {
         c
     }
 
+    /// The scheduler-atlas campaign: the full 43-row atlas matrix
+    /// (paper rows + the priority family) × {CTC, probabilistic}
+    /// workloads × {ART, AWRT, bounded-slowdown} objectives — 258 cells.
+    /// This is the mega-sweep behind `ATLAS.md`/`BENCH_atlas.json`.
+    pub fn atlas(scale: Scale) -> Campaign {
+        let ctc = WorkloadSpec::Ctc {
+            jobs: scale.ctc_jobs,
+            seed: scale.seed,
+        };
+        let prob = WorkloadSpec::Probabilistic {
+            base_jobs: scale.ctc_jobs,
+            base_seed: scale.seed,
+            jobs: scale.synthetic_jobs,
+            seed: scale.seed + 1,
+        };
+        let matrix = AlgorithmSpec::atlas_matrix();
+        let mut c = Campaign::new("atlas");
+        for (wtag, wtitle, w) in [
+            ("ctc", "CTC workload", ctc),
+            ("prob", "probability-distributed workload", prob),
+        ] {
+            for (otag, otitle, obj) in [
+                (
+                    "art",
+                    "average response time",
+                    ObjectiveKind::AvgResponseTime,
+                ),
+                (
+                    "awrt",
+                    "average weighted response time",
+                    ObjectiveKind::AvgWeightedResponseTime,
+                ),
+                (
+                    "bsld",
+                    "average bounded slowdown",
+                    ObjectiveKind::AvgBoundedSlowdown,
+                ),
+            ] {
+                c.push_specs(
+                    format!("atlas-{wtag}-{otag}"),
+                    format!("Scheduler atlas: {wtitle}, {otitle}"),
+                    w,
+                    obj,
+                    true,
+                    false,
+                    &matrix,
+                );
+            }
+        }
+        c
+    }
+
+    /// The CI smoke slice of the atlas: a reduced policy×backfill set
+    /// (the FCFS+EASY reference plus three priority rows across all
+    /// three backfill columns) on one small CTC workload under ART and
+    /// bounded slowdown — 20 cells, seconds of wall-clock.
+    pub fn atlas_smoke(scale: Scale) -> Campaign {
+        let ctc = WorkloadSpec::Ctc {
+            jobs: scale.ctc_jobs,
+            seed: scale.seed,
+        };
+        let mut specs = vec![AlgorithmSpec::reference()];
+        for score in [ScoreFn::Sjf, ScoreFn::Wfp3, ScoreFn::Unicef] {
+            for backfill in [
+                BackfillMode::None,
+                BackfillMode::Conservative,
+                BackfillMode::Easy,
+            ] {
+                specs.push(AlgorithmSpec::new(PolicyKind::Priority(score), backfill));
+            }
+        }
+        let mut c = Campaign::new("atlas-smoke");
+        for (otag, obj) in [
+            ("art", ObjectiveKind::AvgResponseTime),
+            ("bsld", ObjectiveKind::AvgBoundedSlowdown),
+        ] {
+            c.push_specs(
+                format!("atlas-smoke-{otag}"),
+                format!("Atlas smoke slice ({otag})"),
+                ctc,
+                obj,
+                true,
+                false,
+                &specs,
+            );
+        }
+        c
+    }
+
     /// Distinct workload specs referenced by this campaign, in
     /// deterministic order.
     pub fn distinct_workloads(&self) -> Vec<WorkloadSpec> {
@@ -427,8 +546,57 @@ mod tests {
     }
 
     #[test]
+    fn atlas_campaign_covers_the_cross_product() {
+        let c = Campaign::atlas(scale());
+        assert_eq!(c.tables.len(), 6, "2 workloads × 3 objectives");
+        assert_eq!(c.cells.len(), 6 * 43);
+        assert!(c.cells.len() >= 100, "the atlas is a mega-sweep");
+        assert_eq!(c.distinct_workloads().len(), 2);
+        // Every table carries the full atlas matrix, reference included.
+        for t in 0..c.tables.len() {
+            let specs: Vec<AlgorithmSpec> = c
+                .cells
+                .iter()
+                .filter(|cell| cell.table == t)
+                .map(|cell| cell.algorithm)
+                .collect();
+            assert_eq!(specs, AlgorithmSpec::atlas_matrix());
+        }
+        // All 258 cells own distinct cache keys.
+        let keys: std::collections::BTreeSet<String> =
+            c.cells.iter().map(|cell| cell.cache_key(1)).collect();
+        assert_eq!(keys.len(), c.cells.len());
+    }
+
+    #[test]
+    fn atlas_smoke_is_a_reduced_slice() {
+        let c = Campaign::atlas_smoke(scale());
+        assert_eq!(c.cells.len(), 20, "2 objectives × 10 specs");
+        assert_eq!(c.distinct_workloads().len(), 1);
+        let atlas: std::collections::BTreeSet<String> = Campaign::atlas(scale())
+            .cells
+            .iter()
+            .map(|cell| {
+                format!(
+                    "{}+{}",
+                    policy_tag(cell.algorithm.kind),
+                    backfill_tag(cell.algorithm.backfill)
+                )
+            })
+            .collect();
+        for cell in &c.cells {
+            let tag = format!(
+                "{}+{}",
+                policy_tag(cell.algorithm.kind),
+                backfill_tag(cell.algorithm.backfill)
+            );
+            assert!(atlas.contains(&tag), "{tag} must be an atlas combo");
+        }
+    }
+
+    #[test]
     fn tags_roundtrip() {
-        for k in PolicyKind::ALL {
+        for k in PolicyKind::atlas() {
             assert_eq!(parse_policy_tag(policy_tag(k)), Some(k));
         }
         for m in [
@@ -441,10 +609,16 @@ mod tests {
         for o in [
             ObjectiveKind::AvgResponseTime,
             ObjectiveKind::AvgWeightedResponseTime,
+            ObjectiveKind::AvgBoundedSlowdown,
         ] {
             assert_eq!(parse_objective_tag(objective_tag(o)), Some(o));
         }
         assert_eq!(parse_policy_tag("nope"), None);
+        // The priority FCFS row must not collide with the paper's row.
+        assert_ne!(
+            policy_tag(PolicyKind::Fcfs),
+            policy_tag(PolicyKind::Priority(ScoreFn::Fcfs))
+        );
     }
 
     #[test]

@@ -23,13 +23,17 @@
 //!   [`jobsched_json`] crate (the build is fully offline: no serde) and
 //!   is re-exported here as [`json`] for the existing callers;
 //! * [`runner`] — [`runner::run_campaign`] gluing it all together;
-//! * [`progress`] — throttled stderr progress reporting.
+//! * [`progress`] — throttled stderr progress reporting;
+//! * [`atlas`] — the scheduler-atlas report: `bench-atlas/1` JSON and
+//!   the `ATLAS.md` Pareto summary rendered from a finished campaign
+//!   (driven by the `atlas` binary).
 //!
 //! Determinism contract: for a fixed campaign definition the
 //! deterministic payload of every record — and therefore every
 //! assembled table — is bit-identical regardless of `jobs`, cache
 //! state, or which worker thread ran which cell.
 
+pub mod atlas;
 pub mod cache;
 pub mod grid;
 pub mod hash;
@@ -40,6 +44,7 @@ pub mod progress;
 pub mod record;
 pub mod runner;
 
+pub use atlas::{build_report, check_clean, AtlasReport, ATLAS_SCHEMA};
 pub use cache::ResultCache;
 pub use grid::{Campaign, CellSpec, TableDef, WorkloadSpec};
 pub use record::{RunRecord, SCHEMA_VERSION};

@@ -1,8 +1,10 @@
 //! Batch-vs-streaming equivalence, end to end: for every algorithm in
-//! the paper's 13-cell matrix, the streaming pipeline must produce the
-//! same schedule as the retained batch engine loop, and every online
-//! accumulator must produce the same cost — *bit for bit*, not within a
-//! tolerance — as its batch objective over that schedule.
+//! the full scheduler atlas — the paper's 13-cell matrix plus the
+//! priority family (every scoring rule × every backfill mode) — the
+//! streaming pipeline must produce the same schedule as the retained
+//! batch engine loop, and every online accumulator must produce the
+//! same cost — *bit for bit*, not within a tolerance — as its batch
+//! objective over that schedule.
 //!
 //! Exactness holds because both paths share one arithmetic: the batch
 //! objectives replay the schedule through the same integer/Q52
@@ -34,7 +36,7 @@ fn prob_1k() -> Workload {
 /// online accumulator, and return their costs alongside the pipeline's
 /// engine counters.
 fn stream_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64, usize) {
-    let mut scheduler = spec.build(WeightScheme::Unweighted);
+    let mut scheduler = spec.build_dyn(WeightScheme::Unweighted, true);
     let mut art = OnlineArt::new();
     let mut awrt = OnlineAwrt::new();
     let mut makespan = OnlineMakespan::new();
@@ -53,7 +55,7 @@ fn stream_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64
     ];
     let mut sinks: Vec<StreamingObserver> =
         accumulators.into_iter().map(StreamingObserver).collect();
-    let mut pipeline = SimPipeline::new(&mut source, &mut scheduler);
+    let mut pipeline = SimPipeline::new(&mut source, &mut *scheduler);
     for sink in &mut sinks {
         pipeline = pipeline.observe(sink);
     }
@@ -64,8 +66,8 @@ fn stream_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64
 
 /// The same six costs, computed batch-style from the finished schedule.
 fn batch_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64, usize) {
-    let mut scheduler = spec.build(WeightScheme::Unweighted);
-    let out = simulate_batch(workload, &mut scheduler);
+    let mut scheduler = spec.build_dyn(WeightScheme::Unweighted, true);
+    let out = simulate_batch(workload, &mut *scheduler);
     let objectives: [&dyn Objective; 6] = [
         &AvgResponseTime,
         &AvgWeightedResponseTime,
@@ -90,7 +92,7 @@ fn assert_equivalence(workload: &Workload, label: &str) {
         "bounded-slowdown",
         "sum-wC",
     ];
-    for spec in AlgorithmSpec::paper_matrix() {
+    for spec in AlgorithmSpec::atlas_matrix() {
         let (stream, s_events, s_rounds, s_peak) = stream_costs(workload, spec);
         let (batch, b_events, b_rounds, b_peak) = batch_costs(workload, spec);
         for ((name, s), b) in NAMES.iter().zip(&stream).zip(&batch) {
@@ -126,9 +128,10 @@ fn pipeline_schedule_matches_batch_engine_across_the_matrix() {
     // identical between the streaming pipeline (`simulate` is now a
     // wrapper over it) and the retained monolithic loop.
     let w = prob_1k();
-    for spec in AlgorithmSpec::paper_matrix() {
-        let batch = simulate_batch(&w, &mut spec.build(WeightScheme::ProjectedArea));
-        let stream = jobsched::sim::simulate(&w, &mut spec.build(WeightScheme::ProjectedArea));
+    for spec in AlgorithmSpec::atlas_matrix() {
+        let batch = simulate_batch(&w, &mut *spec.build_dyn(WeightScheme::ProjectedArea, true));
+        let stream =
+            jobsched::sim::simulate(&w, &mut *spec.build_dyn(WeightScheme::ProjectedArea, true));
         assert_eq!(
             batch.schedule,
             stream.schedule,
