@@ -112,6 +112,13 @@ impl Json {
         out
     }
 
+    /// Serialise compactly into an existing buffer, amortising the
+    /// allocation — the serving daemon's reactor frames thousands of
+    /// replies per second through one scratch string.
+    pub fn write_compact(&self, out: &mut String) {
+        self.write(out, None, 0);
+    }
+
     /// Serialise with two-space indentation (manifests meant for humans).
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();

@@ -10,6 +10,7 @@
 //!                [--time-scale X | --virtual]
 //!                [--queue-bound N] [--max-connections N]
 //!                [--read-timeout-ms MS] [--restore PATH]
+//!                [--shards N] [--replica]
 //! ```
 //!
 //! `SPEC` is a policy (`fcfs`, `psrs`, `smart-ffia`, `smart-nfiw`,
@@ -17,6 +18,10 @@
 //! `+easy`), or `paper-switch` for the §7 day/night combination.
 //! `--restore` loads a checkpoint file (the `state` object returned by
 //! `checkpoint` or `shutdown --checkpoint`) before accepting traffic.
+//! `--shards N` runs N engine shards (each an independent `--nodes`
+//! machine owning the job ids in its residue class `id % N`); `--replica`
+//! streams every shard's input log to a warm standby so a crashed shard
+//! (see the `crash` op) fails over with exact state.
 
 use jobsched_json::Json;
 use jobsched_serve::client::Client;
@@ -34,7 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: jobsched-serve [--listen ADDR] [--nodes N] [--scheduler SPEC] \
          [--time-scale X | --virtual] [--queue-bound N] [--max-connections N] \
-         [--read-timeout-ms MS] [--restore PATH]"
+         [--read-timeout-ms MS] [--restore PATH] [--shards N] [--replica]"
     );
     std::process::exit(2);
 }
@@ -78,6 +83,18 @@ fn parse_args() -> Args {
                     Duration::from_millis(value(i).parse().expect("--read-timeout-ms MS"))
             }
             "--restore" => args.restore = Some(value(i).clone()),
+            "--shards" => {
+                args.config.shards = value(i).parse().expect("--shards N");
+                if args.config.shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--replica" => {
+                args.config.replica = true;
+                i += 1;
+                continue;
+            }
             _ => usage(),
         }
         i += 2;
@@ -89,6 +106,12 @@ fn main() {
     let args = parse_args();
     let label = args.config.scheduler.label();
     let nodes = args.config.machine_nodes;
+    let shards = args.config.shards;
+    let replica = if args.config.replica {
+        " with warm replicas"
+    } else {
+        ""
+    };
     let clock = if args.config.virtual_clock {
         "virtual".to_string()
     } else {
@@ -99,7 +122,8 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "jobsched-serve: {label} on {nodes} nodes, {clock} clock, listening on {}",
+        "jobsched-serve: {label} on {shards} x {nodes}-node shard(s){replica}, \
+         {clock} clock, listening on {}",
         server.addr()
     );
 

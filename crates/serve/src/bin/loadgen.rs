@@ -3,23 +3,25 @@
 //! Replays a probabilistic CTC workload (§6.2 model) against a daemon at
 //! a scaled arrival rate over many concurrent connections, then asks for
 //! a graceful shutdown and reports sustained throughput and submit
-//! latency percentiles to `BENCH_serve.json` (schema in
-//! `EXPERIMENTS.md`).
+//! latency percentiles to `BENCH_serve.json` (`bench-serve/2` schema,
+//! documented in `EXPERIMENTS.md`).
 //!
-//! By default it starts an in-process daemon on a loopback port (wall
-//! clock at `--time-scale`); point `--addr` at a running daemon to load
-//! an external one instead — the shutdown request is skipped unless the
-//! daemon was ours.
+//! Each measurement is one *cell*: a (connections × shards) pair run
+//! against a fresh in-process daemon on a loopback port (wall clock at
+//! `--time-scale`). `--curve` runs several cells back to back — the
+//! conns × shards scaling curve of the serve bench. Point `--addr` at a
+//! running daemon to load an external one instead (single cell only;
+//! the shutdown request is skipped because the daemon is not ours).
 //!
 //! Usage:
 //! ```text
-//! loadgen [--jobs N] [--connections C] [--time-scale X] [--scheduler SPEC]
-//!         [--nodes N] [--seed S] [--addr HOST:PORT] [--out PATH]
-//!         [--assert-clean]
+//! loadgen [--jobs N] [--connections C] [--shards S] [--curve CxS,CxS,...]
+//!         [--time-scale X] [--scheduler SPEC] [--nodes N] [--seed S]
+//!         [--addr HOST:PORT] [--out PATH] [--assert-clean]
 //! ```
 //!
-//! `--assert-clean` exits non-zero unless every job was admitted,
-//! finished, and zero requests errored — the CI smoke gate.
+//! `--assert-clean` exits non-zero unless, in every cell, every job was
+//! admitted, finished, and zero requests errored — the CI smoke gate.
 
 use jobsched_json::Json;
 use jobsched_serve::client::Client;
@@ -39,7 +41,8 @@ const SEED: u64 = 1999;
 
 struct Args {
     jobs: usize,
-    connections: usize,
+    /// The (connections, shards) cells to measure, in order.
+    cells: Vec<(usize, usize)>,
     time_scale: f64,
     scheduler: String,
     nodes: u32,
@@ -49,10 +52,39 @@ struct Args {
     assert_clean: bool,
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--jobs N] [--connections C] [--shards S] \
+         [--curve CxS,CxS,...] [--time-scale X] [--scheduler SPEC] \
+         [--nodes N] [--seed S] [--addr HOST:PORT] [--out PATH] \
+         [--assert-clean]"
+    );
+    std::process::exit(2);
+}
+
+/// Parse `"8x1,64x2,128x4"` into [(8,1), (64,2), (128,4)].
+fn parse_curve(s: &str) -> Vec<(usize, usize)> {
+    s.split(',')
+        .map(|cell| {
+            let (c, sh) = cell.trim().split_once('x').unwrap_or_else(|| {
+                eprintln!("--curve cells look like CONNSxSHARDS, got '{cell}'");
+                std::process::exit(2);
+            });
+            let conns: usize = c.trim().parse().expect("--curve connections");
+            let shards: usize = sh.trim().parse().expect("--curve shards");
+            if conns == 0 || shards == 0 {
+                eprintln!("--curve cells need at least 1 connection and 1 shard");
+                std::process::exit(2);
+            }
+            (conns, shards)
+        })
+        .collect()
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         jobs: 10_000,
-        connections: 8,
+        cells: Vec::new(),
         time_scale: 1_000_000.0,
         scheduler: "fcfs+easy".to_string(),
         nodes: 256,
@@ -61,6 +93,8 @@ fn parse_args() -> Args {
         out: "BENCH_serve.json".to_string(),
         assert_clean: false,
     };
+    let (mut connections, mut shards) = (8usize, 1usize);
+    let mut curve: Option<Vec<(usize, usize)>> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -72,7 +106,9 @@ fn parse_args() -> Args {
         };
         match argv[i].as_str() {
             "--jobs" => args.jobs = value(i).parse().expect("--jobs N"),
-            "--connections" => args.connections = value(i).parse().expect("--connections C"),
+            "--connections" => connections = value(i).parse().expect("--connections C"),
+            "--shards" => shards = value(i).parse().expect("--shards S"),
+            "--curve" => curve = Some(parse_curve(value(i))),
             "--time-scale" => args.time_scale = value(i).parse().expect("--time-scale X"),
             "--scheduler" => args.scheduler = value(i).clone(),
             "--nodes" => args.nodes = value(i).parse().expect("--nodes N"),
@@ -84,16 +120,14 @@ fn parse_args() -> Args {
                 i += 1;
                 continue;
             }
-            bad => {
-                eprintln!(
-                    "unknown argument: {bad}\nusage: loadgen [--jobs N] [--connections C] \
-                     [--time-scale X] [--scheduler SPEC] [--nodes N] [--seed S] \
-                     [--addr HOST:PORT] [--out PATH] [--assert-clean]"
-                );
-                std::process::exit(2);
-            }
+            _ => usage(),
         }
         i += 2;
+    }
+    args.cells = curve.unwrap_or_else(|| vec![(connections.max(1), shards.max(1))]);
+    if args.addr.is_some() && args.cells.len() > 1 {
+        eprintln!("--curve needs in-process daemons; it cannot be combined with --addr");
+        std::process::exit(2);
     }
     args
 }
@@ -188,13 +222,14 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
-fn main() {
-    let args = parse_args();
+/// Run one (connections × shards) cell and report it as a JSON object
+/// plus its clean verdict.
+fn run_cell(args: &Args, jobs: &[Job], connections: usize, shards: usize) -> (Json, bool) {
     eprintln!(
-        "loadgen: {} jobs over {} connections at x{} ({})",
-        args.jobs, args.connections, args.time_scale, args.scheduler
+        "loadgen: {} jobs over {connections} connections x {shards} shard(s) \
+         at x{} ({})",
+        args.jobs, args.time_scale, args.scheduler
     );
-    let jobs = generate_jobs(args.jobs, args.seed);
 
     // An in-process daemon unless pointed at an external one. The queue
     // bound admits the whole run: loadgen measures serving overhead, not
@@ -208,8 +243,9 @@ fn main() {
             machine_nodes: args.nodes,
             scheduler: spec,
             queue_bound: args.jobs + 1,
-            max_connections: args.connections + 4,
+            max_connections: connections + 4,
             time_scale: args.time_scale,
+            shards,
             ..ServeConfig::default()
         };
         Some(Server::start("127.0.0.1:0", config).expect("bind loopback"))
@@ -224,7 +260,7 @@ fn main() {
 
     let queue = Arc::new(Mutex::new(jobs.iter().cloned().collect::<VecDeque<_>>()));
     let origin = Instant::now();
-    let workers: Vec<_> = (0..args.connections.max(1))
+    let workers: Vec<_> = (0..connections.max(1))
         .map(|_| {
             let queue = Arc::clone(&queue);
             let scale = args.time_scale;
@@ -287,26 +323,30 @@ fn main() {
         .and_then(|r| r.get("unfinished"))
         .and_then(|v| v.as_u64())
         .unwrap_or(0);
+    let finished = metric_u64("jobs_finished");
+    let clean = submitted == args.jobs as u64
+        && finished == args.jobs as u64
+        && rejected == 0
+        && errors == 0
+        && unfinished == 0
+        && graceful;
 
-    let report = Json::obj([
-        ("schema", Json::Str("bench-serve/1".into())),
-        (
-            "config",
-            Json::obj([
-                ("jobs", Json::UInt(args.jobs as u64)),
-                ("connections", Json::UInt(args.connections as u64)),
-                ("time_scale", Json::Num(args.time_scale)),
-                ("scheduler", Json::Str(args.scheduler.clone())),
-                ("machine_nodes", Json::UInt(args.nodes as u64)),
-                ("seed", Json::UInt(args.seed)),
-            ]),
-        ),
+    eprintln!(
+        "loadgen: {connections}x{shards}: {submitted} submitted, {finished} finished, \
+         {rejected} rejected, {errors} errors in {:.2}s \
+         ({throughput:.0} req/s; submit p50 {p50}us p99 {p99}us)",
+        wall.as_secs_f64(),
+    );
+
+    let cell = Json::obj([
+        ("connections", Json::UInt(connections as u64)),
+        ("shards", Json::UInt(shards as u64)),
         ("wall_seconds", Json::Num(wall.as_secs_f64())),
         ("submit_wall_seconds", Json::Num(submit_wall.as_secs_f64())),
         ("submitted", Json::UInt(submitted)),
         ("rejected", Json::UInt(rejected)),
         ("request_errors", Json::UInt(errors)),
-        ("finished", Json::UInt(metric_u64("jobs_finished"))),
+        ("finished", Json::UInt(finished)),
         ("throughput_rps", Json::Num(throughput)),
         (
             "submit_latency_us",
@@ -328,30 +368,47 @@ fn main() {
         ),
         ("graceful_shutdown", Json::Bool(graceful)),
         ("unfinished", Json::UInt(unfinished)),
+        ("clean", Json::Bool(clean)),
+    ]);
+    (cell, clean)
+}
+
+fn main() {
+    let args = parse_args();
+    let jobs = generate_jobs(args.jobs, args.seed);
+
+    let mut cells = Vec::with_capacity(args.cells.len());
+    let mut all_clean = true;
+    for &(connections, shards) in &args.cells {
+        let (cell, clean) = run_cell(&args, &jobs, connections, shards);
+        cells.push(cell);
+        all_clean &= clean;
+    }
+
+    let report = Json::obj([
+        ("schema", Json::Str("bench-serve/2".into())),
+        (
+            "config",
+            Json::obj([
+                ("jobs", Json::UInt(args.jobs as u64)),
+                ("time_scale", Json::Num(args.time_scale)),
+                ("scheduler", Json::Str(args.scheduler.clone())),
+                ("machine_nodes", Json::UInt(args.nodes as u64)),
+                ("seed", Json::UInt(args.seed)),
+            ]),
+        ),
+        ("cells", Json::Arr(cells)),
     ]);
     std::fs::write(&args.out, report.to_string_pretty() + "\n").expect("write report");
     eprintln!(
-        "loadgen: {submitted} submitted, {} finished, {rejected} rejected, {errors} errors \
-         in {:.2}s ({throughput:.0} req/s; submit p50 {p50}us p99 {p99}us) -> {}",
-        metric_u64("jobs_finished"),
-        wall.as_secs_f64(),
+        "loadgen: wrote {} cell(s) -> {}",
+        args.cells.len(),
         args.out
     );
 
     if args.assert_clean {
-        let finished = metric_u64("jobs_finished");
-        let clean = submitted == args.jobs as u64
-            && finished == args.jobs as u64
-            && rejected == 0
-            && errors == 0
-            && unfinished == 0
-            && graceful;
-        if !clean {
-            eprintln!(
-                "loadgen: NOT CLEAN (submitted {submitted}/{}, finished {finished}, \
-                 rejected {rejected}, errors {errors}, unfinished {unfinished}, graceful {graceful})",
-                args.jobs
-            );
+        if !all_clean {
+            eprintln!("loadgen: NOT CLEAN (see per-cell lines above)");
             std::process::exit(1);
         }
         eprintln!("loadgen: clean run");

@@ -50,6 +50,20 @@ impl Client {
         jobsched_json::parse(reply.trim()).map_err(|e| format!("bad reply JSON: {e}"))
     }
 
+    /// Read one reply line without sending anything — for tests that
+    /// push several frames in one write and collect the replies.
+    pub fn read_reply(&mut self) -> Result<Json, String> {
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed by daemon".into());
+        }
+        jobsched_json::parse(reply.trim()).map_err(|e| format!("bad reply JSON: {e}"))
+    }
+
     /// Send a request and insist the reply has `"ok": true`.
     pub fn expect_ok(&mut self, req: Json) -> Result<Json, String> {
         let reply = self.request(req)?;

@@ -3,11 +3,20 @@
 //!
 //! ## Threading model
 //!
-//! Exactly one engine runs per daemon, consuming [`Command`]s from an
-//! mpsc channel fed by the connection threads. All scheduling state is
-//! confined to this thread — there are no locks around the simulation;
-//! concurrency is resolved by the channel's arrival order, and replies
-//! travel back over per-request channels.
+//! One engine runs per *shard*, consuming request batches from an mpsc
+//! channel fed by the reactor (see [`crate::reactor`]). All scheduling
+//! state is confined to the shard thread — there are no locks around
+//! the simulation; concurrency is resolved by the channel's arrival
+//! order, and replies travel back to the reactor for in-order delivery.
+//!
+//! ## Sharding
+//!
+//! A sharded daemon runs N engines, each an independent full machine.
+//! Shard k owns exactly the job ids `≡ k (mod N)` — explicit ids route
+//! by `id % N`, and auto-assigned ids are *striped*: shard k only ever
+//! assigns ids in its own residue class (`id_offset`/`id_stride`), so a
+//! shard's schedule is bit-identical to a single-shard daemon (or a
+//! batch run) fed only its residue class of the trace.
 //!
 //! ## Time
 //!
@@ -37,6 +46,7 @@
 //! (placements, metrics) is reproduced, not stored.
 
 use crate::protocol::{self, PolicyForce, Request};
+use crate::replica::ReplicaLog;
 use crate::{ServeConfig, ServeSched};
 use jobsched_json::Json;
 use jobsched_metrics::OnlineMetrics;
@@ -45,20 +55,11 @@ use jobsched_sim::{
 };
 use jobsched_workload::{Job, JobBuilder, JobId, Time};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-/// Checkpoint schema identifier.
+/// Checkpoint schema identifier (one engine's input log).
 pub const CHECKPOINT_SCHEMA: &str = "serve-checkpoint/1";
-
-/// One unit of work for the engine thread.
-pub struct Command {
-    /// The parsed request.
-    pub request: Request,
-    /// Where the reply goes (send errors are ignored: a vanished client
-    /// must not stall the engine).
-    pub reply: mpsc::Sender<Json>,
-}
 
 /// The daemon's clock: concrete so restore can swap regimes.
 enum EngineClock {
@@ -189,16 +190,47 @@ impl SimObserver for StatusStore {
 /// One replayable input: what happened, and the simulated instant the
 /// engine applied it at.
 #[derive(Clone, Debug)]
-struct InputRecord {
-    at: Time,
-    op: InputOp,
+pub(crate) struct InputRecord {
+    pub(crate) at: Time,
+    pub(crate) op: InputOp,
 }
 
 #[derive(Clone, Debug)]
-enum InputOp {
+pub(crate) enum InputOp {
     Submit(Job),
     Cancel(JobId),
     Policy(Option<bool>),
+}
+
+/// Serialise one input record into its checkpoint form — shared by the
+/// engine's own checkpoints and the replica log's reconstruction.
+pub(crate) fn input_json(rec: &InputRecord) -> Json {
+    let mut pairs = vec![("at", Json::UInt(rec.at))];
+    match &rec.op {
+        InputOp::Submit(job) => {
+            pairs.push(("op", Json::Str("submit".into())));
+            pairs.push(("id", Json::UInt(job.id.0 as u64)));
+            pairs.push(("submit", Json::UInt(job.submit)));
+            pairs.push(("nodes", Json::UInt(job.nodes as u64)));
+            pairs.push(("requested", Json::UInt(job.requested_time)));
+            pairs.push(("runtime", Json::UInt(job.runtime)));
+            pairs.push(("user", Json::UInt(job.user as u64)));
+        }
+        InputOp::Cancel(id) => {
+            pairs.push(("op", Json::Str("cancel".into())));
+            pairs.push(("id", Json::UInt(id.0 as u64)));
+        }
+        InputOp::Policy(forced) => {
+            pairs.push(("op", Json::Str("policy".into())));
+            let f = match forced {
+                Some(true) => "day",
+                Some(false) => "night",
+                None => "auto",
+            };
+            pairs.push(("force", Json::Str(f.into())));
+        }
+    }
+    Json::obj(pairs)
 }
 
 /// The serving engine. See the module docs for the big picture.
@@ -218,17 +250,38 @@ pub struct Engine {
     draining: bool,
     dirty: bool,
     next_auto_id: u32,
+    /// Auto-assigned ids satisfy `id ≡ id_offset (mod id_stride)` —
+    /// the shard's residue class. `(0, 1)` for an unsharded engine.
+    id_offset: u32,
+    id_stride: u32,
+    /// Warm standby: every input record and clock watermark is streamed
+    /// here so a crashed shard can be rebuilt with exact state.
+    replica: Option<Arc<Mutex<ReplicaLog>>>,
     requests: u64,
     rejected: u64,
 }
 
 impl Engine {
-    /// A fresh engine for `config`.
+    /// A fresh unsharded engine for `config`.
     pub fn new(config: ServeConfig) -> Self {
+        Engine::for_shard(config, 0, 1, None)
+    }
+
+    /// A fresh engine owning shard `shard` of `shards`. All shards of
+    /// one daemon share a wall-clock `origin` so their notions of "now"
+    /// agree exactly (`None` anchors at construction time).
+    pub fn for_shard(
+        config: ServeConfig,
+        shard: usize,
+        shards: usize,
+        origin: Option<Instant>,
+    ) -> Self {
+        assert!(shards >= 1 && shard < shards, "shard {shard} of {shards}");
         let clock = if config.virtual_clock {
             EngineClock::Sim(SimClock::new())
         } else {
-            EngineClock::Wall(WallClock::new(config.time_scale))
+            let origin = origin.unwrap_or_else(Instant::now);
+            EngineClock::Wall(WallClock::with_origin(origin, 0, config.time_scale))
         };
         Engine {
             clock,
@@ -242,16 +295,37 @@ impl Engine {
             inputs: Vec::new(),
             draining: false,
             dirty: false,
-            next_auto_id: 0,
+            next_auto_id: shard as u32,
+            id_offset: shard as u32,
+            id_stride: shards as u32,
+            replica: None,
             requests: 0,
             rejected: 0,
             config,
         }
     }
 
+    /// Attach a replica log. Subsequent inputs (and, on restore, the
+    /// replayed log) stream into it, keeping the standby warm.
+    pub(crate) fn with_replica(mut self, log: Arc<Mutex<ReplicaLog>>) -> Self {
+        self.replica = Some(log);
+        self
+    }
+
     /// Current simulated instant.
     pub fn now(&self) -> Time {
         self.clock.now()
+    }
+
+    /// `true` when time only moves via the `advance` op.
+    pub(crate) fn is_virtual(&self) -> bool {
+        self.clock.is_virtual()
+    }
+
+    /// Real time until the next scheduled event matures (`None`: no
+    /// event is scheduled). The shard loop sleeps at most this long.
+    pub(crate) fn delay_to_next(&self) -> Option<Duration> {
+        self.next_instant().map(|t| self.clock.real_delay_until(t))
     }
 
     /// Earliest instant at which anything is scheduled to happen.
@@ -277,8 +351,14 @@ impl Engine {
     }
 
     /// Process every event due at or before the clock's "now".
-    fn pump(&mut self) {
+    pub(crate) fn pump(&mut self) {
         let now = self.clock.now();
+        if let Some(rep) = &self.replica {
+            let mut r = rep.lock().expect("replica lock");
+            r.watermark = r.watermark.max(now);
+            r.draining = self.draining;
+            r.next_auto_id = self.next_auto_id;
+        }
         self.refill(now);
         while self.live.next_event_time().is_some_and(|t| t <= now) {
             let next_external = self.pending.keys().next().map(|k| k.0);
@@ -318,27 +398,51 @@ impl Engine {
         Ok(())
     }
 
+    /// Append one input to the log (and stream it to the replica): the
+    /// single point through which every replayable mutation passes.
+    fn record(&mut self, rec: InputRecord) {
+        if let Some(rep) = &self.replica {
+            let mut r = rep.lock().expect("replica lock");
+            r.watermark = r.watermark.max(rec.at);
+            r.records.push(rec.clone());
+        }
+        self.inputs.push(rec);
+        self.dirty = true;
+    }
+
+    /// Raise `next_auto_id` to at least `floor`, rounded up into this
+    /// shard's residue class so auto-ids never leave it.
+    fn bump_auto_id(&mut self, floor: u32) {
+        let stride = self.id_stride.max(1) as u64;
+        let offset = self.id_offset as u64;
+        let floor = floor as u64;
+        let aligned = if floor % stride <= offset {
+            floor - floor % stride + offset
+        } else {
+            floor - floor % stride + stride + offset
+        };
+        self.next_auto_id = self.next_auto_id.max(aligned.min(u32::MAX as u64) as u32);
+    }
+
     /// Admit a validated job: record it and buffer it for injection.
     fn admit(&mut self, job: Job) {
         self.used_ids.insert(job.id);
-        self.next_auto_id = self.next_auto_id.max(job.id.0 + 1);
-        self.inputs.push(InputRecord {
+        self.bump_auto_id(job.id.0.saturating_add(1));
+        self.record(InputRecord {
             at: self.clock.now(),
             op: InputOp::Submit(job.clone()),
         });
         self.pending.insert((job.submit, job.id), job);
-        self.dirty = true;
     }
 
     /// Apply a cancellation (shared by live handling and replay).
     /// Returns the lifecycle phase label for the reply.
     fn apply_cancel(&mut self, id: JobId) -> &'static str {
         let now = self.clock.now();
-        self.inputs.push(InputRecord {
+        self.record(InputRecord {
             at: now,
             op: InputOp::Cancel(id),
         });
-        self.dirty = true;
         if let Some(key) = self.pending.keys().find(|k| k.1 == id).copied() {
             self.pending.remove(&key);
             self.cancelled_presubmit.insert(id);
@@ -368,11 +472,10 @@ impl Engine {
             ));
         };
         sw.force_regime(forced);
-        self.inputs.push(InputRecord {
+        self.record(InputRecord {
             at: now,
             op: InputOp::Policy(forced),
         });
-        self.dirty = true;
         // The flip re-orders the backlog: run a decision round now.
         self.live.request_decision(now);
         self.pump();
@@ -420,8 +523,10 @@ impl Engine {
                 i
             }
             None => {
+                // Step by the shard stride: auto-ids stay in this
+                // shard's residue class.
                 while self.used_ids.contains(&JobId(self.next_auto_id)) {
-                    self.next_auto_id += 1;
+                    self.next_auto_id += self.id_stride.max(1);
                 }
                 self.next_auto_id
             }
@@ -581,38 +686,7 @@ impl Engine {
     }
 
     fn checkpoint_json(&self) -> Json {
-        let inputs: Vec<Json> = self
-            .inputs
-            .iter()
-            .map(|rec| {
-                let mut pairs = vec![("at", Json::UInt(rec.at))];
-                match &rec.op {
-                    InputOp::Submit(job) => {
-                        pairs.push(("op", Json::Str("submit".into())));
-                        pairs.push(("id", Json::UInt(job.id.0 as u64)));
-                        pairs.push(("submit", Json::UInt(job.submit)));
-                        pairs.push(("nodes", Json::UInt(job.nodes as u64)));
-                        pairs.push(("requested", Json::UInt(job.requested_time)));
-                        pairs.push(("runtime", Json::UInt(job.runtime)));
-                        pairs.push(("user", Json::UInt(job.user as u64)));
-                    }
-                    InputOp::Cancel(id) => {
-                        pairs.push(("op", Json::Str("cancel".into())));
-                        pairs.push(("id", Json::UInt(id.0 as u64)));
-                    }
-                    InputOp::Policy(forced) => {
-                        pairs.push(("op", Json::Str("policy".into())));
-                        let f = match forced {
-                            Some(true) => "day",
-                            Some(false) => "night",
-                            None => "auto",
-                        };
-                        pairs.push(("force", Json::Str(f.into())));
-                    }
-                }
-                Json::obj(pairs)
-            })
-            .collect();
+        let inputs: Vec<Json> = self.inputs.iter().map(input_json).collect();
         Json::obj([
             ("schema", Json::Str(CHECKPOINT_SCHEMA.into())),
             ("scheduler", Json::Str(self.config.scheduler.label())),
@@ -638,8 +712,9 @@ impl Engine {
     }
 
     /// Rebuild engine state from a checkpoint by replaying its input
-    /// log. Only a fresh engine may restore.
-    fn restore(&mut self, state: &Json) -> Result<u64, String> {
+    /// log. Only a fresh engine may restore. With a replica attached,
+    /// replay re-streams the log into it, re-warming the standby.
+    pub(crate) fn restore(&mut self, state: &Json) -> Result<u64, String> {
         if self.dirty {
             return Err("restore requires a fresh daemon (no inputs applied yet)".into());
         }
@@ -714,7 +789,7 @@ impl Engine {
         }
         self.advance(Some(now)).expect("replay clock is virtual");
         self.draining = draining;
-        self.next_auto_id = self.next_auto_id.max(next_auto_id);
+        self.bump_auto_id(next_auto_id);
         if let Some(scale) = wall_scale {
             self.clock = EngineClock::Wall(WallClock::starting_at(now, scale));
         }
@@ -800,43 +875,11 @@ impl Engine {
                 graceful,
                 checkpoint,
             } => return (self.handle_shutdown(graceful, checkpoint), true),
+            // The shard loop intercepts `crash` before the engine (it
+            // must drain its channel); reaching here still stops.
+            Request::Crash { .. } => return (protocol::ok([("crashed", Json::Bool(true))]), true),
         };
         (reply, false)
-    }
-
-    /// Consume commands until shutdown. Under a wall clock the loop
-    /// sleeps only until the next simulated event matures; under a
-    /// virtual clock it blocks until a command arrives.
-    pub fn run(mut self, rx: mpsc::Receiver<Command>) {
-        loop {
-            self.pump();
-            let cmd = if self.clock.is_virtual() {
-                rx.recv().ok()
-            } else {
-                match self.next_instant() {
-                    None => rx.recv().ok(),
-                    Some(t) => {
-                        let d = self.clock.real_delay_until(t);
-                        if d.is_zero() {
-                            continue; // due: pump on the next iteration
-                        }
-                        match rx.recv_timeout(d) {
-                            Ok(c) => Some(c),
-                            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-                            Err(mpsc::RecvTimeoutError::Disconnected) => None,
-                        }
-                    }
-                }
-            };
-            let Some(Command { request, reply }) = cmd else {
-                break; // every client handle dropped: nothing left to serve
-            };
-            let (response, stop) = self.handle(request);
-            let _ = reply.send(response);
-            if stop {
-                break;
-            }
-        }
     }
 }
 

@@ -10,14 +10,20 @@
 //! JSON over TCP (hand-rolled on `std::net`; the build stays
 //! dependency-free).
 //!
-//! * [`engine`] — the scheduler thread: virtual or scaled wall-clock
+//! * [`engine`] — one scheduler shard: virtual or scaled wall-clock
 //!   time, admission control, status/metrics bookkeeping, and
 //!   checkpoint/restore via input-log replay;
 //! * [`protocol`] — request parsing and reply shapes
 //!   (`submit`/`cancel`/`status`/`queue`/`drain`/`policy`/`metrics`/
-//!   `advance`/`checkpoint`/`restore`/`shutdown`);
-//! * [`server`] — TCP acceptor with a bounded connection pool and
-//!   per-connection read timeouts;
+//!   `advance`/`checkpoint`/`restore`/`shutdown`/`crash`);
+//! * [`reactor`] — the nonblocking readiness loop (raw-syscall epoll
+//!   via [`sys`]) multiplexing every connection, batching decode and
+//!   dispatch per wakeup across N engine shards;
+//! * [`router`] — the deterministic shard router (`id % shards`) and
+//!   aggregate-reply merging for broadcast operations;
+//! * [`replica`] — warm standby per shard: streamed input logs and
+//!   exact-state promotion on failover;
+//! * [`server`] — bind/start/stop lifecycle around the reactor;
 //! * [`client`] — a tiny blocking client used by the tests and the
 //!   `loadgen` bench bin.
 //!
@@ -26,11 +32,18 @@
 //! connection delivered them first, so a served workload's schedule is
 //! bit-identical to a batch [`simulate`](jobsched_sim::simulate) run —
 //! the integration tests pin this across all 13 paper algorithm combos.
+//! Sharding preserves it shard-wise: shard k of N owns the job ids
+//! `≡ k (mod N)` and schedules them exactly as a single-shard daemon
+//! (or batch run) fed only that residue class.
 
 pub mod client;
 pub mod engine;
 pub mod protocol;
+pub mod reactor;
+pub mod replica;
+pub mod router;
 pub mod server;
+pub mod sys;
 
 use jobsched_algos::spec::PolicyKind;
 use jobsched_algos::switching::SwitchingScheduler;
@@ -227,6 +240,13 @@ pub struct ServeConfig {
     /// Completed-job records kept for `status` queries; older ones are
     /// retired to keep daemon memory bounded.
     pub retain_completed: usize,
+    /// Engine shards. Each shard is an independent `machine_nodes`-node
+    /// machine owning the job ids in its residue class (`id % shards`);
+    /// total cluster capacity is `shards × machine_nodes`.
+    pub shards: usize,
+    /// Stream each shard's input log to a warm replica, enabling exact
+    /// failover when a shard dies (see the `crash` op).
+    pub replica: bool,
 }
 
 impl Default for ServeConfig {
@@ -240,6 +260,8 @@ impl Default for ServeConfig {
             virtual_clock: false,
             time_scale: 1.0,
             retain_completed: 10_000,
+            shards: 1,
+            replica: false,
         }
     }
 }

@@ -111,6 +111,13 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
+    /// Chaos op: kill one engine shard as if its thread died. With a
+    /// warm replica the daemon promotes it transparently; without one
+    /// the shard's jobs become `unavailable`. Test/benchmark surface.
+    Crash {
+        /// Which shard to kill (default 0).
+        shard: u32,
+    },
 }
 
 fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
@@ -229,6 +236,9 @@ pub fn parse_request(j: &Json) -> Result<Request, String> {
             checkpoint: bool_field(j, "checkpoint", false)?,
         }),
         "ping" => Ok(Request::Ping),
+        "crash" => Ok(Request::Crash {
+            shard: opt_u32(j, "shard")?.unwrap_or(0),
+        }),
         other => Err(format!("unknown op '{other}'")),
     }
 }
@@ -241,8 +251,8 @@ pub fn ok(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
 }
 
 /// An error reply: `kind` is stable and machine-readable (`protocol`,
-/// `rejected`, `unknown-job`, `unsupported`, `busy`), `message` is
-/// human-readable detail.
+/// `rejected`, `unknown-job`, `unsupported`, `busy`, `unavailable`),
+/// `message` is human-readable detail.
 pub fn error(kind: &str, message: impl Into<String>) -> Json {
     Json::obj([
         ("ok", Json::Bool(false)),
@@ -339,6 +349,14 @@ mod tests {
                 graceful: false,
                 checkpoint: false
             }
+        );
+        assert_eq!(
+            req(r#"{"op":"crash"}"#).unwrap(),
+            Request::Crash { shard: 0 }
+        );
+        assert_eq!(
+            req(r#"{"op":"crash","shard":3}"#).unwrap(),
+            Request::Crash { shard: 3 }
         );
     }
 

@@ -1,0 +1,201 @@
+//! Warm standby for an engine shard.
+//!
+//! A checkpoint in this system is the *input log* (see [`crate::engine`]
+//! module docs), so a warm replica is simply that log streamed as it is
+//! written: the engine appends every admitted submission, cancellation,
+//! and policy override to its [`ReplicaLog`] inside the same call that
+//! applies it, and bumps a clock watermark on every pump. Promotion
+//! rebuilds a fresh [`Engine`] by replaying the log — the exact restore
+//! path a checkpoint file would take — so the promoted shard's queue,
+//! machine, and scheduler state are bit-identical to the dead shard's
+//! at its last watermark, and all subsequent placements match a run
+//! that never crashed.
+//!
+//! The log lives behind a mutex shared between the shard thread (writer)
+//! and the reactor (reader, only at promotion). Writes are appends plus
+//! three scalar updates; contention is nil in steady state.
+
+use crate::engine::{self, Engine, InputRecord, CHECKPOINT_SCHEMA};
+use crate::ServeConfig;
+use jobsched_json::Json;
+use jobsched_workload::Time;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Everything needed to rebuild a shard: its input log plus the clock
+/// watermark and the admission scalars that are not derivable from the
+/// log alone.
+#[derive(Default)]
+pub struct ReplicaLog {
+    /// Every replayable input, in application order.
+    pub(crate) records: Vec<InputRecord>,
+    /// The latest simulated instant the shard has pumped to. Promotion
+    /// advances the rebuilt engine here so due events fire exactly as
+    /// they had on the dead shard.
+    pub(crate) watermark: Time,
+    /// Whether the shard was draining (not in the input log).
+    pub(crate) draining: bool,
+    /// The shard's auto-id cursor (monotone; restoring the exact value
+    /// keeps auto-assignments identical across a failover).
+    pub(crate) next_auto_id: u32,
+}
+
+impl ReplicaLog {
+    /// An empty log for a fresh shard.
+    pub fn new() -> Self {
+        ReplicaLog::default()
+    }
+
+    /// Materialise the log as a `serve-checkpoint/1` object — the same
+    /// shape [`Engine`] checkpoints produce, so promotion reuses the
+    /// battle-tested restore path.
+    pub(crate) fn checkpoint_json(&self, config: &ServeConfig) -> Json {
+        let inputs: Vec<Json> = self.records.iter().map(engine::input_json).collect();
+        Json::obj([
+            ("schema", Json::Str(CHECKPOINT_SCHEMA.into())),
+            ("scheduler", Json::Str(config.scheduler.label())),
+            ("machine_nodes", Json::UInt(config.machine_nodes as u64)),
+            ("now", Json::UInt(self.watermark)),
+            ("draining", Json::Bool(self.draining)),
+            ("next_auto_id", Json::UInt(self.next_auto_id as u64)),
+            ("inputs", Json::Arr(inputs)),
+        ])
+    }
+}
+
+/// Rebuild shard `shard` from its replica log. Returns the promoted
+/// engine and the *fresh* log attached to it — replay re-streams every
+/// record into the new log, so the promoted shard is itself promotable.
+pub(crate) fn promote(
+    log: &ReplicaLog,
+    config: &ServeConfig,
+    shard: usize,
+    shards: usize,
+    origin: Instant,
+) -> Result<(Engine, Arc<Mutex<ReplicaLog>>), String> {
+    let state = log.checkpoint_json(config);
+    let fresh = Arc::new(Mutex::new(ReplicaLog::new()));
+    let mut engine = Engine::for_shard(config.clone(), shard, shards, Some(origin))
+        .with_replica(Arc::clone(&fresh));
+    engine.restore(&state)?;
+    Ok((engine, fresh))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+    use crate::SchedulerSpec;
+    use jobsched_workload::JobId;
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            machine_nodes: 16,
+            scheduler: SchedulerSpec::parse("fcfs+easy").unwrap(),
+            virtual_clock: true,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn submit(e: &mut Engine, id: u32, at: Time, nodes: u32, runtime: Time) {
+        let (r, _) = e.handle(Request::Submit {
+            id: Some(id),
+            at: Some(at),
+            nodes,
+            requested: runtime.max(1),
+            runtime,
+            user: 0,
+        });
+        assert_eq!(r.get("ok").and_then(|v| v.as_bool()), Some(true), "{r:?}");
+    }
+
+    fn status(e: &mut Engine, id: u32) -> Json {
+        e.handle(Request::Status { id }).0
+    }
+
+    #[test]
+    fn promoted_shard_matches_an_unkilled_run_exactly() {
+        // Reference: one engine runs the whole trace uninterrupted.
+        let mut reference = Engine::for_shard(config(), 1, 2, None);
+        // Victim: same inputs, streamed to a replica, killed mid-trace.
+        let log = Arc::new(Mutex::new(ReplicaLog::new()));
+        let mut victim = Engine::for_shard(config(), 1, 2, None).with_replica(Arc::clone(&log));
+
+        let first: &[(u32, Time, u32, Time)] = &[(1, 0, 16, 100), (3, 10, 16, 50), (5, 500, 4, 20)];
+        for &(id, at, nodes, rt) in first {
+            submit(&mut reference, id, at, nodes, rt);
+            submit(&mut victim, id, at, nodes, rt);
+        }
+        reference.handle(Request::Cancel { id: 3 });
+        victim.handle(Request::Cancel { id: 3 });
+        reference.handle(Request::Advance { to: Some(60) });
+        victim.handle(Request::Advance { to: Some(60) });
+
+        // Kill the victim; promote its replica.
+        drop(victim);
+        let snapshot = log.lock().unwrap();
+        let (mut promoted, fresh) = promote(&snapshot, &config(), 1, 2, Instant::now()).unwrap();
+        drop(snapshot);
+        assert_eq!(promoted.now(), 60);
+        // The promoted shard re-streamed its log: a second failover
+        // would start from the same state.
+        assert_eq!(fresh.lock().unwrap().records.len(), 4);
+
+        // Subsequent inputs and evolution must match the unkilled run.
+        for e in [&mut reference, &mut promoted] {
+            submit(e, 7, 600, 8, 30);
+            e.handle(Request::Advance { to: None });
+        }
+        // Auto-ids resume identically (shard 1 of 2: odd ids only).
+        for e in [&mut reference, &mut promoted] {
+            let (r, _) = e.handle(Request::Submit {
+                id: None,
+                at: None,
+                nodes: 1,
+                requested: 10,
+                runtime: 10,
+                user: 1,
+            });
+            let id = r.get("id").unwrap().as_u64().unwrap();
+            assert_eq!(id % 2, 1, "auto-id left shard 1's residue class");
+            assert_eq!(id, 9, "auto-id cursor diverged after failover");
+        }
+        for id in [1u32, 3, 5, 7, 9] {
+            assert_eq!(
+                status(&mut reference, id),
+                status(&mut promoted, id),
+                "job {id} diverged after failover"
+            );
+        }
+    }
+
+    #[test]
+    fn promote_rejects_a_mismatched_config() {
+        let log = ReplicaLog::new();
+        let mut other = config();
+        other.machine_nodes = 8;
+        // The log says 16 nodes (via config()), the daemon says 8 —
+        // build the log's checkpoint with the original config, then
+        // try to promote under the wrong one.
+        let state = log.checkpoint_json(&config());
+        let mut engine = Engine::for_shard(other, 0, 1, None);
+        assert!(engine.restore(&state).is_err());
+    }
+
+    #[test]
+    fn watermark_tracks_pumped_time_and_records_stream_live() {
+        let log = Arc::new(Mutex::new(ReplicaLog::new()));
+        let mut e = Engine::for_shard(config(), 0, 2, None).with_replica(Arc::clone(&log));
+        submit(&mut e, 0, 100, 1, 10);
+        assert_eq!(log.lock().unwrap().records.len(), 1);
+        assert!(matches!(
+            log.lock().unwrap().records[0].op,
+            crate::engine::InputOp::Submit(ref j) if j.id == JobId(0)
+        ));
+        e.handle(Request::Advance { to: Some(250) });
+        assert_eq!(log.lock().unwrap().watermark, 250);
+        e.handle(Request::Drain);
+        e.handle(Request::Queue); // any op pumps, syncing the flag
+        assert!(log.lock().unwrap().draining);
+    }
+}

@@ -1,35 +1,23 @@
-//! TCP front end: accept loop, bounded connection pool, and the
-//! per-connection request/reply framing.
+//! The daemon's front door: bind, start the reactor, wind down.
 //!
-//! One thread per connection reads newline-delimited JSON, forwards each
-//! parsed request to the engine over its command channel, and writes the
-//! reply back. Connection threads never touch scheduling state; a
-//! malformed line, a half-closed socket, or a mid-frame disconnect costs
-//! at most its own connection. The accept loop polls a stop flag so the
-//! daemon can wind down without a final doomed `accept()` blocking
-//! forever.
+//! All connection handling lives in [`crate::reactor`] — a single
+//! nonblocking readiness loop multiplexing every socket, feeding N
+//! engine shards. This module is the thin lifecycle wrapper around it:
+//! the public API (`start`/`addr`/`join`/`stop`) is unchanged from the
+//! thread-per-connection era, so bins and tests drive both designs the
+//! same way.
 
-use crate::engine::{Command, Engine};
-use crate::protocol::{self, MAX_LINE};
+use crate::reactor::{self, ReactorHandle};
 use crate::ServeConfig;
-use jobsched_json::Json;
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-/// How often the accept loop re-checks the stop flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-
-/// A running daemon: engine thread + acceptor + connection pool.
+/// A running daemon: reactor thread + shard engine threads.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    tx: mpsc::Sender<Command>,
-    engine: Option<JoinHandle<()>>,
-    acceptor: Option<JoinHandle<()>>,
+    handle: Option<ReactorHandle>,
 }
 
 impl Server {
@@ -40,62 +28,12 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<Command>();
-        let command_tx = tx.clone();
-
-        let engine = Engine::new(config.clone());
-        let engine_stop = Arc::clone(&stop);
-        let engine_handle = std::thread::Builder::new()
-            .name("jobsched-engine".into())
-            .spawn(move || {
-                engine.run(rx);
-                // Engine exit (a shutdown request) winds the acceptor down.
-                engine_stop.store(true, Ordering::SeqCst);
-            })?;
-
-        let accept_stop = Arc::clone(&stop);
-        let acceptor = std::thread::Builder::new()
-            .name("jobsched-accept".into())
-            .spawn(move || {
-                let live = Arc::new(AtomicUsize::new(0));
-                while !accept_stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            if live.load(Ordering::SeqCst) >= config.max_connections {
-                                let mut s = stream;
-                                let _ = write_line(
-                                    &mut s,
-                                    &protocol::error("busy", "connection pool exhausted"),
-                                );
-                                continue; // dropped: closes the socket
-                            }
-                            live.fetch_add(1, Ordering::SeqCst);
-                            let tx = tx.clone();
-                            let live = Arc::clone(&live);
-                            let timeout = config.read_timeout;
-                            let _ = std::thread::Builder::new()
-                                .name("jobsched-conn".into())
-                                .spawn(move || {
-                                    serve_connection(stream, tx, timeout);
-                                    live.fetch_sub(1, Ordering::SeqCst);
-                                });
-                        }
-                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                            std::thread::sleep(ACCEPT_POLL);
-                        }
-                        Err(_) => break,
-                    }
-                }
-            })?;
-
+        let handle = reactor::start(listener, config, Arc::clone(&stop))?;
         Ok(Server {
             addr: local,
             stop,
-            tx: command_tx,
-            engine: Some(engine_handle),
-            acceptor: Some(acceptor),
+            handle: Some(handle),
         })
     }
 
@@ -104,35 +42,21 @@ impl Server {
         self.addr
     }
 
-    /// Block until the engine stops (i.e. a client sent `shutdown`).
+    /// Block until the daemon stops (i.e. a client sent `shutdown`).
     pub fn join(mut self) {
-        if let Some(h) = self.engine.take() {
-            let _ = h.join();
-        }
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+        if let Some(h) = self.handle.take() {
+            let _ = h.thread.join();
         }
     }
 
-    /// Force the daemon down without a client connection (tests). Lingering
-    /// connection threads die on their own read timeouts; the engine is
-    /// told to stop directly so this never waits on a silent client.
+    /// Force the daemon down without a client connection (tests). The
+    /// reactor notices the flag on its next wakeup, drops the shard
+    /// channels, and every engine thread exits at its next receive.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        let (reply_tx, _reply_rx) = mpsc::channel();
-        let _ = self.tx.send(Command {
-            request: crate::protocol::Request::Shutdown {
-                graceful: false,
-                checkpoint: false,
-            },
-            reply: reply_tx,
-        });
-        if let Some(h) = self.engine.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+        if let Some(h) = self.handle.take() {
+            h.out.wake();
+            let _ = h.thread.join();
         }
     }
 }
@@ -140,97 +64,8 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-    }
-}
-
-fn write_line(w: &mut impl Write, j: &Json) -> std::io::Result<()> {
-    let mut line = j.to_string_compact();
-    line.push('\n');
-    w.write_all(line.as_bytes())
-}
-
-/// Serve one client until EOF, timeout, oversized frame, or shutdown.
-fn serve_connection(stream: TcpStream, tx: mpsc::Sender<Command>, timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut out = stream;
-    loop {
-        let mut buf = Vec::new();
-        // `take` caps the frame: a line that hits MAX_LINE without a
-        // newline is oversized and the connection is dropped.
-        match reader
-            .by_ref()
-            .take(MAX_LINE as u64)
-            .read_until(b'\n', &mut buf)
-        {
-            Ok(0) => return, // clean EOF
-            Ok(n) => {
-                if buf.last() != Some(&b'\n') {
-                    if n >= MAX_LINE {
-                        let _ = write_line(
-                            &mut out,
-                            &protocol::error(
-                                "protocol",
-                                format!("request line exceeds {MAX_LINE} bytes"),
-                            ),
-                        );
-                    }
-                    // else: mid-frame disconnect — nothing to reply to.
-                    return;
-                }
-                let reply = respond(&buf, &tx);
-                let Some(reply) = reply else {
-                    continue; // blank line
-                };
-                if write_line(&mut out, &reply).is_err() {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                let _ = write_line(
-                    &mut out,
-                    &protocol::error("protocol", "read timeout; closing connection"),
-                );
-                return;
-            }
-            Err(_) => return,
+        if let Some(h) = self.handle.take() {
+            h.out.wake();
         }
     }
-}
-
-/// Turn one raw line into a reply. `None` for blank lines.
-fn respond(buf: &[u8], tx: &mpsc::Sender<Command>) -> Option<Json> {
-    let Ok(text) = std::str::from_utf8(buf) else {
-        return Some(protocol::error("protocol", "request is not valid UTF-8"));
-    };
-    let text = text.trim();
-    if text.is_empty() {
-        return None;
-    }
-    let parsed = match jobsched_json::parse(text) {
-        Ok(j) => j,
-        Err(e) => return Some(protocol::error("protocol", format!("bad JSON: {e}"))),
-    };
-    let request = match protocol::parse_request(&parsed) {
-        Ok(r) => r,
-        Err(e) => return Some(protocol::error("protocol", e)),
-    };
-    let (reply_tx, reply_rx) = mpsc::channel();
-    if tx
-        .send(Command {
-            request,
-            reply: reply_tx,
-        })
-        .is_err()
-    {
-        return Some(protocol::error("busy", "daemon is shutting down"));
-    }
-    Some(match reply_rx.recv() {
-        Ok(r) => r,
-        Err(_) => protocol::error("busy", "daemon is shutting down"),
-    })
 }

@@ -8,7 +8,7 @@ use jobsched_serve::client::Client;
 use jobsched_serve::protocol::MAX_LINE;
 use jobsched_serve::server::Server;
 use jobsched_serve::{SchedulerSpec, ServeConfig};
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -263,6 +263,151 @@ fn connection_pool_bound_turns_extra_clients_away() {
     // Existing connections keep working.
     let mut a = _a;
     a.expect_ok(op("ping")).expect("pooled connection works");
+    server.stop();
+}
+
+#[test]
+fn partial_frames_split_across_wakeups_reassemble() {
+    let server = start(|_| {});
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    // One request dribbled in four writes, each its own reactor wakeup.
+    for chunk in ["{\"op\"", ":\"pi", "ng\"", "}\n"] {
+        raw.write_all(chunk.as_bytes()).expect("write chunk");
+        raw.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply");
+    let reply = jobsched_json::parse(line.trim()).expect("json reply");
+    assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+    // A frame and a half in one write, the remainder later: the complete
+    // frame must be answered without waiting for the dangling half.
+    raw.write_all(b"{\"op\":\"ping\"}\n{\"op\":\"que")
+        .expect("write");
+    raw.flush().expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("first reply");
+    assert!(line.contains("\"ok\":true"), "{line}");
+    raw.write_all(b"ue\"}\n").expect("write rest");
+    raw.flush().expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("second reply");
+    let reply = jobsched_json::parse(line.trim()).expect("json reply");
+    assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert!(reply.get("waiting").is_some(), "queue reply: {line}");
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn slow_loris_partial_frame_hits_the_read_deadline() {
+    let server = start(|c| c.read_timeout = Duration::from_millis(100));
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    // Half a frame, then nothing: the classic slow-loris hold. The
+    // daemon must not keep the buffer (and the connection slot) forever.
+    raw.write_all(b"{\"op\":\"submit\",\"nodes\":4")
+        .expect("write");
+    raw.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(300));
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    // Either the timeout error line arrives, or the socket is already
+    // closed (read returns 0 bytes); both prove the slot was reclaimed.
+    if reader.read_line(&mut line).unwrap_or(0) > 0 {
+        let reply = jobsched_json::parse(line.trim()).expect("json reply");
+        assert_eq!(error_kind(&reply), Some("protocol"), "{line}");
+    }
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).unwrap_or(0),
+        0,
+        "slow-loris connection must be closed"
+    );
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn oversized_frame_mid_batch_leaves_other_connections_unaffected() {
+    let server = start(|_| {});
+    let mut healthy = Client::connect(server.addr()).expect("connect healthy");
+    healthy.expect_ok(op("ping")).expect("ping before abuse");
+    let mut hostile = Client::connect(server.addr()).expect("connect hostile");
+    // A valid request and an oversized one in the same batch: the valid
+    // one is answered, the oversized one errors and closes the sender —
+    // and only the sender.
+    let huge = format!(
+        "{{\"op\":\"ping\"}}\n{{\"op\":\"{}\"}}",
+        "x".repeat(MAX_LINE)
+    );
+    let first = hostile.raw_line(&huge).expect("first reply");
+    assert_eq!(first.get("ok").and_then(|v| v.as_bool()), Some(true));
+    if let Ok(second) = hostile.read_reply() {
+        assert_eq!(error_kind(&second), Some("protocol"));
+    }
+    assert!(
+        hostile.request(op("ping")).is_err(),
+        "oversized sender must be closed"
+    );
+    // The healthy connection never noticed.
+    healthy.expect_ok(op("ping")).expect("ping after abuse");
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn burst_reconnect_storms_are_absorbed() {
+    let server = start(|_| {});
+    // Waves of short-lived clients: connect, one request, vanish —
+    // interleaved with connections that vanish without a single byte.
+    for wave in 0..3 {
+        for i in 0..40 {
+            if (wave + i) % 4 == 0 {
+                let s = TcpStream::connect(server.addr()).expect("connect");
+                drop(s); // no bytes, immediate reset
+            } else {
+                let mut c = Client::connect(server.addr()).expect("connect");
+                c.expect_ok(op("ping")).expect("ping in storm");
+            }
+        }
+    }
+    assert_alive(&server);
+    server.stop();
+}
+
+#[test]
+fn a_stalled_connection_cannot_delay_anothers_submit_ack() {
+    // Regression: the readiness loop serves each connection
+    // independently — a peer that stops mid-frame must not add more
+    // than a batching window to anyone else's submit round trip.
+    let server = start(|_| {});
+    let mut stalled = TcpStream::connect(server.addr()).expect("connect stalled");
+    stalled
+        .write_all(b"{\"op\":\"submit\",\"nodes\":4,\"requested\":")
+        .expect("write partial");
+    stalled.flush().expect("flush");
+
+    let mut c = Client::connect(server.addr()).expect("connect live");
+    let mut worst = Duration::ZERO;
+    for id in 0..50u64 {
+        let req = Json::obj([
+            ("op", Json::Str("submit".into())),
+            ("id", Json::UInt(id)),
+            ("nodes", Json::UInt(1)),
+            ("requested", Json::UInt(100)),
+            ("runtime", Json::UInt(50)),
+        ]);
+        let sent = std::time::Instant::now();
+        c.expect_ok(req).expect("submit");
+        worst = worst.max(sent.elapsed());
+    }
+    assert!(
+        worst < Duration::from_millis(250),
+        "a stalled peer delayed a submit ack to {worst:?}"
+    );
+    drop(stalled);
+    assert_alive(&server);
     server.stop();
 }
 

@@ -100,12 +100,19 @@ impl WallClock {
     /// A wall clock whose simulated time starts at `base` *now* — how a
     /// restored daemon resumes a checkpoint taken at simulated `base`.
     pub fn starting_at(base: Time, scale: f64) -> Self {
+        WallClock::with_origin(Instant::now(), base, scale)
+    }
+
+    /// A wall clock anchored at an explicit real `origin`. Engine shards
+    /// of one daemon share a single origin so their notions of "now"
+    /// agree exactly, instead of skewing by their construction order.
+    pub fn with_origin(origin: Instant, base: Time, scale: f64) -> Self {
         assert!(
             scale > 0.0 && scale.is_finite(),
             "time-scale must be positive and finite, got {scale}"
         );
         WallClock {
-            origin: Instant::now(),
+            origin,
             base,
             scale,
         }
@@ -195,6 +202,21 @@ mod tests {
         let c = WallClock::starting_at(5_000, 60.0);
         assert!(c.now() >= 5_000);
         assert_eq!(c.scale(), 60.0);
+    }
+
+    #[test]
+    fn wall_clocks_sharing_an_origin_agree() {
+        // Two shards built at different real instants but anchored at
+        // the same origin read the same simulated time.
+        let origin = Instant::now();
+        let a = WallClock::with_origin(origin, 0, 1000.0);
+        std::thread::sleep(Duration::from_millis(2));
+        let b = WallClock::with_origin(origin, 0, 1000.0);
+        let (ta, tb) = (a.now(), b.now());
+        assert!(
+            ta.abs_diff(tb) <= 1,
+            "shared-origin clocks skewed: {ta} vs {tb}"
+        );
     }
 
     #[test]
