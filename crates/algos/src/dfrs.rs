@@ -1,0 +1,314 @@
+//! Time-shared schedulers: a DFRS-style quantum rotation policy and a
+//! moldable-choice FCFS, both driving the segment engine
+//! ([`jobsched_sim::simulate_time_shared`]).
+//!
+//! The paper's evaluation is rigid and space-shared ("the machine does
+//! not allow time sharing", Example 5), but PAPERS.md names the two
+//! extensions this module adapts:
+//!
+//! * **DFRS** (Casanova, Stillwell & Vivien, *Dynamic Fractional
+//!   Resource Scheduling vs. Batch Scheduling*): jobs receive dynamic
+//!   fractional shares of the machine instead of exclusive partitions.
+//!   Our machine model allocates whole nodes, so [`DfrsScheduler`]
+//!   realises the fractional share in *time*: the FCFS queue is served
+//!   greedily from a rotating head, and every `slice` seconds the
+//!   running set is preempted and requeued behind the waiters — each
+//!   backlogged job receives a recurring quantum of the machine rather
+//!   than waiting for an exclusive run-to-completion slot. With an
+//!   empty backlog the running set keeps the machine (no churn), which
+//!   is exactly DFRS's "degenerate to space sharing when unloaded".
+//! * **Moldable jobs** (Dutot & Mounié): a job ships several
+//!   `(width, limit)` execution alternatives and the *scheduler* picks
+//!   one at start time. [`MoldableScheduler`] keeps the FCFS order and
+//!   for the queue head picks the fitting alternative with the earliest
+//!   promised completion (ties to the narrower width, leaving room for
+//!   the next job); the head blocks only when *no* alternative fits.
+//!
+//! Both are pure [`TimeSharedScheduler`]s: all machine state, work
+//! accounting and segment bookkeeping live in the engine.
+
+use jobsched_sim::tshare::{Action, TimeSharedScheduler, TsJobView};
+use jobsched_sim::Machine;
+use jobsched_workload::{JobId, Time};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Default rotation quantum (seconds). Matches the gang scheduler's
+/// default slice so DFRS-vs-gang comparisons share a time base.
+pub const DFRS_DEFAULT_SLICE: Time = 600;
+
+/// DFRS-style time-shared scheduler: FCFS greedy packing from a
+/// rotating head with a preempt-all rotation every `slice` seconds
+/// while jobs are backlogged.
+#[derive(Debug)]
+pub struct DfrsScheduler {
+    slice: Time,
+    /// Jobs not currently running, in rotation order (arrivals and
+    /// preempted jobs join the tail).
+    queue: VecDeque<JobId>,
+    widths: BTreeMap<JobId, u32>,
+    started: BTreeSet<JobId>,
+    running: Vec<JobId>,
+    /// End of the current quantum; meaningful only while jobs run.
+    slice_end: Time,
+}
+
+impl DfrsScheduler {
+    /// New scheduler with the given rotation quantum (clamped to ≥ 1).
+    pub fn new(slice: Time) -> Self {
+        DfrsScheduler {
+            slice: slice.max(1),
+            queue: VecDeque::new(),
+            widths: BTreeMap::new(),
+            started: BTreeSet::new(),
+            running: Vec::new(),
+            slice_end: 0,
+        }
+    }
+}
+
+impl Default for DfrsScheduler {
+    fn default() -> Self {
+        DfrsScheduler::new(DFRS_DEFAULT_SLICE)
+    }
+}
+
+impl TimeSharedScheduler for DfrsScheduler {
+    fn name(&self) -> String {
+        format!("DFRS-TS(slice={})", self.slice)
+    }
+
+    fn submit(&mut self, job: &TsJobView, _now: Time) {
+        self.widths.insert(job.id, job.choices[0].0);
+        self.queue.push_back(job.id);
+    }
+
+    fn job_finished(&mut self, id: JobId, _now: Time) {
+        self.running.retain(|&r| r != id);
+    }
+
+    fn decide(&mut self, now: Time, machine: &Machine) -> Vec<Action> {
+        // Quantum expiry with a backlog: preempt the whole running set
+        // and requeue it behind the waiters. The freed nodes are packed
+        // in the engine's next decision round of the same instant.
+        if now >= self.slice_end && !self.running.is_empty() && !self.queue.is_empty() {
+            let out = self
+                .running
+                .drain(..)
+                .map(|id| {
+                    self.queue.push_back(id);
+                    Action::Preempt { id }
+                })
+                .collect();
+            self.slice_end = now + self.slice;
+            return out;
+        }
+
+        // Greedy head-blocking packing in rotation order.
+        let mut out = Vec::new();
+        let mut free = machine.free_nodes();
+        let was_idle = self.running.is_empty();
+        while let Some(&head) = self.queue.front() {
+            let width = self.widths[&head];
+            if width > free {
+                break;
+            }
+            free -= width;
+            self.queue.pop_front();
+            out.push(if self.started.insert(head) {
+                Action::Start {
+                    id: head,
+                    choice: 0,
+                }
+            } else {
+                Action::Resume { id: head }
+            });
+            self.running.push(head);
+        }
+        if was_idle && !out.is_empty() {
+            // A fresh quantum begins whenever the machine goes from idle
+            // to busy; mid-slice joiners share the remainder.
+            self.slice_end = now + self.slice;
+        }
+        out
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn next_wakeup(&self, now: Time) -> Option<Time> {
+        // A rotation is only worth waking for while somebody waits.
+        (!self.running.is_empty() && !self.queue.is_empty() && self.slice_end > now)
+            .then_some(self.slice_end)
+    }
+}
+
+/// Moldable FCFS: rigid run-to-completion execution, but the width is
+/// chosen from the job's moldable alternatives at start time.
+#[derive(Debug, Default)]
+pub struct MoldableScheduler {
+    queue: VecDeque<JobId>,
+    /// `(width, limit)` alternatives per waiting job.
+    choices: BTreeMap<JobId, Vec<(u32, Time)>>,
+}
+
+impl MoldableScheduler {
+    /// New empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TimeSharedScheduler for MoldableScheduler {
+    fn name(&self) -> String {
+        "Moldable-FCFS".into()
+    }
+
+    fn submit(&mut self, job: &TsJobView, _now: Time) {
+        self.choices.insert(job.id, job.choices.clone());
+        self.queue.push_back(job.id);
+    }
+
+    fn decide(&mut self, _now: Time, machine: &Machine) -> Vec<Action> {
+        let mut out = Vec::new();
+        let mut free = machine.free_nodes();
+        while let Some(&head) = self.queue.front() {
+            let alternatives = &self.choices[&head];
+            // Earliest promised completion among the alternatives that
+            // fit right now; ties favour the narrower width. The head
+            // blocks only when no alternative fits.
+            let pick = alternatives
+                .iter()
+                .enumerate()
+                .filter(|(_, &(nodes, _))| nodes <= free)
+                .min_by_key(|(_, &(nodes, limit))| (limit, nodes));
+            let Some((choice, &(nodes, _))) = pick else {
+                break;
+            };
+            free -= nodes;
+            self.queue.pop_front();
+            self.choices.remove(&head);
+            out.push(Action::Start { id: head, choice });
+        }
+        out
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_sim::simulate_time_shared;
+    use jobsched_workload::{synthesize_moldable, JobBuilder, Workload};
+
+    fn job(id: u32, submit: Time, nodes: u32, runtime: Time) -> jobsched_workload::Job {
+        JobBuilder::new(JobId(id))
+            .submit(submit)
+            .nodes(nodes)
+            .requested(runtime)
+            .runtime(runtime)
+            .build()
+    }
+
+    #[test]
+    fn dfrs_time_shares_a_backlogged_machine() {
+        // Rigid FCFS serialises two full-machine jobs (second waits
+        // 10_000 s); DFRS alternates 600 s quanta so the short job is
+        // not stuck behind the long one.
+        let w = Workload::new("d", 10, vec![job(0, 0, 10, 10_000), job(1, 1, 10, 600)]);
+        let out = simulate_time_shared(&w, &mut DfrsScheduler::default());
+        assert!(out.schedule.validate(&w).is_empty());
+        let short = out.schedule.placement(JobId(1)).unwrap();
+        assert!(
+            short.completion < 3_000,
+            "short job should finish within a few quanta, got {}",
+            short.completion
+        );
+        // Both charged exactly their runtime across their spans.
+        assert_eq!(out.schedule.charged_time(JobId(0)), Some(10_000));
+        assert_eq!(out.schedule.charged_time(JobId(1)), Some(600));
+        // The long job really was preempted (multi-segment union).
+        assert!(out.schedule.segments(JobId(0)).unwrap().len() > 1);
+    }
+
+    #[test]
+    fn dfrs_without_backlog_never_preempts() {
+        // Both fit together: no rotation, bit-identical to rigid FCFS.
+        let w = Workload::new("d", 10, vec![job(0, 0, 4, 5_000), job(1, 0, 6, 5_000)]);
+        let out = simulate_time_shared(&w, &mut DfrsScheduler::default());
+        assert_eq!(out.schedule.segments(JobId(0)), None);
+        assert_eq!(out.schedule.segments(JobId(1)), None);
+        assert_eq!(out.schedule.placement(JobId(0)).unwrap().completion, 5_000);
+    }
+
+    #[test]
+    fn dfrs_rotation_is_fcfs_fair() {
+        // Three full-machine jobs: quanta rotate 0, 1, 2, 0, 1, 2, ...
+        // so every job's first start is within the first three slices.
+        let w = Workload::new(
+            "d",
+            10,
+            vec![
+                job(0, 0, 10, 2_000),
+                job(1, 0, 10, 2_000),
+                job(2, 0, 10, 2_000),
+            ],
+        );
+        let out = simulate_time_shared(&w, &mut DfrsScheduler::new(500));
+        for i in 0..3u32 {
+            let p = out.schedule.placement(JobId(i)).unwrap();
+            assert!(
+                p.start <= 1_000,
+                "job {i} first quantum at {} — rotation skipped it",
+                p.start
+            );
+        }
+        assert!(out.schedule.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn moldable_narrows_the_head_to_fit_a_hole() {
+        // 6 nodes busy until t=1000; the 8-wide head folds to its
+        // 4-wide alternative and starts immediately instead of waiting.
+        let mut w = Workload::new("m", 10, vec![job(0, 0, 6, 1_000), job(1, 0, 8, 400)]);
+        // Only the second job is moldable (work-conserving 4-wide fold).
+        w.set_moldable(vec![
+            vec![],
+            vec![jobsched_workload::MoldableChoice {
+                nodes: 4,
+                requested_time: 800,
+                runtime: 800,
+            }],
+        ]);
+        let out = simulate_time_shared(&w, &mut MoldableScheduler::new());
+        let p = out.schedule.placement(JobId(1)).unwrap();
+        assert_eq!(p.start, 0, "moldable head should fold into the hole");
+        // 8×400 node-seconds at width 4 → 800 s.
+        assert_eq!(p.completion, 800);
+        assert!(out.schedule.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn moldable_on_a_rigid_workload_is_plain_fcfs() {
+        let w = Workload::new("m", 10, vec![job(0, 0, 6, 100), job(1, 0, 6, 100)]);
+        let out = simulate_time_shared(&w, &mut MoldableScheduler::new());
+        assert_eq!(out.schedule.placement(JobId(0)).unwrap().start, 0);
+        assert_eq!(out.schedule.placement(JobId(1)).unwrap().start, 100);
+    }
+
+    #[test]
+    fn moldable_prefers_the_faster_promise_not_just_any_fit() {
+        // Whole machine free: the rigid shape promises the earliest
+        // completion, so no folding happens without pressure.
+        let mut w = Workload::new("m", 10, vec![job(0, 0, 8, 400)]);
+        let table = synthesize_moldable(&w);
+        w.set_moldable(table);
+        let out = simulate_time_shared(&w, &mut MoldableScheduler::new());
+        let p = out.schedule.placement(JobId(0)).unwrap();
+        assert_eq!((p.start, p.completion), (0, 400));
+        assert_eq!(out.schedule.segments(JobId(0)), None, "rigid shape kept");
+    }
+}

@@ -29,6 +29,7 @@
 //! ([`order::ReorderTrigger`]).
 
 pub mod backfill;
+pub mod dfrs;
 pub mod drain;
 pub mod garey_graham;
 pub mod order;
@@ -41,6 +42,7 @@ pub mod switching;
 pub mod view;
 
 pub use backfill::BackfillMode;
+pub use dfrs::{DfrsScheduler, MoldableScheduler};
 pub use order::OrderPolicy;
 pub use priority::{PriorityScheduler, ScoreFn};
 pub use scheduler::{ListScheduler, ProfileMode};

@@ -28,6 +28,7 @@
 //! and `1.5·2^k` (wide) seconds.
 
 use crate::view::JobView;
+use jobsched_sim::Segment;
 use jobsched_workload::{JobId, Time};
 
 /// Tunable parameters of the PSRS adaptation.
@@ -51,15 +52,35 @@ pub fn is_wide(nodes: u32, machine_nodes: u32) -> bool {
     2 * nodes > machine_nodes
 }
 
-/// Completion times of all jobs in the PSRS *preemptive* schedule with
-/// every job available at time 0 (the offline setting of [13]).
+/// One job's allocation in the PSRS preemptive schedule: its segment
+/// union plus the completion/wide projection §5.5 bins on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PsrsAllocation {
+    /// The job.
+    pub id: JobId,
+    /// Whether it needs more than half the machine.
+    pub wide: bool,
+    /// Completion instant (end of the last segment).
+    pub completion: Time,
+    /// Disjoint execution spans; more than one iff the job was
+    /// preempted by a wide job and later resumed.
+    pub segments: Vec<Segment>,
+}
+
+/// The full PSRS *preemptive* schedule with every job available at
+/// time 0 (the offline setting of [13]), one segment union per job in
+/// completion order.
 ///
-/// Returns `(id, completion, wide)` tuples in Smith-ratio order.
-pub fn preemptive_completions(
+/// This is the schedule §5.5 only ever observes through its completion
+/// times ([`preemptive_completions`]); exposing the spans makes the
+/// intermediate auditable with [`jobsched_sim::check_segments`] —
+/// machine capacity, per-job self-overlap and charged-time checks that
+/// the completion projection cannot express.
+pub fn preemptive_schedule(
     jobs: &[JobView],
     machine_nodes: u32,
     params: PsrsParams,
-) -> Vec<(JobId, Time, bool)> {
+) -> Vec<PsrsAllocation> {
     let mut order: Vec<JobView> = jobs.to_vec();
     order.sort_by(|a, b| {
         b.smith_ratio()
@@ -68,16 +89,38 @@ pub fn preemptive_completions(
             .then(a.id.cmp(&b.id))
     });
 
-    // Waiting jobs, Smith order. `remaining` tracks preempted work.
+    // Waiting jobs, Smith order. `remaining` tracks preempted work;
+    // `span_start`/`segments` its union of execution spans.
     struct Running {
         job: JobView,
         remaining: Time,
+        span_start: Time,
+        segments: Vec<Segment>,
+    }
+    impl Running {
+        /// Close the open span at `end`; a zero-length span (started
+        /// and preempted in the same instant) leaves no trace.
+        fn close_span(&mut self, end: Time) {
+            if end > self.span_start {
+                self.segments
+                    .push(Segment::new(self.span_start, end, self.job.nodes));
+            }
+        }
+        fn retire(mut self, t: Time, machine_nodes: u32) -> PsrsAllocation {
+            self.close_span(t);
+            PsrsAllocation {
+                id: self.job.id,
+                wide: is_wide(self.job.nodes, machine_nodes),
+                completion: t,
+                segments: self.segments,
+            }
+        }
     }
     let mut waiting: std::collections::VecDeque<JobView> = order.iter().copied().collect();
     let mut running: Vec<Running> = Vec::new();
     let mut free = machine_nodes;
     let mut t: Time = 0;
-    let mut completions: Vec<(JobId, Time, bool)> = Vec::new();
+    let mut done: Vec<PsrsAllocation> = Vec::new();
     // The head wide job becomes "eligible" when it reaches the front of
     // the wide backlog; its preemption deadline counts from there.
     let mut wide_eligible_since: Time = 0;
@@ -97,6 +140,8 @@ pub fn preemptive_completions(
             running.push(Running {
                 job,
                 remaining: job.time.max(1),
+                span_start: t,
+                segments: Vec::new(),
             });
         }
 
@@ -104,13 +149,19 @@ pub fn preemptive_completions(
         let next_completion = running.iter().map(|r| t + r.remaining).min();
 
         // Preemption deadline of the highest-priority waiting wide job
-        // (one that could not be started above).
+        // (one that could not be started above). Clamped to `t`: the
+        // eligibility clock only advances on preemptive runs, so when
+        // the previous head wide started *greedily* instead, its
+        // successor's patience may already have lapsed — it preempts
+        // now. (Unclamped, the schedule would run the wide job in the
+        // past, before jobs that already completed.)
         let wide_deadline = waiting
             .iter()
             .find(|j| is_wide(j.nodes, machine_nodes))
             .map(|j| {
-                wide_eligible_since
-                    + (params.wide_wait_factor * j.time as f64).ceil().max(1.0) as Time
+                (wide_eligible_since
+                    + (params.wide_wait_factor * j.time as f64).ceil().max(1.0) as Time)
+                    .max(t)
             });
 
         match (next_completion, wide_deadline) {
@@ -124,7 +175,7 @@ pub fn preemptive_completions(
                     r.remaining -= elapsed;
                     if r.remaining == 0 {
                         free += r.job.nodes;
-                        completions.push((r.job.id, t, is_wide(r.job.nodes, machine_nodes)));
+                        done.push(r.retire(t, machine_nodes));
                     } else {
                         still.push(r);
                     }
@@ -135,19 +186,22 @@ pub fn preemptive_completions(
             (tc, Some(td)) => {
                 // The wide job's patience runs out at td: advance running
                 // work to td, preempt everything, run the wide job alone.
-                debug_assert!(tc.is_none_or(|c| c > td) || tc == Some(td));
-                let elapsed = td.saturating_sub(t);
+                debug_assert!(tc.is_none_or(|c| c > td));
+                debug_assert!(td >= t);
+                let elapsed = td - t;
                 t = td;
                 for r in &mut running {
                     r.remaining -= elapsed.min(r.remaining);
                 }
-                // Retire anything that happened to end exactly at td.
+                // Retire anything that happened to end exactly at td;
+                // everything else is suspended (its span closes at td).
                 let mut paused: Vec<Running> = Vec::with_capacity(running.len());
-                for r in running {
+                for mut r in running {
                     if r.remaining == 0 {
                         free += r.job.nodes;
-                        completions.push((r.job.id, t, is_wide(r.job.nodes, machine_nodes)));
+                        done.push(r.retire(t, machine_nodes));
                     } else {
+                        r.close_span(t);
                         paused.push(r);
                     }
                 }
@@ -156,16 +210,41 @@ pub fn preemptive_completions(
                     .position(|j| is_wide(j.nodes, machine_nodes))
                     .expect("deadline implies a waiting wide job");
                 let wide = waiting.remove(wide_idx).expect("index checked");
-                t += wide.time.max(1);
-                completions.push((wide.id, t, true));
+                let wide_end = t + wide.time.max(1);
+                done.push(PsrsAllocation {
+                    id: wide.id,
+                    wide: true,
+                    completion: wide_end,
+                    segments: vec![Segment::new(t, wide_end, wide.nodes)],
+                });
+                t = wide_end;
                 wide_eligible_since = t;
                 // Resume the preempted jobs (they fit together: they were
-                // running together before).
+                // running together before); their next span opens now.
+                for r in &mut paused {
+                    r.span_start = t;
+                }
                 running = paused;
             }
         }
     }
-    completions
+    done
+}
+
+/// Completion times of all jobs in the PSRS *preemptive* schedule —
+/// the projection of [`preemptive_schedule`] that §5.5's geometric
+/// binning consumes.
+///
+/// Returns `(id, completion, wide)` tuples in completion order.
+pub fn preemptive_completions(
+    jobs: &[JobView],
+    machine_nodes: u32,
+    params: PsrsParams,
+) -> Vec<(JobId, Time, bool)> {
+    preemptive_schedule(jobs, machine_nodes, params)
+        .into_iter()
+        .map(|a| (a.id, a.completion, a.wide))
+        .collect()
 }
 
 /// Bin index in the small-job sequence: boundaries `2^k` seconds — the
@@ -343,6 +422,117 @@ mod tests {
         );
         let wide = c.iter().find(|x| x.0 == JobId(1)).unwrap();
         assert_eq!(wide.1, 40, "preempts at 30, runs 10");
+    }
+
+    #[test]
+    fn preemptive_schedule_emits_the_documented_segments() {
+        // The wide_job_preempts_after_patience scenario, span by span:
+        // the small job runs [0,10), is suspended for the wide job's
+        // solo run [10,20), and resumes [20,110).
+        let jobs = vec![view(0, 6, 100, 10.0), view(1, 7, 10, 0.1)];
+        let alloc = preemptive_schedule(&jobs, 8, PsrsParams::default());
+        let small = alloc.iter().find(|a| a.id == JobId(0)).unwrap();
+        assert_eq!(
+            small.segments,
+            vec![Segment::new(0, 10, 6), Segment::new(20, 110, 6)]
+        );
+        assert_eq!(small.completion, 110);
+        let wide = alloc.iter().find(|a| a.id == JobId(1)).unwrap();
+        assert_eq!(wide.segments, vec![Segment::new(10, 20, 7)]);
+        assert!(wide.wide);
+    }
+
+    #[test]
+    fn job_preempted_at_its_start_instant_leaves_no_zero_span() {
+        // Two small jobs free the machine at t=10; B(3 nodes) starts
+        // there — and the wide job's patience lapses in the same
+        // instant, so B is suspended before receiving any cycles. Its
+        // union must hold only the real span after the wide run, not a
+        // [10,10) stub.
+        let jobs = vec![
+            view(0, 4, 10, 10.0),
+            view(1, 2, 10, 8.0),
+            view(2, 3, 3, 0.03),
+            view(3, 7, 10, 0.1),
+        ];
+        let alloc = preemptive_schedule(&jobs, 8, PsrsParams::default());
+        let b = alloc.iter().find(|a| a.id == JobId(2)).unwrap();
+        assert_eq!(b.segments, vec![Segment::new(20, 23, 3)]);
+        let wide = alloc.iter().find(|a| a.id == JobId(3)).unwrap();
+        assert_eq!(wide.segments, vec![Segment::new(10, 20, 7)]);
+    }
+
+    #[test]
+    fn lapsed_patience_preempts_now_not_in_the_past() {
+        // The eligibility clock only advances on preemptive runs. Here
+        // W1 starts *greedily* at t=30, leaving W2's deadline computed
+        // from wide_eligible_since = 0: already lapsed. W2 must preempt
+        // at t=30 — before the clamp it ran "at" t=5, completing before
+        // jobs that had already finished.
+        let jobs = vec![
+            view(0, 2, 30, 10.0), // runs [0,30)
+            view(1, 7, 50, 0.2),  // W1: blocked, starts greedily at 30
+            view(2, 7, 5, 0.01),  // W2: patience 5, lapsed long before
+        ];
+        let alloc = preemptive_schedule(&jobs, 8, PsrsParams::default());
+        let a = alloc.iter().find(|x| x.id == JobId(0)).unwrap();
+        assert_eq!(a.segments, vec![Segment::new(0, 30, 2)]);
+        // W1 started at 30, was preempted in the same instant (no zero
+        // span) and resumed after W2's solo run.
+        let w2 = alloc.iter().find(|x| x.id == JobId(2)).unwrap();
+        assert_eq!(w2.segments, vec![Segment::new(30, 35, 7)]);
+        let w1 = alloc.iter().find(|x| x.id == JobId(1)).unwrap();
+        assert_eq!(w1.segments, vec![Segment::new(35, 85, 7)]);
+        // Completions are monotone in schedule time.
+        let times: Vec<Time> = alloc.iter().map(|x| x.completion).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn preemptive_schedule_passes_the_segment_audit() {
+        // The randomized fleet, audited: capacity never exceeded, spans
+        // disjoint per job, charged time exactly the execution time.
+        let jobs: Vec<JobView> = (0..100)
+            .map(|i| {
+                view(
+                    i,
+                    1 + (i * 13) % 200,
+                    1 + (i as Time * 37) % 500,
+                    1.0 + (i % 7) as f64,
+                )
+            })
+            .collect();
+        let alloc = preemptive_schedule(&jobs, 256, PsrsParams::default());
+        assert_eq!(alloc.len(), jobs.len());
+        let audit: Vec<(JobId, &[Segment], Option<Time>)> = alloc
+            .iter()
+            .map(|a| {
+                let time = jobs.iter().find(|j| j.id == a.id).unwrap().time;
+                (a.id, a.segments.as_slice(), Some(time.max(1)))
+            })
+            .collect();
+        let violations = jobsched_sim::check_segments(256, &audit);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn completions_are_exactly_the_schedule_projection() {
+        let jobs: Vec<JobView> = (0..60)
+            .map(|i| view(i, 1 + (i * 29) % 120, 1 + (i as Time * 97) % 800, 1.0))
+            .collect();
+        let schedule = preemptive_schedule(&jobs, 128, PsrsParams::default());
+        let completions = preemptive_completions(&jobs, 128, PsrsParams::default());
+        assert_eq!(
+            completions,
+            schedule
+                .iter()
+                .map(|a| (a.id, a.completion, a.wide))
+                .collect::<Vec<_>>()
+        );
+        // Each union ends exactly at the completion it projects to.
+        for a in &schedule {
+            assert_eq!(a.segments.last().unwrap().end, a.completion);
+        }
     }
 
     #[test]

@@ -97,6 +97,11 @@ impl Waiting {
         self.queue.keys().copied()
     }
 
+    /// Highest waiting id — the current queue tail.
+    pub fn max_id(&self) -> Option<JobId> {
+        self.queue.keys().next_back().copied()
+    }
+
     /// Waiting requests in submission order.
     pub fn requests(&self) -> impl Iterator<Item = &JobRequest> + '_ {
         self.queue.values()
@@ -534,6 +539,12 @@ impl Scheduler for ListScheduler {
     }
 
     fn submit(&mut self, job: JobRequest, _now: Time) {
+        // A first-time submission always carries the highest id seen so
+        // far and joins the queue tail. A preempted job's remainder is
+        // the exception: it re-enters with its *old* id, i.e. ahead of
+        // later arrivals, and every cached blocked conclusion assumed
+        // arrivals append at the tail — force a full scan for it.
+        let mid_queue = self.waiting.max_id().is_some_and(|tail| job.id < tail);
         self.waiting.insert(job);
         // §5.4: the trigger is evaluated as jobs are submitted. `covered`
         // only ever holds still-waiting jobs (started ones are removed),
@@ -545,9 +556,10 @@ impl Scheduler for ListScheduler {
             }
         }
         if self.cache.is_some() {
-            if self.reorder_pending {
-                // A pending re-computation reorders the queue and thereby
-                // invalidates every blocked-state conclusion.
+            if self.reorder_pending || mid_queue {
+                // A pending re-computation reorders the queue (and a
+                // mid-queue re-entry reorders it implicitly), thereby
+                // invalidating every blocked-state conclusion.
                 self.invalidate_cache();
             } else {
                 self.arrivals.push(job.id);
@@ -869,6 +881,7 @@ mod tests {
                 at: 50,
             }],
             drains: vec![],
+            ..Default::default()
         };
         for caching in [true, false] {
             let mut s =
@@ -909,6 +922,7 @@ mod tests {
         let plan = jobsched_sim::FaultPlan {
             cancels: vec![],
             drains: vec![jobsched_sim::DrainFault::new(10, 8, 300)],
+            ..Default::default()
         };
         let mut s = ListScheduler::new(OrderPolicy::GareyGraham, BackfillMode::None);
         let out = jobsched_sim::simulate_with_faults(&w, &mut s, &plan);
@@ -935,6 +949,7 @@ mod tests {
         let plan = jobsched_sim::FaultPlan {
             cancels: vec![],
             drains: vec![jobsched_sim::DrainFault::new(5, 10, 80)],
+            ..Default::default()
         };
         for mode in [
             BackfillMode::None,

@@ -11,13 +11,14 @@
 //! this algorithm is used by the CTC").
 
 use crate::backfill::BackfillMode;
+use crate::dfrs::{DfrsScheduler, MoldableScheduler};
 use crate::order::OrderPolicy;
 use crate::priority::{PriorityScheduler, ScoreFn};
 use crate::psrs::PsrsParams;
 use crate::scheduler::ListScheduler;
 use crate::smart::SmartVariant;
 use crate::view::WeightScheme;
-use jobsched_sim::Scheduler;
+use jobsched_sim::{Scheduler, TimeSharedScheduler};
 
 /// Row algorithm of the evaluation tables: the paper's five rows plus
 /// the priority family of the scheduler atlas.
@@ -35,6 +36,10 @@ pub enum PolicyKind {
     GareyGraham,
     /// A [`PriorityScheduler`] row keyed by its scoring function.
     Priority(ScoreFn),
+    /// DFRS-style time-shared rotation (extension; segment engine).
+    Dfrs,
+    /// Moldable-choice FCFS (extension; segment engine).
+    Moldable,
 }
 
 impl PolicyKind {
@@ -62,11 +67,23 @@ impl PolicyKind {
         PolicyKind::Priority(ScoreFn::F2),
     ];
 
+    /// The time-shared extension rows: not part of the paper matrix or
+    /// the atlas (whose 43 rows are pinned), but runnable through
+    /// [`AlgorithmSpec::build_time_shared`] and `core::run_cell` for
+    /// preemption/moldability comparisons against the rigid baselines.
+    pub const TIME_SHARED: [PolicyKind; 2] = [PolicyKind::Dfrs, PolicyKind::Moldable];
+
     /// Every row of the scheduler atlas: paper rows then priority rows.
     pub fn atlas() -> Vec<PolicyKind> {
         let mut out = PolicyKind::ALL.to_vec();
         out.extend(PolicyKind::PRIORITY);
         out
+    }
+
+    /// Whether this row runs on the time-shared segment engine instead
+    /// of the rigid engines.
+    pub fn time_shared(&self) -> bool {
+        matches!(self, PolicyKind::Dfrs | PolicyKind::Moldable)
     }
 
     /// Row label as printed in the paper (priority rows use the scoring
@@ -79,6 +96,8 @@ impl PolicyKind {
             PolicyKind::SmartNfiw => "SMART-NFIW",
             PolicyKind::GareyGraham => "Garey&Graham",
             PolicyKind::Priority(s) => s.label(),
+            PolicyKind::Dfrs => "DFRS",
+            PolicyKind::Moldable => "Moldable",
         }
     }
 
@@ -102,6 +121,10 @@ impl PolicyKind {
             PolicyKind::Priority(s) => panic!(
                 "priority policy {} has no OrderPolicy; use AlgorithmSpec::build_dyn",
                 s.label()
+            ),
+            PolicyKind::Dfrs | PolicyKind::Moldable => panic!(
+                "time-shared policy {} has no OrderPolicy; use AlgorithmSpec::build_time_shared",
+                self.label()
             ),
         }
     }
@@ -186,7 +209,24 @@ impl AlgorithmSpec {
     pub fn build_dyn(&self, scheme: WeightScheme, caching: bool) -> Box<dyn Scheduler> {
         match self.kind {
             PolicyKind::Priority(score) => Box::new(PriorityScheduler::new(score, self.backfill)),
+            PolicyKind::Dfrs | PolicyKind::Moldable => panic!(
+                "{} is not a rigid Scheduler; use AlgorithmSpec::build_time_shared",
+                self.kind.label()
+            ),
             _ => Box::new(self.build(scheme).with_caching(caching)),
+        }
+    }
+
+    /// Build a time-shared row for the segment engine
+    /// ([`jobsched_sim::simulate_time_shared`]); `None` for the rigid
+    /// rows. The backfill column is ignored — preemption subsumes it
+    /// (freed capacity is repacked every quantum), so time-shared specs
+    /// conventionally carry [`BackfillMode::None`].
+    pub fn build_time_shared(&self) -> Option<Box<dyn TimeSharedScheduler + Send>> {
+        match self.kind {
+            PolicyKind::Dfrs => Some(Box::new(DfrsScheduler::default())),
+            PolicyKind::Moldable => Some(Box::new(MoldableScheduler::new())),
+            _ => None,
         }
     }
 

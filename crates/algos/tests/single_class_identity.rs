@@ -64,6 +64,7 @@ fn faults() -> FaultPlan {
             DrainFault::new(1_500, 16, 9_000),
             DrainFault::new(6_000, 8, 14_000),
         ],
+        preempts: vec![],
     }
 }
 

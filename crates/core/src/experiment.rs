@@ -3,11 +3,12 @@
 //! FCFS + EASY reference.
 
 use crate::objective_select::ObjectiveKind;
+use jobsched_algos::spec::PolicyKind;
 use jobsched_algos::view::WeightScheme;
 use jobsched_algos::AlgorithmSpec;
 use jobsched_metrics::{OnlineMakespan, OnlineUtilization, StreamingObserver};
-use jobsched_sim::SimPipeline;
-use jobsched_workload::{Time, Workload, WorkloadSource};
+use jobsched_sim::{simulate_time_shared, SimPipeline};
+use jobsched_workload::{synthesize_moldable, Time, Workload, WorkloadSource};
 use std::time::Duration;
 
 /// Workload scale. The paper simulates 79,164 CTC jobs and 50,000
@@ -244,6 +245,9 @@ pub fn run_cell(
     spec: AlgorithmSpec,
     caching: bool,
 ) -> EvalCell {
+    if spec.kind.time_shared() {
+        return run_time_shared_cell(workload, objective, spec);
+    }
     let scheme = if objective.weighted() {
         WeightScheme::ProjectedArea
     } else {
@@ -286,6 +290,49 @@ pub fn run_cell(
         out.scheduler_cpu,
         makespan.value(),
         utilization.utilization(),
+        EngineCounts {
+            events: out.events,
+            decision_rounds: out.decision_rounds,
+            peak_queue: out.peak_queue,
+        },
+    )
+}
+
+/// Evaluate a time-shared policy ([`PolicyKind::Dfrs`] /
+/// [`PolicyKind::Moldable`]) through the segment engine. The moldable
+/// row synthesises execution alternatives when the workload carries
+/// none, so trace workloads (CTC, probabilistic) are sweepable as-is;
+/// the profile cache does not apply — there is no reservation profile.
+fn run_time_shared_cell(
+    workload: &Workload,
+    objective: ObjectiveKind,
+    spec: AlgorithmSpec,
+) -> EvalCell {
+    let mut scheduler = spec
+        .build_time_shared()
+        .expect("caller checked spec.kind.time_shared()");
+    let molded;
+    let workload = if spec.kind == PolicyKind::Moldable && !workload.is_moldable() {
+        let mut w = workload.clone();
+        let table = synthesize_moldable(&w);
+        w.set_moldable(table);
+        molded = w;
+        &molded
+    } else {
+        workload
+    };
+    let out = simulate_time_shared(workload, &mut *scheduler);
+    debug_assert!(
+        out.schedule.validate(workload).is_empty(),
+        "{:?}",
+        out.schedule.validate(workload)
+    );
+    EvalCell::from_parts(
+        spec,
+        objective.build().cost(workload, &out.schedule),
+        out.scheduler_cpu,
+        out.schedule.makespan(),
+        out.schedule.utilization(workload),
         EngineCounts {
             events: out.events,
             decision_rounds: out.decision_rounds,
@@ -358,6 +405,37 @@ mod tests {
         let t = small_table();
         let best = t.best();
         assert!(t.cells.iter().all(|c| c.cost >= best.cost));
+    }
+
+    #[test]
+    fn time_shared_kinds_run_through_the_cell_pipeline() {
+        let w = prepared_ctc_workload(200, 8);
+        let rigid = run_cell(
+            &w,
+            ObjectiveKind::AvgResponseTime,
+            AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None),
+            false,
+        );
+        for kind in PolicyKind::TIME_SHARED {
+            let cell = run_cell(
+                &w,
+                ObjectiveKind::AvgResponseTime,
+                AlgorithmSpec::new(kind, BackfillMode::None),
+                false,
+            );
+            assert!(cell.cost.is_finite() && cell.cost > 0.0, "{kind:?}");
+            assert!(cell.utilization > 0.0 && cell.utilization <= 1.0);
+            assert!(cell.makespan > 0);
+            // Against a pure head-blocking FCFS both rows can only help:
+            // DFRS stops short jobs queueing behind hogs, the moldable
+            // row folds heads into holes FCFS would leave idle.
+            assert!(
+                cell.cost <= rigid.cost,
+                "{kind:?} ART {} worse than rigid FCFS {}",
+                cell.cost,
+                rigid.cost
+            );
+        }
     }
 
     #[test]

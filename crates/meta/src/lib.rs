@@ -105,8 +105,12 @@ impl SimObserver for ClusterObserver {
             JobEvent::Started { id, .. } => self.started.push(*id),
             JobEvent::Finished(o) => self.finished.push((o.id, o.start, o.completion)),
             // Submissions are the router's own doing; cancellations are
-            // forwarding mechanics, not user faults.
-            JobEvent::Submitted(_) | JobEvent::Cancelled { .. } => {}
+            // forwarding mechanics, not user faults. The metascheduler
+            // injects no preemption faults, so span churn never occurs.
+            JobEvent::Submitted(_)
+            | JobEvent::Cancelled { .. }
+            | JobEvent::Preempted { .. }
+            | JobEvent::Resumed { .. } => {}
         }
     }
 }

@@ -38,7 +38,8 @@
 //! algorithm combinations.
 
 use jobsched_sim::{JobEvent, JobOutcome, ScheduleRecord, SimObserver};
-use jobsched_workload::{Time, Workload};
+use jobsched_workload::{JobId, Time, Workload};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A schedule cost computed online, one lifecycle event at a time.
 /// Lower is better, matching [`crate::objective::Objective`].
@@ -223,11 +224,18 @@ impl StreamingObjective for OnlineMakespan {
 }
 
 /// Online negated utilization over `[0, makespan]` (lower = busier).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct OnlineUtilization {
     machine_nodes: u32,
     busy: u128,
     makespan: Time,
+    /// Open allocation span per running job (`Started`/`Resumed` opens,
+    /// `Preempted` or completion closes). Bounded by in-flight jobs.
+    open: BTreeMap<JobId, (Time, u32)>,
+    /// Jobs that were preempted at least once: their completion event
+    /// must not fall back to the envelope charge (the closed spans were
+    /// already accumulated).
+    preempted: BTreeSet<JobId>,
 }
 
 impl OnlineUtilization {
@@ -237,6 +245,8 @@ impl OnlineUtilization {
             machine_nodes,
             busy: 0,
             makespan: 0,
+            open: BTreeMap::new(),
+            preempted: BTreeSet::new(),
         }
     }
 
@@ -257,9 +267,37 @@ impl StreamingObjective for OnlineUtilization {
     }
 
     fn observe(&mut self, event: &JobEvent) {
-        if let Some(o) = completed(event) {
-            self.busy += o.run_time() as u128 * o.nodes as u128;
-            self.makespan = self.makespan.max(o.completion);
+        match event {
+            JobEvent::Started { id, at, nodes } | JobEvent::Resumed { id, at, nodes } => {
+                self.open.insert(*id, (*at, *nodes));
+            }
+            JobEvent::Preempted { id, at, .. } => {
+                // Close the open span; charge exactly the time the job
+                // actually held its nodes (not the preempted gap).
+                if let Some((start, w)) = self.open.remove(id) {
+                    self.busy += (*at - start) as u128 * w as u128;
+                    self.makespan = self.makespan.max(*at);
+                    self.preempted.insert(*id);
+                }
+            }
+            _ => {
+                if let Some(o) = completed(event) {
+                    if let Some((start, w)) = self.open.remove(&o.id) {
+                        // Final span: charge from the last (re)start, not
+                        // the envelope — identical for never-preempted
+                        // jobs, where the span start IS `o.start`.
+                        self.busy += (o.completion - start) as u128 * w as u128;
+                        self.preempted.remove(&o.id);
+                    } else if !self.preempted.remove(&o.id) {
+                        // Replay path (no Started events): the envelope
+                        // equals the single charged span.
+                        self.busy += o.run_time() as u128 * o.nodes as u128;
+                    }
+                    // else: cancelled while preempted — all its spans
+                    // were already closed and charged.
+                    self.makespan = self.makespan.max(o.completion);
+                }
+            }
         }
     }
 
@@ -417,7 +455,7 @@ pub struct MetricsSnapshot {
 /// mountable directly as a pipeline/daemon [`SimObserver`]. This is the
 /// `metrics` surface of the serving daemon: one observer, one
 /// [`MetricsSnapshot`] per query.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct OnlineMetrics {
     art: OnlineArt,
     awrt: OnlineAwrt,
@@ -469,6 +507,9 @@ impl SimObserver for OnlineMetrics {
             JobEvent::Started { .. } => self.jobs_started += 1,
             JobEvent::Finished(_) => self.jobs_finished += 1,
             JobEvent::Cancelled { .. } => self.jobs_cancelled += 1,
+            // Preempt/resume churn is visible through the utilization
+            // accumulator; the lifecycle counters track jobs, not spans.
+            JobEvent::Preempted { .. } | JobEvent::Resumed { .. } => {}
         }
         self.art.observe(event);
         self.awrt.observe(event);

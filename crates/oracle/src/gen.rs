@@ -9,7 +9,7 @@
 //! cancellations aimed at every lifecycle phase, and drains that shrink
 //! the machine under a planned backlog.
 
-use crate::scenario::{CancelSpec, DrainSpec, Scenario, ScenarioJob};
+use crate::scenario::{CancelSpec, DrainSpec, PreemptSpec, Scenario, ScenarioJob};
 use jobsched_algos::scheduler::ProfileMode;
 use jobsched_algos::spec::{AlgorithmSpec, PolicyKind};
 use jobsched_workload::rng::{derive_seed, Rng, SmallRng};
@@ -133,6 +133,20 @@ pub fn random_scenario(base_seed: u64, index: u64) -> Scenario {
         }
     }
 
+    // Forced preemptions: up to ~20% of jobs, aimed at their likely
+    // execution window, with resume delays spanning near-immediate
+    // requeue to long suspensions. Some preemptions inevitably land on
+    // queued or finished jobs — those exercise the recorded-no-op path.
+    // Drawn after every legacy field so the pre-preemption half of the
+    // stream stays bit-identical per seed.
+    let mut preempts = Vec::new();
+    for _ in 0..rng.random_range(0usize..=n / 5) {
+        let job = rng.random_range(0usize..jobs.len());
+        let at = jobs[job].submit + rng.random_range(0u64..25_000);
+        let resume_at = at + rng.random_range(1u64..10_000);
+        preempts.push(PreemptSpec { at, job, resume_at });
+    }
+
     Scenario {
         machine_nodes,
         policy: spec.kind,
@@ -144,6 +158,7 @@ pub fn random_scenario(base_seed: u64, index: u64) -> Scenario {
         jobs,
         cancels,
         drains,
+        preempts,
     }
 }
 
@@ -272,6 +287,14 @@ mod tests {
         assert!(scenarios.iter().any(|s| !s.cancels.is_empty()));
         assert!(scenarios.iter().any(|s| !s.drains.is_empty()));
         assert!(scenarios.iter().any(|s| s.cancels.is_empty()));
+        assert!(
+            scenarios.iter().any(|s| !s.preempts.is_empty()),
+            "preemption faults drawn"
+        );
+        assert!(
+            scenarios.iter().any(|s| s.preempts.is_empty()),
+            "preemption-free scenarios drawn"
+        );
         assert!(scenarios
             .iter()
             .any(|s| s.profile_mode == ProfileMode::Rebuild));

@@ -116,9 +116,19 @@ struct OracleScheduler<'a> {
     /// Whether first-sight conservative reservations are binding: exact
     /// estimates throughout and a fault-free plan.
     promises_bind: bool,
-    /// FIFO queue mirrored from raw engine callbacks (ids ascend because
-    /// submission events arrive in id order).
+    /// Queue mirrored from raw engine callbacks, kept in ascending id
+    /// order. For first-time submissions that is arrival order (ids
+    /// ascend with submit time); a preempted job's remainder re-enters at
+    /// its *original* position — the id-keyed wait queues serve FCFS by
+    /// first arrival, so a resumed remainder outranks jobs that arrived
+    /// after it.
     waiting: Vec<usize>,
+    /// The request the scheduler currently sees per job: `(submit,
+    /// requested, nodes)`. Initially the scenario job; a forced
+    /// preemption requeues the remainder as a fresh request (submit =
+    /// resume instant, requested = what's left), and every differential
+    /// must score that remainder, not the original.
+    view: Vec<(Time, Time, u32)>,
     started: Vec<Option<Time>>,
     cancelled: Vec<bool>,
     /// Conservative no-delay promises, booked at first sight of a job.
@@ -145,8 +155,14 @@ impl<'a> OracleScheduler<'a> {
             },
             promises_bind: scenario.cancels.is_empty()
                 && scenario.drains.is_empty()
+                && scenario.preempts.is_empty()
                 && scenario.jobs.iter().all(|j| j.runtime >= j.requested),
             waiting: Vec::new(),
+            view: scenario
+                .jobs
+                .iter()
+                .map(|j| (j.submit, j.requested, j.nodes))
+                .collect(),
             started: vec![None; n],
             cancelled: vec![false; n],
             guarantees: vec![None; n],
@@ -155,8 +171,8 @@ impl<'a> OracleScheduler<'a> {
     }
 
     fn job(&self, i: usize) -> (u32, Time) {
-        let j = &self.scenario.jobs[i];
-        (j.nodes, j.requested.max(1))
+        let (_, requested, nodes) = self.view[i];
+        (nodes, requested.max(1))
     }
 
     /// The queue re-ranked by `(naive score at now, job index)`
@@ -167,9 +183,9 @@ impl<'a> OracleScheduler<'a> {
             .waiting
             .iter()
             .map(|&i| {
-                let j = &self.scenario.jobs[i];
-                let wait = now.saturating_sub(j.submit);
-                (naive_score(score, wait, j.requested, j.nodes), i)
+                let (submit, requested, nodes) = self.view[i];
+                let wait = now.saturating_sub(submit);
+                (naive_score(score, wait, requested, nodes), i)
             })
             .collect();
         keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -327,7 +343,16 @@ impl Scheduler for OracleScheduler<'_> {
     }
 
     fn submit(&mut self, job: JobRequest, now: Time) {
-        self.waiting.push(job.id.index());
+        let i = job.id.index();
+        if self.started[i].is_some() {
+            // Remainder of a preempted job re-entering the queue: the
+            // restart must not trip the double-start audit, and every
+            // differential must score the remainder request.
+            self.started[i] = None;
+        }
+        self.view[i] = (job.submit, job.requested_time, job.nodes);
+        let pos = self.waiting.partition_point(|&w| w < i);
+        self.waiting.insert(pos, i);
         self.inner.submit(job, now);
     }
 
@@ -586,14 +611,19 @@ pub fn check_outcome(
         }
     }
 
-    // Capacity sweep: committed nodes (job placements + drain grants)
-    // must never exceed the machine, applying releases before
-    // acquisitions at equal instants.
+    // Capacity sweep: committed nodes (job allocation spans + drain
+    // grants) must never exceed the machine, applying releases before
+    // acquisitions at equal instants. Charged spans, not placement
+    // envelopes: a preempted job's envelope covers the gap where its
+    // nodes were free (and possibly given to someone else), so sweeping
+    // envelopes would report phantom overcommits.
     let mut events: Vec<(Time, i64)> = Vec::new();
     for (i, job) in scenario.jobs.iter().enumerate() {
-        if let Some(p) = schedule.placement(JobId(i as u32)) {
-            events.push((p.start, job.nodes as i64));
-            events.push((p.completion, -(job.nodes as i64)));
+        if let Some(spans) = schedule.charged_spans(JobId(i as u32), job.nodes) {
+            for s in spans {
+                events.push((s.start, s.nodes as i64));
+                events.push((s.end, -(s.nodes as i64)));
+            }
         }
     }
     for f in &outcome.faults {
@@ -630,9 +660,11 @@ pub fn check_outcome(
                 if layout.resolve(job.node_type, job.memory_mb, job.nodes) != Some(class) {
                     continue;
                 }
-                if let Some(p) = schedule.placement(JobId(i as u32)) {
-                    events.push((p.start, job.nodes as i64));
-                    events.push((p.completion, -(job.nodes as i64)));
+                if let Some(spans) = schedule.charged_spans(JobId(i as u32), job.nodes) {
+                    for s in spans {
+                        events.push((s.start, s.nodes as i64));
+                        events.push((s.end, -(s.nodes as i64)));
+                    }
                 }
             }
             for f in &outcome.faults {
@@ -664,6 +696,74 @@ pub fn check_outcome(
         }
     }
 
+    // Preemption audit: every *applied* preemption must show up in the
+    // schedule as a closed span ending exactly at the preemption instant,
+    // and the span that follows it (the resume) must not start before the
+    // requeue instant the engine logged. Segment well-formedness
+    // (ordering, no self-overlap, positive spans) rides on the same walk.
+    for f in &outcome.faults {
+        let FaultOutcome::Preempted {
+            id,
+            at,
+            applied,
+            resume_at,
+        } = f
+        else {
+            continue;
+        };
+        if !*applied {
+            continue;
+        }
+        let Some(segs) = schedule.segments(*id) else {
+            violations.push(format!(
+                "preempt of {id} at t={at} applied but the job has no segment union"
+            ));
+            continue;
+        };
+        match segs.iter().position(|s| s.end == *at) {
+            None => violations.push(format!(
+                "preempt of {id} at t={at} applied but no span closes there ({segs:?})"
+            )),
+            Some(k) => {
+                if let Some(next) = segs.get(k + 1) {
+                    if next.start < *resume_at {
+                        violations.push(format!(
+                            "{id} resumed at t={} before its requeue instant t={resume_at}",
+                            next.start
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for (i, job) in scenario.jobs.iter().enumerate() {
+        let id = JobId(i as u32);
+        if let Some(segs) = schedule.segments(id) {
+            if segs.is_empty() {
+                violations.push(format!("{id}: empty segment union"));
+            }
+            for s in segs {
+                if s.end <= s.start {
+                    violations.push(format!("{id}: degenerate span {s:?}"));
+                }
+                if s.nodes == 0 || s.nodes > job.nodes {
+                    violations.push(format!(
+                        "{id}: span {s:?} outside the job's rigid width {}",
+                        job.nodes
+                    ));
+                }
+            }
+            for w in segs.windows(2) {
+                if w[1].start < w[0].end {
+                    violations.push(format!(
+                        "{id}: spans overlap or run backwards ({:?} then {:?})",
+                        w[0], w[1]
+                    ));
+                }
+            }
+        }
+    }
+
     // Per-job lifecycle consistency.
     for (i, job) in scenario.jobs.iter().enumerate() {
         let id = JobId(i as u32);
@@ -677,8 +777,11 @@ pub fn check_outcome(
                     ));
                 }
             }
-            Some(CancelPhase::Running) => match placement {
-                None => violations.push(format!("job {id} cancelled while running but unplaced")),
+            Some(CancelPhase::Running) | Some(CancelPhase::Preempted) => match placement {
+                None => violations.push(format!(
+                    "job {id} cancelled in phase {:?} but unplaced",
+                    cancel_phase[i].unwrap()
+                )),
                 Some(p) => {
                     if Some(p.completion) != cancel_at[i] {
                         violations.push(format!(
@@ -697,11 +800,16 @@ pub fn check_outcome(
                             p.start, job.submit
                         ));
                     }
+                    // Rule 2 over *charged* time: a preempted job's
+                    // envelope includes its suspension gaps, but the
+                    // summed span durations must equal the effective
+                    // runtime exactly — a resume that loses or repeats
+                    // work shows up here.
                     let effective = job.runtime.min(job.requested);
-                    if p.completion - p.start != effective {
+                    let charged = schedule.charged_time(id).expect("placed jobs are charged");
+                    if charged != effective {
                         violations.push(format!(
-                            "job {id} ran {} but Rule 2 dictates {effective}",
-                            p.completion - p.start
+                            "job {id} charged {charged} but Rule 2 dictates {effective}"
                         ));
                     }
                 }
@@ -745,9 +853,11 @@ pub fn check_outcome(
         }
     }
 
-    // Objective recomputation from first principles (cancellation-free
-    // runs only: the §4 objectives are defined over complete schedules).
-    if scenario.cancels.is_empty() {
+    // Objective recomputation from first principles (cancellation- and
+    // preemption-free runs only: the §4 objectives are defined over
+    // complete schedules, and the AWRT consumption weight is specified
+    // over the contiguous envelope, which preemption stretches).
+    if scenario.cancels.is_empty() && scenario.preempts.is_empty() {
         let n = scenario.jobs.len() as f64;
         let mut art = 0.0;
         let mut awrt = 0.0;
@@ -791,8 +901,9 @@ pub fn check_outcome(
 mod tests {
     use super::*;
     use crate::gen::{broken_scenario, random_scenario};
-    use crate::scenario::{CancelSpec, DrainSpec, Mutation, ScenarioJob};
+    use crate::scenario::{CancelSpec, DrainSpec, Mutation, PreemptSpec, ScenarioJob};
     use jobsched_algos::scheduler::ProfileMode;
+    use jobsched_sim::ScheduleRecord;
 
     fn job(submit: Time, nodes: u32, requested: Time, runtime: Time) -> ScenarioJob {
         ScenarioJob {
@@ -817,6 +928,7 @@ mod tests {
             jobs: vec![job(0, 6, 100, 100), job(1, 8, 100, 100), job(2, 4, 40, 40)],
             cancels: Vec::new(),
             drains: Vec::new(),
+            preempts: Vec::new(),
         }
     }
 
@@ -964,6 +1076,107 @@ mod tests {
             let s = hetero_scenario(PolicyKind::Priority(ScoreFn::Wfp), backfill);
             assert_eq!(check_scenario(&s), Vec::<String>::new(), "{backfill:?}");
         }
+    }
+
+    #[test]
+    fn preemption_faults_do_not_trip_the_oracle() {
+        for backfill in [
+            BackfillMode::None,
+            BackfillMode::Conservative,
+            BackfillMode::Easy,
+        ] {
+            let mut s = base_scenario(PolicyKind::Fcfs, backfill);
+            s.preempts.push(PreemptSpec {
+                at: 30,
+                job: 0,
+                resume_at: 120,
+            });
+            assert_eq!(check_scenario(&s), Vec::<String>::new(), "{backfill:?}");
+        }
+        for score in [ScoreFn::Wfp3, ScoreFn::Sjf] {
+            let mut s = base_scenario(PolicyKind::Priority(score), BackfillMode::Easy);
+            s.preempts.push(PreemptSpec {
+                at: 30,
+                job: 0,
+                resume_at: 120,
+            });
+            assert_eq!(check_scenario(&s), Vec::<String>::new(), "{score:?}");
+        }
+        let mut s = hetero_scenario(PolicyKind::Fcfs, BackfillMode::Easy);
+        s.preempts.push(PreemptSpec {
+            at: 30,
+            job: 0,
+            resume_at: 150,
+        });
+        assert_eq!(check_scenario(&s), Vec::<String>::new());
+    }
+
+    #[test]
+    fn preempting_a_queued_job_is_a_recorded_no_op() {
+        // Job 1 is head-blocked behind job 0 at t=30: the preemption must
+        // log `applied: false` and leave the schedule untouched.
+        let mut s = base_scenario(PolicyKind::Fcfs, BackfillMode::None);
+        s.preempts.push(PreemptSpec {
+            at: 30,
+            job: 1,
+            resume_at: 60,
+        });
+        assert_eq!(check_scenario(&s), Vec::<String>::new());
+        let outcome = simulate_with_faults(&s.workload(), &mut *s.scheduler(), &s.fault_plan());
+        assert!(outcome
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultOutcome::Preempted { applied: false, .. })));
+    }
+
+    #[test]
+    fn cancel_while_preempted_is_audited_clean() {
+        let mut s = base_scenario(PolicyKind::Fcfs, BackfillMode::None);
+        s.preempts.push(PreemptSpec {
+            at: 30,
+            job: 0,
+            resume_at: 500,
+        });
+        s.cancels.push(CancelSpec { at: 60, job: 0 });
+        assert_eq!(check_scenario(&s), Vec::<String>::new());
+    }
+
+    #[test]
+    fn broken_resume_is_caught_by_the_outcome_audit() {
+        let mut s = base_scenario(PolicyKind::Fcfs, BackfillMode::None);
+        s.preempts.push(PreemptSpec {
+            at: 30,
+            job: 0,
+            resume_at: 120,
+        });
+        let workload = s.workload();
+        let mut outcome = simulate_with_faults(&workload, &mut *s.scheduler(), &s.fault_plan());
+        assert_eq!(check_outcome(&s, &workload, &outcome), Vec::<String>::new());
+
+        // Impostor resume: re-record every job rigidly over its envelope,
+        // as an engine that forgot to close the preempted span would.
+        let mut broken = ScheduleRecord::new(s.machine_nodes, s.jobs.len());
+        for i in 0..s.jobs.len() {
+            if let Some(p) = outcome.schedule.placement(JobId(i as u32)) {
+                broken.place(JobId(i as u32), p.start, p.completion);
+            }
+        }
+        outcome.schedule = broken;
+        let violations = check_outcome(&s, &workload, &outcome);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("no span closes") || v.contains("no segment union")),
+            "preempt audit silent on a span-less schedule: {violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("Rule 2")),
+            "charged-time audit silent on an envelope charge: {violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("committed")),
+            "capacity sweep silent on overlapping envelopes: {violations:?}"
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@
 use jobsched_algos::scheduler::ProfileMode;
 use jobsched_algos::spec::PolicyKind;
 use jobsched_algos::{BackfillMode, ListScheduler, PriorityScheduler, ScoreFn};
-use jobsched_sim::{CancelFault, DrainFault, FaultPlan, JobRequest, Machine, Scheduler};
+use jobsched_sim::{
+    CancelFault, DrainFault, FaultPlan, JobRequest, Machine, PreemptFault, Scheduler,
+};
 use jobsched_workload::{
     ClassId, JobBuilder, JobId, MachineLayout, NodeClassSpec, NodeType, Time, Workload,
 };
@@ -44,6 +46,20 @@ pub struct CancelSpec {
     pub at: Time,
     /// Index into [`Scenario::jobs`].
     pub job: usize,
+}
+
+/// A forced preemption: if the job is running at `at`, its allocation
+/// span closes, its nodes free, and the remainder re-enters the queue at
+/// `resume_at` (clamped past the preemption instant by the engine). A
+/// preemption that finds the job not running is recorded as a no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PreemptSpec {
+    /// Preemption instant.
+    pub at: Time,
+    /// Index into [`Scenario::jobs`].
+    pub job: usize,
+    /// Requested requeue instant (engine clamps to `> at`).
+    pub resume_at: Time,
 }
 
 /// Nodes leaving service for maintenance over `[at, until)`.
@@ -105,6 +121,8 @@ pub struct Scenario {
     pub cancels: Vec<CancelSpec>,
     /// Drain faults.
     pub drains: Vec<DrainSpec>,
+    /// Forced-preemption faults.
+    pub preempts: Vec<PreemptSpec>,
 }
 
 impl Scenario {
@@ -157,6 +175,14 @@ impl Scenario {
         for (i, c) in self.cancels.iter().enumerate() {
             if c.job >= self.jobs.len() {
                 return Err(format!("cancel {i}: job index {} out of range", c.job));
+            }
+        }
+        for (i, p) in self.preempts.iter().enumerate() {
+            if p.job >= self.jobs.len() {
+                return Err(format!("preempt {i}: job index {} out of range", p.job));
+            }
+            if p.resume_at <= p.at {
+                return Err(format!("preempt {i}: resume_at must exceed at"));
             }
         }
         for (i, d) in self.drains.iter().enumerate() {
@@ -232,6 +258,15 @@ impl Scenario {
                     nodes: d.nodes,
                     class: ClassId(d.class),
                     until: d.until,
+                })
+                .collect(),
+            preempts: self
+                .preempts
+                .iter()
+                .map(|p| PreemptFault {
+                    id: JobId(p.job as u32),
+                    at: p.at,
+                    resume_at: p.resume_at,
                 })
                 .collect(),
         }
@@ -324,6 +359,9 @@ impl Scenario {
         for c in &self.cancels {
             out.push_str(&format!("cancel {} {}\n", c.at, c.job));
         }
+        for p in &self.preempts {
+            out.push_str(&format!("preempt {} {} {}\n", p.at, p.job, p.resume_at));
+        }
         for d in &self.drains {
             if d.class != 0 {
                 out.push_str(&format!(
@@ -351,6 +389,7 @@ impl Scenario {
             jobs: Vec::new(),
             cancels: Vec::new(),
             drains: Vec::new(),
+            preempts: Vec::new(),
         };
         for (ln, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -450,6 +489,13 @@ impl Scenario {
                         job: parse_num(&args, 1, &ctx)?,
                     });
                 }
+                "preempt" => {
+                    s.preempts.push(PreemptSpec {
+                        at: parse_num(&args, 0, &ctx)?,
+                        job: parse_num(&args, 1, &ctx)?,
+                        resume_at: parse_num(&args, 2, &ctx)?,
+                    });
+                }
                 "drain" => {
                     // Field 3 (class) is optional for legacy files.
                     s.drains.push(DrainSpec {
@@ -496,6 +542,10 @@ fn policy_token(p: PolicyKind) -> &'static str {
         PolicyKind::SmartNfiw => "smart-nfiw",
         PolicyKind::GareyGraham => "garey-graham",
         PolicyKind::Priority(s) => s.tag(),
+        // Oracle scenarios drive rigid list schedulers; time-shared
+        // kinds never appear in a scenario header but need a token.
+        PolicyKind::Dfrs => "dfrs",
+        PolicyKind::Moldable => "moldable",
     }
 }
 
@@ -589,6 +639,11 @@ mod tests {
                 nodes: 32,
                 until: 60,
                 class: 0,
+            }],
+            preempts: vec![PreemptSpec {
+                at: 20,
+                job: 0,
+                resume_at: 50,
             }],
         }
     }
@@ -732,6 +787,29 @@ mod tests {
         let mut s = sample();
         s.drains[0].class = 1; // homogeneous scenarios only have class 0
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn preempt_round_trip_and_fault_plan() {
+        let s = sample();
+        let text = s.to_text();
+        assert!(text.contains("preempt 20 0 50"), "{text}");
+        assert_eq!(Scenario::from_text(&text).unwrap(), s);
+        let plan = s.fault_plan();
+        assert_eq!(plan.preempts.len(), 1);
+        assert_eq!(plan.preempts[0].id, JobId(0));
+        assert_eq!(plan.preempts[0].at, 20);
+        assert_eq!(plan.preempts[0].resume_at, 50);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_preempts() {
+        let mut s = sample();
+        s.preempts[0].job = 9;
+        assert!(s.validate().unwrap_err().contains("out of range"));
+        let mut s = sample();
+        s.preempts[0].resume_at = s.preempts[0].at;
+        assert!(s.validate().unwrap_err().contains("resume_at"));
     }
 
     #[test]

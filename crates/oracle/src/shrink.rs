@@ -91,6 +91,17 @@ pub fn shrink_with_budget(scenario: &Scenario, budget: usize) -> Scenario {
                 c += 1;
             }
         }
+        let mut p = 0;
+        while p < current.preempts.len() {
+            let mut candidate = current.clone();
+            candidate.preempts.remove(p);
+            if fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            } else {
+                p += 1;
+            }
+        }
 
         // Pass 3: coarsen times (floor to multiples; monotone, so the
         // submit sort order is preserved).
@@ -108,8 +119,8 @@ pub fn shrink_with_budget(scenario: &Scenario, budget: usize) -> Scenario {
     }
 }
 
-/// Remove jobs `[from, to)`, dropping cancels aimed at them and shifting
-/// later cancel indices left.
+/// Remove jobs `[from, to)`, dropping cancels and preempts aimed at them
+/// and shifting later fault indices left.
 fn drop_jobs(s: &Scenario, from: usize, to: usize) -> Scenario {
     let mut out = s.clone();
     out.jobs.drain(from..to);
@@ -118,6 +129,12 @@ fn drop_jobs(s: &Scenario, from: usize, to: usize) -> Scenario {
     for c in &mut out.cancels {
         if c.job >= to {
             c.job -= removed;
+        }
+    }
+    out.preempts.retain(|p| !(from..to).contains(&p.job));
+    for p in &mut out.preempts {
+        if p.job >= to {
+            p.job -= removed;
         }
     }
     out
@@ -136,6 +153,10 @@ fn round_times(s: &Scenario, unit: u64) -> Scenario {
     }
     for c in &mut out.cancels {
         c.at = floor(c.at);
+    }
+    for p in &mut out.preempts {
+        p.at = floor(p.at);
+        p.resume_at = floor(p.resume_at).max(p.at + 1);
     }
     for d in &mut out.drains {
         d.at = floor(d.at);

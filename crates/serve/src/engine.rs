@@ -147,6 +147,17 @@ impl SimObserver for StatusStore {
                 self.waiting.remove(id);
                 self.running.insert(*id, *at);
             }
+            // A preempted job leaves the nodes but is neither waiting
+            // (the engine, not the queue, will restart it) nor done:
+            // report it as waiting until its resume re-starts it.
+            JobEvent::Preempted { id, .. } => {
+                self.running.remove(id);
+                self.waiting.insert(*id);
+            }
+            JobEvent::Resumed { id, at, .. } => {
+                self.waiting.remove(id);
+                self.running.insert(*id, *at);
+            }
             JobEvent::Finished(o) => {
                 self.running.remove(&o.id);
                 self.push_done(
@@ -176,6 +187,17 @@ impl SimObserver for StatusStore {
                         *id,
                         DoneRec {
                             start: None,
+                            completion: *at,
+                            cancelled: true,
+                        },
+                    );
+                }
+                CancelPhase::Preempted => {
+                    self.waiting.remove(id);
+                    self.push_done(
+                        *id,
+                        DoneRec {
+                            start: run.map(|o| o.start),
                             completion: *at,
                             cancelled: true,
                         },
@@ -456,6 +478,7 @@ impl Engine {
                 CancelPhase::PreSubmit => "pre-submit",
                 CancelPhase::Running => "running",
                 CancelPhase::Queued => "queued",
+                CancelPhase::Preempted => "preempted",
                 CancelPhase::AlreadyFinished => "already-finished",
             },
             _ => "already-cancelled", // duplicate: LiveSim ignored it

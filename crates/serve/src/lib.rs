@@ -109,6 +109,10 @@ impl SchedulerSpec {
                     PolicyKind::SmartNfiw => "smart-nfiw",
                     PolicyKind::GareyGraham => "garey-graham",
                     PolicyKind::Priority(score) => score.tag(),
+                    // Time-shared kinds are not servable: `parse` never
+                    // produces them, but checkpoints must still label.
+                    PolicyKind::Dfrs => "dfrs",
+                    PolicyKind::Moldable => "moldable",
                 };
                 let backfill = match spec.backfill {
                     BackfillMode::None => "none",

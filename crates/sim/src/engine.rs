@@ -157,6 +157,25 @@ impl DrainFault {
     }
 }
 
+/// A forced preemption of a running job (fault injection): at `at` the
+/// job is stopped mid-flight, its nodes are released, and at
+/// `resume_at` (clamped to strictly after the preemption) the remainder
+/// is handed back to the scheduler as a fresh submission whose limit is
+/// the unconsumed part of the original. The scheduler restarts it
+/// whenever its policy allows — resumption is *eligibility*, not a
+/// guaranteed restart instant. A preemption whose job is not running at
+/// `at` (still queued, already finished, cancelled, or already
+/// preempted) is a recorded no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PreemptFault {
+    /// The job to stop.
+    pub id: JobId,
+    /// When the preemption strikes.
+    pub at: Time,
+    /// Earliest instant the remainder re-enters the scheduler's queue.
+    pub resume_at: Time,
+}
+
 /// The adversarial events injected into one simulation run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -164,12 +183,14 @@ pub struct FaultPlan {
     pub cancels: Vec<CancelFault>,
     /// Node drain intervals.
     pub drains: Vec<DrainFault>,
+    /// Forced mid-flight preemptions.
+    pub preempts: Vec<PreemptFault>,
 }
 
 impl FaultPlan {
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.cancels.is_empty() && self.drains.is_empty()
+        self.cancels.is_empty() && self.drains.is_empty() && self.preempts.is_empty()
     }
 }
 
@@ -182,6 +203,10 @@ pub enum CancelPhase {
     Queued,
     /// Running: killed mid-execution, resources released immediately.
     Running,
+    /// Preempted (or re-queued awaiting restart): the spans already run
+    /// stay charged; the job completes at the cancel instant without
+    /// ever running again.
+    Preempted,
     /// Already completed: the cancellation is a no-op.
     AlreadyFinished,
 }
@@ -212,6 +237,20 @@ pub enum FaultOutcome {
         granted: u32,
         /// When the granted nodes return to service.
         until: Time,
+    },
+    /// A forced preemption was applied (or attempted).
+    Preempted {
+        /// The targeted job.
+        id: JobId,
+        /// When the preemption was processed.
+        at: Time,
+        /// Whether the job was actually running — a queued, finished,
+        /// cancelled or already-preempted target makes the fault a no-op.
+        applied: bool,
+        /// The instant the remainder re-entered the queue (clamped to
+        /// `at + 1` at the earliest); the plan's raw value when not
+        /// applied.
+        resume_at: Time,
     },
 }
 
@@ -268,6 +307,14 @@ pub fn simulate_batch(workload: &Workload, scheduler: &mut dyn Scheduler) -> Sim
 /// * A drain removes `min(nodes, free)` nodes at `at` and returns them at
 ///   `until` (skipped when nothing is free or `until <= at`). Schedulers
 ///   hear about both edges via [`Scheduler::capacity_changed`].
+/// * A preemption stops a *running* job mid-flight: nodes are released,
+///   the scheduler hears [`Scheduler::job_finished`] (its books close
+///   exactly as on a real completion), and at `resume_at` the remainder
+///   re-enters the queue as a fresh [`Scheduler::submit`] whose limit is
+///   the unconsumed part of the original. The schedule records the
+///   resulting allocation segment union; response time and charge follow
+///   the envelope/segment rules of [`ScheduleRecord`]. Preempting a job
+///   that is not running is a recorded no-op.
 pub fn simulate_batch_with_faults(
     workload: &Workload,
     scheduler: &mut dyn Scheduler,
@@ -299,6 +346,25 @@ pub fn simulate_batch_with_faults(
             events.push(d.until, Event::Undrain(i as u32));
         }
     }
+    // Per-job FIFO of planned resume instants, in preemption-time order:
+    // Preempt events for one job pop by time, so the fronts line up.
+    let mut resume_plans: std::collections::BTreeMap<JobId, std::collections::VecDeque<Time>> =
+        std::collections::BTreeMap::new();
+    {
+        let mut by_job: std::collections::BTreeMap<JobId, Vec<(Time, Time)>> =
+            std::collections::BTreeMap::new();
+        for p in &faults.preempts {
+            assert!(p.id.index() < workload.len(), "preempt of unknown job");
+            by_job.entry(p.id).or_default().push((p.at, p.resume_at));
+        }
+        for (id, mut plans) in by_job {
+            plans.sort_by_key(|&(at, _)| at);
+            for &(at, resume_at) in &plans {
+                events.push(at, Event::Preempt(id));
+                resume_plans.entry(id).or_default().push_back(resume_at);
+            }
+        }
+    }
 
     let mut scheduler_cpu = Duration::ZERO;
     let mut n_events = 0u64;
@@ -309,6 +375,15 @@ pub fn simulate_batch_with_faults(
     // the system; submitted/running distinguish the cancellation phases.
     let mut cancelled = vec![false; workload.len()];
     let mut submitted = vec![false; workload.len()];
+    // Preemption bookkeeping, indexed by job. `consumed` is the seconds
+    // of effective runtime already executed in closed spans; `awaiting`
+    // marks jobs between preemption and resume, `requeued` jobs between
+    // resume and restart. `expected_finish` lazily invalidates Finish
+    // events left in the heap by a preempted placement.
+    let mut consumed: Vec<Time> = vec![0; workload.len()];
+    let mut awaiting = vec![false; workload.len()];
+    let mut requeued = vec![false; workload.len()];
+    let mut expected_finish: Vec<Option<Time>> = vec![None; workload.len()];
 
     while let Some((now, batch)) = events.pop_batch() {
         for ev in batch {
@@ -334,10 +409,68 @@ pub fn simulate_batch_with_faults(
                     if cancelled[id.index()] {
                         continue; // killed mid-run: resources already released
                     }
+                    if expected_finish[id.index()] != Some(now) {
+                        continue; // stale: the placement was preempted
+                    }
+                    expected_finish[id.index()] = None;
                     machine.finish(id).expect("finish event for running job");
                     let t0 = Instant::now();
                     scheduler.job_finished(id, now);
                     scheduler_cpu += t0.elapsed();
+                }
+                Event::Preempt(id) => {
+                    let resume_at = resume_plans
+                        .get_mut(&id)
+                        .and_then(|q| q.pop_front())
+                        .expect("queued preempt has a planned resume");
+                    if cancelled[id.index()] || !machine.running().iter().any(|s| s.id == id) {
+                        fault_log.push(FaultOutcome::Preempted {
+                            id,
+                            at: now,
+                            applied: false,
+                            resume_at,
+                        });
+                        continue;
+                    }
+                    let slot = machine.preempt(id).expect("checked running");
+                    consumed[id.index()] += now - slot.start;
+                    record.preempt_at(id, now, slot.nodes);
+                    expected_finish[id.index()] = None;
+                    awaiting[id.index()] = true;
+                    let t0 = Instant::now();
+                    scheduler.job_finished(id, now);
+                    scheduler_cpu += t0.elapsed();
+                    let resume_at = resume_at.max(now + 1);
+                    events.push(resume_at, Event::Resume(id));
+                    fault_log.push(FaultOutcome::Preempted {
+                        id,
+                        at: now,
+                        applied: true,
+                        resume_at,
+                    });
+                }
+                Event::Resume(id) => {
+                    if cancelled[id.index()] {
+                        continue; // cancelled while preempted: stays out
+                    }
+                    assert!(awaiting[id.index()], "resume without a pending preempt");
+                    awaiting[id.index()] = false;
+                    requeued[id.index()] = true;
+                    let job = workload.job(id);
+                    let mut req = JobRequest::from(job);
+                    req.submit = now;
+                    req.requested_time = job.requested_time - consumed[id.index()];
+                    req.class = machine
+                        .resolve_class(job.node_type, job.memory_mb, job.nodes)
+                        .expect("resolved at submit");
+                    let t0 = Instant::now();
+                    scheduler.submit(req, now);
+                    scheduler_cpu += t0.elapsed();
+                }
+                Event::Resize(_) => {
+                    unreachable!(
+                        "resize is a scheduler action of the time-shared engine, not a fault"
+                    )
                 }
                 Event::Cancel(id) => {
                     if cancelled[id.index()] {
@@ -354,6 +487,16 @@ pub fn simulate_batch_with_faults(
                         scheduler.job_finished(id, now);
                         scheduler_cpu += t0.elapsed();
                         CancelPhase::Running
+                    } else if awaiting[id.index()] || requeued[id.index()] {
+                        cancelled[id.index()] = true;
+                        record.cancel_at(id, now);
+                        if requeued[id.index()] {
+                            // The scheduler holds the remainder; retract it.
+                            let t0 = Instant::now();
+                            scheduler.cancel(id, now);
+                            scheduler_cpu += t0.elapsed();
+                        }
+                        CancelPhase::Preempted
                     } else if record.placement(id).is_none() {
                         cancelled[id.index()] = true;
                         let t0 = Instant::now();
@@ -417,13 +560,22 @@ pub fn simulate_batch_with_faults(
                 let class = machine
                     .resolve_class(job.node_type, job.memory_mb, job.nodes)
                     .expect("resolved at submit");
+                // A restart after preemption runs (and is projected) for
+                // the unconsumed remainder only.
+                let done = consumed[id.index()];
                 machine
-                    .start_in(class, id, job.nodes, now, now + job.requested_time)
+                    .start_in(class, id, job.nodes, now, now + (job.requested_time - done))
                     .unwrap_or_else(|e| {
                         panic!("scheduler {} broke validity: {e}", scheduler.name())
                     });
-                let completion = now + job.effective_runtime();
-                record.place(id, now, completion);
+                let completion = now + (job.effective_runtime() - done);
+                if done > 0 {
+                    record.resume_place(id, now, completion, job.nodes);
+                    requeued[id.index()] = false;
+                } else {
+                    record.place(id, now, completion);
+                }
+                expected_finish[id.index()] = Some(completion);
                 events.push(completion, Event::Finish(id));
             }
         }
@@ -680,6 +832,7 @@ mod tests {
                 }, // finished at 150: no-op
             ],
             drains: vec![],
+            ..Default::default()
         };
         let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
         // Job 1 never ran; job 0 was truncated at 50; job 2 started there.
@@ -735,6 +888,7 @@ mod tests {
                 at: 5,
             }],
             drains: vec![],
+            ..Default::default()
         };
         let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
         assert_eq!(out.schedule.placement(JobId(0)), None);
@@ -766,6 +920,7 @@ mod tests {
         let plan = FaultPlan {
             cancels: vec![],
             drains: vec![DrainFault::new(10, 8, 200)],
+            ..Default::default()
         };
         let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
         assert_eq!(out.schedule.placement(JobId(0)).unwrap().start, 200);
@@ -797,6 +952,7 @@ mod tests {
         let plan = FaultPlan {
             cancels: vec![],
             drains: vec![DrainFault::new(10, 9, 60)],
+            ..Default::default()
         };
         let out = simulate_with_faults(&w, &mut TestFcfs::new(), &plan);
         assert_eq!(

@@ -24,9 +24,23 @@ pub enum Event {
     /// A job finished (its resources are released *before* submissions at
     /// the same instant are considered — hence the variant order).
     Finish(JobId),
+    /// A running job is preempted mid-flight: its allocation segment
+    /// closes and its nodes return to the pool. Sorts with the other
+    /// resource-releasing events, right after finishes (a job that
+    /// finishes at the instant of its preemption is already gone and the
+    /// preemption is a no-op).
+    Preempt(JobId),
     /// Drained nodes return to service. Carries the index of the drain in
     /// the run's [`crate::engine::FaultPlan`].
     Undrain(u32),
+    /// A preempted job becomes eligible to run again. Applied after the
+    /// resource-returning events (so a finish/undrain at the same instant
+    /// can free the nodes it needs) and before same-instant submissions.
+    Resume(JobId),
+    /// A running job's allocation changes width mid-flight (malleable
+    /// resize). Ordered with [`Event::Resume`]: after resources return,
+    /// before new submissions compete for them.
+    Resize(JobId),
     /// A job was submitted.
     Submit(JobId),
     /// A job was cancelled by its user (fault injection). Applied after
@@ -134,6 +148,30 @@ mod tests {
                 Event::Submit(JobId(2)),
                 Event::Cancel(JobId(2)),
                 Event::Drain(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_order_preempt_releases_before_resume_consumes() {
+        // Finish frees first; a preempt closes its segment next; the
+        // freed nodes then serve a same-instant resume/resize before any
+        // new submission competes for them.
+        let mut q = EventQueue::new();
+        q.push(10, Event::Submit(JobId(4)));
+        q.push(10, Event::Resize(JobId(3)));
+        q.push(10, Event::Resume(JobId(2)));
+        q.push(10, Event::Preempt(JobId(1)));
+        q.push(10, Event::Finish(JobId(0)));
+        let (_, batch) = q.pop_batch().unwrap();
+        assert_eq!(
+            batch,
+            vec![
+                Event::Finish(JobId(0)),
+                Event::Preempt(JobId(1)),
+                Event::Resume(JobId(2)),
+                Event::Resize(JobId(3)),
+                Event::Submit(JobId(4)),
             ]
         );
     }

@@ -22,6 +22,8 @@
 //! schedulers pay a small overhead, which [`GangConfig::switch_overhead`]
 //! can model).
 
+use crate::tshare::{Action, TimeSharedScheduler, TsJobView};
+use crate::Machine;
 use jobsched_workload::{JobId, Time, Workload};
 
 /// Gang scheduler configuration.
@@ -236,6 +238,195 @@ pub fn simulate_gang_fcfs(workload: &Workload, config: GangConfig) -> GangOutcom
         completion,
         peak_contexts,
         context_switches: switches,
+    }
+}
+
+/// The gang policy re-expressed over the segment engine: a
+/// [`TimeSharedScheduler`] whose decisions reproduce
+/// [`simulate_gang_fcfs`] exactly (at zero switch overhead) — context
+/// membership, first-fit admission, round-robin rotation and the
+/// slice-remainder inheritance when the active context empties are all
+/// mirrored, while the engine owns every clock, span and work account.
+///
+/// The pair is a differential baseline in both directions: the
+/// monolithic loop pins the *policy* (per-job first start, completion,
+/// peak contexts), the engine run additionally yields a full
+/// [`crate::ScheduleRecord`] whose segment union is auditable with
+/// [`crate::check_segments`].
+#[derive(Debug)]
+pub struct GangFcfsTs {
+    slice: Time,
+    max_contexts: usize,
+    /// Context membership: `(job, width)` rosters plus used capacity.
+    contexts: Vec<(Vec<(JobId, u32)>, u32)>,
+    active: usize,
+    /// FCFS backlog no context can hold yet.
+    pending: std::collections::VecDeque<(JobId, u32)>,
+    running: std::collections::BTreeSet<JobId>,
+    started: std::collections::BTreeSet<JobId>,
+    slice_end: Time,
+    /// Instant the system went fully idle (no contexts, no backlog); a
+    /// submission at the *same* instant inherits the old slice phase —
+    /// the monolithic loop only resets the slice clock across a
+    /// strictly positive idle gap. `None` while jobs are anywhere in
+    /// the system (a drain that leaves a blocked backlog never idles).
+    idle_since: Option<Time>,
+    ever_busy: bool,
+    /// Largest simultaneous context count (mirrors `peak_contexts`).
+    pub peak_contexts: usize,
+}
+
+impl GangFcfsTs {
+    /// Mirror of [`simulate_gang_fcfs`] under `config`; the overhead
+    /// field is ignored (the engine models context switches as free).
+    pub fn new(config: GangConfig) -> Self {
+        GangFcfsTs {
+            slice: config.time_slice.max(1),
+            max_contexts: config.max_contexts.max(1),
+            contexts: Vec::new(),
+            active: 0,
+            pending: std::collections::VecDeque::new(),
+            running: std::collections::BTreeSet::new(),
+            started: std::collections::BTreeSet::new(),
+            slice_end: 0,
+            idle_since: None,
+            ever_busy: false,
+            peak_contexts: 0,
+        }
+    }
+
+    fn jobs_in_contexts(&self) -> usize {
+        self.contexts.iter().map(|(jobs, _)| jobs.len()).sum()
+    }
+}
+
+impl TimeSharedScheduler for GangFcfsTs {
+    fn name(&self) -> String {
+        format!("Gang-FCFS-TS(slice={})", self.slice)
+    }
+
+    fn submit(&mut self, job: &TsJobView, _now: Time) {
+        self.pending.push_back((job.id, job.choices[0].0));
+    }
+
+    fn job_finished(&mut self, id: JobId, now: Time) {
+        // A finishing job is necessarily running, hence in the active
+        // context. Dropping an emptied context shifts its successor
+        // into place — which therefore inherits the slice remainder,
+        // exactly like the monolithic `retain` + pointer fix-up.
+        self.running.remove(&id);
+        let (jobs, used) = &mut self.contexts[self.active];
+        if let Some(pos) = jobs.iter().position(|&(j, _)| j == id) {
+            let (_, width) = jobs.remove(pos);
+            *used -= width;
+        }
+        if self.contexts[self.active].0.is_empty() {
+            self.contexts.remove(self.active);
+            if self.active >= self.contexts.len() {
+                self.active = 0;
+            }
+        }
+        if self.contexts.is_empty() && self.pending.is_empty() {
+            self.idle_since = Some(now);
+        }
+    }
+
+    fn decide(&mut self, now: Time, machine: &Machine) -> Vec<Action> {
+        // Slice clock. Restarting from a strictly positive idle gap (or
+        // cold) re-phases the clock at `now`; a single surviving context
+        // fast-forwards through the no-op boundary rotations the
+        // monolithic loop performs; with two or more contexts each
+        // boundary arrives as an exact wakeup and rotates once, *before*
+        // admission — a context opened at the boundary instant is not
+        // part of the modulus.
+        if self.contexts.is_empty() {
+            if !self.pending.is_empty() {
+                let reset = match (self.ever_busy, self.idle_since) {
+                    (false, _) => true,         // cold start
+                    (true, Some(e)) => now > e, // strictly positive gap
+                    (true, None) => false,      // drained with a backlog
+                };
+                if reset {
+                    self.slice_end = now + self.slice;
+                }
+                self.idle_since = None;
+            }
+        } else if self.contexts.len() == 1 {
+            while self.slice_end <= now {
+                self.slice_end += self.slice;
+            }
+        } else if now >= self.slice_end {
+            self.active = (self.active + 1) % self.contexts.len();
+            self.slice_end = now + self.slice;
+        }
+
+        // FCFS admission: the head joins the first context with room,
+        // or opens one while the multiprogramming level allows.
+        let capacity = machine.total_nodes();
+        while let Some(&(id, width)) = self.pending.front() {
+            if let Some((jobs, used)) = self
+                .contexts
+                .iter_mut()
+                .find(|(_, used)| *used + width <= capacity)
+            {
+                jobs.push((id, width));
+                *used += width;
+            } else if self.contexts.len() < self.max_contexts {
+                self.contexts.push((vec![(id, width)], width));
+            } else {
+                break;
+            }
+            self.pending.pop_front();
+        }
+        self.peak_contexts = self.peak_contexts.max(self.contexts.len());
+        if self.contexts.is_empty() {
+            return Vec::new();
+        }
+        self.ever_busy = true;
+        self.active = self.active.min(self.contexts.len() - 1);
+        // Restart-at-boundary corner: the system drained exactly at the
+        // old slice boundary and refilled in the same instant. The
+        // monolithic loop then runs a zero-length activation of context
+        // 0 and rotates immediately — the rotation's modulus *includes*
+        // the contexts just opened. Rotate here, before anything starts,
+        // so the engine never sees the unrepresentable zero-length span
+        // (completions agree; only the phantom "first start" differs).
+        if self.contexts.len() >= 2 && now >= self.slice_end {
+            self.active = (self.active + 1) % self.contexts.len();
+            self.slice_end = now + self.slice;
+        }
+
+        // Reconcile the machine with the active context: suspend
+        // everything that rotated out, then (the frees land first)
+        // start or resume the gang that rotated in.
+        let target: std::collections::BTreeSet<JobId> = self.contexts[self.active]
+            .0
+            .iter()
+            .map(|&(j, _)| j)
+            .collect();
+        let mut out = Vec::new();
+        for &id in self.running.difference(&target) {
+            out.push(Action::Preempt { id });
+        }
+        for &id in target.difference(&self.running) {
+            out.push(if self.started.insert(id) {
+                Action::Start { id, choice: 0 }
+            } else {
+                Action::Resume { id }
+            });
+        }
+        self.running = target;
+        out
+    }
+
+    fn queue_len(&self) -> usize {
+        self.pending.len() + self.jobs_in_contexts() - self.running.len()
+    }
+
+    fn next_wakeup(&self, now: Time) -> Option<Time> {
+        // Rotation only changes anything with at least two contexts; a
+        // lone context keeps the machine without boundary wakeups.
+        (self.contexts.len() >= 2 && self.slice_end > now).then_some(self.slice_end)
     }
 }
 

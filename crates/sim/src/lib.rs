@@ -54,12 +54,14 @@ pub mod machine;
 pub mod pipeline;
 pub mod profile;
 pub mod schedule;
+pub mod segment;
+pub mod tshare;
 pub mod typed;
 
 pub use clock::{Clock, SimClock, WallClock};
 pub use engine::{
     simulate_batch, simulate_batch_with_faults, CancelFault, CancelPhase, DrainFault, FaultOutcome,
-    FaultPlan, JobRequest, Scheduler, SimOutcome,
+    FaultPlan, JobRequest, PreemptFault, Scheduler, SimOutcome,
 };
 pub use live::LiveSim;
 pub use machine::{DrainToken, Machine, RunningSlot};
@@ -69,3 +71,7 @@ pub use pipeline::{
 };
 pub use profile::{LiveProfile, Profile};
 pub use schedule::{JobPlacement, ScheduleRecord};
+pub use segment::{check_segments, Segment, SegmentViolation};
+pub use tshare::{
+    simulate_time_shared, Action, RigidAdapter, TimeSharedScheduler, TsJobView, TsOutcome,
+};

@@ -18,18 +18,44 @@
 //! cancellations), exactly as the batch engine orders them; the
 //! scheduler's decision rounds run after the whole batch.
 
-use crate::engine::{CancelPhase, DrainFault, FaultOutcome, JobRequest, Scheduler};
+use crate::engine::{CancelPhase, DrainFault, FaultOutcome, JobRequest, PreemptFault, Scheduler};
 use crate::event::{Event, EventQueue};
 use crate::machine::{DrainToken, Machine};
 use crate::pipeline::{JobEvent, JobOutcome, PipelineOutcome, SimObserver};
 use jobsched_workload::{Job, JobId, MachineLayout, Time};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
 /// A job that has entered the system and not yet retired.
 struct InFlight {
     job: Job,
-    start: Option<Time>,
+    /// First start — the instant waiting ended (outcome `start`).
+    first_start: Option<Time>,
+    /// Start of the currently open allocation span, if running.
+    span_start: Option<Time>,
+    /// Seconds of effective runtime executed in closed spans.
+    consumed: Time,
+    /// Between a forced preemption and its resume instant.
+    awaiting: bool,
+    /// Re-submitted after a resume, waiting for the scheduler to restart.
+    requeued: bool,
+    /// Lazy invalidation of heap-resident Finish events: only a Finish
+    /// matching this instant is live.
+    expected: Option<Time>,
+}
+
+impl InFlight {
+    fn new(job: Job) -> Self {
+        InFlight {
+            job,
+            first_start: None,
+            span_start: None,
+            consumed: 0,
+            awaiting: false,
+            requeued: false,
+            expected: None,
+        }
+    }
 }
 
 /// Stepped event-driven simulation core: machine, event queue, and
@@ -49,6 +75,12 @@ pub struct LiveSim {
     cancelled: BTreeSet<JobId>,
     drains: Vec<DrainFault>,
     drain_tokens: Vec<Option<DrainToken>>,
+    /// Per-job planned resumes, kept sorted by preemption instant so the
+    /// front lines up with the next Preempt event to pop.
+    preempt_plans: BTreeMap<JobId, VecDeque<(Time, Time)>>,
+    /// Jobs a forced preemption ever applied to — licenses the silent
+    /// skip of their stale Finish events after retirement.
+    preempted_ever: BTreeSet<JobId>,
     submitted_below: u32,
     scheduler_cpu: Duration,
     n_events: u64,
@@ -78,6 +110,8 @@ impl LiveSim {
             cancelled: BTreeSet::new(),
             drains: Vec::new(),
             drain_tokens: Vec::new(),
+            preempt_plans: BTreeMap::new(),
+            preempted_ever: BTreeSet::new(),
             submitted_below: 0,
             scheduler_cpu: Duration::ZERO,
             n_events: 0,
@@ -120,6 +154,16 @@ impl LiveSim {
             self.events.push(d.at, Event::Drain(idx));
             self.events.push(d.until, Event::Undrain(idx));
         }
+    }
+
+    /// Register a forced-preemption fault (see
+    /// [`crate::engine::PreemptFault`]): queue the preempt event and file
+    /// its planned resume instant.
+    pub fn plan_preempt(&mut self, p: PreemptFault) {
+        self.events.push(p.at, Event::Preempt(p.id));
+        let q = self.preempt_plans.entry(p.id).or_default();
+        let pos = q.partition_point(|&(at, _)| at <= p.at);
+        q.insert(pos, (p.at, p.resume_at));
     }
 
     /// Queue an explicit decision round at `at` (a wakeup event).
@@ -198,7 +242,7 @@ impl LiveSim {
                             panic!("job {id} has no eligible node class on this machine")
                         });
                     emit(observers, &JobEvent::Submitted(req));
-                    self.alive.insert(id, InFlight { job, start: None });
+                    self.alive.insert(id, InFlight::new(job));
                     let t0 = Instant::now();
                     scheduler.submit(req, now);
                     self.scheduler_cpu += t0.elapsed();
@@ -206,6 +250,18 @@ impl LiveSim {
                 Event::Finish(id) => {
                     if self.cancelled.contains(&id) {
                         continue; // killed mid-run: resources already released
+                    }
+                    let Some(inf) = self.alive.get(&id) else {
+                        // Only a preempted placement leaves a Finish event
+                        // behind after its job retired.
+                        assert!(
+                            self.preempted_ever.contains(&id),
+                            "finish event for unknown job {id}"
+                        );
+                        continue;
+                    };
+                    if inf.expected != Some(now) {
+                        continue; // stale: the placement was preempted
                     }
                     self.machine
                         .finish(id)
@@ -216,6 +272,76 @@ impl LiveSim {
                     let t0 = Instant::now();
                     scheduler.job_finished(id, now);
                     self.scheduler_cpu += t0.elapsed();
+                }
+                Event::Preempt(id) => {
+                    let resume_at = self
+                        .preempt_plans
+                        .get_mut(&id)
+                        .and_then(|q| q.pop_front())
+                        .map(|(_, r)| r)
+                        .expect("queued preempt has a planned resume");
+                    if self.cancelled.contains(&id)
+                        || !self.machine.running().iter().any(|s| s.id == id)
+                    {
+                        self.fault_log.push(FaultOutcome::Preempted {
+                            id,
+                            at: now,
+                            applied: false,
+                            resume_at,
+                        });
+                        continue;
+                    }
+                    let slot = self.machine.preempt(id).expect("checked running");
+                    let inf = self.alive.get_mut(&id).expect("running job was alive");
+                    let span = inf.span_start.take().expect("running job has a span");
+                    debug_assert_eq!(span, slot.start);
+                    inf.consumed += now - span;
+                    inf.awaiting = true;
+                    inf.expected = None;
+                    self.preempted_ever.insert(id);
+                    emit(
+                        observers,
+                        &JobEvent::Preempted {
+                            id,
+                            at: now,
+                            nodes: slot.nodes,
+                        },
+                    );
+                    let t0 = Instant::now();
+                    scheduler.job_finished(id, now);
+                    self.scheduler_cpu += t0.elapsed();
+                    let resume_at = resume_at.max(now + 1);
+                    self.events.push(resume_at, Event::Resume(id));
+                    self.fault_log.push(FaultOutcome::Preempted {
+                        id,
+                        at: now,
+                        applied: true,
+                        resume_at,
+                    });
+                }
+                Event::Resume(id) => {
+                    if self.cancelled.contains(&id) {
+                        continue; // cancelled while preempted: stays out
+                    }
+                    let inf = self.alive.get_mut(&id).expect("preempted job is alive");
+                    assert!(inf.awaiting, "resume without a pending preempt");
+                    inf.awaiting = false;
+                    inf.requeued = true;
+                    let mut req = JobRequest::from(&inf.job);
+                    req.submit = now;
+                    req.requested_time = inf.job.requested_time - inf.consumed;
+                    req.class = self
+                        .machine
+                        .resolve_class(inf.job.node_type, inf.job.memory_mb, inf.job.nodes)
+                        .expect("resolved at submit");
+                    let t0 = Instant::now();
+                    scheduler.submit(req, now);
+                    self.scheduler_cpu += t0.elapsed();
+                }
+                Event::Resize(_) => {
+                    unreachable!(
+                        "resize is a scheduler action of the time-shared engine, not a fault"
+                    )
                 }
                 Event::Cancel(id) => {
                     if self.cancelled.contains(&id) {
@@ -234,6 +360,21 @@ impl LiveSim {
                         scheduler.job_finished(id, now);
                         self.scheduler_cpu += t0.elapsed();
                         CancelPhase::Running
+                    } else if self
+                        .alive
+                        .get(&id)
+                        .is_some_and(|inf| inf.awaiting || inf.requeued)
+                    {
+                        self.cancelled.insert(id);
+                        let inf = self.alive.remove(&id).expect("checked above");
+                        if inf.requeued {
+                            // The scheduler holds the remainder; retract it.
+                            let t0 = Instant::now();
+                            scheduler.cancel(id, now);
+                            self.scheduler_cpu += t0.elapsed();
+                        }
+                        run = Some(outcome(&inf, now));
+                        CancelPhase::Preempted
                     } else if self.alive.remove(&id).is_some() {
                         self.cancelled.insert(id);
                         let t0 = Instant::now();
@@ -319,17 +460,37 @@ impl LiveSim {
                     .machine
                     .resolve_class(inf.job.node_type, inf.job.memory_mb, inf.job.nodes)
                     .expect("resolved at submit");
+                // A restart after preemption runs (and is projected) for
+                // the unconsumed remainder only.
+                let done = inf.consumed;
                 self.machine
-                    .start_in(class, id, inf.job.nodes, now, now + inf.job.requested_time)
+                    .start_in(
+                        class,
+                        id,
+                        inf.job.nodes,
+                        now,
+                        now + (inf.job.requested_time - done),
+                    )
                     .unwrap_or_else(|e| {
                         panic!("scheduler {} broke validity: {e}", scheduler.name())
                     });
-                assert!(inf.start.is_none(), "job {id} placed twice");
-                inf.start = Some(now);
                 let nodes = inf.job.nodes;
-                let completion = now + inf.job.effective_runtime();
-                self.events.push(completion, Event::Finish(id));
-                emit(observers, &JobEvent::Started { id, at: now, nodes });
+                let completion = now + (inf.job.effective_runtime() - done);
+                if done > 0 {
+                    assert!(inf.requeued, "job {id} placed twice");
+                    inf.requeued = false;
+                    inf.span_start = Some(now);
+                    inf.expected = Some(completion);
+                    self.events.push(completion, Event::Finish(id));
+                    emit(observers, &JobEvent::Resumed { id, at: now, nodes });
+                } else {
+                    assert!(inf.first_start.is_none(), "job {id} placed twice");
+                    inf.first_start = Some(now);
+                    inf.span_start = Some(now);
+                    inf.expected = Some(completion);
+                    self.events.push(completion, Event::Finish(id));
+                    emit(observers, &JobEvent::Started { id, at: now, nodes });
+                }
             }
         }
 
@@ -385,7 +546,7 @@ fn outcome(inf: &InFlight, completion: Time) -> JobOutcome {
     JobOutcome {
         id: inf.job.id,
         submit: inf.job.submit,
-        start: inf.start.expect("outcome of a started job"),
+        start: inf.first_start.expect("outcome of a started job"),
         completion,
         nodes: inf.job.nodes,
         requested_time: inf.job.requested_time,

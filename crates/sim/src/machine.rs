@@ -401,6 +401,55 @@ impl Machine {
         Ok(slot)
     }
 
+    /// Release a running job's partition mid-flight (preemption). The
+    /// resource effect is exactly [`Machine::finish`] — nodes return to
+    /// the pool and the calendar booking at the *projected* end is
+    /// cancelled — but the job is expected back: the returned slot
+    /// carries the width and class a later [`Machine::resume_in`] needs.
+    pub fn preempt(&mut self, id: JobId) -> Result<RunningSlot, MachineError> {
+        self.finish(id)
+    }
+
+    /// Re-allocate a partition for a previously preempted job. Identical
+    /// to [`Machine::start_in`] (the pool cannot tell a resume from a
+    /// fresh start); `projected_end` must cover the *remaining* limit,
+    /// not the original one.
+    pub fn resume_in(
+        &mut self,
+        class: ClassId,
+        id: JobId,
+        nodes: u32,
+        now: Time,
+        projected_end: Time,
+    ) -> Result<(), MachineError> {
+        self.start_in(class, id, nodes, now, projected_end)
+    }
+
+    /// Change a running job's width (and projected end) in place: the old
+    /// booking is released from the pool and its calendar, the new one is
+    /// taken atomically. Fails without side effects when the grown width
+    /// does not fit the pool's free nodes (plus the nodes the job itself
+    /// gives back).
+    pub fn resize(
+        &mut self,
+        id: JobId,
+        nodes: u32,
+        now: Time,
+        projected_end: Time,
+    ) -> Result<(), MachineError> {
+        assert!(nodes > 0, "resize to zero nodes is a preempt, not a resize");
+        let old = self.finish(id)?;
+        match self.start_in(old.class, id, nodes, now, projected_end) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Roll the old allocation back; it fit before, it fits now.
+                self.start_in(old.class, id, old.nodes, old.start, old.projected_end)
+                    .expect("restoring a released allocation cannot overcommit");
+                Err(e)
+            }
+        }
+    }
+
     #[inline]
     fn debug_check(&self) {
         debug_assert_eq!(self.pools.iter().map(|p| p.free).sum::<u32>(), self.free);
@@ -432,6 +481,36 @@ mod tests {
         assert_eq!(m.free_nodes(), 100);
         assert!(m.fits(100));
         assert!(!m.fits(101));
+    }
+
+    #[test]
+    fn preempt_resume_resize_keep_pool_and_calendar_in_sync() {
+        let mut m = Machine::new(10);
+        m.start(JobId(0), 6, 0, 100).unwrap();
+        m.start(JobId(1), 4, 0, 80).unwrap();
+        // Preempt frees the nodes and cancels the calendar booking.
+        let slot = m.preempt(JobId(0)).unwrap();
+        assert_eq!((slot.nodes, slot.projected_end), (6, 100));
+        assert_eq!(m.free_nodes(), 6);
+        assert_eq!(m.profile().free_nodes(), 6);
+        // Resume re-books with the *remaining* limit.
+        m.resume_in(ClassId(0), JobId(0), 6, 30, 130).unwrap();
+        assert_eq!(m.free_nodes(), 0);
+        // Resize shrinks the width mid-flight.
+        m.resize(JobId(0), 2, 50, 150).unwrap();
+        assert_eq!(m.free_nodes(), 4);
+        let s = m.running().iter().find(|s| s.id == JobId(0)).unwrap();
+        assert_eq!((s.nodes, s.start, s.projected_end), (2, 50, 150));
+        // Growing beyond free (4 free + 2 own = 6 < 9) fails untouched.
+        let err = m.resize(JobId(0), 9, 60, 160).unwrap_err();
+        assert!(matches!(err, MachineError::Overcommit { .. }));
+        assert_eq!(m.free_nodes(), 4);
+        let s = m.running().iter().find(|s| s.id == JobId(0)).unwrap();
+        assert_eq!(s.nodes, 2);
+        // Growing within free succeeds.
+        m.resize(JobId(0), 6, 60, 160).unwrap();
+        assert_eq!(m.free_nodes(), 0);
+        assert_eq!(m.profile().free_nodes(), 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 use crate::engine::{CancelPhase, FaultOutcome, FaultPlan, JobRequest, Scheduler, SimOutcome};
 use crate::live::LiveSim;
 use crate::schedule::{JobPlacement, ScheduleRecord};
+use crate::segment::Segment;
 use jobsched_workload::{Job, JobId, JobSource, SourceError, Time, Workload, WorkloadSource};
 use std::time::Duration;
 
@@ -94,6 +95,27 @@ pub enum JobEvent {
     },
     /// A job completed and its state is about to be retired.
     Finished(JobOutcome),
+    /// A running job was forcibly preempted: its allocation span closed
+    /// and its nodes were released; a [`JobEvent::Resumed`] (or a
+    /// cancellation) follows eventually.
+    Preempted {
+        /// The job.
+        id: JobId,
+        /// Preemption instant.
+        at: Time,
+        /// Nodes the closed span held.
+        nodes: u32,
+    },
+    /// A previously preempted job restarted, opening a new allocation
+    /// span for its remainder.
+    Resumed {
+        /// The job.
+        id: JobId,
+        /// Restart instant.
+        at: Time,
+        /// Nodes allocated to the new span.
+        nodes: u32,
+    },
     /// A cancellation fault was applied to a job.
     Cancelled {
         /// The job.
@@ -125,9 +147,24 @@ pub trait SimObserver {
 /// Observer that rebuilds the dense [`ScheduleRecord`] of the batch API.
 /// This reintroduces O(trace) memory by design — it is the interop shim
 /// for callers that want the finished schedule, not a streaming sink.
+///
+/// Preempted jobs are rebuilt as allocation segment unions: a
+/// [`JobEvent::Preempted`] closes the open span, a [`JobEvent::Resumed`]
+/// opens the next one, and the final [`JobEvent::Finished`] /
+/// [`JobEvent::Cancelled`] commits the union with its completion instant
+/// — bit-identical to the batch engine's record.
 #[derive(Debug, Default)]
 pub struct RecordingObserver {
     placements: Vec<Option<JobPlacement>>,
+    /// `(start, nodes)` of the currently open span of every running job
+    /// — bounded by in-flight jobs, and the seed a preemption needs to
+    /// close the span retroactively.
+    open: std::collections::BTreeMap<usize, (Time, u32)>,
+    /// Closed spans of jobs preempted at least once. Bounded by the
+    /// number of preemption faults.
+    segs: std::collections::BTreeMap<usize, Vec<Segment>>,
+    /// Committed `(segments, completion)` unions awaiting `into_record`.
+    committed: std::collections::BTreeMap<usize, (Vec<Segment>, Time)>,
 }
 
 impl RecordingObserver {
@@ -138,6 +175,14 @@ impl RecordingObserver {
 
     fn set(&mut self, o: &JobOutcome) {
         let idx = o.id.index();
+        let open = self.open.remove(&idx);
+        if let Some(mut segs) = self.segs.remove(&idx) {
+            if let Some((start, nodes)) = open {
+                segs.push(Segment::new(start, o.completion, nodes));
+            }
+            self.committed.insert(idx, (segs, o.completion));
+            return;
+        }
         if self.placements.len() <= idx {
             self.placements.resize(idx + 1, None);
         }
@@ -153,7 +198,11 @@ impl RecordingObserver {
         if self.placements.len() < jobs {
             self.placements.resize(jobs, None);
         }
-        ScheduleRecord::from_placements(machine_nodes, self.placements)
+        let mut record = ScheduleRecord::from_placements(machine_nodes, self.placements);
+        for (idx, (segments, completion)) in self.committed {
+            record.place_segments_at(JobId(idx as u32), segments, completion);
+        }
+        record
     }
 }
 
@@ -162,6 +211,19 @@ impl SimObserver for RecordingObserver {
         match event {
             JobEvent::Finished(o) => self.set(o),
             JobEvent::Cancelled { run: Some(o), .. } => self.set(o),
+            JobEvent::Started { id, at, nodes } | JobEvent::Resumed { id, at, nodes } => {
+                self.open.insert(id.index(), (*at, *nodes));
+            }
+            JobEvent::Preempted { id, at, .. } => {
+                let (start, nodes) = self
+                    .open
+                    .remove(&id.index())
+                    .expect("preempt closes an open span");
+                self.segs
+                    .entry(id.index())
+                    .or_default()
+                    .push(Segment::new(start, *at, nodes));
+            }
             _ => {}
         }
     }
@@ -258,6 +320,9 @@ impl<'a> SimPipeline<'a> {
         }
         for d in &faults.drains {
             live.plan_drain(*d);
+        }
+        for p in &faults.preempts {
+            live.plan_preempt(*p);
         }
 
         let mut next_expected: u32 = 0;
@@ -359,6 +424,9 @@ pub fn simulate_with_faults(
     for c in &faults.cancels {
         assert!(c.id.index() < workload.len(), "cancel of unknown job");
     }
+    for p in &faults.preempts {
+        assert!(p.id.index() < workload.len(), "preempt of unknown job");
+    }
     let mut source = WorkloadSource::new(workload);
     let mut recorder = RecordingObserver::new();
     let out = SimPipeline::new(&mut source, scheduler)
@@ -458,6 +526,7 @@ mod tests {
                 JobEvent::Started { .. } => self.started += 1,
                 JobEvent::Finished(_) => self.finished += 1,
                 JobEvent::Cancelled { .. } => self.cancelled += 1,
+                JobEvent::Preempted { .. } | JobEvent::Resumed { .. } => {}
             }
         }
         fn on_end(&mut self, horizon: Time) {
@@ -604,6 +673,7 @@ mod tests {
                 at: 40,
             }],
             drains: vec![],
+            ..Default::default()
         };
         let mut source = WorkloadSource::new(&w);
         let mut fcfs = TestFcfs::new();

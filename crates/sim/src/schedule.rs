@@ -7,6 +7,7 @@
 //! starting before its submission, execution truncated at the user limit.
 //! [`ScheduleRecord::validate`] re-checks all of that after the fact.
 
+use crate::segment::Segment;
 use jobsched_workload::{JobId, Time, Workload};
 
 /// Placement of one job in a finished schedule.
@@ -76,11 +77,47 @@ impl std::fmt::Display for ScheduleViolation {
     }
 }
 
-/// A completed schedule: start/completion per job, indexed by job id.
+/// One job's allocation in a finished schedule.
+///
+/// A rigid run-to-completion job is stored as the degenerate
+/// [`Alloc::Rigid`] case — one `(start, completion)` fact, exactly the
+/// pre-segment representation, so rigid schedules compare bit-identical
+/// across the refactor. A job that was preempted, resumed or resized
+/// carries its full segment union instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Alloc {
+    /// One contiguous run at the job's submitted width.
+    Rigid(JobPlacement),
+    /// A union of allocation segments. `completion` is the instant the
+    /// job left the system, which can lie *after* the last segment's end
+    /// (a job cancelled while preempted completes at the cancel instant
+    /// without ever running again).
+    Shared {
+        segments: Vec<Segment>,
+        completion: Time,
+    },
+}
+
+impl Alloc {
+    fn view(&self) -> JobPlacement {
+        match self {
+            Alloc::Rigid(p) => *p,
+            Alloc::Shared {
+                segments,
+                completion,
+            } => JobPlacement {
+                start: segments.first().map_or(*completion, |s| s.start),
+                completion: *completion,
+            },
+        }
+    }
+}
+
+/// A completed schedule: the allocation of every job, indexed by job id.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScheduleRecord {
     machine_nodes: u32,
-    placements: Vec<Option<JobPlacement>>,
+    placements: Vec<Option<Alloc>>,
 }
 
 impl ScheduleRecord {
@@ -98,7 +135,10 @@ impl ScheduleRecord {
     pub fn from_placements(machine_nodes: u32, placements: Vec<Option<JobPlacement>>) -> Self {
         ScheduleRecord {
             machine_nodes,
-            placements,
+            placements: placements
+                .into_iter()
+                .map(|p| p.map(Alloc::Rigid))
+                .collect(),
         }
     }
 
@@ -117,13 +157,121 @@ impl ScheduleRecord {
         self.placements.is_empty()
     }
 
-    /// Record a placement. Panics if the job already has one (a job runs
-    /// exactly once on this machine — no time sharing).
+    /// Record a rigid placement: one contiguous run at the job's own
+    /// width. Panics if the job already has one — a rigid job runs
+    /// exactly once; mid-flight changes go through [`Self::preempt_at`] /
+    /// [`Self::resume_place`] instead.
     pub fn place(&mut self, id: JobId, start: Time, completion: Time) {
         let slot = &mut self.placements[id.index()];
         assert!(slot.is_none(), "job {id} placed twice");
         assert!(completion >= start, "negative duration for job {id}");
-        *slot = Some(JobPlacement { start, completion });
+        *slot = Some(Alloc::Rigid(JobPlacement { start, completion }));
+    }
+
+    /// Record a complete segment-union allocation in one shot (the
+    /// time-shared engine materialises each job's history when it leaves
+    /// the system). Segments must be sorted and disjoint; the job
+    /// completes at the last segment's end. Panics if the job already
+    /// has an allocation or `segments` is empty.
+    pub fn place_segments(&mut self, id: JobId, segments: Vec<Segment>) {
+        let slot = &mut self.placements[id.index()];
+        assert!(slot.is_none(), "job {id} placed twice");
+        assert!(!segments.is_empty(), "job {id} placed with no segments");
+        for w in segments.windows(2) {
+            assert!(
+                w[1].start >= w[0].end,
+                "job {id} segments overlap or are unsorted"
+            );
+        }
+        let completion = segments.last().expect("non-empty").end;
+        *slot = Some(Alloc::Shared {
+            segments,
+            completion,
+        });
+    }
+
+    /// Like [`Self::place_segments`], but with an explicit completion
+    /// instant at or after the last segment's end — the shape of a job
+    /// cancelled while preempted, which leaves the system *after* its
+    /// last span closed. The streaming recorder rebuilds such allocations
+    /// from the event tape with this entry point.
+    pub fn place_segments_at(&mut self, id: JobId, segments: Vec<Segment>, completion: Time) {
+        let last_end = segments.last().map_or(completion, |s| s.end);
+        assert!(
+            completion >= last_end,
+            "job {id} completes before its last span ends"
+        );
+        self.place_segments(id, segments);
+        match self.placements[id.index()].as_mut().expect("just placed") {
+            Alloc::Shared { completion: c, .. } => *c = completion,
+            Alloc::Rigid(_) => unreachable!("place_segments stores Shared"),
+        }
+    }
+
+    /// Close a running job's current allocation span at `t` (the job was
+    /// preempted mid-flight): the span that was projected to run to its
+    /// completion is truncated at `t` and the allocation becomes a
+    /// segment union awaiting [`Self::resume_place`]. `nodes` is the
+    /// width the span held. Panics if the job has no allocation or `t`
+    /// lies outside the open span.
+    pub fn preempt_at(&mut self, id: JobId, t: Time, nodes: u32) {
+        let slot = self.placements[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("preempting job {id} that never started"));
+        match slot {
+            Alloc::Rigid(p) => {
+                assert!(
+                    t > p.start && t <= p.completion,
+                    "preempt of job {id} at {t} outside its execution [{}, {}]",
+                    p.start,
+                    p.completion
+                );
+                *slot = Alloc::Shared {
+                    segments: vec![Segment::new(p.start, t, nodes)],
+                    completion: t,
+                };
+            }
+            Alloc::Shared {
+                segments,
+                completion,
+            } => {
+                let last = segments.last_mut().expect("shared alloc has segments");
+                assert!(
+                    t > last.start && t <= last.end,
+                    "preempt of job {id} at {t} outside its open span [{}, {})",
+                    last.start,
+                    last.end
+                );
+                last.end = t;
+                *completion = t;
+            }
+        }
+    }
+
+    /// Open a new allocation span for a previously preempted job:
+    /// `[start, projected_completion)` at width `nodes`. Panics if the
+    /// job is not in the preempted (segment-union) state or the new span
+    /// would overlap the previous one.
+    pub fn resume_place(&mut self, id: JobId, start: Time, projected_completion: Time, nodes: u32) {
+        let slot = self.placements[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("resuming job {id} that never started"));
+        match slot {
+            Alloc::Rigid(_) => panic!("resuming job {id} that was never preempted"),
+            Alloc::Shared {
+                segments,
+                completion,
+            } => {
+                let last_end = segments.last().expect("shared alloc has segments").end;
+                assert!(start >= last_end, "resume of job {id} overlaps its past");
+                assert!(
+                    projected_completion > start,
+                    "resume of job {id} projects a non-positive span"
+                );
+                segments.push(Segment::new(start, projected_completion, nodes));
+                *completion = projected_completion;
+            }
+        }
     }
 
     /// Truncate a running job's recorded execution at `t`: the job was
@@ -133,24 +281,88 @@ impl ScheduleRecord {
     /// recorded execution — cancellations of finished jobs are no-ops at
     /// the engine level and must never reach the record.
     pub fn cancel_at(&mut self, id: JobId, t: Time) {
-        let p = self.placements[id.index()]
+        let slot = self.placements[id.index()]
             .as_mut()
             .unwrap_or_else(|| panic!("cancelling job {id} that never started"));
-        assert!(
-            t >= p.start && t <= p.completion,
-            "cancel of job {id} at {t} outside its execution [{}, {}]",
-            p.start,
-            p.completion
-        );
-        p.completion = t;
+        match slot {
+            Alloc::Rigid(p) => {
+                assert!(
+                    t >= p.start && t <= p.completion,
+                    "cancel of job {id} at {t} outside its execution [{}, {}]",
+                    p.start,
+                    p.completion
+                );
+                p.completion = t;
+            }
+            Alloc::Shared {
+                segments,
+                completion,
+            } => {
+                // A segmented job can be cancelled mid-span *or* inside a
+                // preemption gap — including *after* its last span closed
+                // (preempted, never resumed): drop spans that had not
+                // begun, clip the one containing `t`, and complete at the
+                // cancel instant.
+                let first = segments.first().expect("shared alloc has segments").start;
+                assert!(
+                    t >= first,
+                    "cancel of job {id} at {t} precedes its first span at {first}"
+                );
+                segments.retain(|s| s.start < t);
+                if let Some(last) = segments.last_mut() {
+                    if last.end > t {
+                        last.end = t;
+                    }
+                }
+                *completion = t;
+            }
+        }
     }
 
-    /// Placement of one job, if it completed. Ids beyond the record (a
-    /// zero-job record queried about a non-empty workload, a stream
-    /// recorder that saw fewer jobs than expected) read as unplaced
-    /// rather than panicking.
+    /// Placement of one job, if it completed: its first start and final
+    /// completion. For a segmented job this is the *envelope* of its
+    /// segment union (response time and sum-wC charge from it; the time
+    /// inside preemption gaps counts as waiting, not running). Ids
+    /// beyond the record (a zero-job record queried about a non-empty
+    /// workload, a stream recorder that saw fewer jobs than expected)
+    /// read as unplaced rather than panicking.
     pub fn placement(&self, id: JobId) -> Option<JobPlacement> {
-        self.placements.get(id.index()).copied().flatten()
+        self.placements
+            .get(id.index())
+            .and_then(|a| a.as_ref())
+            .map(Alloc::view)
+    }
+
+    /// The job's segment union, if it was ever preempted or resized.
+    /// Rigid one-shot jobs return `None` — their single segment is
+    /// implied by [`Self::placement`] and the workload's width; use
+    /// [`Self::charged_spans`] for a uniform view.
+    pub fn segments(&self, id: JobId) -> Option<&[Segment]> {
+        match self.placements.get(id.index()).and_then(|a| a.as_ref()) {
+            Some(Alloc::Shared { segments, .. }) => Some(segments),
+            _ => None,
+        }
+    }
+
+    /// Uniform segment view of one job's allocation: a rigid placement
+    /// reads as a single segment at `default_nodes` (the workload width
+    /// the record does not store), a segmented job as its stored spans.
+    pub fn charged_spans(&self, id: JobId, default_nodes: u32) -> Option<Vec<Segment>> {
+        match self.placements.get(id.index()).and_then(|a| a.as_ref())? {
+            Alloc::Rigid(p) => Some(vec![Segment::new(p.start, p.completion, default_nodes)]),
+            Alloc::Shared { segments, .. } => Some(segments.clone()),
+        }
+    }
+
+    /// Seconds of actual execution charged to the job: the summed span
+    /// durations, *excluding* preemption gaps. Equals
+    /// `completion − start` only in the rigid one-segment case — the
+    /// latent single-segment assumption this API replaces.
+    pub fn charged_time(&self, id: JobId) -> Option<Time> {
+        match self.placements.get(id.index()).and_then(|a| a.as_ref())? {
+            Alloc::Rigid(p) => Some(p.completion - p.start),
+            Alloc::Shared { segments, .. } => Some(segments.iter().map(Segment::duration).sum()),
+        }
     }
 
     /// Iterate over `(JobId, JobPlacement)` for all completed jobs.
@@ -158,7 +370,7 @@ impl ScheduleRecord {
         self.placements
             .iter()
             .enumerate()
-            .filter_map(|(i, p)| p.map(|p| (JobId(i as u32), p)))
+            .filter_map(|(i, p)| p.as_ref().map(|a| (JobId(i as u32), a.view())))
     }
 
     /// Latest completion time (0 for an empty schedule).
@@ -183,7 +395,12 @@ impl ScheduleRecord {
             workload.len(),
             "schedule and workload sizes differ"
         );
-        // Per-job checks.
+        // Per-job checks. Runtime is charged from the segment union: the
+        // summed span durations must equal the effective runtime of the
+        // execution alternative the job actually started under — a
+        // moldable job charges its *chosen* shape, identified by the
+        // width of its first span (selection happens once, at start
+        // time). A rigid job is the degenerate one-alternative case.
         for job in workload.jobs() {
             match self.placement(job.id) {
                 None => violations.push(ScheduleViolation::Unfinished(job.id)),
@@ -191,18 +408,29 @@ impl ScheduleRecord {
                     if p.start < job.submit {
                         violations.push(ScheduleViolation::StartsBeforeSubmit(job.id));
                     }
-                    if p.completion - p.start != job.effective_runtime() {
+                    let charged = self.charged_time(job.id);
+                    let width = self
+                        .segments(job.id)
+                        .and_then(|s| s.first().map(|s| s.nodes))
+                        .unwrap_or(job.nodes);
+                    let chosen = workload
+                        .choices(job.id)
+                        .iter()
+                        .any(|c| c.nodes == width && charged == Some(c.effective_runtime()));
+                    if !chosen {
                         violations.push(ScheduleViolation::WrongRuntime(job.id));
                     }
                 }
             }
         }
-        // Capacity sweep: +nodes at start, −nodes at completion.
+        // Capacity sweep over every segment: +nodes at span start,
+        // −nodes at span end (a preempted job frees its nodes inside
+        // the gap).
         let mut deltas: Vec<(Time, i64)> = Vec::with_capacity(2 * workload.len());
         for job in workload.jobs() {
-            if let Some(p) = self.placement(job.id) {
-                deltas.push((p.start, job.nodes as i64));
-                deltas.push((p.completion, -(job.nodes as i64)));
+            for seg in self.charged_spans(job.id, job.nodes).unwrap_or_default() {
+                deltas.push((seg.start, seg.nodes as i64));
+                deltas.push((seg.end, -(seg.nodes as i64)));
             }
         }
         deltas.sort_unstable();
@@ -221,15 +449,16 @@ impl ScheduleRecord {
         violations
     }
 
-    /// Total busy node-seconds over the schedule. 0 for a zero-job
-    /// workload (an empty sum, not an error).
+    /// Total busy node-seconds over the schedule, summed per segment so
+    /// preemption gaps charge nothing and resized spans charge their own
+    /// width. 0 for a zero-job workload (an empty sum, not an error).
     pub fn busy_area(&self, workload: &Workload) -> f64 {
         workload
             .jobs()
             .iter()
             .filter_map(|j| {
-                self.placement(j.id)
-                    .map(|p| (p.completion - p.start) as f64 * j.nodes as f64)
+                self.charged_spans(j.id, j.nodes)
+                    .map(|spans| spans.iter().map(|s| s.area() as f64).sum::<f64>())
             })
             .sum()
     }
@@ -281,6 +510,40 @@ mod tests {
     #[test]
     fn valid_schedule_passes_audit() {
         assert!(valid_record().validate(&workload()).is_empty());
+    }
+
+    #[test]
+    fn audit_charges_the_chosen_moldable_shape_not_the_rigid_one() {
+        // Rigid shape 6×100; a work-conserving 3-wide alternative runs
+        // 200 s. The audit must accept the alternative's charge (its
+        // width identifies the choice) and still reject a charge that
+        // matches no alternative at that width.
+        let mut w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(6)
+                .requested(100)
+                .runtime(100)
+                .build()],
+        );
+        w.set_moldable(vec![vec![jobsched_workload::MoldableChoice {
+            nodes: 3,
+            requested_time: 200,
+            runtime: 200,
+        }]]);
+        let mut molded = ScheduleRecord::new(10, 1);
+        molded.place_segments(JobId(0), vec![Segment::new(0, 200, 3)]);
+        assert!(molded.validate(&w).is_empty(), "{:?}", molded.validate(&w));
+
+        // 3-wide but charging the rigid 100 s: wrong under every choice.
+        let mut short = ScheduleRecord::new(10, 1);
+        short.place_segments(JobId(0), vec![Segment::new(0, 100, 3)]);
+        assert!(short
+            .validate(&w)
+            .iter()
+            .any(|v| matches!(v, ScheduleViolation::WrongRuntime(JobId(0)))));
     }
 
     #[test]
@@ -452,6 +715,151 @@ mod tests {
             (0..r.len() as u32).map(|i| r.placement(JobId(i))).collect(),
         );
         assert_eq!(rebuilt, r);
+    }
+
+    #[test]
+    fn preempt_resume_lifecycle_builds_segment_union() {
+        // Job 0: starts at 0 projecting 100 s, preempted at 30, resumes
+        // at 60 for the remaining 70 s.
+        let w = Workload::new(
+            "t",
+            10,
+            vec![JobBuilder::new(JobId(0))
+                .submit(0)
+                .nodes(6)
+                .requested(100)
+                .runtime(100)
+                .build()],
+        );
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place(JobId(0), 0, 100);
+        r.preempt_at(JobId(0), 30, 6);
+        assert_eq!(
+            r.placement(JobId(0)),
+            Some(JobPlacement {
+                start: 0,
+                completion: 30
+            })
+        );
+        r.resume_place(JobId(0), 60, 130, 6);
+        let p = r.placement(JobId(0)).unwrap();
+        assert_eq!((p.start, p.completion), (0, 130));
+        assert_eq!(r.charged_time(JobId(0)), Some(100));
+        assert_eq!(
+            r.segments(JobId(0)).unwrap(),
+            &[Segment::new(0, 30, 6), Segment::new(60, 130, 6)]
+        );
+        // The audit charges from the segment union: 100 s of execution
+        // spread over a 130 s envelope is still a valid schedule.
+        assert!(r.validate(&w).is_empty());
+        assert_eq!(r.makespan(), 130);
+        // busy_area excludes the 30 s gap: 100 s × 6 nodes.
+        assert!((r.busy_area(&w) - 600.0).abs() < 1e-12);
+        assert!((r.utilization(&w) - 600.0 / (130.0 * 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preempted_job_frees_capacity_inside_gap() {
+        // Job 0 (6 nodes) is preempted over [30, 60); job 1 (6 nodes)
+        // runs inside the gap on a 10-node machine. Envelope overlap,
+        // segment-wise valid.
+        let w = Workload::new(
+            "t",
+            10,
+            vec![
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(6)
+                    .requested(100)
+                    .runtime(100)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(6)
+                    .requested(30)
+                    .runtime(30)
+                    .build(),
+            ],
+        );
+        let mut r = ScheduleRecord::new(10, 2);
+        r.place(JobId(0), 0, 100);
+        r.preempt_at(JobId(0), 30, 6);
+        r.resume_place(JobId(0), 60, 130, 6);
+        r.place(JobId(1), 30, 60);
+        assert!(r.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn cancel_while_preempted_completes_at_cancel_instant() {
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place(JobId(0), 0, 100);
+        r.preempt_at(JobId(0), 30, 6);
+        r.resume_place(JobId(0), 60, 130, 6);
+        r.preempt_at(JobId(0), 80, 6);
+        // Cancelled at t=90, inside the second preemption gap: the spans
+        // already run stay charged, completion is the cancel instant.
+        r.cancel_at(JobId(0), 90);
+        let p = r.placement(JobId(0)).unwrap();
+        assert_eq!((p.start, p.completion), (0, 90));
+        assert_eq!(r.charged_time(JobId(0)), Some(30 + 20));
+        assert_eq!(
+            r.segments(JobId(0)).unwrap(),
+            &[Segment::new(0, 30, 6), Segment::new(60, 80, 6)]
+        );
+    }
+
+    #[test]
+    fn cancel_mid_resumed_span_clips_it() {
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place(JobId(0), 0, 100);
+        r.preempt_at(JobId(0), 30, 6);
+        r.resume_place(JobId(0), 60, 130, 6);
+        r.cancel_at(JobId(0), 70);
+        assert_eq!(r.charged_time(JobId(0)), Some(40));
+        assert_eq!(
+            r.segments(JobId(0)).unwrap(),
+            &[Segment::new(0, 30, 6), Segment::new(60, 70, 6)]
+        );
+    }
+
+    #[test]
+    fn place_segments_records_a_whole_union() {
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place_segments(
+            JobId(0),
+            vec![Segment::new(5, 25, 8), Segment::new(40, 50, 2)],
+        );
+        let p = r.placement(JobId(0)).unwrap();
+        assert_eq!((p.start, p.completion), (5, 50));
+        assert_eq!(r.charged_time(JobId(0)), Some(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn place_segments_rejects_overlap() {
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place_segments(
+            JobId(0),
+            vec![Segment::new(5, 25, 8), Segment::new(20, 50, 2)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never preempted")]
+    fn resume_of_rigid_job_panics() {
+        let mut r = ScheduleRecord::new(10, 1);
+        r.place(JobId(0), 0, 100);
+        r.resume_place(JobId(0), 100, 200, 6);
+    }
+
+    #[test]
+    fn charged_spans_gives_rigid_jobs_one_segment() {
+        let r = valid_record();
+        assert_eq!(
+            r.charged_spans(JobId(0), 6),
+            Some(vec![Segment::new(0, 100, 6)])
+        );
+        assert_eq!(r.charged_spans(JobId(7), 6), None);
     }
 
     #[test]

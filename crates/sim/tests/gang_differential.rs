@@ -1,0 +1,175 @@
+//! Differential pin: the gang policy re-expressed over the segment
+//! engine ([`GangFcfsTs`]) against the retained monolithic loop
+//! ([`simulate_gang_fcfs`]), at zero switch overhead.
+//!
+//! The monolithic loop is the *policy* baseline: per-job completions,
+//! makespan, average response time and peak context count must agree
+//! exactly. The engine run additionally materialises a full
+//! [`ScheduleRecord`], so its segment unions are audited with
+//! [`check_segments`] — capacity, no self-overlap, charged time equal
+//! to the effective runtime — which the monolithic loop never could.
+//!
+//! One asymmetry is deliberate: when the system drains exactly at a
+//! slice boundary and refills in the same instant, the monolithic loop
+//! marks a zero-length activation (first start with no cycles) that a
+//! segment union cannot represent, so first starts are pinned as
+//! engine ≥ monolithic with equal completions.
+
+use jobsched_sim::gang::{simulate_gang_fcfs, GangConfig, GangFcfsTs};
+use jobsched_sim::{check_segments, simulate_time_shared, Segment};
+use jobsched_workload::rng::{derive_seed, Rng, SmallRng};
+use jobsched_workload::{JobBuilder, JobId, Time, Workload};
+
+fn job(id: u32, submit: Time, nodes: u32, runtime: Time) -> jobsched_workload::Job {
+    JobBuilder::new(JobId(id))
+        .submit(submit)
+        .nodes(nodes)
+        .requested(runtime)
+        .runtime(runtime)
+        .build()
+}
+
+/// Run both implementations and pin their agreement.
+fn differential(w: &Workload, config: GangConfig) {
+    assert_eq!(config.switch_overhead, 0, "mirror models free switches");
+    let mono = simulate_gang_fcfs(w, config);
+    let mut ts = GangFcfsTs::new(config);
+    let out = simulate_time_shared(w, &mut ts);
+
+    for j in w.jobs() {
+        let p = out
+            .schedule
+            .placement(j.id)
+            .unwrap_or_else(|| panic!("job {} never finished in the engine", j.id));
+        assert_eq!(
+            p.completion,
+            mono.completion[j.id.index()],
+            "job {} completion diverges (start {} vs mono first start {})",
+            j.id,
+            p.start,
+            mono.first_start[j.id.index()]
+        );
+        assert!(
+            p.start >= mono.first_start[j.id.index()],
+            "job {} engine start {} before mono first start {}",
+            j.id,
+            p.start,
+            mono.first_start[j.id.index()]
+        );
+        assert_eq!(
+            out.schedule.charged_time(j.id),
+            Some(j.effective_runtime()),
+            "job {} charge",
+            j.id
+        );
+    }
+    assert_eq!(out.schedule.makespan(), mono.makespan());
+    let mono_art = mono.avg_response_time(w);
+    let ts_art: f64 = w
+        .jobs()
+        .iter()
+        .map(|j| (out.schedule.placement(j.id).unwrap().completion - j.submit) as f64)
+        .sum::<f64>()
+        / w.len().max(1) as f64;
+    assert!(
+        (mono_art - ts_art).abs() < 1e-9,
+        "ART diverges: mono {mono_art} vs engine {ts_art}"
+    );
+    assert_eq!(ts.peak_contexts, mono.peak_contexts, "peak contexts");
+
+    // The engine side is additionally auditable: its segment unions
+    // must respect machine capacity, stay disjoint per job, and charge
+    // exactly the effective runtime.
+    let spans: Vec<(JobId, Vec<Segment>)> = w
+        .jobs()
+        .iter()
+        .map(|j| (j.id, out.schedule.charged_spans(j.id, j.nodes).unwrap()))
+        .collect();
+    let audit: Vec<(JobId, &[Segment], Option<Time>)> = w
+        .jobs()
+        .iter()
+        .map(|j| {
+            (
+                j.id,
+                spans[j.id.index()].1.as_slice(),
+                Some(j.effective_runtime()),
+            )
+        })
+        .collect();
+    let violations = check_segments(w.machine_nodes(), &audit);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn directed_scenarios_agree() {
+    let cases: Vec<Vec<jobsched_workload::Job>> = vec![
+        // Single job, contiguous.
+        vec![job(0, 5, 4, 100)],
+        // One context shared by two jobs.
+        vec![job(0, 0, 4, 100), job(1, 0, 4, 100)],
+        // Two full-machine gangs alternating slices.
+        vec![job(0, 0, 10, 600), job(1, 0, 10, 600)],
+        // Short job not stuck behind a hog.
+        vec![job(0, 0, 10, 100_000), job(1, 1, 10, 600)],
+        // Backlog beyond the multiprogramming level.
+        vec![
+            job(0, 0, 10, 1_000),
+            job(1, 0, 10, 1_000),
+            job(2, 0, 10, 1_000),
+            job(3, 0, 10, 1_000),
+            job(4, 0, 10, 1_000),
+        ],
+        // Idle gap between two bursts (slice clock re-phases).
+        vec![
+            job(0, 0, 6, 50),
+            job(1, 10_000, 6, 50),
+            job(2, 10_000, 6, 50),
+        ],
+        // Completion exactly on a slice boundary (slice 600 divides).
+        vec![job(0, 0, 10, 600), job(1, 0, 10, 1_200), job(2, 0, 10, 600)],
+    ];
+    for (i, jobs) in cases.into_iter().enumerate() {
+        let w = Workload::new(format!("gang-case-{i}"), 10, jobs);
+        for max_contexts in [1, 2, 3] {
+            differential(
+                &w,
+                GangConfig {
+                    time_slice: 600,
+                    switch_overhead: 0,
+                    max_contexts,
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn randomized_workloads_agree_across_configs() {
+    const MACHINE: u32 = 16;
+    for seed in 0..60u64 {
+        let mut rng = SmallRng::seed_from_u64(derive_seed(0x6A9C_0FF5, seed));
+        let n = rng.random_range(1usize..40);
+        let mut submit: Time = 0;
+        let jobs: Vec<_> = (0..n)
+            .map(|i| {
+                // Clustered arrivals keep several contexts alive; the
+                // coarse time grid makes boundary coincidences common.
+                submit += rng.random_range(0u64..=3) * rng.random_range(1u64..400);
+                let nodes = rng.random_range(1u32..=MACHINE);
+                let runtime = rng.random_range(1u64..=40) * rng.random_range(1u64..=60);
+                job(i as u32, submit, nodes, runtime)
+            })
+            .collect();
+        let w = Workload::new(format!("gang-fuzz-{seed}"), MACHINE, jobs);
+        for (slice, max_contexts) in [(1, 2), (7, 3), (100, 3), (600, 2), (600, 5)] {
+            differential(
+                &w,
+                GangConfig {
+                    time_slice: slice,
+                    switch_overhead: 0,
+                    max_contexts,
+                },
+            );
+        }
+    }
+}

@@ -196,13 +196,26 @@ fn markdown(
     smoke: bool,
 ) -> String {
     let mut md = String::new();
-    md.push_str("# Scheduler atlas\n\n");
-    md.push_str(
-        "Every priority policy × backfill variant of the scheduler family, swept over the \
-         paper's workload models and objectives in one campaign. Generated by \
-         `cargo run --release -p jobsched-sweep --bin atlas`",
-    );
-    if smoke {
+    let preempt = campaign.name == "preempt-smoke";
+    if preempt {
+        md.push_str("# Preemption slice\n\n");
+        md.push_str(
+            "The time-shared rows — DFRS slice rotation and the moldable FCFS variant, both \
+             running through the preemptible segment engine — against their rigid FCFS and \
+             FCFS+EASY baselines, over the paper's workload models and objectives. Generated by \
+             `cargo run --release -p jobsched-sweep --bin atlas`",
+        );
+    } else {
+        md.push_str("# Scheduler atlas\n\n");
+        md.push_str(
+            "Every priority policy × backfill variant of the scheduler family, swept over the \
+             paper's workload models and objectives in one campaign. Generated by \
+             `cargo run --release -p jobsched-sweep --bin atlas`",
+        );
+    }
+    if preempt {
+        md.push_str(" `--preempt-smoke`");
+    } else if smoke {
         md.push_str(" `--smoke`");
     }
     md.push_str(

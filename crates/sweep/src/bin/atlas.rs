@@ -8,11 +8,14 @@
 //! schema is documented in `EXPERIMENTS.md`.
 //!
 //! Usage:
-//!   atlas [--smoke] [--scale quick|standard|paper] [--jobs N]
-//!         [--out FILE] [--report FILE] [--cache DIR] [--assert-clean]
+//!   atlas [--smoke | --preempt-smoke] [--scale quick|standard|paper]
+//!         [--jobs N] [--out FILE] [--report FILE] [--cache DIR]
+//!         [--assert-clean]
 //!
 //! `--smoke` runs the reduced 20-cell CI slice at quick scale instead —
-//! seconds of wall-clock, same artifact schema. `--cache DIR` keeps the
+//! seconds of wall-clock, same artifact schema. `--preempt-smoke` runs
+//! the 16-cell time-shared slice (DFRS and moldable rows against the
+//! rigid FCFS / FCFS+EASY baselines) instead. `--cache DIR` keeps the
 //! content-addressed result cache and manifest on disk so interrupted
 //! runs resume and re-runs are cheap. `--assert-clean` applies the
 //! structural gate (finite positive costs, reference row present,
@@ -27,8 +30,10 @@ use std::process::ExitCode;
 
 struct Args {
     smoke: bool,
+    preempt_smoke: bool,
     scale: Scale,
     scale_name: String,
+    scale_explicit: bool,
     jobs: usize,
     out: String,
     report: String,
@@ -38,8 +43,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: atlas [--smoke] [--scale quick|standard|paper] [--jobs N] \
-         [--out FILE] [--report FILE] [--cache DIR] [--assert-clean]"
+        "usage: atlas [--smoke | --preempt-smoke] [--scale quick|standard|paper] \
+         [--jobs N] [--out FILE] [--report FILE] [--cache DIR] [--assert-clean]"
     );
     std::process::exit(2);
 }
@@ -47,8 +52,10 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
+        preempt_smoke: false,
         scale: Scale::standard(),
         scale_name: "standard".to_string(),
+        scale_explicit: false,
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         out: "BENCH_atlas.json".to_string(),
         report: "ATLAS.md".to_string(),
@@ -64,8 +71,10 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--smoke" => args.smoke = true,
+            "--preempt-smoke" => args.preempt_smoke = true,
             "--assert-clean" => args.assert_clean = true,
             "--scale" => {
+                args.scale_explicit = true;
                 args.scale_name = value(&argv, &mut i);
                 args.scale = match args.scale_name.as_str() {
                     "quick" => Scale::quick(),
@@ -87,13 +96,14 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    if args.smoke {
-        // The CI slice always runs at quick scale; an explicit --scale
-        // still wins so the slice can be stress-tested locally.
-        if args.scale_name == "standard" {
-            args.scale = Scale::quick();
-            args.scale_name = "quick".to_string();
-        }
+    if args.smoke && args.preempt_smoke {
+        usage();
+    }
+    if (args.smoke || args.preempt_smoke) && !args.scale_explicit {
+        // The CI slices default to quick scale; an explicit --scale
+        // still wins so a slice can be stress-tested locally.
+        args.scale = Scale::quick();
+        args.scale_name = "quick".to_string();
     }
     args
 }
@@ -102,6 +112,8 @@ fn main() -> ExitCode {
     let args = parse_args();
     let campaign = if args.smoke {
         Campaign::atlas_smoke(args.scale)
+    } else if args.preempt_smoke {
+        Campaign::preempt_smoke(args.scale)
     } else {
         Campaign::atlas(args.scale)
     };
@@ -131,7 +143,12 @@ fn main() -> ExitCode {
         outcome.simulated, outcome.cached
     );
 
-    let report = build_report(&campaign, &outcome, args.scale, args.smoke);
+    let report = build_report(
+        &campaign,
+        &outcome,
+        args.scale,
+        args.smoke || args.preempt_smoke,
+    );
     for g in &report.pareto {
         eprintln!(
             "atlas: {} workload — Pareto front {} of {} configurations",

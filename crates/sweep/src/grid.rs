@@ -137,6 +137,8 @@ pub fn policy_tag(kind: PolicyKind) -> &'static str {
         PolicyKind::SmartNfiw => "smart-nfiw",
         PolicyKind::GareyGraham => "garey-graham",
         PolicyKind::Priority(s) => s.tag(),
+        PolicyKind::Dfrs => "dfrs",
+        PolicyKind::Moldable => "moldable",
     }
 }
 
@@ -144,6 +146,7 @@ pub fn policy_tag(kind: PolicyKind) -> &'static str {
 pub fn parse_policy_tag(tag: &str) -> Option<PolicyKind> {
     PolicyKind::atlas()
         .into_iter()
+        .chain(PolicyKind::TIME_SHARED)
         .find(|&k| policy_tag(k) == tag)
 }
 
@@ -511,6 +514,57 @@ impl Campaign {
         c
     }
 
+    /// The preemption smoke: the two time-shared rows (DFRS rotation,
+    /// moldable FCFS) against the rigid FCFS and FCFS+EASY baselines,
+    /// on one small CTC trace and one probabilistic workload, under
+    /// ART and bounded slowdown — 16 cells, seconds of wall-clock.
+    /// Exercises the segment engine end-to-end through the sweep
+    /// runner (caching off: time-shared rows have no profile cache).
+    pub fn preempt_smoke(scale: Scale) -> Campaign {
+        let specs = [
+            AlgorithmSpec::new(PolicyKind::Fcfs, BackfillMode::None),
+            AlgorithmSpec::reference(),
+            AlgorithmSpec::new(PolicyKind::Dfrs, BackfillMode::None),
+            AlgorithmSpec::new(PolicyKind::Moldable, BackfillMode::None),
+        ];
+        let workloads = [
+            (
+                "ctc",
+                WorkloadSpec::Ctc {
+                    jobs: scale.ctc_jobs,
+                    seed: scale.seed,
+                },
+            ),
+            (
+                "prob",
+                WorkloadSpec::Probabilistic {
+                    base_jobs: scale.ctc_jobs,
+                    base_seed: scale.seed,
+                    jobs: scale.ctc_jobs,
+                    seed: scale.seed ^ 1,
+                },
+            ),
+        ];
+        let mut c = Campaign::new("preempt-smoke");
+        for (wtag, workload) in workloads {
+            for (otag, obj) in [
+                ("art", ObjectiveKind::AvgResponseTime),
+                ("bsld", ObjectiveKind::AvgBoundedSlowdown),
+            ] {
+                c.push_specs(
+                    format!("preempt-smoke-{wtag}-{otag}"),
+                    format!("Preemption smoke, {wtag} workload ({otag})"),
+                    workload,
+                    obj,
+                    false,
+                    false,
+                    &specs,
+                );
+            }
+        }
+        c
+    }
+
     /// Distinct workload specs referenced by this campaign, in
     /// deterministic order.
     pub fn distinct_workloads(&self) -> Vec<WorkloadSpec> {
@@ -595,8 +649,34 @@ mod tests {
     }
 
     #[test]
+    fn preempt_smoke_pairs_time_shared_rows_with_rigid_baselines() {
+        let c = Campaign::preempt_smoke(scale());
+        assert_eq!(c.cells.len(), 16, "2 workloads × 2 objectives × 4 specs");
+        assert_eq!(c.distinct_workloads().len(), 2);
+        // Every table carries the FCFS+EASY reference (check_clean
+        // anchors its Pareto audit there) and both time-shared rows.
+        for table in 0..c.tables.len() {
+            let kinds: Vec<PolicyKind> = c
+                .cells
+                .iter()
+                .filter(|cell| cell.table == table)
+                .map(|cell| cell.algorithm.kind)
+                .collect();
+            assert!(kinds.contains(&PolicyKind::Fcfs));
+            assert!(kinds.contains(&PolicyKind::Dfrs));
+            assert!(kinds.contains(&PolicyKind::Moldable));
+        }
+        let keys: std::collections::BTreeSet<String> =
+            c.cells.iter().map(|cell| cell.cache_key(1)).collect();
+        assert_eq!(keys.len(), c.cells.len(), "cache keys must not collide");
+    }
+
+    #[test]
     fn tags_roundtrip() {
         for k in PolicyKind::atlas() {
+            assert_eq!(parse_policy_tag(policy_tag(k)), Some(k));
+        }
+        for k in PolicyKind::TIME_SHARED {
             assert_eq!(parse_policy_tag(policy_tag(k)), Some(k));
         }
         for m in [

@@ -39,6 +39,7 @@ pub mod distr;
 pub mod exact;
 pub mod job;
 pub mod layout;
+pub mod moldable;
 pub mod probabilistic;
 pub mod randomized;
 pub mod rng;
@@ -49,6 +50,7 @@ pub mod trace;
 
 pub use job::{CompletionStatus, Job, JobBuilder, JobId, NodeType, Time};
 pub use layout::{ClassId, MachineLayout, NodeClassSpec};
+pub use moldable::{synthesize_moldable, MoldableChoice};
 pub use source::{JobSource, ProbabilisticSource, SourceError, WorkloadSource};
 pub use swf::SwfStream;
 pub use trace::Workload;

@@ -1,0 +1,189 @@
+//! Moldable-job alternatives: per-job `(width, runtime)` execution
+//! choices, selected once at start time.
+//!
+//! The paper's workload model is rigid — every job names one node count
+//! and runs at exactly that width. Dutot & Mounié's moldable model (see
+//! PAPERS.md) lets the *scheduler* pick the width from a small set of
+//! alternatives when the job starts. This module adds that model as a
+//! side-table on [`Workload`]: jobs stay rigid `Job` values (nothing in
+//! the existing pipeline changes shape), and a workload may carry extra
+//! [`MoldableChoice`]s per job that moldable-aware schedulers query via
+//! [`Workload::choices`]. A workload without a table reads as
+//! "every job has exactly its rigid shape" — the degenerate case.
+//!
+//! [`synthesize_moldable`] derives alternatives from the rigid trace with
+//! a deterministic monotone speedup model: halving the width conserves
+//! work perfectly (runtime doubles), doubling it pays a parallelisation
+//! penalty (work grows by 25 %). Both directions keep `runtime` and
+//! `requested_time` scaled consistently so Rule 2 truncation behaves the
+//! same across choices.
+
+use crate::job::{Job, Time};
+use crate::trace::Workload;
+
+/// One execution alternative of a moldable job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoldableChoice {
+    /// Width the job would run at.
+    pub nodes: u32,
+    /// User limit under this choice (scales with the width).
+    pub requested_time: Time,
+    /// Actual runtime under this choice (hidden from schedulers, exactly
+    /// like the rigid runtime).
+    pub runtime: Time,
+}
+
+impl MoldableChoice {
+    /// The rigid shape of `job` as a choice — the degenerate alternative
+    /// every job has.
+    pub fn rigid(job: &Job) -> Self {
+        MoldableChoice {
+            nodes: job.nodes,
+            requested_time: job.requested_time,
+            runtime: job.runtime,
+        }
+    }
+
+    /// Effective runtime under Rule 2 truncation.
+    pub fn effective_runtime(&self) -> Time {
+        self.runtime.min(self.requested_time)
+    }
+}
+
+/// Scale a duration by `num/den` in integer arithmetic, rounding up and
+/// clamping to at least 1 second — moldable reshaping never creates
+/// zero-length jobs.
+fn scale(t: Time, num: u128, den: u128) -> Time {
+    let v = (t as u128 * num).div_ceil(den);
+    v.max(1).min(Time::MAX as u128) as Time
+}
+
+/// Derive an alternative of `job` at width `w` under the monotone model:
+/// narrower widths conserve work, wider widths inflate it by 25 %.
+fn reshape(job: &Job, w: u32) -> MoldableChoice {
+    let n = job.nodes as u128;
+    let (num, den) = if (w as u128) <= n {
+        (n, w as u128)
+    } else {
+        // Work grows by 1/4 when spreading wider than submitted.
+        (n * 5, w as u128 * 4)
+    };
+    MoldableChoice {
+        nodes: w,
+        requested_time: scale(job.requested_time, num, den),
+        runtime: scale(job.runtime, num, den),
+    }
+}
+
+/// Build a moldable side-table for `workload`: for each job, the
+/// half-width and double-width reshapes of its rigid form (clamped to
+/// `[1, machine]`, deduplicated). Deterministic — no randomness — so
+/// sweeps and differential tests see stable alternatives. Returns the
+/// table; attach it with [`Workload::set_moldable`].
+pub fn synthesize_moldable(workload: &Workload) -> Vec<Vec<MoldableChoice>> {
+    let machine = workload.machine_nodes();
+    workload
+        .jobs()
+        .iter()
+        .map(|job| {
+            let mut extra = Vec::new();
+            for w in [job.nodes / 2, job.nodes.saturating_mul(2)] {
+                let w = w.clamp(1, machine);
+                if w != job.nodes && !extra.iter().any(|c: &MoldableChoice| c.nodes == w) {
+                    extra.push(reshape(job, w));
+                }
+            }
+            extra
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobBuilder, JobId};
+
+    fn wl() -> Workload {
+        Workload::new(
+            "t",
+            64,
+            vec![
+                JobBuilder::new(JobId(0))
+                    .submit(0)
+                    .nodes(8)
+                    .requested(100)
+                    .runtime(80)
+                    .build(),
+                JobBuilder::new(JobId(0))
+                    .submit(5)
+                    .nodes(1)
+                    .requested(50)
+                    .runtime(50)
+                    .build(),
+            ],
+        )
+    }
+
+    #[test]
+    fn rigid_workload_has_one_choice_per_job() {
+        let w = wl();
+        for job in w.jobs() {
+            let cs = w.choices(job.id);
+            assert_eq!(cs, vec![MoldableChoice::rigid(job)]);
+        }
+    }
+
+    #[test]
+    fn narrowing_conserves_work_widening_inflates_it() {
+        let w = wl();
+        let table = synthesize_moldable(&w);
+        let cs = &table[0]; // 8-node job: 4-wide and 16-wide reshapes
+        let narrow = cs.iter().find(|c| c.nodes == 4).unwrap();
+        assert_eq!(narrow.runtime, 160); // 8×80 / 4
+        assert_eq!(narrow.requested_time, 200);
+        let wide = cs.iter().find(|c| c.nodes == 16).unwrap();
+        // 8×80×1.25 / 16 = 50.
+        assert_eq!(wide.runtime, 50);
+        assert_eq!(wide.requested_time, 63); // ceil(100×8×5 / (16×4))
+    }
+
+    #[test]
+    fn one_node_job_gets_only_the_double_width() {
+        let w = wl();
+        let table = synthesize_moldable(&w);
+        let cs = &table[1];
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].nodes, 2);
+    }
+
+    #[test]
+    fn attached_table_surfaces_through_choices() {
+        let mut w = wl();
+        let table = synthesize_moldable(&w);
+        w.set_moldable(table.clone());
+        let cs = w.choices(JobId(0));
+        assert_eq!(cs[0], MoldableChoice::rigid(w.job(JobId(0))));
+        assert_eq!(&cs[1..], table[0].as_slice());
+    }
+
+    #[test]
+    fn structural_edits_drop_the_table() {
+        let mut w = wl();
+        w.set_moldable(synthesize_moldable(&w));
+        assert!(w.is_moldable());
+        w.window(0, 3);
+        assert!(!w.is_moldable());
+        assert_eq!(w.choices(JobId(0)).len(), 1);
+    }
+
+    #[test]
+    fn reshape_never_produces_zero_runtimes() {
+        let job = JobBuilder::new(JobId(0))
+            .nodes(2)
+            .requested(1)
+            .runtime(1)
+            .build();
+        let c = reshape(&job, 4);
+        assert!(c.runtime >= 1 && c.requested_time >= 1);
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::job::{Job, JobError, JobId, NodeType, Time};
 use crate::layout::MachineLayout;
+use crate::moldable::MoldableChoice;
 
 /// An ordered collection of jobs plus the machine context it was recorded
 /// (or generated) for.
@@ -16,6 +17,11 @@ pub struct Workload {
     machine_nodes: u32,
     jobs: Vec<Job>,
     layout: Option<MachineLayout>,
+    /// Extra moldable alternatives per job (indexed by job id), beyond
+    /// the rigid shape every job has. `None` — the common case — means
+    /// the workload is rigid. Structural edits (retarget, window,
+    /// retain) renumber jobs, so they drop the table.
+    moldable: Option<Vec<Vec<MoldableChoice>>>,
 }
 
 impl Workload {
@@ -29,6 +35,7 @@ impl Workload {
             machine_nodes,
             jobs,
             layout: None,
+            moldable: None,
         };
         w.renumber();
         w
@@ -73,6 +80,48 @@ impl Workload {
         for (i, j) in self.jobs.iter_mut().enumerate() {
             j.id = JobId(i as u32);
         }
+        // Renumbering invalidates the id-indexed moldable table.
+        self.moldable = None;
+    }
+
+    /// Attach moldable alternatives: `table[id]` holds the *extra*
+    /// choices of job `id` beyond its rigid shape (an empty inner list
+    /// keeps that job rigid). Build one with
+    /// [`crate::moldable::synthesize_moldable`].
+    pub fn set_moldable(&mut self, table: Vec<Vec<MoldableChoice>>) {
+        assert_eq!(
+            table.len(),
+            self.jobs.len(),
+            "moldable table must cover every job"
+        );
+        for (i, choices) in table.iter().enumerate() {
+            for c in choices {
+                assert!(
+                    c.nodes >= 1 && c.nodes <= self.machine_nodes,
+                    "moldable choice of job {i} exceeds the machine"
+                );
+            }
+        }
+        self.moldable = Some(table);
+    }
+
+    /// Whether any job carries moldable alternatives.
+    pub fn is_moldable(&self) -> bool {
+        self.moldable
+            .as_ref()
+            .is_some_and(|t| t.iter().any(|c| !c.is_empty()))
+    }
+
+    /// Execution choices of one job: its rigid shape first, then any
+    /// moldable alternatives. Never empty — a rigid workload answers with
+    /// exactly the one-element list.
+    pub fn choices(&self, id: JobId) -> Vec<MoldableChoice> {
+        let job = self.job(id);
+        let mut out = vec![MoldableChoice::rigid(job)];
+        if let Some(table) = &self.moldable {
+            out.extend_from_slice(&table[id.index()]);
+        }
+        out
     }
 
     /// Descriptive name ("CTC", "probabilistic", ...).
