@@ -17,14 +17,17 @@
 
 use crate::policy::{DailyWindow, Policy, Rule, SchedulingGoal};
 use jobsched_metrics::{
-    AvgBoundedSlowdown, AvgResponseTime, AvgWeightedResponseTime, Objective, OnlineArt, OnlineAwrt,
-    OnlineBoundedSlowdown, StreamingObjective,
+    AvgBoundedSlowdown, AvgResponseTime, AvgWeightedResponseTime, MaxUserSlowdown, Objective,
+    OnlineArt, OnlineAwrt, OnlineBoundedSlowdown, OnlineMaxUserSlowdown, OnlineP95WidthSlowdown,
+    OnlineSlowdownVariance, P95WidthSlowdown, SlowdownVariance, StreamingObjective,
 };
 
 /// The objective functions this derivation can produce. The §4
 /// derivation selects the first two; the scheduler atlas additionally
 /// sweeps bounded slowdown (the fairness criterion standard in the
-/// backfilling literature).
+/// backfilling literature) and the per-group fairness criteria the
+/// objective learner feeds on (worst user, p95 width group, slowdown
+/// spread — see `jobsched_metrics::fairness`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ObjectiveKind {
     /// Average response time.
@@ -33,6 +36,12 @@ pub enum ObjectiveKind {
     AvgWeightedResponseTime,
     /// Average bounded slowdown (10-second threshold).
     AvgBoundedSlowdown,
+    /// Worst user's mean bounded slowdown (Rule 4 fairness).
+    MaxUserSlowdown,
+    /// 95th-percentile per-width-group mean bounded slowdown.
+    P95WidthSlowdown,
+    /// Population variance of per-job bounded slowdown.
+    SlowdownVariance,
 }
 
 impl ObjectiveKind {
@@ -42,6 +51,9 @@ impl ObjectiveKind {
             ObjectiveKind::AvgResponseTime => Box::new(AvgResponseTime),
             ObjectiveKind::AvgWeightedResponseTime => Box::new(AvgWeightedResponseTime),
             ObjectiveKind::AvgBoundedSlowdown => Box::new(AvgBoundedSlowdown),
+            ObjectiveKind::MaxUserSlowdown => Box::new(MaxUserSlowdown),
+            ObjectiveKind::P95WidthSlowdown => Box::new(P95WidthSlowdown),
+            ObjectiveKind::SlowdownVariance => Box::new(SlowdownVariance),
         }
     }
 
@@ -53,6 +65,9 @@ impl ObjectiveKind {
             ObjectiveKind::AvgResponseTime => Box::new(OnlineArt::new()),
             ObjectiveKind::AvgWeightedResponseTime => Box::new(OnlineAwrt::new()),
             ObjectiveKind::AvgBoundedSlowdown => Box::new(OnlineBoundedSlowdown::new()),
+            ObjectiveKind::MaxUserSlowdown => Box::new(OnlineMaxUserSlowdown::new()),
+            ObjectiveKind::P95WidthSlowdown => Box::new(OnlineP95WidthSlowdown::new()),
+            ObjectiveKind::SlowdownVariance => Box::new(OnlineSlowdownVariance::new()),
         }
     }
 

@@ -26,11 +26,15 @@ pub mod pareto;
 pub mod streaming;
 pub mod timeseries;
 
+pub use fairness::{
+    MaxUserSlowdown, OnlineMaxUserSlowdown, OnlineP95WidthSlowdown, OnlineSlowdownVariance,
+    P95WidthSlowdown, SlowdownVariance,
+};
 pub use objective::{
     AvgBoundedSlowdown, AvgResponseTime, AvgWeightedResponseTime, Makespan, Objective,
     SumWeightedCompletion, TotalIdleTime, Utilization,
 };
-pub use pareto::{pareto_front, pareto_ranks, Point};
+pub use pareto::{pareto_front, pareto_ranks, rank_violations, Point};
 pub use streaming::{
     replay, MetricsSnapshot, OnlineArt, OnlineAwrt, OnlineBoundedSlowdown, OnlineIdleTime,
     OnlineMakespan, OnlineMetrics, OnlineSumWeightedCompletion, OnlineUtilization,

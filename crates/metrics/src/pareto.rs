@@ -120,6 +120,28 @@ pub fn order_violations(points: &[Point], scalar_costs: &[f64]) -> Option<(usize
     None
 }
 
+/// All pairs where a scalar objective contradicts a non-domination
+/// ranking: `(i, j)` such that `ranks[i] < ranks[j]` (i sits on a
+/// strictly better layer) but `scalar_costs[i] >= scalar_costs[j]`.
+///
+/// This is the stronger form of [`order_violations`] the objective
+/// *learner* minimises: any non-negative weighting already respects raw
+/// dominance, but reproducing the full layered order of
+/// [`pareto_ranks`] is a real constraint — the returned pairs are
+/// exactly the rows a candidate weighting fails to separate.
+pub fn rank_violations(ranks: &[usize], scalar_costs: &[f64]) -> Vec<(usize, usize)> {
+    assert_eq!(ranks.len(), scalar_costs.len(), "rank count mismatch");
+    let mut out = Vec::new();
+    for i in 0..ranks.len() {
+        for j in 0..ranks.len() {
+            if ranks[i] < ranks[j] && scalar_costs[i] >= scalar_costs[j] {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +241,67 @@ mod tests {
     #[should_panic(expected = "all-zero weights")]
     fn zero_weights_rejected() {
         let _ = scalarize(&Point::new("x", vec![1.0]), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn nan_weights_rejected() {
+        // NaN fails the `w >= 0.0` gate, so it is caught by the same
+        // assertion as a negative weight — it must never reach the sum.
+        let _ = scalarize(&Point::new("x", vec![1.0, 2.0]), &[f64::NAN, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight count mismatch")]
+    fn weight_arity_mismatch_rejected() {
+        let _ = scalarize(&Point::new("x", vec![1.0, 2.0]), &[1.0]);
+    }
+
+    #[test]
+    fn order_violations_on_empty_and_single_point_inputs() {
+        // No pair exists, so no pair can violate — both degenerate
+        // inputs are vacuously consistent.
+        assert_eq!(order_violations(&[], &[]), None);
+        let one = [Point::new("only", vec![3.0, 4.0])];
+        assert_eq!(order_violations(&one, &[123.0]), None);
+    }
+
+    #[test]
+    fn ranks_stable_under_duplicate_points() {
+        // Duplicates never dominate each other (no strict gain), so they
+        // always share a layer — including duplicated *dominated* rows.
+        let pts = vec![
+            Point::new("a", vec![1.0, 1.0]),
+            Point::new("a-copy", vec![1.0, 1.0]),
+            Point::new("worse", vec![2.0, 2.0]),
+            Point::new("worse-copy", vec![2.0, 2.0]),
+        ];
+        assert_eq!(pareto_ranks(&pts), vec![1, 1, 2, 2]);
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+        // Permuting the duplicates does not change the layer structure.
+        let permuted = vec![
+            pts[2].clone(),
+            pts[0].clone(),
+            pts[3].clone(),
+            pts[1].clone(),
+        ];
+        assert_eq!(pareto_ranks(&permuted), vec![2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn rank_violations_lists_every_inconsistent_pair() {
+        // Layers 1 < 2 < 3 with a scalar that inverts the last two and
+        // ties the first two.
+        let ranks = [1, 2, 3];
+        let scalar = [5.0, 5.0, 1.0];
+        assert_eq!(
+            rank_violations(&ranks, &scalar),
+            vec![(0, 1), (0, 2), (1, 2)]
+        );
+        // A scalar that matches the layer order is clean.
+        assert!(rank_violations(&ranks, &[1.0, 2.0, 3.0]).is_empty());
+        // Same rank never constrains.
+        assert!(rank_violations(&[1, 1], &[9.0, 1.0]).is_empty());
+        assert!(rank_violations(&[], &[]).is_empty());
     }
 }

@@ -67,7 +67,7 @@ impl SimObserver for StreamingObserver<'_> {
 }
 
 /// The completed execution inside an event, if it carries one.
-fn completed(event: &JobEvent) -> Option<&JobOutcome> {
+pub(crate) fn completed(event: &JobEvent) -> Option<&JobOutcome> {
     match event {
         JobEvent::Finished(o) => Some(o),
         JobEvent::Cancelled { run: Some(o), .. } => Some(o),
@@ -104,7 +104,7 @@ pub fn replay(
 /// `x · 2⁵²` exactly. Any finite f64 ≥ 1.0 has an ulp ≥ 2⁻⁵², so the
 /// result is an integer and sums of such images are exact (and therefore
 /// order-independent).
-fn q52(x: f64) -> u128 {
+pub(crate) fn q52(x: f64) -> u128 {
     debug_assert!(x.is_finite() && x >= 1.0, "q52 needs x >= 1.0, got {x}");
     let bits = x.to_bits();
     let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
@@ -114,7 +114,7 @@ fn q52(x: f64) -> u128 {
 }
 
 /// Inverse scaling of a [`q52`] sum: `sum / 2⁵²` with one rounding step.
-fn from_q52(sum: u128) -> f64 {
+pub(crate) fn from_q52(sum: u128) -> f64 {
     // Division by a power of two only touches the exponent: exact.
     (sum as f64) / (1u64 << 52) as f64
 }

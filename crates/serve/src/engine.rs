@@ -47,7 +47,8 @@
 
 use crate::protocol::{self, PolicyForce, Request};
 use crate::replica::ReplicaLog;
-use crate::{ServeConfig, ServeSched};
+use crate::{SchedulerSpec, ServeConfig, ServeSched};
+use jobsched_algos::AlgorithmSpec;
 use jobsched_json::Json;
 use jobsched_metrics::OnlineMetrics;
 use jobsched_sim::{
@@ -222,6 +223,8 @@ pub(crate) enum InputOp {
     Submit(Job),
     Cancel(JobId),
     Policy(Option<bool>),
+    /// Live scheduler switch to another atlas row (canonical label).
+    SetScheduler(String),
 }
 
 /// Serialise one input record into its checkpoint form — shared by the
@@ -250,6 +253,10 @@ pub(crate) fn input_json(rec: &InputRecord) -> Json {
                 None => "auto",
             };
             pairs.push(("force", Json::Str(f.into())));
+        }
+        InputOp::SetScheduler(label) => {
+            pairs.push(("op", Json::Str("set-scheduler".into())));
+            pairs.push(("label", Json::Str(label.clone())));
         }
     }
     Json::obj(pairs)
@@ -505,6 +512,48 @@ impl Engine {
         Ok(())
     }
 
+    /// Switch the running scheduler to another atlas row (shared by
+    /// live handling and replay). The old scheduler's waiting backlog
+    /// transfers: [`LiveSim`] re-presents it as submittable requests
+    /// and the fresh scheduler absorbs them before its first decision
+    /// round, so running jobs are untouched and no job is lost.
+    fn apply_set_scheduler(&mut self, label: &str) -> Result<(), String> {
+        let spec = SchedulerSpec::parse(label)?;
+        let now = self.clock.now();
+        let mut next = spec.build();
+        for req in self.live.waiting_requests() {
+            next.submit(req, now);
+        }
+        self.scheduler = next;
+        self.record(InputRecord {
+            at: now,
+            op: InputOp::SetScheduler(spec.label()),
+        });
+        // The new policy may order the backlog differently: decide now.
+        self.live.request_decision(now);
+        self.pump();
+        Ok(())
+    }
+
+    /// The servable policy atlas: every `AlgorithmSpec::atlas_matrix`
+    /// row as `{label, policy, backfill}`, in matrix order. `label`
+    /// round-trips through `policy set`.
+    fn policy_rows() -> Json {
+        let rows: Vec<Json> = AlgorithmSpec::atlas_matrix()
+            .into_iter()
+            .map(|spec| {
+                let label = SchedulerSpec::List(spec).label();
+                let (policy, backfill) = label.split_once('+').expect("labels are policy+backfill");
+                Json::obj([
+                    ("label", Json::Str(label.clone())),
+                    ("policy", Json::Str(policy.into())),
+                    ("backfill", Json::Str(backfill.into())),
+                ])
+            })
+            .collect();
+        Json::Arr(rows)
+    }
+
     fn handle_submit(
         &mut self,
         id: Option<u32>,
@@ -678,7 +727,17 @@ impl Engine {
         ]
     }
 
-    fn handle_policy(&mut self, force: Option<PolicyForce>) -> Json {
+    fn handle_policy(
+        &mut self,
+        force: Option<PolicyForce>,
+        list: bool,
+        set: Option<String>,
+    ) -> Json {
+        if let Some(label) = set {
+            if let Err(e) = self.apply_set_scheduler(&label) {
+                return protocol::error("unsupported", e);
+            }
+        }
         if let Some(f) = force {
             let forced = match f {
                 PolicyForce::Day => Some(true),
@@ -701,11 +760,15 @@ impl Engine {
             ),
             None => (Json::Null, Json::Null),
         };
-        protocol::ok([
+        let mut fields = vec![
             ("scheduler", Json::Str(self.scheduler.name())),
             ("regime", regime),
             ("forced", forced),
-        ])
+        ];
+        if list {
+            fields.push(("policies", Engine::policy_rows()));
+        }
+        protocol::ok(fields)
     }
 
     fn checkpoint_json(&self) -> Json {
@@ -808,6 +871,9 @@ impl Engine {
                 InputOp::Policy(forced) => {
                     self.apply_policy(forced)?;
                 }
+                InputOp::SetScheduler(label) => {
+                    self.apply_set_scheduler(&label)?;
+                }
             }
         }
         self.advance(Some(now)).expect("replay clock is virtual");
@@ -884,7 +950,7 @@ impl Engine {
                 self.draining = false;
                 protocol::ok([("draining", Json::Bool(false))])
             }
-            Request::Policy { force } => self.handle_policy(force),
+            Request::Policy { force, list, set } => self.handle_policy(force, list, set),
             Request::Advance { to } => {
                 self.dirty = true;
                 match self.advance(to) {
@@ -960,6 +1026,12 @@ fn parse_input(rec: &Json) -> Result<InputRecord, String> {
             };
             InputOp::Policy(forced)
         }
+        "set-scheduler" => InputOp::SetScheduler(
+            rec.get("label")
+                .and_then(|v| v.as_str())
+                .ok_or("missing 'label'")?
+                .to_string(),
+        ),
         other => return Err(format!("unknown input op '{other}'")),
     };
     Ok(InputRecord { at, op })
@@ -1119,39 +1191,128 @@ mod tests {
         assert!(m.get("requests").unwrap().as_u64().unwrap() >= 3);
     }
 
+    fn policy(force: Option<PolicyForce>) -> Request {
+        Request::Policy {
+            force,
+            list: false,
+            set: None,
+        }
+    }
+
+    fn policy_set(label: &str) -> Request {
+        Request::Policy {
+            force: None,
+            list: false,
+            set: Some(label.into()),
+        }
+    }
+
     #[test]
     fn policy_force_is_rejected_without_regimes() {
         let mut e = virtual_engine("fcfs+easy");
-        let r = e
-            .handle(Request::Policy {
-                force: Some(PolicyForce::Night),
-            })
-            .0;
+        let r = e.handle(policy(Some(PolicyForce::Night))).0;
         assert_eq!(r.get("error").unwrap().as_str(), Some("unsupported"));
         // Inspection is fine and reports no regimes.
-        let r = e.handle(Request::Policy { force: None }).0;
+        let r = e.handle(policy(None)).0;
         assert_eq!(r.get("regime"), Some(&Json::Null));
     }
 
     #[test]
     fn policy_force_flips_the_switching_regime() {
         let mut e = virtual_engine("paper-switch");
-        let r = e.handle(Request::Policy { force: None }).0;
+        let r = e.handle(policy(None)).0;
         assert_eq!(r.get("regime").unwrap().as_str(), Some("night")); // t=0 is Monday 00:00
-        let r = e
-            .handle(Request::Policy {
-                force: Some(PolicyForce::Day),
-            })
-            .0;
+        let r = e.handle(policy(Some(PolicyForce::Day))).0;
         assert_eq!(r.get("regime").unwrap().as_str(), Some("day"));
         assert_eq!(r.get("forced").unwrap().as_str(), Some("day"));
-        let r = e
-            .handle(Request::Policy {
-                force: Some(PolicyForce::Auto),
-            })
-            .0;
+        let r = e.handle(policy(Some(PolicyForce::Auto))).0;
         assert_eq!(r.get("regime").unwrap().as_str(), Some("night"));
         assert_eq!(r.get("forced"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn policy_list_enumerates_servable_atlas_rows() {
+        let mut e = virtual_engine("fcfs+easy");
+        let r = e
+            .handle(Request::Policy {
+                force: None,
+                list: true,
+                set: None,
+            })
+            .0;
+        let rows = r.get("policies").unwrap().as_arr().unwrap();
+        assert_eq!(
+            rows.len(),
+            jobsched_algos::AlgorithmSpec::atlas_matrix().len()
+        );
+        // Every row's label parses back to a servable scheduler, and the
+        // policy/backfill identifiers recompose into the label.
+        for row in rows {
+            let label = row.get("label").unwrap().as_str().unwrap();
+            assert!(SchedulerSpec::parse(label).is_ok(), "label '{label}'");
+            let policy = row.get("policy").unwrap().as_str().unwrap();
+            let backfill = row.get("backfill").unwrap().as_str().unwrap();
+            assert_eq!(format!("{policy}+{backfill}"), label);
+        }
+        // The plain inspection reply does not carry the table.
+        let r = e.handle(policy(None)).0;
+        assert!(r.get("policies").is_none());
+    }
+
+    #[test]
+    fn policy_set_switches_scheduler_and_transfers_backlog() {
+        let mut e = virtual_engine("fcfs");
+        // Fill the machine, then queue a long job ahead of a short one:
+        // FCFS would run the long job first.
+        submit(&mut e, 0, 0, 16, 100);
+        submit(&mut e, 1, 0, 16, 80); // long, first in FCFS order
+        submit(&mut e, 2, 0, 16, 10); // short
+        e.handle(Request::Advance { to: Some(0) });
+        let r = e.handle(policy_set("sjf+none")).0;
+        assert!(r.get("ok").unwrap().as_bool().unwrap(), "{r:?}");
+        assert_eq!(
+            r.get("scheduler").unwrap().as_str(),
+            Some("SJF+Listscheduler")
+        );
+        // Unknown labels are structured errors, state untouched.
+        let r = e.handle(policy_set("lifo")).0;
+        assert_eq!(r.get("error").unwrap().as_str(), Some("unsupported"));
+        // Under SJF the short job now starts before the long one.
+        e.handle(Request::Advance { to: None });
+        let s2 = status(&mut e, 2);
+        let s1 = status(&mut e, 1);
+        assert_eq!(s2.get("start").unwrap().as_u64(), Some(100));
+        assert_eq!(s1.get("start").unwrap().as_u64(), Some(110));
+    }
+
+    #[test]
+    fn policy_set_replays_through_checkpoint_restore() {
+        let mut e = virtual_engine("fcfs");
+        submit(&mut e, 0, 0, 16, 100);
+        submit(&mut e, 1, 0, 16, 80);
+        submit(&mut e, 2, 0, 16, 10);
+        e.handle(Request::Advance { to: Some(0) });
+        e.handle(policy_set("sjf+none"));
+        let state = e
+            .handle(Request::Checkpoint)
+            .0
+            .get("state")
+            .unwrap()
+            .clone();
+        let mut f = virtual_engine("fcfs");
+        let r = f.handle(Request::Restore { state }).0;
+        assert!(r.get("ok").unwrap().as_bool().unwrap(), "{r:?}");
+        // The restored engine is running the switched scheduler and
+        // evolves identically to the original.
+        assert_eq!(
+            f.handle(policy(None)).0.get("scheduler").unwrap().as_str(),
+            Some("SJF+Listscheduler")
+        );
+        e.handle(Request::Advance { to: None });
+        f.handle(Request::Advance { to: None });
+        for id in 0..3 {
+            assert_eq!(status(&mut e, id), status(&mut f, id), "job {id}");
+        }
     }
 
     #[test]

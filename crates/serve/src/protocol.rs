@@ -83,10 +83,17 @@ pub enum Request {
     Drain,
     /// Resume admitting submissions.
     Undrain,
-    /// Inspect (force = `None`) or override the day/night regime.
+    /// Inspect (all fields empty), override the day/night regime
+    /// (`force`), enumerate the servable policy atlas (`list`), or
+    /// switch the running scheduler to another atlas row (`set`).
     Policy {
-        /// The override, absent for pure inspection.
+        /// The regime override, absent for pure inspection.
         force: Option<PolicyForce>,
+        /// Include the servable scheduler rows in the reply.
+        list: bool,
+        /// Scheduler label to switch to (e.g. `sjf+easy`), as accepted
+        /// by `SchedulerSpec::parse`. The waiting backlog transfers.
+        set: Option<String>,
     },
     /// Advance virtual time to `to`, or drain every queued event when
     /// absent. Virtual-clock daemons only.
@@ -222,7 +229,19 @@ pub fn parse_request(j: &Json) -> Result<Request, String> {
                     Some(PolicyForce::parse(s)?)
                 }
             };
-            Ok(Request::Policy { force })
+            let list = bool_field(j, "list", false)?;
+            let set = match j.get("set") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| "field 'set' must be a string".to_string())?
+                        .to_string(),
+                ),
+            };
+            if force.is_some() && set.is_some() {
+                return Err("'force' and 'set' are mutually exclusive".into());
+            }
+            Ok(Request::Policy { force, list, set })
         }
         "advance" => Ok(Request::Advance {
             to: opt_time(j, "to")?,
@@ -328,14 +347,39 @@ mod tests {
         );
         assert_eq!(
             req(r#"{"op":"policy"}"#).unwrap(),
-            Request::Policy { force: None }
+            Request::Policy {
+                force: None,
+                list: false,
+                set: None
+            }
         );
         assert_eq!(
             req(r#"{"op":"policy","force":"night"}"#).unwrap(),
             Request::Policy {
-                force: Some(PolicyForce::Night)
+                force: Some(PolicyForce::Night),
+                list: false,
+                set: None
             }
         );
+        assert_eq!(
+            req(r#"{"op":"policy","list":true}"#).unwrap(),
+            Request::Policy {
+                force: None,
+                list: true,
+                set: None
+            }
+        );
+        assert_eq!(
+            req(r#"{"op":"policy","set":"sjf+easy"}"#).unwrap(),
+            Request::Policy {
+                force: None,
+                list: false,
+                set: Some("sjf+easy".into())
+            }
+        );
+        // Force and set conflict; a non-string set is a protocol error.
+        assert!(req(r#"{"op":"policy","force":"day","set":"fcfs"}"#).is_err());
+        assert!(req(r#"{"op":"policy","set":7}"#).is_err());
         assert_eq!(
             req(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown {

@@ -191,6 +191,28 @@ impl LiveSim {
         &self.fault_log
     }
 
+    /// Snapshot of the waiting backlog as re-submittable requests, in
+    /// job-id order: every submitted job that is neither running nor
+    /// between a preemption and its resume. A requeued job carries its
+    /// unconsumed remainder, exactly as the Resume path re-submits it —
+    /// feeding these to a fresh scheduler reproduces the queue a
+    /// mid-run policy switch must hand over.
+    pub fn waiting_requests(&self) -> Vec<JobRequest> {
+        self.alive
+            .values()
+            .filter(|inf| inf.span_start.is_none() && !inf.awaiting)
+            .map(|inf| {
+                let mut req = JobRequest::from(&inf.job);
+                req.requested_time = inf.job.requested_time - inf.consumed;
+                req.class = self
+                    .machine
+                    .resolve_class(inf.job.node_type, inf.job.memory_mb, inf.job.nodes)
+                    .expect("resolved at submit");
+                req
+            })
+            .collect()
+    }
+
     /// Last instant processed (0 before the first step).
     pub fn horizon(&self) -> Time {
         self.horizon

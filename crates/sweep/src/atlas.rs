@@ -359,9 +359,23 @@ pub fn check_clean(
         if table.cell(AlgorithmSpec::reference()).is_none() {
             return Err(format!("table {}: no FCFS+EASY reference row", def.id));
         }
+        if !table.reference_cost().is_finite() || table.reference_cost() <= 0.0 {
+            return Err(format!(
+                "table {}: reference cost {} unusable for normalisation",
+                def.id,
+                table.reference_cost()
+            ));
+        }
         for cell in &table.cells {
             let name = cell.spec().name();
-            if !cell.cost.is_finite() || cell.cost <= 0.0 {
+            // The variance objective can legitimately reach 0.0 (all
+            // slowdowns equal); every other cost must be positive.
+            let floor_ok = if def.objective == ObjectiveKind::SlowdownVariance {
+                cell.cost >= 0.0
+            } else {
+                cell.cost > 0.0
+            };
+            if !cell.cost.is_finite() || !floor_ok {
                 return Err(format!("table {}: {name}: bad cost {}", def.id, cell.cost));
             }
             if !(0.0..=1.0).contains(&cell.utilization) {
@@ -453,7 +467,8 @@ mod tests {
             g.objectives,
             vec![
                 ObjectiveKind::AvgResponseTime,
-                ObjectiveKind::AvgBoundedSlowdown
+                ObjectiveKind::AvgBoundedSlowdown,
+                ObjectiveKind::MaxUserSlowdown,
             ]
         );
         assert_eq!(g.points.len(), 10, "reference + 3 rules × 3 backfills");

@@ -177,8 +177,9 @@ mod tests {
         cache.put(&r).unwrap();
         // Age the stored entry: same key, same shape, older schema number.
         let text = std::fs::read_to_string(cache.entry_path(&r.key)).unwrap();
-        assert!(text.contains("\"schema\":1"), "fixture expects schema 1");
-        let stale = text.replace("\"schema\":1", "\"schema\":0");
+        let current = format!("\"schema\":{}", crate::record::SCHEMA_VERSION);
+        assert!(text.contains(&current), "fixture expects current schema");
+        let stale = text.replace(&current, "\"schema\":0");
         std::fs::write(cache.entry_path(&r.key), stale).unwrap();
         assert_eq!(cache.get(&r.key), None, "stale schema must be a miss");
         // The stale file still *exists*, so the re-store must replace it

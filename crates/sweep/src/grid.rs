@@ -176,6 +176,9 @@ pub fn objective_tag(objective: ObjectiveKind) -> &'static str {
         ObjectiveKind::AvgResponseTime => "art",
         ObjectiveKind::AvgWeightedResponseTime => "awrt",
         ObjectiveKind::AvgBoundedSlowdown => "bsld",
+        ObjectiveKind::MaxUserSlowdown => "fair-max",
+        ObjectiveKind::P95WidthSlowdown => "fair-p95",
+        ObjectiveKind::SlowdownVariance => "fair-var",
     }
 }
 
@@ -185,6 +188,9 @@ pub fn parse_objective_tag(tag: &str) -> Option<ObjectiveKind> {
         "art" => Some(ObjectiveKind::AvgResponseTime),
         "awrt" => Some(ObjectiveKind::AvgWeightedResponseTime),
         "bsld" => Some(ObjectiveKind::AvgBoundedSlowdown),
+        "fair-max" => Some(ObjectiveKind::MaxUserSlowdown),
+        "fair-p95" => Some(ObjectiveKind::P95WidthSlowdown),
+        "fair-var" => Some(ObjectiveKind::SlowdownVariance),
         _ => None,
     }
 }
@@ -216,14 +222,17 @@ impl CellSpec {
     /// fingerprint of its materialised workload.
     ///
     /// Everything that can influence the simulation result is hashed:
-    /// schema version, workload content, algorithm, objective, cache
-    /// toggle and the derived seed. Table membership deliberately is
-    /// *not* — two tables referencing an identical run share one cache
-    /// entry.
+    /// schema version, workload content *and* generator seed, algorithm,
+    /// objective, cache toggle and the derived seed. Table membership
+    /// deliberately is *not* — two tables referencing an identical run
+    /// share one cache entry. The workload seed is hashed explicitly
+    /// (not only through the fingerprint) so multi-seed replication
+    /// cells stay distinct even under a fingerprint collision.
     pub fn cache_key(&self, workload_fingerprint: u64) -> String {
         let mut h = StableHasher::new();
         h.write_u64(crate::record::SCHEMA_VERSION as u64)
             .write_u64(workload_fingerprint)
+            .write_u64(self.workload.seed())
             .write_str(policy_tag(self.algorithm.kind))
             .write_str(backfill_tag(self.algorithm.backfill))
             .write_str(objective_tag(self.objective))
@@ -425,10 +434,47 @@ impl Campaign {
         c
     }
 
+    /// The six objectives spanning the atlas cost space, with tags and
+    /// human titles: the original {ART, AWRT, bounded slowdown} triple
+    /// plus the three fairness criteria the objective learner feeds on.
+    pub const ATLAS_OBJECTIVES: [(&'static str, &'static str, ObjectiveKind); 6] = [
+        (
+            "art",
+            "average response time",
+            ObjectiveKind::AvgResponseTime,
+        ),
+        (
+            "awrt",
+            "average weighted response time",
+            ObjectiveKind::AvgWeightedResponseTime,
+        ),
+        (
+            "bsld",
+            "average bounded slowdown",
+            ObjectiveKind::AvgBoundedSlowdown,
+        ),
+        (
+            "fair-max",
+            "worst user's mean bounded slowdown",
+            ObjectiveKind::MaxUserSlowdown,
+        ),
+        (
+            "fair-p95",
+            "p95 per-width bounded slowdown",
+            ObjectiveKind::P95WidthSlowdown,
+        ),
+        (
+            "fair-var",
+            "bounded-slowdown variance",
+            ObjectiveKind::SlowdownVariance,
+        ),
+    ];
+
     /// The scheduler-atlas campaign: the full 43-row atlas matrix
     /// (paper rows + the priority family) × {CTC, probabilistic}
-    /// workloads × {ART, AWRT, bounded-slowdown} objectives — 258 cells.
-    /// This is the mega-sweep behind `ATLAS.md`/`BENCH_atlas.json`.
+    /// workloads × the six-objective cost space (ART, AWRT, bounded
+    /// slowdown and the three fairness criteria) — 516 cells. This is
+    /// the mega-sweep behind `ATLAS.md`/`BENCH_atlas.json`.
     pub fn atlas(scale: Scale) -> Campaign {
         let ctc = WorkloadSpec::Ctc {
             jobs: scale.ctc_jobs,
@@ -446,23 +492,7 @@ impl Campaign {
             ("ctc", "CTC workload", ctc),
             ("prob", "probability-distributed workload", prob),
         ] {
-            for (otag, otitle, obj) in [
-                (
-                    "art",
-                    "average response time",
-                    ObjectiveKind::AvgResponseTime,
-                ),
-                (
-                    "awrt",
-                    "average weighted response time",
-                    ObjectiveKind::AvgWeightedResponseTime,
-                ),
-                (
-                    "bsld",
-                    "average bounded slowdown",
-                    ObjectiveKind::AvgBoundedSlowdown,
-                ),
-            ] {
+            for (otag, otitle, obj) in Self::ATLAS_OBJECTIVES {
                 c.push_specs(
                     format!("atlas-{wtag}-{otag}"),
                     format!("Scheduler atlas: {wtitle}, {otitle}"),
@@ -477,10 +507,44 @@ impl Campaign {
         c
     }
 
+    /// The multi-seed significance campaign behind `BENCH_tune.json`:
+    /// the atlas matrix over `seeds` independent resamplings of the
+    /// probabilistic workload, under the full six-objective cost space.
+    /// Seed index 0 reuses the atlas campaign's resampling seed, so its
+    /// cells share cache entries with [`Campaign::atlas`] at the same
+    /// scale; later seeds shift the resampling stream only — same base
+    /// trace, same model fit, different draw.
+    pub fn significance(scale: Scale, seeds: usize) -> Campaign {
+        assert!(seeds >= 1, "need at least one seed");
+        let matrix = AlgorithmSpec::atlas_matrix();
+        let mut c = Campaign::new("significance");
+        for k in 0..seeds {
+            let w = WorkloadSpec::Probabilistic {
+                base_jobs: scale.ctc_jobs,
+                base_seed: scale.seed,
+                jobs: scale.synthetic_jobs,
+                seed: scale.seed + 1 + k as u64,
+            };
+            for (otag, otitle, obj) in Self::ATLAS_OBJECTIVES {
+                c.push_specs(
+                    format!("sig-s{k}-{otag}"),
+                    format!("Significance replicate {k}: {otitle}"),
+                    w,
+                    obj,
+                    true,
+                    false,
+                    &matrix,
+                );
+            }
+        }
+        c
+    }
+
     /// The CI smoke slice of the atlas: a reduced policy×backfill set
     /// (the FCFS+EASY reference plus three priority rows across all
-    /// three backfill columns) on one small CTC workload under ART and
-    /// bounded slowdown — 20 cells, seconds of wall-clock.
+    /// three backfill columns) on one small CTC workload under ART,
+    /// bounded slowdown and the worst-user fairness criterion — 30
+    /// cells, seconds of wall-clock.
     pub fn atlas_smoke(scale: Scale) -> Campaign {
         let ctc = WorkloadSpec::Ctc {
             jobs: scale.ctc_jobs,
@@ -500,6 +564,7 @@ impl Campaign {
         for (otag, obj) in [
             ("art", ObjectiveKind::AvgResponseTime),
             ("bsld", ObjectiveKind::AvgBoundedSlowdown),
+            ("fair-max", ObjectiveKind::MaxUserSlowdown),
         ] {
             c.push_specs(
                 format!("atlas-smoke-{otag}"),
@@ -602,8 +667,8 @@ mod tests {
     #[test]
     fn atlas_campaign_covers_the_cross_product() {
         let c = Campaign::atlas(scale());
-        assert_eq!(c.tables.len(), 6, "2 workloads × 3 objectives");
-        assert_eq!(c.cells.len(), 6 * 43);
+        assert_eq!(c.tables.len(), 12, "2 workloads × 6 objectives");
+        assert_eq!(c.cells.len(), 12 * 43);
         assert!(c.cells.len() >= 100, "the atlas is a mega-sweep");
         assert_eq!(c.distinct_workloads().len(), 2);
         // Every table carries the full atlas matrix, reference included.
@@ -616,7 +681,7 @@ mod tests {
                 .collect();
             assert_eq!(specs, AlgorithmSpec::atlas_matrix());
         }
-        // All 258 cells own distinct cache keys.
+        // All 516 cells own distinct cache keys.
         let keys: std::collections::BTreeSet<String> =
             c.cells.iter().map(|cell| cell.cache_key(1)).collect();
         assert_eq!(keys.len(), c.cells.len());
@@ -625,7 +690,7 @@ mod tests {
     #[test]
     fn atlas_smoke_is_a_reduced_slice() {
         let c = Campaign::atlas_smoke(scale());
-        assert_eq!(c.cells.len(), 20, "2 objectives × 10 specs");
+        assert_eq!(c.cells.len(), 30, "3 objectives × 10 specs");
         assert_eq!(c.distinct_workloads().len(), 1);
         let atlas: std::collections::BTreeSet<String> = Campaign::atlas(scale())
             .cells
@@ -646,6 +711,27 @@ mod tests {
             );
             assert!(atlas.contains(&tag), "{tag} must be an atlas combo");
         }
+    }
+
+    #[test]
+    fn significance_campaign_replicates_across_seeds() {
+        let c = Campaign::significance(scale(), 3);
+        assert_eq!(c.tables.len(), 3 * 6, "3 seeds × 6 objectives");
+        assert_eq!(c.cells.len(), 3 * 6 * 43);
+        // One distinct workload per seed; seed 0 is the atlas resample.
+        let workloads = c.distinct_workloads();
+        assert_eq!(workloads.len(), 3);
+        let atlas = Campaign::atlas(scale());
+        assert!(atlas.distinct_workloads().contains(&workloads[0]));
+        // Replicates of one cell differ ONLY in the workload seed, and
+        // their cache keys still separate (the workload content differs,
+        // and the seed is hashed explicitly).
+        let seeds: std::collections::BTreeSet<u64> =
+            c.cells.iter().map(|cell| cell.workload.seed()).collect();
+        assert_eq!(seeds.len(), 3);
+        let keys: std::collections::BTreeSet<String> =
+            c.cells.iter().map(|cell| cell.cache_key(1)).collect();
+        assert_eq!(keys.len(), c.cells.len());
     }
 
     #[test]
@@ -686,12 +772,9 @@ mod tests {
         ] {
             assert_eq!(parse_backfill_tag(backfill_tag(m)), Some(m));
         }
-        for o in [
-            ObjectiveKind::AvgResponseTime,
-            ObjectiveKind::AvgWeightedResponseTime,
-            ObjectiveKind::AvgBoundedSlowdown,
-        ] {
-            assert_eq!(parse_objective_tag(objective_tag(o)), Some(o));
+        for (tag, _, o) in Campaign::ATLAS_OBJECTIVES {
+            assert_eq!(objective_tag(o), tag);
+            assert_eq!(parse_objective_tag(tag), Some(o));
         }
         assert_eq!(parse_policy_tag("nope"), None);
         // The priority FCFS row must not collide with the paper's row.

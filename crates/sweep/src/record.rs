@@ -29,7 +29,11 @@ use std::time::Duration;
 /// record. Bump on any change to hashed inputs, generator streams, or
 /// record semantics: old cache entries then miss cleanly instead of
 /// being misread.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: records carry the workload's generator seed (`workload_seed`), so
+/// multi-seed replication cells are distinguishable in caches and
+/// reports even when their other configuration coincides.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Result of one campaign cell.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,6 +58,9 @@ pub struct RunRecord {
     pub caching: bool,
     /// Cell-derived RNG seed.
     pub seed: u64,
+    /// Generator seed of the workload's final sampling stage — the knob
+    /// the multi-seed significance campaign turns.
+    pub workload_seed: u64,
     /// Schedule cost under the objective (simulated seconds).
     pub cost: f64,
     /// Schedule makespan (simulated seconds).
@@ -93,6 +100,7 @@ impl RunRecord {
             algorithm: spec.algorithm,
             caching: spec.caching,
             seed: spec.seed,
+            workload_seed: spec.workload.seed(),
             cost: cell.cost,
             makespan: cell.makespan,
             utilization: cell.utilization,
@@ -142,6 +150,7 @@ impl RunRecord {
             ),
             ("caching", Json::Bool(self.caching)),
             ("seed", Json::UInt(self.seed)),
+            ("workload_seed", Json::UInt(self.workload_seed)),
             ("cost", Json::Num(self.cost)),
             ("makespan", Json::UInt(self.makespan)),
             ("utilization", Json::Num(self.utilization)),
@@ -194,6 +203,7 @@ impl RunRecord {
             algorithm: AlgorithmSpec::new(kind, backfill),
             caching: v.get("caching")?.as_bool()?,
             seed: v.get("seed")?.as_u64()?,
+            workload_seed: v.get("workload_seed")?.as_u64()?,
             cost: v.get("cost")?.as_f64()?,
             makespan: v.get("makespan")?.as_u64()?,
             utilization: v.get("utilization")?.as_f64()?,
@@ -232,6 +242,7 @@ mod tests {
             algorithm: AlgorithmSpec::new(PolicyKind::SmartFfia, BackfillMode::Easy),
             caching: true,
             seed: 77,
+            workload_seed: 1999,
             cost: 4.9123e6,
             makespan: 123_456,
             utilization: 0.731,
@@ -271,7 +282,7 @@ mod tests {
         let text = r
             .to_json()
             .to_string_compact()
-            .replace("\"schema\":1", "\"schema\":999");
+            .replace("\"schema\":2", "\"schema\":999");
         assert_eq!(RunRecord::from_json_str(&text), None);
         assert_eq!(RunRecord::from_json_str("not json"), None);
         assert_eq!(RunRecord::from_json_str("{}"), None);
@@ -319,5 +330,53 @@ mod tests {
         );
         assert_eq!(r.key, spec.cache_key(42));
         assert_eq!(r.workload_fingerprint, "000000000000002a");
+        assert_eq!(r.workload_seed, 3);
+    }
+
+    #[test]
+    fn cache_key_separates_workload_seeds() {
+        // Two cells identical in every respect except the workload's
+        // generator seed must not collide — even under an (adversarial)
+        // fingerprint collision, which is why the seed is hashed
+        // explicitly rather than relying on the workload content alone.
+        let cell = |wseed: u64| CellSpec {
+            table: 0,
+            workload: WorkloadSpec::Probabilistic {
+                base_jobs: 100,
+                base_seed: 1999,
+                jobs: 80,
+                seed: wseed,
+            },
+            objective: ObjectiveKind::AvgResponseTime,
+            algorithm: AlgorithmSpec::reference(),
+            caching: true,
+            seed: 7, // same derived cell seed on purpose
+        };
+        assert_ne!(cell(2000).cache_key(42), cell(2001).cache_key(42));
+        // And the records they produce are distinguishable too.
+        let eval = EvalCell::from_parts(
+            AlgorithmSpec::reference(),
+            10.0,
+            Duration::from_nanos(5),
+            100,
+            0.5,
+            EngineCounts::default(),
+        );
+        let rec = |wseed: u64| {
+            RunRecord::from_cell(
+                &cell(wseed),
+                cell(wseed).cache_key(42),
+                "prob",
+                42,
+                80,
+                256,
+                &eval,
+                Duration::from_nanos(9),
+            )
+        };
+        assert!(!rec(2000).deterministically_eq(&rec(2001)));
+        assert!(rec(2000)
+            .canonical_json()
+            .contains("\"workload_seed\":2000"));
     }
 }

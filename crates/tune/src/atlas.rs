@@ -1,0 +1,213 @@
+//! Reading the committed `bench-atlas/1` artifact back into fit input.
+//!
+//! The atlas's `pareto` section already lifts every algorithm row into a
+//! point of the per-workload objective space; this module re-parses that
+//! section into [`AtlasGroup`]s and *recomputes* the non-domination
+//! ranks with the same [`jobsched_metrics::pareto`] routines that
+//! produced them — the fit never trusts stored ranks, so a hand-edited
+//! or truncated document cannot smuggle an inconsistent target order
+//! into the learner.
+
+use jobsched_json::Json;
+use jobsched_metrics::{pareto_front, pareto_ranks, Point};
+
+/// One workload's slice of the atlas cost space.
+#[derive(Clone, Debug)]
+pub struct AtlasGroup {
+    /// Workload kind tag ("ctc", "probabilistic").
+    pub workload: String,
+    /// Objective tags spanning the cost axes, in table order.
+    pub objectives: Vec<String>,
+    /// One point per algorithm row; labels are the serve-protocol
+    /// scheduler labels (`policy+backfill`), so the tuner can feed them
+    /// straight into the `policy` op.
+    pub points: Vec<Point>,
+    /// Display names (`SJF+EASY-Backfilling`, ...), parallel to `points`.
+    pub names: Vec<String>,
+    /// Recomputed non-domination rank per point (1 = on the front).
+    pub ranks: Vec<usize>,
+    /// Recomputed Pareto front (indices into `points`).
+    pub front: Vec<usize>,
+}
+
+/// The parsed atlas: scale header plus per-workload groups.
+#[derive(Clone, Debug)]
+pub struct AtlasDoc {
+    /// Schema tag of the source document.
+    pub schema: String,
+    /// `(ctc_jobs, synthetic_jobs, seed)` the atlas was generated at.
+    pub scale: (u64, u64, u64),
+    /// Per-workload cost-space groups, in document order.
+    pub groups: Vec<AtlasGroup>,
+}
+
+fn str_of(j: &Json, key: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn u64_of(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+/// Parse a `bench-atlas/1` document. Ranks and fronts are recomputed
+/// from the cost vectors, not read back.
+pub fn parse_atlas(doc: &Json) -> Result<AtlasDoc, String> {
+    let schema = str_of(doc, "schema")?;
+    if schema != jobsched_sweep::ATLAS_SCHEMA {
+        return Err(format!("unsupported atlas schema '{schema}'"));
+    }
+    let scale = doc.get("scale").ok_or("missing 'scale'")?;
+    let scale = (
+        u64_of(scale, "ctc_jobs")?,
+        u64_of(scale, "synthetic_jobs")?,
+        u64_of(scale, "seed")?,
+    );
+    let groups = doc
+        .get("pareto")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing 'pareto' array")?;
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        let workload = str_of(g, "workload")?;
+        let objectives: Vec<String> = g
+            .get("objectives")
+            .and_then(|v| v.as_arr())
+            .ok_or("group missing 'objectives'")?
+            .iter()
+            .map(|o| {
+                o.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "objective tags must be strings".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        if objectives.is_empty() {
+            return Err(format!("workload '{workload}': no objectives"));
+        }
+        let raw_points = g
+            .get("points")
+            .and_then(|v| v.as_arr())
+            .ok_or("group missing 'points'")?;
+        if raw_points.is_empty() {
+            return Err(format!("workload '{workload}': no points"));
+        }
+        let mut points = Vec::with_capacity(raw_points.len());
+        let mut names = Vec::with_capacity(raw_points.len());
+        for p in raw_points {
+            let label = format!("{}+{}", str_of(p, "algorithm")?, str_of(p, "backfill")?);
+            let costs: Vec<f64> = p
+                .get("costs")
+                .and_then(|v| v.as_arr())
+                .ok_or("point missing 'costs'")?
+                .iter()
+                .map(|c| {
+                    c.as_f64()
+                        .ok_or_else(|| "costs must be numbers".to_string())
+                })
+                .collect::<Result<_, _>>()?;
+            if costs.len() != objectives.len() {
+                return Err(format!(
+                    "point '{label}': {} costs for {} objectives",
+                    costs.len(),
+                    objectives.len()
+                ));
+            }
+            if costs.iter().any(|c| !c.is_finite() || *c < 0.0) {
+                return Err(format!("point '{label}': non-finite or negative cost"));
+            }
+            names.push(str_of(p, "name")?);
+            points.push(Point::new(label, costs));
+        }
+        let ranks = pareto_ranks(&points);
+        let front = pareto_front(&points);
+        out.push(AtlasGroup {
+            workload,
+            objectives,
+            points,
+            names,
+            ranks,
+            front,
+        });
+    }
+    if out.is_empty() {
+        return Err("atlas has no pareto groups".into());
+    }
+    // Every group must span the same objective axes in the same order —
+    // the fit learns one weight vector across all workloads.
+    for g in &out[1..] {
+        if g.objectives != out[0].objectives {
+            return Err(format!(
+                "workload '{}' spans objectives {:?}, expected {:?}",
+                g.workload, g.objectives, out[0].objectives
+            ));
+        }
+    }
+    Ok(AtlasDoc {
+        schema,
+        scale,
+        groups: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jobsched_json::parse;
+
+    fn sample() -> String {
+        r#"{
+          "schema": "bench-atlas/1",
+          "scale": {"ctc_jobs": 100, "synthetic_jobs": 50, "seed": 7},
+          "pareto": [
+            {
+              "workload": "ctc",
+              "objectives": ["art", "bsld"],
+              "points": [
+                {"algorithm":"fcfs","backfill":"easy","name":"FCFS+EASY","costs":[10.0,2.0],"rank":1,"on_front":true},
+                {"algorithm":"sjf","backfill":"easy","name":"SJF+EASY","costs":[8.0,3.0],"rank":1,"on_front":true},
+                {"algorithm":"fcfs","backfill":"none","name":"FCFS","costs":[12.0,4.0],"rank":2,"on_front":false}
+              ]
+            }
+          ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn parses_and_recomputes_ranks() {
+        let doc = parse(&sample()).unwrap();
+        let atlas = parse_atlas(&doc).unwrap();
+        assert_eq!(atlas.scale, (100, 50, 7));
+        assert_eq!(atlas.groups.len(), 1);
+        let g = &atlas.groups[0];
+        assert_eq!(g.objectives, vec!["art", "bsld"]);
+        assert_eq!(g.points[0].label, "fcfs+easy");
+        assert_eq!(g.names[1], "SJF+EASY");
+        assert_eq!(g.ranks, vec![1, 1, 2]);
+        assert_eq!(g.front, vec![0, 1]);
+    }
+
+    #[test]
+    fn stored_ranks_are_ignored() {
+        // Corrupt the stored rank field: recomputation must not care.
+        let text = sample().replace("\"rank\":1", "\"rank\":9");
+        let atlas = parse_atlas(&parse(&text).unwrap()).unwrap();
+        assert_eq!(atlas.groups[0].ranks, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn malformed_documents_are_structured_errors() {
+        let bad_schema = sample().replace("bench-atlas/1", "bench-atlas/9");
+        assert!(parse_atlas(&parse(&bad_schema).unwrap()).is_err());
+        let short = sample().replace("[12.0,4.0]", "[12.0]");
+        assert!(parse_atlas(&parse(&short).unwrap())
+            .unwrap_err()
+            .contains("costs"));
+        let neg = sample().replace("[12.0,4.0]", "[-1.0,4.0]");
+        assert!(parse_atlas(&parse(&neg).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Multi-seed significance: is the atlas's Pareto structure a property
+//! of the *policies* or of one lucky workload draw?
+//!
+//! The atlas measures every algorithm row on a single resampling of the
+//! probabilistic workload. This module replays the same 43-row ×
+//! 6-objective grid across `seeds` independent resamplings (via
+//! [`Campaign::significance`], through the cached sweep runner — cells
+//! already simulated for the atlas are cache hits), then reports per
+//! (row, objective) the across-seed mean and a normal-approximation
+//! 95% confidence half-width, and per row how often it lands on the
+//! six-dimensional Pareto front. A row on the front in *some* seeds but
+//! not others is flagged unstable: its atlas front membership is a
+//! draw-level accident, not a policy-level fact.
+
+use jobsched_core::experiment::{EvalTable, Scale};
+use jobsched_metrics::{pareto_front, Point};
+use jobsched_sweep::grid::{backfill_tag, policy_tag};
+use jobsched_sweep::{run_campaign, Campaign, SweepOptions};
+use std::io;
+
+/// Per-row across-seed statistics.
+#[derive(Clone, Debug)]
+pub struct RowStats {
+    /// Serve-protocol scheduler label (`policy+backfill`).
+    pub label: String,
+    /// Display name (`SJF+EASY-Backfilling`, ...).
+    pub name: String,
+    /// Across-seed mean cost per objective (atlas objective order).
+    pub mean: Vec<f64>,
+    /// 95% confidence half-width per objective: `1.96·s/√N` with the
+    /// sample standard deviation `s`. Zero when `seeds == 1`.
+    pub ci: Vec<f64>,
+    /// In how many seeds this row sat on the 6-D Pareto front.
+    pub front_count: usize,
+}
+
+impl RowStats {
+    /// Front membership is seed-stable: the row is on the front in
+    /// every seed or in none.
+    pub fn stable(&self, seeds: usize) -> bool {
+        self.front_count == 0 || self.front_count == seeds
+    }
+}
+
+/// Outcome of a significance campaign.
+#[derive(Clone, Debug)]
+pub struct Significance {
+    /// Number of independent workload resamplings.
+    pub seeds: usize,
+    /// Objective tags spanning the cost axes (atlas order).
+    pub objectives: Vec<String>,
+    /// One entry per atlas matrix row, matrix order.
+    pub rows: Vec<RowStats>,
+    /// Cells simulated fresh this run.
+    pub simulated: usize,
+    /// Cells served from the result cache.
+    pub cached: usize,
+}
+
+impl Significance {
+    /// Rows whose front membership varies across seeds.
+    pub fn unstable(&self) -> Vec<&RowStats> {
+        self.rows.iter().filter(|r| !r.stable(self.seeds)).collect()
+    }
+}
+
+fn mean_ci(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * var.sqrt() / n.sqrt())
+}
+
+/// Aggregate the per-seed tables of a finished significance campaign.
+///
+/// `tables` must be the [`Campaign::significance`] output: seed-major,
+/// objective-minor (`seeds × objectives` tables of identical row order).
+pub fn aggregate(tables: &[EvalTable], seeds: usize, objectives: &[String]) -> Significance {
+    let dims = objectives.len();
+    assert_eq!(tables.len(), seeds * dims, "seed-major table layout");
+    let rows_n = tables[0].cells.len();
+    for t in tables {
+        assert_eq!(t.cells.len(), rows_n, "ragged significance tables");
+    }
+
+    // Per-seed Pareto fronts over the full cost space.
+    let mut front_count = vec![0usize; rows_n];
+    for k in 0..seeds {
+        let points: Vec<Point> = (0..rows_n)
+            .map(|r| {
+                let costs = (0..dims)
+                    .map(|j| tables[k * dims + j].cells[r].cost)
+                    .collect();
+                Point::new(format!("row{r}"), costs)
+            })
+            .collect();
+        for idx in pareto_front(&points) {
+            front_count[idx] += 1;
+        }
+    }
+
+    let rows = (0..rows_n)
+        .map(|r| {
+            let spec = tables[0].cells[r].spec();
+            // The same matrix row must sit at the same index in every
+            // table, or the per-seed samples would mix policies.
+            for t in tables {
+                assert_eq!(t.cells[r].spec(), spec, "row order drift across tables");
+            }
+            let mut mean = Vec::with_capacity(dims);
+            let mut ci = Vec::with_capacity(dims);
+            for j in 0..dims {
+                let samples: Vec<f64> = (0..seeds)
+                    .map(|k| tables[k * dims + j].cells[r].cost)
+                    .collect();
+                let (m, c) = mean_ci(&samples);
+                mean.push(m);
+                ci.push(c);
+            }
+            RowStats {
+                label: format!("{}+{}", policy_tag(spec.kind), backfill_tag(spec.backfill)),
+                name: spec.name(),
+                mean,
+                ci,
+                front_count: front_count[r],
+            }
+        })
+        .collect();
+
+    Significance {
+        seeds,
+        objectives: objectives.to_vec(),
+        rows,
+        simulated: 0,
+        cached: 0,
+    }
+}
+
+/// Run the significance campaign at `scale` across `seeds` resamplings
+/// and aggregate it. Heavy: `seeds × 258` simulations at the given
+/// scale, minus whatever the cache already holds.
+pub fn run_significance(
+    scale: Scale,
+    seeds: usize,
+    sweep: &SweepOptions,
+) -> io::Result<Significance> {
+    let campaign = Campaign::significance(scale, seeds);
+    let outcome = run_campaign(&campaign, sweep)?;
+    let objectives: Vec<String> = Campaign::ATLAS_OBJECTIVES
+        .iter()
+        .map(|(tag, _, _)| tag.to_string())
+        .collect();
+    let mut sig = aggregate(&outcome.tables, seeds, &objectives);
+    sig.simulated = outcome.simulated;
+    sig.cached = outcome.cached;
+    Ok(sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            ctc_jobs: 120,
+            synthetic_jobs: 80,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn two_seed_campaign_aggregates() {
+        let sig = run_significance(tiny(), 2, &SweepOptions::default()).unwrap();
+        assert_eq!(sig.seeds, 2);
+        assert_eq!(sig.objectives.len(), 6);
+        assert!(!sig.rows.is_empty());
+        for r in &sig.rows {
+            assert_eq!(r.mean.len(), 6);
+            assert_eq!(r.ci.len(), 6);
+            assert!(r.mean.iter().all(|m| m.is_finite()));
+            assert!(r.ci.iter().all(|c| c.is_finite() && *c >= 0.0));
+            assert!(r.front_count <= 2);
+            // Label round-trips through the serve spec grammar.
+            assert!(jobsched_serve::SchedulerSpec::parse(&r.label).is_ok());
+        }
+        // Someone is on the front in every seed.
+        assert!(sig.rows.iter().any(|r| r.front_count == 2));
+        // Unstable rows are exactly the 0 < count < seeds ones.
+        for r in sig.unstable() {
+            assert!(r.front_count > 0 && r.front_count < 2);
+        }
+    }
+
+    #[test]
+    fn single_seed_has_zero_ci_and_is_trivially_stable() {
+        let sig = run_significance(tiny(), 1, &SweepOptions::default()).unwrap();
+        assert!(sig.rows.iter().all(|r| r.ci.iter().all(|&c| c == 0.0)));
+        assert!(sig.unstable().is_empty());
+    }
+
+    #[test]
+    fn mean_ci_basics() {
+        let (m, c) = mean_ci(&[4.0]);
+        assert_eq!((m, c), (4.0, 0.0));
+        let (m, c) = mean_ci(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        // s = sqrt(2), ci = 1.96·sqrt(2)/sqrt(2) = 1.96.
+        assert!((c - 1.96).abs() < 1e-9);
+    }
+}

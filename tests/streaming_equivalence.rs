@@ -17,9 +17,11 @@
 use jobsched::algos::view::WeightScheme;
 use jobsched::algos::AlgorithmSpec;
 use jobsched::metrics::{
-    AvgBoundedSlowdown, AvgResponseTime, AvgWeightedResponseTime, Makespan, Objective, OnlineArt,
-    OnlineAwrt, OnlineBoundedSlowdown, OnlineMakespan, OnlineSumWeightedCompletion,
-    OnlineUtilization, StreamingObjective, StreamingObserver, SumWeightedCompletion, Utilization,
+    AvgBoundedSlowdown, AvgResponseTime, AvgWeightedResponseTime, Makespan, MaxUserSlowdown,
+    Objective, OnlineArt, OnlineAwrt, OnlineBoundedSlowdown, OnlineMakespan, OnlineMaxUserSlowdown,
+    OnlineP95WidthSlowdown, OnlineSlowdownVariance, OnlineSumWeightedCompletion, OnlineUtilization,
+    P95WidthSlowdown, SlowdownVariance, StreamingObjective, StreamingObserver,
+    SumWeightedCompletion, Utilization,
 };
 use jobsched::sim::{simulate_batch, SimPipeline};
 use jobsched::workload::ctc::prepared_ctc_workload;
@@ -43,6 +45,9 @@ fn stream_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64
     let mut utilization = OnlineUtilization::new(workload.machine_nodes());
     let mut slowdown = OnlineBoundedSlowdown::new();
     let mut sum_wc = OnlineSumWeightedCompletion::new();
+    let mut fair_max = OnlineMaxUserSlowdown::new();
+    let mut fair_p95 = OnlineP95WidthSlowdown::new();
+    let mut fair_var = OnlineSlowdownVariance::new();
 
     let mut source = WorkloadSource::new(workload);
     let accumulators: Vec<&mut dyn StreamingObjective> = vec![
@@ -52,6 +57,9 @@ fn stream_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64
         &mut utilization,
         &mut slowdown,
         &mut sum_wc,
+        &mut fair_max,
+        &mut fair_p95,
+        &mut fair_var,
     ];
     let mut sinks: Vec<StreamingObserver> =
         accumulators.into_iter().map(StreamingObserver).collect();
@@ -64,17 +72,20 @@ fn stream_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64
     (costs, out.events, out.decision_rounds, out.peak_queue)
 }
 
-/// The same six costs, computed batch-style from the finished schedule.
+/// The same nine costs, computed batch-style from the finished schedule.
 fn batch_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64, usize) {
     let mut scheduler = spec.build_dyn(WeightScheme::Unweighted, true);
     let out = simulate_batch(workload, &mut *scheduler);
-    let objectives: [&dyn Objective; 6] = [
+    let objectives: [&dyn Objective; 9] = [
         &AvgResponseTime,
         &AvgWeightedResponseTime,
         &Makespan,
         &Utilization,
         &AvgBoundedSlowdown,
         &SumWeightedCompletion,
+        &MaxUserSlowdown,
+        &P95WidthSlowdown,
+        &SlowdownVariance,
     ];
     let costs = objectives
         .iter()
@@ -84,13 +95,16 @@ fn batch_costs(workload: &Workload, spec: AlgorithmSpec) -> (Vec<f64>, u64, u64,
 }
 
 fn assert_equivalence(workload: &Workload, label: &str) {
-    const NAMES: [&str; 6] = [
+    const NAMES: [&str; 9] = [
         "ART",
         "AWRT",
         "makespan",
         "neg-utilization",
         "bounded-slowdown",
         "sum-wC",
+        "fair-max-user",
+        "fair-p95-width",
+        "fair-variance",
     ];
     for spec in AlgorithmSpec::atlas_matrix() {
         let (stream, s_events, s_rounds, s_peak) = stream_costs(workload, spec);
